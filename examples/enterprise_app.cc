@@ -1,0 +1,61 @@
+// Enterprise application case study (Section 7.1, Figure 4).
+//
+// The IBM web-service-discovery app: webapp → {search-svc, activity-svc} →
+// {github, stackoverflow}. The webapp team used a Unirest-like client
+// library to abstract failure handling; emulating network instability with
+// Gremlin revealed that the library's timeout pattern does not cover TCP
+// connection failures — those exceptions percolate and fail the request.
+//
+// Build & run:  ./build/examples/enterprise_app
+#include <cstdio>
+
+#include "apps/enterprise.h"
+#include "control/recipe.h"
+
+using namespace gremlin;  // NOLINT
+
+namespace {
+
+void probe(const char* label, const control::FailureSpec& spec,
+           bool fixed_library) {
+  sim::Simulation sim;
+  apps::EnterpriseOptions options;
+  options.fix_unirest_bug = fixed_library;
+  auto graph = apps::build_enterprise_app(&sim, options);
+  control::TestSession session(&sim, graph);
+  (void)session.apply(spec);
+  auto load = session.run_load("user", "webapp", 20);
+  std::printf("  %-44s %2zu/20 requests failed\n", label, load.failures);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Enterprise app — emulating network instability between the "
+              "Web App and its backends\n\n");
+
+  std::printf("Unirest-like library as shipped:\n");
+  probe("slow search backend (Hang 10s):",
+        control::FailureSpec::hang("search-svc", sec(10)), false);
+  probe("search backend 503s (Disconnect):",
+        control::FailureSpec::disconnect("webapp", "search-svc"), false);
+  probe("TCP resets on webapp->search (Abort -1):",
+        control::FailureSpec::abort_edge("webapp", "search-svc",
+                                         faults::kTcpReset),
+        false);
+
+  std::printf(
+      "\n  -> the timeout path degrades gracefully, but connection-level "
+      "failures escape\n     the library and the exception fails the whole "
+      "page: the bug the developers\n     found with Gremlin.\n\n");
+
+  std::printf("After fixing the library's connection-failure handling:\n");
+  probe("TCP resets on webapp->search (Abort -1):",
+        control::FailureSpec::abort_edge("webapp", "search-svc",
+                                         faults::kTcpReset),
+        true);
+
+  std::printf("\nNo application code was modified to run these tests — "
+              "faults were staged entirely\nin the sidecar agents.\n");
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Message-bus (publish-subscribe) resilience demo.
+//
+// Builds the Parse.ly/Stackdriver-style pipeline on the pub-sub broker —
+// publishers → message bus (bounded queues, at-least-once delivery) →
+// Cassandra — and walks through three Gremlin scenarios:
+//
+//   1. healthy pipeline: everything flows;
+//   2. crash-recovery of Cassandra (down 2s, then heals): the bus absorbs
+//      the outage, queues drain, nothing is lost;
+//   3. permanent crash: deliveries fail, queues fill, publishers block —
+//      the cascade the postmortems describe — diagnosed by the recipe's
+//      assertions and a flow trace.
+//
+// Build & run:  ./build/examples/message_bus
+#include <cstdio>
+
+#include "control/recipe.h"
+#include "report/report.h"
+#include "sim/pubsub.h"
+
+using namespace gremlin;  // NOLINT
+
+namespace {
+
+struct BusApp {
+  sim::Simulation sim;
+  std::unique_ptr<sim::PubSubBroker> broker;
+  topology::AppGraph graph;
+  size_t stored = 0;
+
+  BusApp() {
+    sim::ServiceConfig cassandra;
+    cassandra.name = "cassandra";
+    cassandra.processing_time = msec(5);
+    cassandra.handler = [this](std::shared_ptr<sim::RequestContext> ctx) {
+      ++stored;
+      ctx->respond(200, "stored");
+    };
+    sim.add_service(cassandra);
+
+    sim::PubSubBroker::Options options;
+    options.queue_capacity = 8;
+    options.on_full = sim::PubSubBroker::Options::FullPolicy::kBlock;
+    options.delivery_retry = msec(100);
+    broker = std::make_unique<sim::PubSubBroker>(&sim, options);
+    broker->subscribe("writes", "cassandra");
+
+    graph.add_edge("user", "publisher");
+    graph.add_edge("publisher", "messagebus");
+    graph.add_edge("messagebus", "cassandra");
+
+    sim::ServiceConfig publisher;
+    publisher.name = "publisher";
+    publisher.handler = [](std::shared_ptr<sim::RequestContext> ctx) {
+      sim::SimRequest publish;
+      publish.method = "POST";
+      publish.uri = "/publish/writes";
+      publish.body = "datapoint";
+      ctx->call("messagebus", publish,
+                [ctx](const sim::SimResponse& resp) {
+                  ctx->respond(resp.failed() ? 500 : 200, resp.body);
+                });
+    };
+    sim.add_service(publisher);
+  }
+};
+
+}  // namespace
+
+int main() {
+  std::printf("Pub-sub pipeline: publisher -> messagebus -> cassandra\n\n");
+
+  {
+    std::printf("1) healthy pipeline:\n");
+    BusApp app;
+    control::TestSession session(&app.sim, app.graph);
+    auto load = session.run_load("user", "publisher", 20);
+    std::printf("   20 published, %zu stored, %zu user failures, queue "
+                "peak %zu\n\n",
+                app.stored, load.failures,
+                app.broker->queue_peak("writes"));
+  }
+
+  {
+    std::printf("2) crash-recovery: cassandra down for 2s, then heals:\n");
+    BusApp app;
+    control::TestSession session(&app.sim, app.graph);
+    auto applied = session.apply_for(
+        control::FailureSpec::crash("cassandra"), sec(2));
+    (void)applied;
+    control::LoadOptions load;
+    load.count = 20;
+    load.gap = msec(100);
+    load.horizon = sec(30);
+    auto result = session.run_load("user", "publisher", load);
+    std::printf("   %zu stored after recovery (at-least-once delivery), "
+                "%zu user failures, queue peak %zu, %llu delivery "
+                "retries\n\n",
+                app.stored, result.failures,
+                app.broker->queue_peak("writes"),
+                static_cast<unsigned long long>(
+                    app.broker->delivery_failures()));
+  }
+
+  {
+    std::printf("3) permanent crash — the cascade:\n");
+    BusApp app;
+    control::TestSession session(&app.sim, app.graph);
+    auto applied = session.apply(control::FailureSpec::crash("cassandra"));
+    (void)applied;
+    control::LoadOptions load;
+    load.count = 20;
+    load.gap = msec(100);
+    load.horizon = sec(10);
+    auto result = session.run_load("user", "publisher", load);
+    auto collected = session.collect();
+    (void)collected;
+    std::printf("   %zu stored, queue peak %zu/8, publishers stuck: %zu "
+                "requests never completed\n",
+                app.stored, app.broker->queue_peak("writes"),
+                static_cast<size_t>(std::count(result.statuses.begin(),
+                                               result.statuses.end(), 0)));
+    // Both checks fail — exactly the diagnosis an operator needs: the
+    // publisher has no timeout (12 requests simply hang) and the bus does
+    // not contain the backend failure.
+    session.check(session.checker().has_timeouts("publisher", sec(1)));
+    session.check(session.checker().failure_contained("messagebus"));
+    const auto report =
+        report::build_report(&session, "message bus cascade", 1);
+    std::printf("\n%s", report.to_markdown().c_str());
+  }
+  return 0;
+}

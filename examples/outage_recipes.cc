@@ -1,0 +1,36 @@
+// Table 1 outage recipes (Section 5).
+//
+// Runs all five recreated outages — Parse.ly, CircleCI, BBC, Spotify,
+// Twilio — against both variants of each application and prints the
+// recipes' verdicts. The naive variants reproduce the postmortem bug and
+// fail their assertions; the resilient variants pass.
+//
+// Build & run:  ./build/examples/outage_recipes
+#include <cstdio>
+
+#include "apps/outages.h"
+
+using namespace gremlin;  // NOLINT
+
+int main() {
+  std::printf("Recreating Table 1's outages as Gremlin recipes\n\n");
+  for (const auto& outage : apps::table1_cases()) {
+    std::printf("%s — %s\n", outage.id.c_str(), outage.summary.c_str());
+    for (const bool resilient : {false, true}) {
+      const auto results = apps::run_outage_case(outage, resilient);
+      std::printf("  %s variant:\n", resilient ? "resilient" : "naive");
+      for (const auto& r : results) {
+        std::printf("    %s %s\n        %s\n",
+                    r.passed ? "[PASS]" : "[FAIL]", r.name.c_str(),
+                    r.detail.c_str());
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Each failing assertion names the service, the missing pattern and "
+      "the observed\nbehaviour — the feedback loop the paper argues makes "
+      "systematic testing more\nvaluable than randomized fault "
+      "injection.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+#include "apps/enterprise.h"
+
+namespace gremlin::apps {
+
+using sim::RequestContext;
+using sim::ServiceConfig;
+using sim::SimResponse;
+
+topology::AppGraph build_enterprise_app(sim::Simulation* sim,
+                                        const EnterpriseOptions& options) {
+  // External APIs (leaves). Real WAN latency is higher than the intra-DC
+  // default; model it on the network edges below.
+  ServiceConfig github;
+  github.name = "github";
+  github.processing_time = msec(40);
+  sim->add_service(github);
+
+  ServiceConfig stackoverflow;
+  stackoverflow.name = "stackoverflow";
+  stackoverflow.processing_time = msec(50);
+  sim->add_service(stackoverflow);
+
+  sim->network().set_edge_latency("search-svc", "github", msec(15));
+  sim->network().set_edge_latency("search-svc", "stackoverflow", msec(15));
+  sim->network().set_edge_latency("activity-svc", "github", msec(15));
+
+  // Backend services aggregate the external feeds with sensible policies.
+  ServiceConfig search;
+  search.name = "search-svc";
+  search.processing_time = msec(10);
+  search.dependencies = {"github", "stackoverflow"};
+  resilience::CallPolicy backend_policy;
+  backend_policy.timeout = msec(400);
+  backend_policy.retry.max_retries = 1;
+  backend_policy.fallback = resilience::Fallback{200, "cached-feed"};
+  search.default_policy = backend_policy;
+  sim->add_service(search);
+
+  ServiceConfig activity;
+  activity.name = "activity-svc";
+  activity.processing_time = msec(8);
+  activity.dependencies = {"github"};
+  activity.default_policy = backend_policy;
+  sim->add_service(activity);
+
+  // The Web App, using the Unirest-like client for both backends.
+  ServiceConfig webapp;
+  webapp.name = "webapp";
+  webapp.processing_time = msec(5);
+  resilience::CallPolicy unirest;
+  unirest.timeout = options.webapp_timeout;
+  webapp.policies["search-svc"] = unirest;
+  webapp.policies["activity-svc"] = unirest;
+  const bool fixed = options.fix_unirest_bug;
+  webapp.handler = [fixed](std::shared_ptr<RequestContext> ctx) {
+    ctx->call("search-svc", [ctx, fixed](const SimResponse& search) {
+      // Unirest's timeout handler: a *slow* backend degrades gracefully...
+      if (search.timed_out) {
+        ctx->respond(200, "partial-results(search timed out)");
+        return;
+      }
+      // ...but a TCP-level connection failure escapes the library and the
+      // exception percolates up, failing the whole request (the bug).
+      if (search.connection_reset && !fixed) {
+        ctx->respond(500, "unhandled-exception: connection reset");
+        return;
+      }
+      if (search.failed() && !fixed) {
+        ctx->respond(502, "search backend error");
+        return;
+      }
+      ctx->call("activity-svc", [ctx, fixed](const SimResponse& act) {
+        if (act.failed() && !fixed) {
+          ctx->respond(act.connection_reset
+                           ? 500
+                           : 502,
+                       act.connection_reset
+                           ? "unhandled-exception: connection reset"
+                           : "activity backend error");
+          return;
+        }
+        ctx->respond(200, "service-catalog-page");
+      });
+    });
+  };
+  sim->add_service(webapp);
+
+  topology::AppGraph graph;
+  graph.add_edge("user", "webapp");
+  graph.add_edge("webapp", "search-svc");
+  graph.add_edge("webapp", "activity-svc");
+  graph.add_edge("search-svc", "github");
+  graph.add_edge("search-svc", "stackoverflow");
+  graph.add_edge("activity-svc", "github");
+  return graph;
+}
+
+}  // namespace gremlin::apps

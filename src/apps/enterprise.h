@@ -1,0 +1,33 @@
+// The IBM enterprise application case study (Section 7.1, Figure 4).
+//
+// A web app for discovering web services: the user-facing Web App calls a
+// search service and an activity service; those call the external
+// github.com and stackoverflow.com APIs. Two Ruby and two Node.js services
+// in the paper — runtimes are irrelevant to Gremlin (observation O1), so we
+// model only the call structure and the failure-handling logic.
+//
+// The Web App uses a Unirest-like HTTP client library to abstract
+// failure-handling boilerplate. The bug the paper's developers discovered:
+// the library's timeout pattern handles slow responses gracefully but does
+// NOT handle TCP connection timeouts/resets — those errors percolate out of
+// the library and fail the request (emulated network instability surfaces
+// it). `fix_unirest_bug` models the corrected library.
+#pragma once
+
+#include "sim/simulation.h"
+#include "topology/graph.h"
+
+namespace gremlin::apps {
+
+struct EnterpriseOptions {
+  bool fix_unirest_bug = false;
+  Duration webapp_timeout = msec(800);
+};
+
+// Services: webapp → {search-svc, activity-svc};
+// search-svc → {github, stackoverflow}; activity-svc → github.
+// Returns the logical graph including the "user" edge client.
+topology::AppGraph build_enterprise_app(sim::Simulation* sim,
+                                        const EnterpriseOptions& options = {});
+
+}  // namespace gremlin::apps

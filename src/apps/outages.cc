@@ -1,0 +1,368 @@
+#include "apps/outages.h"
+
+#include "control/failures.h"
+#include "sim/pubsub.h"
+
+namespace gremlin::apps {
+
+using control::CheckResult;
+using control::FailureSpec;
+using control::LoadOptions;
+using control::TestSession;
+using resilience::CallPolicy;
+using resilience::CircuitBreakerConfig;
+using resilience::Fallback;
+using sim::RequestContext;
+using sim::ServiceConfig;
+using sim::Simulation;
+using sim::SimResponse;
+
+namespace {
+
+// -------------------------------------------------------- parsely-2015
+
+topology::AppGraph build_messagebus_app(Simulation* sim, bool resilient) {
+  ServiceConfig cassandra;
+  cassandra.name = "cassandra";
+  cassandra.processing_time = msec(10);
+  sim->add_service(cassandra);
+
+  // A real message bus: bounded per-topic queue, at-least-once delivery to
+  // Cassandra with head-of-line retries, publishers BLOCK when the queue
+  // is full — the Kafkapocalypse mechanism. The broker is kept alive by the
+  // shared_ptr captured in the publishers' handlers below.
+  sim::PubSubBroker::Options bus_options;
+  bus_options.queue_capacity = 8;
+  bus_options.on_full = sim::PubSubBroker::Options::FullPolicy::kBlock;
+  bus_options.block_poll = msec(50);
+  bus_options.delivery_retry = msec(100);
+  auto broker = std::make_shared<sim::PubSubBroker>(sim, bus_options);
+  broker->subscribe("data", "cassandra");
+
+  CallPolicy publisher_policy;  // naive: block on the bus forever
+  if (resilient) {
+    publisher_policy.timeout = msec(500);
+    publisher_policy.circuit_breaker = CircuitBreakerConfig{5, sec(10), 1};
+    publisher_policy.fallback = Fallback{202, "buffered-locally"};
+  }
+  for (const char* name : {"publisher-a", "publisher-b"}) {
+    ServiceConfig pub;
+    pub.name = name;
+    pub.processing_time = msec(1);
+    pub.default_policy = publisher_policy;
+    // Publish the user's payload to the bus; the broker shared_ptr rides in
+    // the handler to keep it alive for the simulation's lifetime.
+    pub.handler = [broker](std::shared_ptr<RequestContext> ctx) {
+      sim::SimRequest publish;
+      publish.method = "POST";
+      publish.uri = "/publish/data";
+      publish.body = ctx->request().body.empty() ? "metrics"
+                                                 : ctx->request().body;
+      ctx->call("messagebus", publish, [ctx](const SimResponse& resp) {
+        if (resp.failed()) {
+          ctx->respond(500, "publish failed");
+        } else {
+          ctx->respond(200, "accepted");
+        }
+      });
+    };
+    sim->add_service(pub);
+  }
+
+  topology::AppGraph graph;
+  graph.add_edge("user", "publisher-a");
+  graph.add_edge("user", "publisher-b");
+  graph.add_edge("publisher-a", "messagebus");
+  graph.add_edge("publisher-b", "messagebus");
+  graph.add_edge("messagebus", "cassandra");
+  return graph;
+}
+
+void messagebus_recipe(TestSession* session) {
+  auto applied = session->apply(FailureSpec::crash("cassandra"));
+  (void)applied;
+  LoadOptions load;
+  load.count = 40;
+  load.gap = msec(50);
+  // The broken bus never quiesces (blocked publishers, delivery retries):
+  // run each load for a bounded horizon instead of to idle.
+  load.horizon = sec(15);
+  session->run_load("user", "publisher-a", load);
+  LoadOptions load_b = load;
+  load_b.id_prefix = "test-b-";
+  session->run_load("user", "publisher-b", load_b);
+  auto collected = session->collect();
+  (void)collected;
+  auto checker = session->checker();
+  for (const auto& s : session->graph().dependents("messagebus")) {
+    session->check(checker.has_timeouts(s, sec(1)));
+    session->check(checker.has_circuit_breaker(s, "messagebus", 5, sec(2), 1));
+  }
+}
+
+// ------------------------------------------------------------- bbc-2014
+
+topology::AppGraph build_bbc_app(Simulation* sim, bool resilient) {
+  ServiceConfig db;
+  db.name = "database";
+  db.processing_time = msec(8);
+  sim->add_service(db);
+
+  CallPolicy api_policy;  // naive: no local response cache, no breaker
+  if (resilient) {
+    api_policy.timeout = msec(500);
+    api_policy.circuit_breaker = CircuitBreakerConfig{3, sec(10), 1};
+    api_policy.fallback = Fallback{200, "locally-cached-response"};
+  }
+  for (const char* name : {"iplayer-api", "news-api"}) {
+    ServiceConfig api;
+    api.name = name;
+    api.processing_time = msec(3);
+    api.dependencies = {"database"};
+    api.default_policy = api_policy;
+    sim->add_service(api);
+  }
+
+  ServiceConfig frontend;
+  frontend.name = "frontend";
+  frontend.processing_time = msec(2);
+  frontend.dependencies = {"iplayer-api", "news-api"};
+  sim->add_service(frontend);
+
+  topology::AppGraph graph;
+  graph.add_edge("user", "frontend");
+  graph.add_edge("frontend", "iplayer-api");
+  graph.add_edge("frontend", "news-api");
+  graph.add_edge("iplayer-api", "database");
+  graph.add_edge("news-api", "database");
+  return graph;
+}
+
+void bbc_recipe(TestSession* session) {
+  // Throttling database: most requests crawl, the rest are rejected.
+  FailureSpec overload = FailureSpec::overload("database", sec(2), 0.25);
+  auto applied = session->apply(overload);
+  (void)applied;
+  LoadOptions load;
+  load.count = 60;
+  load.gap = msec(50);
+  session->run_load("user", "frontend", load);
+  auto collected = session->collect();
+  (void)collected;
+  auto checker = session->checker();
+  for (const auto& s : session->graph().dependents("database")) {
+    session->check(checker.has_circuit_breaker(s, "database", 3, sec(2), 1));
+  }
+  // The frontend composes both APIs sequentially; before the breakers trip
+  // each API may burn its full 500ms budget once, so the page SLO is 1.5s.
+  session->check(checker.has_timeouts("frontend", msec(1500)));
+}
+
+// --------------------------------------------------------- spotify-2013
+
+topology::AppGraph build_spotify_app(Simulation* sim, bool resilient) {
+  for (const auto& [name, proc] :
+       std::vector<std::pair<const char*, Duration>>{
+           {"core", msec(10)}, {"ads", msec(5)}, {"recs", msec(5)}}) {
+    ServiceConfig leaf;
+    leaf.name = name;
+    leaf.processing_time = proc;
+    sim->add_service(leaf);
+  }
+
+  ServiceConfig frontend;
+  frontend.name = "frontend";
+  frontend.processing_time = msec(2);
+  CallPolicy base;
+  base.timeout = sec(1);
+  if (resilient) {
+    // Bulkhead pattern: an isolated client pool per dependency.
+    CallPolicy core_policy = base;
+    core_policy.bulkhead_max_concurrent = 4;
+    core_policy.fallback = Fallback{200, "degraded-core"};
+    CallPolicy other_policy = base;
+    other_policy.bulkhead_max_concurrent = 16;
+    frontend.policies["core"] = core_policy;
+    frontend.policies["ads"] = other_policy;
+    frontend.policies["recs"] = other_policy;
+  } else {
+    // The outage's shape: one shared client pool across all dependencies.
+    frontend.default_policy = base;
+    frontend.shared_client_pool = 4;
+  }
+  // Parallel fan-out to the three backends; reply when all have resolved.
+  frontend.handler = [](std::shared_ptr<RequestContext> ctx) {
+    auto remaining = std::make_shared<int>(3);
+    auto failed = std::make_shared<bool>(false);
+    auto done = [ctx, remaining, failed](const SimResponse& resp) {
+      if (resp.failed()) *failed = true;
+      if (--*remaining == 0) {
+        if (*failed) {
+          ctx->respond(500, "backend failure");
+        } else {
+          ctx->respond(200, "home-screen");
+        }
+      }
+    };
+    ctx->call("core", done);
+    ctx->call("ads", done);
+    ctx->call("recs", done);
+  };
+  sim->add_service(frontend);
+
+  topology::AppGraph graph;
+  graph.add_edge("user", "frontend");
+  graph.add_edge("frontend", "core");
+  graph.add_edge("frontend", "ads");
+  graph.add_edge("frontend", "recs");
+  return graph;
+}
+
+void spotify_recipe(TestSession* session) {
+  // Core service degrades: every call to it crawls.
+  auto applied =
+      session->apply(FailureSpec::hang("core", sec(5)));
+  (void)applied;
+  LoadOptions load;
+  load.count = 100;
+  load.gap = msec(20);
+  session->run_load("user", "frontend", load);
+  auto collected = session->collect();
+  (void)collected;
+  auto checker = session->checker();
+  // While core is degraded, ads/recs must keep receiving traffic at a rate
+  // comparable to the injection rate (50 req/s; require half of it).
+  session->check(checker.has_bulkhead("frontend", "core", 25.0));
+  session->check(checker.has_timeouts("frontend", sec(2)));
+}
+
+// ---------------------------------------------------------- twilio-2013
+
+topology::AppGraph build_twilio_app(Simulation* sim, bool resilient) {
+  ServiceConfig db;
+  db.name = "paymentdb";
+  db.processing_time = msec(12);
+  sim->add_service(db);
+
+  ServiceConfig billing;
+  billing.name = "billing";
+  billing.processing_time = msec(3);
+  billing.dependencies = {"paymentdb"};
+  CallPolicy policy;
+  policy.timeout = msec(300);
+  if (resilient) {
+    policy.retry.max_retries = 2;
+    policy.retry.base_backoff = msec(50);
+  } else {
+    // The faulty loop: aggressive, effectively unbounded re-billing.
+    policy.retry.max_retries = 10;
+    policy.retry.base_backoff = msec(1);
+    policy.retry.multiplier = 1.0;
+  }
+  billing.default_policy = policy;
+  sim->add_service(billing);
+
+  topology::AppGraph graph;
+  graph.add_edge("user", "billing");
+  graph.add_edge("billing", "paymentdb");
+  return graph;
+}
+
+void twilio_recipe(TestSession* session) {
+  auto applied = session->apply(FailureSpec::crash("paymentdb"));
+  (void)applied;
+  LoadOptions load;
+  load.count = 20;
+  load.gap = msec(100);
+  session->run_load("user", "billing", load);
+  auto collected = session->collect();
+  (void)collected;
+  auto checker = session->checker();
+  // A charge may be retried at most 3 times before being parked for manual
+  // review; more than that risks double billing.
+  session->check(checker.has_bounded_retries("billing", "paymentdb", 3));
+}
+
+// -------------------------------------------------------- circleci-2015
+
+topology::AppGraph build_circleci_app(Simulation* sim, bool resilient) {
+  ServiceConfig db;
+  db.name = "database";
+  db.instances = 2;
+  db.processing_time = msec(10);
+  sim->add_service(db);
+
+  ServiceConfig worker;
+  worker.name = "build-worker";
+  worker.instances = 2;
+  worker.processing_time = msec(5);
+  worker.dependencies = {"database"};
+  CallPolicy policy;
+  if (resilient) {
+    policy.timeout = msec(300);
+    policy.retry.max_retries = 1;
+    policy.retry.base_backoff = msec(100);
+    policy.circuit_breaker = CircuitBreakerConfig{5, sec(5), 1};
+    policy.fallback = Fallback{200, "requeued-build"};
+  } else {
+    policy.retry.max_retries = 8;  // hammering an overloaded database
+    policy.retry.base_backoff = msec(1);
+    policy.retry.multiplier = 1.0;
+  }
+  worker.default_policy = policy;
+  sim->add_service(worker);
+
+  topology::AppGraph graph;
+  graph.add_edge("user", "build-worker");
+  graph.add_edge("build-worker", "database");
+  return graph;
+}
+
+void circleci_recipe(TestSession* session) {
+  auto applied =
+      session->apply(FailureSpec::overload("database", sec(3), 0.5));
+  (void)applied;
+  LoadOptions load;
+  load.count = 40;
+  load.gap = msec(50);
+  session->run_load("user", "build-worker", load);
+  auto collected = session->collect();
+  (void)collected;
+  auto checker = session->checker();
+  session->check(checker.has_timeouts("build-worker", sec(1)));
+  session->check(
+      checker.has_bounded_retries("build-worker", "database", 3));
+}
+
+}  // namespace
+
+const std::vector<OutageCase>& table1_cases() {
+  static const std::vector<OutageCase> kCases = {
+      {"parsely-2015", "cascading failure due to message bus overload",
+       "publisher-a", build_messagebus_app, messagebus_recipe},
+      {"circleci-2015", "cascading failure due to database overload",
+       "build-worker", build_circleci_app, circleci_recipe},
+      {"bbc-2014", "cascading failure due to database overload", "frontend",
+       build_bbc_app, bbc_recipe},
+      {"spotify-2013",
+       "cascading failure due to degradation of a core internal service",
+       "frontend", build_spotify_app, spotify_recipe},
+      {"twilio-2013",
+       "database failure caused billing service to repeatedly bill customers",
+       "billing", build_twilio_app, twilio_recipe},
+  };
+  return kCases;
+}
+
+std::vector<CheckResult> run_outage_case(const OutageCase& c, bool resilient,
+                                         uint64_t seed) {
+  sim::SimulationConfig cfg;
+  cfg.seed = seed;
+  Simulation sim(cfg);
+  topology::AppGraph graph = c.build(&sim, resilient);
+  TestSession session(&sim, graph);
+  c.recipe(&session);
+  return session.results();
+}
+
+}  // namespace gremlin::apps

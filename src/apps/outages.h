@@ -1,0 +1,52 @@
+// Table 1: recreations of five real-world outages as Gremlin recipes.
+//
+// Each case builds a synthetic application with the call structure the
+// postmortem describes, in two variants: `resilient=false` reproduces the
+// missing/faulty failure-handling logic that caused the outage (the recipe's
+// assertions FAIL, diagnosing the bug before it bites), `resilient=true`
+// applies the recommended patterns (the assertions PASS).
+//
+//   parsely-2015 / stackdriver-2013 — cascading failure through an
+//       overloaded message bus after the Cassandra backend crashed
+//   circleci-2015 — database performance degradation stalling workers
+//   bbc-2014 — database overload throttling dependent services that had
+//       no cached responses
+//   spotify-2013 — degradation of a core internal service starving calls
+//       to healthy services (shared client pool, no bulkheads)
+//   twilio-2013 — database failure plus unbounded billing retries causing
+//       repeated customer charges
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "control/recipe.h"
+#include "sim/simulation.h"
+#include "topology/graph.h"
+
+namespace gremlin::apps {
+
+struct OutageCase {
+  std::string id;       // e.g. "parsely-2015"
+  std::string summary;  // the postmortem finding being recreated
+  std::string entry;    // user-facing service the test load targets
+
+  // Builds the application into `sim`; returns the logical graph.
+  std::function<topology::AppGraph(sim::Simulation*, bool resilient)> build;
+
+  // Executes the Gremlin recipe (failures + load + assertions) against a
+  // session bound to the sim/graph from build(). Assertion outcomes are
+  // recorded in the session.
+  std::function<void(control::TestSession*)> recipe;
+};
+
+const std::vector<OutageCase>& table1_cases();
+
+// Convenience: build + run one case end-to-end on a fresh simulation;
+// returns the session's assertion outcomes.
+std::vector<control::CheckResult> run_outage_case(const OutageCase& c,
+                                                  bool resilient,
+                                                  uint64_t seed = 42);
+
+}  // namespace gremlin::apps

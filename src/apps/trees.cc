@@ -1,0 +1,21 @@
+#include "apps/trees.h"
+
+namespace gremlin::apps {
+
+topology::AppGraph build_tree_app(sim::Simulation* sim,
+                                  const TreeOptions& options) {
+  topology::AppGraph graph = topology::AppGraph::binary_tree(options.depth);
+  sim->add_services_from_graph(
+      graph, [&options](const std::string&) {
+        sim::ServiceConfig cfg;
+        cfg.instances = options.instances_per_service;
+        cfg.processing_time = options.processing_time;
+        cfg.default_policy = options.policy;
+        return cfg;
+      });
+  topology::AppGraph with_user = graph;
+  with_user.add_edge("user", "svc0");
+  return with_user;
+}
+
+}  // namespace gremlin::apps

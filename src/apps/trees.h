@@ -1,0 +1,26 @@
+// Binary-tree applications for the scaling benchmarks (Section 7.2).
+//
+// The paper packages a naive Python service with the Gremlin agent into
+// Docker containers arranged as complete binary trees of varying depth
+// (1, 3, 7, 15, 31 services) and measures orchestration + assertion time
+// (Figure 7). This builder reproduces those topologies in the simulator.
+#pragma once
+
+#include "sim/simulation.h"
+#include "topology/graph.h"
+
+namespace gremlin::apps {
+
+struct TreeOptions {
+  int depth = 3;                        // 2^depth - 1 services
+  int instances_per_service = 1;
+  Duration processing_time = msec(2);
+  resilience::CallPolicy policy;        // applied to every dependency call
+};
+
+// Builds the tree app; every internal node calls both children sequentially
+// (default handler). Returns the logical graph; svc0 is the entry point.
+topology::AppGraph build_tree_app(sim::Simulation* sim,
+                                  const TreeOptions& options = {});
+
+}  // namespace gremlin::apps

@@ -1,0 +1,63 @@
+#include "apps/wordpress.h"
+
+namespace gremlin::apps {
+
+using sim::RequestContext;
+using sim::ServiceConfig;
+using sim::SimResponse;
+
+topology::AppGraph build_wordpress_app(sim::Simulation* sim,
+                                       const WordPressOptions& options) {
+  sim->network().set_jitter(options.network_jitter);
+
+  // Leaf data stores.
+  ServiceConfig es;
+  es.name = "elasticsearch";
+  es.processing_time = options.elasticsearch_processing;
+  es.processing_jitter = options.processing_jitter;
+  sim->add_service(es);
+
+  ServiceConfig mysql;
+  mysql.name = "mysql";
+  mysql.processing_time = options.mysql_processing;
+  mysql.processing_jitter = options.processing_jitter;
+  sim->add_service(mysql);
+
+  // WordPress with the ElasticPress plugin: query Elasticsearch, fall back
+  // to MySQL search when the reply is an error or the connection fails.
+  ServiceConfig wp;
+  wp.name = "wordpress";
+  wp.processing_time = options.wordpress_processing;
+  wp.processing_jitter = options.processing_jitter;
+  resilience::CallPolicy es_policy;  // naive: ElasticPress as shipped
+  if (options.with_timeout) es_policy.timeout = options.timeout;
+  if (options.with_circuit_breaker) {
+    es_policy.circuit_breaker = options.breaker;
+  }
+  wp.policies["elasticsearch"] = es_policy;
+  wp.handler = [](std::shared_ptr<RequestContext> ctx) {
+    ctx->call("elasticsearch", [ctx](const SimResponse& resp) {
+      if (!resp.failed()) {
+        ctx->respond(200, "es-search-results");
+        return;
+      }
+      // Graceful degradation: default MySQL-powered search.
+      ctx->call("mysql", [ctx](const SimResponse& db) {
+        if (db.failed()) {
+          ctx->respond(500, "search-unavailable");
+        } else {
+          ctx->respond(200, "mysql-search-results");
+        }
+      });
+    });
+  };
+  sim->add_service(wp);
+
+  topology::AppGraph graph;
+  graph.add_edge("user", "wordpress");
+  graph.add_edge("wordpress", "elasticsearch");
+  graph.add_edge("wordpress", "mysql");
+  return graph;
+}
+
+}  // namespace gremlin::apps

@@ -1,0 +1,42 @@
+// The WordPress / ElasticPress case study (Section 7.1).
+//
+// Three unmodified services: WordPress (with the ElasticPress plugin),
+// Elasticsearch, and MySQL. ElasticPress routes search queries to
+// Elasticsearch and falls back to the default MySQL-powered search when
+// Elasticsearch is unreachable or returns an error — but implements *no
+// timeout* and *no circuit breaker*, the two bugs the paper demonstrates
+// in Figures 5 and 6.
+//
+// `WordPressOptions` can switch the buggy patterns on, producing the
+// counterfactual "fixed plugin" used by tests and ablation benches.
+#pragma once
+
+#include "sim/simulation.h"
+#include "topology/graph.h"
+
+namespace gremlin::apps {
+
+struct WordPressOptions {
+  // ElasticPress as shipped: no timeout, no breaker, but graceful fallback
+  // to MySQL on *observed* errors.
+  bool with_timeout = false;
+  Duration timeout = sec(1);
+  bool with_circuit_breaker = false;
+  resilience::CircuitBreakerConfig breaker{100, sec(30), 1};
+
+  Duration elasticsearch_processing = msec(20);
+  Duration mysql_processing = msec(30);
+  Duration wordpress_processing = msec(5);
+
+  // Natural variance so latency CDFs have realistic spread (all draws come
+  // from the simulation's seeded RNG — runs stay reproducible).
+  double processing_jitter = 0.3;  // ± fraction of processing time
+  double network_jitter = 0.2;     // ± fraction of link latency
+};
+
+// Builds wordpress, elasticsearch and mysql services in `sim` and returns
+// the logical application graph (user → wordpress → {elasticsearch, mysql}).
+topology::AppGraph build_wordpress_app(sim::Simulation* sim,
+                                       const WordPressOptions& options = {});
+
+}  // namespace gremlin::apps

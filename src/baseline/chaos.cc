@@ -1,0 +1,59 @@
+#include "baseline/chaos.h"
+
+namespace gremlin::baseline {
+
+ChaosMonkey::ChaosMonkey(sim::Simulation* sim, topology::AppGraph graph,
+                         ChaosOptions options)
+    : sim_(sim),
+      graph_(std::move(graph)),
+      options_(std::move(options)),
+      rng_(options_.seed),
+      orchestrator_(&sim->deployment()) {
+  if (options_.candidates.empty()) {
+    options_.candidates = graph_.services();
+  }
+}
+
+void ChaosMonkey::unleash(Duration horizon) {
+  const TimePoint end = sim_->now() + horizon;
+  TimePoint at = sim_->now();
+  for (;;) {
+    at += Duration(static_cast<int64_t>(rng_.exponential(
+        static_cast<double>(options_.mean_interval.count()))));
+    if (at >= end) break;
+    sim_->schedule_at(at, [this] { kill_random_service(); });
+  }
+}
+
+void ChaosMonkey::kill_random_service() {
+  const std::string victim = options_.candidates[static_cast<size_t>(
+      rng_.next_below(options_.candidates.size()))];
+  events_.push_back({sim_->now(), victim});
+
+  // Chaos is not flow-scoped: every request to the victim is affected.
+  std::vector<faults::FaultRule> rules;
+  std::vector<std::string> ids;
+  for (const auto& dependent : graph_.dependents(victim)) {
+    faults::FaultRule rule = faults::FaultRule::abort_rule(
+        dependent, victim, faults::kTcpReset, "*");
+    rule.id = "chaos-" + std::to_string(++rule_seq_) + "-" + dependent +
+              "->" + victim;
+    ids.push_back(rule.id);
+    rules.push_back(std::move(rule));
+  }
+  if (rules.empty()) return;
+  if (!orchestrator_.install(rules).ok()) return;
+
+  // Resurrect the victim after the outage.
+  sim_->schedule(options_.outage_duration, [this, victim, ids] {
+    for (const auto& agent : sim_->deployment().all_agents()) {
+      auto* sim_agent = dynamic_cast<sim::SimAgent*>(agent.get());
+      if (sim_agent == nullptr) continue;
+      for (const auto& id : ids) {
+        (void)sim_agent->engine().remove_rule(id);
+      }
+    }
+  });
+}
+
+}  // namespace gremlin::baseline

@@ -1,0 +1,57 @@
+// ChaosMonkey: a randomized fault-injection baseline (Section 8.1).
+//
+// Netflix's Chaos Monkey kills instances at random: faults are not
+// constrained to a subset of requests or services, and there is no
+// automatic validation of the application's reaction. This baseline
+// reproduces that testing style on the simulator so benches can compare it
+// against Gremlin's systematic recipes: how much injected chaos does it
+// take to *happen upon* a failure-handling bug that a targeted recipe
+// exposes in one run?
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "control/orchestrator.h"
+#include "sim/simulation.h"
+#include "topology/graph.h"
+
+namespace gremlin::baseline {
+
+struct ChaosOptions {
+  Duration mean_interval = sec(5);    // mean time between kills (Poisson)
+  Duration outage_duration = sec(2);  // how long a killed service stays dead
+  uint64_t seed = 1;
+  std::vector<std::string> candidates;  // services eligible to be killed
+};
+
+struct ChaosEvent {
+  TimePoint at{};
+  std::string service;
+};
+
+class ChaosMonkey {
+ public:
+  ChaosMonkey(sim::Simulation* sim, topology::AppGraph graph,
+              ChaosOptions options);
+
+  // Schedules random kills over [now, now + horizon). Each kill installs
+  // crash rules (TCP reset, pattern "*" — chaos is not flow-scoped) on all
+  // dependents of the victim and removes them after outage_duration.
+  void unleash(Duration horizon);
+
+  const std::vector<ChaosEvent>& events() const { return events_; }
+
+ private:
+  void kill_random_service();
+
+  sim::Simulation* sim_;
+  topology::AppGraph graph_;
+  ChaosOptions options_;
+  Rng rng_;
+  control::FailureOrchestrator orchestrator_;
+  std::vector<ChaosEvent> events_;
+  uint64_t rule_seq_ = 0;
+};
+
+}  // namespace gremlin::baseline

@@ -1,0 +1,72 @@
+#include "common/duration.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+namespace gremlin {
+
+Result<Duration> parse_duration(std::string_view text) {
+  if (text.empty()) {
+    return Error::parse("empty duration");
+  }
+  size_t i = 0;
+  bool seen_digit = false;
+  bool seen_dot = false;
+  while (i < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[i])) ||
+          (text[i] == '.' && !seen_dot))) {
+    if (text[i] == '.') {
+      seen_dot = true;
+    } else {
+      seen_digit = true;
+    }
+    ++i;
+  }
+  if (!seen_digit) {
+    return Error::parse("duration must start with a number: '" +
+                        std::string(text) + "'");
+  }
+  const std::string number(text.substr(0, i));
+  const std::string_view unit = text.substr(i);
+  const double magnitude = std::strtod(number.c_str(), nullptr);
+
+  double scale_us = 0;
+  if (unit == "us") {
+    scale_us = 1;
+  } else if (unit == "ms") {
+    scale_us = 1e3;
+  } else if (unit == "s" || unit == "sec") {
+    scale_us = 1e6;
+  } else if (unit == "m" || unit == "min") {
+    scale_us = 60e6;
+  } else if (unit == "h" || unit == "hour" || unit == "hours") {
+    scale_us = 3600e6;
+  } else if (unit.empty()) {
+    return Error::parse("duration missing unit: '" + std::string(text) + "'");
+  } else {
+    return Error::parse("unknown duration unit '" + std::string(unit) + "'");
+  }
+  return Duration(static_cast<int64_t>(std::llround(magnitude * scale_us)));
+}
+
+std::string format_duration(Duration d) {
+  const int64_t us = d.count();
+  auto divides = [us](int64_t unit) { return us % unit == 0; };
+  if (us == 0) return "0s";
+  if (divides(3600LL * 1000 * 1000)) {
+    return std::to_string(us / (3600LL * 1000 * 1000)) + "h";
+  }
+  if (divides(60LL * 1000 * 1000)) {
+    return std::to_string(us / (60LL * 1000 * 1000)) + "min";
+  }
+  if (divides(1000LL * 1000)) {
+    return std::to_string(us / (1000LL * 1000)) + "s";
+  }
+  if (divides(1000)) {
+    return std::to_string(us / 1000) + "ms";
+  }
+  return std::to_string(us) + "us";
+}
+
+}  // namespace gremlin

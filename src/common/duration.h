@@ -1,0 +1,45 @@
+// Duration: microsecond-resolution time spans with the paper's recipe
+// string syntax ("100ms", "1s", "1min", "1h").
+//
+// The simulator's virtual clock and all fault-rule intervals are expressed
+// in Duration; TimePoint is a Duration offset from simulation start (or from
+// the UNIX epoch for the real proxy path).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace gremlin {
+
+using Duration = std::chrono::microseconds;
+using TimePoint = Duration;  // offset from an origin; see header comment
+
+constexpr Duration kDurationZero = Duration::zero();
+
+constexpr Duration usec(int64_t n) { return Duration(n); }
+constexpr Duration msec(int64_t n) { return Duration(n * 1000); }
+constexpr Duration sec(int64_t n) { return Duration(n * 1000 * 1000); }
+constexpr Duration minutes(int64_t n) { return sec(n * 60); }
+constexpr Duration hours(int64_t n) { return sec(n * 3600); }
+
+inline double to_seconds(Duration d) {
+  return static_cast<double>(d.count()) / 1e6;
+}
+inline double to_millis(Duration d) {
+  return static_cast<double>(d.count()) / 1e3;
+}
+
+// Parses a recipe-style duration: decimal number + unit suffix.
+// Supported units: us, ms, s, sec, m, min, h, hour(s).
+// Examples: "100ms", "1s", "1.5s", "1min", "1h".
+Result<Duration> parse_duration(std::string_view text);
+
+// Formats using the largest unit that represents the value exactly enough:
+// "1h", "1min", "3s", "100ms", "250us".
+std::string format_duration(Duration d);
+
+}  // namespace gremlin

@@ -1,0 +1,95 @@
+#include "common/glob.h"
+
+namespace gremlin {
+namespace {
+
+// Matches a character class starting at pattern[pi] (pattern[pi-1] == '[').
+// On success sets `next` to the index one past the closing ']'.
+bool match_class(std::string_view pattern, size_t pi, char c, size_t* next) {
+  bool negate = false;
+  size_t i = pi;
+  if (i < pattern.size() && (pattern[i] == '!' || pattern[i] == '^')) {
+    negate = true;
+    ++i;
+  }
+  bool matched = false;
+  bool first = true;
+  while (i < pattern.size() && (pattern[i] != ']' || first)) {
+    first = false;
+    char lo = pattern[i];
+    if (lo == '\\' && i + 1 < pattern.size()) {
+      lo = pattern[++i];
+    }
+    char hi = lo;
+    if (i + 2 < pattern.size() && pattern[i + 1] == '-' &&
+        pattern[i + 2] != ']') {
+      hi = pattern[i + 2];
+      if (hi == '\\' && i + 3 < pattern.size()) {
+        hi = pattern[i + 3];
+        i += 1;
+      }
+      i += 2;
+    }
+    if (lo <= c && c <= hi) matched = true;
+    ++i;
+  }
+  if (i >= pattern.size()) return false;  // unterminated class: no match
+  *next = i + 1;                          // skip ']'
+  return matched != negate;
+}
+
+}  // namespace
+
+bool glob_match(std::string_view pattern, std::string_view text) {
+  size_t pi = 0, ti = 0;
+  size_t star_pi = std::string_view::npos;  // pattern index after last '*'
+  size_t star_ti = 0;                       // text index at last '*' match
+
+  while (ti < text.size()) {
+    bool advanced = false;
+    if (pi < pattern.size()) {
+      const char pc = pattern[pi];
+      if (pc == '*') {
+        star_pi = ++pi;
+        star_ti = ti;
+        continue;
+      }
+      if (pc == '?') {
+        ++pi;
+        ++ti;
+        advanced = true;
+      } else if (pc == '[') {
+        size_t next = 0;
+        if (match_class(pattern, pi + 1, text[ti], &next)) {
+          pi = next;
+          ++ti;
+          advanced = true;
+        }
+      } else if (pc == '\\' && pi + 1 < pattern.size()) {
+        if (pattern[pi + 1] == text[ti]) {
+          pi += 2;
+          ++ti;
+          advanced = true;
+        }
+      } else if (pc == text[ti]) {
+        ++pi;
+        ++ti;
+        advanced = true;
+      }
+    }
+    if (!advanced) {
+      if (star_pi == std::string_view::npos) return false;
+      // Backtrack: let the last '*' absorb one more character.
+      pi = star_pi;
+      ti = ++star_ti;
+    }
+  }
+  while (pi < pattern.size() && pattern[pi] == '*') ++pi;
+  return pi == pattern.size();
+}
+
+bool Glob::matches(std::string_view text) const {
+  return glob_match(pattern_, text);
+}
+
+}  // namespace gremlin

@@ -1,0 +1,37 @@
+// Glob: the pattern language used by fault rules to select request flows.
+//
+// The paper scopes fault injection to synthetic traffic by matching request
+// IDs against patterns such as "test-*" (Section 5). We implement a small
+// glob dialect:
+//   *      matches any run of characters (including empty)
+//   ?      matches exactly one character
+//   [a-z]  character class; leading '!' negates
+//   \x     escapes the next character
+// Matching is linear-time (iterative backtracking on the last '*').
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace gremlin {
+
+class Glob {
+ public:
+  Glob() : pattern_("*") {}
+  explicit Glob(std::string pattern) : pattern_(std::move(pattern)) {}
+
+  const std::string& pattern() const { return pattern_; }
+
+  bool matches(std::string_view text) const;
+
+  // True when the pattern matches every string ("*" or empty-equivalent).
+  bool match_all() const { return pattern_ == "*"; }
+
+ private:
+  std::string pattern_;
+};
+
+// One-shot helper.
+bool glob_match(std::string_view pattern, std::string_view text);
+
+}  // namespace gremlin

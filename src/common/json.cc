@@ -1,0 +1,331 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace gremlin {
+namespace {
+
+const Json kNullJson;
+
+void escape_string(std::string_view s, std::string* out) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\n': out->append("\\n"); break;
+      case '\r': out->append("\\r"); break;
+      case '\t': out->append("\\t"); break;
+      case '\b': out->append("\\b"); break;
+      case '\f': out->append("\\f"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Json> parse() {
+    auto v = parse_value();
+    if (!v.ok()) return v;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      return fail("trailing characters after JSON value");
+    }
+    return v;
+  }
+
+ private:
+  Error fail(const std::string& msg) const {
+    return Error::parse("JSON: " + msg + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<Json> parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        auto s = parse_string();
+        if (!s.ok()) return s.error();
+        return Json(std::move(s.value()));
+      }
+      case 't':
+        if (text_.substr(pos_, 4) == "true") {
+          pos_ += 4;
+          return Json(true);
+        }
+        return fail("invalid literal");
+      case 'f':
+        if (text_.substr(pos_, 5) == "false") {
+          pos_ += 5;
+          return Json(false);
+        }
+        return fail("invalid literal");
+      case 'n':
+        if (text_.substr(pos_, 4) == "null") {
+          pos_ += 4;
+          return Json(nullptr);
+        }
+        return fail("invalid literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  Result<Json> parse_number() {
+    const size_t start = pos_;
+    if (consume('-')) {
+    }
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        // '+'/'-' only valid after e/E, but strtod validates for us.
+        is_double = is_double || c == '.' || c == 'e' || c == 'E';
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      return fail("invalid number");
+    }
+    const std::string_view tok = text_.substr(start, pos_ - start);
+    if (!is_double) {
+      int64_t out = 0;
+      auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), out);
+      if (ec == std::errc() && p == tok.data() + tok.size()) return Json(out);
+    }
+    const std::string buf(tok);
+    char* end = nullptr;
+    const double d = std::strtod(buf.c_str(), &end);
+    if (end != buf.c_str() + buf.size()) return fail("invalid number");
+    return Json(d);
+  }
+
+  Result<std::string> parse_string() {
+    if (!consume('"')) return fail("expected '\"'");
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return fail("unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return fail("bad \\u escape");
+            }
+            // UTF-8 encode the BMP code point (surrogate pairs not combined;
+            // rules/records never need them).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return fail("unknown escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  Result<Json> parse_array() {
+    consume('[');
+    Json::Array arr;
+    skip_ws();
+    if (consume(']')) return Json(std::move(arr));
+    for (;;) {
+      auto v = parse_value();
+      if (!v.ok()) return v;
+      arr.push_back(std::move(v.value()));
+      skip_ws();
+      if (consume(']')) return Json(std::move(arr));
+      if (!consume(',')) return fail("expected ',' or ']'");
+    }
+  }
+
+  Result<Json> parse_object() {
+    consume('{');
+    Json::Object obj;
+    skip_ws();
+    if (consume('}')) return Json(std::move(obj));
+    for (;;) {
+      skip_ws();
+      auto key = parse_string();
+      if (!key.ok()) return key.error();
+      skip_ws();
+      if (!consume(':')) return fail("expected ':'");
+      auto v = parse_value();
+      if (!v.ok()) return v;
+      obj[std::move(key.value())] = std::move(v.value());
+      skip_ws();
+      if (consume('}')) return Json(std::move(obj));
+      if (!consume(',')) return fail("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+const Json& Json::operator[](std::string_view key) const {
+  if (!is_object()) return kNullJson;
+  const auto& obj = std::get<Object>(v_);
+  const auto it = obj.find(std::string(key));
+  return it == obj.end() ? kNullJson : it->second;
+}
+
+Json& Json::operator[](std::string_view key) {
+  if (is_null()) v_ = Object{};
+  return std::get<Object>(v_)[std::string(key)];
+}
+
+bool Json::contains(std::string_view key) const {
+  return is_object() &&
+         std::get<Object>(v_).count(std::string(key)) > 0;
+}
+
+void Json::push_back(Json v) {
+  if (is_null()) v_ = Array{};
+  std::get<Array>(v_).push_back(std::move(v));
+}
+
+size_t Json::size() const {
+  if (is_array()) return std::get<Array>(v_).size();
+  if (is_object()) return std::get<Object>(v_).size();
+  return 0;
+}
+
+void Json::dump_to(std::string* out, int indent, int depth) const {
+  const std::string pad(indent > 0 ? static_cast<size_t>(indent * (depth + 1)) : 0, ' ');
+  const std::string close_pad(indent > 0 ? static_cast<size_t>(indent * depth) : 0, ' ');
+  const char* nl = indent > 0 ? "\n" : "";
+  if (is_null()) {
+    out->append("null");
+  } else if (is_bool()) {
+    out->append(std::get<bool>(v_) ? "true" : "false");
+  } else if (is_int()) {
+    out->append(std::to_string(std::get<int64_t>(v_)));
+  } else if (is_double()) {
+    const double d = std::get<double>(v_);
+    if (std::isfinite(d)) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", d);
+      out->append(buf);
+    } else {
+      out->append("null");  // JSON has no Inf/NaN
+    }
+  } else if (is_string()) {
+    escape_string(std::get<std::string>(v_), out);
+  } else if (is_array()) {
+    const auto& arr = std::get<Array>(v_);
+    if (arr.empty()) {
+      out->append("[]");
+      return;
+    }
+    out->push_back('[');
+    out->append(nl);
+    for (size_t i = 0; i < arr.size(); ++i) {
+      out->append(pad);
+      arr[i].dump_to(out, indent, depth + 1);
+      if (i + 1 < arr.size()) out->push_back(',');
+      out->append(nl);
+    }
+    out->append(close_pad);
+    out->push_back(']');
+  } else {
+    const auto& obj = std::get<Object>(v_);
+    if (obj.empty()) {
+      out->append("{}");
+      return;
+    }
+    out->push_back('{');
+    out->append(nl);
+    size_t i = 0;
+    for (const auto& [k, v] : obj) {
+      out->append(pad);
+      escape_string(k, out);
+      out->push_back(':');
+      if (indent > 0) out->push_back(' ');
+      v.dump_to(out, indent, depth + 1);
+      if (++i < obj.size()) out->push_back(',');
+      out->append(nl);
+    }
+    out->append(close_pad);
+    out->push_back('}');
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(&out, indent, 0);
+  return out;
+}
+
+Result<Json> Json::parse(std::string_view text) {
+  return Parser(text).parse();
+}
+
+}  // namespace gremlin

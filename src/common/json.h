@@ -1,0 +1,102 @@
+// Json: a small self-contained JSON document model, parser and serializer.
+//
+// Used for the real proxy's REST control API (rule upload, record download)
+// and for exporting benchmark series. Objects keep keys in sorted order
+// (std::map) so serialized output is deterministic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+
+namespace gremlin {
+
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  Json() : v_(nullptr) {}
+  Json(std::nullptr_t) : v_(nullptr) {}          // NOLINT
+  Json(bool b) : v_(b) {}                        // NOLINT
+  Json(double d) : v_(d) {}                      // NOLINT
+  Json(int i) : v_(static_cast<int64_t>(i)) {}   // NOLINT
+  Json(int64_t i) : v_(i) {}                     // NOLINT
+  Json(uint64_t i) : v_(static_cast<int64_t>(i)) {}  // NOLINT
+  Json(const char* s) : v_(std::string(s)) {}    // NOLINT
+  Json(std::string s) : v_(std::move(s)) {}      // NOLINT
+  Json(Array a) : v_(std::move(a)) {}            // NOLINT
+  Json(Object o) : v_(std::move(o)) {}           // NOLINT
+
+  static Json array() { return Json(Array{}); }
+  static Json object() { return Json(Object{}); }
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_array() const { return std::holds_alternative<Array>(v_); }
+  bool is_object() const { return std::holds_alternative<Object>(v_); }
+
+  bool as_bool(bool fallback = false) const {
+    return is_bool() ? std::get<bool>(v_) : fallback;
+  }
+  int64_t as_int(int64_t fallback = 0) const {
+    if (is_int()) return std::get<int64_t>(v_);
+    if (is_double()) return static_cast<int64_t>(std::get<double>(v_));
+    return fallback;
+  }
+  double as_double(double fallback = 0) const {
+    if (is_double()) return std::get<double>(v_);
+    if (is_int()) return static_cast<double>(std::get<int64_t>(v_));
+    return fallback;
+  }
+  const std::string& as_string() const {
+    static const std::string kEmpty;
+    return is_string() ? std::get<std::string>(v_) : kEmpty;
+  }
+
+  const Array& as_array() const {
+    static const Array kEmpty;
+    return is_array() ? std::get<Array>(v_) : kEmpty;
+  }
+  Array& mutable_array() { return std::get<Array>(v_); }
+
+  const Object& as_object() const {
+    static const Object kEmpty;
+    return is_object() ? std::get<Object>(v_) : kEmpty;
+  }
+  Object& mutable_object() { return std::get<Object>(v_); }
+
+  // Object access; returns a shared null Json for missing keys / non-objects.
+  const Json& operator[](std::string_view key) const;
+  // Mutating object access; converts null to object on first use.
+  Json& operator[](std::string_view key);
+  bool contains(std::string_view key) const;
+
+  void push_back(Json v);
+  size_t size() const;
+
+  std::string dump(int indent = 0) const;
+
+  static Result<Json> parse(std::string_view text);
+
+  bool operator==(const Json& other) const { return v_ == other.v_; }
+
+ private:
+  void dump_to(std::string* out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, int64_t, double, std::string, Array,
+               Object>
+      v_;
+};
+
+}  // namespace gremlin

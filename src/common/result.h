@@ -1,0 +1,122 @@
+// Result<T>: value-or-error return type used at module boundaries.
+//
+// The library avoids exceptions on hot paths (rule evaluation, simulation
+// stepping); fallible boundary operations (parsing, network I/O, recipe
+// translation) return Result<T> instead.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace gremlin {
+
+// Error: a simple error code + human-readable message.
+struct Error {
+  enum class Code {
+    kInvalidArgument,
+    kNotFound,
+    kParse,
+    kIo,
+    kUnavailable,
+    kFailedPrecondition,
+    kInternal,
+  };
+
+  Code code = Code::kInternal;
+  std::string message;
+
+  static Error invalid_argument(std::string msg) {
+    return {Code::kInvalidArgument, std::move(msg)};
+  }
+  static Error not_found(std::string msg) {
+    return {Code::kNotFound, std::move(msg)};
+  }
+  static Error parse(std::string msg) { return {Code::kParse, std::move(msg)}; }
+  static Error io(std::string msg) { return {Code::kIo, std::move(msg)}; }
+  static Error unavailable(std::string msg) {
+    return {Code::kUnavailable, std::move(msg)};
+  }
+  static Error failed_precondition(std::string msg) {
+    return {Code::kFailedPrecondition, std::move(msg)};
+  }
+  static Error internal(std::string msg) {
+    return {Code::kInternal, std::move(msg)};
+  }
+};
+
+inline const char* to_string(Error::Code code) {
+  switch (code) {
+    case Error::Code::kInvalidArgument: return "invalid_argument";
+    case Error::Code::kNotFound: return "not_found";
+    case Error::Code::kParse: return "parse_error";
+    case Error::Code::kIo: return "io_error";
+    case Error::Code::kUnavailable: return "unavailable";
+    case Error::Code::kFailedPrecondition: return "failed_precondition";
+    case Error::Code::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Error err) : v_(std::move(err)) {}  // NOLINT: implicit by design
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(v_));
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(v_);
+  }
+
+  // Returns the contained value or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(v_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> v_;
+};
+
+// Result<void> analogue.
+class [[nodiscard]] VoidResult {
+ public:
+  VoidResult() = default;
+  VoidResult(Error err) : err_(std::move(err)), has_error_(true) {}  // NOLINT
+
+  static VoidResult success() { return VoidResult(); }
+
+  bool ok() const { return !has_error_; }
+  explicit operator bool() const { return ok(); }
+  const Error& error() const {
+    assert(has_error_);
+    return err_;
+  }
+
+ private:
+  Error err_;
+  bool has_error_ = false;
+};
+
+}  // namespace gremlin

@@ -1,0 +1,47 @@
+// Rng: deterministic pseudo-random stream (SplitMix64 core).
+//
+// Every stochastic decision in Gremlin (probabilistic fault rules, workload
+// jitter, the chaos baseline) draws from an explicitly seeded Rng so that
+// experiments are reproducible bit-for-bit. Never use std::rand or
+// std::random_device inside the library.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace gremlin {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  // Derives an independent stream for a named component, so that e.g. each
+  // sidecar agent consumes randomness without perturbing its peers.
+  Rng fork(std::string_view label) const;
+
+  uint64_t next_u64();
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t next_below(uint64_t bound);
+
+  // Uniform double in [0, 1).
+  double next_double();
+
+  // True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t uniform(int64_t lo, int64_t hi);
+
+  // Exponential with the given mean (> 0), in the same units as mean.
+  double exponential(double mean);
+
+ private:
+  uint64_t state_;
+};
+
+// Stateless 64-bit string hash (FNV-1a), used for stream derivation and
+// log-store sharding.
+uint64_t hash64(std::string_view s);
+
+}  // namespace gremlin

@@ -1,0 +1,31 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gremlin {
+
+std::string to_lower(std::string_view s);
+std::string_view trim(std::string_view s);
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+bool iequals(std::string_view a, std::string_view b);
+
+// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> split(std::string_view s, char delim);
+
+// Joins with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Replaces the first occurrence of `needle` with `replacement`; returns
+// whether a replacement happened.
+bool replace_first(std::string* s, std::string_view needle,
+                   std::string_view replacement);
+
+// Replaces every occurrence of `needle`; returns the number of replacements.
+int replace_all(std::string* s, std::string_view needle,
+                std::string_view replacement);
+
+}  // namespace gremlin

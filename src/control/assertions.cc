@@ -1,0 +1,165 @@
+#include "control/assertions.h"
+
+#include <algorithm>
+
+namespace gremlin::control {
+
+using logstore::FaultKind;
+using logstore::LogRecord;
+using logstore::MessageKind;
+
+bool synthesized_by_gremlin(const LogRecord& r) {
+  // An abort rule on the request side means no message reached the callee;
+  // the "reply" the caller saw was fabricated by the agent.
+  return r.fault == FaultKind::kAbort;
+}
+
+size_t num_requests(const RecordList& records, std::optional<Duration> tdelta,
+                    bool with_rule) {
+  size_t count = 0;
+  std::optional<TimePoint> first_time;
+  for (const auto& r : records) {
+    if (r.kind != MessageKind::kRequest) continue;
+    if (!with_rule && r.fault != FaultKind::kNone) continue;
+    if (!first_time) first_time = r.timestamp;
+    if (tdelta && r.timestamp - *first_time > *tdelta) break;
+    ++count;
+  }
+  return count;
+}
+
+std::vector<Duration> reply_latency(const RecordList& records,
+                                    bool with_rule) {
+  std::vector<Duration> out;
+  for (const auto& r : records) {
+    if (r.kind != MessageKind::kResponse) continue;
+    if (with_rule) {
+      out.push_back(r.latency);
+    } else {
+      if (synthesized_by_gremlin(r)) continue;
+      const Duration adjusted = r.latency - r.injected_delay;
+      out.push_back(adjusted < kDurationZero ? kDurationZero : adjusted);
+    }
+  }
+  return out;
+}
+
+double request_rate(const RecordList& records) {
+  std::optional<TimePoint> first, last;
+  size_t count = 0;
+  for (const auto& r : records) {
+    if (r.kind != MessageKind::kRequest) continue;
+    if (!first) first = r.timestamp;
+    last = r.timestamp;
+    ++count;
+  }
+  if (count < 2 || !first || !last || *last <= *first) return 0.0;
+  return static_cast<double>(count - 1) / to_seconds(*last - *first);
+}
+
+bool at_most_requests(const RecordList& records, Duration tdelta,
+                      bool with_rule, size_t num) {
+  return num_requests(records, tdelta, with_rule) <= num;
+}
+
+bool check_status(const RecordList& records, int status, size_t num_match,
+                  bool with_rule) {
+  size_t count = 0;
+  for (const auto& r : records) {
+    if (r.kind != MessageKind::kResponse) continue;
+    if (!with_rule && synthesized_by_gremlin(r)) continue;
+    if (r.status == status) {
+      if (++count >= num_match) return true;
+    }
+  }
+  return num_match == 0;
+}
+
+bool Combine::evaluate(const RecordList& records) const {
+  size_t offset = 0;
+  TimePoint anchor = records.empty() ? TimePoint{} : records.front().timestamp;
+  for (const auto& step : steps_) {
+    RecordList remaining(records.begin() + static_cast<ptrdiff_t>(offset),
+                         records.end());
+    const auto [ok, consumed] = step(remaining, anchor);
+    if (!ok) return false;
+    if (consumed > 0) {
+      const size_t last = std::min(offset + consumed, records.size());
+      if (last > 0) anchor = records[last - 1].timestamp;
+      offset = last;
+    }
+  }
+  return true;
+}
+
+CombineStep Combine::check_status(int status, size_t num_match,
+                                  bool with_rule) {
+  return [status, num_match, with_rule](const RecordList& remaining,
+                                        TimePoint) -> std::pair<bool, size_t> {
+    if (num_match == 0) return {true, 0};
+    size_t count = 0;
+    for (size_t i = 0; i < remaining.size(); ++i) {
+      const auto& r = remaining[i];
+      if (r.kind != MessageKind::kResponse) continue;
+      if (!with_rule && synthesized_by_gremlin(r)) continue;
+      if (r.status == status && ++count >= num_match) {
+        return {true, i + 1};
+      }
+    }
+    return {false, 0};
+  };
+}
+
+CombineStep Combine::at_most_requests(Duration tdelta, bool with_rule,
+                                      size_t max) {
+  return [tdelta, with_rule, max](const RecordList& remaining,
+                                  TimePoint anchor) -> std::pair<bool, size_t> {
+    size_t count = 0;
+    size_t consumed = 0;
+    for (size_t i = 0; i < remaining.size(); ++i) {
+      const auto& r = remaining[i];
+      if (r.timestamp - anchor > tdelta) break;
+      consumed = i + 1;
+      if (r.kind != MessageKind::kRequest) continue;
+      if (!with_rule && r.fault != FaultKind::kNone) continue;
+      ++count;
+    }
+    return {count <= max, consumed};
+  };
+}
+
+CombineStep Combine::no_requests_for(Duration tdelta) {
+  // Exclusive upper bound: a request at exactly anchor+tdelta is legal, so
+  // asserting tdelta equal to the app's circuit-breaker open interval works.
+  return [tdelta](const RecordList& remaining,
+                  TimePoint anchor) -> std::pair<bool, size_t> {
+    size_t consumed = 0;
+    for (size_t i = 0; i < remaining.size(); ++i) {
+      const auto& r = remaining[i];
+      if (r.timestamp - anchor >= tdelta) break;
+      consumed = i + 1;
+      if (r.kind == MessageKind::kRequest) return {false, 0};
+    }
+    return {true, consumed};
+  };
+}
+
+CombineStep Combine::at_least_requests(Duration tdelta, bool with_rule,
+                                       size_t min) {
+  return [tdelta, with_rule, min](const RecordList& remaining,
+                                  TimePoint anchor) -> std::pair<bool, size_t> {
+    size_t count = 0;
+    size_t consumed = 0;
+    for (size_t i = 0; i < remaining.size(); ++i) {
+      const auto& r = remaining[i];
+      if (r.timestamp - anchor > tdelta) break;
+      consumed = i + 1;
+      if (r.kind != MessageKind::kRequest) continue;
+      if (!with_rule && r.fault != FaultKind::kNone) continue;
+      ++count;
+    }
+    return {count >= min, consumed};
+  };
+}
+
+}  // namespace gremlin::control

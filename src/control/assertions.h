@@ -1,0 +1,104 @@
+// Base assertions and the Combine operator (Section 4.2, Table 3).
+//
+// Queries return filtered, time-sorted record lists (RecordList). Base
+// assertions compute booleans over such lists and can be chained with
+// Combine, a state machine in which each satisfied assertion *consumes* the
+// prefix of records that triggered it before handing the remainder to the
+// next assertion.
+//
+// The `with_rule` parameter follows Section 4.2: with_rule=true evaluates
+// observations as the *caller* experienced them, including Gremlin's own
+// interference (injected delays count toward latencies; agent-synthesized
+// abort responses count as real replies). with_rule=false recovers the
+// untampered behaviour: injected delays are subtracted and records created
+// purely by Gremlin actions are excluded.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/duration.h"
+#include "logstore/store.h"
+
+namespace gremlin::control {
+
+using logstore::RecordList;
+
+// True when the record only exists because Gremlin synthesized it (an abort
+// response never actually sent by the callee).
+bool synthesized_by_gremlin(const logstore::LogRecord& r);
+
+// --- queries / statistics -------------------------------------------------
+
+// Number of request records, optionally limited to `tdelta` from the first
+// record in the list.
+size_t num_requests(const RecordList& records,
+                    std::optional<Duration> tdelta = std::nullopt,
+                    bool with_rule = true);
+
+// Per-reply latencies. with_rule=false subtracts the injected delay and
+// drops synthesized replies.
+std::vector<Duration> reply_latency(const RecordList& records,
+                                    bool with_rule = true);
+
+// Request rate in requests/second over the list's time span (0 when fewer
+// than two requests).
+double request_rate(const RecordList& records);
+
+// --- base assertions --------------------------------------------------------
+
+// At most `num` requests within `tdelta` of the list's first record.
+bool at_most_requests(const RecordList& records, Duration tdelta,
+                      bool with_rule, size_t num);
+
+// At least `num_match` replies carry `status`. status 0 matches
+// connection-level failures.
+bool check_status(const RecordList& records, int status, size_t num_match,
+                  bool with_rule = true);
+
+// --- Combine ---------------------------------------------------------------
+
+// One step of a Combine chain. Receives the records not yet consumed and the
+// anchor time (timestamp of the previous step's last consumed record).
+// Returns {satisfied, records consumed}.
+using CombineStep = std::function<std::pair<bool, size_t>(
+    const RecordList& remaining, TimePoint anchor)>;
+
+class Combine {
+ public:
+  Combine& then(CombineStep step) {
+    steps_.push_back(std::move(step));
+    return *this;
+  }
+
+  // Evaluates the chain: every step must be satisfied, each consuming its
+  // trigger prefix.
+  bool evaluate(const RecordList& records) const;
+
+  // Step factories mirroring the paper's usage.
+
+  // Satisfied once `num_match` replies with `status` are seen; consumes
+  // everything up to and including the num_match'th such reply.
+  static CombineStep check_status(int status, size_t num_match,
+                                  bool with_rule = true);
+
+  // Counts *request* records with timestamps in (anchor, anchor+tdelta];
+  // satisfied when the count is <= max. Consumes the counted records.
+  static CombineStep at_most_requests(Duration tdelta, bool with_rule,
+                                      size_t max);
+
+  // Satisfied when *no* request record falls in (anchor, anchor+tdelta].
+  static CombineStep no_requests_for(Duration tdelta);
+
+  // Satisfied when at least `min` requests fall in (anchor, anchor+tdelta].
+  static CombineStep at_least_requests(Duration tdelta, bool with_rule,
+                                       size_t min);
+
+ private:
+  std::vector<CombineStep> steps_;
+};
+
+}  // namespace gremlin::control

@@ -1,0 +1,396 @@
+#include "control/checker.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "trace/trace.h"
+
+namespace gremlin::control {
+
+using logstore::FaultKind;
+using logstore::LogRecord;
+using logstore::MessageKind;
+
+namespace {
+
+std::string fmt_edge(const std::string& src, const std::string& dst) {
+  return src + " -> " + dst;
+}
+
+}  // namespace
+
+RecordList AssertionChecker::get_requests(const std::string& src,
+                                          const std::string& dst,
+                                          const std::string& id_pattern) const {
+  return store_->get_requests(src, dst, id_pattern);
+}
+
+RecordList AssertionChecker::get_replies(const std::string& src,
+                                         const std::string& dst,
+                                         const std::string& id_pattern) const {
+  return store_->get_replies(src, dst, id_pattern);
+}
+
+RecordList AssertionChecker::get_exchanges(
+    const std::string& src, const std::string& dst,
+    const std::string& id_pattern) const {
+  logstore::Query q;
+  q.src = src;
+  q.dst = dst;
+  q.id_pattern = id_pattern;
+  q.any_kind = true;
+  return store_->query(q);
+}
+
+CheckResult AssertionChecker::has_timeouts(const std::string& service,
+                                           Duration max_latency,
+                                           const std::string& id_pattern) const {
+  CheckResult result;
+  result.name = "HasTimeouts(" + service + ", " +
+                format_duration(max_latency) + ")";
+  logstore::Query q;
+  q.dst = service;
+  q.any_kind = true;
+  q.id_pattern = id_pattern;
+  const RecordList records = store_->query(q);
+  if (records.empty()) {
+    result.passed = false;
+    result.detail = "no traffic into " + service +
+                    " observed; cannot verify the pattern";
+    return result;
+  }
+
+  // Pair requests with replies FIFO per calling edge; a request that stays
+  // unanswered for longer than the bound (within the observation window) is
+  // the worst timeout violation of all — the caller is hung.
+  std::map<std::string, std::deque<TimePoint>> pending;  // per src
+  const TimePoint observation_end = records.back().timestamp;
+  Duration worst = kDurationZero;
+  size_t violations = 0;
+  size_t replies = 0;
+  for (const auto& r : records) {
+    if (r.kind == MessageKind::kRequest) {
+      pending[r.src].push_back(r.timestamp);
+      continue;
+    }
+    ++replies;
+    auto& queue = pending[r.src];
+    if (!queue.empty()) queue.pop_front();
+    // Discount Gremlin's own interference on this edge.
+    const Duration adjusted =
+        r.latency > r.injected_delay ? r.latency - r.injected_delay
+                                     : kDurationZero;
+    worst = std::max(worst, adjusted);
+    if (adjusted > max_latency) ++violations;
+  }
+  size_t unanswered = 0;
+  for (const auto& [src, queue] : pending) {
+    for (const TimePoint sent : queue) {
+      if (observation_end - sent > max_latency) {
+        ++unanswered;
+        worst = std::max(worst, observation_end - sent);
+      }
+    }
+  }
+  if (replies == 0 && unanswered == 0) {
+    result.passed = false;
+    result.detail = "no replies from " + service +
+                    " observed; cannot verify the pattern";
+    return result;
+  }
+  result.passed = violations == 0 && unanswered == 0;
+  result.detail = std::to_string(replies) + " replies, worst " +
+                  format_duration(worst) + ", " + std::to_string(violations) +
+                  " over the " + format_duration(max_latency) + " bound, " +
+                  std::to_string(unanswered) + " requests never answered";
+  return result;
+}
+
+CheckResult AssertionChecker::has_bounded_retries(
+    const std::string& src, const std::string& dst, int max_tries,
+    const std::string& id_pattern) const {
+  CheckResult result;
+  result.name = "HasBoundedRetries(" + fmt_edge(src, dst) + ", " +
+                std::to_string(max_tries) + ")";
+  const RecordList records = get_exchanges(src, dst, id_pattern);
+  if (records.empty()) {
+    result.passed = false;
+    result.detail = "no traffic observed on " + fmt_edge(src, dst);
+    return result;
+  }
+  // Group attempts per flow; only flows that experienced a failure are
+  // evidence about retry behaviour.
+  struct Flow {
+    size_t attempts = 0;
+    bool saw_failure = false;
+  };
+  std::map<std::string, Flow> flows;
+  for (const auto& r : records) {
+    Flow& f = flows[r.request_id];
+    if (r.kind == MessageKind::kRequest) {
+      ++f.attempts;
+    } else if (r.failed()) {
+      f.saw_failure = true;
+    }
+  }
+  size_t failed_flows = 0;
+  size_t worst_attempts = 0;
+  size_t violations = 0;
+  const size_t allowed = static_cast<size_t>(max_tries) + 1;  // initial + retries
+  for (const auto& [id, f] : flows) {
+    if (!f.saw_failure) continue;
+    ++failed_flows;
+    worst_attempts = std::max(worst_attempts, f.attempts);
+    if (f.attempts > allowed) ++violations;
+  }
+  if (failed_flows == 0) {
+    result.passed = false;
+    result.detail = "no failed calls observed on " + fmt_edge(src, dst) +
+                    "; cannot verify the pattern";
+    return result;
+  }
+  result.passed = violations == 0;
+  result.detail = std::to_string(failed_flows) + " flows saw failures; max " +
+                  std::to_string(worst_attempts) + " attempts per flow (" +
+                  std::to_string(allowed) + " allowed); " +
+                  std::to_string(violations) + " violations";
+  return result;
+}
+
+CheckResult AssertionChecker::has_bounded_retries_windowed(
+    const std::string& src, const std::string& dst, int status,
+    size_t threshold_failures, Duration window, size_t max_more,
+    const std::string& id_pattern) const {
+  CheckResult result;
+  result.name = "HasBoundedRetriesWindowed(" + fmt_edge(src, dst) + ")";
+  const RecordList records = get_exchanges(src, dst, id_pattern);
+  if (records.empty()) {
+    result.passed = false;
+    result.detail = "no traffic observed on " + fmt_edge(src, dst);
+    return result;
+  }
+  Combine chain;
+  chain.then(Combine::check_status(status, threshold_failures))
+      .then(Combine::at_most_requests(window, /*with_rule=*/true, max_more));
+  result.passed = chain.evaluate(records);
+  result.detail = result.passed
+                      ? "after " + std::to_string(threshold_failures) +
+                            " status-" + std::to_string(status) +
+                            " replies, at most " + std::to_string(max_more) +
+                            " requests followed within " +
+                            format_duration(window)
+                      : "more than " + std::to_string(max_more) +
+                            " requests within " + format_duration(window) +
+                            " of " + std::to_string(threshold_failures) +
+                            " failures (or failures never occurred)";
+  return result;
+}
+
+CheckResult AssertionChecker::has_circuit_breaker(
+    const std::string& src, const std::string& dst, int threshold,
+    Duration tdelta, int success_threshold,
+    const std::string& id_pattern) const {
+  CheckResult result;
+  result.name = "HasCircuitBreaker(" + fmt_edge(src, dst) + ", " +
+                std::to_string(threshold) + ", " + format_duration(tdelta) +
+                ", " + std::to_string(success_threshold) + ")";
+  const RecordList records = get_exchanges(src, dst, id_pattern);
+  if (records.empty()) {
+    result.passed = false;
+    result.detail = "no traffic observed on " + fmt_edge(src, dst);
+    return result;
+  }
+
+  // Find the first run of `threshold` consecutive failed replies.
+  int consecutive = 0;
+  std::optional<size_t> trip_index;
+  for (size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    if (r.kind != MessageKind::kResponse) continue;
+    if (r.failed()) {
+      if (++consecutive >= threshold) {
+        trip_index = i;
+        break;
+      }
+    } else {
+      consecutive = 0;
+    }
+  }
+  if (!trip_index) {
+    result.passed = false;
+    result.detail = "never observed " + std::to_string(threshold) +
+                    " consecutive failures; cannot verify the pattern";
+    return result;
+  }
+  const TimePoint trip_time = records[*trip_index].timestamp;
+
+  // The breaker must suppress requests for tdelta after the trip.
+  size_t requests_while_open = 0;
+  std::optional<TimePoint> first_probe;
+  int successes_after_open = 0;
+  size_t requests_after_close_window = 0;
+  for (size_t i = *trip_index + 1; i < records.size(); ++i) {
+    const auto& r = records[i];
+    if (r.kind == MessageKind::kRequest) {
+      if (r.timestamp - trip_time < tdelta) {
+        ++requests_while_open;
+      } else {
+        if (!first_probe) first_probe = r.timestamp;
+        ++requests_after_close_window;
+      }
+    } else if (first_probe && !r.failed()) {
+      ++successes_after_open;
+    }
+  }
+  if (requests_while_open > 0) {
+    result.passed = false;
+    result.detail = std::to_string(requests_while_open) +
+                    " requests sent within " + format_duration(tdelta) +
+                    " of the trip (breaker missing or leaky)";
+    return result;
+  }
+  result.passed = true;
+  std::string detail = "no requests for " + format_duration(tdelta) +
+                       " after " + std::to_string(threshold) +
+                       " consecutive failures";
+  if (first_probe) {
+    detail += "; probe traffic resumed (" +
+              std::to_string(requests_after_close_window) + " requests, " +
+              std::to_string(successes_after_open) + " successes";
+    detail += successes_after_open >= success_threshold
+                  ? ", breaker closed)"
+                  : ", breaker not yet closed)";
+  } else {
+    detail += "; no probe traffic observed after the open window";
+  }
+  result.detail = detail;
+  return result;
+}
+
+CheckResult AssertionChecker::has_bulkhead(const std::string& src,
+                                           const std::string& slow_dst,
+                                           double min_rate,
+                                           const std::string& id_pattern) const {
+  CheckResult result;
+  result.name = "HasBulkhead(" + src + ", slow=" + slow_dst + ", rate>=" +
+                std::to_string(min_rate) + "/s)";
+  if (graph_ == nullptr) {
+    result.passed = false;
+    result.detail = "no application graph supplied; cannot enumerate the "
+                    "other dependents of " + src;
+    return result;
+  }
+  const auto deps = graph_->dependencies(src);
+  bool checked_any = false;
+  std::string detail;
+  bool all_ok = true;
+  for (const auto& dep : deps) {
+    if (dep == slow_dst) continue;
+    checked_any = true;
+    const RecordList reqs = get_requests(src, dep, id_pattern);
+    const double rate = request_rate(reqs);
+    if (!detail.empty()) detail += "; ";
+    detail += dep + ": " + std::to_string(rate) + " req/s";
+    if (rate < min_rate) all_ok = false;
+  }
+  if (!checked_any) {
+    result.passed = false;
+    result.detail = src + " has no dependents other than " + slow_dst;
+    return result;
+  }
+  result.passed = all_ok;
+  result.detail = detail;
+  return result;
+}
+
+CheckResult AssertionChecker::has_latency_slo(
+    const std::string& src, const std::string& dst, double percentile,
+    Duration bound, bool with_rule, const std::string& id_pattern) const {
+  CheckResult result;
+  result.name = "HasLatencySLO(" + fmt_edge(src, dst) + ", p" +
+                std::to_string(static_cast<int>(percentile)) + " <= " +
+                format_duration(bound) + ")";
+  const RecordList replies = get_replies(src, dst, id_pattern);
+  auto latencies = reply_latency(replies, with_rule);
+  if (latencies.empty()) {
+    result.passed = false;
+    result.detail = "no replies observed on " + fmt_edge(src, dst);
+    return result;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  size_t rank = static_cast<size_t>(
+      percentile / 100.0 * static_cast<double>(latencies.size()));
+  if (rank >= latencies.size()) rank = latencies.size() - 1;
+  const Duration observed = latencies[rank];
+  result.passed = observed <= bound;
+  result.detail = "p" + std::to_string(static_cast<int>(percentile)) +
+                  " = " + format_duration(observed) + " over " +
+                  std::to_string(latencies.size()) + " replies (bound " +
+                  format_duration(bound) + ")";
+  return result;
+}
+
+CheckResult AssertionChecker::error_rate_below(
+    const std::string& src, const std::string& dst, double max_fraction,
+    const std::string& id_pattern) const {
+  CheckResult result;
+  result.name = "ErrorRateBelow(" + fmt_edge(src, dst) + ", " +
+                std::to_string(max_fraction) + ")";
+  const RecordList replies = get_replies(src, dst, id_pattern);
+  if (replies.empty()) {
+    result.passed = false;
+    result.detail = "no replies observed on " + fmt_edge(src, dst);
+    return result;
+  }
+  size_t failed = 0;
+  for (const auto& r : replies) {
+    if (r.failed()) ++failed;
+  }
+  const double rate =
+      static_cast<double>(failed) / static_cast<double>(replies.size());
+  result.passed = rate <= max_fraction;
+  result.detail = std::to_string(failed) + "/" +
+                  std::to_string(replies.size()) + " replies failed (" +
+                  std::to_string(rate) + ")";
+  return result;
+}
+
+CheckResult AssertionChecker::failure_contained(
+    const std::string& origin_service, const std::string& id_pattern) const {
+  CheckResult result;
+  result.name = "FailureContained(" + origin_service + ")";
+  logstore::Query q;
+  q.id_pattern = id_pattern;
+  q.any_kind = true;
+  const RecordList records = store_->query(q);
+  const auto traces = trace::build_traces(records);
+
+  size_t originating_flows = 0;
+  size_t escaped = 0;
+  for (const auto& t : traces) {
+    const auto chain = t.failure_chain();
+    if (chain.empty()) continue;
+    if (t.spans[chain.back()].dst != origin_service) continue;
+    ++originating_flows;
+    // The chain runs root → origin; containment means the root span (the
+    // user-facing call) did not itself fail.
+    if (t.spans[chain.front()].failed() &&
+        !t.spans[chain.front()].parent.has_value()) {
+      ++escaped;
+    }
+  }
+  if (originating_flows == 0) {
+    result.passed = false;
+    result.detail = "no failures originating at " + origin_service +
+                    " observed; cannot verify containment";
+    return result;
+  }
+  result.passed = escaped == 0;
+  result.detail = std::to_string(originating_flows) +
+                  " flows failed at " + origin_service + "; " +
+                  std::to_string(escaped) + " escaped to the user-facing edge";
+  return result;
+}
+
+}  // namespace gremlin::control

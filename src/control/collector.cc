@@ -1,0 +1,50 @@
+#include "control/collector.h"
+
+namespace gremlin::control {
+
+void LogCollector::start() {
+  if (running_.exchange(true)) return;
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = false;
+  }
+  thread_ = std::thread([this] { run(); });
+}
+
+void LogCollector::stop() {
+  if (!running_.exchange(false)) return;
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  (void)collect_once();  // final drain
+}
+
+VoidResult LogCollector::collect_once() {
+  for (const auto& agent : deployment_->all_agents()) {
+    auto records = agent->fetch_records();
+    if (!records.ok()) return records.error();
+    if (!records->empty()) {
+      store_->append_all(records.value());
+      records_shipped_.fetch_add(records->size());
+      auto cleared = agent->clear_records();
+      if (!cleared.ok()) return cleared;
+    }
+  }
+  collections_.fetch_add(1);
+  return VoidResult::success();
+}
+
+void LogCollector::run() {
+  std::unique_lock lock(mu_);
+  while (!stopping_) {
+    lock.unlock();
+    (void)collect_once();
+    lock.lock();
+    cv_.wait_for(lock, interval_, [this] { return stopping_; });
+  }
+}
+
+}  // namespace gremlin::control

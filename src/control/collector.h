@@ -1,0 +1,58 @@
+// LogCollector: the background log-shipping pipeline.
+//
+// Section 6 uses logstash to stream agent logs into Elasticsearch
+// continuously; TestSession::collect() is the synchronous equivalent for
+// simulated runs. This collector covers the real-proxy path: a thread that
+// periodically drains every agent in a Deployment into the central
+// LogStore, so assertions can run while traffic is still flowing.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "logstore/store.h"
+#include "topology/deployment.h"
+
+namespace gremlin::control {
+
+class LogCollector {
+ public:
+  LogCollector(topology::Deployment* deployment, logstore::LogStore* store,
+               Duration interval = msec(200))
+      : deployment_(deployment), store_(store), interval_(interval) {}
+
+  ~LogCollector() { stop(); }
+
+  LogCollector(const LogCollector&) = delete;
+  LogCollector& operator=(const LogCollector&) = delete;
+
+  void start();
+
+  // Stops the thread after a final drain, so no buffered observation is
+  // lost.
+  void stop();
+
+  // One synchronous drain (also usable without start()).
+  VoidResult collect_once();
+
+  uint64_t collections() const { return collections_.load(); }
+  uint64_t records_shipped() const { return records_shipped_.load(); }
+
+ private:
+  void run();
+
+  topology::Deployment* deployment_;
+  logstore::LogStore* store_;
+  Duration interval_;
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> collections_{0};
+  std::atomic<uint64_t> records_shipped_{0};
+};
+
+}  // namespace gremlin::control

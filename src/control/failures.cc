@@ -1,0 +1,282 @@
+#include "control/failures.h"
+
+namespace gremlin::control {
+namespace {
+
+using faults::FaultRule;
+
+uint64_t next_rule_seq() {
+  static uint64_t counter = 0;
+  return ++counter;
+}
+
+std::string rule_id(const char* scenario, const std::string& src,
+                    const std::string& dst, const char* what) {
+  return std::string(scenario) + "-" + what + "-" + src + "->" + dst + "-" +
+         std::to_string(next_rule_seq());
+}
+
+VoidResult require_service(const topology::AppGraph& graph,
+                           const std::string& name) {
+  if (name == "*" || graph.has_service(name)) return VoidResult::success();
+  return Error::not_found("service '" + name +
+                          "' is not in the application graph");
+}
+
+}  // namespace
+
+FailureSpec FailureSpec::abort_edge(std::string src, std::string dst,
+                                    int error, std::string pattern) {
+  FailureSpec s;
+  s.kind = Kind::kAbort;
+  s.a = std::move(src);
+  s.b = std::move(dst);
+  s.error = error;
+  s.pattern = std::move(pattern);
+  return s;
+}
+
+FailureSpec FailureSpec::delay_edge(std::string src, std::string dst,
+                                    Duration interval, std::string pattern) {
+  FailureSpec s;
+  s.kind = Kind::kDelay;
+  s.a = std::move(src);
+  s.b = std::move(dst);
+  s.delay = interval;
+  s.pattern = std::move(pattern);
+  return s;
+}
+
+FailureSpec FailureSpec::modify_edge(std::string src, std::string dst,
+                                     std::string body_pattern,
+                                     std::string replace_bytes,
+                                     std::string pattern) {
+  FailureSpec s;
+  s.kind = Kind::kModify;
+  s.a = std::move(src);
+  s.b = std::move(dst);
+  s.body_pattern = std::move(body_pattern);
+  s.replace_bytes = std::move(replace_bytes);
+  s.pattern = std::move(pattern);
+  return s;
+}
+
+FailureSpec FailureSpec::disconnect(std::string src, std::string dst,
+                                    int error) {
+  FailureSpec s;
+  s.kind = Kind::kDisconnect;
+  s.a = std::move(src);
+  s.b = std::move(dst);
+  s.error = error;
+  return s;
+}
+
+FailureSpec FailureSpec::crash(std::string service) {
+  FailureSpec s;
+  s.kind = Kind::kCrash;
+  s.b = std::move(service);
+  return s;
+}
+
+FailureSpec FailureSpec::hang(std::string service, Duration interval) {
+  FailureSpec s;
+  s.kind = Kind::kHang;
+  s.b = std::move(service);
+  s.delay = interval;
+  return s;
+}
+
+FailureSpec FailureSpec::overload(std::string service, Duration delay,
+                                  double abort_fraction) {
+  FailureSpec s;
+  s.kind = Kind::kOverload;
+  s.b = std::move(service);
+  s.overload_delay = delay;
+  s.overload_abort_fraction = abort_fraction;
+  return s;
+}
+
+FailureSpec FailureSpec::fake_success(std::string service,
+                                      std::string body_pattern,
+                                      std::string replace_bytes) {
+  FailureSpec s;
+  s.kind = Kind::kFakeSuccess;
+  s.b = std::move(service);
+  s.body_pattern = std::move(body_pattern);
+  s.replace_bytes = std::move(replace_bytes);
+  return s;
+}
+
+FailureSpec FailureSpec::partition(std::set<std::string> group) {
+  FailureSpec s;
+  s.kind = Kind::kPartition;
+  s.group = std::move(group);
+  return s;
+}
+
+const char* FailureSpec::kind_name() const {
+  switch (kind) {
+    case Kind::kAbort: return "abort";
+    case Kind::kDelay: return "delay";
+    case Kind::kModify: return "modify";
+    case Kind::kDisconnect: return "disconnect";
+    case Kind::kCrash: return "crash";
+    case Kind::kHang: return "hang";
+    case Kind::kOverload: return "overload";
+    case Kind::kFakeSuccess: return "fake_success";
+    case Kind::kPartition: return "partition";
+  }
+  return "unknown";
+}
+
+Result<std::vector<FaultRule>> translate_failure(
+    const topology::AppGraph& graph, const FailureSpec& spec) {
+  std::vector<FaultRule> rules;
+
+  auto make_abort = [&spec](const std::string& src, const std::string& dst,
+                            int error, double probability,
+                            const char* scenario) {
+    FaultRule r;
+    r.id = rule_id(scenario, src, dst, "abort");
+    r.source = src;
+    r.destination = dst;
+    r.type = faults::FaultKind::kAbort;
+    r.abort_code = error;
+    r.pattern = spec.pattern;
+    r.probability = probability;
+    r.on = logstore::MessageKind::kRequest;
+    r.max_matches = spec.max_matches;
+    return r;
+  };
+  auto make_delay = [&spec](const std::string& src, const std::string& dst,
+                            Duration interval, double probability,
+                            const char* scenario) {
+    FaultRule r;
+    r.id = rule_id(scenario, src, dst, "delay");
+    r.source = src;
+    r.destination = dst;
+    r.type = faults::FaultKind::kDelay;
+    r.delay_interval = interval;
+    r.pattern = spec.pattern;
+    r.probability = probability;
+    r.on = logstore::MessageKind::kRequest;
+    r.max_matches = spec.max_matches;
+    return r;
+  };
+
+  switch (spec.kind) {
+    case FailureSpec::Kind::kAbort: {
+      auto ok = require_service(graph, spec.a);
+      if (!ok.ok()) return ok.error();
+      ok = require_service(graph, spec.b);
+      if (!ok.ok()) return ok.error();
+      FaultRule r = make_abort(spec.a, spec.b, spec.error, spec.probability,
+                               "abort");
+      r.on = spec.on;
+      rules.push_back(std::move(r));
+      break;
+    }
+    case FailureSpec::Kind::kDelay: {
+      auto ok = require_service(graph, spec.a);
+      if (!ok.ok()) return ok.error();
+      ok = require_service(graph, spec.b);
+      if (!ok.ok()) return ok.error();
+      FaultRule r = make_delay(spec.a, spec.b, spec.delay, spec.probability,
+                               "delay");
+      r.on = spec.on;
+      rules.push_back(std::move(r));
+      break;
+    }
+    case FailureSpec::Kind::kModify: {
+      auto ok = require_service(graph, spec.a);
+      if (!ok.ok()) return ok.error();
+      ok = require_service(graph, spec.b);
+      if (!ok.ok()) return ok.error();
+      FaultRule r;
+      r.id = rule_id("modify", spec.a, spec.b, "modify");
+      r.source = spec.a;
+      r.destination = spec.b;
+      r.type = faults::FaultKind::kModify;
+      r.body_pattern = spec.body_pattern;
+      r.replace_bytes = spec.replace_bytes;
+      r.pattern = spec.pattern;
+      r.probability = spec.probability;
+      r.on = spec.on;
+      r.max_matches = spec.max_matches;
+      rules.push_back(std::move(r));
+      break;
+    }
+    case FailureSpec::Kind::kDisconnect: {
+      auto ok = require_service(graph, spec.a);
+      if (!ok.ok()) return ok.error();
+      ok = require_service(graph, spec.b);
+      if (!ok.ok()) return ok.error();
+      rules.push_back(make_abort(spec.a, spec.b, spec.error, 1.0,
+                                 "disconnect"));
+      break;
+    }
+    case FailureSpec::Kind::kCrash: {
+      auto ok = require_service(graph, spec.b);
+      if (!ok.ok()) return ok.error();
+      for (const auto& dep : graph.dependents(spec.b)) {
+        rules.push_back(make_abort(dep, spec.b, faults::kTcpReset,
+                                   spec.probability, "crash"));
+      }
+      break;
+    }
+    case FailureSpec::Kind::kHang: {
+      auto ok = require_service(graph, spec.b);
+      if (!ok.ok()) return ok.error();
+      for (const auto& dep : graph.dependents(spec.b)) {
+        rules.push_back(make_delay(dep, spec.b, spec.delay, 1.0, "hang"));
+      }
+      break;
+    }
+    case FailureSpec::Kind::kOverload: {
+      auto ok = require_service(graph, spec.b);
+      if (!ok.ok()) return ok.error();
+      // Section 5: Abort 25% of requests with an error code, delay the rest.
+      // First-match-wins evaluation with a probabilistic fall-through means
+      // the delay rule sees exactly the abort rule's declined traffic, so
+      // Delay's conditional probability of 1.0 yields the 25/75 split.
+      for (const auto& dep : graph.dependents(spec.b)) {
+        rules.push_back(make_abort(dep, spec.b, 503,
+                                   spec.overload_abort_fraction, "overload"));
+        rules.push_back(make_delay(dep, spec.b, spec.overload_delay, 1.0,
+                                   "overload"));
+      }
+      break;
+    }
+    case FailureSpec::Kind::kFakeSuccess: {
+      auto ok = require_service(graph, spec.b);
+      if (!ok.ok()) return ok.error();
+      for (const auto& dep : graph.dependents(spec.b)) {
+        FaultRule r;
+        r.id = rule_id("fake-success", dep, spec.b, "modify");
+        r.source = dep;
+        r.destination = spec.b;
+        r.type = faults::FaultKind::kModify;
+        r.body_pattern = spec.body_pattern;
+        r.replace_bytes = spec.replace_bytes;
+        r.pattern = spec.pattern;
+        r.on = logstore::MessageKind::kResponse;
+        rules.push_back(std::move(r));
+      }
+      break;
+    }
+    case FailureSpec::Kind::kPartition: {
+      for (const auto& svc : spec.group) {
+        auto ok = require_service(graph, svc);
+        if (!ok.ok()) return ok.error();
+      }
+      for (const auto& edge : graph.cut(spec.group)) {
+        rules.push_back(make_abort(edge.src, edge.dst, faults::kTcpReset,
+                                   1.0, "partition"));
+      }
+      break;
+    }
+  }
+  return rules;
+}
+
+}  // namespace gremlin::control

@@ -1,0 +1,88 @@
+// FailureSpec: the high-level outage vocabulary of Section 5.
+//
+// A spec names a scenario (Disconnect, Crash, Hang, Overload, FakeSuccess,
+// Partition — or a raw Abort/Delay/Modify primitive) and its parameters.
+// The Recipe Translator expands a spec against the logical application graph
+// into the concrete per-edge fault rules of Table 2:
+//
+//   Disconnect(A,B)  → Abort(A→B, 503)
+//   Crash(S)         → Abort(d→S, TCP reset) for every dependent d of S
+//   Hang(S)          → Delay(d→S, 1h) for every dependent d
+//   Overload(S)      → Abort(d→S, 503, p=.25) + Delay(d→S, 100ms) per
+//                      dependent (conditional probabilities produce the
+//                      paper's 25/75 split exactly)
+//   FakeSuccess(S)   → Modify(d→S, key→badkey) on responses per dependent
+//   Partition(G)     → Abort(TCP reset) on every edge crossing the cut(G)
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/duration.h"
+#include "faults/rule.h"
+#include "topology/graph.h"
+
+namespace gremlin::control {
+
+struct FailureSpec {
+  enum class Kind {
+    kAbort,        // raw primitive on edge a→b
+    kDelay,        // raw primitive on edge a→b
+    kModify,       // raw primitive on edge a→b
+    kDisconnect,   // a→b returns an error code
+    kCrash,        // service b appears crashed to all dependents
+    kHang,         // service b hangs (very long delays)
+    kOverload,     // service b overloaded: mix of errors and delays
+    kFakeSuccess,  // service b returns tampered payloads with status 200
+    kPartition,    // network partition along cut(group)
+  };
+
+  Kind kind = Kind::kAbort;
+  std::string a;  // src for edge primitives / disconnect
+  std::string b;  // dst / the failing service
+  std::set<std::string> group;  // partition only
+
+  std::string pattern = "test-*";  // request-ID flow selector
+  double probability = 1.0;
+  int error = 503;                  // abort code (kTcpReset for resets)
+  Duration delay = msec(100);       // delay / hang interval
+  double overload_abort_fraction = 0.25;
+  Duration overload_delay = msec(100);
+  std::string body_pattern;         // modify / fake-success
+  std::string replace_bytes;        // modify / fake-success
+  logstore::MessageKind on = logstore::MessageKind::kRequest;
+  uint64_t max_matches = faults::kUnlimitedMatches;
+
+  // Convenience factories.
+  static FailureSpec abort_edge(std::string src, std::string dst,
+                                int error = 503,
+                                std::string pattern = "test-*");
+  static FailureSpec delay_edge(std::string src, std::string dst,
+                                Duration interval,
+                                std::string pattern = "test-*");
+  static FailureSpec modify_edge(std::string src, std::string dst,
+                                 std::string body_pattern,
+                                 std::string replace_bytes,
+                                 std::string pattern = "test-*");
+  static FailureSpec disconnect(std::string src, std::string dst,
+                                int error = 503);
+  static FailureSpec crash(std::string service);
+  static FailureSpec hang(std::string service, Duration interval = hours(1));
+  static FailureSpec overload(std::string service,
+                              Duration delay = msec(100),
+                              double abort_fraction = 0.25);
+  static FailureSpec fake_success(std::string service,
+                                  std::string body_pattern,
+                                  std::string replace_bytes);
+  static FailureSpec partition(std::set<std::string> group);
+
+  const char* kind_name() const;
+};
+
+// Expands a spec into fault rules using the application graph. Fails when
+// the spec references services absent from the graph.
+Result<std::vector<faults::FaultRule>> translate_failure(
+    const topology::AppGraph& graph, const FailureSpec& spec);
+
+}  // namespace gremlin::control

@@ -1,0 +1,66 @@
+#include "control/orchestrator.h"
+
+namespace gremlin::control {
+
+VoidResult FailureOrchestrator::install(
+    const std::vector<faults::FaultRule>& rules) {
+  for (const auto& rule : rules) {
+    std::vector<std::shared_ptr<topology::AgentHandle>> targets;
+    if (rule.source == "*") {
+      targets = deployment_->all_agents();
+    } else {
+      targets = deployment_->instances(rule.source);
+    }
+    if (targets.empty()) {
+      return Error::not_found("no agent instances for source service '" +
+                              rule.source + "'");
+    }
+    for (const auto& agent : targets) {
+      auto res = agent->install_rules({rule});
+      if (!res.ok()) return res;
+    }
+    ++rules_installed_;
+  }
+  return VoidResult::success();
+}
+
+VoidResult FailureOrchestrator::remove(
+    const std::vector<faults::FaultRule>& rules) {
+  std::vector<std::string> ids;
+  ids.reserve(rules.size());
+  for (const auto& rule : rules) ids.push_back(rule.id);
+  for (const auto& agent : deployment_->all_agents()) {
+    auto res = agent->remove_rules(ids);
+    if (!res.ok()) return res;
+  }
+  return VoidResult::success();
+}
+
+VoidResult FailureOrchestrator::clear_rules() {
+  for (const auto& agent : deployment_->all_agents()) {
+    auto res = agent->clear_rules();
+    if (!res.ok()) return res;
+  }
+  return VoidResult::success();
+}
+
+VoidResult FailureOrchestrator::collect_logs(logstore::LogStore* store) {
+  for (const auto& agent : deployment_->all_agents()) {
+    auto records = agent->fetch_records();
+    if (!records.ok()) return records.error();
+    store->append_all(records.value());
+    auto cleared = agent->clear_records();
+    if (!cleared.ok()) return cleared;
+  }
+  return VoidResult::success();
+}
+
+VoidResult FailureOrchestrator::discard_logs() {
+  for (const auto& agent : deployment_->all_agents()) {
+    auto cleared = agent->clear_records();
+    if (!cleared.ok()) return cleared;
+  }
+  return VoidResult::success();
+}
+
+}  // namespace gremlin::control

@@ -1,0 +1,48 @@
+// FailureOrchestrator: programs the data plane (Section 4.2).
+//
+// Locates every physical agent instance of a rule's source service in the
+// Deployment and installs the rule on each, so that faults apply between
+// every pair of instances (Figure 3). Also collects the agents' observation
+// logs into the centralized store the Assertion Checker queries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "faults/rule.h"
+#include "logstore/store.h"
+#include "topology/deployment.h"
+
+namespace gremlin::control {
+
+class FailureOrchestrator {
+ public:
+  explicit FailureOrchestrator(topology::Deployment* deployment)
+      : deployment_(deployment) {}
+
+  // Installs each rule on all agent instances of its source service
+  // (source "*" installs on every agent). Fails on the first rejected rule
+  // or when the source service has no instances.
+  VoidResult install(const std::vector<faults::FaultRule>& rules);
+
+  // Removes all rules from every agent.
+  VoidResult clear_rules();
+
+  // Removes the given rules (by ID) from every agent that may hold them.
+  VoidResult remove(const std::vector<faults::FaultRule>& rules);
+
+  // Drains all agents' buffered observations into `store` and clears the
+  // agent-side buffers (the logstash → Elasticsearch pipeline of Section 6).
+  VoidResult collect_logs(logstore::LogStore* store);
+
+  // Discards agent-side buffers without collecting.
+  VoidResult discard_logs();
+
+  size_t rules_installed() const { return rules_installed_; }
+
+ private:
+  topology::Deployment* deployment_;
+  size_t rules_installed_ = 0;
+};
+
+}  // namespace gremlin::control

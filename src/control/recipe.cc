@@ -1,0 +1,139 @@
+#include "control/recipe.h"
+
+#include <memory>
+
+namespace gremlin::control {
+
+TestSession::TestSession(sim::Simulation* sim, topology::AppGraph graph)
+    : sim_(sim),
+      graph_(std::move(graph)),
+      translator_(graph_),
+      orchestrator_(&sim->deployment()) {}
+
+Result<size_t> TestSession::apply(const FailureSpec& spec) {
+  auto rules = translator_.translate(spec);
+  if (!rules.ok()) return rules.error();
+  auto installed = orchestrator_.install(rules.value());
+  if (!installed.ok()) return installed.error();
+  return rules.value().size();
+}
+
+Result<size_t> TestSession::apply_all(const std::vector<FailureSpec>& specs) {
+  size_t total = 0;
+  for (const auto& spec : specs) {
+    auto n = apply(spec);
+    if (!n.ok()) return n;
+    total += n.value();
+  }
+  return total;
+}
+
+VoidResult TestSession::clear_faults() { return orchestrator_.clear_rules(); }
+
+Result<size_t> TestSession::apply_for(const FailureSpec& spec,
+                                      Duration active) {
+  auto rules = translator_.translate(spec);
+  if (!rules.ok()) return rules.error();
+  auto installed = orchestrator_.install(rules.value());
+  if (!installed.ok()) return installed.error();
+  // Heal: drop exactly these rules when the outage window ends.
+  sim_->schedule(active, [this, rules = rules.value()] {
+    (void)orchestrator_.remove(rules);
+  });
+  return rules.value().size();
+}
+
+LoadResult TestSession::run_load(const std::string& client,
+                                 const std::string& target, size_t count) {
+  LoadOptions options;
+  options.count = count;
+  return run_load(client, target, options);
+}
+
+LoadResult TestSession::run_load(const std::string& client,
+                                 const std::string& target,
+                                 const LoadOptions& options) {
+  auto result = std::make_shared<LoadResult>();
+  result->latencies.resize(options.count);
+  result->statuses.resize(options.count);
+
+  if (options.closed_loop) {
+    // Issue request i+1 only once request i completed.
+    auto send = std::make_shared<std::function<void(size_t)>>();
+    *send = [this, result, options, client, target, send](size_t i) {
+      if (i >= options.count) return;
+      sim::SimRequest req;
+      req.request_id = options.id_prefix + std::to_string(i);
+      req.uri = options.uri;
+      req.method = options.method;
+      req.body = options.body;
+      const TimePoint sent = sim_->now();
+      sim_->inject(client, target, std::move(req),
+                   [this, result, options, i, sent, send](
+                       const sim::SimResponse& resp) {
+                     result->latencies[i] = sim_->now() - sent;
+                     result->statuses[i] =
+                         resp.connection_reset || resp.timed_out ? 0
+                                                                 : resp.status;
+                     if (resp.failed()) ++result->failures;
+                     sim_->schedule(options.gap,
+                                    [send, i] { (*send)(i + 1); });
+                   });
+    };
+    (*send)(0);
+  } else {
+    for (size_t i = 0; i < options.count; ++i) {
+      const TimePoint at = sim_->now() + options.gap * static_cast<int64_t>(i);
+      sim_->schedule_at(at, [this, result, options, i, client, target] {
+        sim::SimRequest req;
+        req.request_id = options.id_prefix + std::to_string(i);
+        req.uri = options.uri;
+        req.method = options.method;
+        req.body = options.body;
+        const TimePoint sent = sim_->now();
+        sim_->inject(client, target, std::move(req),
+                     [this, result, i, sent](const sim::SimResponse& resp) {
+                       result->latencies[i] = sim_->now() - sent;
+                       result->statuses[i] = resp.connection_reset ||
+                                                     resp.timed_out
+                                                 ? 0
+                                                 : resp.status;
+                       if (resp.failed()) ++result->failures;
+                     });
+      });
+    }
+  }
+  if (options.horizon > kDurationZero) {
+    sim_->run_until(sim_->now() + options.horizon);
+  } else {
+    sim_->run();
+  }
+  return *result;
+}
+
+VoidResult TestSession::collect() {
+  return orchestrator_.collect_logs(&sim_->log_store());
+}
+
+bool TestSession::check(const CheckResult& result) {
+  results_.push_back(result);
+  return result.passed;
+}
+
+bool TestSession::all_passed() const {
+  for (const auto& r : results_) {
+    if (!r.passed) return false;
+  }
+  return true;
+}
+
+std::string TestSession::report() const {
+  std::string out;
+  for (const auto& r : results_) {
+    out += (r.passed ? "[PASS] " : "[FAIL] ") + r.name + " — " + r.detail +
+           "\n";
+  }
+  return out;
+}
+
+}  // namespace gremlin::control

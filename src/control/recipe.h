@@ -1,0 +1,108 @@
+// TestSession: one resiliency-test run against a simulated deployment.
+//
+// Mirrors how an operator uses Gremlin (Section 3.2): set up failure
+// scenarios, inject test load tagged with "test-*" request IDs, collect the
+// agents' observations into the central store, and evaluate assertions.
+// Chained failure scenarios (Section 4.2) are expressed naturally in C++
+// control flow:
+//
+//   TestSession t(&sim, graph);
+//   t.apply(FailureSpec::overload("serviceB"));
+//   t.run_load("user", "serviceA", 100);
+//   t.collect();
+//   if (!t.check(t.checker().has_bounded_retries("serviceA", "serviceB", 5)))
+//     ...  // no bounded retries: stop here
+//   t.clear_faults();
+//   t.apply(FailureSpec::crash("serviceB"));
+//   ...
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "control/checker.h"
+#include "control/orchestrator.h"
+#include "control/translator.h"
+#include "sim/simulation.h"
+
+namespace gremlin::control {
+
+// Outcome of one test-load injection.
+struct LoadResult {
+  std::vector<Duration> latencies;  // end-to-end, per request, arrival order
+  std::vector<int> statuses;        // final status per request (0 = reset)
+  size_t failures = 0;              // responses with failed() == true
+
+  size_t total() const { return latencies.size(); }
+};
+
+struct LoadOptions {
+  size_t count = 100;
+  Duration gap = msec(10);           // open-loop inter-arrival time
+  std::string id_prefix = "test-";   // request IDs: <prefix><n>
+  std::string uri = "/";
+  std::string method = "GET";
+  std::string body;
+  bool closed_loop = false;          // true: next request after the previous
+                                     // response (the Fig. 6 workload shape)
+
+  // Bounded run horizon. Zero runs the simulation to quiescence; set this
+  // for scenarios that never quiesce (blocked publishers, at-least-once
+  // delivery loops against a permanently crashed subscriber, ...).
+  Duration horizon{};
+};
+
+class TestSession {
+ public:
+  TestSession(sim::Simulation* sim, topology::AppGraph graph);
+
+  RecipeTranslator& translator() { return translator_; }
+  FailureOrchestrator& orchestrator() { return orchestrator_; }
+  sim::Simulation& sim() { return *sim_; }
+
+  // Translates a failure scenario and installs the rules on all affected
+  // agents; returns the number of rules installed.
+  Result<size_t> apply(const FailureSpec& spec);
+  Result<size_t> apply_all(const std::vector<FailureSpec>& specs);
+  VoidResult clear_faults();
+
+  // Applies a scenario for a bounded (virtual) duration, then removes its
+  // rules automatically — the crash-*recovery* failures of the paper's
+  // fault model (Section 3.1): the fault heals after `active` and the
+  // application's recovery behaviour becomes observable.
+  Result<size_t> apply_for(const FailureSpec& spec, Duration active);
+
+  // Injects `count` requests from the edge client into `target` and runs
+  // the simulation until the application quiesces.
+  LoadResult run_load(const std::string& client, const std::string& target,
+                      const LoadOptions& options = {});
+  LoadResult run_load(const std::string& client, const std::string& target,
+                      size_t count);
+
+  // Drains all agent logs into the central store (must run before
+  // assertions).
+  VoidResult collect();
+
+  // Assertion checker over the collected logs.
+  AssertionChecker checker() const {
+    return AssertionChecker(&sim_->log_store(), &graph_);
+  }
+
+  // Records an assertion outcome in the session report; returns passed.
+  bool check(const CheckResult& result);
+
+  const std::vector<CheckResult>& results() const { return results_; }
+  bool all_passed() const;
+  std::string report() const;
+
+  const topology::AppGraph& graph() const { return graph_; }
+
+ private:
+  sim::Simulation* sim_;
+  topology::AppGraph graph_;
+  RecipeTranslator translator_;
+  FailureOrchestrator orchestrator_;
+  std::vector<CheckResult> results_;
+};
+
+}  // namespace gremlin::control

@@ -1,0 +1,16 @@
+#include "control/translator.h"
+
+namespace gremlin::control {
+
+Result<std::vector<faults::FaultRule>> RecipeTranslator::translate_all(
+    const std::vector<FailureSpec>& specs) const {
+  std::vector<faults::FaultRule> all;
+  for (const auto& spec : specs) {
+    auto rules = translate(spec);
+    if (!rules.ok()) return rules.error();
+    all.insert(all.end(), rules.value().begin(), rules.value().end());
+  }
+  return all;
+}
+
+}  // namespace gremlin::control

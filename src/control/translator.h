@@ -1,0 +1,35 @@
+// RecipeTranslator: the control-plane component that turns a recipe's
+// high-level failure scenarios into concrete fault-injection rules using the
+// logical application graph (Section 4.2).
+#pragma once
+
+#include <vector>
+
+#include "control/failures.h"
+#include "topology/graph.h"
+
+namespace gremlin::control {
+
+class RecipeTranslator {
+ public:
+  explicit RecipeTranslator(topology::AppGraph graph)
+      : graph_(std::move(graph)) {}
+
+  const topology::AppGraph& graph() const { return graph_; }
+
+  // Expands one failure scenario.
+  Result<std::vector<faults::FaultRule>> translate(
+      const FailureSpec& spec) const {
+    return translate_failure(graph_, spec);
+  }
+
+  // Expands a whole scenario list, concatenating the rules in order (rule
+  // order defines match priority on the agents).
+  Result<std::vector<faults::FaultRule>> translate_all(
+      const std::vector<FailureSpec>& specs) const;
+
+ private:
+  topology::AppGraph graph_;
+};
+
+}  // namespace gremlin::control

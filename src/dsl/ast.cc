@@ -1,0 +1,37 @@
+#include "dsl/ast.h"
+
+namespace gremlin::dsl {
+
+const Arg* Command::positional(size_t index) const {
+  size_t seen = 0;
+  for (const auto& arg : args) {
+    if (!arg.name.empty()) continue;
+    if (seen == index) return &arg;
+    ++seen;
+  }
+  return nullptr;
+}
+
+const Arg* Command::named(const std::string& key) const {
+  for (const auto& arg : args) {
+    if (arg.name == key) return &arg;
+  }
+  return nullptr;
+}
+
+std::string RecipeFile::summary() const {
+  std::string out;
+  out += "graph: " + std::to_string(graph.service_count()) + " services, " +
+         std::to_string(graph.edge_count()) + " edges\n";
+  for (const auto& scenario : scenarios) {
+    out += "scenario \"" + scenario.name + "\": " +
+           std::to_string(scenario.commands.size()) + " commands\n";
+    for (const auto& cmd : scenario.commands) {
+      out += "  " + std::string(cmd.required ? "require " : "") + cmd.name +
+             "/" + std::to_string(cmd.args.size()) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace gremlin::dsl

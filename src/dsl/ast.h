@@ -1,0 +1,57 @@
+// AST for the Gremlin recipe language.
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/duration.h"
+#include "topology/graph.h"
+
+namespace gremlin::dsl {
+
+// A command argument: positional or named (name=value).
+struct Arg {
+  std::string name;  // empty for positional
+  enum class Kind { kIdent, kString, kNumber, kDuration, kList } kind =
+      Kind::kIdent;
+  std::string text;                // kIdent / kString
+  double number = 0;               // kNumber
+  Duration duration{};             // kDuration
+  std::vector<std::string> list;   // kList ([a, b, c] of idents/strings)
+  int line = 0;
+
+  bool is_textual() const {
+    return kind == Kind::kIdent || kind == Kind::kString;
+  }
+};
+
+// One statement inside a scenario: `name(arg, key=value, ...)` or a bare
+// keyword (`collect`, `clear`). `required` marks the `require` prefix, which
+// aborts the scenario when the assertion fails (the chained-failure pattern
+// of Section 4.2).
+struct Command {
+  std::string name;
+  std::vector<Arg> args;
+  bool required = false;
+  int line = 0;
+
+  // First positional argument's text, or empty.
+  const Arg* positional(size_t index) const;
+  const Arg* named(const std::string& key) const;
+};
+
+struct Scenario {
+  std::string name;
+  std::vector<Command> commands;
+  int line = 0;
+};
+
+struct RecipeFile {
+  topology::AppGraph graph;
+  std::vector<Scenario> scenarios;
+
+  std::string summary() const;  // human-readable structure dump
+};
+
+}  // namespace gremlin::dsl

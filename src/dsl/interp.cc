@@ -1,0 +1,372 @@
+#include "dsl/interp.h"
+
+#include <set>
+
+#include "dsl/parser.h"
+
+namespace gremlin::dsl {
+
+using control::CheckResult;
+using control::FailureSpec;
+using control::TestSession;
+
+namespace {
+
+Error cmd_error(const Command& cmd, const std::string& msg) {
+  return Error::invalid_argument("recipe line " + std::to_string(cmd.line) +
+                                 ", " + cmd.name + ": " + msg);
+}
+
+// Argument extraction helpers: positional index OR named key, with
+// type coercion and defaults.
+Result<std::string> text_arg(const Command& cmd, size_t pos,
+                             const std::string& key) {
+  const Arg* arg = cmd.named(key);
+  if (arg == nullptr) arg = cmd.positional(pos);
+  if (arg == nullptr) {
+    return cmd_error(cmd, "missing argument '" + key + "'");
+  }
+  if (!arg->is_textual()) {
+    return cmd_error(cmd, "argument '" + key + "' must be a name or string");
+  }
+  return arg->text;
+}
+
+std::string text_arg_or(const Command& cmd, size_t pos,
+                        const std::string& key, std::string fallback) {
+  auto v = text_arg(cmd, pos, key);
+  return v.ok() ? v.value() : std::move(fallback);
+}
+
+double number_arg_or(const Command& cmd, size_t pos, const std::string& key,
+                     double fallback) {
+  const Arg* arg = cmd.named(key);
+  if (arg == nullptr) arg = cmd.positional(pos);
+  if (arg == nullptr || arg->kind != Arg::Kind::kNumber) return fallback;
+  return arg->number;
+}
+
+Duration duration_arg_or(const Command& cmd, size_t pos,
+                         const std::string& key, Duration fallback) {
+  const Arg* arg = cmd.named(key);
+  if (arg == nullptr) arg = cmd.positional(pos);
+  if (arg == nullptr || arg->kind != Arg::Kind::kDuration) return fallback;
+  return arg->duration;
+}
+
+bool bool_arg_or(const Command& cmd, const std::string& key, bool fallback) {
+  const Arg* arg = cmd.named(key);
+  if (arg == nullptr || !arg->is_textual()) return fallback;
+  return arg->text == "true" || arg->text == "yes" || arg->text == "on";
+}
+
+// Applies shared fault options (pattern / probability / max_matches / on).
+void apply_common_options(const Command& cmd, FailureSpec* spec) {
+  spec->pattern = text_arg_or(cmd, 99, "pattern", spec->pattern);
+  spec->probability =
+      number_arg_or(cmd, 99, "probability", spec->probability);
+  const double max_matches = number_arg_or(cmd, 99, "max_matches", -1);
+  if (max_matches >= 0) {
+    spec->max_matches = static_cast<uint64_t>(max_matches);
+  }
+  const std::string on = text_arg_or(cmd, 99, "on", "");
+  if (on == "response") spec->on = logstore::MessageKind::kResponse;
+  if (on == "request") spec->on = logstore::MessageKind::kRequest;
+}
+
+}  // namespace
+
+bool ScenarioOutcome::all_passed() const {
+  if (aborted) return false;
+  for (const auto& c : checks) {
+    if (!c.passed) return false;
+  }
+  return true;
+}
+
+bool RunOutcome::all_passed() const {
+  for (const auto& s : scenarios) {
+    if (!s.all_passed()) return false;
+  }
+  return true;
+}
+
+std::string RunOutcome::report() const {
+  std::string out;
+  for (const auto& s : scenarios) {
+    out += "scenario \"" + s.name + "\": " +
+           (s.all_passed() ? "PASS" : "FAIL") + "\n";
+    for (const auto& c : s.checks) {
+      out += "  " + std::string(c.passed ? "[PASS] " : "[FAIL] ") + c.name +
+             " — " + c.detail + "\n";
+    }
+    if (s.aborted) {
+      out += "  [ABORTED] " + s.abort_reason + "\n";
+    }
+  }
+  return out;
+}
+
+VoidResult Interpreter::ensure_services(const topology::AppGraph& graph) {
+  for (const auto& name : graph.services()) {
+    if (sim_->find_service(name) != nullptr) continue;
+    if (!autocreate_) {
+      return Error::failed_precondition(
+          "service '" + name +
+          "' is in the recipe graph but not in the simulation");
+    }
+    sim::ServiceConfig cfg;
+    cfg.name = name;
+    cfg.processing_time = msec(1);
+    cfg.dependencies = graph.dependencies(name);
+    sim_->add_service(std::move(cfg));
+  }
+  return VoidResult::success();
+}
+
+Result<bool> Interpreter::execute(TestSession* session, const Command& cmd,
+                                  ScenarioOutcome* outcome) {
+  const std::string& name = cmd.name;
+
+  // ---- failure scenarios ----
+  auto apply_spec = [&](FailureSpec spec) -> Result<bool> {
+    apply_common_options(cmd, &spec);
+    auto applied = session->apply(spec);
+    if (!applied.ok()) return cmd_error(cmd, applied.error().message);
+    outcome->rules_installed += applied.value();
+    return true;
+  };
+
+  if (name == "abort") {
+    auto src = text_arg(cmd, 0, "src");
+    if (!src.ok()) return src.error();
+    auto dst = text_arg(cmd, 1, "dst");
+    if (!dst.ok()) return dst.error();
+    const int error =
+        static_cast<int>(number_arg_or(cmd, 2, "error", 503));
+    return apply_spec(FailureSpec::abort_edge(src.value(), dst.value(),
+                                              error));
+  }
+  if (name == "delay") {
+    auto src = text_arg(cmd, 0, "src");
+    if (!src.ok()) return src.error();
+    auto dst = text_arg(cmd, 1, "dst");
+    if (!dst.ok()) return dst.error();
+    const Duration interval =
+        duration_arg_or(cmd, 2, "interval", msec(100));
+    return apply_spec(
+        FailureSpec::delay_edge(src.value(), dst.value(), interval));
+  }
+  if (name == "modify") {
+    auto src = text_arg(cmd, 0, "src");
+    if (!src.ok()) return src.error();
+    auto dst = text_arg(cmd, 1, "dst");
+    if (!dst.ok()) return dst.error();
+    auto match = text_arg(cmd, 2, "match");
+    if (!match.ok()) return match.error();
+    auto replace = text_arg(cmd, 3, "replace");
+    if (!replace.ok()) return replace.error();
+    return apply_spec(FailureSpec::modify_edge(src.value(), dst.value(),
+                                               match.value(),
+                                               replace.value()));
+  }
+  if (name == "disconnect") {
+    auto src = text_arg(cmd, 0, "src");
+    if (!src.ok()) return src.error();
+    auto dst = text_arg(cmd, 1, "dst");
+    if (!dst.ok()) return dst.error();
+    const int error = static_cast<int>(number_arg_or(cmd, 2, "error", 503));
+    return apply_spec(
+        FailureSpec::disconnect(src.value(), dst.value(), error));
+  }
+  if (name == "crash") {
+    auto svc = text_arg(cmd, 0, "service");
+    if (!svc.ok()) return svc.error();
+    return apply_spec(FailureSpec::crash(svc.value()));
+  }
+  if (name == "crash_recovery") {
+    // Crash-recovery failure (Section 3.1): the service is down for
+    // `downtime` of virtual time, then heals.
+    auto svc = text_arg(cmd, 0, "service");
+    if (!svc.ok()) return svc.error();
+    const Duration downtime = duration_arg_or(cmd, 1, "downtime", sec(5));
+    FailureSpec spec = FailureSpec::crash(svc.value());
+    apply_common_options(cmd, &spec);
+    auto applied = session->apply_for(spec, downtime);
+    if (!applied.ok()) return cmd_error(cmd, applied.error().message);
+    outcome->rules_installed += applied.value();
+    return true;
+  }
+  if (name == "hang") {
+    auto svc = text_arg(cmd, 0, "service");
+    if (!svc.ok()) return svc.error();
+    const Duration interval = duration_arg_or(cmd, 1, "interval", hours(1));
+    return apply_spec(FailureSpec::hang(svc.value(), interval));
+  }
+  if (name == "overload") {
+    auto svc = text_arg(cmd, 0, "service");
+    if (!svc.ok()) return svc.error();
+    const Duration delay = duration_arg_or(cmd, 1, "delay", msec(100));
+    const double abort_fraction =
+        number_arg_or(cmd, 2, "abort_fraction", 0.25);
+    return apply_spec(
+        FailureSpec::overload(svc.value(), delay, abort_fraction));
+  }
+  if (name == "fake_success") {
+    auto svc = text_arg(cmd, 0, "service");
+    if (!svc.ok()) return svc.error();
+    auto match = text_arg(cmd, 1, "match");
+    if (!match.ok()) return match.error();
+    auto replace = text_arg(cmd, 2, "replace");
+    if (!replace.ok()) return replace.error();
+    return apply_spec(FailureSpec::fake_success(svc.value(), match.value(),
+                                                replace.value()));
+  }
+  if (name == "partition") {
+    const Arg* group = cmd.named("group");
+    if (group == nullptr) group = cmd.positional(0);
+    if (group == nullptr || group->kind != Arg::Kind::kList) {
+      return cmd_error(cmd, "partition requires a [list] of services");
+    }
+    return apply_spec(FailureSpec::partition(
+        std::set<std::string>(group->list.begin(), group->list.end())));
+  }
+
+  // ---- workload & bookkeeping ----
+  if (name == "load") {
+    const std::string client = text_arg_or(cmd, 0, "client", "user");
+    auto target = text_arg(cmd, 1, "target");
+    if (!target.ok()) return target.error();
+    control::LoadOptions load;
+    load.count = static_cast<size_t>(number_arg_or(cmd, 2, "count", 100));
+    load.gap = duration_arg_or(cmd, 3, "gap", msec(10));
+    load.closed_loop = bool_arg_or(cmd, "closed_loop", false);
+    load.id_prefix = text_arg_or(cmd, 99, "prefix", "test-");
+    load.horizon = duration_arg_or(cmd, 99, "horizon", kDurationZero);
+    session->run_load(client, target.value(), load);
+    outcome->requests_injected += load.count;
+    return true;
+  }
+  if (name == "collect") {
+    auto ok = session->collect();
+    if (!ok.ok()) return cmd_error(cmd, ok.error().message);
+    return true;
+  }
+  if (name == "clear") {
+    auto ok = session->clear_faults();
+    if (!ok.ok()) return cmd_error(cmd, ok.error().message);
+    return true;
+  }
+  if (name == "clear_logs") {
+    sim_->log_store().clear();
+    auto ok = session->orchestrator().discard_logs();
+    if (!ok.ok()) return cmd_error(cmd, ok.error().message);
+    return true;
+  }
+
+  // ---- assertions ----
+  auto record = [&](const CheckResult& result) -> Result<bool> {
+    outcome->checks.push_back(result);
+    session->check(result);
+    if (!result.passed && cmd.required) {
+      outcome->aborted = true;
+      outcome->abort_reason = result.name + " failed: " + result.detail;
+      return false;  // stop the scenario
+    }
+    return true;
+  };
+
+  const auto checker = session->checker();
+  if (name == "has_timeouts") {
+    auto svc = text_arg(cmd, 0, "service");
+    if (!svc.ok()) return svc.error();
+    const Duration bound = duration_arg_or(cmd, 1, "max_latency", sec(1));
+    return record(checker.has_timeouts(svc.value(), bound));
+  }
+  if (name == "has_bounded_retries") {
+    auto src = text_arg(cmd, 0, "src");
+    if (!src.ok()) return src.error();
+    auto dst = text_arg(cmd, 1, "dst");
+    if (!dst.ok()) return dst.error();
+    const int max_tries =
+        static_cast<int>(number_arg_or(cmd, 2, "max_tries", 5));
+    return record(
+        checker.has_bounded_retries(src.value(), dst.value(), max_tries));
+  }
+  if (name == "has_circuit_breaker") {
+    auto src = text_arg(cmd, 0, "src");
+    if (!src.ok()) return src.error();
+    auto dst = text_arg(cmd, 1, "dst");
+    if (!dst.ok()) return dst.error();
+    const int threshold =
+        static_cast<int>(number_arg_or(cmd, 2, "threshold", 5));
+    const Duration tdelta = duration_arg_or(cmd, 3, "tdelta", sec(30));
+    const int success =
+        static_cast<int>(number_arg_or(cmd, 4, "success_threshold", 1));
+    return record(checker.has_circuit_breaker(src.value(), dst.value(),
+                                              threshold, tdelta, success));
+  }
+  if (name == "has_latency_slo") {
+    auto src = text_arg(cmd, 0, "src");
+    if (!src.ok()) return src.error();
+    auto dst = text_arg(cmd, 1, "dst");
+    if (!dst.ok()) return dst.error();
+    const double pct = number_arg_or(cmd, 2, "percentile", 99);
+    const Duration bound = duration_arg_or(cmd, 3, "bound", sec(1));
+    const bool with_rule = bool_arg_or(cmd, "with_rule", true);
+    return record(checker.has_latency_slo(src.value(), dst.value(), pct,
+                                          bound, with_rule));
+  }
+  if (name == "error_rate_below") {
+    auto src = text_arg(cmd, 0, "src");
+    if (!src.ok()) return src.error();
+    auto dst = text_arg(cmd, 1, "dst");
+    if (!dst.ok()) return dst.error();
+    const double max = number_arg_or(cmd, 2, "max", 0.01);
+    return record(checker.error_rate_below(src.value(), dst.value(), max));
+  }
+  if (name == "has_bulkhead") {
+    auto src = text_arg(cmd, 0, "src");
+    if (!src.ok()) return src.error();
+    auto slow = text_arg(cmd, 1, "slow_dst");
+    if (!slow.ok()) return slow.error();
+    const double rate = number_arg_or(cmd, 2, "rate", 1.0);
+    return record(checker.has_bulkhead(src.value(), slow.value(), rate));
+  }
+  if (name == "failure_contained") {
+    auto origin = text_arg(cmd, 0, "origin");
+    if (!origin.ok()) return origin.error();
+    return record(checker.failure_contained(origin.value()));
+  }
+
+  return cmd_error(cmd, "unknown command");
+}
+
+Result<RunOutcome> Interpreter::run(const RecipeFile& file) {
+  auto ensured = ensure_services(file.graph);
+  if (!ensured.ok()) return ensured.error();
+
+  RunOutcome run_outcome;
+  for (const auto& scenario : file.scenarios) {
+    TestSession session(sim_, file.graph);
+    ScenarioOutcome outcome;
+    outcome.name = scenario.name;
+    for (const auto& cmd : scenario.commands) {
+      auto cont = execute(&session, cmd, &outcome);
+      if (!cont.ok()) return cont.error();
+      if (!cont.value()) break;  // require failed: abort this scenario
+    }
+    // Leave the deployment clean for the next scenario.
+    (void)session.clear_faults();
+    run_outcome.scenarios.push_back(std::move(outcome));
+  }
+  return run_outcome;
+}
+
+Result<RunOutcome> Interpreter::run_source(std::string_view source) {
+  auto file = parse(source);
+  if (!file.ok()) return file.error();
+  return run(file.value());
+}
+
+}  // namespace gremlin::dsl

@@ -1,0 +1,73 @@
+// Interpreter for the Gremlin recipe language: executes a parsed RecipeFile
+// against a simulated deployment through the standard control plane.
+//
+// Commands:
+//   Failure scenarios — abort(src, dst, error=503, pattern="test-*",
+//     probability=1, max_matches=N, on=request|response),
+//     delay(src, dst, interval=100ms, ...), modify(src, dst, match=...,
+//     replace=..., ...), disconnect(src, dst, error=503), crash(svc),
+//     hang(svc, interval=1h), overload(svc, delay=100ms,
+//     abort_fraction=0.25), fake_success(svc, match=..., replace=...),
+//     partition([a, b, c])
+//   load(client=user, target=svc, count=100, gap=10ms, closed_loop=false,
+//     prefix="test-")
+//   collect — drain agent logs into the central store
+//   clear — remove all fault rules
+//   clear_logs — reset the central store and agent buffers
+//   assert <check>(...) — record an assertion outcome:
+//     has_timeouts(svc, max_latency), has_bounded_retries(src, dst,
+//     max_tries), has_circuit_breaker(src, dst, threshold=5, tdelta=30s,
+//     success_threshold=1), has_bulkhead(src, slow_dst, rate),
+//     has_latency_slo(src, dst, percentile=99, bound=1s, with_rule=true),
+//     error_rate_below(src, dst, max=0.01)
+//   require <check>(...) — like assert, but aborts the scenario on failure
+//     (the conditional chaining of Section 4.2)
+//
+// Services present in the recipe graph but missing from the simulation are
+// auto-created with the default handler when autocreate is enabled.
+#pragma once
+
+#include "control/recipe.h"
+#include "dsl/ast.h"
+#include "sim/simulation.h"
+
+namespace gremlin::dsl {
+
+struct ScenarioOutcome {
+  std::string name;
+  std::vector<control::CheckResult> checks;
+  bool aborted = false;          // a `require` failed
+  std::string abort_reason;
+  size_t rules_installed = 0;
+  size_t requests_injected = 0;
+
+  bool all_passed() const;
+};
+
+struct RunOutcome {
+  std::vector<ScenarioOutcome> scenarios;
+
+  bool all_passed() const;
+  std::string report() const;
+};
+
+class Interpreter {
+ public:
+  explicit Interpreter(sim::Simulation* sim) : sim_(sim) {}
+
+  // Auto-create graph services missing from the simulation (default on).
+  void set_autocreate(bool enabled) { autocreate_ = enabled; }
+
+  Result<RunOutcome> run(const RecipeFile& file);
+  Result<RunOutcome> run_source(std::string_view source);
+
+ private:
+  VoidResult ensure_services(const topology::AppGraph& graph);
+  Result<bool> execute(control::TestSession* session, const Command& cmd,
+                       ScenarioOutcome* outcome);
+
+  sim::Simulation* sim_;
+  bool autocreate_ = true;
+};
+
+}  // namespace gremlin::dsl

@@ -1,0 +1,192 @@
+#include "dsl/lexer.h"
+
+#include <cctype>
+
+namespace gremlin::dsl {
+
+const char* to_string(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kString: return "string";
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kDuration: return "duration";
+    case TokenKind::kArrow: return "'->'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kEquals: return "'='";
+    case TokenKind::kEof: return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '-' || c == '.' || c == '*' || c == '?';
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : src_(source) {}
+
+  Result<std::vector<Token>> run() {
+    std::vector<Token> tokens;
+    for (;;) {
+      skip_ws_and_comments();
+      if (pos_ >= src_.size()) break;
+      auto token = next_token();
+      if (!token.ok()) return token.error();
+      tokens.push_back(std::move(token.value()));
+    }
+    Token eof;
+    eof.kind = TokenKind::kEof;
+    eof.line = line_;
+    eof.column = col_;
+    tokens.push_back(eof);
+    return tokens;
+  }
+
+ private:
+  Error fail(const std::string& msg) const {
+    return Error::parse("recipe:" + std::to_string(line_) + ":" +
+                        std::to_string(col_) + ": " + msg);
+  }
+
+  char peek(size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  char advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  void skip_ws_and_comments() {
+    while (pos_ < src_.size()) {
+      const char c = peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        advance();
+      } else if (c == '#') {
+        while (pos_ < src_.size() && peek() != '\n') advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  Token begin_token(TokenKind kind) const {
+    Token t;
+    t.kind = kind;
+    t.line = line_;
+    t.column = col_;
+    return t;
+  }
+
+  Result<Token> next_token() {
+    const char c = peek();
+    switch (c) {
+      case '{': { Token t = begin_token(TokenKind::kLBrace); advance(); return t; }
+      case '}': { Token t = begin_token(TokenKind::kRBrace); advance(); return t; }
+      case '(': { Token t = begin_token(TokenKind::kLParen); advance(); return t; }
+      case ')': { Token t = begin_token(TokenKind::kRParen); advance(); return t; }
+      case '[': { Token t = begin_token(TokenKind::kLBracket); advance(); return t; }
+      case ']': { Token t = begin_token(TokenKind::kRBracket); advance(); return t; }
+      case ',': { Token t = begin_token(TokenKind::kComma); advance(); return t; }
+      case '=': { Token t = begin_token(TokenKind::kEquals); advance(); return t; }
+      case '-':
+        if (peek(1) == '>') {
+          Token t = begin_token(TokenKind::kArrow);
+          advance();
+          advance();
+          return t;
+        }
+        if (std::isdigit(static_cast<unsigned char>(peek(1)))) {
+          return lex_number();
+        }
+        return fail("unexpected '-'");
+      case '"':
+        return lex_string();
+      default:
+        if (std::isdigit(static_cast<unsigned char>(c))) return lex_number();
+        if (ident_start(c)) return lex_ident();
+        return fail(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  Result<Token> lex_string() {
+    Token t = begin_token(TokenKind::kString);
+    advance();  // opening quote
+    while (pos_ < src_.size() && peek() != '"') {
+      if (peek() == '\n') return fail("unterminated string");
+      if (peek() == '\\' && pos_ + 1 < src_.size()) {
+        advance();
+        t.text.push_back(advance());
+      } else {
+        t.text.push_back(advance());
+      }
+    }
+    if (pos_ >= src_.size()) return fail("unterminated string");
+    advance();  // closing quote
+    return t;
+  }
+
+  Result<Token> lex_number() {
+    Token t = begin_token(TokenKind::kNumber);
+    std::string digits;
+    if (peek() == '-') digits.push_back(advance());
+    while (std::isdigit(static_cast<unsigned char>(peek())) ||
+           peek() == '.') {
+      digits.push_back(advance());
+    }
+    // Unit suffix turns the number into a duration.
+    std::string unit;
+    while (std::isalpha(static_cast<unsigned char>(peek()))) {
+      unit.push_back(advance());
+    }
+    if (!unit.empty()) {
+      auto dur = parse_duration(digits + unit);
+      if (!dur.ok()) return fail(dur.error().message);
+      t.kind = TokenKind::kDuration;
+      t.duration = dur.value();
+      t.text = digits + unit;
+      return t;
+    }
+    t.number = std::strtod(digits.c_str(), nullptr);
+    t.text = digits;
+    return t;
+  }
+
+  Result<Token> lex_ident() {
+    Token t = begin_token(TokenKind::kIdent);
+    while (ident_char(peek())) t.text.push_back(advance());
+    return t;
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> lex(std::string_view source) {
+  return Lexer(source).run();
+}
+
+}  // namespace gremlin::dsl

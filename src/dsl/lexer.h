@@ -1,0 +1,62 @@
+// Lexer for the Gremlin recipe language.
+//
+// The paper expresses recipes as Python scripts over the Gremlin libraries
+// (Section 3.2); this library ships a small declarative language instead:
+//
+//   # ElasticPress resilience test
+//   graph {
+//     user -> wordpress
+//     wordpress -> elasticsearch
+//     wordpress -> mysql
+//   }
+//   scenario "overload test" {
+//     overload(elasticsearch, delay=100ms, abort_fraction=0.25)
+//     load(client=user, target=wordpress, count=100, gap=10ms)
+//     collect
+//     assert has_bounded_retries(wordpress, elasticsearch, max_tries=5)
+//   }
+//
+// Tokens: identifiers, "strings", numbers (42, 0.25), durations (100ms, 3s,
+// 1min, 1h), punctuation ({ } ( ) [ ] , =) and the arrow ->. Comments run
+// from '#' to end of line.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/duration.h"
+#include "common/result.h"
+
+namespace gremlin::dsl {
+
+enum class TokenKind {
+  kIdent,
+  kString,
+  kNumber,
+  kDuration,
+  kArrow,     // ->
+  kLBrace,    // {
+  kRBrace,    // }
+  kLParen,    // (
+  kRParen,    // )
+  kLBracket,  // [
+  kRBracket,  // ]
+  kComma,     // ,
+  kEquals,    // =
+  kEof,
+};
+
+const char* to_string(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;     // identifier name / string contents / raw number
+  double number = 0;    // kNumber
+  Duration duration{};  // kDuration
+  int line = 1;
+  int column = 1;
+};
+
+Result<std::vector<Token>> lex(std::string_view source);
+
+}  // namespace gremlin::dsl

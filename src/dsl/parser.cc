@@ -1,0 +1,186 @@
+#include "dsl/parser.h"
+
+namespace gremlin::dsl {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::vector<Token>& tokens) : tokens_(tokens) {}
+
+  Result<RecipeFile> run() {
+    RecipeFile file;
+    while (!at(TokenKind::kEof)) {
+      if (at_ident("graph")) {
+        auto ok = parse_graph(&file);
+        if (!ok.ok()) return ok.error();
+      } else if (at_ident("scenario")) {
+        auto scenario = parse_scenario();
+        if (!scenario.ok()) return scenario.error();
+        file.scenarios.push_back(std::move(scenario.value()));
+      } else {
+        return fail("expected 'graph' or 'scenario'");
+      }
+    }
+    if (file.scenarios.empty()) {
+      return fail("recipe contains no scenarios");
+    }
+    return file;
+  }
+
+ private:
+  const Token& cur() const { return tokens_[pos_]; }
+  bool at(TokenKind kind) const { return cur().kind == kind; }
+  bool at_ident(std::string_view name) const {
+    return cur().kind == TokenKind::kIdent && cur().text == name;
+  }
+  const Token& advance() { return tokens_[pos_++]; }
+
+  Error fail(const std::string& msg) const {
+    return Error::parse("recipe:" + std::to_string(cur().line) + ":" +
+                        std::to_string(cur().column) + ": " + msg +
+                        " (got " + std::string(to_string(cur().kind)) +
+                        (cur().text.empty() ? "" : " '" + cur().text + "'") +
+                        ")");
+  }
+
+  VoidResult expect(TokenKind kind) {
+    if (!at(kind)) {
+      return fail("expected " + std::string(to_string(kind)));
+    }
+    advance();
+    return VoidResult::success();
+  }
+
+  VoidResult parse_graph(RecipeFile* file) {
+    advance();  // 'graph'
+    auto ok = expect(TokenKind::kLBrace);
+    if (!ok.ok()) return ok;
+    while (!at(TokenKind::kRBrace)) {
+      if (!at(TokenKind::kIdent)) return fail("expected service name");
+      std::string prev = advance().text;
+      file->graph.add_service(prev);
+      while (at(TokenKind::kArrow)) {
+        advance();
+        if (!at(TokenKind::kIdent)) {
+          return fail("expected service name after '->'");
+        }
+        const std::string next = advance().text;
+        file->graph.add_edge(prev, next);
+        prev = next;
+      }
+    }
+    return expect(TokenKind::kRBrace);
+  }
+
+  Result<Scenario> parse_scenario() {
+    Scenario scenario;
+    scenario.line = cur().line;
+    advance();  // 'scenario'
+    if (!at(TokenKind::kString)) return fail("expected scenario name string");
+    scenario.name = advance().text;
+    auto ok = expect(TokenKind::kLBrace);
+    if (!ok.ok()) return ok.error();
+    while (!at(TokenKind::kRBrace)) {
+      auto cmd = parse_command();
+      if (!cmd.ok()) return cmd.error();
+      scenario.commands.push_back(std::move(cmd.value()));
+    }
+    ok = expect(TokenKind::kRBrace);
+    if (!ok.ok()) return ok.error();
+    return scenario;
+  }
+
+  Result<Command> parse_command() {
+    Command cmd;
+    cmd.line = cur().line;
+    if (at_ident("require")) {
+      cmd.required = true;
+      advance();
+    }
+    if (at_ident("assert")) {
+      advance();  // 'assert' is optional sugar before a check name
+      if (!cmd.required) cmd.required = false;
+    }
+    if (!at(TokenKind::kIdent)) return fail("expected command name");
+    cmd.name = advance().text;
+    if (!at(TokenKind::kLParen)) return cmd;  // bare keyword (collect, clear)
+    advance();  // '('
+    if (!at(TokenKind::kRParen)) {
+      for (;;) {
+        auto arg = parse_arg();
+        if (!arg.ok()) return arg.error();
+        cmd.args.push_back(std::move(arg.value()));
+        if (at(TokenKind::kComma)) {
+          advance();
+          continue;
+        }
+        break;
+      }
+    }
+    auto ok = expect(TokenKind::kRParen);
+    if (!ok.ok()) return ok.error();
+    return cmd;
+  }
+
+  Result<Arg> parse_arg() {
+    Arg arg;
+    arg.line = cur().line;
+    // Lookahead for `name =`.
+    if (at(TokenKind::kIdent) && pos_ + 1 < tokens_.size() &&
+        tokens_[pos_ + 1].kind == TokenKind::kEquals) {
+      arg.name = advance().text;
+      advance();  // '='
+    }
+    switch (cur().kind) {
+      case TokenKind::kIdent:
+        arg.kind = Arg::Kind::kIdent;
+        arg.text = advance().text;
+        return arg;
+      case TokenKind::kString:
+        arg.kind = Arg::Kind::kString;
+        arg.text = advance().text;
+        return arg;
+      case TokenKind::kNumber:
+        arg.kind = Arg::Kind::kNumber;
+        arg.number = advance().number;
+        return arg;
+      case TokenKind::kDuration:
+        arg.kind = Arg::Kind::kDuration;
+        arg.duration = advance().duration;
+        return arg;
+      case TokenKind::kLBracket: {
+        advance();
+        arg.kind = Arg::Kind::kList;
+        while (!at(TokenKind::kRBracket)) {
+          if (cur().kind != TokenKind::kIdent &&
+              cur().kind != TokenKind::kString) {
+            return fail("list elements must be identifiers or strings");
+          }
+          arg.list.push_back(advance().text);
+          if (at(TokenKind::kComma)) advance();
+        }
+        advance();  // ']'
+        return arg;
+      }
+      default:
+        return fail("expected argument value");
+    }
+  }
+
+  const std::vector<Token>& tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<RecipeFile> parse_tokens(const std::vector<Token>& tokens) {
+  return Parser(tokens).run();
+}
+
+Result<RecipeFile> parse(std::string_view source) {
+  auto tokens = lex(source);
+  if (!tokens.ok()) return tokens.error();
+  return parse_tokens(tokens.value());
+}
+
+}  // namespace gremlin::dsl

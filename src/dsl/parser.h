@@ -1,0 +1,22 @@
+// Recursive-descent parser for the Gremlin recipe language.
+//
+// Grammar (informal):
+//   file      := (graph_block | scenario)*
+//   graph_block := "graph" "{" edge* "}"
+//   edge      := ident ("->" ident)+
+//   scenario  := "scenario" string "{" command* "}"
+//   command   := ["require"] ["assert"] ident [ "(" arg_list ")" ]
+//   arg_list  := arg ("," arg)*
+//   arg       := [ident "="] value
+//   value     := ident | string | number | duration | "[" value* "]"
+#pragma once
+
+#include "dsl/ast.h"
+#include "dsl/lexer.h"
+
+namespace gremlin::dsl {
+
+Result<RecipeFile> parse(std::string_view source);
+Result<RecipeFile> parse_tokens(const std::vector<Token>& tokens);
+
+}  // namespace gremlin::dsl

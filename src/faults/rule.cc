@@ -1,0 +1,148 @@
+#include "faults/rule.h"
+
+namespace gremlin::faults {
+namespace {
+
+uint64_t next_anonymous_id() {
+  static uint64_t counter = 0;
+  return ++counter;
+}
+
+std::string fault_kind_name(FaultKind k) { return logstore::to_string(k); }
+
+}  // namespace
+
+VoidResult FaultRule::validate() const {
+  if (source.empty() || destination.empty()) {
+    return Error::invalid_argument("rule " + id +
+                                   ": source and destination are mandatory");
+  }
+  if (probability < 0.0 || probability > 1.0) {
+    return Error::invalid_argument("rule " + id +
+                                   ": probability must be in [0,1]");
+  }
+  switch (type) {
+    case FaultKind::kAbort:
+      if (abort_code != kTcpReset && (abort_code < 100 || abort_code > 599)) {
+        return Error::invalid_argument(
+            "rule " + id + ": abort code must be an HTTP status or -1");
+      }
+      break;
+    case FaultKind::kDelay:
+      if (delay_interval <= kDurationZero) {
+        return Error::invalid_argument("rule " + id +
+                                       ": delay interval must be positive");
+      }
+      break;
+    case FaultKind::kModify:
+      if (body_pattern.empty()) {
+        return Error::invalid_argument(
+            "rule " + id + ": modify requires a body pattern to replace");
+      }
+      break;
+    case FaultKind::kNone:
+      return Error::invalid_argument("rule " + id + ": type must be set");
+  }
+  return VoidResult::success();
+}
+
+Json FaultRule::to_json() const {
+  Json j = Json::object();
+  j["id"] = id;
+  j["source"] = source;
+  j["destination"] = destination;
+  j["type"] = fault_kind_name(type);
+  j["on"] = logstore::to_string(on);
+  j["pattern"] = pattern;
+  j["probability"] = probability;
+  j["abort_code"] = abort_code;
+  j["delay_us"] = delay_interval.count();
+  j["body_pattern"] = body_pattern;
+  j["replace_bytes"] = replace_bytes;
+  if (max_matches != kUnlimitedMatches) {
+    j["max_matches"] = static_cast<int64_t>(max_matches);
+  }
+  return j;
+}
+
+Result<FaultRule> FaultRule::from_json(const Json& j) {
+  if (!j.is_object()) return Error::parse("rule must be a JSON object");
+  FaultRule r;
+  r.id = j["id"].as_string();
+  r.source = j["source"].as_string();
+  r.destination = j["destination"].as_string();
+  const std::string& type = j["type"].as_string();
+  if (type == "abort") {
+    r.type = FaultKind::kAbort;
+  } else if (type == "delay") {
+    r.type = FaultKind::kDelay;
+  } else if (type == "modify") {
+    r.type = FaultKind::kModify;
+  } else {
+    return Error::parse("unknown fault type '" + type + "'");
+  }
+  const std::string& on = j["on"].as_string();
+  if (on == "response") {
+    r.on = MessageKind::kResponse;
+  } else if (on == "request" || on.empty()) {
+    r.on = MessageKind::kRequest;
+  } else {
+    return Error::parse("unknown 'on' side '" + on + "'");
+  }
+  if (j.contains("pattern")) r.pattern = j["pattern"].as_string();
+  if (j.contains("probability")) r.probability = j["probability"].as_double(1.0);
+  if (j.contains("abort_code")) r.abort_code = static_cast<int>(j["abort_code"].as_int(503));
+  if (j.contains("delay_us")) r.delay_interval = Duration(j["delay_us"].as_int());
+  r.body_pattern = j["body_pattern"].as_string();
+  r.replace_bytes = j["replace_bytes"].as_string();
+  if (j.contains("max_matches")) {
+    r.max_matches = static_cast<uint64_t>(j["max_matches"].as_int());
+  }
+  auto valid = r.validate();
+  if (!valid.ok()) return valid.error();
+  return r;
+}
+
+FaultRule FaultRule::abort_rule(std::string src, std::string dst, int error,
+                                std::string pattern, double probability) {
+  FaultRule r;
+  r.id = "abort-" + std::to_string(next_anonymous_id());
+  r.source = std::move(src);
+  r.destination = std::move(dst);
+  r.type = FaultKind::kAbort;
+  r.abort_code = error;
+  r.pattern = std::move(pattern);
+  r.probability = probability;
+  return r;
+}
+
+FaultRule FaultRule::delay_rule(std::string src, std::string dst,
+                                Duration interval, std::string pattern,
+                                double probability) {
+  FaultRule r;
+  r.id = "delay-" + std::to_string(next_anonymous_id());
+  r.source = std::move(src);
+  r.destination = std::move(dst);
+  r.type = FaultKind::kDelay;
+  r.delay_interval = interval;
+  r.pattern = std::move(pattern);
+  r.probability = probability;
+  return r;
+}
+
+FaultRule FaultRule::modify_rule(std::string src, std::string dst,
+                                 std::string body_pattern,
+                                 std::string replace_bytes,
+                                 std::string pattern) {
+  FaultRule r;
+  r.id = "modify-" + std::to_string(next_anonymous_id());
+  r.source = std::move(src);
+  r.destination = std::move(dst);
+  r.type = FaultKind::kModify;
+  r.body_pattern = std::move(body_pattern);
+  r.replace_bytes = std::move(replace_bytes);
+  r.pattern = std::move(pattern);
+  return r;
+}
+
+}  // namespace gremlin::faults

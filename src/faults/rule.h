@@ -1,0 +1,81 @@
+// FaultRule: the data-plane interface of Table 2.
+//
+// A rule instructs a Gremlin agent to Abort, Delay or Modify messages
+// flowing from `source` to `destination` whose request ID matches a glob
+// `pattern`, on either the request or the response side, with a given
+// probability. Non-mandatory parameters take the defaults the paper implies
+// (Probability=1, On=request, Pattern matches everything).
+//
+// Extensions needed by the evaluation:
+//  * abort_code == kTcpReset (-1) emulates a TCP-level connection
+//    termination rather than an application error (Section 5, Crash).
+//  * max_matches bounds how many messages a rule fires on, enabling the
+//    "abort 100 consecutive requests, then delay the next 100" sequence of
+//    Figure 6 without controller round-trips. Rules are evaluated in
+//    installation order, first match wins; an exhausted rule stops matching.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/duration.h"
+#include "common/glob.h"
+#include "common/json.h"
+#include "logstore/record.h"
+
+namespace gremlin::faults {
+
+using logstore::FaultKind;
+using logstore::MessageKind;
+
+// Abort code that emulates terminating the connection at the TCP level
+// (the caller observes a reset, not an HTTP status).
+inline constexpr int kTcpReset = -1;
+
+inline constexpr uint64_t kUnlimitedMatches =
+    std::numeric_limits<uint64_t>::max();
+
+struct FaultRule {
+  std::string id;             // unique within a test run
+  std::string source;         // logical service name; "*" = any
+  std::string destination;    // logical service name; "*" = any
+  FaultKind type = FaultKind::kAbort;
+  MessageKind on = MessageKind::kRequest;
+  std::string pattern = "*";  // glob over the request ID
+  double probability = 1.0;
+
+  // Abort parameters.
+  int abort_code = 503;       // HTTP status to synthesize, or kTcpReset
+
+  // Delay parameters.
+  Duration delay_interval{};
+
+  // Modify parameters: replace occurrences of body_pattern with
+  // replace_bytes in the message body.
+  std::string body_pattern;
+  std::string replace_bytes;
+
+  // Bounded-count matching; see header comment.
+  uint64_t max_matches = kUnlimitedMatches;
+
+  // Validation used by the orchestrator and the proxy control API.
+  VoidResult validate() const;
+
+  Json to_json() const;
+  static Result<FaultRule> from_json(const Json& j);
+
+  // Convenience constructors mirroring Table 2.
+  static FaultRule abort_rule(std::string src, std::string dst, int error,
+                              std::string pattern = "*",
+                              double probability = 1.0);
+  static FaultRule delay_rule(std::string src, std::string dst,
+                              Duration interval, std::string pattern = "*",
+                              double probability = 1.0);
+  static FaultRule modify_rule(std::string src, std::string dst,
+                               std::string body_pattern,
+                               std::string replace_bytes,
+                               std::string pattern = "*");
+};
+
+}  // namespace gremlin::faults

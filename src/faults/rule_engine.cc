@@ -1,0 +1,115 @@
+#include "faults/rule_engine.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace gremlin::faults {
+
+RuleEngine::RuleEngine(uint64_t seed, std::string_view seed_label)
+    : rng_(Rng(seed).fork(seed_label)) {}
+
+VoidResult RuleEngine::add_rule(FaultRule rule) {
+  auto valid = rule.validate();
+  if (!valid.ok()) return valid;
+  std::lock_guard lock(mu_);
+  for (const auto& in : rules_) {
+    if (in.rule.id == rule.id) {
+      return Error::invalid_argument("duplicate rule id '" + rule.id + "'");
+    }
+  }
+  Installed in;
+  in.src_glob = Glob(rule.source);
+  in.dst_glob = Glob(rule.destination);
+  in.id_glob = Glob(rule.pattern.empty() ? "*" : rule.pattern);
+  in.rule = std::move(rule);
+  rules_.push_back(std::move(in));
+  return VoidResult::success();
+}
+
+VoidResult RuleEngine::add_rules(const std::vector<FaultRule>& rules) {
+  for (const auto& r : rules) {
+    auto res = add_rule(r);
+    if (!res.ok()) return res;
+  }
+  return VoidResult::success();
+}
+
+bool RuleEngine::remove_rule(const std::string& id) {
+  std::lock_guard lock(mu_);
+  const auto it = std::find_if(
+      rules_.begin(), rules_.end(),
+      [&id](const Installed& in) { return in.rule.id == id; });
+  if (it == rules_.end()) return false;
+  rules_.erase(it);
+  return true;
+}
+
+void RuleEngine::clear() {
+  std::lock_guard lock(mu_);
+  rules_.clear();
+  total_matches_ = 0;
+}
+
+size_t RuleEngine::rule_count() const {
+  std::lock_guard lock(mu_);
+  return rules_.size();
+}
+
+std::vector<FaultRule> RuleEngine::rules() const {
+  std::lock_guard lock(mu_);
+  std::vector<FaultRule> out;
+  out.reserve(rules_.size());
+  for (const auto& in : rules_) out.push_back(in.rule);
+  return out;
+}
+
+bool RuleEngine::matches_locked(const Installed& in,
+                                const MessageView& msg) const {
+  const FaultRule& r = in.rule;
+  if (in.matches >= r.max_matches) return false;
+  if (r.on != msg.kind) return false;
+  if (!in.src_glob.match_all() && !in.src_glob.matches(msg.src)) return false;
+  if (!in.dst_glob.match_all() && !in.dst_glob.matches(msg.dst)) return false;
+  if (!in.id_glob.match_all() && !in.id_glob.matches(msg.request_id)) {
+    return false;
+  }
+  return true;
+}
+
+FaultDecision RuleEngine::evaluate(const MessageView& msg) {
+  std::lock_guard lock(mu_);
+  for (auto& in : rules_) {
+    if (!matches_locked(in, msg)) continue;
+    if (in.rule.probability < 1.0 && !rng_.bernoulli(in.rule.probability)) {
+      // A probabilistic decline falls through to the next rule. Recipes that
+      // need an exact traffic split across several rules on the same edge
+      // (e.g. Overload's 25% abort / 75% delay) install conditional
+      // probabilities: Abort(p=.25) followed by Delay(p=1).
+      continue;
+    }
+    in.matches += 1;
+    total_matches_ += 1;
+    FaultDecision d;
+    d.action = in.rule.type;
+    d.rule_id = in.rule.id;
+    d.abort_code = in.rule.abort_code;
+    d.delay = in.rule.delay_interval;
+    d.body_pattern = in.rule.body_pattern;
+    d.replace_bytes = in.rule.replace_bytes;
+    return d;
+  }
+  return {};
+}
+
+int RuleEngine::apply_modify(const FaultDecision& decision, std::string* body) {
+  if (decision.action != FaultKind::kModify || body == nullptr) return 0;
+  return replace_all(body, decision.body_pattern, decision.replace_bytes);
+}
+
+uint64_t RuleEngine::total_matches() const {
+  std::lock_guard lock(mu_);
+  return total_matches_;
+}
+
+}  // namespace gremlin::faults

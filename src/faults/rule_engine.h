@@ -1,0 +1,97 @@
+// RuleEngine: the message-matching core of a Gremlin agent.
+//
+// Both data planes — the discrete-event simulator's sidecars and the real
+// TCP proxy — delegate to this class, so experiments exercise the same code
+// path regardless of substrate. The engine holds an ordered rule list;
+// evaluation walks the list and the first enabled, matching, probability-
+// passing rule wins. Evaluation is the Figure 8 hot path: it allocates
+// nothing and compares the request ID against each rule's glob.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "faults/rule.h"
+
+namespace gremlin::faults {
+
+// A protocol-neutral view of an intercepted message. The proxy builds one
+// from a parsed HTTP message; the simulator from its internal message type.
+struct MessageView {
+  MessageKind kind = MessageKind::kRequest;
+  std::string_view src;
+  std::string_view dst;
+  std::string_view request_id;
+  std::string_view method;
+  std::string_view uri;
+  int status = 0;            // responses only
+  std::string_view body;
+};
+
+// What the agent should do with the message.
+struct FaultDecision {
+  FaultKind action = FaultKind::kNone;
+  std::string rule_id;
+  int abort_code = 0;          // kAbort
+  Duration delay{};            // kDelay
+  std::string body_pattern;    // kModify
+  std::string replace_bytes;   // kModify
+
+  bool none() const { return action == FaultKind::kNone; }
+  bool is_tcp_reset() const {
+    return action == FaultKind::kAbort && abort_code == kTcpReset;
+  }
+};
+
+class RuleEngine {
+ public:
+  // `seed_label` derives this agent's private random stream from the seed,
+  // keeping multi-agent runs deterministic regardless of evaluation order.
+  explicit RuleEngine(uint64_t seed = 1, std::string_view seed_label = "");
+
+  // Appends a rule (installation order defines match priority).
+  // Fails if the rule does not validate or duplicates an existing ID.
+  VoidResult add_rule(FaultRule rule);
+  VoidResult add_rules(const std::vector<FaultRule>& rules);
+
+  // Removes one rule / all rules. Match counters reset with removal.
+  bool remove_rule(const std::string& id);
+  void clear();
+
+  size_t rule_count() const;
+  std::vector<FaultRule> rules() const;
+
+  // Decides the fault action for a message. Thread-safe. Increments the
+  // winning rule's match counter (bounded rules stop matching when
+  // exhausted).
+  FaultDecision evaluate(const MessageView& msg);
+
+  // Applies a Modify decision to a message body in place; returns the
+  // number of byte-range replacements performed.
+  static int apply_modify(const FaultDecision& decision, std::string* body);
+
+  // Total number of rule firings since the last clear().
+  uint64_t total_matches() const;
+
+ private:
+  struct Installed {
+    FaultRule rule;
+    Glob src_glob;
+    Glob dst_glob;
+    Glob id_glob;
+    uint64_t matches = 0;
+  };
+
+  bool matches_locked(const Installed& in, const MessageView& msg) const;
+
+  mutable std::mutex mu_;
+  std::vector<Installed> rules_;
+  Rng rng_;
+  uint64_t total_matches_ = 0;
+};
+
+}  // namespace gremlin::faults

@@ -1,0 +1,57 @@
+#include "httpmsg/headers.h"
+
+#include <charconv>
+
+#include "common/strings.h"
+
+namespace gremlin::httpmsg {
+
+void Headers::set(std::string_view name, std::string_view value) {
+  remove(name);
+  add(name, value);
+}
+
+void Headers::add(std::string_view name, std::string_view value) {
+  entries_.emplace_back(std::string(name), std::string(value));
+}
+
+std::optional<std::string> Headers::get(std::string_view name) const {
+  for (const auto& [k, v] : entries_) {
+    if (iequals(k, name)) return v;
+  }
+  return std::nullopt;
+}
+
+std::string Headers::get_or(std::string_view name,
+                            std::string_view fallback) const {
+  auto v = get(name);
+  return v ? *v : std::string(fallback);
+}
+
+bool Headers::has(std::string_view name) const {
+  return get(name).has_value();
+}
+
+int Headers::remove(std::string_view name) {
+  int removed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (iequals(it->first, name)) {
+      it = entries_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::optional<size_t> Headers::content_length() const {
+  const auto v = get("Content-Length");
+  if (!v) return std::nullopt;
+  size_t out = 0;
+  const auto [p, ec] = std::from_chars(v->data(), v->data() + v->size(), out);
+  if (ec != std::errc() || p != v->data() + v->size()) return std::nullopt;
+  return out;
+}
+
+}  // namespace gremlin::httpmsg

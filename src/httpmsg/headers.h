@@ -1,0 +1,46 @@
+// Headers: HTTP header collection with case-insensitive names and preserved
+// insertion order.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gremlin::httpmsg {
+
+class Headers {
+ public:
+  // Sets (replacing any existing value of) `name`.
+  void set(std::string_view name, std::string_view value);
+
+  // Appends without replacing (for repeated headers).
+  void add(std::string_view name, std::string_view value);
+
+  // First value of `name`, if present.
+  std::optional<std::string> get(std::string_view name) const;
+
+  // Value or a fallback.
+  std::string get_or(std::string_view name, std::string_view fallback) const;
+
+  bool has(std::string_view name) const;
+
+  // Removes every occurrence; returns how many were removed.
+  int remove(std::string_view name);
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  const std::vector<std::pair<std::string, std::string>>& entries() const {
+    return entries_;
+  }
+
+  // Parsed Content-Length, if present and numeric.
+  std::optional<size_t> content_length() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+}  // namespace gremlin::httpmsg

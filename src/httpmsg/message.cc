@@ -1,0 +1,97 @@
+#include "httpmsg/message.h"
+
+#include "common/strings.h"
+
+namespace gremlin::httpmsg {
+namespace {
+
+void serialize_headers(const Headers& headers, size_t body_size,
+                       std::string* out) {
+  bool wrote_length = false;
+  for (const auto& [k, v] : headers.entries()) {
+    if (iequals(k, "Content-Length")) {
+      if (wrote_length) continue;
+      out->append("Content-Length: ");
+      out->append(std::to_string(body_size));
+      out->append("\r\n");
+      wrote_length = true;
+      continue;
+    }
+    out->append(k);
+    out->append(": ");
+    out->append(v);
+    out->append("\r\n");
+  }
+  if (!wrote_length) {
+    out->append("Content-Length: ");
+    out->append(std::to_string(body_size));
+    out->append("\r\n");
+  }
+  out->append("\r\n");
+}
+
+}  // namespace
+
+std::string reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 202: return "Accepted";
+    case 204: return "No Content";
+    case 301: return "Moved Permanently";
+    case 302: return "Found";
+    case 304: return "Not Modified";
+    case 400: return "Bad Request";
+    case 401: return "Unauthorized";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 409: return "Conflict";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 502: return "Bad Gateway";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default: return "Unknown";
+  }
+}
+
+std::string serialize(const Request& request) {
+  std::string out;
+  out.reserve(64 + request.body.size());
+  out.append(request.method);
+  out.push_back(' ');
+  out.append(request.target);
+  out.push_back(' ');
+  out.append(request.version);
+  out.append("\r\n");
+  serialize_headers(request.headers, request.body.size(), &out);
+  out.append(request.body);
+  return out;
+}
+
+std::string serialize(const Response& response) {
+  std::string out;
+  out.reserve(64 + response.body.size());
+  out.append(response.version);
+  out.push_back(' ');
+  out.append(std::to_string(response.status));
+  out.push_back(' ');
+  out.append(response.reason.empty() ? reason_phrase(response.status)
+                                     : response.reason);
+  out.append("\r\n");
+  serialize_headers(response.headers, response.body.size(), &out);
+  out.append(response.body);
+  return out;
+}
+
+Response make_response(int status, std::string body) {
+  Response r;
+  r.status = status;
+  r.reason = reason_phrase(status);
+  r.body = std::move(body);
+  return r;
+}
+
+}  // namespace gremlin::httpmsg

@@ -1,0 +1,48 @@
+// HTTP/1.1 request and response models plus serializers.
+//
+// The real Gremlin agent proxies HTTP between microservices; these types are
+// the wire-level counterparts of the simulator's SimRequest/SimResponse.
+// The request-ID header used for flow tracing is X-Gremlin-ID.
+#pragma once
+
+#include <string>
+
+#include "httpmsg/headers.h"
+
+namespace gremlin::httpmsg {
+
+// Header carrying the globally unique per-user-request ID that scopes fault
+// injection to test traffic (Section 4.1).
+inline constexpr const char* kRequestIdHeader = "X-Gremlin-ID";
+
+struct Request {
+  std::string method = "GET";
+  std::string target = "/";
+  std::string version = "HTTP/1.1";
+  Headers headers;
+  std::string body;
+
+  std::string request_id() const {
+    return headers.get_or(kRequestIdHeader, "");
+  }
+};
+
+struct Response {
+  std::string version = "HTTP/1.1";
+  int status = 200;
+  std::string reason = "OK";
+  Headers headers;
+  std::string body;
+};
+
+// Canonical reason phrase for a status code ("Service Unavailable", ...).
+std::string reason_phrase(int status);
+
+// Serializes with a correct Content-Length (overwriting any present).
+std::string serialize(const Request& request);
+std::string serialize(const Response& response);
+
+// Convenience factory.
+Response make_response(int status, std::string body = "");
+
+}  // namespace gremlin::httpmsg

@@ -1,0 +1,233 @@
+#include "httpmsg/parser.h"
+
+#include <charconv>
+
+#include "common/strings.h"
+
+namespace gremlin::httpmsg {
+namespace {
+
+constexpr size_t kMaxLineLength = 64 * 1024;
+
+}  // namespace
+
+// Accumulates into line_buffer_ until "\n"; strips the trailing "\r".
+// Sets *ready when a full line is available in *line.
+Result<size_t> Parser::consume_line(std::string_view data, std::string* line,
+                                    bool* ready) {
+  *ready = false;
+  const size_t nl = data.find('\n');
+  if (nl == std::string_view::npos) {
+    if (line_buffer_.size() + data.size() > kMaxLineLength) {
+      state_ = State::kError;
+      return Error::parse("header line too long");
+    }
+    line_buffer_.append(data);
+    return data.size();
+  }
+  line_buffer_.append(data.substr(0, nl));
+  if (!line_buffer_.empty() && line_buffer_.back() == '\r') {
+    line_buffer_.pop_back();
+  }
+  *line = std::move(line_buffer_);
+  line_buffer_.clear();
+  *ready = true;
+  return nl + 1;
+}
+
+VoidResult Parser::parse_start_line(const std::string& line) {
+  const auto parts = split(line, ' ');
+  if (kind_ == Kind::kRequest) {
+    if (parts.size() != 3) {
+      return Error::parse("malformed request line: '" + line + "'");
+    }
+    request_.method = parts[0];
+    request_.target = parts[1];
+    request_.version = parts[2];
+    if (!starts_with(request_.version, "HTTP/")) {
+      return Error::parse("bad HTTP version: '" + request_.version + "'");
+    }
+  } else {
+    if (parts.size() < 2 || !starts_with(parts[0], "HTTP/")) {
+      return Error::parse("malformed status line: '" + line + "'");
+    }
+    response_.version = parts[0];
+    int status = 0;
+    const auto [p, ec] = std::from_chars(
+        parts[1].data(), parts[1].data() + parts[1].size(), status);
+    if (ec != std::errc() || p != parts[1].data() + parts[1].size() ||
+        status < 100 || status > 599) {
+      return Error::parse("bad status code: '" + parts[1] + "'");
+    }
+    response_.status = status;
+    std::string reason;
+    for (size_t i = 2; i < parts.size(); ++i) {
+      if (i > 2) reason += ' ';
+      reason += parts[i];
+    }
+    response_.reason = reason;
+  }
+  return VoidResult::success();
+}
+
+VoidResult Parser::parse_header_line(const std::string& line) {
+  const size_t colon = line.find(':');
+  if (colon == std::string::npos || colon == 0) {
+    return Error::parse("malformed header line: '" + line + "'");
+  }
+  const std::string_view name = trim(std::string_view(line).substr(0, colon));
+  const std::string_view value =
+      trim(std::string_view(line).substr(colon + 1));
+  if (name.empty()) return Error::parse("empty header name");
+  Headers& headers =
+      kind_ == Kind::kRequest ? request_.headers : response_.headers;
+  headers.add(name, value);
+  return VoidResult::success();
+}
+
+void Parser::on_headers_done() {
+  Headers& headers =
+      kind_ == Kind::kRequest ? request_.headers : response_.headers;
+  body_ = kind_ == Kind::kRequest ? &request_.body : &response_.body;
+  body_->clear();
+
+  const std::string te = to_lower(headers.get_or("Transfer-Encoding", ""));
+  if (te.find("chunked") != std::string::npos) {
+    state_ = State::kChunkSize;
+    return;
+  }
+  const auto length = headers.content_length();
+  if (length.has_value()) {
+    body_remaining_ = *length;
+    state_ = body_remaining_ == 0 ? State::kComplete : State::kBody;
+    return;
+  }
+  if (kind_ == Kind::kRequest) {
+    // A request without a length has no body.
+    state_ = State::kComplete;
+  } else {
+    // A response without a length: body runs until the peer closes.
+    state_ = State::kUntilClose;
+  }
+}
+
+Result<size_t> Parser::feed(std::string_view data) {
+  size_t consumed = 0;
+  while (consumed < data.size() && state_ != State::kComplete &&
+         state_ != State::kError) {
+    const std::string_view rest = data.substr(consumed);
+    switch (state_) {
+      case State::kStartLine: {
+        std::string line;
+        bool ready = false;
+        auto n = consume_line(rest, &line, &ready);
+        if (!n.ok()) return n;
+        consumed += n.value();
+        if (ready) {
+          if (line.empty()) break;  // tolerate leading CRLF (RFC 7230 §3.5)
+          auto ok = parse_start_line(line);
+          if (!ok.ok()) {
+            state_ = State::kError;
+            return ok.error();
+          }
+          state_ = State::kHeaders;
+        }
+        break;
+      }
+      case State::kHeaders: {
+        std::string line;
+        bool ready = false;
+        auto n = consume_line(rest, &line, &ready);
+        if (!n.ok()) return n;
+        consumed += n.value();
+        if (!ready) break;
+        if (line.empty()) {
+          on_headers_done();
+        } else {
+          auto ok = parse_header_line(line);
+          if (!ok.ok()) {
+            state_ = State::kError;
+            return ok.error();
+          }
+        }
+        break;
+      }
+      case State::kBody: {
+        const size_t take = std::min(body_remaining_, rest.size());
+        body_->append(rest.substr(0, take));
+        body_remaining_ -= take;
+        consumed += take;
+        if (body_remaining_ == 0) state_ = State::kComplete;
+        break;
+      }
+      case State::kChunkSize: {
+        std::string line;
+        bool ready = false;
+        auto n = consume_line(rest, &line, &ready);
+        if (!n.ok()) return n;
+        consumed += n.value();
+        if (!ready) break;
+        if (line.empty()) break;  // CRLF separating chunks
+        size_t size = 0;
+        const size_t semi = line.find(';');  // ignore chunk extensions
+        const std::string hex = line.substr(0, semi);
+        const auto [p, ec] =
+            std::from_chars(hex.data(), hex.data() + hex.size(), size, 16);
+        if (ec != std::errc() || p != hex.data() + hex.size()) {
+          state_ = State::kError;
+          return Error::parse("bad chunk size: '" + line + "'");
+        }
+        if (size == 0) {
+          state_ = State::kChunkTrailer;
+        } else {
+          body_remaining_ = size;
+          state_ = State::kChunkData;
+        }
+        break;
+      }
+      case State::kChunkData: {
+        const size_t take = std::min(body_remaining_, rest.size());
+        body_->append(rest.substr(0, take));
+        body_remaining_ -= take;
+        consumed += take;
+        if (body_remaining_ == 0) state_ = State::kChunkSize;
+        break;
+      }
+      case State::kChunkTrailer: {
+        std::string line;
+        bool ready = false;
+        auto n = consume_line(rest, &line, &ready);
+        if (!n.ok()) return n;
+        consumed += n.value();
+        if (!ready) break;
+        if (line.empty()) state_ = State::kComplete;
+        // Non-empty trailer lines are consumed and ignored.
+        break;
+      }
+      case State::kUntilClose: {
+        body_->append(rest);
+        consumed += rest.size();
+        break;
+      }
+      case State::kComplete:
+      case State::kError:
+        break;
+    }
+  }
+  return consumed;
+}
+
+void Parser::finish_eof() {
+  if (state_ == State::kUntilClose) state_ = State::kComplete;
+}
+
+void Parser::reset() {
+  state_ = State::kStartLine;
+  line_buffer_.clear();
+  request_ = Request{};
+  response_ = Response{};
+  body_remaining_ = 0;
+  body_ = nullptr;
+}
+
+}  // namespace gremlin::httpmsg

@@ -1,0 +1,70 @@
+// Incremental HTTP/1.1 parser for requests and responses.
+//
+// Feed bytes as they arrive; `feed` reports how many bytes it consumed and
+// whether a full message is available. Supports Content-Length bodies,
+// chunked transfer-coding, and (for responses) read-until-close. Designed
+// for the proxy's streaming path — no copy of already-parsed data is kept.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "httpmsg/message.h"
+
+namespace gremlin::httpmsg {
+
+class Parser {
+ public:
+  enum class Kind { kRequest, kResponse };
+  enum class State {
+    kStartLine,
+    kHeaders,
+    kBody,          // Content-Length counted
+    kChunkSize,
+    kChunkData,
+    kChunkTrailer,
+    kUntilClose,    // response without a length: body ends at EOF
+    kComplete,
+    kError,
+  };
+
+  explicit Parser(Kind kind) : kind_(kind) {}
+
+  // Consumes as much of `data` as possible. Returns the number of bytes
+  // consumed, or an Error on malformed input. Call `complete()` after each
+  // feed; surplus bytes (pipelined messages) are left unconsumed.
+  Result<size_t> feed(std::string_view data);
+
+  // For kUntilClose responses: the peer closed the connection; finalize.
+  void finish_eof();
+
+  bool complete() const { return state_ == State::kComplete; }
+  State state() const { return state_; }
+
+  const Request& request() const { return request_; }
+  const Response& response() const { return response_; }
+  Request& mutable_request() { return request_; }
+  Response& mutable_response() { return response_; }
+
+  // Prepares for the next message on the same connection.
+  void reset();
+
+ private:
+  Result<size_t> consume_line(std::string_view data, std::string* line,
+                              bool* ready);
+  VoidResult parse_start_line(const std::string& line);
+  VoidResult parse_header_line(const std::string& line);
+  void on_headers_done();
+
+  Kind kind_;
+  State state_ = State::kStartLine;
+  std::string line_buffer_;
+  Request request_;
+  Response response_;
+  size_t body_remaining_ = 0;
+  std::string* body_ = nullptr;  // points into request_/response_
+};
+
+}  // namespace gremlin::httpmsg

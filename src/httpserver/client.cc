@@ -1,0 +1,53 @@
+#include "httpserver/client.h"
+
+#include "httpmsg/parser.h"
+#include "net/socket.h"
+
+namespace gremlin::httpserver {
+
+FetchResult HttpClient::fetch(const std::string& host, uint16_t port,
+                              httpmsg::Request request, Duration timeout) {
+  FetchResult result;
+  auto stream = net::TcpStream::connect(host, port, timeout);
+  if (!stream.ok()) {
+    result.connection_failed = true;
+    return result;
+  }
+  if (!request.headers.has("Host")) {
+    request.headers.set("Host", host + ":" + std::to_string(port));
+  }
+  request.headers.set("Connection", "close");
+  if (!stream->write_all(httpmsg::serialize(request)).ok()) {
+    result.connection_failed = true;
+    return result;
+  }
+  (void)stream->set_read_timeout(timeout);
+
+  httpmsg::Parser parser(httpmsg::Parser::Kind::kResponse);
+  char buffer[8192];
+  while (!parser.complete()) {
+    auto n = stream->read(buffer, sizeof(buffer));
+    if (!n.ok()) {
+      if (n.error().code == Error::Code::kUnavailable) {
+        result.timed_out = true;
+      } else {
+        result.connection_failed = true;
+      }
+      return result;
+    }
+    if (n.value() == 0) {
+      parser.finish_eof();
+      if (!parser.complete()) result.connection_failed = true;
+      break;
+    }
+    auto consumed = parser.feed(std::string_view(buffer, n.value()));
+    if (!consumed.ok()) {
+      result.connection_failed = true;
+      return result;
+    }
+  }
+  if (parser.complete()) result.response = parser.response();
+  return result;
+}
+
+}  // namespace gremlin::httpserver

@@ -1,0 +1,34 @@
+// HttpClient: a minimal blocking HTTP/1.1 client (one request per
+// connection). Distinguishes connection-level failures from HTTP errors so
+// callers can observe "reset" vs "5xx" — the distinction the Unirest case
+// study hinges on.
+#pragma once
+
+#include <string>
+
+#include "common/duration.h"
+#include "common/result.h"
+#include "httpmsg/message.h"
+
+namespace gremlin::httpserver {
+
+struct FetchResult {
+  httpmsg::Response response;
+  bool connection_failed = false;  // reset / refused / premature close
+  bool timed_out = false;
+
+  bool failed() const {
+    return connection_failed || timed_out || response.status >= 500;
+  }
+};
+
+class HttpClient {
+ public:
+  // Sends `request` to host:port and reads one response. Never throws;
+  // connection-level problems are reported in the FetchResult flags.
+  static FetchResult fetch(const std::string& host, uint16_t port,
+                           httpmsg::Request request,
+                           Duration timeout = sec(5));
+};
+
+}  // namespace gremlin::httpserver

@@ -1,0 +1,113 @@
+#include "httpserver/pool.h"
+
+#include "common/strings.h"
+#include "httpmsg/parser.h"
+
+namespace gremlin::httpserver {
+
+std::unique_ptr<PooledClient::Conn> PooledClient::take_idle() {
+  std::lock_guard lock(mu_);
+  if (idle_.empty()) return nullptr;
+  auto conn = std::move(idle_.front());
+  idle_.pop_front();
+  return conn;
+}
+
+void PooledClient::give_back(std::unique_ptr<Conn> conn) {
+  std::lock_guard lock(mu_);
+  if (idle_.size() < max_idle_) {
+    idle_.push_back(std::move(conn));
+  }
+  // else: dropped, socket closes via RAII
+}
+
+size_t PooledClient::idle_connections() const {
+  std::lock_guard lock(mu_);
+  return idle_.size();
+}
+
+FetchResult PooledClient::fetch_on(Conn* conn,
+                                   const httpmsg::Request& request,
+                                   bool* reusable) {
+  *reusable = false;
+  FetchResult result;
+  httpmsg::Request req = request;
+  if (!req.headers.has("Host")) {
+    req.headers.set("Host", host_ + ":" + std::to_string(port_));
+  }
+  req.headers.set("Connection", "keep-alive");
+  if (!conn->stream.write_all(httpmsg::serialize(req)).ok()) {
+    result.connection_failed = true;
+    return result;
+  }
+  (void)conn->stream.set_read_timeout(timeout_);
+
+  httpmsg::Parser parser(httpmsg::Parser::Kind::kResponse);
+  char buffer[8192];
+  while (!parser.complete()) {
+    auto n = conn->stream.read(buffer, sizeof(buffer));
+    if (!n.ok()) {
+      if (n.error().code == Error::Code::kUnavailable) {
+        result.timed_out = true;
+      } else {
+        result.connection_failed = true;
+      }
+      return result;
+    }
+    if (n.value() == 0) {
+      parser.finish_eof();
+      if (!parser.complete()) result.connection_failed = true;
+      break;
+    }
+    auto consumed = parser.feed(std::string_view(buffer, n.value()));
+    if (!consumed.ok()) {
+      result.connection_failed = true;
+      return result;
+    }
+  }
+  if (!parser.complete()) return result;
+  result.response = parser.response();
+  // Reusable only when the message had a definite end and the server did
+  // not ask to close.
+  const bool delimited =
+      result.response.headers.content_length().has_value() ||
+      to_lower(result.response.headers.get_or("Transfer-Encoding", ""))
+              .find("chunked") != std::string::npos;
+  const bool close_requested = iequals(
+      result.response.headers.get_or("Connection", "keep-alive"), "close");
+  *reusable = delimited && !close_requested;
+  return result;
+}
+
+FetchResult PooledClient::fetch(httpmsg::Request request) {
+  // Try an idle connection first; a stale one (server closed it while
+  // pooled) shows up as a connection-level failure and is retried once on
+  // a fresh connection.
+  if (auto conn = take_idle()) {
+    bool reusable = false;
+    FetchResult result = fetch_on(conn.get(), request, &reusable);
+    if (!result.connection_failed) {
+      ++reuses_;
+      if (reusable) give_back(std::move(conn));
+      return result;
+    }
+    // fall through: reconnect
+  }
+  auto stream = net::TcpStream::connect(host_, port_, timeout_);
+  if (!stream.ok()) {
+    FetchResult failed;
+    failed.connection_failed = true;
+    return failed;
+  }
+  ++connections_opened_;
+  auto conn = std::make_unique<Conn>();
+  conn->stream = std::move(stream.value());
+  bool reusable = false;
+  FetchResult result = fetch_on(conn.get(), request, &reusable);
+  if (!result.connection_failed && !result.timed_out && reusable) {
+    give_back(std::move(conn));
+  }
+  return result;
+}
+
+}  // namespace gremlin::httpserver

@@ -1,0 +1,65 @@
+// Persistent HTTP/1.1 connections and a per-upstream connection pool.
+//
+// HttpClient opens one TCP connection per request (simple, always correct).
+// The proxy's hot path benefits from keep-alive: PooledClient keeps
+// connections to an upstream open across requests and reuses them,
+// transparently reconnecting when the server closed in between. Responses
+// must be Content-Length or chunked delimited (read-until-close cannot be
+// reused); such responses close the connection after use.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "httpserver/client.h"
+#include "net/socket.h"
+
+namespace gremlin::httpserver {
+
+class PooledClient {
+ public:
+  // `max_idle`: connections kept open per upstream after use.
+  PooledClient(std::string host, uint16_t port, size_t max_idle = 4,
+               Duration timeout = sec(5))
+      : host_(std::move(host)),
+        port_(port),
+        max_idle_(max_idle),
+        timeout_(timeout) {}
+
+  // Sends one request, reusing an idle connection when possible. Requests
+  // are sent with "Connection: keep-alive"; the connection returns to the
+  // pool unless the response forbids reuse.
+  FetchResult fetch(httpmsg::Request request);
+
+  size_t idle_connections() const;
+  uint64_t connections_opened() const { return connections_opened_; }
+  uint64_t reuses() const { return reuses_; }
+
+ private:
+  struct Conn {
+    net::TcpStream stream;
+  };
+
+  std::unique_ptr<Conn> take_idle();
+  void give_back(std::unique_ptr<Conn> conn);
+
+  // One attempt over a given connection. Sets *io_failed when the failure
+  // was connection-level (worth retrying on a fresh connection if the
+  // connection came from the idle pool).
+  FetchResult fetch_on(Conn* conn, const httpmsg::Request& request,
+                       bool* reusable);
+
+  const std::string host_;
+  const uint16_t port_;
+  const size_t max_idle_;
+  const Duration timeout_;
+
+  mutable std::mutex mu_;
+  std::deque<std::unique_ptr<Conn>> idle_;
+  uint64_t connections_opened_ = 0;
+  uint64_t reuses_ = 0;
+};
+
+}  // namespace gremlin::httpserver

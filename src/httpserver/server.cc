@@ -1,0 +1,91 @@
+#include "httpserver/server.h"
+
+#include "common/strings.h"
+#include "httpmsg/parser.h"
+
+namespace gremlin::httpserver {
+
+Result<uint16_t> HttpServer::start(uint16_t port) {
+  auto listener = net::TcpListener::bind(port);
+  if (!listener.ok()) return listener.error();
+  listener_ =
+      std::make_unique<net::TcpListener>(std::move(listener.value()));
+  port_ = listener_->bound_port();
+  running_ = true;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return port_;
+}
+
+void HttpServer::stop() {
+  if (!running_.exchange(false)) return;
+  if (listener_) listener_->close();  // unblocks accept()
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard lock(workers_mu_);
+    workers.swap(workers_);
+    // Wake any worker parked in read() on an idle keep-alive connection.
+    for (const auto& conn : connections_) conn->shutdown_both();
+    connections_.clear();
+  }
+  for (auto& w : workers) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void HttpServer::accept_loop() {
+  while (running_) {
+    auto stream = listener_->accept();
+    if (!stream.ok()) {
+      if (!running_) break;
+      continue;  // transient accept failure
+    }
+    connections_accepted_.fetch_add(1);
+    auto conn = std::make_shared<net::TcpStream>(std::move(stream.value()));
+    std::lock_guard lock(workers_mu_);
+    connections_.push_back(conn);
+    workers_.emplace_back([this, conn] {
+      serve_connection(conn.get());
+      conn->close();  // the tracked handle must not hold the socket open
+    });
+  }
+}
+
+void HttpServer::serve_connection(net::TcpStream* stream_ptr) {
+  net::TcpStream& stream = *stream_ptr;
+  (void)stream.set_read_timeout(sec(10));
+  char buffer[8192];
+  httpmsg::Parser parser(httpmsg::Parser::Kind::kRequest);
+  std::string pending;
+
+  while (running_) {
+    // Feed any bytes left over from the previous message first.
+    if (!pending.empty()) {
+      auto consumed = parser.feed(pending);
+      if (!consumed.ok()) return;  // malformed: drop the connection
+      pending.erase(0, consumed.value());
+    }
+    while (!parser.complete()) {
+      auto n = stream.read(buffer, sizeof(buffer));
+      if (!n.ok() || n.value() == 0) return;  // closed or timed out
+      std::string_view data(buffer, n.value());
+      auto consumed = parser.feed(data);
+      if (!consumed.ok()) return;
+      if (consumed.value() < data.size()) {
+        pending.append(data.substr(consumed.value()));
+      }
+    }
+
+    const httpmsg::Request& request = parser.request();
+    httpmsg::Response response = handler_(request);
+    requests_served_.fetch_add(1);
+    const bool close_requested =
+        iequals(request.headers.get_or("Connection", ""), "close") ||
+        iequals(response.headers.get_or("Connection", ""), "close");
+    if (!stream.write_all(httpmsg::serialize(response)).ok()) return;
+    if (close_requested) return;
+    parser.reset();
+  }
+}
+
+}  // namespace gremlin::httpserver

@@ -1,0 +1,63 @@
+// HttpServer: a minimal threaded HTTP/1.1 server.
+//
+// Used to build origin microservices for proxy integration tests and
+// examples, and to host the proxy's REST control API. Thread-per-connection
+// with keep-alive support; handlers run on connection threads and must be
+// thread-safe. Thread/connection bookkeeping grows with the total number of
+// connections accepted — sized for test/demo workloads, not for production
+// serving.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "httpmsg/message.h"
+#include "net/socket.h"
+
+namespace gremlin::httpserver {
+
+class HttpServer {
+ public:
+  using Handler = std::function<httpmsg::Response(const httpmsg::Request&)>;
+
+  explicit HttpServer(Handler handler) : handler_(std::move(handler)) {}
+  ~HttpServer() { stop(); }
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Binds 127.0.0.1:port (0 = ephemeral) and starts the accept loop.
+  Result<uint16_t> start(uint16_t port = 0);
+
+  // Stops accepting and joins all threads.
+  void stop();
+
+  uint16_t port() const { return port_; }
+  uint64_t requests_served() const { return requests_served_.load(); }
+  uint64_t connections_accepted() const {
+    return connections_accepted_.load();
+  }
+
+ private:
+  void accept_loop();
+  void serve_connection(net::TcpStream* stream);
+
+  Handler handler_;
+  std::unique_ptr<net::TcpListener> listener_;
+  std::thread accept_thread_;
+  std::mutex workers_mu_;
+  std::vector<std::thread> workers_;
+  // Live connection streams; shut down on stop() so workers blocked in
+  // read() (idle keep-alive peers) exit promptly.
+  std::vector<std::shared_ptr<net::TcpStream>> connections_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> requests_served_{0};
+  std::atomic<uint64_t> connections_accepted_{0};
+  uint16_t port_ = 0;
+};
+
+}  // namespace gremlin::httpserver

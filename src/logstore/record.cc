@@ -1,0 +1,78 @@
+#include "logstore/record.h"
+
+namespace gremlin::logstore {
+
+const char* to_string(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kRequest: return "request";
+    case MessageKind::kResponse: return "response";
+  }
+  return "unknown";
+}
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kAbort: return "abort";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kModify: return "modify";
+  }
+  return "unknown";
+}
+
+Json LogRecord::to_json() const {
+  Json j = Json::object();
+  j["ts_us"] = timestamp.count();
+  j["request_id"] = request_id;
+  j["src"] = src;
+  j["dst"] = dst;
+  j["instance"] = instance;
+  j["kind"] = to_string(kind);
+  j["method"] = method;
+  j["uri"] = uri;
+  j["status"] = status;
+  j["latency_us"] = latency.count();
+  j["fault"] = to_string(fault);
+  j["rule_id"] = rule_id;
+  j["injected_delay_us"] = injected_delay.count();
+  return j;
+}
+
+Result<LogRecord> LogRecord::from_json(const Json& j) {
+  if (!j.is_object()) return Error::parse("log record must be an object");
+  LogRecord r;
+  r.timestamp = Duration(j["ts_us"].as_int());
+  r.request_id = j["request_id"].as_string();
+  r.src = j["src"].as_string();
+  r.dst = j["dst"].as_string();
+  r.instance = j["instance"].as_string();
+  const std::string& kind = j["kind"].as_string();
+  if (kind == "request") {
+    r.kind = MessageKind::kRequest;
+  } else if (kind == "response") {
+    r.kind = MessageKind::kResponse;
+  } else {
+    return Error::parse("bad message kind '" + kind + "'");
+  }
+  r.method = j["method"].as_string();
+  r.uri = j["uri"].as_string();
+  r.status = static_cast<int>(j["status"].as_int());
+  r.latency = Duration(j["latency_us"].as_int());
+  const std::string& fault = j["fault"].as_string();
+  if (fault == "none" || fault.empty()) {
+    r.fault = FaultKind::kNone;
+  } else if (fault == "abort") {
+    r.fault = FaultKind::kAbort;
+  } else if (fault == "delay") {
+    r.fault = FaultKind::kDelay;
+  } else if (fault == "modify") {
+    r.fault = FaultKind::kModify;
+  } else {
+    return Error::parse("bad fault kind '" + fault + "'");
+  }
+  r.rule_id = j["rule_id"].as_string();
+  r.injected_delay = Duration(j["injected_delay_us"].as_int());
+  return r;
+}
+
+}  // namespace gremlin::logstore

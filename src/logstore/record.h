@@ -1,0 +1,53 @@
+// LogRecord: one observation reported by a Gremlin agent.
+//
+// Section 4.1: during a test, agents log every API call they see — message
+// timestamp and request ID, parts of the message (status code, request URI),
+// and any fault action applied. The Assertion Checker consumes these records.
+//
+// Records additionally carry the injected delay so that assertion queries can
+// be evaluated either *with* Gremlin's interference (withRule=true: latencies
+// as the caller observed them) or *without* it (withRule=false: the callee's
+// untampered behaviour), per Section 4.2.
+#pragma once
+
+#include <string>
+
+#include "common/duration.h"
+#include "common/json.h"
+
+namespace gremlin::logstore {
+
+// Which half of an exchange a record (or a fault rule) refers to.
+enum class MessageKind { kRequest, kResponse };
+
+// The fault primitive applied to the message, if any (Table 2).
+enum class FaultKind { kNone, kAbort, kDelay, kModify };
+
+const char* to_string(MessageKind kind);
+const char* to_string(FaultKind kind);
+
+struct LogRecord {
+  TimePoint timestamp{};        // when the agent observed the message
+  std::string request_id;       // end-to-end flow ID (X-Gremlin-ID)
+  std::string src;              // calling service (logical name)
+  std::string dst;              // called service (logical name)
+  std::string instance;         // physical agent instance that logged this
+  MessageKind kind = MessageKind::kRequest;
+  std::string method;           // requests: HTTP method
+  std::string uri;              // requests: request URI
+  int status = 0;               // responses: HTTP status (0 = conn reset)
+  Duration latency{};           // responses: observed round-trip at caller
+  FaultKind fault = FaultKind::kNone;
+  std::string rule_id;          // rule that fired, if any
+  Duration injected_delay{};    // delay added by the agent itself
+
+  // True when this response failed from the caller's point of view:
+  // connection-level failure (status 0) or HTTP 5xx.
+  bool failed() const { return kind == MessageKind::kResponse &&
+                               (status == 0 || status >= 500); }
+
+  Json to_json() const;
+  static Result<LogRecord> from_json(const Json& j);
+};
+
+}  // namespace gremlin::logstore

@@ -1,0 +1,125 @@
+#include "logstore/store.h"
+
+#include <algorithm>
+
+namespace gremlin::logstore {
+namespace {
+
+bool record_matches(const LogRecord& r, const Query& q, const Glob& glob) {
+  if (!q.src.empty() && r.src != q.src) return false;
+  if (!q.dst.empty() && r.dst != q.dst) return false;
+  if (!q.any_kind && r.kind != q.kind) return false;
+  if (r.timestamp < q.min_time || r.timestamp > q.max_time) return false;
+  if (!glob.match_all() && !glob.matches(r.request_id)) return false;
+  return true;
+}
+
+void sort_by_time(RecordList* list) {
+  std::stable_sort(list->begin(), list->end(),
+                   [](const LogRecord& a, const LogRecord& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+}
+
+}  // namespace
+
+void LogStore::append(LogRecord record) {
+  std::lock_guard lock(mu_);
+  by_edge_[{record.src, record.dst}].push_back(records_.size());
+  records_.push_back(std::move(record));
+}
+
+void LogStore::append_all(const RecordList& records) {
+  std::lock_guard lock(mu_);
+  for (const auto& r : records) {
+    by_edge_[{r.src, r.dst}].push_back(records_.size());
+    records_.push_back(r);
+  }
+}
+
+void LogStore::clear() {
+  std::lock_guard lock(mu_);
+  records_.clear();
+  by_edge_.clear();
+}
+
+size_t LogStore::size() const {
+  std::lock_guard lock(mu_);
+  return records_.size();
+}
+
+RecordList LogStore::query_locked(const Query& q) const {
+  const Glob glob(q.id_pattern.empty() ? "*" : q.id_pattern);
+  RecordList out;
+  if (!q.src.empty() && !q.dst.empty()) {
+    const auto it = by_edge_.find({q.src, q.dst});
+    if (it != by_edge_.end()) {
+      for (const size_t idx : it->second) {
+        const LogRecord& r = records_[idx];
+        if (record_matches(r, q, glob)) out.push_back(r);
+      }
+    }
+  } else {
+    for (const LogRecord& r : records_) {
+      if (record_matches(r, q, glob)) out.push_back(r);
+    }
+  }
+  sort_by_time(&out);
+  return out;
+}
+
+RecordList LogStore::query(const Query& q) const {
+  std::lock_guard lock(mu_);
+  return query_locked(q);
+}
+
+RecordList LogStore::get_requests(const std::string& src,
+                                  const std::string& dst,
+                                  const std::string& id_pattern) const {
+  Query q;
+  q.src = src;
+  q.dst = dst;
+  q.id_pattern = id_pattern;
+  q.kind = MessageKind::kRequest;
+  return query(q);
+}
+
+RecordList LogStore::get_replies(const std::string& src,
+                                 const std::string& dst,
+                                 const std::string& id_pattern) const {
+  Query q;
+  q.src = src;
+  q.dst = dst;
+  q.id_pattern = id_pattern;
+  q.kind = MessageKind::kResponse;
+  return query(q);
+}
+
+RecordList LogStore::all() const {
+  std::lock_guard lock(mu_);
+  RecordList out = records_;
+  sort_by_time(&out);
+  return out;
+}
+
+Json LogStore::to_json() const {
+  std::lock_guard lock(mu_);
+  Json arr = Json::array();
+  for (const auto& r : records_) arr.push_back(r.to_json());
+  return arr;
+}
+
+VoidResult LogStore::load_json(const Json& j) {
+  if (!j.is_array()) return Error::parse("log dump must be an array");
+  RecordList parsed;
+  parsed.reserve(j.size());
+  for (const Json& item : j.as_array()) {
+    auto rec = LogRecord::from_json(item);
+    if (!rec.ok()) return rec.error();
+    parsed.push_back(std::move(rec.value()));
+  }
+  append_all(parsed);
+  return VoidResult::success();
+}
+
+}  // namespace gremlin::logstore

@@ -1,0 +1,77 @@
+// LogStore: the centralized event-log store the Assertion Checker queries.
+//
+// The paper ships agent logs through logstash into Elasticsearch and issues
+// GetRequests/GetReplies as Elasticsearch queries (Section 6). We substitute
+// an in-memory store with secondary indexes on (src,dst) and request ID,
+// preserving the query semantics: filtered record lists sorted by time.
+//
+// Thread-safe: the real proxy appends from connection threads while the
+// control plane queries concurrently.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/glob.h"
+#include "logstore/record.h"
+
+namespace gremlin::logstore {
+
+using RecordList = std::vector<LogRecord>;
+
+// Filter for queries. Empty string fields mean "any"; the id_pattern is a
+// glob (Section 5 uses patterns like "test-*").
+struct Query {
+  std::string src;                      // logical caller name ("" = any)
+  std::string dst;                      // logical callee name ("" = any)
+  std::string id_pattern = "*";         // glob over request IDs
+  MessageKind kind = MessageKind::kRequest;
+  bool any_kind = false;                // true: ignore `kind`
+  TimePoint min_time = TimePoint::min();
+  TimePoint max_time = TimePoint::max();
+};
+
+class LogStore {
+ public:
+  LogStore() = default;
+  LogStore(const LogStore&) = delete;
+  LogStore& operator=(const LogStore&) = delete;
+
+  void append(LogRecord record);
+  void append_all(const RecordList& records);
+
+  // Removes all records (start of a new test run).
+  void clear();
+
+  size_t size() const;
+
+  // Returns matching records sorted by (timestamp, arrival order).
+  RecordList query(const Query& q) const;
+
+  // Convenience wrappers mirroring Table 3's queries.
+  RecordList get_requests(const std::string& src, const std::string& dst,
+                          const std::string& id_pattern = "*") const;
+  RecordList get_replies(const std::string& src, const std::string& dst,
+                         const std::string& id_pattern = "*") const;
+
+  // Snapshot of everything, time-sorted.
+  RecordList all() const;
+
+  // Serialize the full store (for the proxy's /records endpoint).
+  Json to_json() const;
+  VoidResult load_json(const Json& j);
+
+ private:
+  RecordList query_locked(const Query& q) const;
+
+  mutable std::mutex mu_;
+  RecordList records_;                                 // insertion order
+  // Secondary index: (src, dst) -> record positions. Keeps Fig. 7's
+  // per-service assertion queries sublinear in total log volume.
+  std::map<std::pair<std::string, std::string>, std::vector<size_t>> by_edge_;
+};
+
+}  // namespace gremlin::logstore

@@ -1,0 +1,159 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace gremlin::net {
+namespace {
+
+Error errno_error(const std::string& what) {
+  return Error::io(what + ": " + std::strerror(errno));
+}
+
+VoidResult set_timeout_option(int fd, int option, Duration timeout) {
+  timeval tv{};
+  tv.tv_sec = timeout.count() / 1000000;
+  tv.tv_usec = timeout.count() % 1000000;
+  if (setsockopt(fd, SOL_SOCKET, option, &tv, sizeof(tv)) != 0) {
+    return errno_error("setsockopt(timeout)");
+  }
+  return VoidResult::success();
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<TcpStream> TcpStream::connect(const std::string& host, uint16_t port,
+                                     Duration timeout) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return errno_error("socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Error::invalid_argument("bad IPv4 address '" + host + "'");
+  }
+  // Bound the connect itself via SO_SNDTIMEO (Linux honors it for connect).
+  auto timed = set_timeout_option(sock.fd(), SO_SNDTIMEO, timeout);
+  if (!timed.ok()) return timed.error();
+  if (::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    return errno_error("connect to " + host + ":" + std::to_string(port));
+  }
+  int one = 1;
+  setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpStream(std::move(sock));
+}
+
+Result<size_t> TcpStream::read(char* buffer, size_t size) {
+  for (;;) {
+    const ssize_t n = ::recv(socket_.fd(), buffer, size, 0);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Error::unavailable("read timed out");
+    }
+    return errno_error("recv");
+  }
+}
+
+VoidResult TcpStream::write_all(std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(socket_.fd(), data.data() + sent,
+                             data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_error("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return VoidResult::success();
+}
+
+VoidResult TcpStream::set_read_timeout(Duration timeout) {
+  return set_timeout_option(socket_.fd(), SO_RCVTIMEO, timeout);
+}
+
+void TcpStream::shutdown_both() {
+  if (socket_.valid()) {
+    ::shutdown(socket_.fd(), SHUT_RDWR);
+  }
+}
+
+void TcpStream::reset_connection() {
+  if (!socket_.valid()) return;
+  linger lg{};
+  lg.l_onoff = 1;
+  lg.l_linger = 0;  // RST on close
+  setsockopt(socket_.fd(), SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+  socket_.close();
+}
+
+Result<TcpListener> TcpListener::bind(uint16_t port) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return errno_error("socket");
+  int one = 1;
+  setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return errno_error("bind 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(sock.fd(), 64) != 0) return errno_error("listen");
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    return errno_error("getsockname");
+  }
+  return TcpListener(std::move(sock), ntohs(bound.sin_port));
+}
+
+void TcpListener::close() {
+  if (socket_.valid()) {
+    ::shutdown(socket_.fd(), SHUT_RDWR);
+  }
+  socket_.close();
+}
+
+Result<TcpStream> TcpListener::accept() {
+  const int fd = ::accept(socket_.fd(), nullptr, nullptr);
+  if (fd < 0) return errno_error("accept");
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpStream(Socket(fd));
+}
+
+}  // namespace gremlin::net

@@ -1,0 +1,94 @@
+// Thin RAII wrappers over POSIX TCP sockets (loopback-oriented).
+//
+// Blocking I/O with optional receive timeouts; the HTTP server and the
+// Gremlin proxy use thread-per-connection, which is plenty for the
+// loopback-scale integration tests and examples this library ships.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/duration.h"
+#include "common/result.h"
+
+namespace gremlin::net {
+
+// Owns a socket file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+// A connected TCP stream.
+class TcpStream {
+ public:
+  TcpStream() = default;
+  explicit TcpStream(Socket socket) : socket_(std::move(socket)) {}
+
+  static Result<TcpStream> connect(const std::string& host, uint16_t port,
+                                   Duration timeout = sec(5));
+
+  bool valid() const { return socket_.valid(); }
+
+  // Reads up to buffer size; returns bytes read (0 = orderly close).
+  Result<size_t> read(char* buffer, size_t size);
+
+  // Writes the whole buffer or fails.
+  VoidResult write_all(std::string_view data);
+
+  // Receive timeout for subsequent reads (zero disables).
+  VoidResult set_read_timeout(Duration timeout);
+
+  // Abortive close: send RST instead of FIN (SO_LINGER 0). This is how the
+  // real proxy emulates Abort Error=-1 — the peer observes a connection
+  // reset, not a clean close.
+  void reset_connection();
+
+  // Half-close both directions without releasing the fd: wakes a thread
+  // blocked in read() on this stream (read returns 0).
+  void shutdown_both();
+
+  void close() { socket_.close(); }
+
+ private:
+  Socket socket_;
+};
+
+// A listening TCP socket bound to 127.0.0.1.
+class TcpListener {
+ public:
+  // port 0 picks an ephemeral port; bound_port() reports it.
+  static Result<TcpListener> bind(uint16_t port);
+
+  Result<TcpStream> accept();
+  uint16_t bound_port() const { return port_; }
+  bool valid() const { return socket_.valid(); }
+
+  // Unblocks a pending accept() and closes the socket. (A bare ::close()
+  // does NOT reliably wake a thread blocked in accept(); the socket must be
+  // shut down first.)
+  void close();
+
+ private:
+  TcpListener(Socket socket, uint16_t port)
+      : socket_(std::move(socket)), port_(port) {}
+
+  Socket socket_;
+  uint16_t port_ = 0;
+};
+
+}  // namespace gremlin::net

@@ -1,0 +1,306 @@
+#include "proxy/agent.h"
+
+#include <chrono>
+
+#include "httpmsg/parser.h"
+#include "httpserver/client.h"
+
+namespace gremlin::proxy {
+
+using faults::FaultDecision;
+using faults::FaultKind;
+using faults::MessageView;
+using logstore::LogRecord;
+using logstore::MessageKind;
+
+GremlinAgentProxy::GremlinAgentProxy(std::string service,
+                                     std::string instance_id, uint64_t seed)
+    : service_(std::move(service)),
+      instance_id_(std::move(instance_id)),
+      engine_(seed, instance_id_) {}
+
+GremlinAgentProxy::~GremlinAgentProxy() { stop(); }
+
+void GremlinAgentProxy::add_route(Route route) {
+  auto active = std::make_unique<ActiveRoute>();
+  active->route = std::move(route);
+  routes_.push_back(std::move(active));
+}
+
+VoidResult GremlinAgentProxy::start() {
+  for (auto& active : routes_) {
+    auto listener = net::TcpListener::bind(active->route.listen_port);
+    if (!listener.ok()) return listener.error();
+    active->route.listen_port = listener->bound_port();
+    active->listener =
+        std::make_unique<net::TcpListener>(std::move(listener.value()));
+  }
+  running_ = true;
+  for (auto& active : routes_) {
+    ActiveRoute* raw = active.get();
+    raw->accept_thread = std::thread([this, raw] { accept_loop(raw); });
+  }
+  return VoidResult::success();
+}
+
+void GremlinAgentProxy::stop() {
+  if (!running_.exchange(false)) return;
+  for (auto& active : routes_) {
+    if (active->listener) active->listener->close();
+  }
+  for (auto& active : routes_) {
+    if (active->accept_thread.joinable()) active->accept_thread.join();
+  }
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard lock(workers_mu_);
+    workers.swap(workers_);
+  }
+  for (auto& w : workers) {
+    if (w.joinable()) w.join();
+  }
+}
+
+uint16_t GremlinAgentProxy::route_port(const std::string& destination) const {
+  for (const auto& active : routes_) {
+    if (active->route.destination == destination) {
+      return active->route.listen_port;
+    }
+  }
+  return 0;
+}
+
+VoidResult GremlinAgentProxy::install_rules(
+    const std::vector<faults::FaultRule>& rules) {
+  return engine_.add_rules(rules);
+}
+
+VoidResult GremlinAgentProxy::clear_rules() {
+  engine_.clear();
+  return VoidResult::success();
+}
+
+VoidResult GremlinAgentProxy::remove_rules(
+    const std::vector<std::string>& ids) {
+  for (const auto& id : ids) {
+    (void)engine_.remove_rule(id);
+  }
+  return VoidResult::success();
+}
+
+Result<logstore::RecordList> GremlinAgentProxy::fetch_records() {
+  std::lock_guard lock(records_mu_);
+  return records_;
+}
+
+VoidResult GremlinAgentProxy::clear_records() {
+  std::lock_guard lock(records_mu_);
+  records_.clear();
+  return VoidResult::success();
+}
+
+void GremlinAgentProxy::log(LogRecord record) {
+  record.instance = instance_id_;
+  std::lock_guard lock(records_mu_);
+  records_.push_back(std::move(record));
+}
+
+TimePoint GremlinAgentProxy::wall_clock_now() {
+  return std::chrono::duration_cast<Duration>(
+      std::chrono::system_clock::now().time_since_epoch());
+}
+
+void GremlinAgentProxy::accept_loop(ActiveRoute* route) {
+  while (running_) {
+    auto stream = route->listener->accept();
+    if (!stream.ok()) {
+      if (!running_) break;
+      continue;
+    }
+    std::lock_guard lock(workers_mu_);
+    workers_.emplace_back(
+        [this, route, s = std::make_shared<net::TcpStream>(
+                          std::move(stream.value()))]() mutable {
+          serve_connection(route, std::move(*s));
+        });
+  }
+}
+
+void GremlinAgentProxy::serve_connection(ActiveRoute* route,
+                                         net::TcpStream stream) {
+  (void)stream.set_read_timeout(sec(10));
+  httpmsg::Parser parser(httpmsg::Parser::Kind::kRequest);
+  char buffer[8192];
+  while (!parser.complete()) {
+    auto n = stream.read(buffer, sizeof(buffer));
+    if (!n.ok() || n.value() == 0) return;
+    auto consumed = parser.feed(std::string_view(buffer, n.value()));
+    if (!consumed.ok()) return;
+  }
+  httpmsg::Request request = parser.request();
+  const std::string request_id = request.request_id();
+  const std::string& dst = route->route.destination;
+
+  // --- request-side rule evaluation ---
+  MessageView view;
+  view.kind = MessageKind::kRequest;
+  view.src = service_;
+  view.dst = dst;
+  view.request_id = request_id;
+  view.method = request.method;
+  view.uri = request.target;
+  view.body = request.body;
+  FaultDecision decision = engine_.evaluate(view);
+
+  const TimePoint sent_at = wall_clock_now();
+  LogRecord req_rec;
+  req_rec.timestamp = sent_at;
+  req_rec.request_id = request_id;
+  req_rec.src = service_;
+  req_rec.dst = dst;
+  req_rec.kind = MessageKind::kRequest;
+  req_rec.method = request.method;
+  req_rec.uri = request.target;
+  req_rec.fault = decision.action;
+  req_rec.rule_id = decision.rule_id;
+  if (decision.action == FaultKind::kDelay) {
+    req_rec.injected_delay = decision.delay;
+  }
+  log(req_rec);
+
+  Duration injected = kDurationZero;
+  switch (decision.action) {
+    case FaultKind::kAbort: {
+      LogRecord resp_rec = req_rec;
+      resp_rec.kind = MessageKind::kResponse;
+      resp_rec.injected_delay = kDurationZero;
+      if (decision.is_tcp_reset()) {
+        resp_rec.status = 0;
+        resp_rec.timestamp = wall_clock_now();
+        resp_rec.latency = resp_rec.timestamp - sent_at;
+        log(resp_rec);
+        stream.reset_connection();  // the caller sees a genuine RST
+        return;
+      }
+      httpmsg::Response synthesized =
+          httpmsg::make_response(decision.abort_code, "gremlin-abort");
+      synthesized.headers.set("Connection", "close");
+      resp_rec.status = decision.abort_code;
+      resp_rec.timestamp = wall_clock_now();
+      resp_rec.latency = resp_rec.timestamp - sent_at;
+      log(resp_rec);
+      (void)stream.write_all(httpmsg::serialize(synthesized));
+      return;
+    }
+    case FaultKind::kDelay:
+      std::this_thread::sleep_for(decision.delay);
+      injected = decision.delay;
+      break;
+    case FaultKind::kModify:
+      faults::RuleEngine::apply_modify(decision, &request.body);
+      break;
+    case FaultKind::kNone:
+      break;
+  }
+
+  // --- forward to an upstream endpoint (round-robin) ---
+  std::vector<Upstream> endpoints = route->route.endpoints;
+  if (endpoints.empty() && resolver_) {
+    endpoints = resolver_(dst);  // dynamic lookup (service registry)
+  }
+  if (endpoints.empty()) {
+    (void)stream.write_all(httpmsg::serialize(
+        httpmsg::make_response(502, "no upstream configured")));
+    return;
+  }
+  const size_t idx = route->next_endpoint.fetch_add(1) % endpoints.size();
+  const Upstream& upstream = endpoints[idx];
+  requests_proxied_.fetch_add(1);
+  httpserver::FetchResult fetched;
+  if (pooling_) {
+    httpserver::PooledClient* pool = nullptr;
+    {
+      std::lock_guard lock(pools_mu_);
+      auto& slot = pools_[{upstream.host, upstream.port}];
+      if (!slot) {
+        slot = std::make_unique<httpserver::PooledClient>(
+            upstream.host, upstream.port, /*max_idle=*/8, upstream_timeout_);
+      }
+      pool = slot.get();
+    }
+    fetched = pool->fetch(request);
+  } else {
+    fetched = httpserver::HttpClient::fetch(upstream.host, upstream.port,
+                                            request, upstream_timeout_);
+  }
+
+  // --- response-side rule evaluation ---
+  httpmsg::Response response =
+      fetched.connection_failed || fetched.timed_out
+          ? httpmsg::Response{}
+          : fetched.response;
+  MessageView resp_view;
+  resp_view.kind = MessageKind::kResponse;
+  resp_view.src = service_;
+  resp_view.dst = dst;
+  resp_view.request_id = request_id;
+  resp_view.status = fetched.connection_failed || fetched.timed_out
+                         ? 0
+                         : response.status;
+  resp_view.body = response.body;
+  FaultDecision resp_decision = engine_.evaluate(resp_view);
+
+  bool reset_client = fetched.connection_failed;
+  switch (resp_decision.action) {
+    case FaultKind::kAbort:
+      if (resp_decision.is_tcp_reset()) {
+        reset_client = true;
+      } else {
+        response = httpmsg::make_response(resp_decision.abort_code,
+                                          "gremlin-abort");
+        reset_client = false;
+      }
+      break;
+    case FaultKind::kDelay:
+      std::this_thread::sleep_for(resp_decision.delay);
+      injected += resp_decision.delay;
+      break;
+    case FaultKind::kModify:
+      faults::RuleEngine::apply_modify(resp_decision, &response.body);
+      break;
+    case FaultKind::kNone:
+      break;
+  }
+
+  LogRecord resp_rec;
+  resp_rec.timestamp = wall_clock_now();
+  resp_rec.request_id = request_id;
+  resp_rec.src = service_;
+  resp_rec.dst = dst;
+  resp_rec.kind = MessageKind::kResponse;
+  resp_rec.uri = request.target;
+  resp_rec.latency = resp_rec.timestamp - sent_at;
+  resp_rec.injected_delay = injected;
+  if (resp_decision.action != FaultKind::kNone) {
+    resp_rec.fault = resp_decision.action;
+    resp_rec.rule_id = resp_decision.rule_id;
+  } else if (decision.action != FaultKind::kNone) {
+    resp_rec.fault = decision.action;
+    resp_rec.rule_id = decision.rule_id;
+  }
+  resp_rec.status = reset_client ? 0
+                    : (fetched.timed_out ? 0 : response.status);
+  log(resp_rec);
+
+  if (reset_client) {
+    stream.reset_connection();
+    return;
+  }
+  if (fetched.timed_out) {
+    response = httpmsg::make_response(504, "upstream timeout");
+  }
+  response.headers.set("Connection", "close");
+  (void)stream.write_all(httpmsg::serialize(response));
+}
+
+}  // namespace gremlin::proxy

@@ -1,0 +1,130 @@
+// GremlinAgentProxy: the real-network Gremlin agent (Section 6).
+//
+// A sidecar Layer-7 proxy handling a microservice's *outbound* calls: the
+// service is configured to send requests for each dependency to a local
+// port; the proxy applies fault rules (the same faults::RuleEngine the
+// simulator uses), forwards to one of the dependency's real endpoints
+// (round-robin), logs every observation with wall-clock timestamps, and
+// relays the response. Abort Error=-1 is emulated with a genuine TCP RST.
+//
+// Implements topology::AgentHandle, so the Failure Orchestrator drives real
+// proxies and simulated sidecars through the same interface.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <map>
+
+#include "faults/rule_engine.h"
+#include "httpmsg/message.h"
+#include "httpserver/pool.h"
+#include "logstore/store.h"
+#include "net/socket.h"
+#include "topology/deployment.h"
+
+namespace gremlin::proxy {
+
+struct Upstream {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+};
+
+// One local listening port mapped to one dependency (the paper's
+// localhost:<port> → list of <remotehost>[:<remoteport>] config entries).
+// Leave `endpoints` empty to resolve dynamically through the agent's
+// endpoint resolver (e.g. a service registry; Section 6).
+struct Route {
+  std::string destination;          // logical name of the dependency
+  std::vector<Upstream> endpoints;  // physical instances, round-robin
+  uint16_t listen_port = 0;         // 0 = pick an ephemeral port
+};
+
+// Resolves a destination service to live endpoints at call time.
+using EndpointResolver =
+    std::function<std::vector<Upstream>(const std::string& destination)>;
+
+class GremlinAgentProxy : public topology::AgentHandle {
+ public:
+  GremlinAgentProxy(std::string service, std::string instance_id,
+                    uint64_t seed = 1);
+  ~GremlinAgentProxy() override;
+
+  GremlinAgentProxy(const GremlinAgentProxy&) = delete;
+  GremlinAgentProxy& operator=(const GremlinAgentProxy&) = delete;
+
+  // Routes must be added before start().
+  void add_route(Route route);
+
+  VoidResult start();
+  void stop();
+
+  // Local port serving `destination`, or 0 if unknown / not started.
+  uint16_t route_port(const std::string& destination) const;
+
+  // --- AgentHandle ---
+  std::string instance_id() const override { return instance_id_; }
+  VoidResult install_rules(
+      const std::vector<faults::FaultRule>& rules) override;
+  VoidResult clear_rules() override;
+  VoidResult remove_rules(const std::vector<std::string>& ids) override;
+  Result<logstore::RecordList> fetch_records() override;
+  VoidResult clear_records() override;
+
+  faults::RuleEngine& engine() { return engine_; }
+  const std::string& service() const { return service_; }
+
+  // Upstream fetch timeout (default 5s).
+  void set_upstream_timeout(Duration timeout) { upstream_timeout_ = timeout; }
+
+  // Dynamic endpoint resolution for routes with no static endpoints.
+  void set_endpoint_resolver(EndpointResolver resolver) {
+    resolver_ = std::move(resolver);
+  }
+
+  // Upstream keep-alive connection pooling (default on). Disable to force
+  // one connection per proxied request.
+  void set_connection_pooling(bool enabled) { pooling_ = enabled; }
+
+  // Total requests that entered the data path (any outcome).
+  uint64_t requests_proxied() const { return requests_proxied_.load(); }
+
+ private:
+  struct ActiveRoute {
+    Route route;
+    std::unique_ptr<net::TcpListener> listener;
+    std::thread accept_thread;
+    std::atomic<size_t> next_endpoint{0};
+  };
+
+  void accept_loop(ActiveRoute* route);
+  void serve_connection(ActiveRoute* route, net::TcpStream stream);
+  void log(logstore::LogRecord record);
+  static TimePoint wall_clock_now();
+
+  const std::string service_;
+  const std::string instance_id_;
+  faults::RuleEngine engine_;
+  Duration upstream_timeout_ = sec(5);
+  EndpointResolver resolver_;
+  bool pooling_ = true;
+  std::atomic<uint64_t> requests_proxied_{0};
+  std::mutex pools_mu_;
+  std::map<std::pair<std::string, uint16_t>,
+           std::unique_ptr<httpserver::PooledClient>>
+      pools_;
+
+  std::vector<std::unique_ptr<ActiveRoute>> routes_;
+  std::atomic<bool> running_{false};
+  std::mutex workers_mu_;
+  std::vector<std::thread> workers_;
+  mutable std::mutex records_mu_;
+  logstore::RecordList records_;
+};
+
+}  // namespace gremlin::proxy

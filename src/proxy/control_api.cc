@@ -1,0 +1,216 @@
+#include "proxy/control_api.h"
+
+#include "common/strings.h"
+#include "httpserver/client.h"
+
+namespace gremlin::proxy {
+namespace {
+
+httpmsg::Response json_response(int status, const Json& body) {
+  httpmsg::Response r = httpmsg::make_response(status, body.dump());
+  r.headers.set("Content-Type", "application/json");
+  return r;
+}
+
+httpmsg::Response error_response(int status, const std::string& message) {
+  Json body = Json::object();
+  body["error"] = message;
+  return json_response(status, body);
+}
+
+}  // namespace
+
+ControlApiServer::ControlApiServer(GremlinAgentProxy* agent)
+    : agent_(agent) {}
+
+ControlApiServer::~ControlApiServer() { stop(); }
+
+Result<uint16_t> ControlApiServer::start(uint16_t port) {
+  server_ = std::make_unique<httpserver::HttpServer>(
+      [this](const httpmsg::Request& request) { return handle(request); });
+  return server_->start(port);
+}
+
+void ControlApiServer::stop() {
+  if (server_) server_->stop();
+}
+
+httpmsg::Response ControlApiServer::handle(const httpmsg::Request& request) {
+  const std::string& path = request.target;
+  const std::string& method = request.method;
+
+  if (path == "/gremlin/v1/health" && method == "GET") {
+    Json body = Json::object();
+    body["status"] = "ok";
+    body["service"] = agent_->service();
+    body["instance"] = agent_->instance_id();
+    body["rules"] = static_cast<int64_t>(agent_->engine().rule_count());
+    return json_response(200, body);
+  }
+
+  if (path == "/gremlin/v1/stats" && method == "GET") {
+    Json body = Json::object();
+    body["requests_proxied"] =
+        static_cast<int64_t>(agent_->requests_proxied());
+    body["rules_installed"] =
+        static_cast<int64_t>(agent_->engine().rule_count());
+    body["rule_matches"] =
+        static_cast<int64_t>(agent_->engine().total_matches());
+    auto records = agent_->fetch_records();
+    body["records_buffered"] = static_cast<int64_t>(
+        records.ok() ? records->size() : 0);
+    return json_response(200, body);
+  }
+
+  const std::string rule_prefix = "/gremlin/v1/rules/";
+  if (starts_with(path, rule_prefix) && method == "DELETE") {
+    const std::string id = path.substr(rule_prefix.size());
+    (void)agent_->remove_rules({id});
+    return json_response(200, Json::object());
+  }
+
+  if (path == "/gremlin/v1/rules") {
+    if (method == "GET") {
+      Json arr = Json::array();
+      for (const auto& rule : agent_->engine().rules()) {
+        arr.push_back(rule.to_json());
+      }
+      return json_response(200, arr);
+    }
+    if (method == "POST" || method == "PUT") {
+      auto parsed = Json::parse(request.body);
+      if (!parsed.ok()) {
+        return error_response(400, parsed.error().message);
+      }
+      std::vector<faults::FaultRule> rules;
+      const Json& j = parsed.value();
+      const auto parse_one = [&rules](const Json& item) -> VoidResult {
+        auto rule = faults::FaultRule::from_json(item);
+        if (!rule.ok()) return rule.error();
+        rules.push_back(std::move(rule.value()));
+        return VoidResult::success();
+      };
+      if (j.is_array()) {
+        for (const Json& item : j.as_array()) {
+          auto ok = parse_one(item);
+          if (!ok.ok()) return error_response(400, ok.error().message);
+        }
+      } else {
+        auto ok = parse_one(j);
+        if (!ok.ok()) return error_response(400, ok.error().message);
+      }
+      auto installed = agent_->install_rules(rules);
+      if (!installed.ok()) {
+        return error_response(409, installed.error().message);
+      }
+      Json body = Json::object();
+      body["installed"] = static_cast<int64_t>(rules.size());
+      return json_response(200, body);
+    }
+    if (method == "DELETE") {
+      (void)agent_->clear_rules();
+      return json_response(200, Json::object());
+    }
+    return error_response(405, "unsupported method");
+  }
+
+  if (path == "/gremlin/v1/records") {
+    if (method == "GET") {
+      auto records = agent_->fetch_records();
+      if (!records.ok()) return error_response(500, records.error().message);
+      Json arr = Json::array();
+      for (const auto& rec : records.value()) arr.push_back(rec.to_json());
+      return json_response(200, arr);
+    }
+    if (method == "DELETE") {
+      (void)agent_->clear_records();
+      return json_response(200, Json::object());
+    }
+    return error_response(405, "unsupported method");
+  }
+
+  return error_response(404, "unknown path '" + path + "'");
+}
+
+// ------------------------------------------------------- RemoteAgentHandle
+
+VoidResult RemoteAgentHandle::install_rules(
+    const std::vector<faults::FaultRule>& rules) {
+  Json arr = Json::array();
+  for (const auto& rule : rules) arr.push_back(rule.to_json());
+  httpmsg::Request req;
+  req.method = "POST";
+  req.target = "/gremlin/v1/rules";
+  req.body = arr.dump();
+  req.headers.set("Content-Type", "application/json");
+  auto result = httpserver::HttpClient::fetch(host_, port_, std::move(req));
+  if (result.failed()) {
+    return Error::unavailable("agent " + instance_id_ +
+                              " rejected rule install (status " +
+                              std::to_string(result.response.status) + ")");
+  }
+  return VoidResult::success();
+}
+
+VoidResult RemoteAgentHandle::remove_rules(
+    const std::vector<std::string>& ids) {
+  for (const auto& id : ids) {
+    httpmsg::Request req;
+    req.method = "DELETE";
+    req.target = "/gremlin/v1/rules/" + id;
+    auto result = httpserver::HttpClient::fetch(host_, port_, std::move(req));
+    if (result.failed()) {
+      return Error::unavailable("agent " + instance_id_ + " unreachable");
+    }
+  }
+  return VoidResult::success();
+}
+
+VoidResult RemoteAgentHandle::clear_rules() {
+  httpmsg::Request req;
+  req.method = "DELETE";
+  req.target = "/gremlin/v1/rules";
+  auto result = httpserver::HttpClient::fetch(host_, port_, std::move(req));
+  if (result.failed()) {
+    return Error::unavailable("agent " + instance_id_ + " unreachable");
+  }
+  return VoidResult::success();
+}
+
+Result<logstore::RecordList> RemoteAgentHandle::fetch_records() {
+  httpmsg::Request req;
+  req.target = "/gremlin/v1/records";
+  auto result = httpserver::HttpClient::fetch(host_, port_, std::move(req));
+  if (result.failed()) {
+    return Error::unavailable("agent " + instance_id_ + " unreachable");
+  }
+  auto parsed = Json::parse(result.response.body);
+  if (!parsed.ok()) return parsed.error();
+  logstore::RecordList records;
+  for (const Json& item : parsed.value().as_array()) {
+    auto rec = logstore::LogRecord::from_json(item);
+    if (!rec.ok()) return rec.error();
+    records.push_back(std::move(rec.value()));
+  }
+  return records;
+}
+
+VoidResult RemoteAgentHandle::clear_records() {
+  httpmsg::Request req;
+  req.method = "DELETE";
+  req.target = "/gremlin/v1/records";
+  auto result = httpserver::HttpClient::fetch(host_, port_, std::move(req));
+  if (result.failed()) {
+    return Error::unavailable("agent " + instance_id_ + " unreachable");
+  }
+  return VoidResult::success();
+}
+
+bool RemoteAgentHandle::healthy() const {
+  httpmsg::Request req;
+  req.target = "/gremlin/v1/health";
+  auto result = httpserver::HttpClient::fetch(host_, port_, req, sec(2));
+  return !result.failed() && result.response.status == 200;
+}
+
+}  // namespace gremlin::proxy

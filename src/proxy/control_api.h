@@ -1,0 +1,63 @@
+// REST control API for the real Gremlin agent, plus a client-side
+// AgentHandle that drives a remote agent over that API — the out-of-band
+// control channel of Section 4.2.
+//
+//   GET    /gremlin/v1/health   → {"status":"ok","service":...,"instance":...}
+//   GET    /gremlin/v1/rules        → installed rules (JSON array)
+//   POST   /gremlin/v1/rules        → install rules (array or object)
+//   DELETE /gremlin/v1/rules        → remove all rules
+//   DELETE /gremlin/v1/rules/<id>   → remove one rule by ID
+//   GET    /gremlin/v1/records  → buffered observations (JSON array)
+//   DELETE /gremlin/v1/records  → clear the buffer
+#pragma once
+
+#include <memory>
+
+#include "httpserver/server.h"
+#include "proxy/agent.h"
+
+namespace gremlin::proxy {
+
+class ControlApiServer {
+ public:
+  explicit ControlApiServer(GremlinAgentProxy* agent);
+  ~ControlApiServer();
+
+  Result<uint16_t> start(uint16_t port = 0);
+  void stop();
+  uint16_t port() const { return server_ ? server_->port() : 0; }
+
+ private:
+  httpmsg::Response handle(const httpmsg::Request& request);
+
+  GremlinAgentProxy* agent_;
+  std::unique_ptr<httpserver::HttpServer> server_;
+};
+
+// Controls a remote agent through its REST API. Lets the same
+// FailureOrchestrator program real out-of-process proxies.
+class RemoteAgentHandle : public topology::AgentHandle {
+ public:
+  RemoteAgentHandle(std::string host, uint16_t port, std::string instance_id)
+      : host_(std::move(host)),
+        port_(port),
+        instance_id_(std::move(instance_id)) {}
+
+  std::string instance_id() const override { return instance_id_; }
+  VoidResult install_rules(
+      const std::vector<faults::FaultRule>& rules) override;
+  VoidResult clear_rules() override;
+  VoidResult remove_rules(const std::vector<std::string>& ids) override;
+  Result<logstore::RecordList> fetch_records() override;
+  VoidResult clear_records() override;
+
+  // Health probe; true when the agent answers.
+  bool healthy() const;
+
+ private:
+  std::string host_;
+  uint16_t port_;
+  std::string instance_id_;
+};
+
+}  // namespace gremlin::proxy

@@ -1,0 +1,252 @@
+#include "registry/registry.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/strings.h"
+#include "httpserver/client.h"
+
+namespace gremlin::registry {
+namespace {
+
+TimePoint wall_clock_now() {
+  return std::chrono::duration_cast<Duration>(
+      std::chrono::system_clock::now().time_since_epoch());
+}
+
+httpmsg::Response json_response(int status, const Json& body) {
+  httpmsg::Response r = httpmsg::make_response(status, body.dump());
+  r.headers.set("Content-Type", "application/json");
+  return r;
+}
+
+Result<Endpoint> endpoint_from_json(const Json& j) {
+  if (!j.is_object() || !j.contains("port")) {
+    return Error::parse("endpoint requires {host, port}");
+  }
+  Endpoint ep;
+  if (j.contains("host")) ep.host = j["host"].as_string();
+  const int64_t port = j["port"].as_int();
+  if (port <= 0 || port > 65535) return Error::parse("bad port");
+  ep.port = static_cast<uint16_t>(port);
+  return ep;
+}
+
+Json endpoint_to_json(const Endpoint& ep) {
+  Json j = Json::object();
+  j["host"] = ep.host;
+  j["port"] = static_cast<int64_t>(ep.port);
+  return j;
+}
+
+}  // namespace
+
+void Registry::register_instance(const std::string& service,
+                                 const Endpoint& ep, TimePoint now) {
+  std::lock_guard lock(mu_);
+  auto& list = entries_[service];
+  for (auto& entry : list) {
+    if (entry.endpoint == ep) {
+      entry.last_heartbeat = now;
+      return;
+    }
+  }
+  list.push_back(Entry{ep, now});
+}
+
+bool Registry::deregister(const std::string& service, const Endpoint& ep) {
+  std::lock_guard lock(mu_);
+  const auto it = entries_.find(service);
+  if (it == entries_.end()) return false;
+  auto& list = it->second;
+  const auto found = std::find_if(
+      list.begin(), list.end(),
+      [&ep](const Entry& e) { return e.endpoint == ep; });
+  if (found == list.end()) return false;
+  list.erase(found);
+  return true;
+}
+
+std::vector<Endpoint> Registry::lookup(const std::string& service,
+                                       TimePoint now) const {
+  std::lock_guard lock(mu_);
+  std::vector<Endpoint> out;
+  const auto it = entries_.find(service);
+  if (it == entries_.end()) return out;
+  for (const auto& entry : it->second) {
+    if (!expired(entry, now)) out.push_back(entry.endpoint);
+  }
+  return out;
+}
+
+std::vector<std::string> Registry::services(TimePoint now) const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, list] : entries_) {
+    for (const auto& entry : list) {
+      if (!expired(entry, now)) {
+        out.push_back(name);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void Registry::prune(TimePoint now) {
+  std::lock_guard lock(mu_);
+  for (auto& [name, list] : entries_) {
+    list.erase(std::remove_if(list.begin(), list.end(),
+                              [this, now](const Entry& e) {
+                                return expired(e, now);
+                              }),
+               list.end());
+  }
+}
+
+size_t Registry::size() const {
+  std::lock_guard lock(mu_);
+  size_t n = 0;
+  for (const auto& [_, list] : entries_) n += list.size();
+  return n;
+}
+
+// ----------------------------------------------------------------- server
+
+RegistryServer::RegistryServer(Registry* registry) : registry_(registry) {}
+
+RegistryServer::~RegistryServer() { stop(); }
+
+Result<uint16_t> RegistryServer::start(uint16_t port) {
+  server_ = std::make_unique<httpserver::HttpServer>(
+      [this](const httpmsg::Request& request) { return handle(request); });
+  return server_->start(port);
+}
+
+void RegistryServer::stop() {
+  if (server_) server_->stop();
+}
+
+httpmsg::Response RegistryServer::handle(const httpmsg::Request& request) {
+  const std::string prefix = "/registry/v1/services";
+  if (!starts_with(request.target, prefix)) {
+    Json err = Json::object();
+    err["error"] = "unknown path";
+    return json_response(404, err);
+  }
+  const TimePoint now = wall_clock_now();
+  std::string name = request.target.substr(prefix.size());
+  if (!name.empty() && name.front() == '/') name.erase(0, 1);
+
+  if (name.empty()) {
+    if (request.method != "GET") {
+      Json err = Json::object();
+      err["error"] = "unsupported method";
+      return json_response(405, err);
+    }
+    Json body = Json::object();
+    Json arr = Json::array();
+    for (const auto& service : registry_->services(now)) {
+      arr.push_back(service);
+    }
+    body["services"] = arr;
+    return json_response(200, body);
+  }
+
+  if (request.method == "GET") {
+    Json body = Json::object();
+    Json arr = Json::array();
+    for (const auto& ep : registry_->lookup(name, now)) {
+      arr.push_back(endpoint_to_json(ep));
+    }
+    body["endpoints"] = arr;
+    return json_response(200, body);
+  }
+  if (request.method == "PUT" || request.method == "POST" ||
+      request.method == "DELETE") {
+    auto parsed = Json::parse(request.body);
+    if (!parsed.ok()) {
+      Json err = Json::object();
+      err["error"] = parsed.error().message;
+      return json_response(400, err);
+    }
+    auto ep = endpoint_from_json(parsed.value());
+    if (!ep.ok()) {
+      Json err = Json::object();
+      err["error"] = ep.error().message;
+      return json_response(400, err);
+    }
+    if (request.method == "DELETE") {
+      const bool removed = registry_->deregister(name, ep.value());
+      Json body = Json::object();
+      body["removed"] = removed;
+      return json_response(removed ? 200 : 404, body);
+    }
+    registry_->register_instance(name, ep.value(), now);
+    return json_response(200, Json::object());
+  }
+  Json err = Json::object();
+  err["error"] = "unsupported method";
+  return json_response(405, err);
+}
+
+// ----------------------------------------------------------------- client
+
+VoidResult RegistryClient::register_instance(const std::string& service,
+                                             const Endpoint& ep) {
+  httpmsg::Request req;
+  req.method = "PUT";
+  req.target = "/registry/v1/services/" + service;
+  req.body = endpoint_to_json(ep).dump();
+  auto result = httpserver::HttpClient::fetch(host_, port_, std::move(req));
+  if (result.failed() || result.response.status != 200) {
+    return Error::unavailable("registry rejected registration");
+  }
+  return VoidResult::success();
+}
+
+VoidResult RegistryClient::deregister(const std::string& service,
+                                      const Endpoint& ep) {
+  httpmsg::Request req;
+  req.method = "DELETE";
+  req.target = "/registry/v1/services/" + service;
+  req.body = endpoint_to_json(ep).dump();
+  auto result = httpserver::HttpClient::fetch(host_, port_, std::move(req));
+  if (result.connection_failed || result.timed_out) {
+    return Error::unavailable("registry unreachable");
+  }
+  return VoidResult::success();
+}
+
+Result<std::vector<Endpoint>> RegistryClient::lookup(
+    const std::string& service) {
+  httpmsg::Request req;
+  req.target = "/registry/v1/services/" + service;
+  auto result = httpserver::HttpClient::fetch(host_, port_, std::move(req));
+  if (result.failed()) return Error::unavailable("registry unreachable");
+  auto parsed = Json::parse(result.response.body);
+  if (!parsed.ok()) return parsed.error();
+  std::vector<Endpoint> out;
+  for (const Json& item : parsed.value()["endpoints"].as_array()) {
+    auto ep = endpoint_from_json(item);
+    if (!ep.ok()) return ep.error();
+    out.push_back(ep.value());
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> RegistryClient::services() {
+  httpmsg::Request req;
+  req.target = "/registry/v1/services";
+  auto result = httpserver::HttpClient::fetch(host_, port_, std::move(req));
+  if (result.failed()) return Error::unavailable("registry unreachable");
+  auto parsed = Json::parse(result.response.body);
+  if (!parsed.ok()) return parsed.error();
+  std::vector<std::string> out;
+  for (const Json& item : parsed.value()["services"].as_array()) {
+    out.push_back(item.as_string());
+  }
+  return out;
+}
+
+}  // namespace gremlin::registry

@@ -1,0 +1,115 @@
+// Service registry: dynamic endpoint discovery for sidecar proxies.
+//
+// Section 6: a service's dependency mappings (localhost:<port> → list of
+// <remotehost>[:<remoteport>]) "can be statically specified, or be fetched
+// dynamically from a service registry" (SmartStack/Eureka style). This
+// module provides the registry: an in-memory TTL-based instance table, an
+// HTTP facade, and a client the Gremlin agent proxy can use as an endpoint
+// resolver.
+//
+// The core Registry is clock-agnostic (callers pass `now`), so expiry logic
+// is deterministic and unit-testable; the HTTP server uses wall time.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/duration.h"
+#include "common/json.h"
+#include "httpserver/server.h"
+
+namespace gremlin::registry {
+
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+
+  bool operator==(const Endpoint& other) const {
+    return host == other.host && port == other.port;
+  }
+};
+
+class Registry {
+ public:
+  // Instances expire `ttl` after their last heartbeat; ttl <= 0 disables
+  // expiry.
+  explicit Registry(Duration ttl = sec(30)) : ttl_(ttl) {}
+
+  // Registers (or refreshes) an instance of `service`.
+  void register_instance(const std::string& service, const Endpoint& ep,
+                         TimePoint now);
+
+  // Removes an instance; returns whether it was present.
+  bool deregister(const std::string& service, const Endpoint& ep);
+
+  // Live endpoints of `service` at `now` (expired entries are skipped).
+  std::vector<Endpoint> lookup(const std::string& service,
+                               TimePoint now) const;
+
+  // Services with at least one live instance.
+  std::vector<std::string> services(TimePoint now) const;
+
+  // Drops expired entries (lookup already ignores them; this reclaims
+  // memory).
+  void prune(TimePoint now);
+
+  size_t size() const;
+
+ private:
+  struct Entry {
+    Endpoint endpoint;
+    TimePoint last_heartbeat{};
+  };
+
+  bool expired(const Entry& e, TimePoint now) const {
+    return ttl_ > kDurationZero && now - e.last_heartbeat > ttl_;
+  }
+
+  mutable std::mutex mu_;
+  Duration ttl_;
+  std::map<std::string, std::vector<Entry>> entries_;
+};
+
+// HTTP facade:
+//   PUT    /registry/v1/services/<name>   {"host": "...", "port": N}
+//   DELETE /registry/v1/services/<name>   {"host": "...", "port": N}
+//   GET    /registry/v1/services/<name>   -> {"endpoints": [...]}
+//   GET    /registry/v1/services          -> {"services": [...]}
+class RegistryServer {
+ public:
+  explicit RegistryServer(Registry* registry);
+  ~RegistryServer();
+
+  Result<uint16_t> start(uint16_t port = 0);
+  void stop();
+  uint16_t port() const { return server_ ? server_->port() : 0; }
+
+ private:
+  httpmsg::Response handle(const httpmsg::Request& request);
+
+  Registry* registry_;
+  std::unique_ptr<httpserver::HttpServer> server_;
+};
+
+// Client used by agents / services to publish and resolve endpoints.
+class RegistryClient {
+ public:
+  RegistryClient(std::string host, uint16_t port)
+      : host_(std::move(host)), port_(port) {}
+
+  VoidResult register_instance(const std::string& service,
+                               const Endpoint& ep);
+  VoidResult deregister(const std::string& service, const Endpoint& ep);
+  Result<std::vector<Endpoint>> lookup(const std::string& service);
+  Result<std::vector<std::string>> services();
+
+ private:
+  std::string host_;
+  uint16_t port_;
+};
+
+}  // namespace gremlin::registry

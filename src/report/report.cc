@@ -1,0 +1,96 @@
+#include "report/report.h"
+
+namespace gremlin::report {
+
+Json TestReport::to_json() const {
+  Json j = Json::object();
+  j["title"] = title;
+  j["seed"] = static_cast<int64_t>(seed);
+  j["passed"] = passed();
+  Json checks_json = Json::array();
+  for (const auto& c : checks) {
+    Json cj = Json::object();
+    cj["name"] = c.name;
+    cj["passed"] = c.passed;
+    cj["detail"] = c.detail;
+    checks_json.push_back(std::move(cj));
+  }
+  j["checks"] = checks_json;
+  j["checks_passed"] = static_cast<int64_t>(checks_passed);
+  j["flows_observed"] = static_cast<int64_t>(flows_observed);
+  j["flows_failed"] = static_cast<int64_t>(flows_failed);
+  Json diag_json = Json::array();
+  for (const auto& d : diagnoses) {
+    Json dj = Json::object();
+    dj["request_id"] = d.request_id;
+    dj["origin_edge"] = d.origin_edge;
+    dj["origin_fault"] = d.origin_fault;
+    dj["trace"] = d.rendered;
+    diag_json.push_back(std::move(dj));
+  }
+  j["diagnoses"] = diag_json;
+  return j;
+}
+
+std::string TestReport::to_markdown() const {
+  std::string out = "# Gremlin test report — " + title + "\n\n";
+  out += passed() ? "**Result: PASS**" : "**Result: FAIL**";
+  out += " (" + std::to_string(checks_passed) + "/" +
+         std::to_string(checks.size()) + " assertions, " +
+         std::to_string(flows_failed) + "/" +
+         std::to_string(flows_observed) + " flows failed; seed " +
+         std::to_string(seed) + ")\n\n";
+  out += "## Assertions\n\n";
+  for (const auto& c : checks) {
+    out += std::string(c.passed ? "- ✅ " : "- ❌ ") + "`" + c.name +
+           "` — " + c.detail + "\n";
+  }
+  if (!diagnoses.empty()) {
+    out += "\n## Failed flows\n";
+    for (const auto& d : diagnoses) {
+      out += "\n**" + d.request_id + "** — failure originated at `" +
+             d.origin_edge + "`";
+      if (!d.origin_fault.empty()) {
+        out += " (" + d.origin_fault + ")";
+      }
+      out += "\n\n```\n" + d.rendered + "```\n";
+    }
+  }
+  return out;
+}
+
+TestReport build_report(control::TestSession* session, std::string title,
+                        size_t max_diagnoses) {
+  TestReport report;
+  report.title = std::move(title);
+  report.seed = session->sim().config().seed;
+  report.checks = session->results();
+  for (const auto& c : report.checks) {
+    if (c.passed) ++report.checks_passed;
+  }
+
+  const auto traces =
+      trace::build_traces(session->sim().log_store().all());
+  report.flows_observed = traces.size();
+  for (const auto& t : traces) {
+    if (t.failed_spans() == 0) continue;
+    ++report.flows_failed;
+    if (report.diagnoses.size() >= max_diagnoses) continue;
+    FailureDiagnosis d;
+    d.request_id = t.request_id;
+    const auto chain = t.failure_chain();
+    if (!chain.empty()) {
+      const trace::Span& origin = t.spans[chain.back()];
+      d.origin_edge = origin.src + " -> " + origin.dst;
+      if (origin.fault != logstore::FaultKind::kNone) {
+        d.origin_fault = std::string(logstore::to_string(origin.fault)) +
+                         " rule " + origin.rule_id;
+      }
+    }
+    d.rendered = t.format_tree();
+    report.diagnoses.push_back(std::move(d));
+  }
+  return report;
+}
+
+}  // namespace gremlin::report

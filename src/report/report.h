@@ -1,0 +1,51 @@
+// Test reports: the operator-facing artifact of a resiliency-test run.
+//
+// Section 1 argues systematic testing wins because of the feedback loop —
+// "obtain quick feedback about how and why the application failed to
+// recover as expected". A TestReport bundles that feedback: assertion
+// verdicts with details, workload health, and the flow traces + failure
+// origins of requests that failed, exportable as JSON (for dashboards/CI)
+// or Markdown (for humans and postmortems).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "control/recipe.h"
+#include "trace/trace.h"
+
+namespace gremlin::report {
+
+struct FailureDiagnosis {
+  std::string request_id;
+  std::string origin_edge;   // "frontend -> backend"
+  std::string origin_fault;  // "abort rule crash-..." or "" when organic
+  std::string rendered;      // ASCII trace tree
+};
+
+struct TestReport {
+  std::string title;
+  uint64_t seed = 0;
+
+  std::vector<control::CheckResult> checks;
+  size_t checks_passed = 0;
+
+  size_t flows_observed = 0;
+  size_t flows_failed = 0;
+
+  std::vector<FailureDiagnosis> diagnoses;  // capped (see max_diagnoses)
+
+  bool passed() const { return checks_passed == checks.size(); }
+
+  Json to_json() const;
+  std::string to_markdown() const;
+};
+
+// Builds a report from a finished session: its recorded assertion outcomes
+// plus flow traces reconstructed from the central log store. At most
+// `max_diagnoses` failed flows are rendered in full.
+TestReport build_report(control::TestSession* session, std::string title,
+                        size_t max_diagnoses = 5);
+
+}  // namespace gremlin::report

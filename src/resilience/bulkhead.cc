@@ -1,0 +1,44 @@
+#include "resilience/bulkhead.h"
+
+namespace gremlin::resilience {
+
+bool Bulkhead::try_acquire() {
+  std::lock_guard lock(mu_);
+  if (max_concurrent_ > 0 && in_flight_ >= max_concurrent_) {
+    ++rejected_;
+    return false;
+  }
+  ++in_flight_;
+  return true;
+}
+
+void Bulkhead::release() {
+  std::lock_guard lock(mu_);
+  if (in_flight_ > 0) --in_flight_;
+}
+
+int Bulkhead::in_flight() const {
+  std::lock_guard lock(mu_);
+  return in_flight_;
+}
+
+uint64_t Bulkhead::rejected() const {
+  std::lock_guard lock(mu_);
+  return rejected_;
+}
+
+BulkheadPermit::BulkheadPermit(Bulkhead* bulkhead)
+    : bulkhead_(bulkhead), acquired_(bulkhead == nullptr ||
+                                     !bulkhead->enabled() ||
+                                     bulkhead->try_acquire()) {
+  if (bulkhead_ != nullptr && !bulkhead_->enabled()) {
+    bulkhead_ = nullptr;  // nothing to release
+  }
+  if (!acquired_) bulkhead_ = nullptr;
+}
+
+BulkheadPermit::~BulkheadPermit() {
+  if (bulkhead_ != nullptr) bulkhead_->release();
+}
+
+}  // namespace gremlin::resilience

@@ -1,0 +1,52 @@
+// Bulkhead: per-dependency concurrency isolation (Section 2.1).
+//
+// Models an independent thread/connection pool per downstream dependency: at
+// most `max_concurrent` calls may be in flight; excess calls are rejected
+// immediately (the caller typically serves a fallback). Rejection rather
+// than queueing matches the failure mode the pattern exists to prevent —
+// a slow dependency exhausting shared resources.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+namespace gremlin::resilience {
+
+class Bulkhead {
+ public:
+  explicit Bulkhead(int max_concurrent = 0)
+      : max_concurrent_(max_concurrent) {}
+
+  // max_concurrent <= 0 means "unbounded" (pattern disabled).
+  bool enabled() const { return max_concurrent_ > 0; }
+
+  // Attempts to reserve a slot; returns false when saturated.
+  bool try_acquire();
+  void release();
+
+  int in_flight() const;
+  uint64_t rejected() const;
+
+ private:
+  const int max_concurrent_;
+  mutable std::mutex mu_;
+  int in_flight_ = 0;
+  uint64_t rejected_ = 0;
+};
+
+// RAII slot holder.
+class BulkheadPermit {
+ public:
+  explicit BulkheadPermit(Bulkhead* bulkhead);
+  ~BulkheadPermit();
+  BulkheadPermit(const BulkheadPermit&) = delete;
+  BulkheadPermit& operator=(const BulkheadPermit&) = delete;
+
+  bool acquired() const { return acquired_; }
+
+ private:
+  Bulkhead* bulkhead_;
+  bool acquired_;
+};
+
+}  // namespace gremlin::resilience

@@ -1,0 +1,73 @@
+#include "resilience/circuit_breaker.h"
+
+namespace gremlin::resilience {
+
+const char* to_string(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed: return "closed";
+    case CircuitBreaker::State::kOpen: return "open";
+    case CircuitBreaker::State::kHalfOpen: return "half-open";
+  }
+  return "unknown";
+}
+
+bool CircuitBreaker::allow_request(TimePoint now) {
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now - opened_at_ >= config_.open_interval) {
+        state_ = State::kHalfOpen;
+        half_open_successes_ = 0;
+        return true;
+      }
+      return false;
+    case State::kHalfOpen:
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::trip(TimePoint now) {
+  state_ = State::kOpen;
+  opened_at_ = now;
+  consecutive_failures_ = 0;
+  half_open_successes_ = 0;
+  ++times_opened_;
+}
+
+void CircuitBreaker::record_success(TimePoint) {
+  switch (state_) {
+    case State::kClosed:
+      consecutive_failures_ = 0;
+      break;
+    case State::kHalfOpen:
+      if (++half_open_successes_ >= config_.success_threshold) {
+        state_ = State::kClosed;
+        consecutive_failures_ = 0;
+        half_open_successes_ = 0;
+      }
+      break;
+    case State::kOpen:
+      // A success while open can only come from a call admitted before the
+      // trip; it does not affect the breaker.
+      break;
+  }
+}
+
+void CircuitBreaker::record_failure(TimePoint now) {
+  switch (state_) {
+    case State::kClosed:
+      if (++consecutive_failures_ >= config_.failure_threshold) {
+        trip(now);
+      }
+      break;
+    case State::kHalfOpen:
+      trip(now);
+      break;
+    case State::kOpen:
+      break;
+  }
+}
+
+}  // namespace gremlin::resilience

@@ -1,0 +1,59 @@
+// CircuitBreaker: the closed / open / half-open state machine (Section 2.1).
+//
+// Closed: calls flow; `failure_threshold` consecutive failures trip the
+// breaker. Open: calls are rejected until `open_interval` elapses, then the
+// breaker transitions to half-open. Half-open: trial calls are admitted;
+// `success_threshold` consecutive successes close the breaker, any failure
+// re-opens it.
+//
+// Clock-agnostic: callers pass the current TimePoint (virtual time in the
+// simulator, wall time in the real client), keeping the class deterministic
+// and unit-testable.
+#pragma once
+
+#include "common/duration.h"
+
+namespace gremlin::resilience {
+
+struct CircuitBreakerConfig {
+  int failure_threshold = 5;       // consecutive failures to trip
+  Duration open_interval = sec(30);
+  int success_threshold = 1;       // consecutive half-open successes to close
+};
+
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(CircuitBreakerConfig config = {})
+      : config_(config) {}
+
+  // Returns true if a call may proceed at `now`. Transitions open→half-open
+  // when the open interval has elapsed.
+  bool allow_request(TimePoint now);
+
+  void record_success(TimePoint now);
+  void record_failure(TimePoint now);
+
+  State state() const { return state_; }
+  const CircuitBreakerConfig& config() const { return config_; }
+
+  // Counters exposed for observability / tests.
+  int consecutive_failures() const { return consecutive_failures_; }
+  int half_open_successes() const { return half_open_successes_; }
+  int times_opened() const { return times_opened_; }
+
+ private:
+  void trip(TimePoint now);
+
+  CircuitBreakerConfig config_;
+  State state_ = State::kClosed;
+  TimePoint opened_at_{};
+  int consecutive_failures_ = 0;
+  int half_open_successes_ = 0;
+  int times_opened_ = 0;
+};
+
+const char* to_string(CircuitBreaker::State state);
+
+}  // namespace gremlin::resilience

@@ -1,0 +1,21 @@
+#include "resilience/policy.h"
+
+namespace gremlin::resilience {
+
+CallPolicy CallPolicy::resilient() {
+  CallPolicy p;
+  p.timeout = msec(500);
+  p.retry.max_retries = 3;
+  p.retry.base_backoff = msec(50);
+  p.retry.multiplier = 2.0;
+  CircuitBreakerConfig cb;
+  cb.failure_threshold = 5;
+  cb.open_interval = sec(30);
+  cb.success_threshold = 1;
+  p.circuit_breaker = cb;
+  p.bulkhead_max_concurrent = 32;
+  p.fallback = Fallback{200, "cached-fallback"};
+  return p;
+}
+
+}  // namespace gremlin::resilience

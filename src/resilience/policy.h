@@ -1,0 +1,49 @@
+// CallPolicy: the failure-handling configuration a service applies when
+// calling one dependency. Composes the four patterns of Section 2.1 plus an
+// optional fallback response. A default-constructed CallPolicy has *no*
+// resiliency patterns — this models the naive services whose bugs Gremlin's
+// assertions are designed to catch.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/duration.h"
+#include "resilience/circuit_breaker.h"
+#include "resilience/retry.h"
+
+namespace gremlin::resilience {
+
+struct Fallback {
+  int status = 200;
+  std::string body = "fallback";
+};
+
+struct CallPolicy {
+  // Timeout for a single attempt; zero disables the pattern (the caller
+  // waits indefinitely — the ElasticPress bug of Section 7.1).
+  Duration timeout{};
+
+  RetryPolicy retry;  // max_retries == 0 disables
+
+  // Circuit breaker; disengaged when absent.
+  std::optional<CircuitBreakerConfig> circuit_breaker;
+
+  // Max concurrent in-flight calls to this dependency; 0 disables.
+  int bulkhead_max_concurrent = 0;
+
+  // Response served when all attempts fail / breaker is open / bulkhead is
+  // saturated. Without a fallback the failure propagates upstream.
+  std::optional<Fallback> fallback;
+
+  bool has_timeout() const { return timeout > kDurationZero; }
+  bool has_retries() const { return retry.max_retries > 0; }
+  bool has_circuit_breaker() const { return circuit_breaker.has_value(); }
+  bool has_bulkhead() const { return bulkhead_max_concurrent > 0; }
+
+  // Named presets used throughout tests, examples and benches.
+  static CallPolicy naive() { return {}; }
+  static CallPolicy resilient();  // all four patterns, sensible defaults
+};
+
+}  // namespace gremlin::resilience

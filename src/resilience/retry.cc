@@ -1,0 +1,16 @@
+#include "resilience/retry.h"
+
+#include <cmath>
+
+namespace gremlin::resilience {
+
+Duration RetryPolicy::backoff_before(int retry_index) const {
+  if (retry_index <= 0) return kDurationZero;
+  const double factor = std::pow(multiplier, retry_index - 1);
+  const double raw = static_cast<double>(base_backoff.count()) * factor;
+  const auto capped = static_cast<int64_t>(
+      std::min(raw, static_cast<double>(max_backoff.count())));
+  return Duration(capped);
+}
+
+}  // namespace gremlin::resilience

@@ -1,0 +1,33 @@
+// RetryPolicy: bounded retries with exponential backoff (Section 2.1).
+//
+// Pure schedule computation — the caller (simulator sidecar or real client)
+// owns timers. attempt numbering: attempt 0 is the initial call; retries are
+// attempts 1..max_retries.
+#pragma once
+
+#include <cstdint>
+
+#include "common/duration.h"
+
+namespace gremlin::resilience {
+
+struct RetryPolicy {
+  int max_retries = 0;             // 0 = no retries
+  Duration base_backoff = msec(10);
+  double multiplier = 2.0;         // exponential factor
+  Duration max_backoff = sec(10);  // cap
+
+  // Whether another attempt is allowed after `attempt` attempts have
+  // completed (i.e. attempt index of the *next* try is `attempt`).
+  bool should_retry(int completed_attempts) const {
+    return completed_attempts <= max_retries;
+  }
+
+  // Backoff to wait before retry number `retry_index` (1-based).
+  Duration backoff_before(int retry_index) const;
+
+  // Total attempts allowed (initial + retries).
+  int total_attempts() const { return max_retries + 1; }
+};
+
+}  // namespace gremlin::resilience

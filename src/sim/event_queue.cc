@@ -1,0 +1,25 @@
+#include "sim/event_queue.h"
+
+#include <memory>
+#include <utility>
+
+namespace gremlin::sim {
+
+void EventQueue::schedule_at(TimePoint at, Action action) {
+  heap_.push(Event{at, next_seq_++,
+                   std::make_shared<Action>(std::move(action))});
+}
+
+TimePoint EventQueue::pop_and_run() {
+  Event ev = heap_.top();
+  heap_.pop();
+  (*ev.action)();
+  return ev.at;
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+  next_seq_ = 0;
+}
+
+}  // namespace gremlin::sim

@@ -1,0 +1,54 @@
+// EventQueue: the discrete-event scheduler at the heart of the simulator.
+//
+// Events execute in (time, insertion-sequence) order, so two events scheduled
+// for the same virtual instant run in the order they were scheduled — this
+// tie-break keeps whole-application runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/duration.h"
+
+namespace gremlin::sim {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  void schedule_at(TimePoint at, Action action);
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  // Time of the earliest pending event; undefined when empty.
+  TimePoint next_time() const { return heap_.top().at; }
+
+  // Removes and runs the earliest event; returns its timestamp.
+  TimePoint pop_and_run();
+
+  void clear();
+
+ private:
+  struct Event {
+    TimePoint at;
+    uint64_t seq;
+    // Shared ptr keeps Event copyable for priority_queue while avoiding
+    // copying potentially large closures on heap sift operations.
+    std::shared_ptr<Action> action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace gremlin::sim

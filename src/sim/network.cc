@@ -1,0 +1,29 @@
+#include "sim/network.h"
+
+#include <algorithm>
+
+namespace gremlin::sim {
+
+void SimNetwork::set_edge_latency(const std::string& src,
+                                  const std::string& dst, Duration latency) {
+  overrides_[{src, dst}] = latency;
+}
+
+Duration SimNetwork::latency(const std::string& src, const std::string& dst,
+                             Rng* rng) const {
+  Duration base = default_latency_;
+  auto it = overrides_.find({src, dst});
+  if (it == overrides_.end()) {
+    // Response path of an overridden edge: look up the forward direction.
+    it = overrides_.find({dst, src});
+  }
+  if (it != overrides_.end()) base = it->second;
+  if (jitter_ > 0.0 && rng != nullptr) {
+    const double scale = 1.0 + jitter_ * (2.0 * rng->next_double() - 1.0);
+    base = Duration(static_cast<int64_t>(
+        std::max(0.0, static_cast<double>(base.count()) * scale)));
+  }
+  return base;
+}
+
+}  // namespace gremlin::sim

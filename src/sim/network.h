@@ -1,0 +1,41 @@
+// SimNetwork: latency model for inter-service links.
+//
+// Default latency applies to every edge; per-edge overrides let scenarios
+// model slow links (e.g. a WAN hop to a third-party API). Latencies are
+// deterministic unless jitter is configured, in which case they draw from
+// the simulation's seeded RNG.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/duration.h"
+#include "common/rng.h"
+
+namespace gremlin::sim {
+
+class SimNetwork {
+ public:
+  explicit SimNetwork(Duration default_latency = usec(500))
+      : default_latency_(default_latency) {}
+
+  void set_default_latency(Duration latency) { default_latency_ = latency; }
+
+  // One-way latency override for src → dst messages (applies to the reverse
+  // response path of that edge as well).
+  void set_edge_latency(const std::string& src, const std::string& dst,
+                        Duration latency);
+
+  // Uniform jitter fraction in [0, 1): actual = base * (1 ± jitter).
+  void set_jitter(double fraction) { jitter_ = fraction; }
+
+  Duration latency(const std::string& src, const std::string& dst,
+                   Rng* rng) const;
+
+ private:
+  Duration default_latency_;
+  double jitter_ = 0.0;
+  std::map<std::pair<std::string, std::string>, Duration> overrides_;
+};
+
+}  // namespace gremlin::sim

@@ -1,0 +1,147 @@
+#include "sim/pubsub.h"
+
+#include "common/strings.h"
+
+namespace gremlin::sim {
+
+PubSubBroker::PubSubBroker(Simulation* sim, Options options)
+    : sim_(sim), options_(std::move(options)) {
+  ServiceConfig cfg;
+  cfg.name = options_.name;
+  cfg.instances = options_.instances;
+  cfg.processing_time = options_.processing_time;
+  cfg.default_policy = options_.delivery_policy;
+  cfg.handler = [this](std::shared_ptr<RequestContext> ctx) {
+    const std::string& uri = ctx->request().uri;
+    const std::string prefix = "/publish/";
+    if (!starts_with(uri, prefix)) {
+      ctx->respond(404, "unknown broker endpoint: " + uri);
+      return;
+    }
+    handle_publish(ctx, uri.substr(prefix.size()), /*wait_rounds=*/0);
+  };
+  service_ = sim->add_service(cfg);
+}
+
+void PubSubBroker::subscribe(const std::string& topic,
+                             const std::string& service) {
+  topics_[topic].subscribers.push_back(service);
+}
+
+void PubSubBroker::handle_publish(std::shared_ptr<RequestContext> ctx,
+                                  const std::string& topic, int wait_rounds) {
+  if (try_enqueue(topic, Item{ctx->request().body,
+                              ctx->request().request_id})) {
+    ++published_;
+    ctx->respond(202, "queued");
+    return;
+  }
+  if (options_.on_full == Options::FullPolicy::kReject) {
+    ++rejected_;
+    ctx->respond(503, "queue-full");
+    return;
+  }
+  // Block the publisher: hold the request open and re-check periodically —
+  // the outage mechanism of Table 1's message-bus incidents.
+  ctx->defer(options_.block_poll, [this, ctx, topic, wait_rounds] {
+    handle_publish(ctx, topic, wait_rounds + 1);
+  });
+}
+
+bool PubSubBroker::try_enqueue(const std::string& topic, Item item) {
+  Topic& t = topics_[topic];
+  if (options_.queue_capacity > 0 &&
+      t.queue.size() >= options_.queue_capacity) {
+    return false;
+  }
+  t.queue.push_back(std::move(item));
+  t.peak = std::max(t.peak, t.queue.size());
+  pump(topic);
+  return true;
+}
+
+void PubSubBroker::publish(const std::string& topic, std::string payload,
+                           std::string request_id) {
+  if (try_enqueue(topic, Item{std::move(payload), std::move(request_id)})) {
+    ++published_;
+  } else {
+    ++rejected_;
+  }
+}
+
+void PubSubBroker::pump(const std::string& topic) {
+  Topic& t = topics_[topic];
+  if (t.dispatching || t.queue.empty()) return;
+  if (t.subscribers.empty()) {
+    // No consumers: drain to nowhere (drop) so queues don't grow forever in
+    // misconfigured tests.
+    dropped_ += t.queue.size();
+    t.queue.clear();
+    return;
+  }
+  t.dispatching = true;
+  deliver_head(topic, 0, 1);
+}
+
+void PubSubBroker::deliver_head(const std::string& topic,
+                                size_t subscriber_index, int attempt) {
+  Topic& t = topics_[topic];
+  if (t.queue.empty()) {
+    t.dispatching = false;
+    return;
+  }
+  if (subscriber_index >= t.subscribers.size()) {
+    // Delivered to every subscriber: pop and continue with the next item.
+    t.queue.pop_front();
+    ++delivered_;
+    if (t.queue.empty()) {
+      t.dispatching = false;
+    } else {
+      deliver_head(topic, 0, 1);
+    }
+    return;
+  }
+
+  SimRequest req;
+  req.method = "POST";
+  req.uri = "/deliver/" + topic;
+  // The delivery keeps the publish's request ID, so flow-scoped fault rules
+  // ("test-*") follow the message through the bus and traces stay whole.
+  req.request_id = t.queue.front().request_id;
+  req.body = t.queue.front().payload;
+  const std::string subscriber = t.subscribers[subscriber_index];
+  // Delivery goes out through the broker's own sidecar, so fault rules on
+  // the broker→subscriber edge apply.
+  service_->instance(0).call_dependency(
+      subscriber, req,
+      [this, topic, subscriber_index, attempt](const SimResponse& resp) {
+        if (!resp.failed()) {
+          deliver_head(topic, subscriber_index + 1, 1);
+          return;
+        }
+        ++delivery_failures_;
+        if (options_.max_delivery_attempts > 0 &&
+            attempt >= options_.max_delivery_attempts) {
+          ++dropped_;
+          deliver_head(topic, subscriber_index + 1, 1);  // give up this hop
+          return;
+        }
+        // Head-of-line retry after a backoff.
+        sim_->schedule(options_.delivery_retry,
+                       [this, topic, subscriber_index, attempt] {
+                         deliver_head(topic, subscriber_index, attempt + 1);
+                       });
+      });
+}
+
+size_t PubSubBroker::queue_depth(const std::string& topic) const {
+  const auto it = topics_.find(topic);
+  return it == topics_.end() ? 0 : it->second.queue.size();
+}
+
+size_t PubSubBroker::queue_peak(const std::string& topic) const {
+  const auto it = topics_.find(topic);
+  return it == topics_.end() ? 0 : it->second.peak;
+}
+
+}  // namespace gremlin::sim

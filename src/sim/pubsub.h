@@ -1,0 +1,104 @@
+// PubSubBroker: a publish-subscribe message bus for simulated applications.
+//
+// Observation O2 names request-response AND publish-subscribe as the
+// standard interaction patterns Gremlin manipulates. This broker models the
+// latter: services publish to topics (`POST /publish/<topic>`), the broker
+// enqueues per-topic and dispatches to subscribers in order, retrying
+// failed deliveries (head-of-line blocking, like a partitioned log).
+//
+// Queues are bounded. When a topic queue is full the broker either rejects
+// the publish (503) or — the configuration behind the Parse.ly
+// "Kafkapocalypse" and Stackdriver outages of Table 1 — *blocks* the
+// publisher until space frees up. A crashed subscriber therefore backs the
+// queue up and stalls every publisher, exactly the cascade the postmortems
+// describe.
+//
+// All broker→subscriber deliveries flow through the broker's sidecar agent,
+// so Gremlin rules on those edges (Crash, Delay, ...) apply unmodified.
+//
+// NOTE: under a *permanent* subscriber failure the broker's at-least-once
+// retry loop (and any blocked publishers) keep scheduling events forever,
+// so the simulation never quiesces — drive such scenarios with
+// Simulation::run_until(deadline), not run(). This mirrors reality: the
+// outage persists until an operator intervenes.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <string>
+
+#include "sim/simulation.h"
+
+namespace gremlin::sim {
+
+class PubSubBroker {
+ public:
+  struct Options {
+    std::string name = "messagebus";
+    int instances = 1;
+    Duration processing_time = msec(1);
+    size_t queue_capacity = 64;          // per topic
+    enum class FullPolicy { kBlock, kReject } on_full = FullPolicy::kBlock;
+    Duration block_poll = msec(50);      // blocked publisher re-check cadence
+    Duration delivery_retry = msec(100); // backoff after a failed delivery
+    int max_delivery_attempts = 0;       // 0 = retry forever (at-least-once)
+    resilience::CallPolicy delivery_policy;  // broker → subscriber calls
+  };
+
+  PubSubBroker(Simulation* sim, Options options);
+
+  PubSubBroker(const PubSubBroker&) = delete;
+  PubSubBroker& operator=(const PubSubBroker&) = delete;
+
+  const std::string& name() const { return options_.name; }
+
+  // Routes every message published to `topic` to `service` (fan-out when
+  // called for several services). Must be set up before traffic flows.
+  void subscribe(const std::string& topic, const std::string& service);
+
+  // Publishes programmatically (the usual path is an HTTP-style publish
+  // from another service: POST /publish/<topic> through its sidecar).
+  void publish(const std::string& topic, std::string payload,
+               std::string request_id = "");
+
+  // --- stats ---
+  size_t queue_depth(const std::string& topic) const;
+  size_t queue_peak(const std::string& topic) const;
+  uint64_t published() const { return published_; }
+  uint64_t delivered() const { return delivered_; }
+  uint64_t rejected() const { return rejected_; }
+  uint64_t delivery_failures() const { return delivery_failures_; }
+  uint64_t dropped() const { return dropped_; }
+
+ private:
+  struct Item {
+    std::string payload;
+    std::string request_id;  // propagated from the publish (flow tracing)
+  };
+
+  struct Topic {
+    std::deque<Item> queue;  // pending messages
+    std::vector<std::string> subscribers;
+    bool dispatching = false;
+    size_t peak = 0;
+  };
+
+  void handle_publish(std::shared_ptr<RequestContext> ctx,
+                      const std::string& topic, int wait_rounds);
+  bool try_enqueue(const std::string& topic, Item item);
+  void pump(const std::string& topic);
+  void deliver_head(const std::string& topic, size_t subscriber_index,
+                    int attempt);
+
+  Simulation* sim_;
+  Options options_;
+  SimService* service_ = nullptr;
+  std::map<std::string, Topic> topics_;
+  uint64_t published_ = 0;
+  uint64_t delivered_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t delivery_failures_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace gremlin::sim

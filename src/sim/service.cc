@@ -1,0 +1,530 @@
+#include "sim/service.h"
+
+#include <cassert>
+#include <utility>
+
+#include "sim/simulation.h"
+
+namespace gremlin::sim {
+namespace {
+
+using faults::FaultDecision;
+using faults::FaultKind;
+using faults::MessageView;
+using logstore::LogRecord;
+using logstore::MessageKind;
+
+// OutboundCall: one logical dependency call from a service instance,
+// implementing the caller-side failure-handling pipeline:
+//
+//   bulkhead admission → [per attempt: circuit-breaker check → sidecar rule
+//   evaluation (Abort/Delay/Modify) → network → callee → network → response-
+//   side rules → timeout race] → retry loop → fallback.
+//
+// The sidecar logs a request record when the message leaves the caller and a
+// response record when a response (real or synthesized by an Abort) is
+// observed, with the Gremlin-injected delay accounted separately so the
+// Assertion Checker can evaluate latencies with or without interference.
+class OutboundCall : public std::enable_shared_from_this<OutboundCall> {
+ public:
+  OutboundCall(ServiceInstance* caller, std::string dependency,
+               SimRequest request, ResponseCallback cb)
+      : caller_(caller),
+        dependency_(std::move(dependency)),
+        request_(std::move(request)),
+        cb_(std::move(cb)),
+        policy_(caller->policy_for(dependency_)) {}
+
+  void start() {
+    if (policy_.has_bulkhead()) {
+      // Isolated per-dependency pool: admission is immediate or rejected.
+      auto& bulkhead = caller_->bulkhead_for(dependency_);
+      if (!bulkhead.try_acquire()) {
+        policy_failure(SimResponse::error(503, "bulkhead-saturated"));
+        return;
+      }
+      holding_bulkhead_ = true;
+      start_attempt();
+      return;
+    }
+    if (caller_->shared_pool_enabled()) {
+      // Shared pool: the call waits for a free slot, so one slow dependency
+      // can starve every other outbound call of this instance.
+      auto self = shared_from_this();
+      holding_shared_ = true;
+      caller_->acquire_shared_slot([self] { self->start_attempt(); });
+      return;
+    }
+    start_attempt();
+  }
+
+ private:
+  Simulation& sim() { return caller_->sim(); }
+  const std::string& caller_name() const {
+    return caller_->service().name();
+  }
+
+  void start_attempt() {
+    if (policy_.has_circuit_breaker()) {
+      auto& breaker = caller_->breaker_for(dependency_);
+      if (!breaker.allow_request(sim().now())) {
+        policy_failure(SimResponse::error(503, "circuit-open"));
+        return;
+      }
+    }
+    const uint64_t gen = ++generation_;
+    const TimePoint attempt_start = sim().now();
+    if (policy_.has_timeout()) {
+      auto self = shared_from_this();
+      sim().schedule(policy_.timeout, [self, gen, attempt_start] {
+        if (gen != self->generation_) return;  // a response won the race
+        // The caller gave up: its sidecar observes the client closing the
+        // connection and records the exchange as concluded with no
+        // response (status 0) — which is how a timeout becomes visible to
+        // the Assertion Checker from the network alone.
+        self->log_response(SimResponse::timeout(), attempt_start,
+                           kDurationZero, FaultKind::kNone, "");
+        self->on_attempt_result(gen, SimResponse::timeout());
+      });
+    }
+    send_attempt(gen, attempt_start);
+  }
+
+  void send_attempt(uint64_t gen, TimePoint attempt_start) {
+    SimRequest req = request_;  // Modify rules rewrite a per-attempt copy
+    MessageView view;
+    view.kind = MessageKind::kRequest;
+    view.src = caller_name();
+    view.dst = dependency_;
+    view.request_id = req.request_id;
+    view.method = req.method;
+    view.uri = req.uri;
+    view.body = req.body;
+    FaultDecision decision = caller_->agent()->engine().evaluate(view);
+
+    LogRecord rec;
+    rec.timestamp = sim().now();
+    rec.request_id = req.request_id;
+    rec.src = caller_name();
+    rec.dst = dependency_;
+    rec.kind = MessageKind::kRequest;
+    rec.method = req.method;
+    rec.uri = req.uri;
+    rec.fault = decision.action;
+    rec.rule_id = decision.rule_id;
+    if (decision.action == FaultKind::kDelay) {
+      rec.injected_delay = decision.delay;
+    }
+    caller_->agent()->log(rec);
+
+    auto self = shared_from_this();
+    switch (decision.action) {
+      case FaultKind::kAbort: {
+        const SimResponse resp =
+            decision.is_tcp_reset()
+                ? SimResponse::reset()
+                : SimResponse::error(decision.abort_code, "gremlin-abort");
+        log_response(resp, attempt_start, kDurationZero, FaultKind::kAbort,
+                     decision.rule_id);
+        sim().schedule(kDurationZero, [self, gen, resp] {
+          self->on_attempt_result(gen, resp);
+        });
+        return;
+      }
+      case FaultKind::kDelay: {
+        const Duration injected = decision.delay;
+        sim().schedule(decision.delay, [self, gen, attempt_start, req,
+                                        injected] {
+          self->forward(gen, attempt_start, req, injected);
+        });
+        return;
+      }
+      case FaultKind::kModify:
+        faults::RuleEngine::apply_modify(decision, &req.body);
+        forward(gen, attempt_start, req, kDurationZero);
+        return;
+      case FaultKind::kNone:
+        forward(gen, attempt_start, req, kDurationZero);
+        return;
+    }
+  }
+
+  void forward(uint64_t gen, TimePoint attempt_start, SimRequest req,
+               Duration injected) {
+    auto self = shared_from_this();
+    const Duration out_latency =
+        sim().network().latency(caller_name(), dependency_, &sim().rng());
+    ServiceInstance* target = sim().pick_instance(dependency_);
+    if (target == nullptr) {
+      // No such service: the connection cannot be established. The caller
+      // observes a reset after the network round trip would have failed.
+      sim().schedule(out_latency, [self, gen, attempt_start, injected] {
+        self->receive_wire_response(gen, attempt_start, SimResponse::reset(),
+                                    injected);
+      });
+      return;
+    }
+    sim().schedule(out_latency, [self, gen, attempt_start, req, injected,
+                                 target] {
+      target->handle_request(req, [self, gen, attempt_start, injected](
+                                      const SimResponse& response) {
+        const Duration back_latency = self->sim().network().latency(
+            self->caller_name(), self->dependency_, &self->sim().rng());
+        const SimResponse resp = response;
+        self->sim().schedule(back_latency,
+                             [self, gen, attempt_start, resp, injected] {
+                               self->receive_wire_response(
+                                   gen, attempt_start, resp, injected);
+                             });
+      });
+    });
+  }
+
+  // A response arrived at the caller's sidecar over the (simulated) wire:
+  // apply response-side rules, log the observation, race with the timeout.
+  void receive_wire_response(uint64_t gen, TimePoint attempt_start,
+                             SimResponse resp, Duration injected) {
+    MessageView view;
+    view.kind = MessageKind::kResponse;
+    view.src = caller_name();
+    view.dst = dependency_;
+    view.request_id = request_.request_id;
+    view.status = resp.status;
+    view.body = resp.body;
+    FaultDecision decision = caller_->agent()->engine().evaluate(view);
+
+    auto self = shared_from_this();
+    switch (decision.action) {
+      case FaultKind::kAbort: {
+        const SimResponse replaced =
+            decision.is_tcp_reset()
+                ? SimResponse::reset()
+                : SimResponse::error(decision.abort_code, "gremlin-abort");
+        log_response(replaced, attempt_start, injected, FaultKind::kAbort,
+                     decision.rule_id);
+        on_attempt_result(gen, replaced);
+        return;
+      }
+      case FaultKind::kDelay: {
+        const Duration total_injected = injected + decision.delay;
+        const std::string rule_id = decision.rule_id;
+        sim().schedule(decision.delay, [self, gen, attempt_start, resp,
+                                        total_injected, rule_id] {
+          self->log_response(resp, attempt_start, total_injected,
+                             FaultKind::kDelay, rule_id);
+          self->on_attempt_result(gen, resp);
+        });
+        return;
+      }
+      case FaultKind::kModify: {
+        faults::RuleEngine::apply_modify(decision, &resp.body);
+        log_response(resp, attempt_start, injected, FaultKind::kModify,
+                     decision.rule_id);
+        on_attempt_result(gen, resp);
+        return;
+      }
+      case FaultKind::kNone: {
+        // Request-side injected delay still annotates the observation.
+        const FaultKind fault = injected > kDurationZero ? FaultKind::kDelay
+                                                         : FaultKind::kNone;
+        log_response(resp, attempt_start, injected, fault, "");
+        on_attempt_result(gen, resp);
+        return;
+      }
+    }
+  }
+
+  void log_response(const SimResponse& resp, TimePoint attempt_start,
+                    Duration injected, FaultKind fault,
+                    const std::string& rule_id) {
+    LogRecord rec;
+    rec.timestamp = sim().now();
+    rec.request_id = request_.request_id;
+    rec.src = caller_name();
+    rec.dst = dependency_;
+    rec.kind = MessageKind::kResponse;
+    rec.uri = request_.uri;
+    rec.status = resp.connection_reset ? 0 : resp.status;
+    rec.latency = sim().now() - attempt_start;
+    rec.fault = fault;
+    rec.rule_id = rule_id;
+    rec.injected_delay = injected;
+    caller_->agent()->log(rec);
+  }
+
+  void on_attempt_result(uint64_t gen, const SimResponse& resp) {
+    if (gen != generation_) return;  // a rival outcome already settled it
+    ++generation_;                   // invalidate the losing outcome
+    ++completed_attempts_;
+
+    const bool failed = resp.failed();
+    if (policy_.has_circuit_breaker()) {
+      auto& breaker = caller_->breaker_for(dependency_);
+      if (failed) {
+        breaker.record_failure(sim().now());
+      } else {
+        breaker.record_success(sim().now());
+      }
+    }
+    if (!failed) {
+      finish(resp);
+      return;
+    }
+    if (policy_.has_retries() &&
+        completed_attempts_ <= policy_.retry.max_retries) {
+      const Duration backoff =
+          policy_.retry.backoff_before(completed_attempts_);
+      auto self = shared_from_this();
+      sim().schedule(backoff, [self] { self->start_attempt(); });
+      return;
+    }
+    policy_failure(resp);
+  }
+
+  // All attempts exhausted / admission denied: serve the fallback if the
+  // policy has one, otherwise surface the failure to the caller's handler.
+  void policy_failure(const SimResponse& resp) {
+    if (policy_.fallback.has_value()) {
+      finish(SimResponse{policy_.fallback->status, policy_.fallback->body,
+                         false, false});
+      return;
+    }
+    finish(resp);
+  }
+
+  void finish(const SimResponse& resp) {
+    if (finished_) return;
+    finished_ = true;
+    if (holding_bulkhead_) {
+      caller_->bulkhead_for(dependency_).release();
+      holding_bulkhead_ = false;
+    }
+    if (holding_shared_) {
+      caller_->release_shared_slot();
+      holding_shared_ = false;
+    }
+    if (cb_) cb_(resp);
+  }
+
+  ServiceInstance* caller_;
+  const std::string dependency_;
+  SimRequest request_;
+  ResponseCallback cb_;
+  resilience::CallPolicy policy_;
+  uint64_t generation_ = 0;
+  int completed_attempts_ = 0;
+  bool holding_bulkhead_ = false;
+  bool holding_shared_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------- Context
+
+RequestContext::RequestContext(ServiceInstance* instance, SimRequest request,
+                               ResponseCallback reply)
+    : instance_(instance),
+      request_(std::move(request)),
+      reply_(std::move(reply)) {}
+
+TimePoint RequestContext::now() const { return instance_->sim().now(); }
+
+Simulation& RequestContext::sim() { return instance_->sim(); }
+
+const std::string& RequestContext::service_name() const {
+  return instance_->service().name();
+}
+
+void RequestContext::call(const std::string& dependency, SimRequest req,
+                          ResponseCallback cb) {
+  if (req.request_id.empty()) req.request_id = request_.request_id;
+  instance_->call_dependency(dependency, std::move(req), std::move(cb));
+}
+
+void RequestContext::call(const std::string& dependency,
+                          ResponseCallback cb) {
+  SimRequest req;
+  req.request_id = request_.request_id;
+  req.uri = request_.uri;
+  call(dependency, std::move(req), std::move(cb));
+}
+
+void RequestContext::defer(Duration delay, std::function<void()> fn) {
+  auto self = shared_from_this();
+  instance_->sim().schedule(delay, [self, fn = std::move(fn)] { fn(); });
+}
+
+void RequestContext::respond(SimResponse response) {
+  if (responded_) return;
+  responded_ = true;
+  if (reply_) reply_(response);
+}
+
+void RequestContext::respond(int status, std::string body) {
+  respond(SimResponse{status, std::move(body), false, false});
+}
+
+// --------------------------------------------------------------- Instance
+
+ServiceInstance::ServiceInstance(Simulation* sim, SimService* service,
+                                 int index)
+    : sim_(sim),
+      service_(service),
+      instance_id_(service->name() + "/" + std::to_string(index)),
+      agent_(std::make_shared<SimAgent>(service->name(), instance_id_,
+                                        sim->config().seed)) {}
+
+void ServiceInstance::handle_request(const SimRequest& request,
+                                     ResponseCallback reply) {
+  ++requests_handled_;
+  const int cap = service_->config().max_concurrent_requests;
+  if (cap > 0 && server_in_flight_ >= cap) {
+    // Server saturated: queue FIFO until a worker frees up.
+    server_queue_.push_back(
+        [this, request, reply = std::move(reply)]() mutable {
+          begin_processing(request, std::move(reply));
+        });
+    server_queue_peak_ = std::max(server_queue_peak_, server_queue_.size());
+    return;
+  }
+  begin_processing(request, std::move(reply));
+}
+
+void ServiceInstance::begin_processing(const SimRequest& request,
+                                       ResponseCallback reply) {
+  ++server_in_flight_;
+  const ServiceConfig& cfg = service_->config();
+  Duration processing = cfg.processing_time;
+  if (cfg.processing_jitter > 0.0) {
+    const double scale =
+        1.0 + cfg.processing_jitter * (2.0 * sim_->rng().next_double() - 1.0);
+    processing = Duration(static_cast<int64_t>(
+        std::max(0.0, static_cast<double>(processing.count()) * scale)));
+  }
+  // Wrap the reply so the worker slot is released exactly when the
+  // response leaves the instance.
+  auto wrapped = [this, reply = std::move(reply)](const SimResponse& resp) {
+    finish_processing();
+    if (reply) reply(resp);
+  };
+  auto ctx =
+      std::make_shared<RequestContext>(this, request, std::move(wrapped));
+  sim_->schedule(processing, [this, ctx] {
+    if (service_->config().handler) {
+      service_->config().handler(ctx);
+    } else {
+      run_default_handler(ctx, 0);
+    }
+  });
+}
+
+void ServiceInstance::finish_processing() {
+  if (server_in_flight_ > 0) --server_in_flight_;
+  if (!server_queue_.empty()) {
+    auto next = std::move(server_queue_.front());
+    server_queue_.pop_front();
+    // Fresh event so the completing request's stack unwinds first.
+    sim_->schedule(kDurationZero, std::move(next));
+  }
+}
+
+void ServiceInstance::run_default_handler(std::shared_ptr<RequestContext> ctx,
+                                          size_t next_dep) {
+  const auto& deps = service_->config().dependencies;
+  if (next_dep >= deps.size()) {
+    ctx->respond(200, "ok:" + service_->name());
+    return;
+  }
+  const std::string dep = deps[next_dep];
+  ctx->call(dep, [this, ctx, next_dep, dep](const SimResponse& resp) {
+    if (resp.failed()) {
+      // Naive propagation: a failed dependency (that the CallPolicy did not
+      // absorb) fails the whole request.
+      ctx->respond(500, "dependency-failed:" + dep);
+      return;
+    }
+    run_default_handler(ctx, next_dep + 1);
+  });
+}
+
+void ServiceInstance::call_dependency(const std::string& dependency,
+                                      SimRequest request,
+                                      ResponseCallback cb) {
+  auto call = std::make_shared<OutboundCall>(this, dependency,
+                                             std::move(request),
+                                             std::move(cb));
+  call->start();
+}
+
+const resilience::CallPolicy& ServiceInstance::policy_for(
+    const std::string& dep) const {
+  const auto& cfg = service_->config();
+  const auto it = cfg.policies.find(dep);
+  return it != cfg.policies.end() ? it->second : cfg.default_policy;
+}
+
+resilience::CircuitBreaker& ServiceInstance::breaker_for(
+    const std::string& dep) {
+  auto it = breakers_.find(dep);
+  if (it == breakers_.end()) {
+    const auto& policy = policy_for(dep);
+    const auto config = policy.circuit_breaker.value_or(
+        resilience::CircuitBreakerConfig{});
+    it = breakers_
+             .emplace(dep,
+                      std::make_unique<resilience::CircuitBreaker>(config))
+             .first;
+  }
+  return *it->second;
+}
+
+bool ServiceInstance::shared_pool_enabled() const {
+  return service_->config().shared_client_pool > 0;
+}
+
+void ServiceInstance::acquire_shared_slot(std::function<void()> fn) {
+  const int cap = service_->config().shared_client_pool;
+  if (cap <= 0 || shared_in_flight_ < cap) {
+    ++shared_in_flight_;
+    fn();
+    return;
+  }
+  shared_waiters_.push_back(std::move(fn));
+}
+
+void ServiceInstance::release_shared_slot() {
+  if (shared_in_flight_ > 0) --shared_in_flight_;
+  if (!shared_waiters_.empty()) {
+    auto fn = std::move(shared_waiters_.front());
+    shared_waiters_.pop_front();
+    ++shared_in_flight_;
+    // Run on a fresh event so the releasing call's stack unwinds first.
+    sim_->schedule(kDurationZero, std::move(fn));
+  }
+}
+
+resilience::Bulkhead& ServiceInstance::bulkhead_for(const std::string& dep) {
+  auto it = bulkheads_.find(dep);
+  if (it == bulkheads_.end()) {
+    const auto& policy = policy_for(dep);
+    it = bulkheads_
+             .emplace(dep, std::make_unique<resilience::Bulkhead>(
+                               policy.bulkhead_max_concurrent))
+             .first;
+  }
+  return *it->second;
+}
+
+// ---------------------------------------------------------------- Service
+
+SimService::SimService(Simulation* sim, ServiceConfig config)
+    : config_(std::move(config)) {
+  const int count = config_.instances < 1 ? 1 : config_.instances;
+  instances_.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    instances_.push_back(std::make_unique<ServiceInstance>(sim, this, i));
+  }
+}
+
+}  // namespace gremlin::sim

@@ -1,0 +1,205 @@
+// SimService / ServiceInstance: simulated microservices.
+//
+// A logical service runs as one or more instances (Figure 3). Each instance
+// owns a sidecar SimAgent, and per-dependency circuit-breaker and bulkhead
+// state. A service's behaviour is either the default handler — call every
+// declared dependency in order, fail upstream if any call fails, else reply
+// 200 — or a custom Handler function, which is how the case-study apps
+// (WordPress fallback logic, the enterprise app's buggy client) are modelled.
+//
+// All outbound calls flow through the caller's sidecar, where fault rules
+// are evaluated and observations logged — Gremlin's observation O1: touch
+// the network, not the app.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/duration.h"
+#include "resilience/bulkhead.h"
+#include "resilience/circuit_breaker.h"
+#include "resilience/policy.h"
+#include "sim/sidecar.h"
+
+namespace gremlin::sim {
+
+class Simulation;
+class SimService;
+class ServiceInstance;
+class RequestContext;
+
+struct SimRequest {
+  std::string method = "GET";
+  std::string uri = "/";
+  std::string request_id;
+  std::string body;
+};
+
+struct SimResponse {
+  int status = 200;
+  std::string body;
+  bool connection_reset = false;  // TCP-level termination observed
+  bool timed_out = false;         // caller-side timeout fired (no message)
+
+  // Failure from the caller's perspective: timeout, reset, or server error.
+  bool failed() const {
+    return timed_out || connection_reset || status == 0 || status >= 500;
+  }
+
+  static SimResponse ok(std::string body = "ok") {
+    return SimResponse{200, std::move(body), false, false};
+  }
+  static SimResponse error(int status, std::string body = "") {
+    return SimResponse{status, std::move(body), false, false};
+  }
+  static SimResponse reset() { return SimResponse{0, "", true, false}; }
+  static SimResponse timeout() { return SimResponse{0, "", false, true}; }
+};
+
+using ResponseCallback = std::function<void(const SimResponse&)>;
+using Handler = std::function<void(std::shared_ptr<RequestContext>)>;
+
+struct ServiceConfig {
+  std::string name;
+  int instances = 1;
+  Duration processing_time = msec(1);  // local work before the handler logic
+  double processing_jitter = 0.0;      // uniform fraction of processing_time
+
+  // Dependencies called by the default handler, in order.
+  std::vector<std::string> dependencies;
+
+  // Per-dependency failure-handling policy; falls back to default_policy.
+  std::map<std::string, resilience::CallPolicy> policies;
+  resilience::CallPolicy default_policy;  // naive by default
+
+  // Maximum requests an instance processes concurrently (0 = unlimited).
+  // Excess arrivals queue FIFO, so a slow dependency (or an injected Delay)
+  // backs the whole instance up — the mechanism behind the overload
+  // cascades of Table 1.
+  int max_concurrent_requests = 0;
+
+  // Size of the instance's *shared* outbound client pool (0 = unlimited).
+  // Models the shared thread pool of Section 2.1: calls to any dependency
+  // occupy a slot for their full duration and excess calls queue FIFO — so
+  // one slow dependency starves calls to every other one. Dependencies
+  // whose CallPolicy declares a bulkhead bypass the shared pool (they have
+  // their own isolated pool), which is exactly the mitigation the bulkhead
+  // pattern provides.
+  int shared_client_pool = 0;
+
+  // Optional custom behaviour; overrides the default handler.
+  Handler handler;
+};
+
+// Context handed to service handlers; keeps the in-flight request alive
+// across asynchronous dependency calls.
+class RequestContext : public std::enable_shared_from_this<RequestContext> {
+ public:
+  RequestContext(ServiceInstance* instance, SimRequest request,
+                 ResponseCallback reply);
+
+  const SimRequest& request() const { return request_; }
+  TimePoint now() const;
+  Simulation& sim();
+  const std::string& service_name() const;
+  ServiceInstance& instance() { return *instance_; }
+
+  // Asynchronously calls `dependency` through the sidecar, applying this
+  // service's CallPolicy for that dependency. The request inherits this
+  // context's request ID unless `req` carries one.
+  void call(const std::string& dependency, SimRequest req,
+            ResponseCallback cb);
+  void call(const std::string& dependency, ResponseCallback cb);
+
+  // Schedules follow-up work on the virtual clock (extra local processing).
+  void defer(Duration delay, std::function<void()> fn);
+
+  // Completes the request. Only the first respond() takes effect.
+  void respond(SimResponse response);
+  void respond(int status, std::string body = "");
+  bool responded() const { return responded_; }
+
+ private:
+  ServiceInstance* instance_;
+  SimRequest request_;
+  ResponseCallback reply_;
+  bool responded_ = false;
+};
+
+class ServiceInstance {
+ public:
+  ServiceInstance(Simulation* sim, SimService* service, int index);
+
+  // Entry point for requests arriving over the simulated network.
+  void handle_request(const SimRequest& request, ResponseCallback reply);
+
+  // Issues an outbound call from this instance (used by RequestContext and
+  // by Simulation::inject for edge clients).
+  void call_dependency(const std::string& dependency, SimRequest request,
+                       ResponseCallback cb);
+
+  const std::string& instance_id() const { return instance_id_; }
+  Simulation& sim() { return *sim_; }
+  SimService& service() { return *service_; }
+  const std::shared_ptr<SimAgent>& agent() { return agent_; }
+
+  const resilience::CallPolicy& policy_for(const std::string& dep) const;
+  resilience::CircuitBreaker& breaker_for(const std::string& dep);
+  resilience::Bulkhead& bulkhead_for(const std::string& dep);
+
+  // Shared outbound pool (see ServiceConfig::shared_client_pool). `fn` runs
+  // immediately when a slot is free, otherwise queues FIFO.
+  void acquire_shared_slot(std::function<void()> fn);
+  void release_shared_slot();
+  bool shared_pool_enabled() const;
+  int shared_pool_in_flight() const { return shared_in_flight_; }
+  size_t shared_pool_queued() const { return shared_waiters_.size(); }
+
+  // Stats for tests.
+  uint64_t requests_handled() const { return requests_handled_; }
+  int server_in_flight() const { return server_in_flight_; }
+  size_t server_queue_depth() const { return server_queue_.size(); }
+  size_t server_queue_peak() const { return server_queue_peak_; }
+
+ private:
+  friend class RequestContext;
+
+  void run_default_handler(std::shared_ptr<RequestContext> ctx, size_t next_dep);
+  void begin_processing(const SimRequest& request, ResponseCallback reply);
+  void finish_processing();
+
+  Simulation* sim_;
+  SimService* service_;
+  std::string instance_id_;
+  std::shared_ptr<SimAgent> agent_;
+  std::map<std::string, std::unique_ptr<resilience::CircuitBreaker>> breakers_;
+  std::map<std::string, std::unique_ptr<resilience::Bulkhead>> bulkheads_;
+  uint64_t requests_handled_ = 0;
+  int shared_in_flight_ = 0;
+  std::deque<std::function<void()>> shared_waiters_;
+  int server_in_flight_ = 0;
+  std::deque<std::function<void()>> server_queue_;
+  size_t server_queue_peak_ = 0;
+};
+
+class SimService {
+ public:
+  SimService(Simulation* sim, ServiceConfig config);
+
+  const std::string& name() const { return config_.name; }
+  const ServiceConfig& config() const { return config_; }
+  ServiceConfig& mutable_config() { return config_; }
+
+  size_t instance_count() const { return instances_.size(); }
+  ServiceInstance& instance(size_t i) { return *instances_[i]; }
+
+ private:
+  ServiceConfig config_;
+  std::vector<std::unique_ptr<ServiceInstance>> instances_;
+};
+
+}  // namespace gremlin::sim

@@ -1,0 +1,50 @@
+#include "sim/sidecar.h"
+
+namespace gremlin::sim {
+
+SimAgent::SimAgent(std::string service, std::string instance_id,
+                   uint64_t seed)
+    : service_(std::move(service)),
+      instance_id_(std::move(instance_id)),
+      engine_(seed, instance_id_) {}
+
+VoidResult SimAgent::install_rules(
+    const std::vector<faults::FaultRule>& rules) {
+  return engine_.add_rules(rules);
+}
+
+VoidResult SimAgent::clear_rules() {
+  engine_.clear();
+  return VoidResult::success();
+}
+
+VoidResult SimAgent::remove_rules(const std::vector<std::string>& ids) {
+  for (const auto& id : ids) {
+    (void)engine_.remove_rule(id);
+  }
+  return VoidResult::success();
+}
+
+Result<logstore::RecordList> SimAgent::fetch_records() {
+  std::lock_guard lock(mu_);
+  return records_;
+}
+
+VoidResult SimAgent::clear_records() {
+  std::lock_guard lock(mu_);
+  records_.clear();
+  return VoidResult::success();
+}
+
+void SimAgent::log(logstore::LogRecord record) {
+  std::lock_guard lock(mu_);
+  record.instance = instance_id_;
+  records_.push_back(std::move(record));
+}
+
+size_t SimAgent::buffered_records() const {
+  std::lock_guard lock(mu_);
+  return records_.size();
+}
+
+}  // namespace gremlin::sim

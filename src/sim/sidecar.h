@@ -1,0 +1,49 @@
+// SimAgent: the simulator's sidecar Gremlin agent.
+//
+// One agent is attached to every service *instance* (the sidecar model of
+// Section 6: a service proxy handling the instance's outbound calls). It
+// embeds the same faults::RuleEngine the real TCP proxy uses, buffers its
+// observations locally, and exposes the topology::AgentHandle control
+// interface so the Failure Orchestrator can program it exactly like a
+// remote agent.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "faults/rule_engine.h"
+#include "logstore/record.h"
+#include "logstore/store.h"
+#include "topology/deployment.h"
+
+namespace gremlin::sim {
+
+class SimAgent : public topology::AgentHandle {
+ public:
+  SimAgent(std::string service, std::string instance_id, uint64_t seed);
+
+  // --- AgentHandle (control plane interface) ---
+  std::string instance_id() const override { return instance_id_; }
+  VoidResult install_rules(
+      const std::vector<faults::FaultRule>& rules) override;
+  VoidResult clear_rules() override;
+  VoidResult remove_rules(const std::vector<std::string>& ids) override;
+  Result<logstore::RecordList> fetch_records() override;
+  VoidResult clear_records() override;
+
+  // --- data plane (used by the request path) ---
+  faults::RuleEngine& engine() { return engine_; }
+  void log(logstore::LogRecord record);
+  const std::string& service() const { return service_; }
+  size_t buffered_records() const;
+
+ private:
+  const std::string service_;
+  const std::string instance_id_;
+  faults::RuleEngine engine_;
+  mutable std::mutex mu_;
+  logstore::RecordList records_;
+};
+
+}  // namespace gremlin::sim

@@ -1,0 +1,93 @@
+#include "sim/simulation.h"
+
+#include <cassert>
+
+namespace gremlin::sim {
+
+Simulation::Simulation(SimulationConfig config)
+    : config_(config),
+      rng_(config.seed),
+      network_(config.default_network_latency) {}
+
+void Simulation::schedule(Duration delay, EventQueue::Action action) {
+  schedule_at(now_ + (delay < kDurationZero ? kDurationZero : delay),
+              std::move(action));
+}
+
+void Simulation::schedule_at(TimePoint at, EventQueue::Action action) {
+  queue_.schedule_at(at < now_ ? now_ : at, std::move(action));
+}
+
+size_t Simulation::run() {
+  size_t processed = 0;
+  while (!queue_.empty()) {
+    now_ = queue_.next_time();
+    queue_.pop_and_run();
+    ++processed;
+    ++events_processed_;
+  }
+  return processed;
+}
+
+size_t Simulation::run_until(TimePoint deadline) {
+  size_t processed = 0;
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    now_ = queue_.next_time();
+    queue_.pop_and_run();
+    ++processed;
+    ++events_processed_;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return processed;
+}
+
+SimService* Simulation::add_service(ServiceConfig config) {
+  assert(!config.name.empty() && "service requires a name");
+  auto service = std::make_unique<SimService>(this, std::move(config));
+  SimService* raw = service.get();
+  const std::string name = raw->name();
+  assert(services_.count(name) == 0 && "duplicate service name");
+  for (size_t i = 0; i < raw->instance_count(); ++i) {
+    deployment_.add_instance(name, raw->instance(i).agent());
+  }
+  services_[name] = std::move(service);
+  return raw;
+}
+
+SimService* Simulation::find_service(const std::string& name) {
+  const auto it = services_.find(name);
+  return it == services_.end() ? nullptr : it->second.get();
+}
+
+void Simulation::add_services_from_graph(
+    const topology::AppGraph& graph,
+    const std::function<ServiceConfig(const std::string&)>& make) {
+  for (const auto& name : graph.services()) {
+    ServiceConfig cfg = make ? make(name) : ServiceConfig{};
+    cfg.name = name;
+    cfg.dependencies = graph.dependencies(name);
+    add_service(std::move(cfg));
+  }
+}
+
+ServiceInstance* Simulation::pick_instance(const std::string& service) {
+  SimService* svc = find_service(service);
+  if (svc == nullptr || svc->instance_count() == 0) return nullptr;
+  const size_t idx = round_robin_[service]++ % svc->instance_count();
+  return &svc->instance(idx);
+}
+
+void Simulation::inject(const std::string& client, const std::string& target,
+                        SimRequest request, ResponseCallback cb) {
+  SimService* svc = find_service(client);
+  if (svc == nullptr) {
+    ServiceConfig cfg;
+    cfg.name = client;
+    cfg.instances = 1;
+    cfg.processing_time = kDurationZero;
+    svc = add_service(std::move(cfg));
+  }
+  svc->instance(0).call_dependency(target, std::move(request), std::move(cb));
+}
+
+}  // namespace gremlin::sim

@@ -1,0 +1,96 @@
+// Simulation: the deterministic discrete-event "deployment" that stands in
+// for the paper's containerized testbed.
+//
+// Owns the virtual clock, the event queue, the latency model, every service
+// (with its instances and sidecar agents), the physical Deployment view the
+// control plane programs, and the central LogStore assertions query.
+// A given (topology, workload, recipe, seed) tuple always produces the same
+// logs and latencies.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "logstore/store.h"
+#include "sim/event_queue.h"
+#include "sim/network.h"
+#include "sim/service.h"
+#include "topology/deployment.h"
+#include "topology/graph.h"
+
+namespace gremlin::sim {
+
+struct SimulationConfig {
+  uint64_t seed = 42;
+  Duration default_network_latency = usec(500);
+};
+
+class Simulation {
+ public:
+  explicit Simulation(SimulationConfig config = {});
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  // --- clock & scheduling ---
+  TimePoint now() const { return now_; }
+  void schedule(Duration delay, EventQueue::Action action);
+  void schedule_at(TimePoint at, EventQueue::Action action);
+
+  // Runs events until the queue drains; returns the number processed.
+  size_t run();
+  // Runs events with timestamps <= `deadline`; the clock advances to
+  // `deadline` even if the queue drains earlier.
+  size_t run_until(TimePoint deadline);
+
+  Rng& rng() { return rng_; }
+  SimNetwork& network() { return network_; }
+  logstore::LogStore& log_store() { return log_store_; }
+  topology::Deployment& deployment() { return deployment_; }
+  const SimulationConfig& config() const { return config_; }
+
+  // --- topology ---
+  // Creates a service (and its instances + sidecar agents); the service is
+  // registered in the Deployment so the orchestrator can program it.
+  SimService* add_service(ServiceConfig config);
+  SimService* find_service(const std::string& name);
+
+  // Instantiates one single-instance service per graph node. `make` may
+  // customize the config; its `name` field is overwritten with the node
+  // name and `dependencies` with the node's callees.
+  void add_services_from_graph(
+      const topology::AppGraph& graph,
+      const std::function<ServiceConfig(const std::string&)>& make);
+
+  // Round-robin instance selection for calls targeting `service`;
+  // nullptr when the service does not exist (caller observes a reset).
+  ServiceInstance* pick_instance(const std::string& service);
+
+  // --- workload entry ---
+  // Sends a request from edge client `client` (a registered service; created
+  // on first use with a naive policy if missing) to `target`. The call flows
+  // through the client's sidecar, so edge behaviour is logged and fault
+  // rules apply to it (Section 6, test input generation).
+  void inject(const std::string& client, const std::string& target,
+              SimRequest request, ResponseCallback cb);
+
+  // Number of simulation events processed so far.
+  uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  SimulationConfig config_;
+  TimePoint now_{};
+  EventQueue queue_;
+  Rng rng_;
+  SimNetwork network_;
+  logstore::LogStore log_store_;
+  topology::Deployment deployment_;
+  std::map<std::string, std::unique_ptr<SimService>> services_;
+  std::map<std::string, size_t> round_robin_;
+  uint64_t events_processed_ = 0;
+};
+
+}  // namespace gremlin::sim

@@ -1,0 +1,42 @@
+#include "topology/deployment.h"
+
+namespace gremlin::topology {
+
+void Deployment::add_instance(const std::string& service,
+                              std::shared_ptr<AgentHandle> agent) {
+  agents_[service].push_back(std::move(agent));
+}
+
+const std::vector<std::shared_ptr<AgentHandle>>& Deployment::instances(
+    const std::string& service) const {
+  static const std::vector<std::shared_ptr<AgentHandle>> kEmpty;
+  const auto it = agents_.find(service);
+  return it == agents_.end() ? kEmpty : it->second;
+}
+
+std::vector<std::shared_ptr<AgentHandle>> Deployment::all_agents() const {
+  std::vector<std::shared_ptr<AgentHandle>> out;
+  for (const auto& [_, list] : agents_) {
+    out.insert(out.end(), list.begin(), list.end());
+  }
+  return out;
+}
+
+std::vector<std::string> Deployment::services() const {
+  std::vector<std::string> out;
+  out.reserve(agents_.size());
+  for (const auto& [name, _] : agents_) out.push_back(name);
+  return out;
+}
+
+size_t Deployment::instance_count() const {
+  size_t n = 0;
+  for (const auto& [_, list] : agents_) n += list.size();
+  return n;
+}
+
+bool Deployment::has_service(const std::string& service) const {
+  return agents_.count(service) > 0;
+}
+
+}  // namespace gremlin::topology

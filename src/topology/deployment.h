@@ -1,0 +1,67 @@
+// Deployment: the physical view of an application (Section 4.2, Figure 3).
+//
+// A logical service may run as multiple instances, each with its own sidecar
+// Gremlin agent. The Failure Orchestrator must locate *every* physical agent
+// and install the fault rules on each, so that faults apply between every
+// pair of instances. AgentHandle abstracts the agent's control interface —
+// the simulator's sidecars implement it in-process, the real proxy over its
+// REST control API.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "faults/rule.h"
+#include "logstore/store.h"
+
+namespace gremlin::topology {
+
+// Control interface every Gremlin agent exposes (the SDN "switch" API).
+class AgentHandle {
+ public:
+  virtual ~AgentHandle() = default;
+
+  // Identifies the physical instance ("serviceA/0", "10.1.1.1", ...).
+  virtual std::string instance_id() const = 0;
+
+  virtual VoidResult install_rules(
+      const std::vector<faults::FaultRule>& rules) = 0;
+  virtual VoidResult clear_rules() = 0;
+
+  // Removes specific rules by ID (unknown IDs are ignored). Enables timed
+  // scenarios — e.g. crash-recovery failures where a Crash heals after a
+  // fixed downtime.
+  virtual VoidResult remove_rules(const std::vector<std::string>& ids) = 0;
+
+  // Drains the agent's observation log into the central store.
+  virtual Result<logstore::RecordList> fetch_records() = 0;
+  virtual VoidResult clear_records() = 0;
+};
+
+class Deployment {
+ public:
+  Deployment() = default;
+
+  // Registers a physical agent instance backing `service`.
+  void add_instance(const std::string& service,
+                    std::shared_ptr<AgentHandle> agent);
+
+  // All agent instances backing `service` (empty if unknown).
+  const std::vector<std::shared_ptr<AgentHandle>>& instances(
+      const std::string& service) const;
+
+  // Every agent in the deployment, in deterministic (service, insertion)
+  // order.
+  std::vector<std::shared_ptr<AgentHandle>> all_agents() const;
+
+  std::vector<std::string> services() const;
+  size_t instance_count() const;
+  bool has_service(const std::string& service) const;
+
+ private:
+  std::map<std::string, std::vector<std::shared_ptr<AgentHandle>>> agents_;
+};
+
+}  // namespace gremlin::topology

@@ -1,0 +1,141 @@
+#include "topology/graph.h"
+
+#include <functional>
+
+namespace gremlin::topology {
+
+void AppGraph::add_service(const std::string& name) {
+  adjacency_[name];
+  reverse_[name];
+}
+
+void AppGraph::add_edge(const std::string& src, const std::string& dst) {
+  add_service(src);
+  add_service(dst);
+  adjacency_[src].insert(dst);
+  reverse_[dst].insert(src);
+}
+
+bool AppGraph::has_service(const std::string& name) const {
+  return adjacency_.count(name) > 0;
+}
+
+bool AppGraph::has_edge(const std::string& src, const std::string& dst) const {
+  const auto it = adjacency_.find(src);
+  return it != adjacency_.end() && it->second.count(dst) > 0;
+}
+
+std::vector<std::string> AppGraph::dependents(
+    const std::string& service) const {
+  const auto it = reverse_.find(service);
+  if (it == reverse_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+std::vector<std::string> AppGraph::dependencies(
+    const std::string& service) const {
+  const auto it = adjacency_.find(service);
+  if (it == adjacency_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+std::vector<std::string> AppGraph::services() const {
+  std::vector<std::string> out;
+  out.reserve(adjacency_.size());
+  for (const auto& [name, _] : adjacency_) out.push_back(name);
+  return out;
+}
+
+std::vector<Edge> AppGraph::edges() const {
+  std::vector<Edge> out;
+  for (const auto& [src, callees] : adjacency_) {
+    for (const auto& dst : callees) out.push_back({src, dst});
+  }
+  return out;
+}
+
+size_t AppGraph::edge_count() const {
+  size_t n = 0;
+  for (const auto& [_, callees] : adjacency_) n += callees.size();
+  return n;
+}
+
+std::vector<Edge> AppGraph::cut(const std::set<std::string>& group) const {
+  std::vector<Edge> out;
+  for (const auto& [src, callees] : adjacency_) {
+    const bool src_in = group.count(src) > 0;
+    for (const auto& dst : callees) {
+      const bool dst_in = group.count(dst) > 0;
+      if (src_in != dst_in) out.push_back({src, dst});
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> AppGraph::entry_points() const {
+  std::vector<std::string> out;
+  for (const auto& [name, callers] : reverse_) {
+    if (callers.empty()) out.push_back(name);
+  }
+  return out;
+}
+
+VoidResult AppGraph::validate_acyclic() const {
+  enum class Mark { kUnvisited, kInProgress, kDone };
+  std::map<std::string, Mark> marks;
+  for (const auto& [name, _] : adjacency_) marks[name] = Mark::kUnvisited;
+
+  std::function<bool(const std::string&)> has_cycle =
+      [&](const std::string& node) -> bool {
+    Mark& m = marks[node];
+    if (m == Mark::kInProgress) return true;
+    if (m == Mark::kDone) return false;
+    m = Mark::kInProgress;
+    const auto it = adjacency_.find(node);
+    if (it != adjacency_.end()) {
+      for (const auto& next : it->second) {
+        if (has_cycle(next)) return true;
+      }
+    }
+    m = Mark::kDone;
+    return false;
+  };
+
+  for (const auto& [name, _] : adjacency_) {
+    if (has_cycle(name)) {
+      return Error::failed_precondition("application graph contains a cycle "
+                                        "through '" + name + "'");
+    }
+  }
+  return VoidResult::success();
+}
+
+AppGraph AppGraph::binary_tree(int depth) {
+  AppGraph g;
+  if (depth <= 0) return g;
+  const int total = (1 << depth) - 1;
+  g.add_service("svc0");
+  for (int i = 0; i < total; ++i) {
+    const int left = 2 * i + 1;
+    const int right = 2 * i + 2;
+    if (left < total) {
+      g.add_edge("svc" + std::to_string(i), "svc" + std::to_string(left));
+    }
+    if (right < total) {
+      g.add_edge("svc" + std::to_string(i), "svc" + std::to_string(right));
+    }
+  }
+  return g;
+}
+
+AppGraph AppGraph::chain(int length) {
+  AppGraph g;
+  if (length <= 0) return g;
+  g.add_service("s0");
+  for (int i = 0; i + 1 < length; ++i) {
+    g.add_edge("s" + std::to_string(i), "s" + std::to_string(i + 1));
+  }
+  return g;
+}
+
+}  // namespace gremlin::topology

@@ -1,0 +1,84 @@
+// AppGraph: the logical application graph (Section 4.2).
+//
+// A directed graph of microservices where an edge A → B means "A makes API
+// calls to B". The operator supplies this graph alongside a recipe; the
+// Recipe Translator uses it to expand high-level failures: Crash(B) aborts
+// requests from every dependent of B, a Partition aborts every edge crossing
+// a cut, etc.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace gremlin::topology {
+
+struct Edge {
+  std::string src;  // caller
+  std::string dst;  // callee
+  bool operator<(const Edge& other) const {
+    return std::tie(src, dst) < std::tie(other.src, other.dst);
+  }
+  bool operator==(const Edge& other) const {
+    return src == other.src && dst == other.dst;
+  }
+};
+
+class AppGraph {
+ public:
+  AppGraph() = default;
+
+  // Declares a service with no edges (edges also auto-declare endpoints).
+  void add_service(const std::string& name);
+
+  // Declares "src calls dst". Idempotent.
+  void add_edge(const std::string& src, const std::string& dst);
+
+  bool has_service(const std::string& name) const;
+  bool has_edge(const std::string& src, const std::string& dst) const;
+
+  // Services with an edge into `service` (its callers). The paper's
+  // `dependents()` helper (Section 5).
+  std::vector<std::string> dependents(const std::string& service) const;
+
+  // Services `service` calls (its callees).
+  std::vector<std::string> dependencies(const std::string& service) const;
+
+  // All services, sorted.
+  std::vector<std::string> services() const;
+
+  // All edges, sorted.
+  std::vector<Edge> edges() const;
+
+  size_t service_count() const { return adjacency_.size(); }
+  size_t edge_count() const;
+
+  // Edges crossing the cut between `group` and the rest of the graph, in
+  // both directions — the set a NetworkPartition recipe must sever.
+  std::vector<Edge> cut(const std::set<std::string>& group) const;
+
+  // Services with no callers (user-facing entry points).
+  std::vector<std::string> entry_points() const;
+
+  // Fails if the call graph contains a cycle (request-response apps should
+  // be acyclic; a cycle usually indicates a miswritten graph).
+  VoidResult validate_acyclic() const;
+
+  // Builders for common shapes used by the evaluation.
+  // Complete binary tree with `depth` levels (depth=1 → 1 service,
+  // 5 → 31 services), names "svc0".."svcN", svc0 is the root/entry.
+  static AppGraph binary_tree(int depth);
+  // Linear chain: s0 → s1 → ... → s(n-1).
+  static AppGraph chain(int length);
+
+ private:
+  // service -> callees; value set may be empty (leaf service).
+  std::map<std::string, std::set<std::string>> adjacency_;
+  // service -> callers (reverse adjacency).
+  std::map<std::string, std::set<std::string>> reverse_;
+};
+
+}  // namespace gremlin::topology

@@ -1,0 +1,210 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <map>
+
+namespace gremlin::trace {
+
+using logstore::LogRecord;
+using logstore::MessageKind;
+
+namespace {
+
+// Pairs request and response records FIFO per (src, dst) edge.
+std::vector<Span> pair_spans(const logstore::RecordList& records) {
+  std::vector<Span> spans;
+  // Open span indices per edge, FIFO (a retry opens a second span on the
+  // same edge before the first closes only if the first never closes —
+  // with timeouts the late response still pairs with the oldest open one,
+  // which matches the wire reality).
+  std::map<std::pair<std::string, std::string>, std::deque<size_t>> open;
+
+  for (const LogRecord& r : records) {
+    if (r.kind == MessageKind::kRequest) {
+      Span span;
+      span.src = r.src;
+      span.dst = r.dst;
+      span.start = r.timestamp;
+      span.uri = r.uri;
+      if (r.fault != logstore::FaultKind::kNone) {
+        span.fault = r.fault;
+        span.rule_id = r.rule_id;
+        span.injected_delay = r.injected_delay;
+      }
+      open[{r.src, r.dst}].push_back(spans.size());
+      spans.push_back(std::move(span));
+    } else {
+      auto& queue = open[{r.src, r.dst}];
+      if (queue.empty()) continue;  // response without a request: ignore
+      Span& span = spans[queue.front()];
+      queue.pop_front();
+      span.end = r.timestamp;
+      span.status = r.status;
+      if (r.fault != logstore::FaultKind::kNone) {
+        span.fault = r.fault;
+        span.rule_id = r.rule_id;
+      }
+      span.injected_delay = std::max(span.injected_delay, r.injected_delay);
+    }
+  }
+  return spans;
+}
+
+// Assigns parents: span X's parent is the latest-starting span Y with
+// Y.dst == X.src that contains X's start time.
+void link_parents(std::vector<Span>* spans) {
+  for (size_t i = 0; i < spans->size(); ++i) {
+    Span& child = (*spans)[i];
+    std::optional<size_t> best;
+    for (size_t j = 0; j < spans->size(); ++j) {
+      if (i == j) continue;
+      const Span& candidate = (*spans)[j];
+      if (candidate.dst != child.src) continue;
+      if (candidate.start > child.start) continue;
+      // An un-closed candidate is still "in progress" and can own the call.
+      if (candidate.end && *candidate.end < child.start) continue;
+      if (!best || (*spans)[*best].start <= candidate.start) {
+        best = j;
+      }
+    }
+    child.parent = best;
+    if (best) (*spans)[*best].children.push_back(i);
+  }
+}
+
+void format_span(const FlowTrace& t, size_t index, int depth,
+                 TimePoint origin, std::string* out) {
+  const Span& span = t.spans[index];
+  char line[256];
+  const double rel_ms = to_millis(span.start - origin);
+  std::string status;
+  if (!span.end) {
+    status = "no response";
+  } else if (span.status == 0) {
+    status = "reset/timeout";
+  } else {
+    status = std::to_string(span.status);
+  }
+  std::string fault;
+  if (span.fault != logstore::FaultKind::kNone) {
+    fault = std::string(" (") + logstore::to_string(span.fault) + " rule " +
+            span.rule_id + ")";
+  }
+  std::snprintf(line, sizeof(line), "%*s%s -> %s  [%.1fms +%.1fms] %s%s\n",
+                depth * 2, "", span.src.c_str(), span.dst.c_str(), rel_ms,
+                to_millis(span.duration()), status.c_str(), fault.c_str());
+  out->append(line);
+  for (const size_t child : span.children) {
+    format_span(t, child, depth + 1, origin, out);
+  }
+}
+
+}  // namespace
+
+size_t FlowTrace::failed_spans() const {
+  size_t n = 0;
+  for (const Span& s : spans) {
+    if (s.failed()) ++n;
+  }
+  return n;
+}
+
+Duration FlowTrace::total_duration() const {
+  if (spans.empty()) return kDurationZero;
+  TimePoint first = spans.front().start;
+  TimePoint last = first;
+  for (const Span& s : spans) {
+    first = std::min(first, s.start);
+    if (s.end) last = std::max(last, *s.end);
+  }
+  return last - first;
+}
+
+std::vector<size_t> FlowTrace::failure_chain() const {
+  // Deepest failing span: maximize depth, break ties by earliest start
+  // (the origin of the cascade).
+  std::optional<size_t> deepest;
+  int deepest_depth = -1;
+  auto depth_of = [this](size_t index) {
+    int depth = 0;
+    std::optional<size_t> cur = spans[index].parent;
+    while (cur) {
+      ++depth;
+      cur = spans[*cur].parent;
+    }
+    return depth;
+  };
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (!spans[i].failed()) continue;
+    const int depth = depth_of(i);
+    if (depth > deepest_depth ||
+        (depth == deepest_depth && deepest &&
+         spans[i].start < spans[*deepest].start)) {
+      deepest = i;
+      deepest_depth = depth;
+    }
+  }
+  std::vector<size_t> chain;
+  if (!deepest) return chain;
+  std::optional<size_t> cur = deepest;
+  while (cur) {
+    chain.push_back(*cur);
+    cur = spans[*cur].parent;
+  }
+  std::reverse(chain.begin(), chain.end());  // root → origin of failure
+  return chain;
+}
+
+std::string FlowTrace::format_tree() const {
+  std::string out = "trace " + request_id + " (" +
+                    std::to_string(spans.size()) + " spans, " +
+                    std::to_string(failed_spans()) + " failed, " +
+                    format_duration(total_duration()) + ")\n";
+  if (spans.empty()) return out;
+  const TimePoint origin = spans.front().start;
+  for (const size_t root : roots) {
+    format_span(*this, root, 1, origin, &out);
+  }
+  return out;
+}
+
+FlowTrace build_trace(const logstore::RecordList& records,
+                      const std::string& request_id) {
+  logstore::RecordList filtered;
+  for (const auto& r : records) {
+    if (r.request_id == request_id) filtered.push_back(r);
+  }
+  std::stable_sort(filtered.begin(), filtered.end(),
+                   [](const LogRecord& a, const LogRecord& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  FlowTrace t;
+  t.request_id = request_id;
+  t.spans = pair_spans(filtered);
+  link_parents(&t.spans);
+  for (size_t i = 0; i < t.spans.size(); ++i) {
+    if (!t.spans[i].parent) t.roots.push_back(i);
+  }
+  return t;
+}
+
+std::vector<FlowTrace> build_traces(const logstore::RecordList& records) {
+  std::vector<std::string> order;
+  std::map<std::string, bool> seen;
+  for (const auto& r : records) {
+    if (!seen[r.request_id]) {
+      seen[r.request_id] = true;
+      order.push_back(r.request_id);
+    }
+  }
+  std::vector<FlowTrace> out;
+  out.reserve(order.size());
+  for (const auto& id : order) {
+    out.push_back(build_trace(records, id));
+  }
+  return out;
+}
+
+}  // namespace gremlin::trace

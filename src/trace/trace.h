@@ -1,0 +1,73 @@
+// Flow tracing: reconstructing a user request's path across microservices
+// from the agents' observation logs.
+//
+// Section 4.1: a globally unique request ID is propagated downstream in
+// message headers, and "the flow of a user's request across different
+// microservices can be traced using this unique request ID" (Dapper /
+// Zipkin style). This module rebuilds that flow: each request/response pair
+// observed on an edge becomes a Span; spans nest by time containment into a
+// call tree. The failure-diagnosis helpers answer the operator question the
+// paper's feedback loop exists for: *where* in the chain did a failure
+// originate, and how far did it propagate?
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "logstore/store.h"
+
+namespace gremlin::trace {
+
+// One observed call on an edge (a request record paired with the matching
+// response record, FIFO per edge — retries become separate spans).
+struct Span {
+  std::string src;
+  std::string dst;
+  TimePoint start{};                 // request observed at the caller agent
+  std::optional<TimePoint> end;      // response observed (nullopt: none seen)
+  int status = -1;                   // -1 when no response was observed
+  logstore::FaultKind fault = logstore::FaultKind::kNone;
+  std::string rule_id;
+  Duration injected_delay{};
+  std::string uri;
+
+  std::optional<size_t> parent;      // index into FlowTrace::spans
+  std::vector<size_t> children;
+
+  // Span duration; zero when no response was observed.
+  Duration duration() const {
+    return end ? *end - start : kDurationZero;
+  }
+  bool failed() const { return status == 0 || status >= 500 || !end; }
+};
+
+struct FlowTrace {
+  std::string request_id;
+  std::vector<Span> spans;    // time-ordered by start
+  std::vector<size_t> roots;  // spans with no parent
+
+  size_t failed_spans() const;
+  // Total time from the first request to the last response observation.
+  Duration total_duration() const;
+
+  // The chain of spans from a root to the deepest failing span, i.e. where
+  // a failure originated and how it propagated upward. Empty when no span
+  // failed.
+  std::vector<size_t> failure_chain() const;
+
+  // ASCII rendering:
+  //   user -> frontend    [0.0ms +4.0ms] 200
+  //     frontend -> db    [1.5ms +1.0ms] 503 (abort rule overload-1)
+  std::string format_tree() const;
+};
+
+// Builds one trace per distinct request ID in `records` (time-sorted
+// output; IDs in first-appearance order).
+std::vector<FlowTrace> build_traces(const logstore::RecordList& records);
+
+// Builds the trace for a single flow.
+FlowTrace build_trace(const logstore::RecordList& records,
+                      const std::string& request_id);
+
+}  // namespace gremlin::trace

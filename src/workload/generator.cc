@@ -1,0 +1,53 @@
+#include "workload/generator.h"
+
+namespace gremlin::workload {
+
+std::vector<Duration> TrafficResult::successful_latencies() const {
+  std::vector<Duration> out;
+  for (size_t i = 0; i < latencies.size(); ++i) {
+    if (statuses[i] != 0 && statuses[i] < 500) out.push_back(latencies[i]);
+  }
+  return out;
+}
+
+std::shared_ptr<TrafficResult> schedule_traffic(sim::Simulation* sim,
+                                                const std::string& target,
+                                                const TrafficSpec& spec) {
+  auto result = std::make_shared<TrafficResult>();
+  result->latencies.resize(spec.count);
+  result->statuses.resize(spec.count);
+
+  TimePoint at = sim->now();
+  for (size_t i = 0; i < spec.count; ++i) {
+    sim->schedule_at(at, [sim, result, spec, i, target] {
+      sim::SimRequest req;
+      req.request_id = spec.id_prefix + std::to_string(i);
+      req.uri = spec.uri;
+      const TimePoint sent = sim->now();
+      sim->inject(spec.client, target, std::move(req),
+                  [sim, result, i, sent](const sim::SimResponse& resp) {
+                    result->latencies[i] = sim->now() - sent;
+                    result->statuses[i] =
+                        resp.connection_reset || resp.timed_out ? 0
+                                                                : resp.status;
+                    if (resp.failed()) ++result->failures;
+                  });
+    });
+    const Duration step =
+        spec.poisson
+            ? Duration(static_cast<int64_t>(sim->rng().exponential(
+                  static_cast<double>(spec.gap.count()))))
+            : spec.gap;
+    at += step;
+  }
+  return result;
+}
+
+TrafficResult run_traffic(sim::Simulation* sim, const std::string& target,
+                          const TrafficSpec& spec) {
+  auto result = schedule_traffic(sim, target, spec);
+  sim->run();
+  return *result;
+}
+
+}  // namespace gremlin::workload

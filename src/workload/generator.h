@@ -1,0 +1,46 @@
+// Load generators for driving simulated applications.
+//
+// The paper assumes standard load-generation tools inject test requests
+// tagged with "test-*" IDs (Section 6). These helpers provide open-loop
+// (fixed or Poisson inter-arrival) and closed-loop injection, recording
+// per-request latency and final status.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/duration.h"
+#include "sim/simulation.h"
+
+namespace gremlin::workload {
+
+struct TrafficSpec {
+  size_t count = 100;
+  Duration gap = msec(10);       // mean inter-arrival time
+  bool poisson = false;          // exponential inter-arrivals with mean gap
+  std::string id_prefix = "test-";
+  std::string uri = "/";
+  std::string client = "user";
+};
+
+struct TrafficResult {
+  std::vector<Duration> latencies;  // indexed by request number
+  std::vector<int> statuses;        // 0 = connection failure / timeout
+  size_t failures = 0;
+
+  std::vector<Duration> successful_latencies() const;
+};
+
+// Schedules the injections on `sim` (does not run the simulation). The
+// returned result is populated as the simulation executes; read it after
+// sim->run().
+std::shared_ptr<TrafficResult> schedule_traffic(sim::Simulation* sim,
+                                                const std::string& target,
+                                                const TrafficSpec& spec);
+
+// Convenience: schedule + run to quiescence.
+TrafficResult run_traffic(sim::Simulation* sim, const std::string& target,
+                          const TrafficSpec& spec);
+
+}  // namespace gremlin::workload

@@ -1,0 +1,81 @@
+#include "workload/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+namespace gremlin::workload {
+
+Summary summarize(std::vector<Duration> latencies) {
+  Summary s;
+  if (latencies.empty()) return s;
+  std::sort(latencies.begin(), latencies.end());
+  s.count = latencies.size();
+  s.min = latencies.front();
+  s.max = latencies.back();
+  const int64_t total = std::accumulate(
+      latencies.begin(), latencies.end(), int64_t{0},
+      [](int64_t acc, Duration d) { return acc + d.count(); });
+  s.mean = Duration(total / static_cast<int64_t>(latencies.size()));
+  auto at_pct = [&latencies](double pct) {
+    const size_t n = latencies.size();
+    size_t rank = static_cast<size_t>(
+        std::ceil(pct / 100.0 * static_cast<double>(n)));
+    if (rank == 0) rank = 1;
+    if (rank > n) rank = n;
+    return latencies[rank - 1];
+  };
+  s.p50 = at_pct(50);
+  s.p90 = at_pct(90);
+  s.p99 = at_pct(99);
+  return s;
+}
+
+Duration percentile(std::vector<Duration> latencies, double pct) {
+  if (latencies.empty()) return kDurationZero;
+  std::sort(latencies.begin(), latencies.end());
+  const size_t n = latencies.size();
+  size_t rank =
+      static_cast<size_t>(std::ceil(pct / 100.0 * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  return latencies[rank - 1];
+}
+
+std::vector<std::pair<double, double>> cdf_points(
+    const std::vector<Duration>& latencies, size_t max_points) {
+  std::vector<std::pair<double, double>> out;
+  if (latencies.empty()) return out;
+  std::vector<Duration> sorted = latencies;
+  std::sort(sorted.begin(), sorted.end());
+  const size_t n = sorted.size();
+  out.reserve(max_points > 0 ? max_points : n);
+  if (max_points == 0 || max_points >= n) {
+    for (size_t i = 0; i < n; ++i) {
+      out.emplace_back(to_seconds(sorted[i]),
+                       static_cast<double>(i + 1) / static_cast<double>(n));
+    }
+    return out;
+  }
+  for (size_t k = 1; k <= max_points; ++k) {
+    const size_t idx =
+        (k * n) / max_points == 0 ? 0 : (k * n) / max_points - 1;
+    out.emplace_back(to_seconds(sorted[idx]),
+                     static_cast<double>(idx + 1) / static_cast<double>(n));
+  }
+  return out;
+}
+
+std::string format_cdf(const std::vector<Duration>& latencies,
+                       size_t max_points) {
+  std::string out = "latency_s\tcdf\n";
+  char buf[64];
+  for (const auto& [secs, frac] : cdf_points(latencies, max_points)) {
+    std::snprintf(buf, sizeof(buf), "%.4f\t%.3f\n", secs, frac);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace gremlin::workload

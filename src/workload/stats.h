@@ -1,0 +1,38 @@
+// Latency statistics helpers used by benches and examples: summaries,
+// percentiles, and CDF series matching the paper's figures.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/duration.h"
+
+namespace gremlin::workload {
+
+struct Summary {
+  size_t count = 0;
+  Duration min{};
+  Duration max{};
+  Duration mean{};
+  Duration p50{};
+  Duration p90{};
+  Duration p99{};
+};
+
+Summary summarize(std::vector<Duration> latencies);
+
+// Percentile in [0,100] by nearest-rank on a copy of the data.
+Duration percentile(std::vector<Duration> latencies, double pct);
+
+// Empirical CDF as (seconds, cumulative fraction) points, ascending. When
+// max_points > 0 the series is downsampled evenly to that many points.
+std::vector<std::pair<double, double>> cdf_points(
+    const std::vector<Duration>& latencies, size_t max_points = 0);
+
+// Renders a fixed-width table of CDF rows: "<seconds>\t<fraction>".
+std::string format_cdf(const std::vector<Duration>& latencies,
+                       size_t max_points = 20);
+
+}  // namespace gremlin::workload

@@ -1,0 +1,344 @@
+// Tests for the case-study applications: the WordPress/ElasticPress
+// behaviours behind Figures 5 and 6, the enterprise app's Unirest bug, the
+// binary-tree builder, and all five Table 1 outage recreations (naive
+// variants must fail their recipes' assertions, resilient ones must pass).
+#include <gtest/gtest.h>
+
+#include "apps/enterprise.h"
+#include "apps/outages.h"
+#include "apps/trees.h"
+#include "apps/wordpress.h"
+#include "control/recipe.h"
+#include "workload/stats.h"
+
+namespace gremlin::apps {
+namespace {
+
+using control::FailureSpec;
+using control::LoadOptions;
+using control::TestSession;
+using sim::Simulation;
+using sim::SimulationConfig;
+
+// ---------------------------------------------------------------- wordpress
+
+TEST(WordPressTest, HealthySearchUsesElasticsearch) {
+  Simulation sim;
+  auto graph = build_wordpress_app(&sim);
+  TestSession session(&sim, graph);
+  auto load = session.run_load("user", "wordpress", 10);
+  EXPECT_EQ(load.failures, 0u);
+  ASSERT_TRUE(session.collect().ok());
+  // All searches hit elasticsearch, none needed mysql.
+  EXPECT_EQ(session.checker().get_requests("wordpress", "elasticsearch")
+                .size(), 10u);
+  EXPECT_TRUE(
+      session.checker().get_requests("wordpress", "mysql").empty());
+}
+
+TEST(WordPressTest, FallsBackToMysqlOnElasticsearchErrors) {
+  Simulation sim;
+  auto graph = build_wordpress_app(&sim);
+  TestSession session(&sim, graph);
+  ASSERT_TRUE(
+      session.apply(FailureSpec::disconnect("wordpress", "elasticsearch"))
+          .ok());
+  auto load = session.run_load("user", "wordpress", 10);
+  // Graceful degradation: the user still gets 200s.
+  EXPECT_EQ(load.failures, 0u);
+  ASSERT_TRUE(session.collect().ok());
+  EXPECT_EQ(session.checker().get_requests("wordpress", "mysql").size(),
+            10u);
+}
+
+TEST(WordPressTest, InjectedDelayOffsetsResponseTimes) {
+  // The Figure 5 mechanism: without a timeout, WordPress's response time is
+  // the injected delay plus its normal latency — for every request.
+  for (const int delay_s : {1, 2}) {
+    Simulation sim;
+    auto graph = build_wordpress_app(&sim);
+    TestSession session(&sim, graph);
+    ASSERT_TRUE(session
+                    .apply(FailureSpec::delay_edge(
+                        "wordpress", "elasticsearch", sec(delay_s)))
+                    .ok());
+    auto load = session.run_load("user", "wordpress", 20);
+    for (const Duration lat : load.latencies) {
+      EXPECT_GE(lat, sec(delay_s));
+      EXPECT_LT(lat, sec(delay_s) + msec(100));
+    }
+  }
+}
+
+TEST(WordPressTest, TimeoutVariantBoundsResponseTimes) {
+  Simulation sim;
+  WordPressOptions options;
+  options.with_timeout = true;
+  options.timeout = msec(200);
+  auto graph = build_wordpress_app(&sim, options);
+  TestSession session(&sim, graph);
+  ASSERT_TRUE(session
+                  .apply(FailureSpec::delay_edge("wordpress",
+                                                 "elasticsearch", sec(3)))
+                  .ok());
+  auto load = session.run_load("user", "wordpress", 20);
+  EXPECT_EQ(load.failures, 0u);  // falls back to mysql after the timeout
+  for (const Duration lat : load.latencies) {
+    EXPECT_LT(lat, sec(1));
+  }
+}
+
+TEST(WordPressTest, Figure6ShapeWithoutBreaker) {
+  // Abort 100 consecutive requests, then delay the next 100 by 3s: without
+  // a circuit breaker every delayed request takes >= 3s.
+  Simulation sim;
+  auto graph = build_wordpress_app(&sim);
+  TestSession session(&sim, graph);
+
+  FailureSpec abort_spec = FailureSpec::abort_edge(
+      "wordpress", "elasticsearch", 503);
+  abort_spec.max_matches = 100;
+  FailureSpec delay_spec = FailureSpec::delay_edge(
+      "wordpress", "elasticsearch", sec(3));
+  delay_spec.max_matches = 100;
+  ASSERT_TRUE(session.apply(abort_spec).ok());
+  ASSERT_TRUE(session.apply(delay_spec).ok());
+
+  LoadOptions load;
+  load.count = 200;
+  load.closed_loop = true;  // sequential, like ab -c 1
+  const auto result = session.run_load("user", "wordpress", load);
+
+  // First 100 (aborted → mysql fallback): fast.
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_LT(result.latencies[i], sec(1)) << i;
+    EXPECT_EQ(result.statuses[i], 200) << i;
+  }
+  // Next 100 (delayed): all >= 3s — no breaker ever tripped.
+  for (size_t i = 100; i < 200; ++i) {
+    EXPECT_GE(result.latencies[i], sec(3)) << i;
+  }
+}
+
+TEST(WordPressTest, Figure6CounterfactualWithBreaker) {
+  // With a circuit breaker (threshold 50 < 100 aborts), the delayed phase
+  // is short-circuited: requests return fast via the mysql fallback.
+  Simulation sim;
+  WordPressOptions options;
+  options.with_circuit_breaker = true;
+  options.breaker = resilience::CircuitBreakerConfig{50, sec(60), 1};
+  auto graph = build_wordpress_app(&sim, options);
+  TestSession session(&sim, graph);
+
+  FailureSpec abort_spec =
+      FailureSpec::abort_edge("wordpress", "elasticsearch", 503);
+  abort_spec.max_matches = 100;
+  FailureSpec delay_spec =
+      FailureSpec::delay_edge("wordpress", "elasticsearch", sec(3));
+  delay_spec.max_matches = 100;
+  ASSERT_TRUE(session.apply(abort_spec).ok());
+  ASSERT_TRUE(session.apply(delay_spec).ok());
+
+  LoadOptions load;
+  load.count = 200;
+  load.closed_loop = true;
+  const auto result = session.run_load("user", "wordpress", load);
+  size_t fast = 0;
+  for (size_t i = 100; i < 200; ++i) {
+    if (result.latencies[i] < sec(1)) ++fast;
+  }
+  EXPECT_EQ(fast, 100u);  // the breaker opened during the abort phase
+}
+
+TEST(WordPressTest, GremlinAssertionsDiagnoseElasticPress) {
+  // The paper's verdict: ElasticPress fails HasTimeouts and
+  // HasCircuitBreaker.
+  Simulation sim;
+  auto graph = build_wordpress_app(&sim);
+  TestSession session(&sim, graph);
+  ASSERT_TRUE(session
+                  .apply(FailureSpec::delay_edge("wordpress",
+                                                 "elasticsearch", sec(2)))
+                  .ok());
+  session.run_load("user", "wordpress", 30);
+  ASSERT_TRUE(session.collect().ok());
+  EXPECT_FALSE(session.checker().has_timeouts("wordpress", sec(1)).passed);
+}
+
+// --------------------------------------------------------------- enterprise
+
+TEST(EnterpriseTest, HealthyPageComposition) {
+  Simulation sim;
+  auto graph = build_enterprise_app(&sim);
+  TestSession session(&sim, graph);
+  auto load = session.run_load("user", "webapp", 10);
+  EXPECT_EQ(load.failures, 0u);
+  for (const int status : load.statuses) EXPECT_EQ(status, 200);
+}
+
+TEST(EnterpriseTest, SlowBackendDegradesGracefully) {
+  // Unirest's timeout path works: a hung search backend produces partial
+  // results, not errors.
+  Simulation sim;
+  auto graph = build_enterprise_app(&sim);
+  TestSession session(&sim, graph);
+  ASSERT_TRUE(
+      session.apply(FailureSpec::hang("search-svc", sec(10))).ok());
+  auto load = session.run_load("user", "webapp", 10);
+  EXPECT_EQ(load.failures, 0u);
+}
+
+TEST(EnterpriseTest, UnirestBugSurfacesOnConnectionReset) {
+  // The discovered bug: TCP-level failures escape the library.
+  Simulation sim;
+  auto graph = build_enterprise_app(&sim);
+  TestSession session(&sim, graph);
+  FailureSpec reset =
+      FailureSpec::abort_edge("webapp", "search-svc", faults::kTcpReset);
+  ASSERT_TRUE(session.apply(reset).ok());
+  auto load = session.run_load("user", "webapp", 10);
+  EXPECT_EQ(load.failures, 10u);
+  for (const int status : load.statuses) EXPECT_EQ(status, 500);
+}
+
+TEST(EnterpriseTest, FixedLibraryHandlesReset) {
+  Simulation sim;
+  EnterpriseOptions options;
+  options.fix_unirest_bug = true;
+  auto graph = build_enterprise_app(&sim, options);
+  TestSession session(&sim, graph);
+  FailureSpec reset =
+      FailureSpec::abort_edge("webapp", "search-svc", faults::kTcpReset);
+  ASSERT_TRUE(session.apply(reset).ok());
+  auto load = session.run_load("user", "webapp", 10);
+  EXPECT_EQ(load.failures, 0u);
+}
+
+TEST(EnterpriseTest, GremlinDiagnosesTheBugViaTimeoutCheck) {
+  // HasTimeouts passes (replies are fast)… but the replies are errors; the
+  // recipe that found the bug watched behaviour under network instability.
+  Simulation sim;
+  auto graph = build_enterprise_app(&sim);
+  TestSession session(&sim, graph);
+  FailureSpec reset =
+      FailureSpec::abort_edge("webapp", "search-svc", faults::kTcpReset);
+  ASSERT_TRUE(session.apply(reset).ok());
+  session.run_load("user", "webapp", 20);
+  ASSERT_TRUE(session.collect().ok());
+  // The webapp's own replies carry 500s — visible in the user-edge logs.
+  const auto replies = session.checker().get_replies("user", "webapp");
+  ASSERT_EQ(replies.size(), 20u);
+  for (const auto& r : replies) EXPECT_EQ(r.status, 500);
+}
+
+// -------------------------------------------------------------------- trees
+
+TEST(TreeAppTest, BuildsAllDepths) {
+  for (const int depth : {1, 2, 3, 4, 5}) {
+    Simulation sim;
+    TreeOptions options;
+    options.depth = depth;
+    auto graph = build_tree_app(&sim, options);
+    const size_t services = (1u << depth) - 1;
+    EXPECT_EQ(graph.service_count(), services + 1);  // + user
+    EXPECT_NE(sim.find_service("svc0"), nullptr);
+    EXPECT_NE(
+        sim.find_service("svc" + std::to_string(services - 1)), nullptr);
+  }
+}
+
+TEST(TreeAppTest, RequestsReachAllLeaves) {
+  Simulation sim;
+  TreeOptions options;
+  options.depth = 3;
+  auto graph = build_tree_app(&sim, options);
+  TestSession session(&sim, graph);
+  auto load = session.run_load("user", "svc0", 5);
+  EXPECT_EQ(load.failures, 0u);
+  // Leaf svc6 (last of 7) handled all 5 requests.
+  EXPECT_EQ(sim.find_service("svc6")->instance(0).requests_handled(), 5u);
+}
+
+// ------------------------------------------------------------- Table 1 cases
+
+class OutageCaseTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(OutageCaseTest, NaiveVariantFailsRecipe) {
+  const OutageCase& c = table1_cases()[GetParam()];
+  const auto results = run_outage_case(c, /*resilient=*/false);
+  ASSERT_FALSE(results.empty()) << c.id;
+  bool any_failed = false;
+  for (const auto& r : results) {
+    if (!r.passed) any_failed = true;
+  }
+  EXPECT_TRUE(any_failed) << c.id
+                          << ": recipe failed to diagnose the outage bug";
+}
+
+TEST_P(OutageCaseTest, ResilientVariantPassesRecipe) {
+  const OutageCase& c = table1_cases()[GetParam()];
+  const auto results = run_outage_case(c, /*resilient=*/true);
+  ASSERT_FALSE(results.empty()) << c.id;
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.passed) << c.id << ": " << r.name << " — " << r.detail;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCases, OutageCaseTest,
+                         ::testing::Values(0u, 1u, 2u, 3u, 4u),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           std::string id = table1_cases()[info.param].id;
+                           for (char& ch : id) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return id;
+                         });
+
+TEST(OutageTableTest, FiveCasesRegistered) {
+  EXPECT_EQ(table1_cases().size(), 5u);
+  for (const auto& c : table1_cases()) {
+    EXPECT_FALSE(c.id.empty());
+    EXPECT_FALSE(c.summary.empty());
+    EXPECT_TRUE(c.build != nullptr);
+    EXPECT_TRUE(c.recipe != nullptr);
+  }
+}
+
+// ------------------------------------------------------------------- stats
+
+TEST(StatsTest, SummaryAndPercentiles) {
+  std::vector<Duration> lat;
+  for (int i = 1; i <= 100; ++i) lat.push_back(msec(i));
+  const auto s = workload::summarize(lat);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.min, msec(1));
+  EXPECT_EQ(s.max, msec(100));
+  EXPECT_EQ(s.p50, msec(50));
+  EXPECT_EQ(s.p90, msec(90));
+  EXPECT_EQ(s.p99, msec(99));
+  EXPECT_EQ(workload::percentile(lat, 100), msec(100));
+  EXPECT_EQ(workload::percentile({}, 50), kDurationZero);
+}
+
+TEST(StatsTest, CdfPointsMonotone) {
+  std::vector<Duration> lat = {msec(5), msec(1), msec(3)};
+  const auto pts = workload::cdf_points(lat);
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_DOUBLE_EQ(pts[0].first, 0.001);
+  EXPECT_NEAR(pts[2].second, 1.0, 1e-12);
+  for (size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GE(pts[i].first, pts[i - 1].first);
+    EXPECT_GT(pts[i].second, pts[i - 1].second);
+  }
+}
+
+TEST(StatsTest, CdfDownsampling) {
+  std::vector<Duration> lat;
+  for (int i = 1; i <= 1000; ++i) lat.push_back(usec(i));
+  const auto pts = workload::cdf_points(lat, 10);
+  EXPECT_EQ(pts.size(), 10u);
+  EXPECT_NEAR(pts.back().second, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace gremlin::apps

@@ -1,0 +1,249 @@
+// Unit tests for the assertion layer: queries, base assertions, withRule
+// semantics, and the Combine state machine (Table 3, Section 4.2).
+#include <gtest/gtest.h>
+
+#include "control/assertions.h"
+
+namespace gremlin::control {
+namespace {
+
+using logstore::FaultKind;
+using logstore::LogRecord;
+using logstore::MessageKind;
+
+LogRecord req(int64_t ts_ms, const std::string& id,
+              FaultKind fault = FaultKind::kNone) {
+  LogRecord r;
+  r.timestamp = msec(ts_ms);
+  r.request_id = id;
+  r.src = "a";
+  r.dst = "b";
+  r.kind = MessageKind::kRequest;
+  r.fault = fault;
+  return r;
+}
+
+LogRecord reply(int64_t ts_ms, const std::string& id, int status,
+                int64_t latency_ms = 10, FaultKind fault = FaultKind::kNone,
+                int64_t injected_ms = 0) {
+  LogRecord r;
+  r.timestamp = msec(ts_ms);
+  r.request_id = id;
+  r.src = "a";
+  r.dst = "b";
+  r.kind = MessageKind::kResponse;
+  r.status = status;
+  r.latency = msec(latency_ms);
+  r.fault = fault;
+  r.injected_delay = msec(injected_ms);
+  return r;
+}
+
+// ----------------------------------------------------------------- queries
+
+TEST(NumRequestsTest, CountsOnlyRequests) {
+  RecordList list = {req(0, "t1"), reply(5, "t1", 200), req(10, "t2")};
+  EXPECT_EQ(num_requests(list), 2u);
+}
+
+TEST(NumRequestsTest, TdeltaLimitsWindowFromFirstRequest) {
+  RecordList list = {req(0, "t1"), req(50, "t2"), req(100, "t3"),
+                     req(200, "t4")};
+  EXPECT_EQ(num_requests(list, msec(100)), 3u);
+  EXPECT_EQ(num_requests(list, msec(99)), 2u);
+  EXPECT_EQ(num_requests(list, msec(500)), 4u);
+}
+
+TEST(NumRequestsTest, WithRuleFalseExcludesFaultedRequests) {
+  RecordList list = {req(0, "t1"), req(10, "t2", FaultKind::kAbort),
+                     req(20, "t3", FaultKind::kDelay)};
+  EXPECT_EQ(num_requests(list, std::nullopt, /*with_rule=*/true), 3u);
+  EXPECT_EQ(num_requests(list, std::nullopt, /*with_rule=*/false), 1u);
+}
+
+TEST(ReplyLatencyTest, WithRuleSubtraction) {
+  // A 3s injected delay on a reply whose observed latency was 3.01s.
+  RecordList list = {reply(0, "t1", 200, 3010, FaultKind::kDelay, 3000)};
+  const auto with_rule = reply_latency(list, /*with_rule=*/true);
+  ASSERT_EQ(with_rule.size(), 1u);
+  EXPECT_EQ(with_rule[0], msec(3010));
+  const auto without = reply_latency(list, /*with_rule=*/false);
+  ASSERT_EQ(without.size(), 1u);
+  EXPECT_EQ(without[0], msec(10));
+}
+
+TEST(ReplyLatencyTest, WithRuleFalseDropsSynthesizedReplies) {
+  RecordList list = {reply(0, "t1", 503, 0, FaultKind::kAbort),
+                     reply(10, "t2", 200, 12)};
+  EXPECT_EQ(reply_latency(list, true).size(), 2u);
+  const auto without = reply_latency(list, false);
+  ASSERT_EQ(without.size(), 1u);
+  EXPECT_EQ(without[0], msec(12));
+}
+
+TEST(ReplyLatencyTest, NegativeAdjustedClampsToZero) {
+  RecordList list = {reply(0, "t1", 200, 5, FaultKind::kDelay, 10)};
+  EXPECT_EQ(reply_latency(list, false)[0], kDurationZero);
+}
+
+TEST(RequestRateTest, ComputesPerSecond) {
+  RecordList list;
+  for (int i = 0; i < 11; ++i) {
+    list.push_back(req(i * 100, "t" + std::to_string(i)));  // 10/s
+  }
+  EXPECT_NEAR(request_rate(list), 10.0, 1e-9);
+}
+
+TEST(RequestRateTest, DegenerateCases) {
+  EXPECT_EQ(request_rate({}), 0.0);
+  EXPECT_EQ(request_rate({req(0, "t1")}), 0.0);
+  // Two requests at the same instant: no measurable window.
+  EXPECT_EQ(request_rate({req(0, "t1"), req(0, "t2")}), 0.0);
+}
+
+// --------------------------------------------------------- base assertions
+
+TEST(AtMostRequestsTest, Basic) {
+  RecordList list = {req(0, "t1"), req(10, "t2"), req(20, "t3")};
+  EXPECT_TRUE(at_most_requests(list, msec(100), true, 3));
+  EXPECT_FALSE(at_most_requests(list, msec(100), true, 2));
+  EXPECT_TRUE(at_most_requests(list, msec(5), true, 1));
+}
+
+TEST(CheckStatusTest, Basic) {
+  RecordList list = {reply(0, "t1", 503), reply(10, "t2", 503),
+                     reply(20, "t3", 200)};
+  EXPECT_TRUE(check_status(list, 503, 2));
+  EXPECT_FALSE(check_status(list, 503, 3));
+  EXPECT_TRUE(check_status(list, 200, 1));
+  EXPECT_TRUE(check_status(list, 404, 0));  // zero matches trivially true
+}
+
+TEST(CheckStatusTest, WithRuleFalseIgnoresSynthesized) {
+  RecordList list = {reply(0, "t1", 503, 0, FaultKind::kAbort),
+                     reply(10, "t2", 503)};
+  EXPECT_TRUE(check_status(list, 503, 2, true));
+  EXPECT_FALSE(check_status(list, 503, 2, false));
+  EXPECT_TRUE(check_status(list, 503, 1, false));
+}
+
+// ----------------------------------------------------------------- Combine
+
+TEST(CombineTest, EmptyChainIsTrue) {
+  Combine chain;
+  EXPECT_TRUE(chain.evaluate({}));
+  EXPECT_TRUE(chain.evaluate({req(0, "t1")}));
+}
+
+TEST(CombineTest, CheckStatusConsumesTriggerPrefix) {
+  // The paper's circuit-breaker check: 5 failures, then at most 0 requests
+  // within a minute.
+  RecordList list;
+  for (int i = 0; i < 5; ++i) {
+    list.push_back(req(i * 10, "t" + std::to_string(i)));
+    list.push_back(reply(i * 10 + 5, "t" + std::to_string(i), 503));
+  }
+  // A quiet minute, then traffic resumes.
+  list.push_back(req(70000, "t9"));
+
+  Combine good;
+  good.then(Combine::check_status(503, 5, true))
+      .then(Combine::at_most_requests(minutes(1), false, 0));
+  EXPECT_TRUE(good.evaluate(list));
+
+  // Violation: a request 10ms after the 5th failure.
+  RecordList bad = list;
+  bad.push_back(req(55, "t5"));
+  std::sort(bad.begin(), bad.end(),
+            [](const LogRecord& a, const LogRecord& b) {
+              return a.timestamp < b.timestamp;
+            });
+  Combine check;
+  check.then(Combine::check_status(503, 5, true))
+      .then(Combine::at_most_requests(minutes(1), true, 0));
+  EXPECT_FALSE(check.evaluate(bad));
+}
+
+TEST(CombineTest, FailsWhenStatusNeverReached) {
+  RecordList list = {reply(0, "t1", 503), reply(10, "t2", 503)};
+  Combine chain;
+  chain.then(Combine::check_status(503, 5, true));
+  EXPECT_FALSE(chain.evaluate(list));
+}
+
+TEST(CombineTest, AnchorAdvancesWithConsumption) {
+  // After the failure at t=100, the window for the second step starts at
+  // t=100, not at the list's first record.
+  RecordList list = {req(0, "t1"), reply(100, "t1", 503),
+                     req(100 + 40, "t2"),   // within 50ms of anchor
+                     req(100 + 200, "t3")}; // outside
+  Combine chain;
+  chain.then(Combine::check_status(503, 1, true))
+      .then(Combine::at_most_requests(msec(50), true, 1));
+  EXPECT_TRUE(chain.evaluate(list));
+
+  Combine strict;
+  strict.then(Combine::check_status(503, 1, true))
+      .then(Combine::at_most_requests(msec(50), true, 0));
+  EXPECT_FALSE(strict.evaluate(list));
+}
+
+TEST(CombineTest, NoRequestsForWindow) {
+  RecordList quiet = {reply(0, "t1", 503), req(200, "t2")};
+  Combine chain;
+  chain.then(Combine::check_status(503, 1, true))
+      .then(Combine::no_requests_for(msec(100)));
+  EXPECT_TRUE(chain.evaluate(quiet));
+
+  RecordList noisy = {reply(0, "t1", 503), req(50, "t2")};
+  Combine chain2;
+  chain2.then(Combine::check_status(503, 1, true))
+      .then(Combine::no_requests_for(msec(100)));
+  EXPECT_FALSE(chain2.evaluate(noisy));
+
+  // Boundary: a request at exactly anchor+window is allowed.
+  RecordList boundary = {reply(0, "t1", 503), req(100, "t2")};
+  Combine chain3;
+  chain3.then(Combine::check_status(503, 1, true))
+      .then(Combine::no_requests_for(msec(100)));
+  EXPECT_TRUE(chain3.evaluate(boundary));
+}
+
+TEST(CombineTest, AtLeastRequests) {
+  RecordList list = {reply(0, "t0", 503), req(10, "t1"), req(20, "t2"),
+                     req(500, "t3")};
+  Combine chain;
+  chain.then(Combine::check_status(503, 1, true))
+      .then(Combine::at_least_requests(msec(100), true, 2));
+  EXPECT_TRUE(chain.evaluate(list));
+
+  Combine chain2;
+  chain2.then(Combine::check_status(503, 1, true))
+      .then(Combine::at_least_requests(msec(100), true, 3));
+  EXPECT_FALSE(chain2.evaluate(list));
+}
+
+TEST(CombineTest, ThreeStageChain) {
+  // failures → quiet period → probe traffic: the full breaker lifecycle.
+  RecordList list;
+  for (int i = 0; i < 3; ++i) {
+    list.push_back(reply(i * 10, "t" + std::to_string(i), 503));
+  }
+  list.push_back(req(20 + 5000, "probe"));
+  Combine chain;
+  chain.then(Combine::check_status(503, 3, true))
+      .then(Combine::no_requests_for(sec(1)))
+      .then(Combine::at_least_requests(sec(10), true, 1));
+  EXPECT_TRUE(chain.evaluate(list));
+}
+
+TEST(SynthesizedPredicateTest, AbortRecordsAreSynthesized) {
+  EXPECT_TRUE(
+      synthesized_by_gremlin(reply(0, "t", 503, 0, FaultKind::kAbort)));
+  EXPECT_FALSE(
+      synthesized_by_gremlin(reply(0, "t", 200, 10, FaultKind::kDelay)));
+  EXPECT_FALSE(synthesized_by_gremlin(reply(0, "t", 200)));
+}
+
+}  // namespace
+}  // namespace gremlin::control

@@ -1,0 +1,116 @@
+// Tests for the Chaos-Monkey-style randomized baseline.
+#include <gtest/gtest.h>
+
+#include "baseline/chaos.h"
+#include "control/recipe.h"
+
+namespace gremlin::baseline {
+namespace {
+
+using sim::ServiceConfig;
+using sim::Simulation;
+
+struct ChainApp {
+  Simulation sim;
+  topology::AppGraph graph;
+
+  ChainApp() {
+    ServiceConfig c;
+    c.name = "c";
+    sim.add_service(c);
+    ServiceConfig b;
+    b.name = "b";
+    b.dependencies = {"c"};
+    sim.add_service(b);
+    ServiceConfig a;
+    a.name = "a";
+    a.dependencies = {"b"};
+    sim.add_service(a);
+    graph.add_edge("user", "a");
+    graph.add_edge("a", "b");
+    graph.add_edge("b", "c");
+  }
+};
+
+TEST(ChaosMonkeyTest, KillsServicesOverHorizon) {
+  ChainApp app;
+  ChaosOptions options;
+  options.mean_interval = msec(500);
+  options.outage_duration = msec(200);
+  options.seed = 7;
+  options.candidates = {"b", "c"};
+  ChaosMonkey chaos(&app.sim, app.graph, options);
+  chaos.unleash(sec(10));
+  app.sim.run();
+  EXPECT_GT(chaos.events().size(), 5u);
+  for (const auto& event : chaos.events()) {
+    EXPECT_TRUE(event.service == "b" || event.service == "c");
+  }
+}
+
+TEST(ChaosMonkeyTest, OutagesAreTransient) {
+  ChainApp app;
+  ChaosOptions options;
+  options.mean_interval = sec(1);
+  options.outage_duration = msec(100);
+  options.seed = 3;
+  options.candidates = {"b"};
+  ChaosMonkey chaos(&app.sim, app.graph, options);
+  chaos.unleash(sec(5));
+  app.sim.run();
+  ASSERT_FALSE(chaos.events().empty());
+  // After the horizon all rules should be gone again.
+  for (const auto& agent : app.sim.deployment().all_agents()) {
+    auto* sim_agent = dynamic_cast<sim::SimAgent*>(agent.get());
+    ASSERT_NE(sim_agent, nullptr);
+    EXPECT_EQ(sim_agent->engine().rule_count(), 0u)
+        << sim_agent->instance_id();
+  }
+}
+
+TEST(ChaosMonkeyTest, FaultsAffectLiveTraffic) {
+  ChainApp app;
+  ChaosOptions options;
+  options.mean_interval = msec(200);
+  options.outage_duration = msec(400);
+  options.seed = 11;
+  options.candidates = {"b"};
+  ChaosMonkey chaos(&app.sim, app.graph, options);
+  chaos.unleash(sec(4));
+
+  // Background traffic while chaos reigns.
+  size_t failures = 0;
+  for (int i = 0; i < 100; ++i) {
+    app.sim.schedule(msec(40) * i, [&app, &failures, i] {
+      app.sim.inject("user", "a",
+                     sim::SimRequest{.request_id = "u" + std::to_string(i)},
+                     [&failures](const sim::SimResponse& resp) {
+                       if (resp.failed()) ++failures;
+                     });
+    });
+  }
+  app.sim.run();
+  EXPECT_GT(failures, 0u);   // chaos broke something
+  EXPECT_LT(failures, 100u); // but not everything (outages are transient)
+}
+
+TEST(ChaosMonkeyTest, DeterministicPerSeed) {
+  auto run = [](uint64_t seed) {
+    ChainApp app;
+    ChaosOptions options;
+    options.seed = seed;
+    options.mean_interval = msec(300);
+    options.candidates = {"b", "c"};
+    ChaosMonkey chaos(&app.sim, app.graph, options);
+    chaos.unleash(sec(10));
+    app.sim.run();
+    std::vector<std::string> victims;
+    for (const auto& event : chaos.events()) victims.push_back(event.service);
+    return victims;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+}  // namespace
+}  // namespace gremlin::baseline

@@ -1,0 +1,194 @@
+// Edge-case tests for the pattern checks: empty observations, missing
+// graphs, the windowed (Combine-based) bounded-retries formulation, and
+// bulkhead rate verdicts against synthetic logs.
+#include <gtest/gtest.h>
+
+#include "control/checker.h"
+
+namespace gremlin::control {
+namespace {
+
+using logstore::FaultKind;
+using logstore::LogRecord;
+using logstore::LogStore;
+using logstore::MessageKind;
+
+LogRecord rec(int64_t ts_ms, const std::string& id, const std::string& src,
+              const std::string& dst, MessageKind kind, int status = 200,
+              int64_t latency_ms = 10) {
+  LogRecord r;
+  r.timestamp = msec(ts_ms);
+  r.request_id = id;
+  r.src = src;
+  r.dst = dst;
+  r.kind = kind;
+  r.status = status;
+  r.latency = msec(latency_ms);
+  return r;
+}
+
+TEST(CheckerEmptyTest, AllChecksFailOnEmptyStore) {
+  LogStore store;
+  topology::AppGraph graph;
+  graph.add_edge("a", "b");
+  graph.add_edge("a", "c");
+  AssertionChecker checker(&store, &graph);
+  EXPECT_FALSE(checker.has_timeouts("a", sec(1)).passed);
+  EXPECT_FALSE(checker.has_bounded_retries("a", "b", 3).passed);
+  EXPECT_FALSE(checker.has_circuit_breaker("a", "b", 5, sec(1), 1).passed);
+  EXPECT_FALSE(checker.has_bulkhead("a", "b", 1.0).passed);
+  EXPECT_FALSE(
+      checker.has_bounded_retries_windowed("a", "b", 503, 5, sec(1), 5)
+          .passed);
+}
+
+TEST(CheckerTest, BulkheadNeedsGraph) {
+  LogStore store;
+  AssertionChecker no_graph(&store, nullptr);
+  const auto result = no_graph.has_bulkhead("a", "b", 1.0);
+  EXPECT_FALSE(result.passed);
+  EXPECT_NE(result.detail.find("graph"), std::string::npos);
+}
+
+TEST(CheckerTest, BulkheadNoOtherDependents) {
+  LogStore store;
+  topology::AppGraph graph;
+  graph.add_edge("a", "slow");
+  AssertionChecker checker(&store, &graph);
+  const auto result = checker.has_bulkhead("a", "slow", 1.0);
+  EXPECT_FALSE(result.passed);
+  EXPECT_NE(result.detail.find("no dependents other than"),
+            std::string::npos);
+}
+
+TEST(CheckerTest, BulkheadRateVerdicts) {
+  LogStore store;
+  topology::AppGraph graph;
+  graph.add_edge("a", "slow");
+  graph.add_edge("a", "fast");
+  // 11 requests over 1s to the healthy dependent: 10 req/s.
+  for (int i = 0; i <= 10; ++i) {
+    store.append(rec(i * 100, "test-" + std::to_string(i), "a", "fast",
+                     MessageKind::kRequest));
+  }
+  AssertionChecker checker(&store, &graph);
+  EXPECT_TRUE(checker.has_bulkhead("a", "slow", 5.0).passed);
+  EXPECT_FALSE(checker.has_bulkhead("a", "slow", 20.0).passed);
+}
+
+TEST(CheckerTest, WindowedBoundedRetriesPassAndFail) {
+  topology::AppGraph graph;
+  graph.add_edge("a", "b");
+
+  // PASS case: 5 failures then only 2 requests in the next minute.
+  {
+    LogStore store;
+    for (int i = 0; i < 5; ++i) {
+      store.append(rec(i * 10, "t", "a", "b", MessageKind::kResponse, 503));
+    }
+    store.append(rec(100, "t", "a", "b", MessageKind::kRequest));
+    store.append(rec(200, "t", "a", "b", MessageKind::kRequest));
+    AssertionChecker checker(&store, &graph);
+    EXPECT_TRUE(checker
+                    .has_bounded_retries_windowed("a", "b", 503, 5,
+                                                  minutes(1), 5)
+                    .passed);
+  }
+  // FAIL case: 10 requests follow within the window.
+  {
+    LogStore store;
+    for (int i = 0; i < 5; ++i) {
+      store.append(rec(i * 10, "t", "a", "b", MessageKind::kResponse, 503));
+    }
+    for (int i = 0; i < 10; ++i) {
+      store.append(rec(100 + i * 10, "t", "a", "b", MessageKind::kRequest));
+    }
+    AssertionChecker checker(&store, &graph);
+    EXPECT_FALSE(checker
+                     .has_bounded_retries_windowed("a", "b", 503, 5,
+                                                   minutes(1), 5)
+                     .passed);
+  }
+}
+
+TEST(CheckerTest, CircuitBreakerDetailMentionsProbeState) {
+  topology::AppGraph graph;
+  graph.add_edge("a", "b");
+  LogStore store;
+  // 3 consecutive failures, quiet 10s, then a successful probe.
+  for (int i = 0; i < 3; ++i) {
+    store.append(rec(i * 10, "t", "a", "b", MessageKind::kResponse, 503));
+  }
+  store.append(rec(20 + 10000, "t2", "a", "b", MessageKind::kRequest));
+  store.append(
+      rec(20 + 10010, "t2", "a", "b", MessageKind::kResponse, 200));
+  AssertionChecker checker(&store, &graph);
+  const auto result = checker.has_circuit_breaker("a", "b", 3, sec(5), 1);
+  EXPECT_TRUE(result.passed) << result.detail;
+  EXPECT_NE(result.detail.find("breaker closed"), std::string::npos);
+}
+
+TEST(CheckerTest, CircuitBreakerCountsResetFailures) {
+  // Status 0 (connection reset / client gave up) counts toward the trip.
+  topology::AppGraph graph;
+  graph.add_edge("a", "b");
+  LogStore store;
+  for (int i = 0; i < 3; ++i) {
+    store.append(rec(i * 10, "t", "a", "b", MessageKind::kResponse, 0));
+  }
+  AssertionChecker checker(&store, &graph);
+  const auto result = checker.has_circuit_breaker("a", "b", 3, sec(5), 1);
+  EXPECT_TRUE(result.passed) << result.detail;
+}
+
+TEST(CheckerTest, SuccessBreaksFailureRun) {
+  topology::AppGraph graph;
+  graph.add_edge("a", "b");
+  LogStore store;
+  // fail, fail, success, fail, fail — never 3 consecutive.
+  store.append(rec(0, "t", "a", "b", MessageKind::kResponse, 503));
+  store.append(rec(10, "t", "a", "b", MessageKind::kResponse, 503));
+  store.append(rec(20, "t", "a", "b", MessageKind::kResponse, 200));
+  store.append(rec(30, "t", "a", "b", MessageKind::kResponse, 503));
+  store.append(rec(40, "t", "a", "b", MessageKind::kResponse, 503));
+  AssertionChecker checker(&store, &graph);
+  const auto result = checker.has_circuit_breaker("a", "b", 3, sec(1), 1);
+  EXPECT_FALSE(result.passed);
+  EXPECT_NE(result.detail.find("never observed"), std::string::npos);
+}
+
+TEST(CheckerTest, TimeoutsUsesUntamperedLatency) {
+  // Latency of 3s but all injected by Gremlin on the measured edge: the
+  // service itself replied fast, so the check passes.
+  topology::AppGraph graph;
+  graph.add_edge("up", "svc");
+  LogStore store;
+  LogRecord r = rec(0, "t", "up", "svc", MessageKind::kResponse, 200, 3010);
+  r.fault = FaultKind::kDelay;
+  r.injected_delay = sec(3);
+  store.append(r);
+  AssertionChecker checker(&store, &graph);
+  EXPECT_TRUE(checker.has_timeouts("svc", sec(1)).passed);
+}
+
+TEST(CheckerTest, BoundedRetriesScopesByIdPattern) {
+  topology::AppGraph graph;
+  graph.add_edge("a", "b");
+  LogStore store;
+  // A "prod" flow with a storm (should be ignored under the test pattern)
+  // and a compliant "test" flow.
+  for (int i = 0; i < 10; ++i) {
+    store.append(rec(i, "prod-1", "a", "b", MessageKind::kRequest));
+  }
+  store.append(rec(11, "prod-1", "a", "b", MessageKind::kResponse, 503));
+  store.append(rec(20, "test-1", "a", "b", MessageKind::kRequest));
+  store.append(rec(21, "test-1", "a", "b", MessageKind::kResponse, 503));
+  store.append(rec(22, "test-1", "a", "b", MessageKind::kRequest));
+  store.append(rec(23, "test-1", "a", "b", MessageKind::kResponse, 200));
+  AssertionChecker checker(&store, &graph);
+  EXPECT_TRUE(checker.has_bounded_retries("a", "b", 3, "test-*").passed);
+  EXPECT_FALSE(checker.has_bounded_retries("a", "b", 3, "*").passed);
+}
+
+}  // namespace
+}  // namespace gremlin::control

@@ -1,0 +1,151 @@
+// Tests for the background log collector and the extended service-level
+// checks (latency SLO, error rate).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "control/collector.h"
+#include "control/recipe.h"
+#include "httpserver/client.h"
+#include "httpserver/server.h"
+#include "proxy/agent.h"
+
+namespace gremlin::control {
+namespace {
+
+TEST(LogCollectorTest, CollectOnceDrainsSimAgents) {
+  sim::Simulation sim;
+  sim::ServiceConfig b;
+  b.name = "b";
+  sim.add_service(b);
+  sim::ServiceConfig a;
+  a.name = "a";
+  a.dependencies = {"b"};
+  sim.add_service(a);
+  sim.inject("user", "a", sim::SimRequest{.request_id = "test-1"},
+             [](const sim::SimResponse&) {});
+  sim.run();
+
+  LogCollector collector(&sim.deployment(), &sim.log_store());
+  ASSERT_TRUE(collector.collect_once().ok());
+  EXPECT_EQ(sim.log_store().size(), 4u);
+  EXPECT_EQ(collector.records_shipped(), 4u);
+  // Agents drained: nothing more to ship.
+  ASSERT_TRUE(collector.collect_once().ok());
+  EXPECT_EQ(collector.records_shipped(), 4u);
+  EXPECT_EQ(collector.collections(), 2u);
+}
+
+TEST(LogCollectorTest, BackgroundThreadShipsProxyLogs) {
+  httpserver::HttpServer origin([](const httpmsg::Request&) {
+    return httpmsg::make_response(200, "ok");
+  });
+  auto origin_port = origin.start();
+  ASSERT_TRUE(origin_port.ok());
+
+  auto agent =
+      std::make_shared<proxy::GremlinAgentProxy>("webapp", "webapp/0");
+  proxy::Route route;
+  route.destination = "backend";
+  route.endpoints = {{"127.0.0.1", *origin_port}};
+  agent->add_route(route);
+  ASSERT_TRUE(agent->start().ok());
+
+  topology::Deployment deployment;
+  deployment.add_instance("webapp", agent);
+  logstore::LogStore store;
+  LogCollector collector(&deployment, &store, msec(20));
+  collector.start();
+
+  for (int i = 0; i < 5; ++i) {
+    httpmsg::Request req;
+    req.headers.set(httpmsg::kRequestIdHeader, "test-" + std::to_string(i));
+    auto result = httpserver::HttpClient::fetch(
+        "127.0.0.1", agent->route_port("backend"), std::move(req));
+    ASSERT_FALSE(result.failed());
+  }
+  collector.stop();  // final drain happens here
+  EXPECT_EQ(store.size(), 10u);  // 5 requests + 5 responses
+  EXPECT_GE(collector.collections(), 1u);
+
+  agent->stop();
+  origin.stop();
+}
+
+TEST(LogCollectorTest, StartStopIdempotent) {
+  topology::Deployment deployment;
+  logstore::LogStore store;
+  LogCollector collector(&deployment, &store, msec(10));
+  collector.start();
+  collector.start();  // no-op
+  collector.stop();
+  collector.stop();  // no-op
+  collector.start();
+  collector.stop();
+}
+
+// ------------------------------------------- extended checks on sim logs
+
+struct SloApp {
+  sim::Simulation sim;
+  topology::AppGraph graph;
+
+  SloApp() {
+    sim::ServiceConfig b;
+    b.name = "b";
+    b.processing_time = msec(5);
+    sim.add_service(b);
+    sim::ServiceConfig a;
+    a.name = "a";
+    a.dependencies = {"b"};
+    sim.add_service(a);
+    graph.add_edge("user", "a");
+    graph.add_edge("a", "b");
+  }
+};
+
+TEST(ExtendedChecksTest, LatencySloPassesAndFails) {
+  SloApp app;
+  TestSession session(&app.sim, app.graph);
+  session.run_load("user", "a", 50);
+  ASSERT_TRUE(session.collect().ok());
+  auto checker = session.checker();
+  EXPECT_TRUE(checker.has_latency_slo("a", "b", 99, msec(50)).passed);
+  EXPECT_FALSE(checker.has_latency_slo("a", "b", 99, msec(1)).passed);
+  EXPECT_FALSE(
+      checker.has_latency_slo("a", "ghost", 99, msec(50)).passed);
+}
+
+TEST(ExtendedChecksTest, LatencySloWithRuleSemantics) {
+  SloApp app;
+  TestSession session(&app.sim, app.graph);
+  ASSERT_TRUE(
+      session.apply(FailureSpec::delay_edge("a", "b", msec(500))).ok());
+  session.run_load("user", "a", 20);
+  ASSERT_TRUE(session.collect().ok());
+  auto checker = session.checker();
+  // Observed latency includes the injected delay...
+  EXPECT_FALSE(
+      checker.has_latency_slo("a", "b", 50, msec(100), true).passed);
+  // ...but the service itself stayed fast.
+  EXPECT_TRUE(
+      checker.has_latency_slo("a", "b", 50, msec(100), false).passed);
+}
+
+TEST(ExtendedChecksTest, ErrorRate) {
+  SloApp app;
+  TestSession session(&app.sim, app.graph);
+  FailureSpec spec = FailureSpec::abort_edge("a", "b", 503);
+  spec.probability = 0.5;
+  ASSERT_TRUE(session.apply(spec).ok());
+  session.run_load("user", "a", 100);
+  ASSERT_TRUE(session.collect().ok());
+  auto checker = session.checker();
+  EXPECT_FALSE(checker.error_rate_below("a", "b", 0.1).passed);
+  EXPECT_TRUE(checker.error_rate_below("a", "b", 0.9).passed);
+  EXPECT_FALSE(checker.error_rate_below("a", "ghost", 0.5).passed);
+}
+
+}  // namespace
+}  // namespace gremlin::control

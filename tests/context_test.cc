@@ -1,0 +1,118 @@
+// Tests for RequestContext semantics: respond-once, deferred work, request
+// ID inheritance on sub-calls, and POST bodies through run_load.
+#include <gtest/gtest.h>
+
+#include "control/recipe.h"
+#include "sim/simulation.h"
+
+namespace gremlin::sim {
+namespace {
+
+TEST(RequestContextTest, OnlyFirstRespondCounts) {
+  Simulation sim;
+  ServiceConfig svc;
+  svc.name = "svc";
+  svc.handler = [](std::shared_ptr<RequestContext> ctx) {
+    ctx->respond(200, "first");
+    ctx->respond(500, "second");  // ignored
+  };
+  sim.add_service(svc);
+  SimResponse got;
+  int callbacks = 0;
+  sim.inject("user", "svc", SimRequest{.request_id = "t"},
+             [&](const SimResponse& r) {
+               got = r;
+               ++callbacks;
+             });
+  sim.run();
+  EXPECT_EQ(callbacks, 1);
+  EXPECT_EQ(got.status, 200);
+  EXPECT_EQ(got.body, "first");
+}
+
+TEST(RequestContextTest, DeferRunsOnVirtualClock) {
+  Simulation sim;
+  ServiceConfig svc;
+  svc.name = "svc";
+  svc.processing_time = kDurationZero;
+  svc.handler = [](std::shared_ptr<RequestContext> ctx) {
+    ctx->defer(msec(123), [ctx] { ctx->respond(200, "late"); });
+  };
+  sim.add_service(svc);
+  TimePoint done{};
+  sim.inject("user", "svc", SimRequest{.request_id = "t"},
+             [&](const SimResponse&) { done = sim.now(); });
+  sim.run();
+  EXPECT_EQ(done, msec(123) + usec(1000));  // defer + 2 network hops
+}
+
+TEST(RequestContextTest, SubCallsInheritRequestId) {
+  Simulation sim;
+  std::string seen_id;
+  ServiceConfig leaf;
+  leaf.name = "leaf";
+  leaf.handler = [&seen_id](std::shared_ptr<RequestContext> ctx) {
+    seen_id = ctx->request().request_id;
+    ctx->respond(200, "ok");
+  };
+  sim.add_service(leaf);
+  ServiceConfig mid;
+  mid.name = "mid";
+  mid.handler = [](std::shared_ptr<RequestContext> ctx) {
+    ctx->call("leaf", [ctx](const SimResponse&) { ctx->respond(200, "ok"); });
+  };
+  sim.add_service(mid);
+  sim.inject("user", "mid", SimRequest{.request_id = "test-flow-9"},
+             [](const SimResponse&) {});
+  sim.run();
+  EXPECT_EQ(seen_id, "test-flow-9");
+}
+
+TEST(RequestContextTest, RunLoadCarriesMethodAndBody) {
+  Simulation sim;
+  std::vector<std::string> methods;
+  std::vector<std::string> bodies;
+  ServiceConfig svc;
+  svc.name = "svc";
+  svc.handler = [&](std::shared_ptr<RequestContext> ctx) {
+    methods.push_back(ctx->request().method);
+    bodies.push_back(ctx->request().body);
+    ctx->respond(201, "created");
+  };
+  sim.add_service(svc);
+  topology::AppGraph graph;
+  graph.add_edge("user", "svc");
+  control::TestSession session(&sim, graph);
+  control::LoadOptions load;
+  load.count = 3;
+  load.method = "POST";
+  load.body = "payload";
+  const auto result = session.run_load("user", "svc", load);
+  ASSERT_EQ(methods.size(), 3u);
+  for (const auto& m : methods) EXPECT_EQ(m, "POST");
+  for (const auto& b : bodies) EXPECT_EQ(b, "payload");
+  for (const int s : result.statuses) EXPECT_EQ(s, 201);
+}
+
+TEST(RequestContextTest, ServiceNameAndClockAccessors) {
+  Simulation sim;
+  std::string name;
+  TimePoint when{};
+  ServiceConfig svc;
+  svc.name = "the-service";
+  svc.processing_time = msec(7);
+  svc.handler = [&](std::shared_ptr<RequestContext> ctx) {
+    name = ctx->service_name();
+    when = ctx->now();
+    ctx->respond(200, "ok");
+  };
+  sim.add_service(svc);
+  sim.inject("user", "the-service", SimRequest{.request_id = "t"},
+             [](const SimResponse&) {});
+  sim.run();
+  EXPECT_EQ(name, "the-service");
+  EXPECT_EQ(when, usec(500) + msec(7));  // one hop + processing
+}
+
+}  // namespace
+}  // namespace gremlin::sim

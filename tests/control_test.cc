@@ -1,0 +1,391 @@
+// Integration tests for the control plane: recipe translation against the
+// application graph, orchestration onto multi-instance deployments, log
+// collection, and the end-to-end pattern checks of Table 3 running against
+// simulated applications.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "control/recipe.h"
+
+namespace gremlin::control {
+namespace {
+
+using faults::FaultKind;
+using faults::FaultRule;
+using sim::ServiceConfig;
+using sim::Simulation;
+using sim::SimulationConfig;
+
+topology::AppGraph diamond_graph() {
+  topology::AppGraph g;
+  g.add_edge("user", "frontend");
+  g.add_edge("frontend", "auth");
+  g.add_edge("frontend", "catalog");
+  g.add_edge("auth", "db");
+  g.add_edge("catalog", "db");
+  return g;
+}
+
+// ------------------------------------------------------------- translation
+
+TEST(TranslatorTest, DisconnectProducesSingleAbort) {
+  RecipeTranslator tr(diamond_graph());
+  auto rules = tr.translate(FailureSpec::disconnect("frontend", "auth"));
+  ASSERT_TRUE(rules.ok());
+  ASSERT_EQ(rules->size(), 1u);
+  EXPECT_EQ((*rules)[0].type, FaultKind::kAbort);
+  EXPECT_EQ((*rules)[0].source, "frontend");
+  EXPECT_EQ((*rules)[0].destination, "auth");
+  EXPECT_EQ((*rules)[0].abort_code, 503);
+  EXPECT_EQ((*rules)[0].pattern, "test-*");
+}
+
+TEST(TranslatorTest, CrashCoversAllDependents) {
+  RecipeTranslator tr(diamond_graph());
+  auto rules = tr.translate(FailureSpec::crash("db"));
+  ASSERT_TRUE(rules.ok());
+  ASSERT_EQ(rules->size(), 2u);  // auth→db, catalog→db
+  std::set<std::string> sources;
+  for (const auto& r : *rules) {
+    sources.insert(r.source);
+    EXPECT_EQ(r.destination, "db");
+    EXPECT_EQ(r.type, FaultKind::kAbort);
+    EXPECT_EQ(r.abort_code, faults::kTcpReset);
+  }
+  EXPECT_EQ(sources, (std::set<std::string>{"auth", "catalog"}));
+}
+
+TEST(TranslatorTest, HangUsesLongDelay) {
+  RecipeTranslator tr(diamond_graph());
+  auto rules = tr.translate(FailureSpec::hang("db"));
+  ASSERT_TRUE(rules.ok());
+  ASSERT_EQ(rules->size(), 2u);
+  for (const auto& r : *rules) {
+    EXPECT_EQ(r.type, FaultKind::kDelay);
+    EXPECT_EQ(r.delay_interval, hours(1));
+  }
+}
+
+TEST(TranslatorTest, OverloadEmitsConditionalPair) {
+  RecipeTranslator tr(diamond_graph());
+  auto rules = tr.translate(FailureSpec::overload("db", msec(100), 0.25));
+  ASSERT_TRUE(rules.ok());
+  ASSERT_EQ(rules->size(), 4u);  // (abort, delay) per dependent
+  // Order matters: abort precedes delay for each dependent edge.
+  EXPECT_EQ((*rules)[0].type, FaultKind::kAbort);
+  EXPECT_DOUBLE_EQ((*rules)[0].probability, 0.25);
+  EXPECT_EQ((*rules)[1].type, FaultKind::kDelay);
+  EXPECT_DOUBLE_EQ((*rules)[1].probability, 1.0);
+  EXPECT_EQ((*rules)[1].delay_interval, msec(100));
+}
+
+TEST(TranslatorTest, FakeSuccessTargetsResponses) {
+  RecipeTranslator tr(diamond_graph());
+  auto rules =
+      tr.translate(FailureSpec::fake_success("db", "key", "badkey"));
+  ASSERT_TRUE(rules.ok());
+  ASSERT_EQ(rules->size(), 2u);
+  for (const auto& r : *rules) {
+    EXPECT_EQ(r.type, FaultKind::kModify);
+    EXPECT_EQ(r.on, logstore::MessageKind::kResponse);
+    EXPECT_EQ(r.body_pattern, "key");
+    EXPECT_EQ(r.replace_bytes, "badkey");
+  }
+}
+
+TEST(TranslatorTest, PartitionSeversTheCut) {
+  RecipeTranslator tr(diamond_graph());
+  auto rules =
+      tr.translate(FailureSpec::partition({"user", "frontend", "auth"}));
+  ASSERT_TRUE(rules.ok());
+  // Crossing edges: frontend→catalog, auth→db.
+  ASSERT_EQ(rules->size(), 2u);
+  for (const auto& r : *rules) {
+    EXPECT_EQ(r.abort_code, faults::kTcpReset);
+  }
+}
+
+TEST(TranslatorTest, UnknownServiceRejected) {
+  RecipeTranslator tr(diamond_graph());
+  EXPECT_FALSE(tr.translate(FailureSpec::crash("nonexistent")).ok());
+  EXPECT_FALSE(
+      tr.translate(FailureSpec::disconnect("frontend", "nope")).ok());
+  EXPECT_FALSE(
+      tr.translate(FailureSpec::partition({"frontend", "ghost"})).ok());
+}
+
+TEST(TranslatorTest, TranslateAllConcatenatesInOrder) {
+  RecipeTranslator tr(diamond_graph());
+  auto rules = tr.translate_all({FailureSpec::disconnect("frontend", "auth"),
+                                 FailureSpec::crash("db")});
+  ASSERT_TRUE(rules.ok());
+  EXPECT_EQ(rules->size(), 3u);
+  EXPECT_EQ((*rules)[0].destination, "auth");
+}
+
+TEST(TranslatorTest, CrashOfLeaflessServiceYieldsNoRules) {
+  topology::AppGraph g;
+  g.add_service("lonely");
+  RecipeTranslator tr(g);
+  auto rules = tr.translate(FailureSpec::crash("lonely"));
+  ASSERT_TRUE(rules.ok());
+  EXPECT_TRUE(rules->empty());
+}
+
+// ----------------------------------------------------------- orchestration
+
+TEST(OrchestratorTest, InstallsOnEveryInstanceOfSource) {
+  Simulation sim;
+  ServiceConfig b;
+  b.name = "b";
+  b.instances = 2;
+  sim.add_service(b);
+  ServiceConfig a;
+  a.name = "a";
+  a.instances = 3;
+  a.dependencies = {"b"};
+  sim.add_service(a);
+
+  FailureOrchestrator orch(&sim.deployment());
+  ASSERT_TRUE(orch.install({FaultRule::abort_rule("a", "b", 503)}).ok());
+  EXPECT_EQ(orch.rules_installed(), 1u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(sim.find_service("a")->instance(i).agent()->engine()
+                  .rule_count(), 1u) << i;
+  }
+  // b's agents were not touched.
+  EXPECT_EQ(sim.find_service("b")->instance(0).agent()->engine().rule_count(),
+            0u);
+}
+
+TEST(OrchestratorTest, WildcardSourceInstallsEverywhere) {
+  Simulation sim;
+  ServiceConfig a;
+  a.name = "a";
+  sim.add_service(a);
+  ServiceConfig b;
+  b.name = "b";
+  sim.add_service(b);
+  FailureOrchestrator orch(&sim.deployment());
+  ASSERT_TRUE(orch.install({FaultRule::abort_rule("*", "b", 503)}).ok());
+  EXPECT_EQ(sim.find_service("a")->instance(0).agent()->engine().rule_count(),
+            1u);
+  EXPECT_EQ(sim.find_service("b")->instance(0).agent()->engine().rule_count(),
+            1u);
+}
+
+TEST(OrchestratorTest, UnknownSourceFails) {
+  Simulation sim;
+  ServiceConfig a;
+  a.name = "a";
+  sim.add_service(a);
+  FailureOrchestrator orch(&sim.deployment());
+  EXPECT_FALSE(orch.install({FaultRule::abort_rule("ghost", "a", 503)}).ok());
+}
+
+TEST(OrchestratorTest, ClearRemovesRulesEverywhere) {
+  Simulation sim;
+  ServiceConfig a;
+  a.name = "a";
+  a.instances = 2;
+  sim.add_service(a);
+  FailureOrchestrator orch(&sim.deployment());
+  ASSERT_TRUE(orch.install({FaultRule::abort_rule("a", "x", 503)}).ok());
+  ASSERT_TRUE(orch.clear_rules().ok());
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(
+        sim.find_service("a")->instance(i).agent()->engine().rule_count(),
+        0u);
+  }
+}
+
+TEST(OrchestratorTest, CollectDrainsAgentsIntoStore) {
+  Simulation sim;
+  ServiceConfig b;
+  b.name = "b";
+  sim.add_service(b);
+  ServiceConfig a;
+  a.name = "a";
+  a.dependencies = {"b"};
+  sim.add_service(a);
+  sim.inject("user", "a", sim::SimRequest{.request_id = "test-1"},
+             [](const sim::SimResponse&) {});
+  sim.run();
+
+  FailureOrchestrator orch(&sim.deployment());
+  ASSERT_TRUE(orch.collect_logs(&sim.log_store()).ok());
+  // user→a and a→b, requests + responses.
+  EXPECT_EQ(sim.log_store().size(), 4u);
+  // Agents were drained: a second collect adds nothing.
+  ASSERT_TRUE(orch.collect_logs(&sim.log_store()).ok());
+  EXPECT_EQ(sim.log_store().size(), 4u);
+}
+
+// --------------------------------------------------- end-to-end assertions
+
+// Builds serviceA → serviceB where serviceA's policy is configurable —
+// the running example of Section 3.2.
+struct ExampleApp {
+  Simulation sim;
+  topology::AppGraph graph;
+
+  explicit ExampleApp(const resilience::CallPolicy& a_policy,
+                      uint64_t seed = 42)
+      : sim(SimulationConfig{seed, usec(500)}) {
+    ServiceConfig b;
+    b.name = "serviceB";
+    b.processing_time = msec(2);
+    sim.add_service(b);
+    ServiceConfig a;
+    a.name = "serviceA";
+    a.processing_time = msec(1);
+    a.dependencies = {"serviceB"};
+    a.default_policy = a_policy;
+    sim.add_service(a);
+    graph.add_edge("user", "serviceA");
+    graph.add_edge("serviceA", "serviceB");
+  }
+};
+
+TEST(EndToEndCheckTest, BoundedRetriesPassesForCompliantService) {
+  resilience::CallPolicy policy;
+  policy.timeout = msec(100);
+  policy.retry.max_retries = 3;  // within the allowed 5
+  policy.retry.base_backoff = msec(5);
+  ExampleApp app(policy);
+  TestSession session(&app.sim, app.graph);
+
+  ASSERT_TRUE(session.apply(FailureSpec::overload("serviceB")).ok());
+  session.run_load("user", "serviceA", 50);
+  ASSERT_TRUE(session.collect().ok());
+
+  const auto result =
+      session.checker().has_bounded_retries("serviceA", "serviceB", 5);
+  EXPECT_TRUE(result.passed) << result.detail;
+}
+
+TEST(EndToEndCheckTest, BoundedRetriesFailsForRetryStorm) {
+  resilience::CallPolicy policy;
+  policy.timeout = msec(100);
+  policy.retry.max_retries = 9;  // exceeds the allowed 5
+  policy.retry.base_backoff = msec(1);
+  policy.retry.multiplier = 1.0;
+  ExampleApp app(policy);
+  TestSession session(&app.sim, app.graph);
+
+  ASSERT_TRUE(session.apply(FailureSpec::crash("serviceB")).ok());
+  session.run_load("user", "serviceA", 20);
+  ASSERT_TRUE(session.collect().ok());
+
+  const auto result =
+      session.checker().has_bounded_retries("serviceA", "serviceB", 5);
+  EXPECT_FALSE(result.passed) << result.detail;
+}
+
+TEST(EndToEndCheckTest, CircuitBreakerDetectedWhenPresent) {
+  resilience::CallPolicy policy;
+  policy.timeout = msec(100);
+  policy.circuit_breaker = resilience::CircuitBreakerConfig{5, sec(10), 1};
+  policy.fallback = resilience::Fallback{200, "cached"};
+  ExampleApp app(policy);
+  TestSession session(&app.sim, app.graph);
+
+  ASSERT_TRUE(session.apply(FailureSpec::crash("serviceB")).ok());
+  session.run_load("user", "serviceA", 50);
+  ASSERT_TRUE(session.collect().ok());
+
+  const auto result = session.checker().has_circuit_breaker(
+      "serviceA", "serviceB", 5, sec(1), 1);
+  EXPECT_TRUE(result.passed) << result.detail;
+}
+
+TEST(EndToEndCheckTest, CircuitBreakerAbsenceDetected) {
+  resilience::CallPolicy policy;  // naive
+  ExampleApp app(policy);
+  TestSession session(&app.sim, app.graph);
+
+  ASSERT_TRUE(session.apply(FailureSpec::crash("serviceB")).ok());
+  session.run_load("user", "serviceA", 50);
+  ASSERT_TRUE(session.collect().ok());
+
+  const auto result = session.checker().has_circuit_breaker(
+      "serviceA", "serviceB", 5, sec(1), 1);
+  EXPECT_FALSE(result.passed) << result.detail;
+}
+
+TEST(EndToEndCheckTest, TimeoutsDetected) {
+  // serviceB hangs; a service with timeouts bounds its own replies.
+  resilience::CallPolicy with_timeout;
+  with_timeout.timeout = msec(200);
+  with_timeout.fallback = resilience::Fallback{200, "cached"};
+  ExampleApp app(with_timeout);
+  TestSession session(&app.sim, app.graph);
+  ASSERT_TRUE(session.apply(FailureSpec::hang("serviceB", sec(30))).ok());
+  session.run_load("user", "serviceA", 20);
+  ASSERT_TRUE(session.collect().ok());
+  const auto result = session.checker().has_timeouts("serviceA", sec(1));
+  EXPECT_TRUE(result.passed) << result.detail;
+}
+
+TEST(EndToEndCheckTest, TimeoutAbsenceDetected) {
+  ExampleApp app(resilience::CallPolicy{});  // naive: waits forever
+  TestSession session(&app.sim, app.graph);
+  ASSERT_TRUE(session.apply(FailureSpec::hang("serviceB", sec(30))).ok());
+  session.run_load("user", "serviceA", 20);
+  ASSERT_TRUE(session.collect().ok());
+  const auto result = session.checker().has_timeouts("serviceA", sec(1));
+  EXPECT_FALSE(result.passed) << result.detail;
+}
+
+TEST(EndToEndCheckTest, ChainedFailureScenario) {
+  // The multi-step recipe of Section 4.2: Overload, check bounded retries,
+  // then Crash and check the circuit breaker — all in one session.
+  resilience::CallPolicy policy;
+  // Timeout above the Overload delay so phase 1 only trips on the 25% of
+  // aborted calls — the breaker must still be closed when phase 2 starts.
+  policy.timeout = msec(300);
+  policy.retry.max_retries = 3;
+  policy.retry.base_backoff = msec(5);
+  policy.circuit_breaker = resilience::CircuitBreakerConfig{5, sec(10), 1};
+  policy.fallback = resilience::Fallback{200, "cached"};
+  ExampleApp app(policy);
+  TestSession session(&app.sim, app.graph);
+
+  ASSERT_TRUE(session.apply(FailureSpec::overload("serviceB")).ok());
+  session.run_load("user", "serviceA", 30);
+  ASSERT_TRUE(session.collect().ok());
+  ASSERT_TRUE(session.check(
+      session.checker().has_bounded_retries("serviceA", "serviceB", 5)));
+
+  ASSERT_TRUE(session.clear_faults().ok());
+  sim::Simulation& s = session.sim();
+  s.log_store().clear();
+
+  ASSERT_TRUE(session.apply(FailureSpec::crash("serviceB")).ok());
+  control::LoadOptions load;
+  load.count = 50;
+  load.id_prefix = "test-crash-";
+  session.run_load("user", "serviceA", load);
+  ASSERT_TRUE(session.collect().ok());
+  EXPECT_TRUE(session.check(session.checker().has_circuit_breaker(
+      "serviceA", "serviceB", 5, sec(1), 1)));
+  EXPECT_TRUE(session.all_passed()) << session.report();
+}
+
+TEST(EndToEndCheckTest, ReportListsOutcomes) {
+  ExampleApp app(resilience::CallPolicy{});
+  TestSession session(&app.sim, app.graph);
+  ASSERT_TRUE(session.apply(FailureSpec::crash("serviceB")).ok());
+  session.run_load("user", "serviceA", 10);
+  ASSERT_TRUE(session.collect().ok());
+  session.check(session.checker().has_timeouts("serviceA", sec(1)));
+  session.check(
+      session.checker().has_bounded_retries("serviceA", "serviceB", 5));
+  const std::string report = session.report();
+  EXPECT_NE(report.find("HasTimeouts"), std::string::npos);
+  EXPECT_NE(report.find("HasBoundedRetries"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gremlin::control

@@ -1,0 +1,184 @@
+// Tests for timed (crash-recovery) failure scenarios and the
+// failure-containment check, across the simulated and real data planes.
+#include <gtest/gtest.h>
+
+#include "control/recipe.h"
+#include "dsl/interp.h"
+#include "httpserver/client.h"
+#include "httpserver/server.h"
+#include "proxy/control_api.h"
+
+namespace gremlin::control {
+namespace {
+
+struct ChainApp {
+  sim::Simulation sim;
+  topology::AppGraph graph;
+
+  explicit ChainApp(resilience::CallPolicy frontend_policy = {}) {
+    sim::ServiceConfig backend;
+    backend.name = "backend";
+    sim.add_service(backend);
+    sim::ServiceConfig frontend;
+    frontend.name = "frontend";
+    frontend.dependencies = {"backend"};
+    frontend.default_policy = frontend_policy;
+    sim.add_service(frontend);
+    graph.add_edge("user", "frontend");
+    graph.add_edge("frontend", "backend");
+  }
+};
+
+TEST(CrashRecoveryTest, FaultHealsAfterDowntime) {
+  ChainApp app;
+  TestSession session(&app.sim, app.graph);
+  // backend down for 1s of virtual time.
+  ASSERT_TRUE(
+      session.apply_for(FailureSpec::crash("backend"), sec(1)).ok());
+
+  // 40 requests over 2s: the first half fail, the second half succeed.
+  LoadOptions load;
+  load.count = 40;
+  load.gap = msec(50);
+  const auto result = session.run_load("user", "frontend", load);
+  size_t failed_early = 0, failed_late = 0;
+  for (size_t i = 0; i < 40; ++i) {
+    if (result.statuses[i] >= 500 || result.statuses[i] == 0) {
+      (i < 20 ? failed_early : failed_late) += 1;
+    }
+  }
+  EXPECT_EQ(failed_early, 20u);  // outage window
+  EXPECT_EQ(failed_late, 0u);    // healed
+}
+
+TEST(CrashRecoveryTest, RulesRemovedFromAllAgents) {
+  ChainApp app;
+  TestSession session(&app.sim, app.graph);
+  ASSERT_TRUE(
+      session.apply_for(FailureSpec::crash("backend"), msec(100)).ok());
+  EXPECT_EQ(app.sim.find_service("frontend")
+                ->instance(0)
+                .agent()
+                ->engine()
+                .rule_count(),
+            1u);
+  app.sim.run();  // the removal event fires
+  EXPECT_EQ(app.sim.find_service("frontend")
+                ->instance(0)
+                .agent()
+                ->engine()
+                .rule_count(),
+            0u);
+}
+
+TEST(CrashRecoveryTest, DslCommandDrivesTimedCrash) {
+  sim::Simulation sim;
+  dsl::Interpreter interp(&sim);
+  auto outcome = interp.run_source(R"(
+    graph { user -> a -> b }
+    scenario "transient outage" {
+      crash_recovery(b, downtime=500ms)
+      load(client=user, target=a, count=40, gap=25ms)
+      collect
+    }
+  )");
+  ASSERT_TRUE(outcome.ok()) << outcome.error().message;
+  // Replies on a->b: failures only during the first 500ms.
+  const auto replies = sim.log_store().get_replies("a", "b");
+  ASSERT_FALSE(replies.empty());
+  for (const auto& r : replies) {
+    if (r.timestamp < msec(500)) {
+      EXPECT_TRUE(r.failed()) << r.timestamp.count();
+    } else if (r.timestamp > msec(600)) {
+      EXPECT_FALSE(r.failed()) << r.timestamp.count();
+    }
+  }
+}
+
+// ----------------------------------------------------- failure containment
+
+TEST(FailureContainedTest, NaiveAppEscapes) {
+  ChainApp app;  // naive frontend: failures propagate
+  TestSession session(&app.sim, app.graph);
+  ASSERT_TRUE(session.apply(FailureSpec::crash("backend")).ok());
+  session.run_load("user", "frontend", 10);
+  ASSERT_TRUE(session.collect().ok());
+  const auto result = session.checker().failure_contained("backend");
+  EXPECT_FALSE(result.passed);
+  EXPECT_NE(result.detail.find("escaped"), std::string::npos);
+}
+
+TEST(FailureContainedTest, FallbackContains) {
+  resilience::CallPolicy policy;
+  policy.fallback = resilience::Fallback{200, "cached"};
+  ChainApp app(policy);
+  TestSession session(&app.sim, app.graph);
+  ASSERT_TRUE(session.apply(FailureSpec::crash("backend")).ok());
+  session.run_load("user", "frontend", 10);
+  ASSERT_TRUE(session.collect().ok());
+  const auto result = session.checker().failure_contained("backend");
+  EXPECT_TRUE(result.passed) << result.detail;
+}
+
+TEST(FailureContainedTest, NoOriginFailuresIsInconclusive) {
+  ChainApp app;
+  TestSession session(&app.sim, app.graph);
+  session.run_load("user", "frontend", 5);
+  ASSERT_TRUE(session.collect().ok());
+  const auto result = session.checker().failure_contained("backend");
+  EXPECT_FALSE(result.passed);
+  EXPECT_NE(result.detail.find("cannot verify"), std::string::npos);
+}
+
+TEST(FailureContainedTest, DslCommand) {
+  sim::Simulation sim;
+  dsl::Interpreter interp(&sim);
+  auto outcome = interp.run_source(R"(
+    graph { user -> a -> b }
+    scenario "containment" {
+      crash(b)
+      load(client=user, target=a, count=10)
+      collect
+      assert failure_contained(b)
+    }
+  )");
+  ASSERT_TRUE(outcome.ok()) << outcome.error().message;
+  ASSERT_EQ(outcome->scenarios[0].checks.size(), 1u);
+  EXPECT_FALSE(outcome->scenarios[0].checks[0].passed);  // naive app
+}
+
+// ------------------------------------------- remove-by-id on a real agent
+
+TEST(RemoveRulesTest, RestDeleteById) {
+  httpserver::HttpServer origin([](const httpmsg::Request&) {
+    return httpmsg::make_response(200, "ok");
+  });
+  auto origin_port = origin.start();
+  ASSERT_TRUE(origin_port.ok());
+  proxy::GremlinAgentProxy agent("svc", "svc/0");
+  proxy::Route route;
+  route.destination = "dep";
+  route.endpoints = {{"127.0.0.1", *origin_port}};
+  agent.add_route(route);
+  ASSERT_TRUE(agent.start().ok());
+  proxy::ControlApiServer api(&agent);
+  auto api_port = api.start();
+  ASSERT_TRUE(api_port.ok());
+
+  faults::FaultRule rule = faults::FaultRule::abort_rule("svc", "dep", 503);
+  rule.id = "timed-rule";
+  proxy::RemoteAgentHandle handle("127.0.0.1", *api_port, "svc/0");
+  ASSERT_TRUE(handle.install_rules({rule}).ok());
+  EXPECT_EQ(agent.engine().rule_count(), 1u);
+  ASSERT_TRUE(handle.remove_rules({"timed-rule"}).ok());
+  EXPECT_EQ(agent.engine().rule_count(), 0u);
+  // Removing an unknown ID is a no-op, not an error.
+  ASSERT_TRUE(handle.remove_rules({"ghost"}).ok());
+
+  api.stop();
+  agent.stop();
+  origin.stop();
+}
+
+}  // namespace
+}  // namespace gremlin::control

@@ -1,0 +1,293 @@
+// Unit tests for the data-plane core: fault-rule validation and JSON
+// round-trips, and the rule engine's matching semantics (ordering,
+// patterns, probability, bounded match counts, Table 2 primitives).
+#include <gtest/gtest.h>
+
+#include "faults/rule_engine.h"
+
+namespace gremlin::faults {
+namespace {
+
+MessageView request_view(std::string_view src, std::string_view dst,
+                         std::string_view id) {
+  MessageView v;
+  v.kind = MessageKind::kRequest;
+  v.src = src;
+  v.dst = dst;
+  v.request_id = id;
+  v.method = "GET";
+  v.uri = "/";
+  return v;
+}
+
+MessageView response_view(std::string_view src, std::string_view dst,
+                          std::string_view id, int status) {
+  MessageView v = request_view(src, dst, id);
+  v.kind = MessageKind::kResponse;
+  v.status = status;
+  return v;
+}
+
+// ------------------------------------------------------------- validation
+
+TEST(FaultRuleTest, ValidRulesPass) {
+  EXPECT_TRUE(FaultRule::abort_rule("a", "b", 503).validate().ok());
+  EXPECT_TRUE(FaultRule::abort_rule("a", "b", kTcpReset).validate().ok());
+  EXPECT_TRUE(FaultRule::delay_rule("a", "b", msec(100)).validate().ok());
+  EXPECT_TRUE(FaultRule::modify_rule("a", "b", "key", "badkey")
+                  .validate().ok());
+}
+
+TEST(FaultRuleTest, RejectsBadParameters) {
+  FaultRule r = FaultRule::abort_rule("a", "b", 503);
+  r.source = "";
+  EXPECT_FALSE(r.validate().ok());
+
+  r = FaultRule::abort_rule("a", "b", 503);
+  r.probability = 1.5;
+  EXPECT_FALSE(r.validate().ok());
+  r.probability = -0.1;
+  EXPECT_FALSE(r.validate().ok());
+
+  r = FaultRule::abort_rule("a", "b", 42);  // not an HTTP status, not -1
+  EXPECT_FALSE(r.validate().ok());
+
+  r = FaultRule::delay_rule("a", "b", msec(100));
+  r.delay_interval = kDurationZero;
+  EXPECT_FALSE(r.validate().ok());
+
+  r = FaultRule::modify_rule("a", "b", "key", "badkey");
+  r.body_pattern.clear();
+  EXPECT_FALSE(r.validate().ok());
+
+  r = FaultRule::abort_rule("a", "b", 503);
+  r.type = FaultKind::kNone;
+  EXPECT_FALSE(r.validate().ok());
+}
+
+TEST(FaultRuleTest, JsonRoundTrip) {
+  FaultRule r = FaultRule::delay_rule("serviceA", "serviceB", msec(250),
+                                      "test-*", 0.75);
+  r.on = MessageKind::kResponse;
+  r.max_matches = 100;
+  auto parsed = FaultRule::from_json(r.to_json());
+  ASSERT_TRUE(parsed.ok());
+  const FaultRule& p = parsed.value();
+  EXPECT_EQ(p.id, r.id);
+  EXPECT_EQ(p.source, "serviceA");
+  EXPECT_EQ(p.destination, "serviceB");
+  EXPECT_EQ(p.type, FaultKind::kDelay);
+  EXPECT_EQ(p.on, MessageKind::kResponse);
+  EXPECT_EQ(p.delay_interval, msec(250));
+  EXPECT_DOUBLE_EQ(p.probability, 0.75);
+  EXPECT_EQ(p.max_matches, 100u);
+}
+
+TEST(FaultRuleTest, FromJsonDefaults) {
+  Json j = Json::object();
+  j["id"] = "r1";
+  j["source"] = "a";
+  j["destination"] = "b";
+  j["type"] = "abort";
+  auto parsed = FaultRule::from_json(j);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->pattern, "*");
+  EXPECT_DOUBLE_EQ(parsed->probability, 1.0);
+  EXPECT_EQ(parsed->abort_code, 503);
+  EXPECT_EQ(parsed->on, MessageKind::kRequest);
+  EXPECT_EQ(parsed->max_matches, kUnlimitedMatches);
+}
+
+TEST(FaultRuleTest, FromJsonRejectsUnknownKinds) {
+  Json j = Json::object();
+  j["id"] = "r1";
+  j["source"] = "a";
+  j["destination"] = "b";
+  j["type"] = "explode";
+  EXPECT_FALSE(FaultRule::from_json(j).ok());
+  j["type"] = "abort";
+  j["on"] = "diagonal";
+  EXPECT_FALSE(FaultRule::from_json(j).ok());
+}
+
+// ------------------------------------------------------------ rule engine
+
+TEST(RuleEngineTest, AbortMatchesEdgeAndPattern) {
+  RuleEngine engine;
+  ASSERT_TRUE(
+      engine.add_rule(FaultRule::abort_rule("a", "b", 503, "test-*")).ok());
+
+  auto d = engine.evaluate(request_view("a", "b", "test-1"));
+  EXPECT_EQ(d.action, FaultKind::kAbort);
+  EXPECT_EQ(d.abort_code, 503);
+
+  EXPECT_TRUE(engine.evaluate(request_view("a", "c", "test-1")).none());
+  EXPECT_TRUE(engine.evaluate(request_view("x", "b", "test-1")).none());
+  EXPECT_TRUE(engine.evaluate(request_view("a", "b", "prod-1")).none());
+  // Response side not covered by an On=request rule.
+  EXPECT_TRUE(engine.evaluate(response_view("a", "b", "test-1", 200)).none());
+}
+
+TEST(RuleEngineTest, WildcardSourceMatchesAnyCaller) {
+  RuleEngine engine;
+  ASSERT_TRUE(engine.add_rule(FaultRule::abort_rule("*", "b", 503)).ok());
+  EXPECT_EQ(engine.evaluate(request_view("a", "b", "x")).action,
+            FaultKind::kAbort);
+  EXPECT_EQ(engine.evaluate(request_view("z", "b", "x")).action,
+            FaultKind::kAbort);
+  EXPECT_TRUE(engine.evaluate(request_view("a", "c", "x")).none());
+}
+
+TEST(RuleEngineTest, FirstMatchWins) {
+  RuleEngine engine;
+  FaultRule abort = FaultRule::abort_rule("a", "b", 503);
+  FaultRule delay = FaultRule::delay_rule("a", "b", msec(50));
+  ASSERT_TRUE(engine.add_rule(abort).ok());
+  ASSERT_TRUE(engine.add_rule(delay).ok());
+  const auto d = engine.evaluate(request_view("a", "b", "any"));
+  EXPECT_EQ(d.action, FaultKind::kAbort);
+  EXPECT_EQ(d.rule_id, abort.id);
+}
+
+TEST(RuleEngineTest, DuplicateIdRejected) {
+  RuleEngine engine;
+  FaultRule r = FaultRule::abort_rule("a", "b", 503);
+  ASSERT_TRUE(engine.add_rule(r).ok());
+  EXPECT_FALSE(engine.add_rule(r).ok());
+}
+
+TEST(RuleEngineTest, RemoveAndClear) {
+  RuleEngine engine;
+  FaultRule r = FaultRule::abort_rule("a", "b", 503);
+  ASSERT_TRUE(engine.add_rule(r).ok());
+  EXPECT_EQ(engine.rule_count(), 1u);
+  EXPECT_TRUE(engine.remove_rule(r.id));
+  EXPECT_FALSE(engine.remove_rule(r.id));
+  EXPECT_EQ(engine.rule_count(), 0u);
+  ASSERT_TRUE(engine.add_rule(r).ok());
+  engine.clear();
+  EXPECT_EQ(engine.rule_count(), 0u);
+  EXPECT_EQ(engine.total_matches(), 0u);
+}
+
+TEST(RuleEngineTest, BoundedMatchesExhaust) {
+  RuleEngine engine;
+  FaultRule r = FaultRule::abort_rule("a", "b", 503);
+  r.max_matches = 3;
+  ASSERT_TRUE(engine.add_rule(r).ok());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(engine.evaluate(request_view("a", "b", "x")).action,
+              FaultKind::kAbort);
+  }
+  EXPECT_TRUE(engine.evaluate(request_view("a", "b", "x")).none());
+  EXPECT_EQ(engine.total_matches(), 3u);
+}
+
+TEST(RuleEngineTest, SequencedBoundedRules) {
+  // The Figure 6 workload: abort the first 100 matching requests, then
+  // delay the next 100, then pass everything through.
+  RuleEngine engine;
+  FaultRule abort = FaultRule::abort_rule("wp", "es", 503);
+  abort.max_matches = 100;
+  FaultRule delay = FaultRule::delay_rule("wp", "es", sec(3));
+  delay.max_matches = 100;
+  ASSERT_TRUE(engine.add_rule(abort).ok());
+  ASSERT_TRUE(engine.add_rule(delay).ok());
+
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(engine.evaluate(request_view("wp", "es", "x")).action,
+              FaultKind::kAbort) << i;
+  }
+  for (int i = 0; i < 100; ++i) {
+    const auto d = engine.evaluate(request_view("wp", "es", "x"));
+    EXPECT_EQ(d.action, FaultKind::kDelay) << i;
+    EXPECT_EQ(d.delay, sec(3));
+  }
+  EXPECT_TRUE(engine.evaluate(request_view("wp", "es", "x")).none());
+}
+
+TEST(RuleEngineTest, ProbabilityDeclineFallsThrough) {
+  // Overload shape: Abort(p=0.25) then Delay(p=1). The observed split
+  // should be ~25/75 with zero unfaulted messages.
+  RuleEngine engine(/*seed=*/7);
+  ASSERT_TRUE(
+      engine.add_rule(FaultRule::abort_rule("a", "b", 503, "*", 0.25)).ok());
+  ASSERT_TRUE(
+      engine.add_rule(FaultRule::delay_rule("a", "b", msec(100), "*", 1.0))
+          .ok());
+  int aborts = 0, delays = 0, none = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    switch (engine.evaluate(request_view("a", "b", "x")).action) {
+      case FaultKind::kAbort: ++aborts; break;
+      case FaultKind::kDelay: ++delays; break;
+      default: ++none;
+    }
+  }
+  EXPECT_EQ(none, 0);
+  EXPECT_NEAR(static_cast<double>(aborts) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(delays) / n, 0.75, 0.02);
+}
+
+TEST(RuleEngineTest, ZeroProbabilityNeverFires) {
+  RuleEngine engine;
+  ASSERT_TRUE(
+      engine.add_rule(FaultRule::abort_rule("a", "b", 503, "*", 0.0)).ok());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(engine.evaluate(request_view("a", "b", "x")).none());
+  }
+}
+
+TEST(RuleEngineTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    RuleEngine engine(/*seed=*/42, "agent-1");
+    (void)engine.add_rule(FaultRule::abort_rule("a", "b", 503, "*", 0.5));
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      fired.push_back(!engine.evaluate(request_view("a", "b", "x")).none());
+    }
+    return fired;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(RuleEngineTest, ResponseSideRule) {
+  RuleEngine engine;
+  FaultRule r = FaultRule::abort_rule("a", "b", 500);
+  r.on = MessageKind::kResponse;
+  ASSERT_TRUE(engine.add_rule(r).ok());
+  EXPECT_TRUE(engine.evaluate(request_view("a", "b", "x")).none());
+  EXPECT_EQ(engine.evaluate(response_view("a", "b", "x", 200)).action,
+            FaultKind::kAbort);
+}
+
+TEST(RuleEngineTest, ModifyRewritesBody) {
+  RuleEngine engine;
+  ASSERT_TRUE(
+      engine.add_rule(FaultRule::modify_rule("a", "b", "key", "badkey")).ok());
+  auto d = engine.evaluate(request_view("a", "b", "x"));
+  ASSERT_EQ(d.action, FaultKind::kModify);
+  std::string body = "key=value&key=other";
+  EXPECT_EQ(RuleEngine::apply_modify(d, &body), 2);
+  EXPECT_EQ(body, "badkey=value&badkey=other");
+}
+
+TEST(RuleEngineTest, TcpResetDecision) {
+  RuleEngine engine;
+  ASSERT_TRUE(
+      engine.add_rule(FaultRule::abort_rule("a", "b", kTcpReset)).ok());
+  const auto d = engine.evaluate(request_view("a", "b", "x"));
+  EXPECT_TRUE(d.is_tcp_reset());
+}
+
+TEST(RuleEngineTest, InvalidRuleRejectedByAddRules) {
+  RuleEngine engine;
+  FaultRule bad = FaultRule::abort_rule("a", "b", 503);
+  bad.probability = 2.0;
+  EXPECT_FALSE(engine.add_rules({FaultRule::abort_rule("a", "b", 503), bad})
+                   .ok());
+  EXPECT_EQ(engine.rule_count(), 1u);  // the valid one before the bad one
+}
+
+}  // namespace
+}  // namespace gremlin::faults

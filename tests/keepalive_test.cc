@@ -1,0 +1,152 @@
+// Protocol-level tests for HTTP/1.1 keep-alive on the threaded server:
+// sequential requests on one connection, pipelined requests, Connection:
+// close semantics, and prompt shutdown with idle peers attached.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "httpmsg/parser.h"
+#include "httpserver/server.h"
+#include "net/socket.h"
+
+namespace gremlin::httpserver {
+namespace {
+
+std::unique_ptr<HttpServer> echo_server(uint16_t* port) {
+  auto server = std::make_unique<HttpServer>([](const httpmsg::Request& r) {
+    return httpmsg::make_response(200, "echo:" + r.target);
+  });
+  auto started = server->start();
+  EXPECT_TRUE(started.ok());
+  *port = started.value_or(0);
+  return server;
+}
+
+// Reads exactly one response from the stream.
+httpmsg::Response read_response(net::TcpStream* stream) {
+  httpmsg::Parser parser(httpmsg::Parser::Kind::kResponse);
+  char buffer[4096];
+  (void)stream->set_read_timeout(sec(5));
+  while (!parser.complete()) {
+    auto n = stream->read(buffer, sizeof(buffer));
+    EXPECT_TRUE(n.ok());
+    if (!n.ok() || n.value() == 0) break;
+    auto consumed = parser.feed(std::string_view(buffer, n.value()));
+    EXPECT_TRUE(consumed.ok());
+    if (!consumed.ok()) break;
+  }
+  EXPECT_TRUE(parser.complete());
+  return parser.response();
+}
+
+std::string raw_request(const std::string& target, bool close) {
+  httpmsg::Request req;
+  req.target = target;
+  req.headers.set("Host", "svc");
+  if (close) req.headers.set("Connection", "close");
+  return httpmsg::serialize(req);
+}
+
+TEST(KeepAliveTest, SequentialRequestsOnOneConnection) {
+  uint16_t port = 0;
+  auto server = echo_server(&port);
+  auto stream = net::TcpStream::connect("127.0.0.1", port);
+  ASSERT_TRUE(stream.ok());
+
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        stream->write_all(raw_request("/r" + std::to_string(i), false)).ok());
+    const auto resp = read_response(&stream.value());
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_EQ(resp.body, "echo:/r" + std::to_string(i));
+  }
+  EXPECT_EQ(server->connections_accepted(), 1u);
+  EXPECT_EQ(server->requests_served(), 3u);
+}
+
+TEST(KeepAliveTest, PipelinedRequestsAllAnswered) {
+  uint16_t port = 0;
+  auto server = echo_server(&port);
+  auto stream = net::TcpStream::connect("127.0.0.1", port);
+  ASSERT_TRUE(stream.ok());
+
+  // Send both requests before reading anything. Both responses may arrive
+  // in one TCP segment, so parse them out of a shared byte buffer.
+  ASSERT_TRUE(stream->write_all(raw_request("/first", false) +
+                                raw_request("/second", false))
+                  .ok());
+  (void)stream->set_read_timeout(sec(5));
+  std::string buffered;
+  std::vector<std::string> bodies;
+  httpmsg::Parser parser(httpmsg::Parser::Kind::kResponse);
+  char buffer[4096];
+  while (bodies.size() < 2) {
+    if (!buffered.empty()) {
+      auto consumed = parser.feed(buffered);
+      ASSERT_TRUE(consumed.ok());
+      buffered.erase(0, consumed.value());
+    }
+    if (parser.complete()) {
+      bodies.push_back(parser.response().body);
+      parser.reset();
+      continue;
+    }
+    auto n = stream->read(buffer, sizeof(buffer));
+    ASSERT_TRUE(n.ok());
+    ASSERT_GT(n.value(), 0u);
+    buffered.append(buffer, n.value());
+  }
+  EXPECT_EQ(bodies[0], "echo:/first");
+  EXPECT_EQ(bodies[1], "echo:/second");
+  EXPECT_EQ(server->connections_accepted(), 1u);
+}
+
+TEST(KeepAliveTest, ConnectionCloseEndsTheConnection) {
+  uint16_t port = 0;
+  auto server = echo_server(&port);
+  auto stream = net::TcpStream::connect("127.0.0.1", port);
+  ASSERT_TRUE(stream.ok());
+  ASSERT_TRUE(stream->write_all(raw_request("/only", true)).ok());
+  EXPECT_EQ(read_response(&stream.value()).status, 200);
+  // The server closes: the next read returns 0 (EOF).
+  char buffer[16];
+  (void)stream->set_read_timeout(sec(2));
+  auto n = stream->read(buffer, sizeof(buffer));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 0u);
+}
+
+TEST(KeepAliveTest, StopIsPromptWithIdlePeer) {
+  uint16_t port = 0;
+  auto server = echo_server(&port);
+  auto stream = net::TcpStream::connect("127.0.0.1", port);
+  ASSERT_TRUE(stream.ok());
+  ASSERT_TRUE(stream->write_all(raw_request("/x", false)).ok());
+  EXPECT_EQ(read_response(&stream.value()).status, 200);
+
+  // The connection idles; stop() must not wait out the 10s read timeout.
+  const auto start = std::chrono::steady_clock::now();
+  server->stop();
+  const auto elapsed = std::chrono::duration_cast<Duration>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_LT(elapsed, sec(2));
+}
+
+TEST(KeepAliveTest, MalformedRequestDropsConnection) {
+  uint16_t port = 0;
+  auto server = echo_server(&port);
+  auto stream = net::TcpStream::connect("127.0.0.1", port);
+  ASSERT_TRUE(stream.ok());
+  ASSERT_TRUE(stream->write_all("NOT-HTTP\r\n\r\n").ok());
+  char buffer[16];
+  (void)stream->set_read_timeout(sec(2));
+  auto n = stream->read(buffer, sizeof(buffer));
+  // Either clean close or reset — never a hang or a bogus response.
+  if (n.ok()) {
+    EXPECT_EQ(n.value(), 0u);
+  }
+  EXPECT_EQ(server->requests_served(), 0u);
+}
+
+}  // namespace
+}  // namespace gremlin::httpserver

@@ -1,0 +1,192 @@
+// Unit tests for the event-log store: record JSON round-trips, indexed
+// queries, glob filtering, time ordering, thread-safe appends.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "logstore/store.h"
+
+namespace gremlin::logstore {
+namespace {
+
+LogRecord make_record(int64_t ts_us, std::string id, std::string src,
+                      std::string dst, MessageKind kind, int status = 200) {
+  LogRecord r;
+  r.timestamp = Duration(ts_us);
+  r.request_id = std::move(id);
+  r.src = std::move(src);
+  r.dst = std::move(dst);
+  r.kind = kind;
+  r.status = status;
+  r.method = "GET";
+  r.uri = "/";
+  return r;
+}
+
+TEST(LogRecordTest, JsonRoundTrip) {
+  LogRecord r = make_record(1234, "test-1", "a", "b", MessageKind::kResponse,
+                            503);
+  r.instance = "a/0";
+  r.fault = FaultKind::kDelay;
+  r.rule_id = "rule-7";
+  r.injected_delay = msec(100);
+  r.latency = msec(105);
+
+  auto parsed = LogRecord::from_json(r.to_json());
+  ASSERT_TRUE(parsed.ok());
+  const LogRecord& p = parsed.value();
+  EXPECT_EQ(p.timestamp, r.timestamp);
+  EXPECT_EQ(p.request_id, r.request_id);
+  EXPECT_EQ(p.src, r.src);
+  EXPECT_EQ(p.dst, r.dst);
+  EXPECT_EQ(p.instance, r.instance);
+  EXPECT_EQ(p.kind, r.kind);
+  EXPECT_EQ(p.status, r.status);
+  EXPECT_EQ(p.fault, r.fault);
+  EXPECT_EQ(p.rule_id, r.rule_id);
+  EXPECT_EQ(p.injected_delay, r.injected_delay);
+  EXPECT_EQ(p.latency, r.latency);
+}
+
+TEST(LogRecordTest, FromJsonRejectsBadInput) {
+  EXPECT_FALSE(LogRecord::from_json(Json(42)).ok());
+  Json bad_kind = Json::object();
+  bad_kind["kind"] = "sideways";
+  EXPECT_FALSE(LogRecord::from_json(bad_kind).ok());
+  Json bad_fault = Json::object();
+  bad_fault["kind"] = "request";
+  bad_fault["fault"] = "meltdown";
+  EXPECT_FALSE(LogRecord::from_json(bad_fault).ok());
+}
+
+TEST(LogRecordTest, FailedPredicate) {
+  EXPECT_TRUE(
+      make_record(0, "i", "a", "b", MessageKind::kResponse, 503).failed());
+  EXPECT_TRUE(
+      make_record(0, "i", "a", "b", MessageKind::kResponse, 0).failed());
+  EXPECT_FALSE(
+      make_record(0, "i", "a", "b", MessageKind::kResponse, 200).failed());
+  EXPECT_FALSE(
+      make_record(0, "i", "a", "b", MessageKind::kResponse, 404).failed());
+  EXPECT_FALSE(
+      make_record(0, "i", "a", "b", MessageKind::kRequest, 0).failed());
+}
+
+TEST(LogStoreTest, EdgeQueryUsesFilters) {
+  LogStore store;
+  store.append(make_record(10, "test-1", "a", "b", MessageKind::kRequest));
+  store.append(make_record(20, "test-1", "a", "b", MessageKind::kResponse));
+  store.append(make_record(30, "test-2", "a", "c", MessageKind::kRequest));
+  store.append(make_record(40, "prod-9", "a", "b", MessageKind::kRequest));
+
+  EXPECT_EQ(store.get_requests("a", "b").size(), 2u);
+  EXPECT_EQ(store.get_requests("a", "b", "test-*").size(), 1u);
+  EXPECT_EQ(store.get_replies("a", "b").size(), 1u);
+  EXPECT_EQ(store.get_requests("a", "c").size(), 1u);
+  EXPECT_EQ(store.get_requests("x", "y").size(), 0u);
+}
+
+TEST(LogStoreTest, WildcardSrcAndDst) {
+  LogStore store;
+  store.append(make_record(1, "test-1", "a", "b", MessageKind::kRequest));
+  store.append(make_record(2, "test-2", "c", "b", MessageKind::kRequest));
+  store.append(make_record(3, "test-3", "a", "d", MessageKind::kRequest));
+
+  Query q;
+  q.dst = "b";
+  EXPECT_EQ(store.query(q).size(), 2u);
+  Query q2;
+  q2.src = "a";
+  EXPECT_EQ(store.query(q2).size(), 2u);
+  Query q3;  // fully open
+  EXPECT_EQ(store.query(q3).size(), 3u);
+}
+
+TEST(LogStoreTest, ResultsSortedByTime) {
+  LogStore store;
+  store.append(make_record(30, "test-3", "a", "b", MessageKind::kRequest));
+  store.append(make_record(10, "test-1", "a", "b", MessageKind::kRequest));
+  store.append(make_record(20, "test-2", "a", "b", MessageKind::kRequest));
+
+  const auto records = store.get_requests("a", "b");
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].request_id, "test-1");
+  EXPECT_EQ(records[1].request_id, "test-2");
+  EXPECT_EQ(records[2].request_id, "test-3");
+}
+
+TEST(LogStoreTest, TimeWindowFilter) {
+  LogStore store;
+  for (int i = 0; i < 10; ++i) {
+    store.append(make_record(i * 100, "test-" + std::to_string(i), "a", "b",
+                             MessageKind::kRequest));
+  }
+  Query q;
+  q.src = "a";
+  q.dst = "b";
+  q.min_time = Duration(200);
+  q.max_time = Duration(500);
+  EXPECT_EQ(store.query(q).size(), 4u);  // 200,300,400,500
+}
+
+TEST(LogStoreTest, AnyKindQueryMergesBoth) {
+  LogStore store;
+  store.append(make_record(1, "test-1", "a", "b", MessageKind::kRequest));
+  store.append(make_record(2, "test-1", "a", "b", MessageKind::kResponse));
+  Query q;
+  q.src = "a";
+  q.dst = "b";
+  q.any_kind = true;
+  EXPECT_EQ(store.query(q).size(), 2u);
+}
+
+TEST(LogStoreTest, ClearResetsEverything) {
+  LogStore store;
+  store.append(make_record(1, "test-1", "a", "b", MessageKind::kRequest));
+  EXPECT_EQ(store.size(), 1u);
+  store.clear();
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_TRUE(store.get_requests("a", "b").empty());
+}
+
+TEST(LogStoreTest, JsonDumpRoundTrip) {
+  LogStore store;
+  store.append(make_record(1, "test-1", "a", "b", MessageKind::kRequest));
+  store.append(
+      make_record(2, "test-1", "a", "b", MessageKind::kResponse, 503));
+
+  LogStore copy;
+  ASSERT_TRUE(copy.load_json(store.to_json()).ok());
+  EXPECT_EQ(copy.size(), 2u);
+  EXPECT_EQ(copy.get_replies("a", "b")[0].status, 503);
+}
+
+TEST(LogStoreTest, LoadJsonRejectsNonArray) {
+  LogStore store;
+  EXPECT_FALSE(store.load_json(Json::object()).ok());
+  EXPECT_FALSE(store.load_json(Json(1)).ok());
+}
+
+TEST(LogStoreTest, ConcurrentAppends) {
+  LogStore store;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        store.append(make_record(i, "test-" + std::to_string(i),
+                                 "src" + std::to_string(t), "dst",
+                                 MessageKind::kRequest));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(store.size(), static_cast<size_t>(kThreads * kPerThread));
+  EXPECT_EQ(store.get_requests("src0", "dst").size(),
+            static_cast<size_t>(kPerThread));
+}
+
+}  // namespace
+}  // namespace gremlin::logstore

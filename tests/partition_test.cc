@@ -1,0 +1,141 @@
+// End-to-end tests for NetworkPartition and FakeSuccess scenarios on the
+// simulator, plus DSL coverage for the extended assertion commands.
+#include <gtest/gtest.h>
+
+#include "control/recipe.h"
+#include "dsl/interp.h"
+
+namespace gremlin::control {
+namespace {
+
+// user → gateway → {svc-east → db-east, svc-west → db-west}
+struct TwoZoneApp {
+  sim::Simulation sim;
+  topology::AppGraph graph;
+
+  TwoZoneApp() {
+    for (const char* name : {"db-east", "db-west"}) {
+      sim::ServiceConfig db;
+      db.name = name;
+      sim.add_service(db);
+    }
+    sim::ServiceConfig east;
+    east.name = "svc-east";
+    east.dependencies = {"db-east"};
+    sim.add_service(east);
+    sim::ServiceConfig west;
+    west.name = "svc-west";
+    west.dependencies = {"db-west"};
+    sim.add_service(west);
+    sim::ServiceConfig gateway;
+    gateway.name = "gateway";
+    gateway.dependencies = {"svc-east", "svc-west"};
+    sim.add_service(gateway);
+    graph.add_edge("user", "gateway");
+    graph.add_edge("gateway", "svc-east");
+    graph.add_edge("gateway", "svc-west");
+    graph.add_edge("svc-east", "db-east");
+    graph.add_edge("svc-west", "db-west");
+  }
+};
+
+TEST(PartitionTest, SeversExactlyTheCut) {
+  TwoZoneApp app;
+  TestSession session(&app.sim, app.graph);
+  // Partition the west zone away from the rest.
+  ASSERT_TRUE(
+      session.apply(FailureSpec::partition({"svc-west", "db-west"})).ok());
+  session.run_load("user", "gateway", 10);
+  ASSERT_TRUE(session.collect().ok());
+
+  auto checker = session.checker();
+  // Traffic inside the east side flows; the gateway→west edge is severed.
+  const auto east_replies = checker.get_replies("svc-east", "db-east");
+  ASSERT_FALSE(east_replies.empty());
+  for (const auto& r : east_replies) EXPECT_FALSE(r.failed());
+
+  const auto west_replies = checker.get_replies("gateway", "svc-west");
+  ASSERT_FALSE(west_replies.empty());
+  for (const auto& r : west_replies) {
+    EXPECT_EQ(r.status, 0);  // TCP reset at the cut
+  }
+  // Intra-west traffic never happened (nothing crossed into the zone).
+  EXPECT_TRUE(checker.get_requests("svc-west", "db-west").empty());
+}
+
+TEST(PartitionTest, HealsWithApplyFor) {
+  TwoZoneApp app;
+  TestSession session(&app.sim, app.graph);
+  ASSERT_TRUE(session
+                  .apply_for(FailureSpec::partition({"svc-west", "db-west"}),
+                             msec(500))
+                  .ok());
+  LoadOptions load;
+  load.count = 20;
+  load.gap = msec(50);
+  const auto result = session.run_load("user", "gateway", load);
+  // First ~10 requests see the partition (gateway fails west), later ones
+  // flow cleanly.
+  EXPECT_GT(result.failures, 0u);
+  EXPECT_LT(result.failures, 20u);
+  EXPECT_EQ(result.statuses.back(), 200);
+}
+
+TEST(FakeSuccessTest, TampersPayloadKeepsStatus) {
+  // FakeSuccess (Section 5): responses stay 200 but the payload is
+  // corrupted — input-validation bugs surface downstream.
+  sim::Simulation sim;
+  sim::ServiceConfig kv;
+  kv.name = "kv";
+  kv.handler = [](std::shared_ptr<sim::RequestContext> ctx) {
+    ctx->respond(200, "key=value");
+  };
+  sim.add_service(kv);
+  std::string seen;
+  sim::ServiceConfig app_svc;
+  app_svc.name = "app";
+  app_svc.handler = [&seen](std::shared_ptr<sim::RequestContext> ctx) {
+    ctx->call("kv", [ctx, &seen](const sim::SimResponse& resp) {
+      seen = resp.body;
+      // Naive input handling: crashes on unexpected keys.
+      ctx->respond(resp.body.find("key=") == 0 ? 200 : 500, resp.body);
+    });
+  };
+  sim.add_service(app_svc);
+  topology::AppGraph graph;
+  graph.add_edge("user", "app");
+  graph.add_edge("app", "kv");
+
+  TestSession session(&sim, graph);
+  ASSERT_TRUE(
+      session.apply(FailureSpec::fake_success("kv", "key", "badkey")).ok());
+  const auto result = session.run_load("user", "app", 5);
+  EXPECT_EQ(seen, "badkey=value");
+  EXPECT_EQ(result.failures, 5u);  // the tampered payload broke the app
+}
+
+TEST(DslExtendedChecksTest, LatencySloAndErrorRateCommands) {
+  sim::Simulation sim;
+  dsl::Interpreter interp(&sim);
+  auto outcome = interp.run_source(R"(
+    graph { user -> a -> b }
+    scenario "slo" {
+      delay(a, b, interval=300ms)
+      load(client=user, target=a, count=20)
+      collect
+      assert has_latency_slo(a, b, percentile=50, bound=100ms)
+      assert has_latency_slo(a, b, percentile=50, bound=100ms,
+                             with_rule=false)
+      assert error_rate_below(user, a, 0.01)
+    }
+  )");
+  ASSERT_TRUE(outcome.ok()) << outcome.error().message;
+  const auto& checks = outcome->scenarios[0].checks;
+  ASSERT_EQ(checks.size(), 3u);
+  EXPECT_FALSE(checks[0].passed);  // observed latency includes the delay
+  EXPECT_TRUE(checks[1].passed);   // untampered latency is fast
+  EXPECT_TRUE(checks[2].passed);   // delays aren't failures
+}
+
+}  // namespace
+}  // namespace gremlin::control

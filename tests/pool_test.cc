@@ -1,0 +1,144 @@
+// Tests for HTTP keep-alive connection pooling: connection reuse, stale
+// connection recovery, pool caps, and the proxy's pooled upstream path.
+#include <gtest/gtest.h>
+
+#include "httpserver/client.h"
+#include "httpserver/pool.h"
+#include "httpserver/server.h"
+#include "proxy/control_api.h"
+
+namespace gremlin::httpserver {
+namespace {
+
+std::unique_ptr<HttpServer> echo_server(uint16_t* port) {
+  auto server = std::make_unique<HttpServer>([](const httpmsg::Request& r) {
+    return httpmsg::make_response(200, "echo:" + r.target);
+  });
+  auto started = server->start();
+  EXPECT_TRUE(started.ok());
+  *port = started.value_or(0);
+  return server;
+}
+
+httpmsg::Request req(const std::string& target) {
+  httpmsg::Request r;
+  r.target = target;
+  r.headers.set(httpmsg::kRequestIdHeader, "test-1");
+  return r;
+}
+
+TEST(PooledClientTest, ReusesOneConnection) {
+  uint16_t port = 0;
+  auto server = echo_server(&port);
+  PooledClient pool("127.0.0.1", port);
+  for (int i = 0; i < 5; ++i) {
+    auto result = pool.fetch(req("/r" + std::to_string(i)));
+    ASSERT_FALSE(result.failed()) << i;
+    EXPECT_EQ(result.response.body, "echo:/r" + std::to_string(i));
+  }
+  EXPECT_EQ(pool.connections_opened(), 1u);
+  EXPECT_EQ(pool.reuses(), 4u);
+  EXPECT_EQ(server->connections_accepted(), 1u);
+  EXPECT_EQ(server->requests_served(), 5u);
+  EXPECT_EQ(pool.idle_connections(), 1u);
+}
+
+TEST(PooledClientTest, RecoversFromServerRestart) {
+  uint16_t port = 0;
+  auto server = echo_server(&port);
+  PooledClient pool("127.0.0.1", port);
+  ASSERT_FALSE(pool.fetch(req("/a")).failed());
+  // Restart the server on the same port: the pooled connection is stale.
+  server->stop();
+  auto server2 = std::make_unique<HttpServer>([](const httpmsg::Request&) {
+    return httpmsg::make_response(200, "fresh");
+  });
+  ASSERT_TRUE(server2->start(port).ok());
+
+  auto result = pool.fetch(req("/b"));
+  ASSERT_FALSE(result.failed());
+  EXPECT_EQ(result.response.body, "fresh");
+  EXPECT_EQ(pool.connections_opened(), 2u);  // reconnected once
+}
+
+TEST(PooledClientTest, ConnectionCloseResponseNotReused) {
+  uint16_t port = 0;
+  auto server = std::make_unique<HttpServer>([](const httpmsg::Request&) {
+    httpmsg::Response resp = httpmsg::make_response(200, "bye");
+    resp.headers.set("Connection", "close");
+    return resp;
+  });
+  auto started = server->start();
+  ASSERT_TRUE(started.ok());
+  port = *started;
+
+  PooledClient pool("127.0.0.1", port);
+  ASSERT_FALSE(pool.fetch(req("/1")).failed());
+  ASSERT_FALSE(pool.fetch(req("/2")).failed());
+  EXPECT_EQ(pool.connections_opened(), 2u);  // no reuse possible
+  EXPECT_EQ(pool.idle_connections(), 0u);
+}
+
+TEST(PooledClientTest, ConnectFailureReported) {
+  PooledClient pool("127.0.0.1", 1, 4, msec(300));
+  auto result = pool.fetch(req("/x"));
+  EXPECT_TRUE(result.connection_failed);
+}
+
+TEST(ProxyPoolingTest, ProxyReusesUpstreamConnections) {
+  uint16_t origin_port = 0;
+  auto origin = echo_server(&origin_port);
+
+  proxy::GremlinAgentProxy agent("svc", "svc/0");
+  proxy::Route route;
+  route.destination = "backend";
+  route.endpoints = {{"127.0.0.1", origin_port}};
+  agent.add_route(route);
+  ASSERT_TRUE(agent.start().ok());
+
+  for (int i = 0; i < 6; ++i) {
+    auto result = HttpClient::fetch("127.0.0.1", agent.route_port("backend"),
+                                    req("/p" + std::to_string(i)));
+    ASSERT_FALSE(result.failed()) << i;
+  }
+  EXPECT_EQ(agent.requests_proxied(), 6u);
+  // The proxy multiplexed all six requests onto few upstream connections.
+  EXPECT_LT(origin->connections_accepted(), 6u);
+  agent.stop();
+}
+
+TEST(ProxyPoolingTest, StatsEndpoint) {
+  uint16_t origin_port = 0;
+  auto origin = echo_server(&origin_port);
+  proxy::GremlinAgentProxy agent("svc", "svc/0");
+  proxy::Route route;
+  route.destination = "backend";
+  route.endpoints = {{"127.0.0.1", origin_port}};
+  agent.add_route(route);
+  ASSERT_TRUE(agent.start().ok());
+  ASSERT_TRUE(agent
+                  .install_rules({faults::FaultRule::abort_rule(
+                      "svc", "backend", 503, "nomatch-*")})
+                  .ok());
+  for (int i = 0; i < 3; ++i) {
+    (void)HttpClient::fetch("127.0.0.1", agent.route_port("backend"),
+                            req("/s"));
+  }
+  proxy::ControlApiServer api(&agent);
+  auto api_port = api.start();
+  ASSERT_TRUE(api_port.ok());
+  auto stats = HttpClient::fetch("127.0.0.1", *api_port,
+                                 req("/gremlin/v1/stats"));
+  ASSERT_FALSE(stats.failed());
+  auto j = Json::parse(stats.response.body);
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ((*j)["requests_proxied"].as_int(), 3);
+  EXPECT_EQ((*j)["rules_installed"].as_int(), 1);
+  EXPECT_EQ((*j)["rule_matches"].as_int(), 0);  // pattern never matched
+  EXPECT_EQ((*j)["records_buffered"].as_int(), 6);
+  api.stop();
+  agent.stop();
+}
+
+}  // namespace
+}  // namespace gremlin::httpserver

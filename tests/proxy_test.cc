@@ -1,0 +1,343 @@
+// Integration tests for the real-network data plane on loopback: the HTTP
+// server/client pair, the sidecar proxy's fault primitives (Abort incl. TCP
+// reset, Delay, Modify), flow scoping by request ID, observation logging,
+// the REST control API, and remote orchestration through RemoteAgentHandle.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "control/orchestrator.h"
+#include "httpserver/client.h"
+#include "httpserver/server.h"
+#include "proxy/control_api.h"
+
+namespace gremlin::proxy {
+namespace {
+
+using faults::FaultRule;
+using httpmsg::Request;
+using httpmsg::Response;
+using httpserver::HttpClient;
+using httpserver::HttpServer;
+using logstore::MessageKind;
+
+Request request_with_id(const std::string& id, const std::string& target = "/") {
+  Request req;
+  req.target = target;
+  req.headers.set(httpmsg::kRequestIdHeader, id);
+  return req;
+}
+
+// Origin server echoing method, path and body.
+std::unique_ptr<HttpServer> make_origin(uint16_t* port) {
+  auto server = std::make_unique<HttpServer>([](const Request& req) {
+    Response resp = httpmsg::make_response(
+        200, "echo:" + req.method + ":" + req.target + ":" + req.body);
+    return resp;
+  });
+  auto started = server->start();
+  EXPECT_TRUE(started.ok());
+  *port = started.value_or(0);
+  return server;
+}
+
+TEST(HttpServerTest, ServesAndCounts) {
+  uint16_t port = 0;
+  auto origin = make_origin(&port);
+  ASSERT_NE(port, 0);
+
+  auto result = HttpClient::fetch("127.0.0.1", port,
+                                  request_with_id("test-1", "/hello"));
+  EXPECT_FALSE(result.failed());
+  EXPECT_EQ(result.response.status, 200);
+  EXPECT_EQ(result.response.body, "echo:GET:/hello:");
+  EXPECT_EQ(origin->requests_served(), 1u);
+}
+
+TEST(HttpClientTest, ConnectionRefusedReported) {
+  // Port 1 on loopback is almost certainly closed.
+  auto result = HttpClient::fetch("127.0.0.1", 1, Request{}, msec(500));
+  EXPECT_TRUE(result.connection_failed);
+}
+
+struct ProxyFixture {
+  uint16_t origin_port = 0;
+  std::unique_ptr<HttpServer> origin;
+  std::unique_ptr<GremlinAgentProxy> agent;
+  uint16_t proxy_port = 0;
+
+  ProxyFixture() {
+    origin = make_origin(&origin_port);
+    agent = std::make_unique<GremlinAgentProxy>("webapp", "webapp/0");
+    Route route;
+    route.destination = "backend";
+    route.endpoints = {{"127.0.0.1", origin_port}};
+    agent->add_route(route);
+    EXPECT_TRUE(agent->start().ok());
+    proxy_port = agent->route_port("backend");
+    EXPECT_NE(proxy_port, 0);
+  }
+  ~ProxyFixture() {
+    agent->stop();
+    origin->stop();
+  }
+
+  httpserver::FetchResult fetch(const Request& req,
+                                Duration timeout = sec(5)) {
+    return HttpClient::fetch("127.0.0.1", proxy_port, req, timeout);
+  }
+};
+
+TEST(ProxyTest, TransparentForwarding) {
+  ProxyFixture f;
+  auto result = f.fetch(request_with_id("test-1", "/data"));
+  EXPECT_FALSE(result.failed());
+  EXPECT_EQ(result.response.body, "echo:GET:/data:");
+
+  auto records = f.agent->fetch_records();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].kind, MessageKind::kRequest);
+  EXPECT_EQ((*records)[0].src, "webapp");
+  EXPECT_EQ((*records)[0].dst, "backend");
+  EXPECT_EQ((*records)[0].request_id, "test-1");
+  EXPECT_EQ((*records)[1].kind, MessageKind::kResponse);
+  EXPECT_EQ((*records)[1].status, 200);
+}
+
+TEST(ProxyTest, AbortRuleSynthesizesError) {
+  ProxyFixture f;
+  ASSERT_TRUE(f.agent
+                  ->install_rules({FaultRule::abort_rule(
+                      "webapp", "backend", 503, "test-*")})
+                  .ok());
+  auto result = f.fetch(request_with_id("test-1"));
+  EXPECT_EQ(result.response.status, 503);
+  EXPECT_EQ(result.response.body, "gremlin-abort");
+  // The origin never saw the request.
+  EXPECT_EQ(f.origin->requests_served(), 0u);
+}
+
+TEST(ProxyTest, AbortSparesUnmatchedFlows) {
+  ProxyFixture f;
+  ASSERT_TRUE(f.agent
+                  ->install_rules({FaultRule::abort_rule(
+                      "webapp", "backend", 503, "test-*")})
+                  .ok());
+  auto result = f.fetch(request_with_id("prod-1"));
+  EXPECT_EQ(result.response.status, 200);
+  EXPECT_EQ(f.origin->requests_served(), 1u);
+}
+
+TEST(ProxyTest, TcpResetObservedByClient) {
+  ProxyFixture f;
+  ASSERT_TRUE(f.agent
+                  ->install_rules({FaultRule::abort_rule(
+                      "webapp", "backend", faults::kTcpReset)})
+                  .ok());
+  auto result = f.fetch(request_with_id("test-1"));
+  EXPECT_TRUE(result.connection_failed);
+  auto records = f.agent->fetch_records();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[1].status, 0);
+}
+
+TEST(ProxyTest, DelayRuleAddsLatency) {
+  ProxyFixture f;
+  ASSERT_TRUE(
+      f.agent
+          ->install_rules({FaultRule::delay_rule("webapp", "backend",
+                                                 msec(200))})
+          .ok());
+  const auto start = std::chrono::steady_clock::now();
+  auto result = f.fetch(request_with_id("test-1"));
+  const auto elapsed = std::chrono::duration_cast<Duration>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_FALSE(result.failed());
+  EXPECT_GE(elapsed, msec(200));
+  auto records = f.agent->fetch_records();
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ((*records)[1].injected_delay, msec(200));
+  EXPECT_GE((*records)[1].latency, msec(200));
+}
+
+TEST(ProxyTest, ModifyRuleRewritesBody) {
+  ProxyFixture f;
+  ASSERT_TRUE(f.agent
+                  ->install_rules({FaultRule::modify_rule(
+                      "webapp", "backend", "key", "badkey")})
+                  .ok());
+  Request req = request_with_id("test-1", "/submit");
+  req.method = "POST";
+  req.body = "key=value";
+  auto result = f.fetch(req);
+  EXPECT_EQ(result.response.body, "echo:POST:/submit:badkey=value");
+}
+
+TEST(ProxyTest, ResponseSideModify) {
+  ProxyFixture f;
+  FaultRule rule =
+      FaultRule::modify_rule("webapp", "backend", "echo", "tampered");
+  rule.on = MessageKind::kResponse;
+  ASSERT_TRUE(f.agent->install_rules({rule}).ok());
+  auto result = f.fetch(request_with_id("test-1", "/x"));
+  EXPECT_EQ(result.response.body, "tampered:GET:/x:");
+}
+
+TEST(ProxyTest, UpstreamDownLooksLikeReset) {
+  ProxyFixture f;
+  f.origin->stop();  // kill the upstream
+  auto result = f.fetch(request_with_id("test-1"), sec(2));
+  EXPECT_TRUE(result.connection_failed);
+  auto records = f.agent->fetch_records();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[1].status, 0);
+}
+
+TEST(ProxyTest, RoundRobinAcrossEndpoints) {
+  uint16_t port_a = 0, port_b = 0;
+  auto origin_a = std::make_unique<HttpServer>(
+      [](const Request&) { return httpmsg::make_response(200, "a"); });
+  auto origin_b = std::make_unique<HttpServer>(
+      [](const Request&) { return httpmsg::make_response(200, "b"); });
+  port_a = origin_a->start().value_or(0);
+  port_b = origin_b->start().value_or(0);
+  ASSERT_NE(port_a, 0);
+  ASSERT_NE(port_b, 0);
+
+  GremlinAgentProxy agent("svc", "svc/0");
+  Route route;
+  route.destination = "dual";
+  route.endpoints = {{"127.0.0.1", port_a}, {"127.0.0.1", port_b}};
+  agent.add_route(route);
+  ASSERT_TRUE(agent.start().ok());
+
+  std::string bodies;
+  for (int i = 0; i < 4; ++i) {
+    auto result = HttpClient::fetch("127.0.0.1", agent.route_port("dual"),
+                                    request_with_id("test"));
+    bodies += result.response.body;
+  }
+  agent.stop();
+  origin_a->stop();
+  origin_b->stop();
+  EXPECT_EQ(bodies, "abab");
+}
+
+// ------------------------------------------------------------- control API
+
+TEST(ControlApiTest, RuleLifecycleOverRest) {
+  ProxyFixture f;
+  ControlApiServer api(f.agent.get());
+  auto api_port = api.start();
+  ASSERT_TRUE(api_port.ok());
+
+  // Health.
+  auto health = HttpClient::fetch("127.0.0.1", *api_port,
+                                  request_with_id("", "/gremlin/v1/health"));
+  EXPECT_EQ(health.response.status, 200);
+  auto health_json = Json::parse(health.response.body);
+  ASSERT_TRUE(health_json.ok());
+  EXPECT_EQ((*health_json)["service"].as_string(), "webapp");
+
+  // Install a rule via POST.
+  Request post;
+  post.method = "POST";
+  post.target = "/gremlin/v1/rules";
+  post.body = FaultRule::abort_rule("webapp", "backend", 503, "test-*")
+                  .to_json()
+                  .dump();
+  auto install = HttpClient::fetch("127.0.0.1", *api_port, post);
+  EXPECT_EQ(install.response.status, 200);
+  EXPECT_EQ(f.agent->engine().rule_count(), 1u);
+
+  // It takes effect on the data path.
+  auto aborted = f.fetch(request_with_id("test-1"));
+  EXPECT_EQ(aborted.response.status, 503);
+
+  // List.
+  auto list = HttpClient::fetch("127.0.0.1", *api_port,
+                                request_with_id("", "/gremlin/v1/rules"));
+  auto list_json = Json::parse(list.response.body);
+  ASSERT_TRUE(list_json.ok());
+  EXPECT_EQ(list_json->size(), 1u);
+
+  // Records are visible and clearable.
+  auto recs = HttpClient::fetch("127.0.0.1", *api_port,
+                                request_with_id("", "/gremlin/v1/records"));
+  auto recs_json = Json::parse(recs.response.body);
+  ASSERT_TRUE(recs_json.ok());
+  EXPECT_EQ(recs_json->size(), 2u);
+
+  Request del;
+  del.method = "DELETE";
+  del.target = "/gremlin/v1/rules";
+  auto cleared = HttpClient::fetch("127.0.0.1", *api_port, del);
+  EXPECT_EQ(cleared.response.status, 200);
+  EXPECT_EQ(f.agent->engine().rule_count(), 0u);
+}
+
+TEST(ControlApiTest, RejectsBadInput) {
+  ProxyFixture f;
+  ControlApiServer api(f.agent.get());
+  auto api_port = api.start();
+  ASSERT_TRUE(api_port.ok());
+
+  Request post;
+  post.method = "POST";
+  post.target = "/gremlin/v1/rules";
+  post.body = "{not json";
+  EXPECT_EQ(HttpClient::fetch("127.0.0.1", *api_port, post).response.status,
+            400);
+
+  post.body = R"({"id":"x","source":"a","destination":"b","type":"warp"})";
+  EXPECT_EQ(HttpClient::fetch("127.0.0.1", *api_port, post).response.status,
+            400);
+
+  EXPECT_EQ(HttpClient::fetch("127.0.0.1", *api_port,
+                              request_with_id("", "/nope"))
+                .response.status,
+            404);
+}
+
+TEST(ControlApiTest, RemoteAgentHandleDrivesProxy) {
+  // The SDN picture end-to-end on a real network: the orchestrator programs
+  // a remote agent through its REST API.
+  ProxyFixture f;
+  ControlApiServer api(f.agent.get());
+  auto api_port = api.start();
+  ASSERT_TRUE(api_port.ok());
+
+  topology::Deployment deployment;
+  deployment.add_instance(
+      "webapp", std::make_shared<RemoteAgentHandle>("127.0.0.1", *api_port,
+                                                    "webapp/0"));
+  control::FailureOrchestrator orch(&deployment);
+  ASSERT_TRUE(
+      orch.install({FaultRule::abort_rule("webapp", "backend", 503)}).ok());
+  EXPECT_EQ(f.agent->engine().rule_count(), 1u);
+
+  auto aborted = f.fetch(request_with_id("test-1"));
+  EXPECT_EQ(aborted.response.status, 503);
+
+  logstore::LogStore store;
+  ASSERT_TRUE(orch.collect_logs(&store).ok());
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.get_replies("webapp", "backend")[0].status, 503);
+  // Agent buffers were drained by the collect.
+  auto remaining = f.agent->fetch_records();
+  ASSERT_TRUE(remaining.ok());
+  EXPECT_TRUE(remaining->empty());
+
+  ASSERT_TRUE(orch.clear_rules().ok());
+  EXPECT_EQ(f.agent->engine().rule_count(), 0u);
+
+  auto handle = std::make_shared<RemoteAgentHandle>("127.0.0.1", *api_port,
+                                                    "webapp/0");
+  EXPECT_TRUE(handle->healthy());
+}
+
+}  // namespace
+}  // namespace gremlin::proxy

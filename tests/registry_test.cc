@@ -1,0 +1,160 @@
+// Tests for the service registry: TTL expiry, the HTTP facade, the client,
+// and dynamic endpoint resolution by the real proxy.
+#include <gtest/gtest.h>
+
+#include "httpserver/client.h"
+#include "proxy/agent.h"
+#include "registry/registry.h"
+
+namespace gremlin::registry {
+namespace {
+
+TEST(RegistryTest, RegisterLookupDeregister) {
+  Registry reg(sec(30));
+  const Endpoint ep{"127.0.0.1", 8080};
+  reg.register_instance("svc", ep, sec(0));
+  auto eps = reg.lookup("svc", sec(1));
+  ASSERT_EQ(eps.size(), 1u);
+  EXPECT_EQ(eps[0], ep);
+  EXPECT_TRUE(reg.deregister("svc", ep));
+  EXPECT_FALSE(reg.deregister("svc", ep));
+  EXPECT_TRUE(reg.lookup("svc", sec(1)).empty());
+}
+
+TEST(RegistryTest, TtlExpiryAndHeartbeat) {
+  Registry reg(sec(10));
+  const Endpoint ep{"127.0.0.1", 9000};
+  reg.register_instance("svc", ep, sec(0));
+  EXPECT_EQ(reg.lookup("svc", sec(10)).size(), 1u);   // exactly at TTL: live
+  EXPECT_TRUE(reg.lookup("svc", sec(11)).empty());    // past TTL: expired
+  // A heartbeat (re-register) revives it.
+  reg.register_instance("svc", ep, sec(11));
+  EXPECT_EQ(reg.lookup("svc", sec(20)).size(), 1u);
+}
+
+TEST(RegistryTest, MultipleInstancesAndServices) {
+  Registry reg(kDurationZero);  // no expiry
+  reg.register_instance("a", {"127.0.0.1", 1}, sec(0));
+  reg.register_instance("a", {"127.0.0.1", 2}, sec(0));
+  reg.register_instance("b", {"127.0.0.1", 3}, sec(0));
+  EXPECT_EQ(reg.lookup("a", sec(100)).size(), 2u);
+  EXPECT_EQ(reg.services(sec(100)),
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(RegistryTest, RegisterIsIdempotentPerEndpoint) {
+  Registry reg(sec(30));
+  const Endpoint ep{"127.0.0.1", 1};
+  reg.register_instance("a", ep, sec(0));
+  reg.register_instance("a", ep, sec(1));
+  EXPECT_EQ(reg.lookup("a", sec(2)).size(), 1u);
+}
+
+TEST(RegistryTest, PruneDropsExpired) {
+  Registry reg(sec(5));
+  reg.register_instance("a", {"127.0.0.1", 1}, sec(0));
+  reg.register_instance("a", {"127.0.0.1", 2}, sec(8));
+  reg.prune(sec(10));
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_EQ(reg.lookup("a", sec(10))[0].port, 2);
+}
+
+TEST(RegistryHttpTest, ClientServerRoundTrip) {
+  Registry reg(minutes(5));
+  RegistryServer server(&reg);
+  auto port = server.start();
+  ASSERT_TRUE(port.ok());
+
+  RegistryClient client("127.0.0.1", *port);
+  ASSERT_TRUE(client.register_instance("search", {"127.0.0.1", 4000}).ok());
+  ASSERT_TRUE(client.register_instance("search", {"127.0.0.1", 4001}).ok());
+
+  auto eps = client.lookup("search");
+  ASSERT_TRUE(eps.ok());
+  EXPECT_EQ(eps->size(), 2u);
+
+  auto services = client.services();
+  ASSERT_TRUE(services.ok());
+  EXPECT_EQ(*services, (std::vector<std::string>{"search"}));
+
+  ASSERT_TRUE(client.deregister("search", {"127.0.0.1", 4000}).ok());
+  eps = client.lookup("search");
+  ASSERT_TRUE(eps.ok());
+  EXPECT_EQ(eps->size(), 1u);
+  EXPECT_EQ((*eps)[0].port, 4001);
+}
+
+TEST(RegistryHttpTest, RejectsBadRequests) {
+  Registry reg;
+  RegistryServer server(&reg);
+  auto port = server.start();
+  ASSERT_TRUE(port.ok());
+
+  httpmsg::Request bad;
+  bad.method = "PUT";
+  bad.target = "/registry/v1/services/x";
+  bad.body = "{\"host\": \"h\"}";  // missing port
+  auto result = httpserver::HttpClient::fetch("127.0.0.1", *port, bad);
+  EXPECT_EQ(result.response.status, 400);
+
+  httpmsg::Request unknown;
+  unknown.target = "/other";
+  EXPECT_EQ(httpserver::HttpClient::fetch("127.0.0.1", *port, unknown)
+                .response.status,
+            404);
+}
+
+TEST(RegistryHttpTest, ProxyResolvesEndpointsDynamically) {
+  // Origin server registers itself; the agent's route has no static
+  // endpoints and resolves through the registry per request.
+  httpserver::HttpServer origin([](const httpmsg::Request&) {
+    return httpmsg::make_response(200, "dynamic!");
+  });
+  auto origin_port = origin.start();
+  ASSERT_TRUE(origin_port.ok());
+
+  Registry reg(minutes(5));
+  RegistryServer reg_server(&reg);
+  auto reg_port = reg_server.start();
+  ASSERT_TRUE(reg_port.ok());
+  RegistryClient reg_client("127.0.0.1", *reg_port);
+  ASSERT_TRUE(
+      reg_client.register_instance("backend", {"127.0.0.1", *origin_port})
+          .ok());
+
+  proxy::GremlinAgentProxy agent("webapp", "webapp/0");
+  proxy::Route route;
+  route.destination = "backend";  // no endpoints: dynamic
+  agent.add_route(route);
+  agent.set_endpoint_resolver(
+      [&reg_client](const std::string& dst) -> std::vector<proxy::Upstream> {
+        auto eps = reg_client.lookup(dst);
+        std::vector<proxy::Upstream> out;
+        if (eps.ok()) {
+          for (const auto& ep : *eps) out.push_back({ep.host, ep.port});
+        }
+        return out;
+      });
+  ASSERT_TRUE(agent.start().ok());
+
+  httpmsg::Request req;
+  req.headers.set(httpmsg::kRequestIdHeader, "test-1");
+  auto result = httpserver::HttpClient::fetch(
+      "127.0.0.1", agent.route_port("backend"), req);
+  EXPECT_FALSE(result.failed());
+  EXPECT_EQ(result.response.body, "dynamic!");
+
+  // Deregister: the next resolution finds nothing and the proxy 502s.
+  ASSERT_TRUE(
+      reg_client.deregister("backend", {"127.0.0.1", *origin_port}).ok());
+  auto gone = httpserver::HttpClient::fetch(
+      "127.0.0.1", agent.route_port("backend"), req);
+  EXPECT_EQ(gone.response.status, 502);
+
+  agent.stop();
+  origin.stop();
+}
+
+}  // namespace
+}  // namespace gremlin::registry

@@ -1,0 +1,112 @@
+// Tests for test-report generation: JSON structure, markdown rendering,
+// and failure diagnoses extracted from traces.
+#include <gtest/gtest.h>
+
+#include "report/report.h"
+
+namespace gremlin::report {
+namespace {
+
+using control::FailureSpec;
+using control::TestSession;
+using sim::ServiceConfig;
+using sim::Simulation;
+
+struct ReportFixture {
+  Simulation sim;
+  topology::AppGraph graph;
+  std::unique_ptr<TestSession> session;
+
+  ReportFixture() {
+    ServiceConfig backend;
+    backend.name = "backend";
+    sim.add_service(backend);
+    ServiceConfig frontend;
+    frontend.name = "frontend";
+    frontend.dependencies = {"backend"};
+    sim.add_service(frontend);
+    graph.add_edge("user", "frontend");
+    graph.add_edge("frontend", "backend");
+    session = std::make_unique<TestSession>(&sim, graph);
+  }
+};
+
+TEST(ReportTest, HealthyRunPasses) {
+  ReportFixture f;
+  f.session->run_load("user", "frontend", 10);
+  ASSERT_TRUE(f.session->collect().ok());
+  f.session->check(f.session->checker().has_timeouts("frontend", sec(1)));
+
+  const TestReport report = build_report(f.session.get(), "healthy run");
+  EXPECT_TRUE(report.passed());
+  EXPECT_EQ(report.checks.size(), 1u);
+  EXPECT_EQ(report.checks_passed, 1u);
+  EXPECT_EQ(report.flows_observed, 10u);
+  EXPECT_EQ(report.flows_failed, 0u);
+  EXPECT_TRUE(report.diagnoses.empty());
+}
+
+TEST(ReportTest, FailedRunCarriesDiagnoses) {
+  ReportFixture f;
+  ASSERT_TRUE(f.session->apply(FailureSpec::crash("backend")).ok());
+  f.session->run_load("user", "frontend", 10);
+  ASSERT_TRUE(f.session->collect().ok());
+  f.session->check(f.session->checker().has_circuit_breaker(
+      "frontend", "backend", 5, sec(1), 1));
+
+  const TestReport report =
+      build_report(f.session.get(), "crash test", /*max_diagnoses=*/3);
+  EXPECT_FALSE(report.passed());
+  EXPECT_EQ(report.flows_failed, 10u);
+  ASSERT_EQ(report.diagnoses.size(), 3u);  // capped
+  const FailureDiagnosis& d = report.diagnoses[0];
+  EXPECT_EQ(d.origin_edge, "frontend -> backend");
+  EXPECT_NE(d.origin_fault.find("abort"), std::string::npos);
+  EXPECT_NE(d.rendered.find("frontend -> backend"), std::string::npos);
+}
+
+TEST(ReportTest, JsonShape) {
+  ReportFixture f;
+  ASSERT_TRUE(f.session->apply(FailureSpec::crash("backend")).ok());
+  f.session->run_load("user", "frontend", 5);
+  ASSERT_TRUE(f.session->collect().ok());
+  f.session->check(f.session->checker().has_timeouts("frontend", sec(1)));
+
+  const Json j = build_report(f.session.get(), "json test").to_json();
+  EXPECT_EQ(j["title"].as_string(), "json test");
+  EXPECT_EQ(j["seed"].as_int(), 42);
+  EXPECT_TRUE(j["checks"].is_array());
+  EXPECT_EQ(j["checks"].size(), 1u);
+  EXPECT_EQ(j["flows_observed"].as_int(), 5);
+  EXPECT_EQ(j["flows_failed"].as_int(), 5);
+  EXPECT_TRUE(j["diagnoses"].is_array());
+  // The JSON must reparse cleanly.
+  auto round = Json::parse(j.dump(2));
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round.value(), j);
+}
+
+TEST(ReportTest, MarkdownRendersSections) {
+  ReportFixture f;
+  ASSERT_TRUE(f.session->apply(FailureSpec::crash("backend")).ok());
+  // 20 requests: traffic continues past the 5th consecutive failure, so
+  // the missing breaker genuinely fails its check.
+  f.session->run_load("user", "frontend", 20);
+  ASSERT_TRUE(f.session->collect().ok());
+  f.session->check(f.session->checker().has_timeouts("frontend", sec(1)));
+  f.session->check(f.session->checker().has_circuit_breaker(
+      "frontend", "backend", 5, sec(1), 1));
+
+  const std::string md =
+      build_report(f.session.get(), "md test").to_markdown();
+  EXPECT_NE(md.find("# Gremlin test report — md test"), std::string::npos);
+  EXPECT_NE(md.find("**Result: FAIL**"), std::string::npos);
+  EXPECT_NE(md.find("## Assertions"), std::string::npos);
+  EXPECT_NE(md.find("## Failed flows"), std::string::npos);
+  EXPECT_NE(md.find("HasCircuitBreaker"), std::string::npos);
+  EXPECT_NE(md.find("failure originated at `frontend -> backend`"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace gremlin::report

@@ -1,0 +1,204 @@
+// Unit tests for the resiliency patterns of Section 2.1: retry schedules,
+// the circuit-breaker state machine, and bulkheads.
+#include <gtest/gtest.h>
+
+#include "resilience/bulkhead.h"
+#include "resilience/circuit_breaker.h"
+#include "resilience/policy.h"
+#include "resilience/retry.h"
+
+namespace gremlin::resilience {
+namespace {
+
+// ------------------------------------------------------------------ retry
+
+TEST(RetryPolicyTest, ExponentialSchedule) {
+  RetryPolicy p;
+  p.max_retries = 4;
+  p.base_backoff = msec(10);
+  p.multiplier = 2.0;
+  p.max_backoff = sec(10);
+  EXPECT_EQ(p.backoff_before(1), msec(10));
+  EXPECT_EQ(p.backoff_before(2), msec(20));
+  EXPECT_EQ(p.backoff_before(3), msec(40));
+  EXPECT_EQ(p.backoff_before(4), msec(80));
+  EXPECT_EQ(p.backoff_before(0), kDurationZero);
+}
+
+TEST(RetryPolicyTest, BackoffCapped) {
+  RetryPolicy p;
+  p.base_backoff = sec(1);
+  p.multiplier = 10.0;
+  p.max_backoff = sec(5);
+  EXPECT_EQ(p.backoff_before(1), sec(1));
+  EXPECT_EQ(p.backoff_before(2), sec(5));
+  EXPECT_EQ(p.backoff_before(3), sec(5));
+}
+
+TEST(RetryPolicyTest, ConstantBackoffWithUnitMultiplier) {
+  RetryPolicy p;
+  p.base_backoff = msec(5);
+  p.multiplier = 1.0;
+  for (int i = 1; i <= 10; ++i) {
+    EXPECT_EQ(p.backoff_before(i), msec(5)) << i;
+  }
+}
+
+TEST(RetryPolicyTest, TotalAttempts) {
+  RetryPolicy p;
+  p.max_retries = 3;
+  EXPECT_EQ(p.total_attempts(), 4);
+  p.max_retries = 0;
+  EXPECT_EQ(p.total_attempts(), 1);
+}
+
+// --------------------------------------------------------- circuit breaker
+
+TEST(CircuitBreakerTest, TripsAfterThresholdConsecutiveFailures) {
+  CircuitBreaker cb({3, sec(10), 1});
+  const TimePoint t0 = sec(0);
+  EXPECT_TRUE(cb.allow_request(t0));
+  cb.record_failure(t0);
+  cb.record_failure(t0);
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kClosed);
+  cb.record_failure(t0);
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(cb.allow_request(t0 + sec(5)));
+  EXPECT_EQ(cb.times_opened(), 1);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsFailureCount) {
+  CircuitBreaker cb({3, sec(10), 1});
+  cb.record_failure(sec(0));
+  cb.record_failure(sec(0));
+  cb.record_success(sec(0));
+  cb.record_failure(sec(0));
+  cb.record_failure(sec(0));
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kClosed);
+  cb.record_failure(sec(0));
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kOpen);
+}
+
+TEST(CircuitBreakerTest, HalfOpenAfterInterval) {
+  CircuitBreaker cb({1, sec(10), 1});
+  cb.record_failure(sec(0));
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(cb.allow_request(sec(9)));
+  EXPECT_TRUE(cb.allow_request(sec(10)));  // exactly the interval
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kHalfOpen);
+}
+
+TEST(CircuitBreakerTest, HalfOpenSuccessCloses) {
+  CircuitBreaker cb({1, sec(10), 2});
+  cb.record_failure(sec(0));
+  ASSERT_TRUE(cb.allow_request(sec(10)));
+  cb.record_success(sec(10));
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kHalfOpen);  // needs 2
+  cb.record_success(sec(11));
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, HalfOpenFailureReopens) {
+  CircuitBreaker cb({1, sec(10), 1});
+  cb.record_failure(sec(0));
+  ASSERT_TRUE(cb.allow_request(sec(10)));
+  cb.record_failure(sec(10));
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(cb.allow_request(sec(19)));
+  EXPECT_TRUE(cb.allow_request(sec(20)));
+  EXPECT_EQ(cb.times_opened(), 2);
+}
+
+TEST(CircuitBreakerTest, ToStringNames) {
+  EXPECT_STREQ(to_string(CircuitBreaker::State::kClosed), "closed");
+  EXPECT_STREQ(to_string(CircuitBreaker::State::kOpen), "open");
+  EXPECT_STREQ(to_string(CircuitBreaker::State::kHalfOpen), "half-open");
+}
+
+// Property sweep: for any threshold T, exactly T consecutive failures trip
+// the breaker, and fewer never do.
+class BreakerThresholdTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BreakerThresholdTest, ExactlyThresholdFailuresTrip) {
+  const int threshold = GetParam();
+  CircuitBreaker cb({threshold, sec(1), 1});
+  for (int i = 0; i < threshold - 1; ++i) {
+    cb.record_failure(sec(0));
+    EXPECT_EQ(cb.state(), CircuitBreaker::State::kClosed) << i;
+  }
+  cb.record_failure(sec(0));
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kOpen);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, BreakerThresholdTest,
+                         ::testing::Values(1, 2, 3, 5, 10, 100));
+
+// ---------------------------------------------------------------- bulkhead
+
+TEST(BulkheadTest, LimitsConcurrency) {
+  Bulkhead bh(2);
+  EXPECT_TRUE(bh.enabled());
+  EXPECT_TRUE(bh.try_acquire());
+  EXPECT_TRUE(bh.try_acquire());
+  EXPECT_FALSE(bh.try_acquire());
+  EXPECT_EQ(bh.in_flight(), 2);
+  EXPECT_EQ(bh.rejected(), 1u);
+  bh.release();
+  EXPECT_TRUE(bh.try_acquire());
+}
+
+TEST(BulkheadTest, UnboundedWhenDisabled) {
+  Bulkhead bh(0);
+  EXPECT_FALSE(bh.enabled());
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(bh.try_acquire());
+}
+
+TEST(BulkheadTest, ReleaseNeverUnderflows) {
+  Bulkhead bh(1);
+  bh.release();
+  EXPECT_EQ(bh.in_flight(), 0);
+  EXPECT_TRUE(bh.try_acquire());
+}
+
+TEST(BulkheadPermitTest, RaiiReleases) {
+  Bulkhead bh(1);
+  {
+    BulkheadPermit permit(&bh);
+    EXPECT_TRUE(permit.acquired());
+    EXPECT_EQ(bh.in_flight(), 1);
+    BulkheadPermit second(&bh);
+    EXPECT_FALSE(second.acquired());
+  }
+  EXPECT_EQ(bh.in_flight(), 0);
+}
+
+TEST(BulkheadPermitTest, NullAndDisabledAlwaysAcquire) {
+  BulkheadPermit null_permit(nullptr);
+  EXPECT_TRUE(null_permit.acquired());
+  Bulkhead disabled(0);
+  BulkheadPermit permit(&disabled);
+  EXPECT_TRUE(permit.acquired());
+}
+
+// ------------------------------------------------------------------ policy
+
+TEST(CallPolicyTest, NaiveHasNoPatterns) {
+  const CallPolicy p = CallPolicy::naive();
+  EXPECT_FALSE(p.has_timeout());
+  EXPECT_FALSE(p.has_retries());
+  EXPECT_FALSE(p.has_circuit_breaker());
+  EXPECT_FALSE(p.has_bulkhead());
+  EXPECT_FALSE(p.fallback.has_value());
+}
+
+TEST(CallPolicyTest, ResilientHasAllPatterns) {
+  const CallPolicy p = CallPolicy::resilient();
+  EXPECT_TRUE(p.has_timeout());
+  EXPECT_TRUE(p.has_retries());
+  EXPECT_TRUE(p.has_circuit_breaker());
+  EXPECT_TRUE(p.has_bulkhead());
+  EXPECT_TRUE(p.fallback.has_value());
+}
+
+}  // namespace
+}  // namespace gremlin::resilience

@@ -1,0 +1,168 @@
+// Unit tests for the logical application graph and the physical deployment.
+#include <gtest/gtest.h>
+
+#include "topology/deployment.h"
+#include "topology/graph.h"
+
+namespace gremlin::topology {
+namespace {
+
+TEST(AppGraphTest, EdgesAndLookups) {
+  AppGraph g;
+  g.add_edge("a", "b");
+  g.add_edge("a", "c");
+  g.add_edge("b", "d");
+  EXPECT_TRUE(g.has_service("a"));
+  EXPECT_TRUE(g.has_service("d"));
+  EXPECT_FALSE(g.has_service("z"));
+  EXPECT_TRUE(g.has_edge("a", "b"));
+  EXPECT_FALSE(g.has_edge("b", "a"));
+  EXPECT_EQ(g.service_count(), 4u);
+  EXPECT_EQ(g.edge_count(), 3u);
+}
+
+TEST(AppGraphTest, DependentsAndDependencies) {
+  AppGraph g;
+  g.add_edge("a", "b");
+  g.add_edge("c", "b");
+  g.add_edge("b", "d");
+  EXPECT_EQ(g.dependents("b"), (std::vector<std::string>{"a", "c"}));
+  EXPECT_EQ(g.dependencies("b"), (std::vector<std::string>{"d"}));
+  EXPECT_TRUE(g.dependents("a").empty());
+  EXPECT_TRUE(g.dependencies("d").empty());
+  EXPECT_TRUE(g.dependents("missing").empty());
+}
+
+TEST(AppGraphTest, AddEdgeIdempotent) {
+  AppGraph g;
+  g.add_edge("a", "b");
+  g.add_edge("a", "b");
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(AppGraphTest, EntryPoints) {
+  AppGraph g;
+  g.add_edge("user", "frontend");
+  g.add_edge("frontend", "db");
+  g.add_service("lonely");
+  auto entries = g.entry_points();
+  EXPECT_EQ(entries, (std::vector<std::string>{"lonely", "user"}));
+}
+
+TEST(AppGraphTest, CutCrossingEdgesBothDirections) {
+  AppGraph g;
+  g.add_edge("a", "b");
+  g.add_edge("b", "c");
+  g.add_edge("c", "a");  // cycle is fine for cut computation
+  g.add_edge("b", "d");
+  const auto cut = g.cut({"a", "b"});
+  // Crossing: b->c, c->a, b->d.
+  EXPECT_EQ(cut.size(), 3u);
+  EXPECT_TRUE(std::count(cut.begin(), cut.end(), Edge{"b", "c"}));
+  EXPECT_TRUE(std::count(cut.begin(), cut.end(), Edge{"c", "a"}));
+  EXPECT_TRUE(std::count(cut.begin(), cut.end(), Edge{"b", "d"}));
+}
+
+TEST(AppGraphTest, CutOfEmptyGroupIsEmpty) {
+  AppGraph g;
+  g.add_edge("a", "b");
+  EXPECT_TRUE(g.cut({}).empty());
+  EXPECT_TRUE(g.cut({"a", "b"}).empty());
+}
+
+TEST(AppGraphTest, AcyclicValidation) {
+  AppGraph dag;
+  dag.add_edge("a", "b");
+  dag.add_edge("b", "c");
+  dag.add_edge("a", "c");
+  EXPECT_TRUE(dag.validate_acyclic().ok());
+
+  AppGraph cyclic = dag;
+  cyclic.add_edge("c", "a");
+  EXPECT_FALSE(cyclic.validate_acyclic().ok());
+
+  AppGraph self_loop;
+  self_loop.add_edge("a", "a");
+  EXPECT_FALSE(self_loop.validate_acyclic().ok());
+}
+
+class BinaryTreeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BinaryTreeTest, ShapeIsCorrect) {
+  const int depth = GetParam();
+  const AppGraph g = AppGraph::binary_tree(depth);
+  const size_t expected = (1u << depth) - 1;
+  EXPECT_EQ(g.service_count(), expected);
+  EXPECT_EQ(g.edge_count(), expected - 1);
+  EXPECT_TRUE(g.validate_acyclic().ok());
+  // Root has no callers; every other node has exactly one.
+  EXPECT_TRUE(g.dependents("svc0").empty());
+  for (size_t i = 1; i < expected; ++i) {
+    EXPECT_EQ(g.dependents("svc" + std::to_string(i)).size(), 1u) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, BinaryTreeTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(AppGraphTest, Chain) {
+  const AppGraph g = AppGraph::chain(4);
+  EXPECT_EQ(g.service_count(), 4u);
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_TRUE(g.has_edge("s0", "s1"));
+  EXPECT_TRUE(g.has_edge("s2", "s3"));
+  EXPECT_EQ(AppGraph::chain(0).service_count(), 0u);
+  EXPECT_EQ(AppGraph::chain(1).service_count(), 1u);
+}
+
+// ------------------------------------------------------------- deployment
+
+class FakeAgent : public AgentHandle {
+ public:
+  explicit FakeAgent(std::string id) : id_(std::move(id)) {}
+  std::string instance_id() const override { return id_; }
+  VoidResult install_rules(const std::vector<faults::FaultRule>& rules)
+      override {
+    installed += rules.size();
+    return VoidResult::success();
+  }
+  VoidResult clear_rules() override {
+    installed = 0;
+    return VoidResult::success();
+  }
+  VoidResult remove_rules(const std::vector<std::string>& ids) override {
+    installed -= std::min(installed, ids.size());
+    return VoidResult::success();
+  }
+  Result<logstore::RecordList> fetch_records() override {
+    return logstore::RecordList{};
+  }
+  VoidResult clear_records() override { return VoidResult::success(); }
+
+  size_t installed = 0;
+
+ private:
+  std::string id_;
+};
+
+TEST(DeploymentTest, TracksInstancesPerService) {
+  Deployment d;
+  auto a0 = std::make_shared<FakeAgent>("a/0");
+  auto a1 = std::make_shared<FakeAgent>("a/1");
+  auto b0 = std::make_shared<FakeAgent>("b/0");
+  d.add_instance("a", a0);
+  d.add_instance("a", a1);
+  d.add_instance("b", b0);
+
+  EXPECT_EQ(d.instance_count(), 3u);
+  EXPECT_EQ(d.instances("a").size(), 2u);
+  EXPECT_EQ(d.instances("b").size(), 1u);
+  EXPECT_TRUE(d.instances("c").empty());
+  EXPECT_TRUE(d.has_service("a"));
+  EXPECT_FALSE(d.has_service("c"));
+  EXPECT_EQ(d.services(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(d.all_agents().size(), 3u);
+}
+
+}  // namespace
+}  // namespace gremlin::topology

@@ -1,0 +1,199 @@
+// Tests for flow-trace reconstruction: span pairing, parent/child nesting,
+// failure chains, and end-to-end traces built from simulator logs.
+#include <gtest/gtest.h>
+
+#include "control/recipe.h"
+#include "trace/trace.h"
+
+namespace gremlin::trace {
+namespace {
+
+using logstore::FaultKind;
+using logstore::LogRecord;
+using logstore::MessageKind;
+
+LogRecord rec(int64_t ts_ms, const std::string& id, const std::string& src,
+              const std::string& dst, MessageKind kind, int status = 200) {
+  LogRecord r;
+  r.timestamp = msec(ts_ms);
+  r.request_id = id;
+  r.src = src;
+  r.dst = dst;
+  r.kind = kind;
+  r.status = status;
+  r.uri = "/";
+  return r;
+}
+
+TEST(TraceTest, PairsRequestWithResponse) {
+  logstore::RecordList records = {
+      rec(0, "t", "user", "a", MessageKind::kRequest),
+      rec(10, "t", "user", "a", MessageKind::kResponse, 200),
+  };
+  const FlowTrace t = build_trace(records, "t");
+  ASSERT_EQ(t.spans.size(), 1u);
+  EXPECT_EQ(t.spans[0].src, "user");
+  EXPECT_EQ(t.spans[0].dst, "a");
+  EXPECT_EQ(t.spans[0].duration(), msec(10));
+  EXPECT_EQ(t.spans[0].status, 200);
+  EXPECT_FALSE(t.spans[0].failed());
+  EXPECT_EQ(t.roots, (std::vector<size_t>{0}));
+}
+
+TEST(TraceTest, NestsByTimeContainment) {
+  logstore::RecordList records = {
+      rec(0, "t", "user", "a", MessageKind::kRequest),
+      rec(2, "t", "a", "b", MessageKind::kRequest),
+      rec(4, "t", "b", "c", MessageKind::kRequest),
+      rec(6, "t", "b", "c", MessageKind::kResponse),
+      rec(8, "t", "a", "b", MessageKind::kResponse),
+      rec(10, "t", "user", "a", MessageKind::kResponse),
+  };
+  const FlowTrace t = build_trace(records, "t");
+  ASSERT_EQ(t.spans.size(), 3u);
+  EXPECT_EQ(t.roots.size(), 1u);
+  const Span& root = t.spans[t.roots[0]];
+  EXPECT_EQ(root.dst, "a");
+  ASSERT_EQ(root.children.size(), 1u);
+  const Span& mid = t.spans[root.children[0]];
+  EXPECT_EQ(mid.dst, "b");
+  ASSERT_EQ(mid.children.size(), 1u);
+  EXPECT_EQ(t.spans[mid.children[0]].dst, "c");
+  EXPECT_EQ(t.total_duration(), msec(10));
+}
+
+TEST(TraceTest, RetriesBecomeSiblingSpans) {
+  logstore::RecordList records = {
+      rec(0, "t", "user", "a", MessageKind::kRequest),
+      rec(1, "t", "a", "b", MessageKind::kRequest),
+      rec(2, "t", "a", "b", MessageKind::kResponse, 503),
+      rec(3, "t", "a", "b", MessageKind::kRequest),   // retry
+      rec(4, "t", "a", "b", MessageKind::kResponse, 200),
+      rec(5, "t", "user", "a", MessageKind::kResponse, 200),
+  };
+  const FlowTrace t = build_trace(records, "t");
+  ASSERT_EQ(t.spans.size(), 3u);
+  const Span& root = t.spans[t.roots[0]];
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(t.spans[root.children[0]].status, 503);
+  EXPECT_EQ(t.spans[root.children[1]].status, 200);
+  EXPECT_EQ(t.failed_spans(), 1u);
+}
+
+TEST(TraceTest, UnansweredSpanIsFailed) {
+  logstore::RecordList records = {
+      rec(0, "t", "user", "a", MessageKind::kRequest),
+  };
+  const FlowTrace t = build_trace(records, "t");
+  ASSERT_EQ(t.spans.size(), 1u);
+  EXPECT_TRUE(t.spans[0].failed());
+  EXPECT_EQ(t.spans[0].duration(), kDurationZero);
+}
+
+TEST(TraceTest, FailureChainPointsAtOrigin) {
+  // user->a ok request, a->b fails, b->c fails (the origin).
+  logstore::RecordList records = {
+      rec(0, "t", "user", "a", MessageKind::kRequest),
+      rec(1, "t", "a", "b", MessageKind::kRequest),
+      rec(2, "t", "b", "c", MessageKind::kRequest),
+      rec(3, "t", "b", "c", MessageKind::kResponse, 0),    // reset at origin
+      rec(4, "t", "a", "b", MessageKind::kResponse, 500),  // propagates
+      rec(5, "t", "user", "a", MessageKind::kResponse, 500),
+  };
+  const FlowTrace t = build_trace(records, "t");
+  const auto chain = t.failure_chain();
+  ASSERT_EQ(chain.size(), 3u);
+  EXPECT_EQ(t.spans[chain.front()].dst, "a");  // root of the chain
+  EXPECT_EQ(t.spans[chain.back()].dst, "c");   // deepest failure (origin)
+}
+
+TEST(TraceTest, FailureChainEmptyWhenHealthy) {
+  logstore::RecordList records = {
+      rec(0, "t", "user", "a", MessageKind::kRequest),
+      rec(1, "t", "user", "a", MessageKind::kResponse, 200),
+  };
+  EXPECT_TRUE(build_trace(records, "t").failure_chain().empty());
+}
+
+TEST(TraceTest, BuildTracesSplitsByRequestId) {
+  logstore::RecordList records = {
+      rec(0, "t1", "user", "a", MessageKind::kRequest),
+      rec(1, "t2", "user", "a", MessageKind::kRequest),
+      rec(2, "t1", "user", "a", MessageKind::kResponse),
+      rec(3, "t2", "user", "a", MessageKind::kResponse),
+  };
+  const auto traces = build_traces(records);
+  ASSERT_EQ(traces.size(), 2u);
+  EXPECT_EQ(traces[0].request_id, "t1");
+  EXPECT_EQ(traces[1].request_id, "t2");
+  EXPECT_EQ(traces[0].spans.size(), 1u);
+  EXPECT_EQ(traces[1].spans.size(), 1u);
+}
+
+TEST(TraceTest, FaultAnnotationsCarried) {
+  LogRecord req = rec(0, "t", "a", "b", MessageKind::kRequest);
+  req.fault = FaultKind::kDelay;
+  req.rule_id = "delay-7";
+  req.injected_delay = msec(100);
+  LogRecord resp = rec(105, "t", "a", "b", MessageKind::kResponse, 200);
+  resp.fault = FaultKind::kDelay;
+  resp.rule_id = "delay-7";
+  resp.injected_delay = msec(100);
+  const FlowTrace t = build_trace({req, resp}, "t");
+  ASSERT_EQ(t.spans.size(), 1u);
+  EXPECT_EQ(t.spans[0].fault, FaultKind::kDelay);
+  EXPECT_EQ(t.spans[0].rule_id, "delay-7");
+  EXPECT_EQ(t.spans[0].injected_delay, msec(100));
+}
+
+TEST(TraceTest, FormatTreeRendersEveryEdge) {
+  logstore::RecordList records = {
+      rec(0, "t", "user", "a", MessageKind::kRequest),
+      rec(2, "t", "a", "b", MessageKind::kRequest),
+      rec(8, "t", "a", "b", MessageKind::kResponse, 503),
+      rec(10, "t", "user", "a", MessageKind::kResponse, 500),
+  };
+  const std::string tree = build_trace(records, "t").format_tree();
+  EXPECT_NE(tree.find("user -> a"), std::string::npos);
+  EXPECT_NE(tree.find("a -> b"), std::string::npos);
+  EXPECT_NE(tree.find("503"), std::string::npos);
+  // Both spans failed: the 503 on a->b and the propagated 500 on user->a.
+  EXPECT_NE(tree.find("2 failed"), std::string::npos);
+}
+
+TEST(TraceTest, EndToEndFromSimulatorLogs) {
+  // Build a 3-hop chain in the simulator, crash the leaf, and reconstruct
+  // the cascade from the collected logs.
+  sim::Simulation sim;
+  sim::ServiceConfig c;
+  c.name = "c";
+  sim.add_service(c);
+  sim::ServiceConfig b;
+  b.name = "b";
+  b.dependencies = {"c"};
+  sim.add_service(b);
+  sim::ServiceConfig a;
+  a.name = "a";
+  a.dependencies = {"b"};
+  sim.add_service(a);
+  topology::AppGraph graph;
+  graph.add_edge("user", "a");
+  graph.add_edge("a", "b");
+  graph.add_edge("b", "c");
+
+  control::TestSession session(&sim, graph);
+  ASSERT_TRUE(session.apply(control::FailureSpec::crash("c")).ok());
+  session.run_load("user", "a", 1);
+  ASSERT_TRUE(session.collect().ok());
+
+  const FlowTrace t = build_trace(sim.log_store().all(), "test-0");
+  ASSERT_EQ(t.spans.size(), 3u);
+  const auto chain = t.failure_chain();
+  ASSERT_EQ(chain.size(), 3u);
+  EXPECT_EQ(t.spans[chain.back()].dst, "c");
+  EXPECT_EQ(t.spans[chain.back()].fault, FaultKind::kAbort);
+  EXPECT_EQ(t.spans[chain.back()].status, 0);  // TCP reset at the origin
+}
+
+}  // namespace
+}  // namespace gremlin::trace

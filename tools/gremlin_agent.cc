@@ -1,0 +1,135 @@
+// gremlin-agent — a standalone sidecar Gremlin agent.
+//
+// Runs the real-network data plane as its own process, configured by a
+// JSON file matching the paper's sidecar deployment model (Section 6):
+//
+//   {
+//     "service": "webapp",
+//     "instance": "webapp/0",
+//     "control_port": 9090,
+//     "registry": {"host": "127.0.0.1", "port": 8500},   // optional
+//     "routes": [
+//       {"destination": "backend",
+//        "listen_port": 7001,
+//        "endpoints": [{"host": "127.0.0.1", "port": 8080}]},
+//       {"destination": "search", "listen_port": 7002}   // via registry
+//     ]
+//   }
+//
+// The control plane programs the agent through its REST API
+// (/gremlin/v1/rules, /gremlin/v1/records). Runs until SIGINT/SIGTERM.
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <thread>
+
+#include "proxy/control_api.h"
+#include "registry/registry.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) { g_stop = true; }
+
+using namespace gremlin;  // NOLINT
+
+Result<Json> load_config(const char* path) {
+  std::ifstream file(path);
+  if (!file) return Error::io(std::string("cannot open ") + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return Json::parse(buffer.str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: gremlin-agent <config.json>\n");
+    return 2;
+  }
+  auto config = load_config(argv[1]);
+  if (!config.ok()) {
+    std::fprintf(stderr, "config error: %s\n",
+                 config.error().message.c_str());
+    return 2;
+  }
+  const Json& cfg = config.value();
+  const std::string service = cfg["service"].as_string();
+  if (service.empty()) {
+    std::fprintf(stderr, "config error: 'service' is required\n");
+    return 2;
+  }
+  const std::string instance =
+      cfg.contains("instance") ? cfg["instance"].as_string() : service + "/0";
+
+  proxy::GremlinAgentProxy agent(service, instance);
+
+  std::unique_ptr<registry::RegistryClient> registry_client;
+  if (cfg.contains("registry")) {
+    registry_client = std::make_unique<registry::RegistryClient>(
+        cfg["registry"]["host"].as_string(),
+        static_cast<uint16_t>(cfg["registry"]["port"].as_int()));
+    agent.set_endpoint_resolver(
+        [&registry_client](
+            const std::string& dst) -> std::vector<proxy::Upstream> {
+          auto eps = registry_client->lookup(dst);
+          std::vector<proxy::Upstream> out;
+          if (eps.ok()) {
+            for (const auto& ep : *eps) out.push_back({ep.host, ep.port});
+          }
+          return out;
+        });
+  }
+
+  for (const Json& route_json : cfg["routes"].as_array()) {
+    proxy::Route route;
+    route.destination = route_json["destination"].as_string();
+    route.listen_port =
+        static_cast<uint16_t>(route_json["listen_port"].as_int());
+    for (const Json& ep : route_json["endpoints"].as_array()) {
+      route.endpoints.push_back(
+          {ep["host"].as_string().empty() ? "127.0.0.1"
+                                          : ep["host"].as_string(),
+           static_cast<uint16_t>(ep["port"].as_int())});
+    }
+    agent.add_route(route);
+  }
+
+  auto started = agent.start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "agent start failed: %s\n",
+                 started.error().message.c_str());
+    return 1;
+  }
+  proxy::ControlApiServer api(&agent);
+  auto api_port = api.start(
+      static_cast<uint16_t>(cfg["control_port"].as_int(0)));
+  if (!api_port.ok()) {
+    std::fprintf(stderr, "control API start failed: %s\n",
+                 api_port.error().message.c_str());
+    return 1;
+  }
+
+  std::printf("gremlin-agent %s (%s)\n", instance.c_str(), service.c_str());
+  for (const Json& route_json : cfg["routes"].as_array()) {
+    const std::string dst = route_json["destination"].as_string();
+    std::printf("  route %-20s 127.0.0.1:%u\n", dst.c_str(),
+                agent.route_port(dst));
+  }
+  std::printf("  control API          127.0.0.1:%u\n", *api_port);
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("shutting down\n");
+  api.stop();
+  agent.stop();
+  return 0;
+}

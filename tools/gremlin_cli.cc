@@ -1,0 +1,171 @@
+// gremlin — the command-line recipe runner.
+//
+// Usage:
+//   gremlin run <recipe-file> [--seed N] [--trace] [--report out.json]
+//   gremlin check <recipe-file>          # parse only, print structure
+//
+// `run` executes the recipe against an auto-built simulated deployment
+// (services declared in the recipe's graph get the default handler; drive
+// real deployments with the library API instead). With --trace, the flow
+// trace of every failed test request is printed — the "why did it fail"
+// feedback loop of Section 1.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "dsl/interp.h"
+#include "dsl/parser.h"
+#include "report/report.h"
+#include "trace/trace.h"
+
+namespace {
+
+using namespace gremlin;  // NOLINT
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  gremlin run <recipe-file> [--seed N] [--trace]\n"
+               "  gremlin check <recipe-file>\n");
+  return 2;
+}
+
+std::string read_file(const char* path, bool* ok) {
+  std::ifstream file(path);
+  if (!file) {
+    *ok = false;
+    return {};
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  *ok = true;
+  return buffer.str();
+}
+
+int cmd_check(const std::string& source) {
+  auto file = dsl::parse(source);
+  if (!file.ok()) {
+    std::fprintf(stderr, "parse error: %s\n", file.error().message.c_str());
+    return 1;
+  }
+  std::printf("%s", file->summary().c_str());
+  auto acyclic = file->graph.validate_acyclic();
+  if (!acyclic.ok()) {
+    std::printf("warning: %s\n", acyclic.error().message.c_str());
+  }
+  std::printf("recipe OK\n");
+  return 0;
+}
+
+int cmd_run(const std::string& source, uint64_t seed, bool with_traces,
+            const std::string& report_path) {
+  auto file = dsl::parse(source);
+  if (!file.ok()) {
+    std::fprintf(stderr, "parse error: %s\n", file.error().message.c_str());
+    return 1;
+  }
+  sim::SimulationConfig cfg;
+  cfg.seed = seed;
+  sim::Simulation sim(cfg);
+  dsl::Interpreter interp(&sim);
+  auto outcome = interp.run(file.value());
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "recipe error: %s\n",
+                 outcome.error().message.c_str());
+    return 1;
+  }
+  std::printf("%s", outcome->report().c_str());
+
+  if (with_traces) {
+    std::printf("\n--- flow traces of failed requests ---\n");
+    size_t shown = 0;
+    for (const auto& t : trace::build_traces(sim.log_store().all())) {
+      if (t.failed_spans() == 0) continue;
+      std::printf("%s", t.format_tree().c_str());
+      const auto chain = t.failure_chain();
+      if (!chain.empty()) {
+        std::printf("  origin of failure: %s -> %s\n",
+                    t.spans[chain.back()].src.c_str(),
+                    t.spans[chain.back()].dst.c_str());
+      }
+      if (++shown >= 5) {
+        std::printf("  (further failed flows elided)\n");
+        break;
+      }
+    }
+    if (shown == 0) std::printf("(none)\n");
+  }
+
+  if (!report_path.empty()) {
+    // Assemble a machine-readable report from the run.
+    report::TestReport rep;
+    rep.title = "recipe run";
+    rep.seed = seed;
+    for (const auto& scenario : outcome->scenarios) {
+      for (const auto& check : scenario.checks) rep.checks.push_back(check);
+    }
+    for (const auto& check : rep.checks) {
+      if (check.passed) ++rep.checks_passed;
+    }
+    for (const auto& t : trace::build_traces(sim.log_store().all())) {
+      ++rep.flows_observed;
+      if (t.failed_spans() == 0) continue;
+      ++rep.flows_failed;
+      if (rep.diagnoses.size() >= 5) continue;
+      report::FailureDiagnosis d;
+      d.request_id = t.request_id;
+      const auto chain = t.failure_chain();
+      if (!chain.empty()) {
+        d.origin_edge = t.spans[chain.back()].src + " -> " +
+                        t.spans[chain.back()].dst;
+      }
+      d.rendered = t.format_tree();
+      rep.diagnoses.push_back(std::move(d));
+    }
+    std::ofstream out(report_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write report to '%s'\n",
+                   report_path.c_str());
+      return 2;
+    }
+    out << rep.to_json().dump(2) << "\n";
+    std::printf("report written to %s\n", report_path.c_str());
+  }
+  return outcome->all_passed() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string command = argv[1];
+  bool ok = false;
+  const std::string source = read_file(argv[2], &ok);
+  if (!ok) {
+    std::fprintf(stderr, "cannot open '%s'\n", argv[2]);
+    return 2;
+  }
+
+  uint64_t seed = 42;
+  bool with_traces = false;
+  std::string report_path;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      with_traces = true;
+    } else if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
+      report_path = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+
+  if (command == "check") return cmd_check(source);
+  if (command == "run") {
+    return cmd_run(source, seed, with_traces, report_path);
+  }
+  return usage();
+}

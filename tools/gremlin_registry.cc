@@ -1,0 +1,44 @@
+// gremlin-registry — a standalone service-registry server.
+//
+//   gremlin-registry [port] [ttl-seconds]
+//
+// Agents and services register/resolve over the REST API
+// (/registry/v1/services). Runs until SIGINT/SIGTERM.
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "registry/registry.h"
+
+namespace {
+std::atomic<bool> g_stop{false};
+void handle_signal(int) { g_stop = true; }
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gremlin;  // NOLINT
+  uint16_t port = 8500;
+  int64_t ttl_s = 30;
+  if (argc > 1) port = static_cast<uint16_t>(std::atoi(argv[1]));
+  if (argc > 2) ttl_s = std::atoll(argv[2]);
+
+  registry::Registry reg(sec(ttl_s));
+  registry::RegistryServer server(&reg);
+  auto bound = server.start(port);
+  if (!bound.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", bound.error().message.c_str());
+    return 1;
+  }
+  std::printf("gremlin-registry on 127.0.0.1:%u (ttl %llds)\n", *bound,
+              static_cast<long long>(ttl_s));
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  server.stop();
+  return 0;
+}
