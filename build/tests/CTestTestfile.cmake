@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/logstore_test[1]_include.cmake")
+include("/root/repo/build/tests/faults_test[1]_include.cmake")
+include("/root/repo/build/tests/resilience_test[1]_include.cmake")
+include("/root/repo/build/tests/topology_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/assertions_test[1]_include.cmake")
+include("/root/repo/build/tests/control_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/httpmsg_test[1]_include.cmake")
+include("/root/repo/build/tests/proxy_test[1]_include.cmake")
+include("/root/repo/build/tests/dsl_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/checker_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/registry_test[1]_include.cmake")
+include("/root/repo/build/tests/collector_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_queueing_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/pubsub_test[1]_include.cmake")
+include("/root/repo/build/tests/report_test[1]_include.cmake")
+include("/root/repo/build/tests/crash_recovery_test[1]_include.cmake")
+include("/root/repo/build/tests/pool_test[1]_include.cmake")
+include("/root/repo/build/tests/partition_test[1]_include.cmake")
+include("/root/repo/build/tests/keepalive_test[1]_include.cmake")
+include("/root/repo/build/tests/context_test[1]_include.cmake")
