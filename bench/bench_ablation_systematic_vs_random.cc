@@ -21,47 +21,17 @@
 #include <vector>
 
 #include "baseline/chaos.h"
-#include "control/recipe.h"
+#include "campaign/runner.h"
 
 namespace {
 
 using namespace gremlin;  // NOLINT
 
-// Builds the tree app with exactly one missing fallback (svc0 -> svc2).
-topology::AppGraph build_buggy_tree(sim::Simulation* sim) {
-  topology::AppGraph graph = topology::AppGraph::binary_tree(3);
-  sim->add_services_from_graph(graph, [](const std::string& name) {
-    sim::ServiceConfig cfg;
-    cfg.processing_time = msec(1);
-    resilience::CallPolicy safe;
-    safe.timeout = msec(200);
-    safe.fallback = resilience::Fallback{200, "cached"};
-    cfg.default_policy = safe;
-    if (name == "svc0") {
-      resilience::CallPolicy buggy;  // no fallback, no timeout
-      cfg.policies["svc2"] = buggy;
-    }
-    return cfg;
-  });
-  topology::AppGraph with_user = graph;
-  with_user.add_edge("user", "svc0");
-  return with_user;
-}
-
-// One systematic experiment: crash `victim`, send scoped test load, check
-// user-visible failures. Returns true when the bug surfaced.
-bool systematic_probe(const std::string& victim, uint64_t seed) {
-  sim::SimulationConfig cfg;
-  cfg.seed = seed;
-  sim::Simulation sim(cfg);
-  auto graph = build_buggy_tree(&sim);
-  control::TestSession session(&sim, graph);
-  if (!session.apply(control::FailureSpec::crash(victim)).ok()) return false;
-  control::LoadOptions load;
-  load.count = 20;
-  load.gap = msec(10);
-  const auto result = session.run_load("user", "svc0", load);
-  return result.failures > 0;
+// The buggy app (one missing fallback, svc0 -> svc2) as a campaign spec:
+// every probe instantiates it into a private Simulation.
+const campaign::AppSpec& buggy_app() {
+  static const campaign::AppSpec app = campaign::AppSpec::buggy_tree();
+  return app;
 }
 
 struct RandomOutcome {
@@ -73,7 +43,7 @@ RandomOutcome random_probe(uint64_t seed) {
   sim::SimulationConfig cfg;
   cfg.seed = seed;
   sim::Simulation sim(cfg);
-  auto graph = build_buggy_tree(&sim);
+  auto graph = buggy_app().instantiate(&sim);
 
   baseline::ChaosOptions options;
   options.seed = seed * 7919 + 17;
@@ -128,26 +98,34 @@ int main() {
       "# Ablation — systematic Gremlin sweep vs randomized chaos\n"
       "# bug: svc0 has no failure handling for svc2 (7-service tree)\n\n");
 
-  // --- systematic sweep ---
-  sim::Simulation probe_sim;
-  auto graph = build_buggy_tree(&probe_sim);
-  std::vector<std::string> targets = graph.services();
-  for (const char* excluded : {"user", "svc0"}) {
-    targets.erase(std::remove(targets.begin(), targets.end(), excluded),
-                  targets.end());
-  }
-  size_t experiments = 0;
+  // --- systematic sweep (campaign engine) ---
+  // generate_sweep enumerates one crash experiment per service, excluding
+  // the user-facing front door (the same exclusion the hand-rolled loop
+  // applied); the runner executes them on all cores, deterministically.
+  campaign::SweepOptions sweep;
+  sweep.kinds = {control::FailureSpec::Kind::kCrash};
+  sweep.load.count = 20;
+  sweep.load.gap = msec(10);
+  sweep.seed = 42;
+  const auto experiments =
+      campaign::generate_sweep(buggy_app(), buggy_app().probe_graph(), sweep);
+  const auto result = campaign::CampaignRunner().run(experiments);
+
   std::string culprit;
-  for (const auto& victim : targets) {
-    ++experiments;
-    if (systematic_probe(victim, 42)) {
-      culprit = victim;
+  size_t first_hit = experiments.size();
+  for (size_t i = 0; i < result.experiments.size(); ++i) {
+    if (!result.experiments[i].passed()) {
+      culprit = result.experiments[i].id;
+      first_hit = i + 1;
       break;
     }
   }
-  std::printf("systematic: bug exposed by crash(%s) after %zu targeted "
-              "experiments (deterministic)\n",
-              culprit.c_str(), experiments);
+  std::printf(
+      "systematic: bug exposed by %s — experiment %zu of %zu targeted "
+      "experiments (deterministic; whole sweep ran in %.0fms on %d "
+      "threads)\n",
+      culprit.c_str(), first_hit, experiments.size(),
+      to_seconds(result.wall_clock) * 1e3, result.threads);
 
   // --- randomized baseline over many seeds ---
   std::vector<size_t> kills_needed;

@@ -1,0 +1,102 @@
+// Campaign parallelism: wall-clock scaling of CampaignRunner with worker
+// count, under the byte-identical determinism contract.
+//
+// Setup: a depth-4 buggy binary tree (15 services) swept with the default
+// failure kinds — 68 experiments, each on a private Simulation. We run the
+// identical campaign at increasing thread counts and report wall clock,
+// speedup over threads=1, and whether the concatenated result fingerprint
+// is byte-identical to the sequential run (it must be: results depend only
+// on the experiment seed, never on scheduling).
+//
+// Shape expectations: speedup approaches the physical core count for
+// campaigns that are CPU-bound in simulation; on a single-core host every
+// row still verifies the determinism contract. ISSUE 1's ">=4x on 8 cores"
+// target is about this scaling curve.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "campaign/runner.h"
+
+namespace {
+
+using namespace gremlin;  // NOLINT
+
+std::vector<campaign::Experiment> depth4_sweep() {
+  const campaign::AppSpec app = campaign::AppSpec::buggy_tree(4);
+  campaign::SweepOptions options;
+  options.load.count = 40;
+  options.load.gap = msec(5);
+  return campaign::generate_sweep(app, app.probe_graph(), options);
+}
+
+void scaling_section() {
+  const auto experiments = depth4_sweep();
+  std::printf("## Campaign scaling (%zu experiments, depth-4 buggy tree)\n",
+              experiments.size());
+
+  const campaign::CampaignResult sequential =
+      campaign::CampaignRunner(campaign::RunnerOptions{.threads = 1})
+          .run(experiments);
+  const std::string reference = sequential.fingerprint();
+  const double base_s = to_seconds(sequential.wall_clock);
+  std::printf("threads= 1  wall=%.3fs  speedup=1.00x  (reference)\n",
+              base_s);
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  for (const int threads : {2, 4, 8}) {
+    const campaign::CampaignResult parallel =
+        campaign::CampaignRunner(campaign::RunnerOptions{.threads = threads})
+            .run(experiments);
+    const double wall_s = to_seconds(parallel.wall_clock);
+    const bool identical = parallel.fingerprint() == reference;
+    std::printf("threads=%2d  wall=%.3fs  speedup=%.2fx  byte-identical=%s\n",
+                threads, wall_s, wall_s > 0 ? base_s / wall_s : 0.0,
+                identical ? "yes" : "NO (DETERMINISM BUG)");
+    if (!identical) std::exit(1);
+  }
+  std::printf("(hardware_concurrency=%u; speedup saturates at the physical "
+              "core count)\n\n",
+              hw);
+}
+
+void BM_RunOneExperiment(benchmark::State& state) {
+  const auto experiments = depth4_sweep();
+  size_t i = 0;
+  for (auto _ : state) {
+    auto result = campaign::CampaignRunner::run_one(
+        experiments[i++ % experiments.size()]);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RunOneExperiment);
+
+void BM_CampaignBatch(benchmark::State& state) {
+  const auto experiments = depth4_sweep();
+  const campaign::CampaignRunner runner(
+      campaign::RunnerOptions{.threads = static_cast<int>(state.range(0)),
+                              .keep_latencies = false});
+  for (auto _ : state) {
+    auto result = runner.run(experiments);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(experiments.size()));
+}
+BENCHMARK(BM_CampaignBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  std::printf("# Campaign engine — parallel sweep scaling\n\n");
+  scaling_section();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -23,6 +23,7 @@
 #include "faults/rule_engine.h"
 #include "httpserver/client.h"
 #include "httpserver/server.h"
+#include "logstore/store.h"
 #include "proxy/agent.h"
 #include "workload/stats.h"
 
@@ -159,6 +160,66 @@ void BM_RuleEngineFirstRuleMatches(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RuleEngineFirstRuleMatches);
+
+// --- LogStore query planning: request-ID index vs full scan ---
+// The checker's Table 3 queries filter by request-ID glob. Literal IDs and
+// "prefix-*" patterns are answered from the by-ID index; only irregular
+// globs ("*-suffix") fall back to scanning every record.
+void populate_store(logstore::LogStore* store, int records) {
+  logstore::RecordList batch;
+  batch.reserve(static_cast<size_t>(records));
+  for (int i = 0; i < records; ++i) {
+    logstore::LogRecord r;
+    r.timestamp = Duration(i);
+    // Half the IDs are test traffic, half background noise.
+    r.request_id = (i % 2 == 0 ? "test-" : "bg-") + std::to_string(i);
+    r.src = "client";
+    r.dst = "server";
+    r.kind = logstore::MessageKind::kRequest;
+    r.status = 200;
+    batch.push_back(std::move(r));
+  }
+  store->append_all(batch);
+}
+
+void BM_LogStoreExactIdQuery(benchmark::State& state) {
+  logstore::LogStore store;
+  populate_store(&store, static_cast<int>(state.range(0)));
+  logstore::Query q;
+  q.id_pattern = "test-" + std::to_string(state.range(0) - 2);  // literal
+  for (auto _ : state) {
+    auto hits = store.query(q);
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LogStoreExactIdQuery)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_LogStorePrefixQuery(benchmark::State& state) {
+  logstore::LogStore store;
+  populate_store(&store, static_cast<int>(state.range(0)));
+  logstore::Query q;
+  q.id_pattern = "test-1*";  // literal prefix: ordered index range scan
+  for (auto _ : state) {
+    auto hits = store.query(q);
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LogStorePrefixQuery)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_LogStoreScanQuery(benchmark::State& state) {
+  logstore::LogStore store;
+  populate_store(&store, static_cast<int>(state.range(0)));
+  logstore::Query q;
+  q.id_pattern = "*-17";  // suffix glob: no index applies, full scan
+  for (auto _ : state) {
+    auto hits = store.query(q);
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LogStoreScanQuery)->Arg(1000)->Arg(10000)->Arg(100000);
 
 void BM_GlobMatch(benchmark::State& state) {
   const Glob glob("test-*-shard-[0-9]");

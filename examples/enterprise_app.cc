@@ -9,7 +9,7 @@
 // Build & run:  ./build/examples/enterprise_app
 #include <cstdio>
 
-#include "apps/enterprise.h"
+#include "campaign/app_spec.h"
 #include "control/recipe.h"
 
 using namespace gremlin;  // NOLINT
@@ -21,7 +21,7 @@ void probe(const char* label, const control::FailureSpec& spec,
   sim::Simulation sim;
   apps::EnterpriseOptions options;
   options.fix_unirest_bug = fixed_library;
-  auto graph = apps::build_enterprise_app(&sim, options);
+  auto graph = campaign::AppSpec::enterprise(options).instantiate(&sim);
   control::TestSession session(&sim, graph);
   (void)session.apply(spec);
   auto load = session.run_load("user", "webapp", 20);

@@ -5,28 +5,65 @@
 // recipes' verdicts. The naive variants reproduce the postmortem bug and
 // fail their assertions; the resilient variants pass.
 //
+// The ten (case × variant) runs execute as one parallel campaign: each
+// imperative recipe becomes an Experiment via the `custom` escape hatch, so
+// even chained, hand-written scenarios get private simulations, all cores,
+// and deterministic results.
+//
 // Build & run:  ./build/examples/outage_recipes
 #include <cstdio>
+#include <vector>
 
 #include "apps/outages.h"
+#include "campaign/runner.h"
 
 using namespace gremlin;  // NOLINT
 
 int main() {
   std::printf("Recreating Table 1's outages as Gremlin recipes\n\n");
-  for (const auto& outage : apps::table1_cases()) {
-    std::printf("%s — %s\n", outage.id.c_str(), outage.summary.c_str());
+
+  const auto& cases = apps::table1_cases();
+  std::vector<campaign::Experiment> experiments;
+  for (const auto& outage : cases) {
     for (const bool resilient : {false, true}) {
-      const auto results = apps::run_outage_case(outage, resilient);
+      campaign::Experiment e;
+      e.id = outage.id + (resilient ? " [resilient]" : " [naive]");
+      e.seed = 42;
+      e.app.name = outage.id;
+      e.app.build = [build = outage.build,
+                     resilient](sim::Simulation* sim) {
+        return build(sim, resilient);
+      };
+      e.custom = [recipe = outage.recipe](control::TestSession* session) {
+        recipe(session);
+        return session->results();
+      };
+      experiments.push_back(std::move(e));
+    }
+  }
+
+  const campaign::CampaignResult result =
+      campaign::CampaignRunner().run(experiments);
+
+  for (size_t c = 0; c < cases.size(); ++c) {
+    std::printf("%s — %s\n", cases[c].id.c_str(),
+                cases[c].summary.c_str());
+    for (const bool resilient : {false, true}) {
+      const auto& r = result.experiments[c * 2 + (resilient ? 1 : 0)];
       std::printf("  %s variant:\n", resilient ? "resilient" : "naive");
-      for (const auto& r : results) {
+      for (const auto& check : r.checks) {
         std::printf("    %s %s\n        %s\n",
-                    r.passed ? "[PASS]" : "[FAIL]", r.name.c_str(),
-                    r.detail.c_str());
+                    check.passed ? "[PASS]" : "[FAIL]", check.name.c_str(),
+                    check.detail.c_str());
       }
     }
     std::printf("\n");
   }
+  std::printf(
+      "All %zu recipe runs executed as one campaign on %d threads in "
+      "%.0fms.\n\n",
+      result.experiments.size(), result.threads,
+      to_seconds(result.wall_clock) * 1e3);
   std::printf(
       "Each failing assertion names the service, the missing pattern and "
       "the observed\nbehaviour — the feedback loop the paper argues makes "

@@ -14,43 +14,22 @@
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
 
+#include "campaign/app_spec.h"
 #include "control/recipe.h"
 
 using namespace gremlin;  // NOLINT
 
 namespace {
 
-// Builds serviceA -> serviceB with the given retry budget on serviceA.
-topology::AppGraph build_app(sim::Simulation* sim, int retries,
-                             Duration timeout) {
-  sim::ServiceConfig service_b;
-  service_b.name = "serviceB";
-  service_b.processing_time = msec(2);
-  sim->add_service(service_b);
-
-  sim::ServiceConfig service_a;
-  service_a.name = "serviceA";
-  service_a.processing_time = msec(1);
-  service_a.dependencies = {"serviceB"};
-  resilience::CallPolicy policy;
-  policy.timeout = timeout;
-  policy.retry.max_retries = retries;
-  policy.retry.base_backoff = msec(10);
-  service_a.default_policy = policy;
-  sim->add_service(service_a);
-
-  topology::AppGraph graph;
-  graph.add_edge("user", "serviceA");
-  graph.add_edge("serviceA", "serviceB");
-  return graph;
-}
-
 void run_overload_test(const char* label, int retries, Duration timeout) {
   std::printf("--- %s (serviceA: timeout %s, up to %d retries) ---\n",
               label, format_duration(timeout).c_str(), retries);
 
+  // The app under test is a declarative spec (serviceA -> serviceB with the
+  // given retry budget); instantiate builds it into this fresh simulation.
   sim::Simulation sim;
-  auto graph = build_app(&sim, retries, timeout);
+  auto graph = campaign::AppSpec::quickstart(retries, timeout)
+                   .instantiate(&sim);
   control::TestSession session(&sim, graph);
 
   // 1. Stage the failure: Overload(serviceB). The Recipe Translator turns

@@ -11,7 +11,7 @@
 // Build & run:  ./build/examples/wordpress_elasticpress
 #include <cstdio>
 
-#include "apps/wordpress.h"
+#include "campaign/app_spec.h"
 #include "control/recipe.h"
 #include "workload/stats.h"
 
@@ -24,7 +24,7 @@ int main() {
   std::printf("1) Delay(wordpress -> elasticsearch, 2s):\n");
   {
     sim::Simulation sim;
-    auto graph = apps::build_wordpress_app(&sim);
+    auto graph = campaign::AppSpec::wordpress().instantiate(&sim);
     control::TestSession session(&sim, graph);
     (void)session.apply(control::FailureSpec::delay_edge(
         "wordpress", "elasticsearch", sec(2)));
@@ -46,7 +46,7 @@ int main() {
   std::printf("2) Abort 100 consecutive requests, then delay 100 by 3s:\n");
   {
     sim::Simulation sim;
-    auto graph = apps::build_wordpress_app(&sim);
+    auto graph = campaign::AppSpec::wordpress().instantiate(&sim);
     control::TestSession session(&sim, graph);
     control::FailureSpec abort_spec = control::FailureSpec::abort_edge(
         "wordpress", "elasticsearch", 503);

@@ -1,0 +1,135 @@
+#include "campaign/app_spec.h"
+
+namespace gremlin::campaign {
+
+topology::AppGraph AppSpec::probe_graph() const {
+  sim::Simulation scratch;
+  return build(&scratch);
+}
+
+void ensure_graph_services(sim::Simulation* sim,
+                           const topology::AppGraph& graph,
+                           const sim::ServiceConfig& prototype) {
+  for (const auto& name : graph.services()) {
+    if (sim->find_service(name) != nullptr) continue;
+    sim::ServiceConfig cfg = prototype;
+    cfg.name = name;
+    cfg.dependencies = graph.dependencies(name);
+    sim->add_service(std::move(cfg));
+  }
+}
+
+AppSpec AppSpec::from_graph(topology::AppGraph graph,
+                            sim::ServiceConfig prototype) {
+  AppSpec spec;
+  spec.name = "graph";
+  spec.build = [graph = std::move(graph),
+                prototype = std::move(prototype)](sim::Simulation* sim) {
+    ensure_graph_services(sim, graph, prototype);
+    return graph;
+  };
+  return spec;
+}
+
+AppSpec AppSpec::from_graph(
+    topology::AppGraph graph,
+    std::function<sim::ServiceConfig(const std::string&)> make) {
+  AppSpec spec;
+  spec.name = "graph";
+  spec.build = [graph = std::move(graph),
+                make = std::move(make)](sim::Simulation* sim) {
+    for (const auto& name : graph.services()) {
+      if (sim->find_service(name) != nullptr) continue;
+      sim::ServiceConfig cfg = make(name);
+      cfg.name = name;
+      cfg.dependencies = graph.dependencies(name);
+      sim->add_service(std::move(cfg));
+    }
+    return graph;
+  };
+  return spec;
+}
+
+AppSpec AppSpec::quickstart(int retries, Duration timeout) {
+  AppSpec spec;
+  spec.name = "quickstart";
+  spec.build = [retries, timeout](sim::Simulation* sim) {
+    sim::ServiceConfig service_b;
+    service_b.name = "serviceB";
+    service_b.processing_time = msec(2);
+    sim->add_service(service_b);
+
+    sim::ServiceConfig service_a;
+    service_a.name = "serviceA";
+    service_a.processing_time = msec(1);
+    service_a.dependencies = {"serviceB"};
+    resilience::CallPolicy policy;
+    policy.timeout = timeout;
+    policy.retry.max_retries = retries;
+    policy.retry.base_backoff = msec(10);
+    service_a.default_policy = policy;
+    sim->add_service(service_a);
+
+    topology::AppGraph graph;
+    graph.add_edge("user", "serviceA");
+    graph.add_edge("serviceA", "serviceB");
+    return graph;
+  };
+  return spec;
+}
+
+AppSpec AppSpec::tree(apps::TreeOptions options) {
+  AppSpec spec;
+  spec.name = "tree-depth" + std::to_string(options.depth);
+  spec.build = [options](sim::Simulation* sim) {
+    return apps::build_tree_app(sim, options);
+  };
+  return spec;
+}
+
+AppSpec AppSpec::buggy_tree(int depth, std::string buggy_src,
+                            std::string buggy_dst) {
+  AppSpec spec;
+  spec.name = "buggy-tree";
+  spec.build = [depth, buggy_src, buggy_dst](sim::Simulation* sim) {
+    topology::AppGraph graph = topology::AppGraph::binary_tree(depth);
+    sim->add_services_from_graph(
+        graph, [&buggy_src, &buggy_dst](const std::string& name) {
+          sim::ServiceConfig cfg;
+          cfg.processing_time = msec(1);
+          resilience::CallPolicy safe;
+          safe.timeout = msec(200);
+          safe.fallback = resilience::Fallback{200, "cached"};
+          cfg.default_policy = safe;
+          if (name == buggy_src) {
+            resilience::CallPolicy buggy;  // no fallback, no timeout
+            cfg.policies[buggy_dst] = buggy;
+          }
+          return cfg;
+        });
+    topology::AppGraph with_user = graph;
+    with_user.add_edge("user", "svc0");
+    return with_user;
+  };
+  return spec;
+}
+
+AppSpec AppSpec::enterprise(apps::EnterpriseOptions options) {
+  AppSpec spec;
+  spec.name = "enterprise";
+  spec.build = [options](sim::Simulation* sim) {
+    return apps::build_enterprise_app(sim, options);
+  };
+  return spec;
+}
+
+AppSpec AppSpec::wordpress(apps::WordPressOptions options) {
+  AppSpec spec;
+  spec.name = "wordpress";
+  spec.build = [options](sim::Simulation* sim) {
+    return apps::build_wordpress_app(sim, options);
+  };
+  return spec;
+}
+
+}  // namespace gremlin::campaign

@@ -1,0 +1,83 @@
+// AppSpec: a declarative, reusable description of an application under test.
+//
+// The campaign engine runs many isolated experiments, each on a private
+// Simulation, so topology + handler wiring must be a *factory* rather than
+// a live object: an AppSpec holds a build function that instantiates the
+// application into any fresh Simulation and returns its logical AppGraph.
+// build() must be deterministic — the same spec built into two simulations
+// with the same seed produces identical behaviour (the campaign determinism
+// contract, see docs/CAMPAIGNS.md).
+//
+// Factories cover the repo's case-study apps (quickstart, enterprise,
+// wordpress, binary trees) plus `from_graph`, which mirrors the DSL
+// interpreter's autocreate semantics: every graph node becomes a
+// default-handler service calling its dependencies in order.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "apps/enterprise.h"
+#include "apps/trees.h"
+#include "apps/wordpress.h"
+#include "sim/simulation.h"
+#include "topology/graph.h"
+
+namespace gremlin::campaign {
+
+struct AppSpec {
+  std::string name;
+  std::function<topology::AppGraph(sim::Simulation*)> build;
+
+  // Builds the application into `sim` and returns the logical graph.
+  topology::AppGraph instantiate(sim::Simulation* sim) const {
+    return build(sim);
+  }
+
+  // The logical graph without keeping a live deployment: builds into a
+  // scratch Simulation. Used by experiment generators, which enumerate
+  // edges/services before any experiment runs.
+  topology::AppGraph probe_graph() const;
+
+  // Every graph node becomes a single-instance service cloned from
+  // `prototype` (name and dependencies overwritten per node), running the
+  // default handler: call each dependency in order, fail upstream on the
+  // first failure. Entry clients (e.g. "user") become services too, exactly
+  // like the DSL interpreter's autocreate.
+  static AppSpec from_graph(topology::AppGraph graph,
+                            sim::ServiceConfig prototype = {});
+
+  // As above but with a per-service config hook (the
+  // Simulation::add_services_from_graph contract).
+  static AppSpec from_graph(
+      topology::AppGraph graph,
+      std::function<sim::ServiceConfig(const std::string&)> make);
+
+  // The paper's running example (Section 3.2): user → serviceA → serviceB,
+  // with serviceA's retry budget and timeout as the spec parameters.
+  static AppSpec quickstart(int retries, Duration timeout);
+
+  // Complete binary tree (Section 7.2 scaling apps); svc0 is the entry.
+  static AppSpec tree(apps::TreeOptions options = {});
+
+  // The ablation topology: a binary tree where every dependency call has a
+  // timeout + cached fallback EXCEPT `buggy_src` → `buggy_dst` — the single
+  // latent bug a systematic sweep must localize.
+  static AppSpec buggy_tree(int depth = 3, std::string buggy_src = "svc0",
+                            std::string buggy_dst = "svc2");
+
+  // The IBM enterprise case study (Section 7.1, Figure 4).
+  static AppSpec enterprise(apps::EnterpriseOptions options = {});
+
+  // WordPress + ElasticPress + Elasticsearch + MySQL (Section 7.1).
+  static AppSpec wordpress(apps::WordPressOptions options = {});
+};
+
+// Instantiates every `graph` service missing from `sim` as a clone of
+// `prototype` with the default handler (shared by AppSpec::from_graph and
+// the DSL interpreter's autocreate).
+void ensure_graph_services(sim::Simulation* sim,
+                           const topology::AppGraph& graph,
+                           const sim::ServiceConfig& prototype = {});
+
+}  // namespace gremlin::campaign

@@ -1,0 +1,250 @@
+#include "campaign/experiment.h"
+
+namespace gremlin::campaign {
+
+using control::CheckResult;
+using control::FailureSpec;
+
+CheckSpec CheckSpec::has_timeouts(std::string service, Duration max_latency) {
+  CheckSpec c;
+  c.kind = Kind::kHasTimeouts;
+  c.a = std::move(service);
+  c.bound = max_latency;
+  return c;
+}
+
+CheckSpec CheckSpec::has_bounded_retries(std::string src, std::string dst,
+                                         int max_tries) {
+  CheckSpec c;
+  c.kind = Kind::kHasBoundedRetries;
+  c.a = std::move(src);
+  c.b = std::move(dst);
+  c.threshold = max_tries;
+  return c;
+}
+
+CheckSpec CheckSpec::has_circuit_breaker(std::string src, std::string dst,
+                                         int threshold, Duration tdelta,
+                                         int success_threshold) {
+  CheckSpec c;
+  c.kind = Kind::kHasCircuitBreaker;
+  c.a = std::move(src);
+  c.b = std::move(dst);
+  c.threshold = threshold;
+  c.bound = tdelta;
+  c.success_threshold = success_threshold;
+  return c;
+}
+
+CheckSpec CheckSpec::has_bulkhead(std::string src, std::string slow_dst,
+                                  double min_rate) {
+  CheckSpec c;
+  c.kind = Kind::kHasBulkhead;
+  c.a = std::move(src);
+  c.b = std::move(slow_dst);
+  c.value = min_rate;
+  return c;
+}
+
+CheckSpec CheckSpec::has_latency_slo(std::string src, std::string dst,
+                                     double percentile, Duration bound,
+                                     bool with_rule) {
+  CheckSpec c;
+  c.kind = Kind::kHasLatencySlo;
+  c.a = std::move(src);
+  c.b = std::move(dst);
+  c.percentile = percentile;
+  c.bound = bound;
+  c.with_rule = with_rule;
+  return c;
+}
+
+CheckSpec CheckSpec::error_rate_below(std::string src, std::string dst,
+                                      double max_fraction) {
+  CheckSpec c;
+  c.kind = Kind::kErrorRateBelow;
+  c.a = std::move(src);
+  c.b = std::move(dst);
+  c.value = max_fraction;
+  return c;
+}
+
+CheckSpec CheckSpec::failure_contained(std::string origin) {
+  CheckSpec c;
+  c.kind = Kind::kFailureContained;
+  c.a = std::move(origin);
+  return c;
+}
+
+CheckSpec CheckSpec::max_user_failures(size_t max_failures) {
+  CheckSpec c;
+  c.kind = Kind::kMaxUserFailures;
+  c.value = static_cast<double>(max_failures);
+  return c;
+}
+
+CheckResult CheckSpec::evaluate(const control::AssertionChecker& checker,
+                                const control::LoadResult& load) const {
+  switch (kind) {
+    case Kind::kHasTimeouts:
+      return checker.has_timeouts(a, bound, id_pattern);
+    case Kind::kHasBoundedRetries:
+      return checker.has_bounded_retries(a, b, threshold, id_pattern);
+    case Kind::kHasCircuitBreaker:
+      return checker.has_circuit_breaker(a, b, threshold, bound,
+                                         success_threshold, id_pattern);
+    case Kind::kHasBulkhead:
+      return checker.has_bulkhead(a, b, value, id_pattern);
+    case Kind::kHasLatencySlo:
+      return checker.has_latency_slo(a, b, percentile, bound, with_rule,
+                                     id_pattern);
+    case Kind::kErrorRateBelow:
+      return checker.error_rate_below(a, b, value, id_pattern);
+    case Kind::kFailureContained:
+      return checker.failure_contained(a, id_pattern);
+    case Kind::kMaxUserFailures: {
+      const auto max_failures = static_cast<size_t>(value);
+      CheckResult r;
+      r.name = "MaxUserFailures(" + std::to_string(max_failures) + ")";
+      r.passed = load.failures <= max_failures;
+      r.detail = std::to_string(load.failures) + "/" +
+                 std::to_string(load.total()) +
+                 " injected requests saw a user-visible failure";
+      return r;
+    }
+  }
+  CheckResult r;
+  r.name = "UnknownCheck";
+  r.detail = "unhandled check kind";
+  return r;
+}
+
+namespace {
+
+// Builds the failure spec for one sweep point; returns a human-readable
+// scenario label through `label`.
+FailureSpec sweep_spec(FailureSpec::Kind kind, const std::string& src,
+                       const std::string& dst, const SweepOptions& options,
+                       std::string* label) {
+  switch (kind) {
+    case FailureSpec::Kind::kAbort:
+      *label = "abort(" + src + "->" + dst + ")";
+      return FailureSpec::abort_edge(src, dst, options.abort_error);
+    case FailureSpec::Kind::kDelay:
+      *label = "delay(" + src + "->" + dst + ")";
+      return FailureSpec::delay_edge(src, dst, options.delay);
+    case FailureSpec::Kind::kDisconnect:
+      *label = "disconnect(" + src + "->" + dst + ")";
+      return FailureSpec::disconnect(src, dst, options.abort_error);
+    case FailureSpec::Kind::kCrash:
+      *label = "crash(" + dst + ")";
+      return FailureSpec::crash(dst);
+    case FailureSpec::Kind::kOverload:
+      *label = "overload(" + dst + ")";
+      return FailureSpec::overload(dst);
+    case FailureSpec::Kind::kHang:
+      *label = "hang(" + dst + ")";
+      return FailureSpec::hang(dst, options.hang);
+    default:
+      *label = "abort(" + src + "->" + dst + ")";
+      return FailureSpec::abort_edge(src, dst, options.abort_error);
+  }
+}
+
+bool is_edge_kind(FailureSpec::Kind kind) {
+  return kind == FailureSpec::Kind::kAbort ||
+         kind == FailureSpec::Kind::kDelay ||
+         kind == FailureSpec::Kind::kDisconnect ||
+         kind == FailureSpec::Kind::kModify;
+}
+
+}  // namespace
+
+std::vector<Experiment> generate_sweep(const AppSpec& app,
+                                       const topology::AppGraph& graph,
+                                       const SweepOptions& options) {
+  std::string target = options.target;
+  if (target.empty()) {
+    // Load the entry point the graph exposes; skip excluded pseudo-services
+    // (the edge client itself has no callers either).
+    for (const auto& entry : graph.entry_points()) {
+      if (options.exclude.count(entry) == 0 && entry != options.client) {
+        target = entry;
+        break;
+      }
+    }
+    if (target.empty()) {
+      // The client is usually the graph's only root ("user" -> svc0):
+      // load the front door it calls.
+      for (const auto& edge : graph.edges()) {
+        if (edge.src == options.client) {
+          target = edge.dst;
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<CheckSpec> checks = options.checks;
+  if (checks.empty()) checks.push_back(CheckSpec::max_user_failures(0));
+
+  // The load entry edge is not a fault target: killing the user-facing
+  // front door is trivially user-visible and says nothing about failure
+  // handling (same exclusion bench_ablation applied by hand).
+  std::set<std::string> excluded = options.exclude;
+  excluded.insert(options.client);
+  if (!target.empty()) excluded.insert(target);
+
+  std::vector<Experiment> experiments;
+  for (const auto kind : options.kinds) {
+    if (is_edge_kind(kind)) {
+      for (const auto& edge : graph.edges()) {
+        // Only the callee side disqualifies an edge: faulting calls *into*
+        // the front door is trivially user-visible, but the front door's
+        // own outbound edges are exactly what a sweep must cover.
+        if (excluded.count(edge.dst) != 0) continue;
+        Experiment e;
+        e.app = app;
+        e.failures.push_back(
+            sweep_spec(kind, edge.src, edge.dst, options, &e.id));
+        e.client = options.client;
+        e.target = target;
+        e.load = options.load;
+        e.checks = checks;
+        e.seed = options.seed;
+        experiments.push_back(std::move(e));
+      }
+    } else {
+      for (const auto& service : graph.services()) {
+        if (excluded.count(service) != 0) continue;
+        Experiment e;
+        e.app = app;
+        e.failures.push_back(sweep_spec(kind, "", service, options, &e.id));
+        e.client = options.client;
+        e.target = target;
+        e.load = options.load;
+        e.checks = checks;
+        e.seed = options.seed;
+        experiments.push_back(std::move(e));
+      }
+    }
+  }
+  return experiments;
+}
+
+std::vector<Experiment> replicate_seeds(const std::vector<Experiment>& base,
+                                        const std::vector<uint64_t>& seeds) {
+  std::vector<Experiment> out;
+  out.reserve(base.size() * seeds.size());
+  for (const auto& e : base) {
+    for (const uint64_t seed : seeds) {
+      Experiment clone = e;
+      clone.seed = seed;
+      clone.id += " seed=" + std::to_string(seed);
+      out.push_back(std::move(clone));
+    }
+  }
+  return out;
+}
+
+}  // namespace gremlin::campaign

@@ -1,0 +1,259 @@
+#include "campaign/runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+namespace gremlin::campaign {
+
+namespace {
+
+// Serializes a Duration exactly (tick count), so fingerprints are
+// byte-identical iff the underlying values are.
+void append_duration(std::string* out, Duration d) {
+  *out += std::to_string(d.count());
+  *out += ',';
+}
+
+}  // namespace
+
+std::string ExperimentResult::fingerprint() const {
+  std::string out;
+  out += id;
+  out += '|';
+  out += std::to_string(seed);
+  out += '|';
+  out += ok ? '1' : '0';
+  out += error;
+  out += '|';
+  out += std::to_string(rules_installed);
+  out += '|';
+  for (const auto& check : checks) {
+    out += check.passed ? "P:" : "F:";
+    out += check.name;
+    out += '=';
+    out += check.detail;
+    out += ';';
+  }
+  out += '|';
+  out += std::to_string(requests);
+  out += ',';
+  out += std::to_string(failures);
+  out += '|';
+  for (const Duration d : latencies) append_duration(&out, d);
+  out += '|';
+  for (const int s : statuses) {
+    out += std::to_string(s);
+    out += ',';
+  }
+  out += '\n';
+  return out;
+}
+
+size_t CampaignResult::passed() const {
+  size_t n = 0;
+  for (const auto& e : experiments) {
+    if (e.passed()) ++n;
+  }
+  return n;
+}
+
+size_t CampaignResult::failed() const {
+  size_t n = 0;
+  for (const auto& e : experiments) {
+    if (e.ok && !e.passed()) ++n;
+  }
+  return n;
+}
+
+size_t CampaignResult::errors() const {
+  size_t n = 0;
+  for (const auto& e : experiments) {
+    if (!e.ok) ++n;
+  }
+  return n;
+}
+
+std::string CampaignResult::fingerprint() const {
+  std::string out;
+  for (const auto& e : experiments) out += e.fingerprint();
+  return out;
+}
+
+CampaignRunner::CampaignRunner(RunnerOptions options)
+    : options_(std::move(options)) {}
+
+int CampaignRunner::resolved_threads() const {
+  if (options_.threads > 0) return options_.threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ExperimentResult CampaignRunner::run_one(const Experiment& experiment,
+                                         bool keep_latencies) {
+  ExperimentResult result;
+  result.id = experiment.id;
+  result.seed = experiment.seed;
+
+  // A fully private deployment: clock, RNG, log store, services, agents.
+  sim::SimulationConfig cfg;
+  cfg.seed = experiment.seed;
+  sim::Simulation sim(cfg);
+  topology::AppGraph graph = experiment.app.instantiate(&sim);
+  control::TestSession session(&sim, graph);
+
+  if (experiment.custom) {
+    result.checks = experiment.custom(&session);
+    for (const auto& check : result.checks) {
+      if (check.passed) ++result.checks_passed;
+    }
+    result.ok = true;
+    return result;
+  }
+
+  for (const auto& spec : experiment.failures) {
+    auto installed = session.apply(spec);
+    if (!installed.ok()) {
+      result.error = "apply " + std::string(spec.kind_name()) + ": " +
+                     installed.error().message;
+      return result;
+    }
+    result.rules_installed += installed.value();
+  }
+
+  std::string target = experiment.target;
+  if (target.empty()) {
+    for (const auto& entry : graph.entry_points()) {
+      if (entry != experiment.client) {
+        target = entry;
+        break;
+      }
+    }
+  }
+  if (target.empty()) {
+    // The client is usually the graph's only root ("user" -> svc0): load
+    // the front door it calls.
+    for (const auto& edge : graph.edges()) {
+      if (edge.src == experiment.client) {
+        target = edge.dst;
+        break;
+      }
+    }
+  }
+  if (target.empty()) {
+    result.error = "no load target: graph has no entry point";
+    return result;
+  }
+
+  const control::LoadResult load =
+      session.run_load(experiment.client, target, experiment.load);
+  result.requests = load.total();
+  result.failures = load.failures;
+  if (keep_latencies) {
+    result.latencies = load.latencies;
+    result.statuses = load.statuses;
+  }
+
+  auto collected = session.collect();
+  if (!collected.ok()) {
+    result.error = "collect: " + collected.error().message;
+    return result;
+  }
+
+  const control::AssertionChecker checker = session.checker();
+  for (const auto& check : experiment.checks) {
+    control::CheckResult outcome = check.evaluate(checker, load);
+    if (outcome.passed) ++result.checks_passed;
+    result.checks.push_back(std::move(outcome));
+  }
+  result.ok = true;
+  return result;
+}
+
+CampaignResult CampaignRunner::run(
+    const std::vector<Experiment>& experiments) const {
+  CampaignResult campaign;
+  campaign.experiments.resize(experiments.size());
+  campaign.threads = resolved_threads();
+  const auto start = std::chrono::steady_clock::now();
+
+  const size_t n = experiments.size();
+  const int threads =
+      static_cast<int>(std::min<size_t>(campaign.threads, n == 0 ? 1 : n));
+
+  std::mutex result_mu;  // guards options_.on_result only
+  auto finish = [&](ExperimentResult&& r, size_t index) {
+    campaign.experiments[index] = std::move(r);
+    if (options_.on_result) {
+      std::lock_guard lock(result_mu);
+      options_.on_result(campaign.experiments[index]);
+    }
+  };
+
+  if (threads <= 1) {
+    for (size_t i = 0; i < n; ++i) {
+      finish(run_one(experiments[i], options_.keep_latencies), i);
+    }
+  } else {
+    // Work-stealing pool: per-worker deques seeded with a strided share of
+    // the index space; an idle worker pops from its own front, then steals
+    // from the back of the fullest peer. Each result is written to a
+    // distinct slot of the pre-sized vector, so workers share no mutable
+    // experiment state.
+    struct WorkerQueue {
+      std::mutex mu;
+      std::deque<size_t> tasks;
+    };
+    std::vector<WorkerQueue> queues(static_cast<size_t>(threads));
+    for (size_t i = 0; i < n; ++i) {
+      queues[i % static_cast<size_t>(threads)].tasks.push_back(i);
+    }
+
+    auto worker = [&](size_t self) {
+      for (;;) {
+        size_t index = n;  // sentinel: nothing claimed
+        {
+          std::lock_guard lock(queues[self].mu);
+          if (!queues[self].tasks.empty()) {
+            index = queues[self].tasks.front();
+            queues[self].tasks.pop_front();
+          }
+        }
+        if (index == n) {
+          // Own deque empty: steal from the peer with the most work left.
+          size_t victim = queues.size();
+          size_t victim_depth = 0;
+          for (size_t q = 0; q < queues.size(); ++q) {
+            if (q == self) continue;
+            std::lock_guard lock(queues[q].mu);
+            if (queues[q].tasks.size() > victim_depth) {
+              victim_depth = queues[q].tasks.size();
+              victim = q;
+            }
+          }
+          if (victim == queues.size()) return;  // everything drained
+          std::lock_guard lock(queues[victim].mu);
+          if (queues[victim].tasks.empty()) continue;  // raced; rescan
+          index = queues[victim].tasks.back();
+          queues[victim].tasks.pop_back();
+        }
+        finish(run_one(experiments[index], options_.keep_latencies), index);
+      }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back(worker, static_cast<size_t>(t));
+    }
+    for (auto& t : pool) t.join();
+  }
+
+  campaign.wall_clock = std::chrono::duration_cast<Duration>(
+      std::chrono::steady_clock::now() - start);
+  return campaign;
+}
+
+}  // namespace gremlin::campaign

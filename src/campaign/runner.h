@@ -1,0 +1,94 @@
+// CampaignRunner: executes a batch of Experiments in parallel.
+//
+// Each worker thread owns everything an experiment touches — a private
+// Simulation (with its own virtual clock, RNG, LogStore and deployment) is
+// constructed per experiment, so workers share no mutable state and need no
+// locks on the hot path. Work distribution is a work-stealing pool: every
+// worker starts with a strided share of the experiment list and steals from
+// the busiest peer when its own deque drains, so a handful of slow
+// experiments (e.g. hour-long Hang horizons) cannot idle the other cores.
+//
+// Determinism contract: experiment results depend only on (app spec,
+// failure specs, load, checks, seed) — never on thread count, scheduling
+// order, or sibling experiments. `threads=8` is byte-identical to
+// `threads=1` (tests/campaign_test.cc enforces this).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "campaign/experiment.h"
+
+namespace gremlin::campaign {
+
+struct RunnerOptions {
+  // Worker threads; 0 → std::thread::hardware_concurrency (min 1).
+  int threads = 0;
+
+  // Drop per-request latency/status vectors from results (saves memory on
+  // very large sweeps; fingerprints then cover verdicts + counters only).
+  bool keep_latencies = true;
+
+  // Optional progress hook, invoked after each experiment completes.
+  // Called from worker threads under an internal mutex — keep it cheap.
+  std::function<void(const struct ExperimentResult&)> on_result;
+};
+
+// Outcome of one experiment.
+struct ExperimentResult {
+  std::string id;
+  uint64_t seed = 0;
+
+  bool ok = false;     // infrastructure worked (translate/install/collect)
+  std::string error;   // set when !ok
+
+  size_t rules_installed = 0;
+  std::vector<control::CheckResult> checks;
+  size_t checks_passed = 0;
+
+  size_t requests = 0;
+  size_t failures = 0;  // user-visible load failures
+  std::vector<Duration> latencies;
+  std::vector<int> statuses;
+
+  bool passed() const { return ok && checks_passed == checks.size(); }
+
+  // Byte-exact digest of everything above; equal fingerprints mean equal
+  // results. Used by the determinism tests and the parallel bench.
+  std::string fingerprint() const;
+};
+
+struct CampaignResult {
+  // Same order as the input experiment list, independent of which worker
+  // ran what.
+  std::vector<ExperimentResult> experiments;
+  Duration wall_clock{};  // real elapsed time for the whole batch
+  int threads = 1;
+
+  size_t passed() const;
+  size_t failed() const;
+  size_t errors() const;
+
+  // Concatenated per-experiment fingerprints.
+  std::string fingerprint() const;
+};
+
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(RunnerOptions options = {});
+
+  CampaignResult run(const std::vector<Experiment>& experiments) const;
+
+  // Executes one experiment on a fresh private Simulation. Pure apart from
+  // the simulation it builds and discards; safe to call concurrently.
+  static ExperimentResult run_one(const Experiment& experiment,
+                                  bool keep_latencies = true);
+
+  int resolved_threads() const;
+
+ private:
+  RunnerOptions options_;
+};
+
+}  // namespace gremlin::campaign

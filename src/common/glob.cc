@@ -92,4 +92,21 @@ bool Glob::matches(std::string_view text) const {
   return glob_match(pattern_, text);
 }
 
+namespace {
+
+bool has_meta(std::string_view s) {
+  return s.find_first_of("*?[\\") != std::string_view::npos;
+}
+
+}  // namespace
+
+bool Glob::is_literal() const { return !has_meta(pattern_); }
+
+std::optional<std::string_view> Glob::literal_prefix() const {
+  if (pattern_.empty() || pattern_.back() != '*') return std::nullopt;
+  const std::string_view prefix(pattern_.data(), pattern_.size() - 1);
+  if (has_meta(prefix)) return std::nullopt;
+  return prefix;
+}
+
 }  // namespace gremlin

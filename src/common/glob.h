@@ -10,6 +10,7 @@
 // Matching is linear-time (iterative backtracking on the last '*').
 #pragma once
 
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -26,6 +27,16 @@ class Glob {
 
   // True when the pattern matches every string ("*" or empty-equivalent).
   bool match_all() const { return pattern_ == "*"; }
+
+  // True when the pattern contains no metacharacters, so it matches exactly
+  // one string: itself. Lets indexed stores answer the query with a point
+  // lookup instead of a scan.
+  bool is_literal() const;
+
+  // When the pattern is a literal prefix followed by one trailing '*'
+  // ("test-*"), returns that prefix. Nullopt for any other shape, including
+  // escaped patterns (whose matched text differs from the raw pattern).
+  std::optional<std::string_view> literal_prefix() const;
 
  private:
   std::string pattern_;

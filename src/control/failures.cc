@@ -5,15 +5,16 @@ namespace {
 
 using faults::FaultRule;
 
-uint64_t next_rule_seq() {
-  static uint64_t counter = 0;
-  return ++counter;
-}
-
-std::string rule_id(const char* scenario, const std::string& src,
-                    const std::string& dst, const char* what) {
+// Rule IDs embed a sequence number so repeated applications of the same
+// spec stay distinguishable (FailureOrchestrator removes rules by ID). The
+// sequence is caller-owned — NOT a process-global — so that translations
+// are deterministic: a campaign worker translating experiment N always
+// mints the same IDs regardless of what other threads are doing.
+std::string rule_id(uint64_t* seq, const char* scenario,
+                    const std::string& src, const std::string& dst,
+                    const char* what) {
   return std::string(scenario) + "-" + what + "-" + src + "->" + dst + "-" +
-         std::to_string(next_rule_seq());
+         std::to_string(++*seq);
 }
 
 VoidResult require_service(const topology::AppGraph& graph,
@@ -130,14 +131,17 @@ const char* FailureSpec::kind_name() const {
 }
 
 Result<std::vector<FaultRule>> translate_failure(
-    const topology::AppGraph& graph, const FailureSpec& spec) {
+    const topology::AppGraph& graph, const FailureSpec& spec,
+    uint64_t* sequence) {
+  uint64_t local_seq = 0;
+  uint64_t* seq = sequence != nullptr ? sequence : &local_seq;
   std::vector<FaultRule> rules;
 
-  auto make_abort = [&spec](const std::string& src, const std::string& dst,
-                            int error, double probability,
-                            const char* scenario) {
+  auto make_abort = [&spec, seq](const std::string& src,
+                                 const std::string& dst, int error,
+                                 double probability, const char* scenario) {
     FaultRule r;
-    r.id = rule_id(scenario, src, dst, "abort");
+    r.id = rule_id(seq, scenario, src, dst, "abort");
     r.source = src;
     r.destination = dst;
     r.type = faults::FaultKind::kAbort;
@@ -148,11 +152,11 @@ Result<std::vector<FaultRule>> translate_failure(
     r.max_matches = spec.max_matches;
     return r;
   };
-  auto make_delay = [&spec](const std::string& src, const std::string& dst,
-                            Duration interval, double probability,
-                            const char* scenario) {
+  auto make_delay = [&spec, seq](const std::string& src,
+                                 const std::string& dst, Duration interval,
+                                 double probability, const char* scenario) {
     FaultRule r;
-    r.id = rule_id(scenario, src, dst, "delay");
+    r.id = rule_id(seq, scenario, src, dst, "delay");
     r.source = src;
     r.destination = dst;
     r.type = faults::FaultKind::kDelay;
@@ -193,7 +197,7 @@ Result<std::vector<FaultRule>> translate_failure(
       ok = require_service(graph, spec.b);
       if (!ok.ok()) return ok.error();
       FaultRule r;
-      r.id = rule_id("modify", spec.a, spec.b, "modify");
+      r.id = rule_id(seq, "modify", spec.a, spec.b, "modify");
       r.source = spec.a;
       r.destination = spec.b;
       r.type = faults::FaultKind::kModify;
@@ -252,7 +256,7 @@ Result<std::vector<FaultRule>> translate_failure(
       if (!ok.ok()) return ok.error();
       for (const auto& dep : graph.dependents(spec.b)) {
         FaultRule r;
-        r.id = rule_id("fake-success", dep, spec.b, "modify");
+        r.id = rule_id(seq, "fake-success", dep, spec.b, "modify");
         r.source = dep;
         r.destination = spec.b;
         r.type = faults::FaultKind::kModify;

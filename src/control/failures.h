@@ -82,7 +82,14 @@ struct FailureSpec {
 
 // Expands a spec into fault rules using the application graph. Fails when
 // the spec references services absent from the graph.
+//
+// Rule IDs carry a sequence number drawn from `sequence` (incremented per
+// rule) so repeated applications stay distinguishable; when null, a fresh
+// sequence starting at 0 is used. Either way IDs depend only on the inputs
+// — never on global state — so translations are reproducible and safe to
+// run from parallel campaign workers.
 Result<std::vector<faults::FaultRule>> translate_failure(
-    const topology::AppGraph& graph, const FailureSpec& spec);
+    const topology::AppGraph& graph, const FailureSpec& spec,
+    uint64_t* sequence = nullptr);
 
 }  // namespace gremlin::control

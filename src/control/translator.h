@@ -17,10 +17,13 @@ class RecipeTranslator {
 
   const topology::AppGraph& graph() const { return graph_; }
 
-  // Expands one failure scenario.
+  // Expands one failure scenario. Rule IDs are numbered from a translator-
+  // local sequence: deterministic for a given call history, unique across
+  // the translator's lifetime (so a session can apply the same spec twice
+  // and still remove the two rule sets independently).
   Result<std::vector<faults::FaultRule>> translate(
       const FailureSpec& spec) const {
-    return translate_failure(graph_, spec);
+    return translate_failure(graph_, spec, &seq_);
   }
 
   // Expands a whole scenario list, concatenating the rules in order (rule
@@ -30,6 +33,7 @@ class RecipeTranslator {
 
  private:
   topology::AppGraph graph_;
+  mutable uint64_t seq_ = 0;
 };
 
 }  // namespace gremlin::control

@@ -19,6 +19,53 @@ const Arg* Command::named(const std::string& key) const {
   return nullptr;
 }
 
+Error command_error(const Command& cmd, const std::string& msg) {
+  return Error::invalid_argument("recipe line " + std::to_string(cmd.line) +
+                                 ", " + cmd.name + ": " + msg);
+}
+
+Result<std::string> text_arg(const Command& cmd, size_t pos,
+                             const std::string& key) {
+  const Arg* arg = cmd.named(key);
+  if (arg == nullptr) arg = cmd.positional(pos);
+  if (arg == nullptr) {
+    return command_error(cmd, "missing argument '" + key + "'");
+  }
+  if (!arg->is_textual()) {
+    return command_error(cmd,
+                         "argument '" + key + "' must be a name or string");
+  }
+  return arg->text;
+}
+
+std::string text_arg_or(const Command& cmd, size_t pos,
+                        const std::string& key, std::string fallback) {
+  auto v = text_arg(cmd, pos, key);
+  return v.ok() ? v.value() : std::move(fallback);
+}
+
+double number_arg_or(const Command& cmd, size_t pos, const std::string& key,
+                     double fallback) {
+  const Arg* arg = cmd.named(key);
+  if (arg == nullptr) arg = cmd.positional(pos);
+  if (arg == nullptr || arg->kind != Arg::Kind::kNumber) return fallback;
+  return arg->number;
+}
+
+Duration duration_arg_or(const Command& cmd, size_t pos,
+                         const std::string& key, Duration fallback) {
+  const Arg* arg = cmd.named(key);
+  if (arg == nullptr) arg = cmd.positional(pos);
+  if (arg == nullptr || arg->kind != Arg::Kind::kDuration) return fallback;
+  return arg->duration;
+}
+
+bool bool_arg_or(const Command& cmd, const std::string& key, bool fallback) {
+  const Arg* arg = cmd.named(key);
+  if (arg == nullptr || !arg->is_textual()) return fallback;
+  return arg->text == "true" || arg->text == "yes" || arg->text == "on";
+}
+
 std::string RecipeFile::summary() const {
   std::string out;
   out += "graph: " + std::to_string(graph.service_count()) + " services, " +

@@ -47,6 +47,23 @@ struct Scenario {
   int line = 0;
 };
 
+// --- argument extraction (shared by the interpreter and the campaign
+// lowering pass): positional index OR named key, with type coercion and
+// defaults. ---
+
+// Error prefixed with the command's recipe line, for user-facing messages.
+Error command_error(const Command& cmd, const std::string& msg);
+
+Result<std::string> text_arg(const Command& cmd, size_t pos,
+                             const std::string& key);
+std::string text_arg_or(const Command& cmd, size_t pos,
+                        const std::string& key, std::string fallback);
+double number_arg_or(const Command& cmd, size_t pos, const std::string& key,
+                     double fallback);
+Duration duration_arg_or(const Command& cmd, size_t pos,
+                         const std::string& key, Duration fallback);
+bool bool_arg_or(const Command& cmd, const std::string& key, bool fallback);
+
 struct RecipeFile {
   topology::AppGraph graph;
   std::vector<Scenario> scenarios;

@@ -1,7 +1,6 @@
 #include "dsl/interp.h"
 
-#include <set>
-
+#include "dsl/lowering.h"
 #include "dsl/parser.h"
 
 namespace gremlin::dsl {
@@ -12,66 +11,9 @@ using control::TestSession;
 
 namespace {
 
+// Shortens the shared helper's name inside this file.
 Error cmd_error(const Command& cmd, const std::string& msg) {
-  return Error::invalid_argument("recipe line " + std::to_string(cmd.line) +
-                                 ", " + cmd.name + ": " + msg);
-}
-
-// Argument extraction helpers: positional index OR named key, with
-// type coercion and defaults.
-Result<std::string> text_arg(const Command& cmd, size_t pos,
-                             const std::string& key) {
-  const Arg* arg = cmd.named(key);
-  if (arg == nullptr) arg = cmd.positional(pos);
-  if (arg == nullptr) {
-    return cmd_error(cmd, "missing argument '" + key + "'");
-  }
-  if (!arg->is_textual()) {
-    return cmd_error(cmd, "argument '" + key + "' must be a name or string");
-  }
-  return arg->text;
-}
-
-std::string text_arg_or(const Command& cmd, size_t pos,
-                        const std::string& key, std::string fallback) {
-  auto v = text_arg(cmd, pos, key);
-  return v.ok() ? v.value() : std::move(fallback);
-}
-
-double number_arg_or(const Command& cmd, size_t pos, const std::string& key,
-                     double fallback) {
-  const Arg* arg = cmd.named(key);
-  if (arg == nullptr) arg = cmd.positional(pos);
-  if (arg == nullptr || arg->kind != Arg::Kind::kNumber) return fallback;
-  return arg->number;
-}
-
-Duration duration_arg_or(const Command& cmd, size_t pos,
-                         const std::string& key, Duration fallback) {
-  const Arg* arg = cmd.named(key);
-  if (arg == nullptr) arg = cmd.positional(pos);
-  if (arg == nullptr || arg->kind != Arg::Kind::kDuration) return fallback;
-  return arg->duration;
-}
-
-bool bool_arg_or(const Command& cmd, const std::string& key, bool fallback) {
-  const Arg* arg = cmd.named(key);
-  if (arg == nullptr || !arg->is_textual()) return fallback;
-  return arg->text == "true" || arg->text == "yes" || arg->text == "on";
-}
-
-// Applies shared fault options (pattern / probability / max_matches / on).
-void apply_common_options(const Command& cmd, FailureSpec* spec) {
-  spec->pattern = text_arg_or(cmd, 99, "pattern", spec->pattern);
-  spec->probability =
-      number_arg_or(cmd, 99, "probability", spec->probability);
-  const double max_matches = number_arg_or(cmd, 99, "max_matches", -1);
-  if (max_matches >= 0) {
-    spec->max_matches = static_cast<uint64_t>(max_matches);
-  }
-  const std::string on = text_arg_or(cmd, 99, "on", "");
-  if (on == "response") spec->on = logstore::MessageKind::kResponse;
-  if (on == "request") spec->on = logstore::MessageKind::kRequest;
+  return command_error(cmd, msg);
 }
 
 }  // namespace
@@ -108,143 +50,57 @@ std::string RunOutcome::report() const {
 }
 
 VoidResult Interpreter::ensure_services(const topology::AppGraph& graph) {
-  for (const auto& name : graph.services()) {
-    if (sim_->find_service(name) != nullptr) continue;
-    if (!autocreate_) {
-      return Error::failed_precondition(
-          "service '" + name +
-          "' is in the recipe graph but not in the simulation");
+  if (!autocreate_) {
+    for (const auto& name : graph.services()) {
+      if (sim_->find_service(name) == nullptr) {
+        return Error::failed_precondition(
+            "service '" + name +
+            "' is in the recipe graph but not in the simulation");
+      }
     }
-    sim::ServiceConfig cfg;
-    cfg.name = name;
-    cfg.processing_time = msec(1);
-    cfg.dependencies = graph.dependencies(name);
-    sim_->add_service(std::move(cfg));
+    return VoidResult::success();
   }
+  campaign::ensure_graph_services(sim_, graph);
   return VoidResult::success();
 }
 
 Result<bool> Interpreter::execute(TestSession* session, const Command& cmd,
-                                  ScenarioOutcome* outcome) {
+                                  ScenarioOutcome* outcome,
+                                  control::LoadResult* last_load) {
   const std::string& name = cmd.name;
 
-  // ---- failure scenarios ----
-  auto apply_spec = [&](FailureSpec spec) -> Result<bool> {
-    apply_common_options(cmd, &spec);
-    auto applied = session->apply(spec);
+  // ---- failure scenarios (vocabulary shared with campaign lowering) ----
+  auto failure = failure_spec_from_command(cmd);
+  if (!failure.ok()) return failure.error();
+  if (failure.value().has_value()) {
+    auto applied = session->apply(*failure.value());
     if (!applied.ok()) return cmd_error(cmd, applied.error().message);
     outcome->rules_installed += applied.value();
     return true;
-  };
-
-  if (name == "abort") {
-    auto src = text_arg(cmd, 0, "src");
-    if (!src.ok()) return src.error();
-    auto dst = text_arg(cmd, 1, "dst");
-    if (!dst.ok()) return dst.error();
-    const int error =
-        static_cast<int>(number_arg_or(cmd, 2, "error", 503));
-    return apply_spec(FailureSpec::abort_edge(src.value(), dst.value(),
-                                              error));
-  }
-  if (name == "delay") {
-    auto src = text_arg(cmd, 0, "src");
-    if (!src.ok()) return src.error();
-    auto dst = text_arg(cmd, 1, "dst");
-    if (!dst.ok()) return dst.error();
-    const Duration interval =
-        duration_arg_or(cmd, 2, "interval", msec(100));
-    return apply_spec(
-        FailureSpec::delay_edge(src.value(), dst.value(), interval));
-  }
-  if (name == "modify") {
-    auto src = text_arg(cmd, 0, "src");
-    if (!src.ok()) return src.error();
-    auto dst = text_arg(cmd, 1, "dst");
-    if (!dst.ok()) return dst.error();
-    auto match = text_arg(cmd, 2, "match");
-    if (!match.ok()) return match.error();
-    auto replace = text_arg(cmd, 3, "replace");
-    if (!replace.ok()) return replace.error();
-    return apply_spec(FailureSpec::modify_edge(src.value(), dst.value(),
-                                               match.value(),
-                                               replace.value()));
-  }
-  if (name == "disconnect") {
-    auto src = text_arg(cmd, 0, "src");
-    if (!src.ok()) return src.error();
-    auto dst = text_arg(cmd, 1, "dst");
-    if (!dst.ok()) return dst.error();
-    const int error = static_cast<int>(number_arg_or(cmd, 2, "error", 503));
-    return apply_spec(
-        FailureSpec::disconnect(src.value(), dst.value(), error));
-  }
-  if (name == "crash") {
-    auto svc = text_arg(cmd, 0, "service");
-    if (!svc.ok()) return svc.error();
-    return apply_spec(FailureSpec::crash(svc.value()));
   }
   if (name == "crash_recovery") {
     // Crash-recovery failure (Section 3.1): the service is down for
-    // `downtime` of virtual time, then heals.
+    // `downtime` of virtual time, then heals. Inherently time-scoped, so it
+    // stays an interpreter-only command (no declarative lowering).
     auto svc = text_arg(cmd, 0, "service");
     if (!svc.ok()) return svc.error();
     const Duration downtime = duration_arg_or(cmd, 1, "downtime", sec(5));
     FailureSpec spec = FailureSpec::crash(svc.value());
-    apply_common_options(cmd, &spec);
+    apply_common_fault_options(cmd, &spec);
     auto applied = session->apply_for(spec, downtime);
     if (!applied.ok()) return cmd_error(cmd, applied.error().message);
     outcome->rules_installed += applied.value();
     return true;
   }
-  if (name == "hang") {
-    auto svc = text_arg(cmd, 0, "service");
-    if (!svc.ok()) return svc.error();
-    const Duration interval = duration_arg_or(cmd, 1, "interval", hours(1));
-    return apply_spec(FailureSpec::hang(svc.value(), interval));
-  }
-  if (name == "overload") {
-    auto svc = text_arg(cmd, 0, "service");
-    if (!svc.ok()) return svc.error();
-    const Duration delay = duration_arg_or(cmd, 1, "delay", msec(100));
-    const double abort_fraction =
-        number_arg_or(cmd, 2, "abort_fraction", 0.25);
-    return apply_spec(
-        FailureSpec::overload(svc.value(), delay, abort_fraction));
-  }
-  if (name == "fake_success") {
-    auto svc = text_arg(cmd, 0, "service");
-    if (!svc.ok()) return svc.error();
-    auto match = text_arg(cmd, 1, "match");
-    if (!match.ok()) return match.error();
-    auto replace = text_arg(cmd, 2, "replace");
-    if (!replace.ok()) return replace.error();
-    return apply_spec(FailureSpec::fake_success(svc.value(), match.value(),
-                                                replace.value()));
-  }
-  if (name == "partition") {
-    const Arg* group = cmd.named("group");
-    if (group == nullptr) group = cmd.positional(0);
-    if (group == nullptr || group->kind != Arg::Kind::kList) {
-      return cmd_error(cmd, "partition requires a [list] of services");
-    }
-    return apply_spec(FailureSpec::partition(
-        std::set<std::string>(group->list.begin(), group->list.end())));
-  }
 
   // ---- workload & bookkeeping ----
   if (name == "load") {
-    const std::string client = text_arg_or(cmd, 0, "client", "user");
-    auto target = text_arg(cmd, 1, "target");
-    if (!target.ok()) return target.error();
-    control::LoadOptions load;
-    load.count = static_cast<size_t>(number_arg_or(cmd, 2, "count", 100));
-    load.gap = duration_arg_or(cmd, 3, "gap", msec(10));
-    load.closed_loop = bool_arg_or(cmd, "closed_loop", false);
-    load.id_prefix = text_arg_or(cmd, 99, "prefix", "test-");
-    load.horizon = duration_arg_or(cmd, 99, "horizon", kDurationZero);
-    session->run_load(client, target.value(), load);
-    outcome->requests_injected += load.count;
+    auto lowered = load_from_command(cmd);
+    if (!lowered.ok()) return lowered.error();
+    *last_load = session->run_load(lowered.value().client,
+                                   lowered.value().target,
+                                   lowered.value().options);
+    outcome->requests_injected += lowered.value().options.count;
     return true;
   }
   if (name == "collect") {
@@ -264,8 +120,12 @@ Result<bool> Interpreter::execute(TestSession* session, const Command& cmd,
     return true;
   }
 
-  // ---- assertions ----
-  auto record = [&](const CheckResult& result) -> Result<bool> {
+  // ---- assertions (vocabulary shared with campaign lowering) ----
+  auto check = check_spec_from_command(cmd);
+  if (!check.ok()) return check.error();
+  if (check.value().has_value()) {
+    const CheckResult result =
+        check.value()->evaluate(session->checker(), *last_load);
     outcome->checks.push_back(result);
     session->check(result);
     if (!result.passed && cmd.required) {
@@ -274,69 +134,6 @@ Result<bool> Interpreter::execute(TestSession* session, const Command& cmd,
       return false;  // stop the scenario
     }
     return true;
-  };
-
-  const auto checker = session->checker();
-  if (name == "has_timeouts") {
-    auto svc = text_arg(cmd, 0, "service");
-    if (!svc.ok()) return svc.error();
-    const Duration bound = duration_arg_or(cmd, 1, "max_latency", sec(1));
-    return record(checker.has_timeouts(svc.value(), bound));
-  }
-  if (name == "has_bounded_retries") {
-    auto src = text_arg(cmd, 0, "src");
-    if (!src.ok()) return src.error();
-    auto dst = text_arg(cmd, 1, "dst");
-    if (!dst.ok()) return dst.error();
-    const int max_tries =
-        static_cast<int>(number_arg_or(cmd, 2, "max_tries", 5));
-    return record(
-        checker.has_bounded_retries(src.value(), dst.value(), max_tries));
-  }
-  if (name == "has_circuit_breaker") {
-    auto src = text_arg(cmd, 0, "src");
-    if (!src.ok()) return src.error();
-    auto dst = text_arg(cmd, 1, "dst");
-    if (!dst.ok()) return dst.error();
-    const int threshold =
-        static_cast<int>(number_arg_or(cmd, 2, "threshold", 5));
-    const Duration tdelta = duration_arg_or(cmd, 3, "tdelta", sec(30));
-    const int success =
-        static_cast<int>(number_arg_or(cmd, 4, "success_threshold", 1));
-    return record(checker.has_circuit_breaker(src.value(), dst.value(),
-                                              threshold, tdelta, success));
-  }
-  if (name == "has_latency_slo") {
-    auto src = text_arg(cmd, 0, "src");
-    if (!src.ok()) return src.error();
-    auto dst = text_arg(cmd, 1, "dst");
-    if (!dst.ok()) return dst.error();
-    const double pct = number_arg_or(cmd, 2, "percentile", 99);
-    const Duration bound = duration_arg_or(cmd, 3, "bound", sec(1));
-    const bool with_rule = bool_arg_or(cmd, "with_rule", true);
-    return record(checker.has_latency_slo(src.value(), dst.value(), pct,
-                                          bound, with_rule));
-  }
-  if (name == "error_rate_below") {
-    auto src = text_arg(cmd, 0, "src");
-    if (!src.ok()) return src.error();
-    auto dst = text_arg(cmd, 1, "dst");
-    if (!dst.ok()) return dst.error();
-    const double max = number_arg_or(cmd, 2, "max", 0.01);
-    return record(checker.error_rate_below(src.value(), dst.value(), max));
-  }
-  if (name == "has_bulkhead") {
-    auto src = text_arg(cmd, 0, "src");
-    if (!src.ok()) return src.error();
-    auto slow = text_arg(cmd, 1, "slow_dst");
-    if (!slow.ok()) return slow.error();
-    const double rate = number_arg_or(cmd, 2, "rate", 1.0);
-    return record(checker.has_bulkhead(src.value(), slow.value(), rate));
-  }
-  if (name == "failure_contained") {
-    auto origin = text_arg(cmd, 0, "origin");
-    if (!origin.ok()) return origin.error();
-    return record(checker.failure_contained(origin.value()));
   }
 
   return cmd_error(cmd, "unknown command");
@@ -351,8 +148,9 @@ Result<RunOutcome> Interpreter::run(const RecipeFile& file) {
     TestSession session(sim_, file.graph);
     ScenarioOutcome outcome;
     outcome.name = scenario.name;
+    control::LoadResult last_load;
     for (const auto& cmd : scenario.commands) {
-      auto cont = execute(&session, cmd, &outcome);
+      auto cont = execute(&session, cmd, &outcome, &last_load);
       if (!cont.ok()) return cont.error();
       if (!cont.value()) break;  // require failed: abort this scenario
     }

@@ -19,7 +19,13 @@
 //     max_tries), has_circuit_breaker(src, dst, threshold=5, tdelta=30s,
 //     success_threshold=1), has_bulkhead(src, slow_dst, rate),
 //     has_latency_slo(src, dst, percentile=99, bound=1s, with_rule=true),
-//     error_rate_below(src, dst, max=0.01)
+//     error_rate_below(src, dst, max=0.01), failure_contained(origin),
+//     max_user_failures(max=0) — bounds client-observed failures of the
+//     most recent load
+//
+// The command vocabulary (failure + assertion parsing) is shared with the
+// campaign lowering pass in dsl/lowering.h, so `gremlin run` and
+// `gremlin campaign` accept the same recipes.
 //   require <check>(...) — like assert, but aborts the scenario on failure
 //     (the conditional chaining of Section 4.2)
 //
@@ -64,7 +70,8 @@ class Interpreter {
  private:
   VoidResult ensure_services(const topology::AppGraph& graph);
   Result<bool> execute(control::TestSession* session, const Command& cmd,
-                       ScenarioOutcome* outcome);
+                       ScenarioOutcome* outcome,
+                       control::LoadResult* last_load);
 
   sim::Simulation* sim_;
   bool autocreate_ = true;

@@ -1,0 +1,266 @@
+#include "dsl/lowering.h"
+
+#include <set>
+
+namespace gremlin::dsl {
+
+using campaign::CheckSpec;
+using campaign::Experiment;
+using control::FailureSpec;
+
+void apply_common_fault_options(const Command& cmd, FailureSpec* spec) {
+  spec->pattern = text_arg_or(cmd, 99, "pattern", spec->pattern);
+  spec->probability =
+      number_arg_or(cmd, 99, "probability", spec->probability);
+  const double max_matches = number_arg_or(cmd, 99, "max_matches", -1);
+  if (max_matches >= 0) {
+    spec->max_matches = static_cast<uint64_t>(max_matches);
+  }
+  const std::string on = text_arg_or(cmd, 99, "on", "");
+  if (on == "response") spec->on = logstore::MessageKind::kResponse;
+  if (on == "request") spec->on = logstore::MessageKind::kRequest;
+}
+
+Result<std::optional<FailureSpec>> failure_spec_from_command(
+    const Command& cmd) {
+  const std::string& name = cmd.name;
+
+  auto finish = [&cmd](FailureSpec spec) -> Result<std::optional<FailureSpec>> {
+    apply_common_fault_options(cmd, &spec);
+    return std::optional<FailureSpec>(std::move(spec));
+  };
+
+  if (name == "abort") {
+    auto src = text_arg(cmd, 0, "src");
+    if (!src.ok()) return src.error();
+    auto dst = text_arg(cmd, 1, "dst");
+    if (!dst.ok()) return dst.error();
+    const int error = static_cast<int>(number_arg_or(cmd, 2, "error", 503));
+    return finish(FailureSpec::abort_edge(src.value(), dst.value(), error));
+  }
+  if (name == "delay") {
+    auto src = text_arg(cmd, 0, "src");
+    if (!src.ok()) return src.error();
+    auto dst = text_arg(cmd, 1, "dst");
+    if (!dst.ok()) return dst.error();
+    const Duration interval = duration_arg_or(cmd, 2, "interval", msec(100));
+    return finish(
+        FailureSpec::delay_edge(src.value(), dst.value(), interval));
+  }
+  if (name == "modify") {
+    auto src = text_arg(cmd, 0, "src");
+    if (!src.ok()) return src.error();
+    auto dst = text_arg(cmd, 1, "dst");
+    if (!dst.ok()) return dst.error();
+    auto match = text_arg(cmd, 2, "match");
+    if (!match.ok()) return match.error();
+    auto replace = text_arg(cmd, 3, "replace");
+    if (!replace.ok()) return replace.error();
+    return finish(FailureSpec::modify_edge(src.value(), dst.value(),
+                                           match.value(), replace.value()));
+  }
+  if (name == "disconnect") {
+    auto src = text_arg(cmd, 0, "src");
+    if (!src.ok()) return src.error();
+    auto dst = text_arg(cmd, 1, "dst");
+    if (!dst.ok()) return dst.error();
+    const int error = static_cast<int>(number_arg_or(cmd, 2, "error", 503));
+    return finish(
+        FailureSpec::disconnect(src.value(), dst.value(), error));
+  }
+  if (name == "crash") {
+    auto svc = text_arg(cmd, 0, "service");
+    if (!svc.ok()) return svc.error();
+    return finish(FailureSpec::crash(svc.value()));
+  }
+  if (name == "hang") {
+    auto svc = text_arg(cmd, 0, "service");
+    if (!svc.ok()) return svc.error();
+    const Duration interval = duration_arg_or(cmd, 1, "interval", hours(1));
+    return finish(FailureSpec::hang(svc.value(), interval));
+  }
+  if (name == "overload") {
+    auto svc = text_arg(cmd, 0, "service");
+    if (!svc.ok()) return svc.error();
+    const Duration delay = duration_arg_or(cmd, 1, "delay", msec(100));
+    const double abort_fraction =
+        number_arg_or(cmd, 2, "abort_fraction", 0.25);
+    return finish(
+        FailureSpec::overload(svc.value(), delay, abort_fraction));
+  }
+  if (name == "fake_success") {
+    auto svc = text_arg(cmd, 0, "service");
+    if (!svc.ok()) return svc.error();
+    auto match = text_arg(cmd, 1, "match");
+    if (!match.ok()) return match.error();
+    auto replace = text_arg(cmd, 2, "replace");
+    if (!replace.ok()) return replace.error();
+    return finish(FailureSpec::fake_success(svc.value(), match.value(),
+                                            replace.value()));
+  }
+  if (name == "partition") {
+    const Arg* group = cmd.named("group");
+    if (group == nullptr) group = cmd.positional(0);
+    if (group == nullptr || group->kind != Arg::Kind::kList) {
+      return command_error(cmd, "partition requires a [list] of services");
+    }
+    return finish(FailureSpec::partition(
+        std::set<std::string>(group->list.begin(), group->list.end())));
+  }
+  return std::optional<FailureSpec>();
+}
+
+Result<std::optional<CheckSpec>> check_spec_from_command(const Command& cmd) {
+  const std::string& name = cmd.name;
+
+  if (name == "has_timeouts") {
+    auto svc = text_arg(cmd, 0, "service");
+    if (!svc.ok()) return svc.error();
+    const Duration bound = duration_arg_or(cmd, 1, "max_latency", sec(1));
+    return std::optional<CheckSpec>(
+        CheckSpec::has_timeouts(svc.value(), bound));
+  }
+  if (name == "has_bounded_retries") {
+    auto src = text_arg(cmd, 0, "src");
+    if (!src.ok()) return src.error();
+    auto dst = text_arg(cmd, 1, "dst");
+    if (!dst.ok()) return dst.error();
+    const int max_tries =
+        static_cast<int>(number_arg_or(cmd, 2, "max_tries", 5));
+    return std::optional<CheckSpec>(
+        CheckSpec::has_bounded_retries(src.value(), dst.value(), max_tries));
+  }
+  if (name == "has_circuit_breaker") {
+    auto src = text_arg(cmd, 0, "src");
+    if (!src.ok()) return src.error();
+    auto dst = text_arg(cmd, 1, "dst");
+    if (!dst.ok()) return dst.error();
+    const int threshold =
+        static_cast<int>(number_arg_or(cmd, 2, "threshold", 5));
+    const Duration tdelta = duration_arg_or(cmd, 3, "tdelta", sec(30));
+    const int success =
+        static_cast<int>(number_arg_or(cmd, 4, "success_threshold", 1));
+    return std::optional<CheckSpec>(CheckSpec::has_circuit_breaker(
+        src.value(), dst.value(), threshold, tdelta, success));
+  }
+  if (name == "has_latency_slo") {
+    auto src = text_arg(cmd, 0, "src");
+    if (!src.ok()) return src.error();
+    auto dst = text_arg(cmd, 1, "dst");
+    if (!dst.ok()) return dst.error();
+    const double pct = number_arg_or(cmd, 2, "percentile", 99);
+    const Duration bound = duration_arg_or(cmd, 3, "bound", sec(1));
+    const bool with_rule = bool_arg_or(cmd, "with_rule", true);
+    return std::optional<CheckSpec>(CheckSpec::has_latency_slo(
+        src.value(), dst.value(), pct, bound, with_rule));
+  }
+  if (name == "error_rate_below") {
+    auto src = text_arg(cmd, 0, "src");
+    if (!src.ok()) return src.error();
+    auto dst = text_arg(cmd, 1, "dst");
+    if (!dst.ok()) return dst.error();
+    const double max = number_arg_or(cmd, 2, "max", 0.01);
+    return std::optional<CheckSpec>(
+        CheckSpec::error_rate_below(src.value(), dst.value(), max));
+  }
+  if (name == "has_bulkhead") {
+    auto src = text_arg(cmd, 0, "src");
+    if (!src.ok()) return src.error();
+    auto slow = text_arg(cmd, 1, "slow_dst");
+    if (!slow.ok()) return slow.error();
+    const double rate = number_arg_or(cmd, 2, "rate", 1.0);
+    return std::optional<CheckSpec>(
+        CheckSpec::has_bulkhead(src.value(), slow.value(), rate));
+  }
+  if (name == "failure_contained") {
+    auto origin = text_arg(cmd, 0, "origin");
+    if (!origin.ok()) return origin.error();
+    return std::optional<CheckSpec>(
+        CheckSpec::failure_contained(origin.value()));
+  }
+  if (name == "max_user_failures") {
+    const auto max_failures =
+        static_cast<size_t>(number_arg_or(cmd, 0, "max", 0));
+    return std::optional<CheckSpec>(
+        CheckSpec::max_user_failures(max_failures));
+  }
+  return std::optional<CheckSpec>();
+}
+
+Result<LoweredLoad> load_from_command(const Command& cmd) {
+  LoweredLoad lowered;
+  lowered.client = text_arg_or(cmd, 0, "client", "user");
+  auto target = text_arg(cmd, 1, "target");
+  if (!target.ok()) return target.error();
+  lowered.target = target.value();
+  lowered.options.count =
+      static_cast<size_t>(number_arg_or(cmd, 2, "count", 100));
+  lowered.options.gap = duration_arg_or(cmd, 3, "gap", msec(10));
+  lowered.options.closed_loop = bool_arg_or(cmd, "closed_loop", false);
+  lowered.options.id_prefix = text_arg_or(cmd, 99, "prefix", "test-");
+  lowered.options.horizon =
+      duration_arg_or(cmd, 99, "horizon", kDurationZero);
+  return lowered;
+}
+
+Result<std::vector<Experiment>> lower_recipe(const RecipeFile& file,
+                                             const campaign::AppSpec& app,
+                                             uint64_t seed) {
+  std::vector<Experiment> experiments;
+  experiments.reserve(file.scenarios.size());
+  for (const auto& scenario : file.scenarios) {
+    Experiment e;
+    e.id = scenario.name;
+    e.app = app;
+    e.seed = seed;
+    bool saw_load = false;
+
+    for (const auto& cmd : scenario.commands) {
+      if (cmd.required) {
+        return command_error(
+            cmd, "'require' chains scenarios imperatively and cannot be "
+                 "lowered to a campaign experiment; run with 'gremlin run'");
+      }
+      auto failure = failure_spec_from_command(cmd);
+      if (!failure.ok()) return failure.error();
+      if (failure.value().has_value()) {
+        if (saw_load) {
+          return command_error(
+              cmd, "failures staged after 'load' need chained execution; "
+                   "run with 'gremlin run'");
+        }
+        e.failures.push_back(std::move(*failure.value()));
+        continue;
+      }
+      if (cmd.name == "load") {
+        if (saw_load) {
+          return command_error(cmd,
+                               "multiple 'load' phases need chained "
+                               "execution; run with 'gremlin run'");
+        }
+        auto lowered = load_from_command(cmd);
+        if (!lowered.ok()) return lowered.error();
+        e.load = lowered.value().options;
+        e.client = lowered.value().client;
+        e.target = lowered.value().target;
+        saw_load = true;
+        continue;
+      }
+      if (cmd.name == "collect") continue;  // the runner always collects
+      auto check = check_spec_from_command(cmd);
+      if (!check.ok()) return check.error();
+      if (check.value().has_value()) {
+        e.checks.push_back(std::move(*check.value()));
+        continue;
+      }
+      return command_error(
+          cmd, "'" + cmd.name +
+                   "' is imperative and cannot be lowered to a campaign "
+                   "experiment; run with 'gremlin run'");
+    }
+    experiments.push_back(std::move(e));
+  }
+  return experiments;
+}
+
+}  // namespace gremlin::dsl

@@ -1,0 +1,61 @@
+// Recipe → Experiment lowering: the bridge from the recipe DSL to the
+// campaign engine.
+//
+// The interpreter executes a recipe imperatively against one live
+// simulation; lowering instead compiles each scenario into a declarative
+// campaign::Experiment so the CampaignRunner can execute scenarios in
+// parallel on private simulations, replicate them across seeds, and mix
+// them with generated sweeps.
+//
+// Both paths share one command vocabulary: the parsers here turn a DSL
+// Command into a FailureSpec / CheckSpec value, and the interpreter applies
+// the same values imperatively.
+//
+// A scenario lowers cleanly when it is declarative: failure commands, then
+// one optional `load`, then assertions (`collect` is implicit — the runner
+// always collects before checking). Scenarios using chained control flow
+// (`require`, `clear`, `clear_logs`, `crash_recovery`, multiple loads)
+// cannot run as a single isolated experiment and are rejected with the
+// offending line, pointing the operator at `gremlin run`.
+#pragma once
+
+#include <optional>
+
+#include "campaign/experiment.h"
+#include "dsl/ast.h"
+
+namespace gremlin::dsl {
+
+// Applies the fault options every failure command accepts
+// (pattern / probability / max_matches / on) from `cmd` onto `spec`.
+void apply_common_fault_options(const Command& cmd,
+                                control::FailureSpec* spec);
+
+// Parses a failure command (abort, delay, modify, disconnect, crash, hang,
+// overload, fake_success, partition) into a FailureSpec with common options
+// applied. Returns nullopt when `cmd` is not a failure command.
+Result<std::optional<control::FailureSpec>> failure_spec_from_command(
+    const Command& cmd);
+
+// Parses an assertion command (has_timeouts, has_bounded_retries,
+// has_circuit_breaker, has_bulkhead, has_latency_slo, error_rate_below,
+// failure_contained, max_user_failures) into a CheckSpec. Returns nullopt
+// when `cmd` is not an assertion command.
+Result<std::optional<campaign::CheckSpec>> check_spec_from_command(
+    const Command& cmd);
+
+// Parses a `load` command into LoadOptions plus its client/target names.
+struct LoweredLoad {
+  control::LoadOptions options;
+  std::string client;
+  std::string target;
+};
+Result<LoweredLoad> load_from_command(const Command& cmd);
+
+// Lowers every scenario of `file` into one Experiment built on `app`
+// (typically campaign::AppSpec::from_graph(file.graph)). Experiment ids are
+// the scenario names; every experiment gets `seed`.
+Result<std::vector<campaign::Experiment>> lower_recipe(
+    const RecipeFile& file, const campaign::AppSpec& app, uint64_t seed);
+
+}  // namespace gremlin::dsl

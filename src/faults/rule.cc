@@ -1,11 +1,14 @@
 #include "faults/rule.h"
 
+#include <atomic>
+
 namespace gremlin::faults {
 namespace {
 
+// Atomic: rule factories may be called from parallel campaign workers.
 uint64_t next_anonymous_id() {
-  static uint64_t counter = 0;
-  return ++counter;
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
 std::string fault_kind_name(FaultKind k) { return logstore::to_string(k); }

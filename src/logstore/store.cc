@@ -26,6 +26,7 @@ void sort_by_time(RecordList* list) {
 void LogStore::append(LogRecord record) {
   std::lock_guard lock(mu_);
   by_edge_[{record.src, record.dst}].push_back(records_.size());
+  by_id_[record.request_id].push_back(records_.size());
   records_.push_back(std::move(record));
 }
 
@@ -33,6 +34,7 @@ void LogStore::append_all(const RecordList& records) {
   std::lock_guard lock(mu_);
   for (const auto& r : records) {
     by_edge_[{r.src, r.dst}].push_back(records_.size());
+    by_id_[r.request_id].push_back(records_.size());
     records_.push_back(r);
   }
 }
@@ -41,6 +43,7 @@ void LogStore::clear() {
   std::lock_guard lock(mu_);
   records_.clear();
   by_edge_.clear();
+  by_id_.clear();
 }
 
 size_t LogStore::size() const {
@@ -51,13 +54,42 @@ size_t LogStore::size() const {
 RecordList LogStore::query_locked(const Query& q) const {
   const Glob glob(q.id_pattern.empty() ? "*" : q.id_pattern);
   RecordList out;
-  if (!q.src.empty() && !q.dst.empty()) {
+
+  // Query planning: pick the most selective access path, then let
+  // record_matches apply the remaining filters.
+  //   1. exact request ID      -> by_id_ point lookup
+  //   2. src & dst both fixed  -> by_edge_ point lookup
+  //   3. literal-prefix glob   -> by_id_ ordered range scan
+  //   4. anything else         -> full scan
+  std::vector<size_t> candidates;
+  bool indexed = false;
+  if (glob.is_literal()) {
+    indexed = true;
+    const auto it = by_id_.find(glob.pattern());
+    if (it != by_id_.end()) candidates = it->second;
+  } else if (!q.src.empty() && !q.dst.empty()) {
+    indexed = true;
     const auto it = by_edge_.find({q.src, q.dst});
-    if (it != by_edge_.end()) {
-      for (const size_t idx : it->second) {
-        const LogRecord& r = records_[idx];
-        if (record_matches(r, q, glob)) out.push_back(r);
-      }
+    if (it != by_edge_.end()) candidates = it->second;
+  } else if (const auto prefix = glob.literal_prefix();
+             prefix.has_value() && !prefix->empty()) {
+    indexed = true;
+    for (auto it = by_id_.lower_bound(*prefix);
+         it != by_id_.end() &&
+         std::string_view(it->first).substr(0, prefix->size()) == *prefix;
+         ++it) {
+      candidates.insert(candidates.end(), it->second.begin(),
+                        it->second.end());
+    }
+    // Range scans visit IDs lexicographically; restore arrival order so the
+    // time sort below stays stable across access paths.
+    std::sort(candidates.begin(), candidates.end());
+  }
+
+  if (indexed) {
+    for (const size_t idx : candidates) {
+      const LogRecord& r = records_[idx];
+      if (record_matches(r, q, glob)) out.push_back(r);
     }
   } else {
     for (const LogRecord& r : records_) {

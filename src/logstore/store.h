@@ -72,6 +72,11 @@ class LogStore {
   // Secondary index: (src, dst) -> record positions. Keeps Fig. 7's
   // per-service assertion queries sublinear in total log volume.
   std::map<std::pair<std::string, std::string>, std::vector<size_t>> by_edge_;
+  // Secondary index: request ID -> record positions. Answers exact-ID
+  // lookups (request tracing) with a point query and literal-prefix
+  // patterns ("test-*") with an ordered range scan — both without touching
+  // records that belong to other flows.
+  std::map<std::string, std::vector<size_t>, std::less<>> by_id_;
 };
 
 }  // namespace gremlin::logstore

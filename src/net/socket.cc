@@ -30,22 +30,23 @@ VoidResult set_timeout_option(int fd, int option, Duration timeout) {
 
 Socket::~Socket() { close(); }
 
-Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+Socket::Socket(Socket&& other) noexcept
+    : fd_(other.fd_.exchange(-1, std::memory_order_acq_rel)) {}
 
 Socket& Socket::operator=(Socket&& other) noexcept {
   if (this != &other) {
     close();
-    fd_ = other.fd_;
-    other.fd_ = -1;
+    fd_.store(other.fd_.exchange(-1, std::memory_order_acq_rel),
+              std::memory_order_release);
   }
   return *this;
 }
 
 void Socket::close() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
-  }
+  // exchange() makes concurrent close() calls race-free: exactly one
+  // caller observes the live fd and releases it.
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) ::close(fd);
 }
 
 Result<TcpStream> TcpStream::connect(const std::string& host, uint16_t port,

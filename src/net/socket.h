@@ -5,6 +5,7 @@
 // loopback-scale integration tests and examples this library ships.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -14,6 +15,10 @@
 namespace gremlin::net {
 
 // Owns a socket file descriptor.
+//
+// The fd is atomic because close() may legitimately race with another
+// thread blocked in read()/accept() on the same socket — that cross-thread
+// close is how listeners and pooled connections are shut down.
 class Socket {
  public:
   Socket() = default;
@@ -25,12 +30,12 @@ class Socket {
   Socket(Socket&& other) noexcept;
   Socket& operator=(Socket&& other) noexcept;
 
-  bool valid() const { return fd_ >= 0; }
-  int fd() const { return fd_; }
+  bool valid() const { return fd_.load(std::memory_order_acquire) >= 0; }
+  int fd() const { return fd_.load(std::memory_order_acquire); }
   void close();
 
  private:
-  int fd_ = -1;
+  std::atomic<int> fd_{-1};
 };
 
 // A connected TCP stream.

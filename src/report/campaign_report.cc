@@ -1,0 +1,137 @@
+#include "report/campaign_report.h"
+
+#include <cstdio>
+
+namespace gremlin::report {
+
+namespace {
+
+std::string fmt_ms(Duration d) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1fms", to_millis(d));
+  return buf;
+}
+
+}  // namespace
+
+Json CampaignReport::to_json() const {
+  Json j = Json::object();
+  j["title"] = title;
+  j["total"] = static_cast<int64_t>(total);
+  j["passed"] = static_cast<int64_t>(passed);
+  j["failed"] = static_cast<int64_t>(failed);
+  j["errors"] = static_cast<int64_t>(errors);
+  j["threads"] = static_cast<int64_t>(threads);
+  j["wall_clock_us"] = wall_clock.count();
+  Json rows_json = Json::array();
+  for (const auto& row : rows) {
+    Json rj = Json::object();
+    rj["id"] = row.id;
+    rj["seed"] = static_cast<int64_t>(row.seed);
+    rj["ok"] = row.ok;
+    rj["passed"] = row.passed;
+    if (!row.error.empty()) rj["error"] = row.error;
+    rj["checks_passed"] = static_cast<int64_t>(row.checks_passed);
+    rj["checks_total"] = static_cast<int64_t>(row.checks_total);
+    rj["requests"] = static_cast<int64_t>(row.requests);
+    rj["failures"] = static_cast<int64_t>(row.failures);
+    if (row.latency.count > 0) {
+      rj["latency_p50_us"] = row.latency.p50.count();
+      rj["latency_p99_us"] = row.latency.p99.count();
+      rj["latency_max_us"] = row.latency.max.count();
+    }
+    if (!row.failed_checks.empty()) {
+      Json checks_json = Json::array();
+      for (const auto& c : row.failed_checks) {
+        Json cj = Json::object();
+        cj["name"] = c.name;
+        cj["detail"] = c.detail;
+        checks_json.push_back(std::move(cj));
+      }
+      rj["failed_checks"] = checks_json;
+    }
+    rows_json.push_back(std::move(rj));
+  }
+  j["experiments"] = rows_json;
+  return j;
+}
+
+std::string CampaignReport::to_markdown() const {
+  std::string out = "# Gremlin campaign — " + title + "\n\n";
+  out += all_passed() ? "**Result: PASS**" : "**Result: FAIL**";
+  out += " (" + std::to_string(passed) + "/" + std::to_string(total) +
+         " experiments passed";
+  if (errors > 0) out += ", " + std::to_string(errors) + " errored";
+  out += "; " + std::to_string(threads) + " threads, " + fmt_ms(wall_clock) +
+         " wall clock)\n\n";
+
+  // Failures first — the reason the campaign ran.
+  if (failed > 0 || errors > 0) {
+    out += "## Failing experiments\n\n";
+    for (const auto& row : rows) {
+      if (row.passed) continue;
+      out += "- ❌ `" + row.id + "` (seed " + std::to_string(row.seed) + ")";
+      if (!row.ok) {
+        out += " — error: " + row.error + "\n";
+        continue;
+      }
+      out += " — " + std::to_string(row.failures) + "/" +
+             std::to_string(row.requests) + " user-visible failures\n";
+      for (const auto& c : row.failed_checks) {
+        out += "  - `" + c.name + "` — " + c.detail + "\n";
+      }
+    }
+    out += "\n";
+  }
+
+  out += "## All experiments\n\n";
+  out += "| experiment | seed | verdict | checks | failures | p50 | p99 |\n";
+  out += "|---|---|---|---|---|---|---|\n";
+  for (const auto& row : rows) {
+    out += "| `" + row.id + "` | " + std::to_string(row.seed) + " | " +
+           (row.passed ? "PASS" : (row.ok ? "FAIL" : "ERROR")) + " | " +
+           std::to_string(row.checks_passed) + "/" +
+           std::to_string(row.checks_total) + " | " +
+           std::to_string(row.failures) + "/" + std::to_string(row.requests);
+    if (row.latency.count > 0) {
+      out += " | " + fmt_ms(row.latency.p50) + " | " + fmt_ms(row.latency.p99);
+    } else {
+      out += " | — | —";
+    }
+    out += " |\n";
+  }
+  return out;
+}
+
+CampaignReport build_campaign_report(const campaign::CampaignResult& result,
+                                     std::string title) {
+  CampaignReport report;
+  report.title = std::move(title);
+  report.total = result.experiments.size();
+  report.passed = result.passed();
+  report.failed = result.failed();
+  report.errors = result.errors();
+  report.threads = result.threads;
+  report.wall_clock = result.wall_clock;
+  report.rows.reserve(report.total);
+  for (const auto& e : result.experiments) {
+    ExperimentRow row;
+    row.id = e.id;
+    row.seed = e.seed;
+    row.ok = e.ok;
+    row.passed = e.passed();
+    row.error = e.error;
+    row.checks_passed = e.checks_passed;
+    row.checks_total = e.checks.size();
+    row.requests = e.requests;
+    row.failures = e.failures;
+    if (!e.latencies.empty()) row.latency = workload::summarize(e.latencies);
+    for (const auto& c : e.checks) {
+      if (!c.passed) row.failed_checks.push_back(c);
+    }
+    report.rows.push_back(std::move(row));
+  }
+  return report;
+}
+
+}  // namespace gremlin::report

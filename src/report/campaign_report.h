@@ -1,0 +1,53 @@
+// CampaignReport: the operator-facing aggregate of a campaign run.
+//
+// Where a TestReport explains one test, a CampaignReport summarizes
+// hundreds: per-experiment verdicts with latency statistics, the failing
+// subset up front (the "which scenarios break the app" answer a sweep
+// exists to produce), and campaign-level throughput numbers. Exportable as
+// JSON (dashboards/CI) or Markdown (humans).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "campaign/runner.h"
+#include "common/json.h"
+#include "workload/stats.h"
+
+namespace gremlin::report {
+
+struct ExperimentRow {
+  std::string id;
+  uint64_t seed = 0;
+  bool ok = false;
+  bool passed = false;
+  std::string error;
+  size_t checks_passed = 0;
+  size_t checks_total = 0;
+  size_t requests = 0;
+  size_t failures = 0;
+  workload::Summary latency;  // empty when latencies were dropped
+  std::vector<control::CheckResult> failed_checks;
+};
+
+struct CampaignReport {
+  std::string title;
+  size_t total = 0;
+  size_t passed = 0;
+  size_t failed = 0;  // ran, but at least one check failed
+  size_t errors = 0;  // infrastructure error (translate/install/collect)
+  int threads = 1;
+  Duration wall_clock{};
+
+  std::vector<ExperimentRow> rows;  // campaign order
+
+  bool all_passed() const { return passed == total; }
+
+  Json to_json() const;
+  std::string to_markdown() const;
+};
+
+CampaignReport build_campaign_report(const campaign::CampaignResult& result,
+                                     std::string title);
+
+}  // namespace gremlin::report

@@ -1,0 +1,276 @@
+// Campaign engine tests: the determinism contract (thread count never
+// changes results), experiment isolation (same seed + same spec = same
+// behaviour whether an experiment runs alone or inside a shared campaign),
+// sweep generation, seed replication, and recipe lowering.
+#include <gtest/gtest.h>
+
+#include "campaign/app_spec.h"
+#include "campaign/experiment.h"
+#include "campaign/runner.h"
+#include "dsl/lowering.h"
+#include "dsl/parser.h"
+#include "report/campaign_report.h"
+
+namespace gremlin::campaign {
+namespace {
+
+control::LoadOptions small_load() {
+  control::LoadOptions load;
+  load.count = 30;
+  load.gap = msec(5);
+  return load;
+}
+
+std::vector<Experiment> buggy_tree_sweep(uint64_t seed = 42) {
+  const AppSpec app = AppSpec::buggy_tree();
+  SweepOptions options;
+  options.load = small_load();
+  options.seed = seed;
+  return generate_sweep(app, app.probe_graph(), options);
+}
+
+TEST(SweepTest, EnumeratesEdgesAndServices) {
+  const AppSpec app = AppSpec::buggy_tree();
+  const topology::AppGraph graph = app.probe_graph();
+  // Depth-3 binary tree: 7 services + user, 6 tree edges + user->svc0.
+  ASSERT_EQ(graph.edge_count(), 7u);
+
+  const auto experiments = buggy_tree_sweep();
+  // Load target resolves to svc0 (the front door "user" calls), which is
+  // excluded from faults along with "user" itself:
+  //   edge kinds (abort, delay, disconnect): 6 edges not entering svc0/user
+  //   service kinds (overload, crash): 6 services (all but svc0 and user)
+  EXPECT_EQ(experiments.size(), 3u * 6u + 2u * 6u);
+  for (const auto& e : experiments) {
+    EXPECT_EQ(e.target, "svc0");
+    EXPECT_EQ(e.client, "user");
+    ASSERT_EQ(e.checks.size(), 1u);
+    EXPECT_EQ(e.checks[0].kind, CheckSpec::Kind::kMaxUserFailures);
+    ASSERT_EQ(e.failures.size(), 1u);
+    EXPECT_FALSE(e.id.empty());
+  }
+}
+
+TEST(SweepTest, FindsThePlantedBug) {
+  // The buggy tree has exactly one latent bug: svc0 handles a failing svc2
+  // with neither timeout nor fallback. The systematic sweep must flag
+  // experiments that touch svc2 and pass everything else.
+  const auto experiments = buggy_tree_sweep();
+  const CampaignRunner runner(RunnerOptions{.threads = 1});
+  const CampaignResult result = runner.run(experiments);
+
+  ASSERT_EQ(result.experiments.size(), experiments.size());
+  EXPECT_EQ(result.errors(), 0u);
+  EXPECT_GT(result.failed(), 0u);
+  for (const auto& r : result.experiments) {
+    const bool touches_bug = r.id.find("svc2") != std::string::npos;
+    if (!touches_bug) {
+      EXPECT_TRUE(r.passed()) << r.id << " should pass but failed";
+    }
+  }
+  // The direct hit on the unprotected edge must surface the bug.
+  for (const auto& r : result.experiments) {
+    if (r.id == "abort(svc0->svc2)" || r.id == "crash(svc2)") {
+      EXPECT_FALSE(r.passed()) << r.id << " should expose the missing "
+                                  "fallback";
+    }
+  }
+}
+
+TEST(SweepTest, ReplicateSeedsClonesWithNewSeeds) {
+  auto base = buggy_tree_sweep();
+  base.resize(2);
+  const auto replicated = replicate_seeds(base, {1, 2, 3});
+  ASSERT_EQ(replicated.size(), 6u);
+  EXPECT_EQ(replicated[0].seed, 1u);
+  EXPECT_EQ(replicated[2].seed, 3u);
+  EXPECT_NE(replicated[0].id.find(" seed=1"), std::string::npos);
+  EXPECT_EQ(replicated[0].id.substr(0, base[0].id.size()), base[0].id);
+}
+
+TEST(RunnerTest, ThreadCountNeverChangesResults) {
+  // The headline determinism contract: a parallel campaign is byte-identical
+  // to a sequential one. Fingerprints cover check verdicts, counters, and
+  // every per-request latency/status value.
+  const auto experiments =
+      replicate_seeds(buggy_tree_sweep(), {7, 1234567});
+  const CampaignResult sequential =
+      CampaignRunner(RunnerOptions{.threads = 1}).run(experiments);
+  const CampaignResult parallel =
+      CampaignRunner(RunnerOptions{.threads = 8}).run(experiments);
+
+  ASSERT_EQ(sequential.experiments.size(), parallel.experiments.size());
+  EXPECT_EQ(sequential.fingerprint(), parallel.fingerprint());
+  EXPECT_EQ(parallel.threads, 8);
+}
+
+TEST(RunnerTest, ExperimentsAreIsolated) {
+  // Same seed, different failure spec: each experiment gets its own private
+  // simulation + RNG, so running an experiment inside a big shared campaign
+  // gives exactly the result of running it alone.
+  const auto experiments = buggy_tree_sweep();
+  const CampaignResult batch =
+      CampaignRunner(RunnerOptions{.threads = 4}).run(experiments);
+  for (size_t i = 0; i < experiments.size(); i += 7) {
+    const ExperimentResult alone = CampaignRunner::run_one(experiments[i]);
+    EXPECT_EQ(alone.fingerprint(), batch.experiments[i].fingerprint())
+        << experiments[i].id;
+  }
+}
+
+TEST(RunnerTest, ResultsKeepInputOrder) {
+  const auto experiments = buggy_tree_sweep();
+  const CampaignResult result =
+      CampaignRunner(RunnerOptions{.threads = 8}).run(experiments);
+  ASSERT_EQ(result.experiments.size(), experiments.size());
+  for (size_t i = 0; i < experiments.size(); ++i) {
+    EXPECT_EQ(result.experiments[i].id, experiments[i].id);
+  }
+}
+
+TEST(RunnerTest, OnResultHookSeesEveryExperiment) {
+  const auto experiments = buggy_tree_sweep();
+  std::vector<std::string> seen;
+  RunnerOptions options;
+  options.threads = 4;
+  options.on_result = [&seen](const ExperimentResult& r) {
+    seen.push_back(r.id);
+  };
+  CampaignRunner(options).run(experiments);
+  EXPECT_EQ(seen.size(), experiments.size());
+}
+
+TEST(RunnerTest, DropLatenciesShrinksFingerprintOnly) {
+  const auto experiments = buggy_tree_sweep();
+  const ExperimentResult full = CampaignRunner::run_one(experiments[0], true);
+  const ExperimentResult lean =
+      CampaignRunner::run_one(experiments[0], false);
+  EXPECT_EQ(full.requests, lean.requests);
+  EXPECT_EQ(full.failures, lean.failures);
+  EXPECT_FALSE(full.latencies.empty());
+  EXPECT_TRUE(lean.latencies.empty());
+}
+
+TEST(RunnerTest, CustomHookRunsImperativeScenarios) {
+  Experiment e;
+  e.id = "custom";
+  e.app = AppSpec::quickstart(3, msec(50));
+  e.custom = [](control::TestSession* session) {
+    session->apply(control::FailureSpec::abort_edge("serviceA", "serviceB"));
+    const auto load = session->run_load("user", "serviceA", 40);
+    (void)session->collect();
+    std::vector<control::CheckResult> checks;
+    checks.push_back(
+        session->checker().has_bounded_retries("serviceA", "serviceB", 5));
+    control::CheckResult saw_load;
+    saw_load.name = "SawLoad";
+    saw_load.passed = load.total() == 40;
+    checks.push_back(saw_load);
+    return checks;
+  };
+  const ExperimentResult result = CampaignRunner::run_one(e);
+  EXPECT_TRUE(result.ok);
+  ASSERT_EQ(result.checks.size(), 2u);
+  EXPECT_TRUE(result.checks[1].passed);
+}
+
+TEST(RunnerTest, BadFailureSpecReportsErrorNotCrash) {
+  Experiment e;
+  e.id = "bad";
+  e.app = AppSpec::quickstart(1, msec(50));
+  e.failures.push_back(
+      control::FailureSpec::abort_edge("nosuch", "neither"));
+  e.load = small_load();
+  const ExperimentResult result = CampaignRunner::run_one(e);
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.error.empty());
+  EXPECT_FALSE(result.passed());
+}
+
+TEST(ReportTest, CampaignReportAggregates) {
+  const auto experiments = buggy_tree_sweep();
+  const CampaignResult result =
+      CampaignRunner(RunnerOptions{.threads = 2}).run(experiments);
+  const report::CampaignReport rep =
+      report::build_campaign_report(result, "buggy-tree sweep");
+  EXPECT_EQ(rep.total, experiments.size());
+  EXPECT_EQ(rep.passed + rep.failed + rep.errors, rep.total);
+  EXPECT_GT(rep.failed, 0u);
+  EXPECT_FALSE(rep.all_passed());
+
+  const std::string md = rep.to_markdown();
+  EXPECT_NE(md.find("Failing experiments"), std::string::npos);
+  const Json j = rep.to_json();
+  EXPECT_TRUE(j.is_object());
+}
+
+TEST(LoweringTest, RecipeScenariosBecomeExperiments) {
+  const char* source = R"(
+graph {
+  user -> serviceA
+  serviceA -> serviceB
+}
+
+scenario "b aborts" {
+  abort(serviceA, serviceB, error=503)
+  load(user, serviceA, count=50)
+  has_bounded_retries(serviceA, serviceB, max_tries=5)
+  max_user_failures(0)
+}
+)";
+  auto file = dsl::parse(source);
+  ASSERT_TRUE(file.ok()) << file.error().message;
+  auto lowered = dsl::lower_recipe(
+      file.value(), AppSpec::from_graph(file.value().graph), 7);
+  ASSERT_TRUE(lowered.ok()) << lowered.error().message;
+  ASSERT_EQ(lowered.value().size(), 1u);
+
+  const Experiment& e = lowered.value()[0];
+  EXPECT_EQ(e.id, "b aborts");
+  EXPECT_EQ(e.seed, 7u);
+  ASSERT_EQ(e.failures.size(), 1u);
+  EXPECT_EQ(e.load.count, 50u);
+  ASSERT_EQ(e.checks.size(), 2u);
+
+  const ExperimentResult result = CampaignRunner::run_one(e);
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.requests, 50u);
+}
+
+TEST(LoweringTest, ImperativeScenariosAreRejected) {
+  const char* preamble = R"(
+graph { user -> serviceA }
+)";
+  for (const char* body : {
+           "scenario \"req\" { load(user, serviceA) require "
+           "max_user_failures(0) }",
+           "scenario \"late\" { load(user, serviceA) abort(user, serviceA) }",
+           "scenario \"twice\" { load(user, serviceA) load(user, serviceA) }",
+           "scenario \"imp\" { clear }",
+       }) {
+    auto file = dsl::parse(std::string(preamble) + body);
+    ASSERT_TRUE(file.ok()) << file.error().message;
+    auto lowered = dsl::lower_recipe(
+        file.value(), AppSpec::from_graph(file.value().graph), 1);
+    EXPECT_FALSE(lowered.ok()) << body;
+    EXPECT_NE(lowered.error().message.find("gremlin run"),
+              std::string::npos);
+  }
+}
+
+TEST(AppSpecTest, FromGraphMatchesInterpreterAutocreate) {
+  topology::AppGraph graph;
+  graph.add_edge("user", "a");
+  graph.add_edge("a", "b");
+  const AppSpec spec = AppSpec::from_graph(graph);
+
+  sim::Simulation sim;
+  const topology::AppGraph built = spec.instantiate(&sim);
+  EXPECT_EQ(built.edge_count(), 2u);
+  EXPECT_NE(sim.find_service("user"), nullptr);
+  EXPECT_NE(sim.find_service("a"), nullptr);
+  EXPECT_NE(sim.find_service("b"), nullptr);
+}
+
+}  // namespace
+}  // namespace gremlin::campaign

@@ -167,6 +167,90 @@ TEST(LogStoreTest, LoadJsonRejectsNonArray) {
   EXPECT_FALSE(store.load_json(Json(1)).ok());
 }
 
+TEST(LogStoreTest, ExactIdLookupUsesIdIndex) {
+  LogStore store;
+  store.append(make_record(1, "test-1", "a", "b", MessageKind::kRequest));
+  store.append(make_record(2, "test-2", "a", "b", MessageKind::kRequest));
+  store.append(make_record(3, "test-1", "b", "c", MessageKind::kRequest));
+
+  Query q;
+  q.id_pattern = "test-1";  // literal: answered via the request-ID index
+  auto hits = store.query(q);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].src, "a");
+  EXPECT_EQ(hits[1].src, "b");
+
+  // Literal ID combined with an edge filter narrows further.
+  q.src = "b";
+  q.dst = "c";
+  EXPECT_EQ(store.query(q).size(), 1u);
+
+  q = Query{};
+  q.id_pattern = "test-9";
+  EXPECT_TRUE(store.query(q).empty());
+}
+
+TEST(LogStoreTest, PrefixPatternUsesIdIndexRange) {
+  LogStore store;
+  store.append(make_record(3, "test-10", "a", "b", MessageKind::kRequest));
+  store.append(make_record(1, "test-2", "a", "b", MessageKind::kRequest));
+  store.append(make_record(2, "prod-1", "a", "b", MessageKind::kRequest));
+  store.append(make_record(4, "test", "a", "b", MessageKind::kRequest));
+
+  Query q;
+  q.id_pattern = "test-*";
+  auto hits = store.query(q);
+  ASSERT_EQ(hits.size(), 2u);
+  // Still time-sorted even though the range scan visits IDs in
+  // lexicographic order ("test-10" before "test-2").
+  EXPECT_EQ(hits[0].request_id, "test-2");
+  EXPECT_EQ(hits[1].request_id, "test-10");
+
+  q.id_pattern = "test*";
+  EXPECT_EQ(store.query(q).size(), 3u);  // includes the bare "test"
+}
+
+TEST(LogStoreTest, NonPrefixGlobsStillMatch) {
+  LogStore store;
+  store.append(make_record(1, "test-1", "a", "b", MessageKind::kRequest));
+  store.append(make_record(2, "prod-1", "a", "b", MessageKind::kRequest));
+
+  Query q;
+  q.id_pattern = "*-1";  // suffix glob: falls back to a scan
+  EXPECT_EQ(store.query(q).size(), 2u);
+  q.id_pattern = "t?st-1";
+  EXPECT_EQ(store.query(q).size(), 1u);
+  q.id_pattern = "te\\st-1";  // escape: not a literal for index purposes
+  EXPECT_EQ(store.query(q).size(), 1u);
+}
+
+TEST(LogStoreTest, ClearResetsIdIndex) {
+  LogStore store;
+  store.append(make_record(1, "test-1", "a", "b", MessageKind::kRequest));
+  store.clear();
+  store.append(make_record(2, "test-1", "c", "d", MessageKind::kRequest));
+  Query q;
+  q.id_pattern = "test-1";
+  auto hits = store.query(q);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].src, "c");
+}
+
+TEST(GlobIndexHintTest, LiteralAndPrefixDetection) {
+  EXPECT_TRUE(Glob("test-1").is_literal());
+  EXPECT_FALSE(Glob("test-*").is_literal());
+  EXPECT_FALSE(Glob("te?t").is_literal());
+  EXPECT_FALSE(Glob("te\\st").is_literal());
+
+  ASSERT_TRUE(Glob("test-*").literal_prefix().has_value());
+  EXPECT_EQ(*Glob("test-*").literal_prefix(), "test-");
+  EXPECT_EQ(*Glob("*").literal_prefix(), "");
+  EXPECT_FALSE(Glob("test-1").literal_prefix().has_value());
+  EXPECT_FALSE(Glob("te*st-*").literal_prefix().has_value());
+  EXPECT_FALSE(Glob("te?t-*").literal_prefix().has_value());
+  EXPECT_FALSE(Glob("te\\st-*").literal_prefix().has_value());
+}
+
 TEST(LogStoreTest, ConcurrentAppends) {
   LogStore store;
   constexpr int kThreads = 4;

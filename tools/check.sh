@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Sanitizer gate: build the whole tree under a sanitizer and run the full
+# test suite. The campaign runner's parallel workers are the main customer
+# — ThreadSanitizer proves they share no unsynchronized state.
+#
+# Usage:
+#   ./tools/check.sh                          # thread sanitizer (default)
+#   GREMLIN_SANITIZE=address ./tools/check.sh
+#   GREMLIN_SANITIZE=undefined ./tools/check.sh
+set -euo pipefail
+
+SANITIZER="${GREMLIN_SANITIZE:-thread}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${ROOT}/build-${SANITIZER}san"
+
+cmake -B "${BUILD_DIR}" -S "${ROOT}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DGREMLIN_SANITIZE="${SANITIZER}"
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
+
+echo "OK: full test suite clean under ${SANITIZER} sanitizer"

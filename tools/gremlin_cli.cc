@@ -3,20 +3,31 @@
 // Usage:
 //   gremlin run <recipe-file> [--seed N] [--trace] [--report out.json]
 //   gremlin check <recipe-file>          # parse only, print structure
+//   gremlin campaign <recipe-file> [--seed N] [--seeds K] [--threads N]
+//                    [--sweep edge|service|both] [--report out.json]
 //
-// `run` executes the recipe against an auto-built simulated deployment
-// (services declared in the recipe's graph get the default handler; drive
-// real deployments with the library API instead). With --trace, the flow
-// trace of every failed test request is printed — the "why did it fail"
-// feedback loop of Section 1.
+// `run` executes the recipe imperatively against one auto-built simulated
+// deployment (services declared in the recipe's graph get the default
+// handler; drive real deployments with the library API instead). With
+// --trace, the flow trace of every failed test request is printed — the
+// "why did it fail" feedback loop of Section 1.
+//
+// `campaign` lowers each scenario to a declarative Experiment and executes
+// them in parallel on private simulations (docs/CAMPAIGNS.md). --seeds K
+// replicates every experiment across K seeds; --sweep additionally
+// generates per-edge/per-service failure experiments from the recipe's
+// graph. Results are deterministic regardless of --threads.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
 
+#include "campaign/runner.h"
 #include "dsl/interp.h"
+#include "dsl/lowering.h"
 #include "dsl/parser.h"
+#include "report/campaign_report.h"
 #include "report/report.h"
 #include "trace/trace.h"
 
@@ -27,8 +38,13 @@ using namespace gremlin;  // NOLINT
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  gremlin run <recipe-file> [--seed N] [--trace]\n"
-               "  gremlin check <recipe-file>\n");
+               "  gremlin run <recipe-file> [--seed N] [--trace] "
+               "[--report out.json]\n"
+               "  gremlin check <recipe-file>\n"
+               "  gremlin campaign <recipe-file> [--seed N] [--seeds K] "
+               "[--threads N]\n"
+               "                   [--sweep edge|service|both] "
+               "[--report out.json]\n");
   return 2;
 }
 
@@ -136,6 +152,89 @@ int cmd_run(const std::string& source, uint64_t seed, bool with_traces,
   return outcome->all_passed() ? 0 : 1;
 }
 
+struct CampaignFlags {
+  uint64_t seed = 42;
+  int seeds = 1;          // multi-seed replication factor
+  int threads = 0;        // 0 = hardware concurrency
+  std::string sweep;      // "", "edge", "service", or "both"
+  std::string report_path;
+};
+
+int cmd_campaign(const std::string& source, const CampaignFlags& flags) {
+  auto file = dsl::parse(source);
+  if (!file.ok()) {
+    std::fprintf(stderr, "parse error: %s\n", file.error().message.c_str());
+    return 1;
+  }
+
+  // Every scenario lowers onto the same app spec: the recipe's graph with
+  // autocreated default-handler services (the `gremlin run` semantics).
+  const campaign::AppSpec app = campaign::AppSpec::from_graph(file->graph);
+  auto lowered = dsl::lower_recipe(file.value(), app, flags.seed);
+  if (!lowered.ok()) {
+    std::fprintf(stderr, "lowering error: %s\n",
+                 lowered.error().message.c_str());
+    return 1;
+  }
+  std::vector<campaign::Experiment> experiments =
+      std::move(lowered.value());
+
+  if (!flags.sweep.empty()) {
+    campaign::SweepOptions sweep;
+    sweep.seed = flags.seed;
+    if (flags.sweep == "edge") {
+      sweep.kinds = {control::FailureSpec::Kind::kAbort,
+                     control::FailureSpec::Kind::kDelay,
+                     control::FailureSpec::Kind::kDisconnect};
+    } else if (flags.sweep == "service") {
+      sweep.kinds = {control::FailureSpec::Kind::kCrash,
+                     control::FailureSpec::Kind::kOverload};
+    } else if (flags.sweep != "both") {
+      std::fprintf(stderr, "--sweep must be edge, service, or both\n");
+      return 2;
+    }
+    auto generated = campaign::generate_sweep(app, file->graph, sweep);
+    experiments.insert(experiments.end(),
+                       std::make_move_iterator(generated.begin()),
+                       std::make_move_iterator(generated.end()));
+  }
+
+  if (flags.seeds > 1) {
+    std::vector<uint64_t> seeds;
+    seeds.reserve(static_cast<size_t>(flags.seeds));
+    for (int i = 0; i < flags.seeds; ++i) {
+      seeds.push_back(flags.seed + static_cast<uint64_t>(i));
+    }
+    experiments = campaign::replicate_seeds(experiments, seeds);
+  }
+
+  if (experiments.empty()) {
+    std::fprintf(stderr, "recipe produced no experiments\n");
+    return 1;
+  }
+
+  campaign::RunnerOptions options;
+  options.threads = flags.threads;
+  const campaign::CampaignResult result =
+      campaign::CampaignRunner(options).run(experiments);
+
+  const report::CampaignReport rep =
+      report::build_campaign_report(result, "campaign");
+  std::printf("%s", rep.to_markdown().c_str());
+
+  if (!flags.report_path.empty()) {
+    std::ofstream out(flags.report_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write report to '%s'\n",
+                   flags.report_path.c_str());
+      return 2;
+    }
+    out << rep.to_json().dump(2) << "\n";
+    std::printf("report written to %s\n", flags.report_path.c_str());
+  }
+  return rep.all_passed() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -148,16 +247,21 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  uint64_t seed = 42;
+  CampaignFlags flags;
   bool with_traces = false;
-  std::string report_path;
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-      seed = std::strtoull(argv[++i], nullptr, 10);
+      flags.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
+      flags.seeds = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      flags.threads = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--sweep") == 0 && i + 1 < argc) {
+      flags.sweep = argv[++i];
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       with_traces = true;
     } else if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
-      report_path = argv[++i];
+      flags.report_path = argv[++i];
     } else {
       return usage();
     }
@@ -165,7 +269,8 @@ int main(int argc, char** argv) {
 
   if (command == "check") return cmd_check(source);
   if (command == "run") {
-    return cmd_run(source, seed, with_traces, report_path);
+    return cmd_run(source, flags.seed, with_traces, flags.report_path);
   }
+  if (command == "campaign") return cmd_campaign(source, flags);
   return usage();
 }
