@@ -19,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_json.h"
 #include "campaign/runner.h"
 
 namespace {
@@ -45,6 +46,10 @@ void scaling_section() {
   const double base_s = to_seconds(sequential.wall_clock);
   std::printf("threads= 1  wall=%.3fs  speedup=1.00x  (reference)\n",
               base_s);
+  auto& rows = benchjson::Rows::instance();
+  rows.add("campaign_scaling/threads=1", "wall", base_s, "s");
+  rows.add("campaign_scaling/threads=1", "experiments_per_second",
+           base_s > 0 ? experiments.size() / base_s : 0.0, "1/s");
 
   const unsigned hw = std::thread::hardware_concurrency();
   for (const int threads : {2, 4, 8}) {
@@ -57,6 +62,12 @@ void scaling_section() {
                 threads, wall_s, wall_s > 0 ? base_s / wall_s : 0.0,
                 identical ? "yes" : "NO (DETERMINISM BUG)");
     if (!identical) std::exit(1);
+    const std::string name =
+        "campaign_scaling/threads=" + std::to_string(threads);
+    rows.add(name, "wall", wall_s, "s");
+    rows.add(name, "experiments_per_second",
+             wall_s > 0 ? experiments.size() / wall_s : 0.0, "1/s");
+    rows.add(name, "speedup", wall_s > 0 ? base_s / wall_s : 0.0, "x");
   }
   std::printf("(hardware_concurrency=%u; speedup saturates at the physical "
               "core count)\n\n",
@@ -94,9 +105,10 @@ BENCHMARK(BM_CampaignBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
 
 int main(int argc, char** argv) {
   std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  auto& rows = benchjson::Rows::instance();
+  rows.parse_args(&argc, argv);
   std::printf("# Campaign engine — parallel sweep scaling\n\n");
   scaling_section();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  benchjson::run_registered_benchmarks(&argc, argv);
+  return rows.write() ? 0 : 1;
 }

@@ -20,6 +20,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.h"
 #include "faults/rule_engine.h"
 #include "httpserver/client.h"
 #include "httpserver/server.h"
@@ -85,6 +86,10 @@ void engine_cdf_section() {
         rule_count, to_seconds(summary.p50) * 1e6,
         to_seconds(summary.p90) * 1e6, to_seconds(summary.p99) * 1e6,
         to_seconds(summary.max) * 1e6);
+    const std::string name = "fig8_engine/rules=" + std::to_string(rule_count);
+    auto& rows = benchjson::Rows::instance();
+    rows.add(name, "p50", to_seconds(summary.p50) * 1e6, "us");
+    rows.add(name, "p99", to_seconds(summary.p99) * 1e6, "us");
   }
   std::printf("\n");
 }
@@ -129,6 +134,9 @@ void proxy_section() {
                 rule_count, to_seconds(summary.p50) * 1e6,
                 to_seconds(summary.p90) * 1e6, to_seconds(summary.p99) * 1e6,
                 summary.count);
+    benchjson::Rows::instance().add(
+        "fig8_proxy/rules=" + std::to_string(rule_count), "p50",
+        to_seconds(summary.p50) * 1e6, "us");
     agent.stop();
   }
   origin.stop();
@@ -235,10 +243,11 @@ BENCHMARK(BM_GlobMatch);
 
 int main(int argc, char** argv) {
   std::setvbuf(stdout, nullptr, _IOLBF, 0);  // stream rows as they land
+  auto& rows = benchjson::Rows::instance();
+  rows.parse_args(&argc, argv);
   std::printf("# Figure 8 — worst-case rule-matching overhead\n\n");
   engine_cdf_section();
   proxy_section();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  benchjson::run_registered_benchmarks(&argc, argv);
+  return rows.write() ? 0 : 1;
 }

@@ -1,0 +1,177 @@
+// Allocation behaviour of the hot-path memory work: interned names, the
+// pooled event queue, and zero-copy log queries.
+//
+// The binary overrides global operator new to count heap allocations, then
+// measures three sections:
+//   1. Event-queue churn — schedule/drain waves on a warmed queue. The slab
+//      pool plus InlineFunction actions make the steady state allocation-
+//      free.
+//   2. Log queries — the same indexed query answered by the copying
+//      query() and by the zero-copy for_each() visitor; the visitor path
+//      performs no per-record copies.
+//   3. End-to-end experiments — CampaignRunner::run_one throughput
+//      (experiments/second) and allocations per experiment on a warmed
+//      process, the number the 2x campaign-throughput target is built on.
+//
+// Shape expectations: section 1 reports zero steady-state allocations,
+// section 2's for_each allocates (near) nothing while query() scales with
+// the hit count, and section 3's per-experiment allocation count stays in
+// the thousands (service/agent setup), far below the ~20k records+events a
+// depth-4 experiment processes.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+static std::atomic<size_t> g_allocs{0};
+
+void* operator new(size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+
+#include "bench_json.h"
+#include "campaign/runner.h"
+#include "logstore/store.h"
+#include "sim/event_queue.h"
+
+namespace {
+
+using namespace gremlin;  // NOLINT
+
+size_t allocs_now() { return g_allocs.load(std::memory_order_relaxed); }
+
+void event_queue_section(benchjson::Rows& rows) {
+  std::printf("## Event-queue churn (pooled slab + inline actions)\n");
+  sim::EventQueue queue;
+  std::atomic<uint64_t> sink{0};
+
+  const auto run_waves = [&queue, &sink](int waves) {
+    TimePoint now{};
+    for (int w = 0; w < waves; ++w) {
+      // A burst bigger than one slab, with closures at the service-code
+      // capture size, drained in timestamp order.
+      for (int i = 0; i < 400; ++i) {
+        now += usec(1);
+        queue.schedule_at(now, [&sink, i] { sink += i; });
+      }
+      while (!queue.empty()) queue.pop_and_run();
+    }
+  };
+
+  run_waves(1);  // grow the pool to the peak in-flight count
+  const size_t before = allocs_now();
+  run_waves(100);
+  const size_t steady = allocs_now() - before;
+  std::printf(
+      "40000 events after warm-up: %zu allocations (pool capacity %zu)\n\n",
+      steady, queue.pool_capacity());
+  rows.add("hotpath/event_queue", "steady_state_allocs",
+           static_cast<double>(steady), "count");
+}
+
+void query_section(benchjson::Rows& rows) {
+  std::printf("## Log queries: copying query() vs zero-copy for_each()\n");
+  logstore::LogStore store;
+  logstore::RecordList batch;
+  constexpr int kRecords = 50000;
+  batch.reserve(kRecords);
+  for (int i = 0; i < kRecords; ++i) {
+    logstore::LogRecord r;
+    r.timestamp = Duration(i);
+    r.request_id = "req-" + std::to_string(i % 64);
+    r.src = Symbol("client");
+    r.dst = Symbol("server");
+    r.kind = logstore::MessageKind::kRequest;
+    r.status = 200;
+    batch.push_back(std::move(r));
+  }
+  store.append_all(std::move(batch));
+
+  logstore::Query q;
+  q.src = "client";
+  q.dst = "server";
+
+  // Warm both paths (scratch index vector, glob state).
+  (void)store.query(q);
+  uint64_t checksum = 0;
+  (void)store.for_each(q, [&checksum](const logstore::LogRecord& r) {
+    checksum += static_cast<uint64_t>(r.status);
+  });
+
+  size_t before = allocs_now();
+  const auto copied = store.query(q);
+  const size_t query_allocs = allocs_now() - before;
+
+  before = allocs_now();
+  const size_t visited =
+      store.for_each(q, [&checksum](const logstore::LogRecord& r) {
+        checksum += static_cast<uint64_t>(r.status);
+      });
+  const size_t for_each_allocs = allocs_now() - before;
+
+  std::printf(
+      "%zu matching records: query()=%zu allocations, for_each()=%zu "
+      "allocations (checksum %llu)\n\n",
+      copied.size(), query_allocs, for_each_allocs,
+      static_cast<unsigned long long>(checksum));
+  if (visited != copied.size()) {
+    std::fprintf(stderr, "visitor/count mismatch: %zu vs %zu\n", visited,
+                 copied.size());
+    std::exit(1);
+  }
+  rows.add("hotpath/log_query", "query_allocs",
+           static_cast<double>(query_allocs), "count");
+  rows.add("hotpath/log_query", "for_each_allocs",
+           static_cast<double>(for_each_allocs), "count");
+}
+
+void experiment_section(benchjson::Rows& rows) {
+  std::printf("## End-to-end experiment cost (depth-4 buggy tree)\n");
+  const campaign::AppSpec app = campaign::AppSpec::buggy_tree(4);
+  campaign::SweepOptions options;
+  options.load.count = 40;
+  options.load.gap = msec(5);
+  const auto experiments =
+      campaign::generate_sweep(app, app.probe_graph(), options);
+
+  (void)campaign::CampaignRunner::run_one(experiments[0]);  // warm interning
+
+  constexpr int kRuns = 50;
+  const size_t before = allocs_now();
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kRuns; ++i) {
+    auto result = campaign::CampaignRunner::run_one(
+        experiments[static_cast<size_t>(i) % experiments.size()]);
+    benchmark::DoNotOptimize(result);
+  }
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  const double allocs_per_exp =
+      static_cast<double>(allocs_now() - before) / kRuns;
+  const double per_second = kRuns / elapsed.count();
+
+  std::printf(
+      "%d experiments: %.1f experiments/s, %.0f allocations each\n\n", kRuns,
+      per_second, allocs_per_exp);
+  rows.add("hotpath/run_one", "experiments_per_second", per_second, "1/s");
+  rows.add("hotpath/run_one", "allocs_per_experiment", allocs_per_exp,
+           "count");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto& rows = benchjson::Rows::instance();
+  rows.parse_args(&argc, argv);
+  std::printf("# Hot-path allocation behaviour\n\n");
+  event_queue_section(rows);
+  query_section(rows);
+  experiment_section(rows);
+  return rows.write() ? 0 : 1;
+}

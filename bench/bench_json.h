@@ -1,0 +1,144 @@
+// Machine-readable output shared by every bench_* binary.
+//
+// Each benchmark accepts `--json out.json` (or `--json=out.json`). When the
+// flag is given, the binary records {name, metric, value, unit} rows next to
+// its human-readable printf output and writes them as a JSON array on exit;
+// without the flag, add() is a no-op and the bench behaves exactly as
+// before. tools/bench.sh runs the suite with this flag and assembles the
+// rows into BENCH_hotpath.json at the repo root.
+//
+// Usage in a bench main():
+//   benchjson::Rows& rows = benchjson::Rows::instance();
+//   rows.parse_args(&argc, argv);          // before benchmark::Initialize
+//   ...
+//   rows.add("fig5/delay=1s", "p50", 1.02, "s");
+//   ...
+//   return rows.write() ? 0 : 1;
+//
+// Binaries with registered google-benchmark BM_* functions run them through
+// RowReporter, which mirrors every run (real time + items/s) into the sink.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gremlin::benchjson {
+
+struct Row {
+  std::string name;    // which measurement, e.g. "fig8/rules=200"
+  std::string metric;  // which quantity, e.g. "p99"
+  double value = 0;
+  std::string unit;    // "s", "ms", "us", "1/s", "count", ...
+};
+
+// Process-wide row sink: sections deep inside a bench add() rows next to
+// their printf without threading a writer through every helper.
+class Rows {
+ public:
+  static Rows& instance() {
+    static Rows rows;
+    return rows;
+  }
+
+  // Strips `--json PATH` / `--json=PATH` from (argc, argv) so whatever
+  // remains can be handed to benchmark::Initialize. Without the flag the
+  // sink stays disabled and add()/write() are no-ops.
+  void parse_args(int* argc, char** argv) {
+    int kept = 1;
+    for (int i = 1; i < *argc; ++i) {
+      const std::string_view arg = argv[i];
+      if (arg == std::string_view("--json") && i + 1 < *argc) {
+        path_ = argv[++i];
+      } else if (arg.substr(0, 7) == std::string_view("--json=")) {
+        path_ = std::string(arg.substr(7));
+      } else {
+        argv[kept++] = argv[i];
+      }
+    }
+    *argc = kept;
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  void add(std::string name, std::string metric, double value,
+           std::string unit) {
+    if (!enabled()) return;
+    rows_.push_back(
+        Row{std::move(name), std::move(metric), value, std::move(unit)});
+  }
+
+  // Writes the collected rows as a JSON array. Returns true when disabled
+  // (nothing to write) so mains can `return rows.write() ? rc : 1`.
+  bool write() const {
+    if (!enabled()) return true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_json: cannot write %s\n", path_.c_str());
+      return false;
+    }
+    std::fputs("[\n", f);
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      std::fprintf(f,
+                   "  {\"name\": \"%s\", \"metric\": \"%s\", "
+                   "\"value\": %.17g, \"unit\": \"%s\"}%s\n",
+                   escaped(r.name).c_str(), escaped(r.metric).c_str(),
+                   r.value, escaped(r.unit).c_str(),
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fputs("]\n", f);
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string path_;
+  std::vector<Row> rows_;
+};
+
+// Console reporter that mirrors every google-benchmark run into the row
+// sink: per-iteration real time plus the items/s counter when the bench
+// sets one (SetItemsProcessed).
+class RowReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      Rows::instance().add(run.benchmark_name(), "real_time",
+                           run.GetAdjustedRealTime(),
+                           benchmark::GetTimeUnitString(run.time_unit));
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        Rows::instance().add(run.benchmark_name(), "items_per_second",
+                             static_cast<double>(items->second.value), "1/s");
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+};
+
+// Initialize + RunSpecifiedBenchmarks with the row-mirroring reporter.
+// Call Rows::parse_args first so --json never reaches benchmark's own
+// flag parser.
+inline void run_registered_benchmarks(int* argc, char** argv) {
+  benchmark::Initialize(argc, argv);
+  RowReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+}
+
+}  // namespace gremlin::benchjson

@@ -1,0 +1,157 @@
+// InlineFunction: a std::function replacement with a configurable small-
+// object buffer, built for the simulator's hot path.
+//
+// std::function on libstdc++ spills any capture larger than two pointers to
+// the heap, which makes every scheduled event and response callback a malloc.
+// InlineFunction stores callables up to `InlineBytes` in place (with a heap
+// fallback for oversized ones), so the steady-state simulate loop performs
+// zero allocations per event. Copyable iff used with copyable callables,
+// exactly like std::function, so it is a drop-in replacement for the
+// EventQueue::Action and ResponseCallback aliases.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace gremlin {
+
+template <typename Signature, size_t InlineBytes = 64>
+class InlineFunction;
+
+template <typename R, typename... Args, size_t InlineBytes>
+class InlineFunction<R(Args...), InlineBytes> {
+ public:
+  InlineFunction() = default;
+  InlineFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    emplace<std::decay_t<F>>(std::forward<F>(f));
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { move_from(other); }
+  InlineFunction(const InlineFunction& other) { copy_from(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  InlineFunction& operator=(const InlineFunction& other) {
+    if (this != &other) {
+      InlineFunction tmp(other);  // strong guarantee
+      reset();
+      move_from(tmp);
+    }
+    return *this;
+  }
+  InlineFunction& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+
+  ~InlineFunction() { reset(); }
+
+  R operator()(Args... args) const {
+    return ops_->invoke(storage(), std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  // True when the current target lives in the inline buffer (test hook; a
+  // false answer for a hot-path callable means its captures outgrew
+  // InlineBytes and every construction pays a heap allocation).
+  bool is_inline() const { return ops_ != nullptr && ops_->inline_stored; }
+
+ private:
+  struct Ops {
+    R (*invoke)(void* target, Args&&... args);
+    // Move-construct `*target` into raw storage `dst`, destroying the source.
+    void (*relocate)(void* target, void* dst) noexcept;
+    void (*copy)(const void* target, void* dst);
+    void (*destroy)(void* target) noexcept;
+    bool inline_stored;
+  };
+
+  template <typename F>
+  static constexpr bool fits_inline() {
+    return sizeof(F) <= InlineBytes &&
+           alignof(F) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<F>;
+  }
+
+  template <typename F, typename... CtorArgs>
+  void emplace(CtorArgs&&... ctor_args) {
+    if constexpr (fits_inline<F>()) {
+      static const Ops ops = {
+          [](void* t, Args&&... args) -> R {
+            return (*static_cast<F*>(t))(std::forward<Args>(args)...);
+          },
+          [](void* t, void* dst) noexcept {
+            ::new (dst) F(std::move(*static_cast<F*>(t)));
+            static_cast<F*>(t)->~F();
+          },
+          [](const void* t, void* dst) {
+            ::new (dst) F(*static_cast<const F*>(t));
+          },
+          [](void* t) noexcept { static_cast<F*>(t)->~F(); },
+          /*inline_stored=*/true,
+      };
+      ::new (buf_) F(std::forward<CtorArgs>(ctor_args)...);
+      ops_ = &ops;
+    } else {
+      // Oversized callable: one owning pointer in the buffer, heap target.
+      static const Ops ops = {
+          [](void* t, Args&&... args) -> R {
+            return (**static_cast<F**>(t))(std::forward<Args>(args)...);
+          },
+          [](void* t, void* dst) noexcept {
+            ::new (dst) F*(*static_cast<F**>(t));
+          },
+          [](const void* t, void* dst) {
+            ::new (dst) F*(new F(**static_cast<F* const*>(t)));
+          },
+          [](void* t) noexcept { delete *static_cast<F**>(t); },
+          /*inline_stored=*/false,
+      };
+      ::new (buf_) F*(new F(std::forward<CtorArgs>(ctor_args)...));
+      ops_ = &ops;
+    }
+  }
+
+  void move_from(InlineFunction& other) noexcept {
+    if (other.ops_ == nullptr) return;
+    other.ops_->relocate(other.storage(), buf_);
+    ops_ = other.ops_;
+    other.ops_ = nullptr;
+  }
+
+  void copy_from(const InlineFunction& other) {
+    if (other.ops_ == nullptr) return;
+    other.ops_->copy(other.storage(), buf_);
+    ops_ = other.ops_;
+  }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage());
+      ops_ = nullptr;
+    }
+  }
+
+  void* storage() const { return const_cast<unsigned char*>(buf_); }
+
+  alignas(std::max_align_t) unsigned char buf_[InlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace gremlin

@@ -1,0 +1,57 @@
+#include "common/intern.h"
+
+namespace gremlin {
+
+SymbolTable& SymbolTable::global() {
+  static SymbolTable* table = new SymbolTable();  // never destroyed: views
+  return *table;                                  // must outlive all users
+}
+
+SymbolTable::SymbolTable() {
+  std::lock_guard lock(mu_);
+  (void)intern_locked("");  // id 0 == the empty string
+}
+
+Symbol SymbolTable::intern(std::string_view text) {
+  if (text.empty()) return Symbol();
+  std::lock_guard lock(mu_);
+  return intern_locked(text);
+}
+
+Symbol SymbolTable::intern_locked(std::string_view text) {
+  const auto it = index_.find(text);
+  if (it != index_.end()) return Symbol(it->second, 0);
+
+  const uint32_t id = count_.load(std::memory_order_relaxed);
+  const size_t chunk_idx = id >> kChunkBits;
+  if (chunk_idx >= kMaxChunks) return Symbol();  // table full: degrade to ""
+  Chunk* chunk = chunks_[chunk_idx].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new Chunk();
+    // Release so that readers who obtain `id` via the count_ acquire below
+    // also see the chunk pointer and its entry fully constructed.
+    chunks_[chunk_idx].store(chunk, std::memory_order_release);
+  }
+  std::string& slot = chunk->entries[id & (kChunkSize - 1)];
+  slot.assign(text);
+  index_.emplace(std::string_view(slot), id);
+  count_.store(id + 1, std::memory_order_release);
+  return Symbol(id, 0);
+}
+
+std::optional<Symbol> SymbolTable::find(std::string_view text) const {
+  if (text.empty()) return Symbol();
+  std::lock_guard lock(mu_);
+  const auto it = index_.find(text);
+  if (it == index_.end()) return std::nullopt;
+  return Symbol(it->second, 0);
+}
+
+std::string_view SymbolTable::view(uint32_t id) const {
+  if (id >= count_.load(std::memory_order_acquire)) return {};
+  const Chunk* chunk = chunks_[id >> kChunkBits].load(std::memory_order_acquire);
+  if (chunk == nullptr) return {};
+  return chunk->entries[id & (kChunkSize - 1)];
+}
+
+}  // namespace gremlin

@@ -1,0 +1,166 @@
+// Name interning: 32-bit symbols for the low-cardinality names that flow
+// through the simulate-and-check hot loop.
+//
+// Every message observation used to copy four-plus owning std::strings
+// (src, dst, instance, method, uri, rule id). Those names come from a tiny,
+// test-run-bounded vocabulary — service names, instance ids, HTTP methods,
+// rule ids — so the hot path now carries 4-byte Symbols and stringifies
+// lazily at JSON/report boundaries. Request IDs are deliberately NOT
+// interned: they are high-cardinality (one per flow) and would grow the
+// table without bound.
+//
+// Concurrency: symbol -> string lookups are lock-free (append-only chunked
+// storage published through an acquire/release counter), so parallel
+// campaign workers resolve names without contention. Interning new names
+// takes a mutex, but callers cache Symbols for the run's duration, so the
+// writer path is cold.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace gremlin {
+
+class SymbolTable;
+
+// A handle to an interned string. Default-constructed == the empty string.
+// Comparisons against string-likes compare the interned text; comparisons
+// between Symbols compare ids (valid because interning deduplicates).
+class Symbol {
+ public:
+  constexpr Symbol() = default;
+
+  // Interns on construction (implicit by design: the refactor's string ->
+  // Symbol call sites read naturally, and the vocabulary is bounded).
+  Symbol(std::string_view text);    // NOLINT(google-explicit-constructor)
+  Symbol(const std::string& text)   // NOLINT(google-explicit-constructor)
+      : Symbol(std::string_view(text)) {}
+  Symbol(const char* text)          // NOLINT(google-explicit-constructor)
+      : Symbol(std::string_view(text)) {}
+
+  uint32_t id() const { return id_; }
+  bool empty() const { return id_ == 0; }
+
+  // The interned text; valid for the process lifetime.
+  std::string_view view() const;
+  std::string str() const { return std::string(view()); }
+
+  friend bool operator==(Symbol a, Symbol b) { return a.id_ == b.id_; }
+  friend bool operator!=(Symbol a, Symbol b) { return a.id_ != b.id_; }
+  // Orders by id (cheap, stable within a process run) — fine for map keys;
+  // use view() when lexicographic order matters.
+  friend bool operator<(Symbol a, Symbol b) { return a.id_ < b.id_; }
+
+ private:
+  friend class SymbolTable;
+  constexpr explicit Symbol(uint32_t id, int) : id_(id) {}
+
+  uint32_t id_ = 0;
+};
+
+// Text comparisons against any string-like. Templates (not Symbol-converting
+// overloads) so that `symbol == "literal"` resolves without ambiguity
+// between the Symbol(const char*) and string_view conversions.
+template <typename S,
+          typename = std::enable_if_t<
+              std::is_convertible_v<const S&, std::string_view> &&
+              !std::is_same_v<std::decay_t<S>, Symbol>>>
+inline bool operator==(Symbol a, const S& b) {
+  return a.view() == std::string_view(b);
+}
+template <typename S,
+          typename = std::enable_if_t<
+              std::is_convertible_v<const S&, std::string_view> &&
+              !std::is_same_v<std::decay_t<S>, Symbol>>>
+inline bool operator==(const S& a, Symbol b) {
+  return std::string_view(a) == b.view();
+}
+template <typename S,
+          typename = std::enable_if_t<
+              std::is_convertible_v<const S&, std::string_view> &&
+              !std::is_same_v<std::decay_t<S>, Symbol>>>
+inline bool operator!=(Symbol a, const S& b) {
+  return !(a == b);
+}
+template <typename S,
+          typename = std::enable_if_t<
+              std::is_convertible_v<const S&, std::string_view> &&
+              !std::is_same_v<std::decay_t<S>, Symbol>>>
+inline bool operator!=(const S& a, Symbol b) {
+  return !(a == b);
+}
+
+inline std::ostream& operator<<(std::ostream& os, Symbol s) {
+  return os << s.view();
+}
+
+inline std::string operator+(const std::string& a, Symbol b) {
+  return a + std::string(b.view());
+}
+inline std::string operator+(Symbol a, const std::string& b) {
+  return std::string(a.view()) + b;
+}
+inline std::string operator+(Symbol a, const char* b) {
+  return std::string(a.view()) + b;
+}
+inline std::string operator+(const char* a, Symbol b) {
+  return a + std::string(b.view());
+}
+
+// The process-wide interning table. Append-only: symbols are never freed,
+// which is what makes lock-free reads and process-lifetime string_views
+// possible. Cardinality is bounded by design (see file comment).
+class SymbolTable {
+ public:
+  static SymbolTable& global();
+
+  // Returns the existing symbol for `text`, or assigns the next id.
+  Symbol intern(std::string_view text);
+
+  // Lookup without inserting (queries probe for names that may never have
+  // been logged; they must not pollute the table).
+  std::optional<Symbol> find(std::string_view text) const;
+
+  // Lock-free symbol -> text. Out-of-range ids resolve to "".
+  std::string_view view(uint32_t id) const;
+
+  // Number of distinct symbols (including the implicit empty string).
+  size_t size() const { return count_.load(std::memory_order_acquire); }
+
+ private:
+  // 1024 entries per chunk; 4096 chunk slots -> up to 4M distinct names.
+  static constexpr size_t kChunkBits = 10;
+  static constexpr size_t kChunkSize = size_t{1} << kChunkBits;
+  static constexpr size_t kMaxChunks = 4096;
+
+  struct Chunk {
+    std::array<std::string, kChunkSize> entries;
+  };
+
+  SymbolTable();
+
+  Symbol intern_locked(std::string_view text);
+
+  mutable std::mutex mu_;  // guards index_ and chunk creation
+  std::unordered_map<std::string_view, uint32_t> index_;
+  std::array<std::atomic<Chunk*>, kMaxChunks> chunks_{};
+  std::atomic<uint32_t> count_{0};
+};
+
+inline Symbol::Symbol(std::string_view text) {
+  id_ = SymbolTable::global().intern(text).id_;
+}
+
+inline std::string_view Symbol::view() const {
+  return SymbolTable::global().view(id_);
+}
+
+}  // namespace gremlin

@@ -14,7 +14,7 @@ bool synthesized_by_gremlin(const LogRecord& r) {
   return r.fault == FaultKind::kAbort;
 }
 
-size_t num_requests(const RecordList& records, std::optional<Duration> tdelta,
+size_t num_requests(RecordSpan records, std::optional<Duration> tdelta,
                     bool with_rule) {
   size_t count = 0;
   std::optional<TimePoint> first_time;
@@ -28,8 +28,7 @@ size_t num_requests(const RecordList& records, std::optional<Duration> tdelta,
   return count;
 }
 
-std::vector<Duration> reply_latency(const RecordList& records,
-                                    bool with_rule) {
+std::vector<Duration> reply_latency(RecordSpan records, bool with_rule) {
   std::vector<Duration> out;
   for (const auto& r : records) {
     if (r.kind != MessageKind::kResponse) continue;
@@ -44,7 +43,7 @@ std::vector<Duration> reply_latency(const RecordList& records,
   return out;
 }
 
-double request_rate(const RecordList& records) {
+double request_rate(RecordSpan records) {
   std::optional<TimePoint> first, last;
   size_t count = 0;
   for (const auto& r : records) {
@@ -57,12 +56,12 @@ double request_rate(const RecordList& records) {
   return static_cast<double>(count - 1) / to_seconds(*last - *first);
 }
 
-bool at_most_requests(const RecordList& records, Duration tdelta,
+bool at_most_requests(RecordSpan records, Duration tdelta,
                       bool with_rule, size_t num) {
   return num_requests(records, tdelta, with_rule) <= num;
 }
 
-bool check_status(const RecordList& records, int status, size_t num_match,
+bool check_status(RecordSpan records, int status, size_t num_match,
                   bool with_rule) {
   size_t count = 0;
   for (const auto& r : records) {
@@ -75,13 +74,11 @@ bool check_status(const RecordList& records, int status, size_t num_match,
   return num_match == 0;
 }
 
-bool Combine::evaluate(const RecordList& records) const {
+bool Combine::evaluate(RecordSpan records) const {
   size_t offset = 0;
   TimePoint anchor = records.empty() ? TimePoint{} : records.front().timestamp;
   for (const auto& step : steps_) {
-    RecordList remaining(records.begin() + static_cast<ptrdiff_t>(offset),
-                         records.end());
-    const auto [ok, consumed] = step(remaining, anchor);
+    const auto [ok, consumed] = step(records.subspan(offset), anchor);
     if (!ok) return false;
     if (consumed > 0) {
       const size_t last = std::min(offset + consumed, records.size());
@@ -94,7 +91,7 @@ bool Combine::evaluate(const RecordList& records) const {
 
 CombineStep Combine::check_status(int status, size_t num_match,
                                   bool with_rule) {
-  return [status, num_match, with_rule](const RecordList& remaining,
+  return [status, num_match, with_rule](RecordSpan remaining,
                                         TimePoint) -> std::pair<bool, size_t> {
     if (num_match == 0) return {true, 0};
     size_t count = 0;
@@ -112,7 +109,7 @@ CombineStep Combine::check_status(int status, size_t num_match,
 
 CombineStep Combine::at_most_requests(Duration tdelta, bool with_rule,
                                       size_t max) {
-  return [tdelta, with_rule, max](const RecordList& remaining,
+  return [tdelta, with_rule, max](RecordSpan remaining,
                                   TimePoint anchor) -> std::pair<bool, size_t> {
     size_t count = 0;
     size_t consumed = 0;
@@ -131,7 +128,7 @@ CombineStep Combine::at_most_requests(Duration tdelta, bool with_rule,
 CombineStep Combine::no_requests_for(Duration tdelta) {
   // Exclusive upper bound: a request at exactly anchor+tdelta is legal, so
   // asserting tdelta equal to the app's circuit-breaker open interval works.
-  return [tdelta](const RecordList& remaining,
+  return [tdelta](RecordSpan remaining,
                   TimePoint anchor) -> std::pair<bool, size_t> {
     size_t consumed = 0;
     for (size_t i = 0; i < remaining.size(); ++i) {
@@ -146,7 +143,7 @@ CombineStep Combine::no_requests_for(Duration tdelta) {
 
 CombineStep Combine::at_least_requests(Duration tdelta, bool with_rule,
                                        size_t min) {
-  return [tdelta, with_rule, min](const RecordList& remaining,
+  return [tdelta, with_rule, min](RecordSpan remaining,
                                   TimePoint anchor) -> std::pair<bool, size_t> {
     size_t count = 0;
     size_t consumed = 0;

@@ -16,6 +16,7 @@
 
 #include <functional>
 #include <optional>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -27,6 +28,11 @@ namespace gremlin::control {
 
 using logstore::RecordList;
 
+// Assertions and Combine operate on borrowed views of record storage: a
+// RecordList converts implicitly, and Combine steps receive subspans of the
+// original list instead of per-step copies.
+using RecordSpan = std::span<const logstore::LogRecord>;
+
 // True when the record only exists because Gremlin synthesized it (an abort
 // response never actually sent by the callee).
 bool synthesized_by_gremlin(const logstore::LogRecord& r);
@@ -35,37 +41,37 @@ bool synthesized_by_gremlin(const logstore::LogRecord& r);
 
 // Number of request records, optionally limited to `tdelta` from the first
 // record in the list.
-size_t num_requests(const RecordList& records,
+size_t num_requests(RecordSpan records,
                     std::optional<Duration> tdelta = std::nullopt,
                     bool with_rule = true);
 
 // Per-reply latencies. with_rule=false subtracts the injected delay and
 // drops synthesized replies.
-std::vector<Duration> reply_latency(const RecordList& records,
-                                    bool with_rule = true);
+std::vector<Duration> reply_latency(RecordSpan records, bool with_rule = true);
 
 // Request rate in requests/second over the list's time span (0 when fewer
 // than two requests).
-double request_rate(const RecordList& records);
+double request_rate(RecordSpan records);
 
 // --- base assertions --------------------------------------------------------
 
 // At most `num` requests within `tdelta` of the list's first record.
-bool at_most_requests(const RecordList& records, Duration tdelta,
-                      bool with_rule, size_t num);
+bool at_most_requests(RecordSpan records, Duration tdelta, bool with_rule,
+                      size_t num);
 
 // At least `num_match` replies carry `status`. status 0 matches
 // connection-level failures.
-bool check_status(const RecordList& records, int status, size_t num_match,
+bool check_status(RecordSpan records, int status, size_t num_match,
                   bool with_rule = true);
 
 // --- Combine ---------------------------------------------------------------
 
-// One step of a Combine chain. Receives the records not yet consumed and the
-// anchor time (timestamp of the previous step's last consumed record).
-// Returns {satisfied, records consumed}.
-using CombineStep = std::function<std::pair<bool, size_t>(
-    const RecordList& remaining, TimePoint anchor)>;
+// One step of a Combine chain. Receives a view of the records not yet
+// consumed and the anchor time (timestamp of the previous step's last
+// consumed record). Returns {satisfied, records consumed}.
+using CombineStep =
+    std::function<std::pair<bool, size_t>(RecordSpan remaining,
+                                          TimePoint anchor)>;
 
 class Combine {
  public:
@@ -75,8 +81,8 @@ class Combine {
   }
 
   // Evaluates the chain: every step must be satisfied, each consuming its
-  // trigger prefix.
-  bool evaluate(const RecordList& records) const;
+  // trigger prefix. Steps see subspans of `records`; nothing is copied.
+  bool evaluate(RecordSpan records) const;
 
   // Step factories mirroring the paper's usage.
 

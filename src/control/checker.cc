@@ -18,6 +18,26 @@ std::string fmt_edge(const std::string& src, const std::string& dst) {
   return src + " -> " + dst;
 }
 
+logstore::Query exchanges_query(const std::string& src, const std::string& dst,
+                                const std::string& id_pattern) {
+  logstore::Query q;
+  q.src = src;
+  q.dst = dst;
+  q.id_pattern = id_pattern;
+  q.any_kind = true;
+  return q;
+}
+
+logstore::Query replies_query(const std::string& src, const std::string& dst,
+                              const std::string& id_pattern) {
+  logstore::Query q;
+  q.src = src;
+  q.dst = dst;
+  q.id_pattern = id_pattern;
+  q.kind = MessageKind::kResponse;
+  return q;
+}
+
 }  // namespace
 
 RecordList AssertionChecker::get_requests(const std::string& src,
@@ -35,12 +55,7 @@ RecordList AssertionChecker::get_replies(const std::string& src,
 RecordList AssertionChecker::get_exchanges(
     const std::string& src, const std::string& dst,
     const std::string& id_pattern) const {
-  logstore::Query q;
-  q.src = src;
-  q.dst = dst;
-  q.id_pattern = id_pattern;
-  q.any_kind = true;
-  return store_->query(q);
+  return store_->query(exchanges_query(src, dst, id_pattern));
 }
 
 CheckResult AssertionChecker::has_timeouts(const std::string& service,
@@ -53,56 +68,60 @@ CheckResult AssertionChecker::has_timeouts(const std::string& service,
   q.dst = service;
   q.any_kind = true;
   q.id_pattern = id_pattern;
-  const RecordList records = store_->query(q);
-  if (records.empty()) {
+
+  // Pair requests with replies FIFO per calling edge; a request that stays
+  // unanswered for longer than the bound (within the observation window) is
+  // the worst timeout violation of all — the caller is hung.
+  struct State {
+    std::map<Symbol, std::deque<TimePoint>> pending;  // per src
+    TimePoint observation_end{};
+    Duration worst = kDurationZero;
+    size_t violations = 0;
+    size_t replies = 0;
+  } st;
+  const size_t visited =
+      store_->for_each(q, [&st, max_latency](const LogRecord& r) {
+        st.observation_end = r.timestamp;  // visited in time order
+        if (r.kind == MessageKind::kRequest) {
+          st.pending[r.src].push_back(r.timestamp);
+          return;
+        }
+        ++st.replies;
+        auto& queue = st.pending[r.src];
+        if (!queue.empty()) queue.pop_front();
+        // Discount Gremlin's own interference on this edge.
+        const Duration adjusted =
+            r.latency > r.injected_delay ? r.latency - r.injected_delay
+                                         : kDurationZero;
+        st.worst = std::max(st.worst, adjusted);
+        if (adjusted > max_latency) ++st.violations;
+      });
+  if (visited == 0) {
     result.passed = false;
     result.detail = "no traffic into " + service +
                     " observed; cannot verify the pattern";
     return result;
   }
-
-  // Pair requests with replies FIFO per calling edge; a request that stays
-  // unanswered for longer than the bound (within the observation window) is
-  // the worst timeout violation of all — the caller is hung.
-  std::map<std::string, std::deque<TimePoint>> pending;  // per src
-  const TimePoint observation_end = records.back().timestamp;
-  Duration worst = kDurationZero;
-  size_t violations = 0;
-  size_t replies = 0;
-  for (const auto& r : records) {
-    if (r.kind == MessageKind::kRequest) {
-      pending[r.src].push_back(r.timestamp);
-      continue;
-    }
-    ++replies;
-    auto& queue = pending[r.src];
-    if (!queue.empty()) queue.pop_front();
-    // Discount Gremlin's own interference on this edge.
-    const Duration adjusted =
-        r.latency > r.injected_delay ? r.latency - r.injected_delay
-                                     : kDurationZero;
-    worst = std::max(worst, adjusted);
-    if (adjusted > max_latency) ++violations;
-  }
   size_t unanswered = 0;
-  for (const auto& [src, queue] : pending) {
+  for (const auto& [src, queue] : st.pending) {
     for (const TimePoint sent : queue) {
-      if (observation_end - sent > max_latency) {
+      if (st.observation_end - sent > max_latency) {
         ++unanswered;
-        worst = std::max(worst, observation_end - sent);
+        st.worst = std::max(st.worst, st.observation_end - sent);
       }
     }
   }
-  if (replies == 0 && unanswered == 0) {
+  if (st.replies == 0 && unanswered == 0) {
     result.passed = false;
     result.detail = "no replies from " + service +
                     " observed; cannot verify the pattern";
     return result;
   }
-  result.passed = violations == 0 && unanswered == 0;
-  result.detail = std::to_string(replies) + " replies, worst " +
-                  format_duration(worst) + ", " + std::to_string(violations) +
-                  " over the " + format_duration(max_latency) + " bound, " +
+  result.passed = st.violations == 0 && unanswered == 0;
+  result.detail = std::to_string(st.replies) + " replies, worst " +
+                  format_duration(st.worst) + ", " +
+                  std::to_string(st.violations) + " over the " +
+                  format_duration(max_latency) + " bound, " +
                   std::to_string(unanswered) + " requests never answered";
   return result;
 }
@@ -113,26 +132,26 @@ CheckResult AssertionChecker::has_bounded_retries(
   CheckResult result;
   result.name = "HasBoundedRetries(" + fmt_edge(src, dst) + ", " +
                 std::to_string(max_tries) + ")";
-  const RecordList records = get_exchanges(src, dst, id_pattern);
-  if (records.empty()) {
-    result.passed = false;
-    result.detail = "no traffic observed on " + fmt_edge(src, dst);
-    return result;
-  }
   // Group attempts per flow; only flows that experienced a failure are
   // evidence about retry behaviour.
   struct Flow {
     size_t attempts = 0;
     bool saw_failure = false;
   };
-  std::map<std::string, Flow> flows;
-  for (const auto& r : records) {
-    Flow& f = flows[r.request_id];
-    if (r.kind == MessageKind::kRequest) {
-      ++f.attempts;
-    } else if (r.failed()) {
-      f.saw_failure = true;
-    }
+  std::map<std::string, Flow, std::less<>> flows;
+  const size_t visited = store_->for_each(
+      exchanges_query(src, dst, id_pattern), [&flows](const LogRecord& r) {
+        Flow& f = flows[r.request_id];
+        if (r.kind == MessageKind::kRequest) {
+          ++f.attempts;
+        } else if (r.failed()) {
+          f.saw_failure = true;
+        }
+      });
+  if (visited == 0) {
+    result.passed = false;
+    result.detail = "no traffic observed on " + fmt_edge(src, dst);
+    return result;
   }
   size_t failed_flows = 0;
   size_t worst_attempts = 0;
@@ -164,6 +183,8 @@ CheckResult AssertionChecker::has_bounded_retries_windowed(
     const std::string& id_pattern) const {
   CheckResult result;
   result.name = "HasBoundedRetriesWindowed(" + fmt_edge(src, dst) + ")";
+  // Combine walks subspans of one materialized list; the steps themselves
+  // copy nothing.
   const RecordList records = get_exchanges(src, dst, id_pattern);
   if (records.empty()) {
     result.passed = false;
@@ -195,8 +216,21 @@ CheckResult AssertionChecker::has_circuit_breaker(
   result.name = "HasCircuitBreaker(" + fmt_edge(src, dst) + ", " +
                 std::to_string(threshold) + ", " + format_duration(tdelta) +
                 ", " + std::to_string(success_threshold) + ")";
-  const RecordList records = get_exchanges(src, dst, id_pattern);
-  if (records.empty()) {
+  // The scan needs indexed back-tracking, so project the records down to the
+  // three fields it reads — 16 bytes each instead of a full LogRecord copy.
+  struct Obs {
+    TimePoint timestamp;
+    bool is_request;
+    bool failed;
+  };
+  std::vector<Obs> obs;
+  store_->for_each(exchanges_query(src, dst, id_pattern),
+                   [&obs](const LogRecord& r) {
+                     obs.push_back({r.timestamp,
+                                    r.kind == MessageKind::kRequest,
+                                    r.failed()});
+                   });
+  if (obs.empty()) {
     result.passed = false;
     result.detail = "no traffic observed on " + fmt_edge(src, dst);
     return result;
@@ -205,10 +239,10 @@ CheckResult AssertionChecker::has_circuit_breaker(
   // Find the first run of `threshold` consecutive failed replies.
   int consecutive = 0;
   std::optional<size_t> trip_index;
-  for (size_t i = 0; i < records.size(); ++i) {
-    const auto& r = records[i];
-    if (r.kind != MessageKind::kResponse) continue;
-    if (r.failed()) {
+  for (size_t i = 0; i < obs.size(); ++i) {
+    const auto& r = obs[i];
+    if (r.is_request) continue;
+    if (r.failed) {
       if (++consecutive >= threshold) {
         trip_index = i;
         break;
@@ -223,23 +257,23 @@ CheckResult AssertionChecker::has_circuit_breaker(
                     " consecutive failures; cannot verify the pattern";
     return result;
   }
-  const TimePoint trip_time = records[*trip_index].timestamp;
+  const TimePoint trip_time = obs[*trip_index].timestamp;
 
   // The breaker must suppress requests for tdelta after the trip.
   size_t requests_while_open = 0;
   std::optional<TimePoint> first_probe;
   int successes_after_open = 0;
   size_t requests_after_close_window = 0;
-  for (size_t i = *trip_index + 1; i < records.size(); ++i) {
-    const auto& r = records[i];
-    if (r.kind == MessageKind::kRequest) {
+  for (size_t i = *trip_index + 1; i < obs.size(); ++i) {
+    const auto& r = obs[i];
+    if (r.is_request) {
       if (r.timestamp - trip_time < tdelta) {
         ++requests_while_open;
       } else {
         if (!first_probe) first_probe = r.timestamp;
         ++requests_after_close_window;
       }
-    } else if (first_probe && !r.failed()) {
+    } else if (first_probe && !r.failed) {
       ++successes_after_open;
     }
   }
@@ -288,8 +322,24 @@ CheckResult AssertionChecker::has_bulkhead(const std::string& src,
   for (const auto& dep : deps) {
     if (dep == slow_dst) continue;
     checked_any = true;
-    const RecordList reqs = get_requests(src, dep, id_pattern);
-    const double rate = request_rate(reqs);
+    // Streaming request_rate: the query filters to requests already.
+    struct State {
+      size_t count = 0;
+      TimePoint first{}, last{};
+    } st;
+    logstore::Query q;
+    q.src = src;
+    q.dst = dep;
+    q.id_pattern = id_pattern;
+    store_->for_each(q, [&st](const LogRecord& r) {
+      if (st.count == 0) st.first = r.timestamp;
+      st.last = r.timestamp;
+      ++st.count;
+    });
+    const double rate =
+        (st.count < 2 || st.last <= st.first)
+            ? 0.0
+            : static_cast<double>(st.count - 1) / to_seconds(st.last - st.first);
     if (!detail.empty()) detail += "; ";
     detail += dep + ": " + std::to_string(rate) + " req/s";
     if (rate < min_rate) all_ok = false;
@@ -311,8 +361,18 @@ CheckResult AssertionChecker::has_latency_slo(
   result.name = "HasLatencySLO(" + fmt_edge(src, dst) + ", p" +
                 std::to_string(static_cast<int>(percentile)) + " <= " +
                 format_duration(bound) + ")";
-  const RecordList replies = get_replies(src, dst, id_pattern);
-  auto latencies = reply_latency(replies, with_rule);
+  std::vector<Duration> latencies;
+  store_->for_each(replies_query(src, dst, id_pattern),
+                   [&latencies, with_rule](const LogRecord& r) {
+                     if (with_rule) {
+                       latencies.push_back(r.latency);
+                       return;
+                     }
+                     if (synthesized_by_gremlin(r)) return;
+                     const Duration adjusted = r.latency - r.injected_delay;
+                     latencies.push_back(
+                         adjusted < kDurationZero ? kDurationZero : adjusted);
+                   });
   if (latencies.empty()) {
     result.passed = false;
     result.detail = "no replies observed on " + fmt_edge(src, dst);
@@ -337,22 +397,22 @@ CheckResult AssertionChecker::error_rate_below(
   CheckResult result;
   result.name = "ErrorRateBelow(" + fmt_edge(src, dst) + ", " +
                 std::to_string(max_fraction) + ")";
-  const RecordList replies = get_replies(src, dst, id_pattern);
-  if (replies.empty()) {
+  size_t failed = 0;
+  const size_t replies =
+      store_->for_each(replies_query(src, dst, id_pattern),
+                       [&failed](const LogRecord& r) {
+                         if (r.failed()) ++failed;
+                       });
+  if (replies == 0) {
     result.passed = false;
     result.detail = "no replies observed on " + fmt_edge(src, dst);
     return result;
   }
-  size_t failed = 0;
-  for (const auto& r : replies) {
-    if (r.failed()) ++failed;
-  }
   const double rate =
-      static_cast<double>(failed) / static_cast<double>(replies.size());
+      static_cast<double>(failed) / static_cast<double>(replies);
   result.passed = rate <= max_fraction;
-  result.detail = std::to_string(failed) + "/" +
-                  std::to_string(replies.size()) + " replies failed (" +
-                  std::to_string(rate) + ")";
+  result.detail = std::to_string(failed) + "/" + std::to_string(replies) +
+                  " replies failed (" + std::to_string(rate) + ")";
   return result;
 }
 
@@ -363,6 +423,8 @@ CheckResult AssertionChecker::failure_contained(
   logstore::Query q;
   q.id_pattern = id_pattern;
   q.any_kind = true;
+  // Trace reconstruction needs the whole flow in hand; this is the one check
+  // that genuinely materializes records.
   const RecordList records = store_->query(q);
   const auto traces = trace::build_traces(records);
 

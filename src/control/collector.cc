@@ -24,13 +24,13 @@ void LogCollector::stop() {
 
 VoidResult LogCollector::collect_once() {
   for (const auto& agent : deployment_->all_agents()) {
-    auto records = agent->fetch_records();
+    // drain_records moves in-process buffers out; append_all(&&) moves them
+    // into the store — the records themselves are never copied.
+    auto records = agent->drain_records();
     if (!records.ok()) return records.error();
     if (!records->empty()) {
-      store_->append_all(records.value());
       records_shipped_.fetch_add(records->size());
-      auto cleared = agent->clear_records();
-      if (!cleared.ok()) return cleared;
+      store_->append_all(std::move(records.value()));
     }
   }
   collections_.fetch_add(1);

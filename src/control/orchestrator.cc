@@ -46,11 +46,11 @@ VoidResult FailureOrchestrator::clear_rules() {
 
 VoidResult FailureOrchestrator::collect_logs(logstore::LogStore* store) {
   for (const auto& agent : deployment_->all_agents()) {
-    auto records = agent->fetch_records();
+    // Zero-copy drain: in-process agents move their buffers out and the
+    // store adopts them wholesale.
+    auto records = agent->drain_records();
     if (!records.ok()) return records.error();
-    store->append_all(records.value());
-    auto cleared = agent->clear_records();
-    if (!cleared.ok()) return cleared;
+    store->append_all(std::move(records.value()));
   }
   return VoidResult::success();
 }

@@ -19,6 +19,7 @@ VoidResult RuleEngine::add_rule(FaultRule rule) {
     }
   }
   Installed in;
+  in.id_sym = Symbol(rule.id);
   in.src_glob = Glob(rule.source);
   in.dst_glob = Glob(rule.destination);
   in.id_glob = Glob(rule.pattern.empty() ? "*" : rule.pattern);
@@ -92,7 +93,7 @@ FaultDecision RuleEngine::evaluate(const MessageView& msg) {
     total_matches_ += 1;
     FaultDecision d;
     d.action = in.rule.type;
-    d.rule_id = in.rule.id;
+    d.rule_id = in.id_sym;
     d.abort_code = in.rule.abort_code;
     d.delay = in.rule.delay_interval;
     d.body_pattern = in.rule.body_pattern;

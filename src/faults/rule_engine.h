@@ -14,6 +14,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/intern.h"
 #include "common/rng.h"
 #include "faults/rule.h"
 
@@ -32,10 +33,13 @@ struct MessageView {
   std::string_view body;
 };
 
-// What the agent should do with the message.
+// What the agent should do with the message. `rule_id` is an interned
+// Symbol (resolved when the rule was installed), so the Figure 8 hot path
+// returns a decision without copying any strings; the Modify payloads stay
+// owning copies because they are applied outside the engine lock.
 struct FaultDecision {
   FaultKind action = FaultKind::kNone;
-  std::string rule_id;
+  Symbol rule_id;
   int abort_code = 0;          // kAbort
   Duration delay{};            // kDelay
   std::string body_pattern;    // kModify
@@ -80,6 +84,7 @@ class RuleEngine {
  private:
   struct Installed {
     FaultRule rule;
+    Symbol id_sym;  // rule.id, interned once at install time
     Glob src_glob;
     Glob dst_glob;
     Glob id_glob;

@@ -24,16 +24,16 @@ Json LogRecord::to_json() const {
   Json j = Json::object();
   j["ts_us"] = timestamp.count();
   j["request_id"] = request_id;
-  j["src"] = src;
-  j["dst"] = dst;
-  j["instance"] = instance;
+  j["src"] = src.str();
+  j["dst"] = dst.str();
+  j["instance"] = instance.str();
   j["kind"] = to_string(kind);
-  j["method"] = method;
-  j["uri"] = uri;
+  j["method"] = method.str();
+  j["uri"] = uri.str();
   j["status"] = status;
   j["latency_us"] = latency.count();
   j["fault"] = to_string(fault);
-  j["rule_id"] = rule_id;
+  j["rule_id"] = rule_id.str();
   j["injected_delay_us"] = injected_delay.count();
   return j;
 }

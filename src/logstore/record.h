@@ -13,6 +13,7 @@
 #include <string>
 
 #include "common/duration.h"
+#include "common/intern.h"
 #include "common/json.h"
 
 namespace gremlin::logstore {
@@ -26,19 +27,24 @@ enum class FaultKind { kNone, kAbort, kDelay, kModify };
 const char* to_string(MessageKind kind);
 const char* to_string(FaultKind kind);
 
+// Identity fields are interned Symbols: service names, instance ids,
+// methods, URIs and rule ids form a small per-test-run vocabulary, so a
+// record carries 4-byte handles and copying one never allocates for them.
+// The request ID is the exception — one per flow, unbounded cardinality —
+// and stays an owning string (short IDs sit in the SSO buffer anyway).
 struct LogRecord {
   TimePoint timestamp{};        // when the agent observed the message
   std::string request_id;       // end-to-end flow ID (X-Gremlin-ID)
-  std::string src;              // calling service (logical name)
-  std::string dst;              // called service (logical name)
-  std::string instance;         // physical agent instance that logged this
+  Symbol src;                   // calling service (logical name)
+  Symbol dst;                   // called service (logical name)
+  Symbol instance;              // physical agent instance that logged this
   MessageKind kind = MessageKind::kRequest;
-  std::string method;           // requests: HTTP method
-  std::string uri;              // requests: request URI
+  Symbol method;                // requests: HTTP method
+  Symbol uri;                   // requests: request URI
   int status = 0;               // responses: HTTP status (0 = conn reset)
   Duration latency{};           // responses: observed round-trip at caller
   FaultKind fault = FaultKind::kNone;
-  std::string rule_id;          // rule that fired, if any
+  Symbol rule_id;               // rule that fired, if any
   Duration injected_delay{};    // delay added by the agent itself
 
   // True when this response failed from the caller's point of view:

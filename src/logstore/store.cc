@@ -5,9 +5,12 @@
 namespace gremlin::logstore {
 namespace {
 
-bool record_matches(const LogRecord& r, const Query& q, const Glob& glob) {
-  if (!q.src.empty() && r.src != q.src) return false;
-  if (!q.dst.empty() && r.dst != q.dst) return false;
+// Query with src/dst pre-resolved to symbols (a query whose names were never
+// interned cannot match any record and short-circuits before this point).
+bool record_matches(const LogRecord& r, const Query& q, Symbol src, Symbol dst,
+                    const Glob& glob) {
+  if (!q.src.empty() && r.src != src) return false;
+  if (!q.dst.empty() && r.dst != dst) return false;
   if (!q.any_kind && r.kind != q.kind) return false;
   if (r.timestamp < q.min_time || r.timestamp > q.max_time) return false;
   if (!glob.match_all() && !glob.matches(r.request_id)) return false;
@@ -23,20 +26,55 @@ void sort_by_time(RecordList* list) {
 
 }  // namespace
 
-void LogStore::append(LogRecord record) {
+void LogStore::index_tail_locked(size_t first) {
+  // Agent buffers arrive grouped: runs of records share an edge and flows
+  // interleave over a handful of active IDs, so remembering the last bucket
+  // hit turns most index updates into a pointer append instead of a tree
+  // walk with string/pair comparisons.
+  std::pair<Symbol, Symbol> last_edge{Symbol(), Symbol()};
+  std::vector<size_t>* edge_bucket = nullptr;
+  const std::string* last_id = nullptr;
+  std::vector<size_t>* id_bucket = nullptr;
+  for (size_t i = first; i < records_.size(); ++i) {
+    const LogRecord& r = records_[i];
+    const std::pair<Symbol, Symbol> edge{r.src, r.dst};
+    if (edge_bucket == nullptr || edge != last_edge) {
+      edge_bucket = &by_edge_[edge];
+      last_edge = edge;
+    }
+    edge_bucket->push_back(i);
+    if (id_bucket == nullptr || r.request_id != *last_id) {
+      id_bucket = &by_id_[r.request_id];
+      last_id = &r.request_id;
+    }
+    id_bucket->push_back(i);
+  }
+}
+
+void LogStore::append(LogRecord&& record) {
   std::lock_guard lock(mu_);
-  by_edge_[{record.src, record.dst}].push_back(records_.size());
-  by_id_[record.request_id].push_back(records_.size());
   records_.push_back(std::move(record));
+  index_tail_locked(records_.size() - 1);
 }
 
 void LogStore::append_all(const RecordList& records) {
   std::lock_guard lock(mu_);
-  for (const auto& r : records) {
-    by_edge_[{r.src, r.dst}].push_back(records_.size());
-    by_id_[r.request_id].push_back(records_.size());
-    records_.push_back(r);
+  const size_t first = records_.size();
+  records_.reserve(first + records.size());
+  records_.insert(records_.end(), records.begin(), records.end());
+  index_tail_locked(first);
+}
+
+void LogStore::append_all(RecordList&& records) {
+  std::lock_guard lock(mu_);
+  const size_t first = records_.size();
+  if (first == 0 && records_.capacity() < records.size()) {
+    records_ = std::move(records);
+  } else {
+    records_.reserve(first + records.size());
+    std::move(records.begin(), records.end(), std::back_inserter(records_));
   }
+  index_tail_locked(first);
 }
 
 void LogStore::clear() {
@@ -51,9 +89,25 @@ size_t LogStore::size() const {
   return records_.size();
 }
 
-RecordList LogStore::query_locked(const Query& q) const {
+// Fills scratch_ with the positions of matching records, ordered by
+// (timestamp, arrival). Returns a reference to scratch_ (valid under mu_).
+const std::vector<size_t>& LogStore::collect_locked(const Query& q) const {
+  scratch_.clear();
   const Glob glob(q.id_pattern.empty() ? "*" : q.id_pattern);
-  RecordList out;
+
+  // Resolve query names to symbols without interning; a name that was never
+  // logged matches nothing.
+  Symbol src, dst;
+  if (!q.src.empty()) {
+    const auto s = SymbolTable::global().find(q.src);
+    if (!s) return scratch_;
+    src = *s;
+  }
+  if (!q.dst.empty()) {
+    const auto s = SymbolTable::global().find(q.dst);
+    if (!s) return scratch_;
+    dst = *s;
+  }
 
   // Query planning: pick the most selective access path, then let
   // record_matches apply the remaining filters.
@@ -61,48 +115,92 @@ RecordList LogStore::query_locked(const Query& q) const {
   //   2. src & dst both fixed  -> by_edge_ point lookup
   //   3. literal-prefix glob   -> by_id_ ordered range scan
   //   4. anything else         -> full scan
-  std::vector<size_t> candidates;
-  bool indexed = false;
+  // Point lookups iterate the stored index span directly; only the range
+  // scan needs to merge and re-sort candidate positions.
+  bool positions_sorted = true;
   if (glob.is_literal()) {
-    indexed = true;
     const auto it = by_id_.find(glob.pattern());
-    if (it != by_id_.end()) candidates = it->second;
+    if (it != by_id_.end()) {
+      for (const size_t pos : it->second) {
+        if (record_matches(records_[pos], q, src, dst, glob)) {
+          scratch_.push_back(pos);
+        }
+      }
+    }
   } else if (!q.src.empty() && !q.dst.empty()) {
-    indexed = true;
-    const auto it = by_edge_.find({q.src, q.dst});
-    if (it != by_edge_.end()) candidates = it->second;
+    const auto it = by_edge_.find({src, dst});
+    if (it != by_edge_.end()) {
+      for (const size_t pos : it->second) {
+        if (record_matches(records_[pos], q, src, dst, glob)) {
+          scratch_.push_back(pos);
+        }
+      }
+    }
   } else if (const auto prefix = glob.literal_prefix();
              prefix.has_value() && !prefix->empty()) {
-    indexed = true;
     for (auto it = by_id_.lower_bound(*prefix);
          it != by_id_.end() &&
          std::string_view(it->first).substr(0, prefix->size()) == *prefix;
          ++it) {
-      candidates.insert(candidates.end(), it->second.begin(),
-                        it->second.end());
+      for (const size_t pos : it->second) {
+        if (record_matches(records_[pos], q, src, dst, glob)) {
+          scratch_.push_back(pos);
+        }
+      }
     }
     // Range scans visit IDs lexicographically; restore arrival order so the
-    // time sort below stays stable across access paths.
-    std::sort(candidates.begin(), candidates.end());
-  }
-
-  if (indexed) {
-    for (const size_t idx : candidates) {
-      const LogRecord& r = records_[idx];
-      if (record_matches(r, q, glob)) out.push_back(r);
-    }
+    // time ordering below stays stable across access paths.
+    positions_sorted = false;
   } else {
-    for (const LogRecord& r : records_) {
-      if (record_matches(r, q, glob)) out.push_back(r);
+    for (size_t pos = 0; pos < records_.size(); ++pos) {
+      if (record_matches(records_[pos], q, src, dst, glob)) {
+        scratch_.push_back(pos);
+      }
     }
   }
-  sort_by_time(&out);
-  return out;
+  if (!positions_sorted) std::sort(scratch_.begin(), scratch_.end());
+
+  // Most access paths yield timestamps already nondecreasing (per-agent
+  // buffers arrive time-ordered); detect that and skip the sort.
+  bool time_sorted = true;
+  for (size_t i = 1; i < scratch_.size(); ++i) {
+    if (records_[scratch_[i]].timestamp < records_[scratch_[i - 1]].timestamp) {
+      time_sorted = false;
+      break;
+    }
+  }
+  if (!time_sorted) {
+    // (timestamp, position) is a total order, so plain sort is stable here.
+    std::sort(scratch_.begin(), scratch_.end(),
+              [this](size_t a, size_t b) {
+                const TimePoint ta = records_[a].timestamp;
+                const TimePoint tb = records_[b].timestamp;
+                if (ta != tb) return ta < tb;
+                return a < b;
+              });
+  }
+  return scratch_;
+}
+
+size_t LogStore::for_each(const Query& q, const RecordVisitor& fn) const {
+  std::lock_guard lock(mu_);
+  return for_each_locked(q, fn);
+}
+
+size_t LogStore::for_each_locked(const Query& q,
+                                 const RecordVisitor& fn) const {
+  const std::vector<size_t>& positions = collect_locked(q);
+  for (const size_t pos : positions) fn(records_[pos]);
+  return positions.size();
 }
 
 RecordList LogStore::query(const Query& q) const {
   std::lock_guard lock(mu_);
-  return query_locked(q);
+  const std::vector<size_t>& positions = collect_locked(q);
+  RecordList out;
+  out.reserve(positions.size());
+  for (const size_t pos : positions) out.push_back(records_[pos]);
+  return out;
 }
 
 RecordList LogStore::get_requests(const std::string& src,
@@ -150,7 +248,7 @@ VoidResult LogStore::load_json(const Json& j) {
     if (!rec.ok()) return rec.error();
     parsed.push_back(std::move(rec.value()));
   }
-  append_all(parsed);
+  append_all(std::move(parsed));
   return VoidResult::success();
 }
 

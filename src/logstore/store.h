@@ -10,12 +10,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/glob.h"
+#include "common/inline_function.h"
 #include "logstore/record.h"
 
 namespace gremlin::logstore {
@@ -34,19 +36,31 @@ struct Query {
   TimePoint max_time = TimePoint::max();
 };
 
+// Visitor for the zero-copy query path. Invoked under the store lock, in
+// (timestamp, arrival order); must not call back into the store.
+using RecordVisitor = InlineFunction<void(const LogRecord&), 64>;
+
 class LogStore {
  public:
   LogStore() = default;
   LogStore(const LogStore&) = delete;
   LogStore& operator=(const LogStore&) = delete;
 
-  void append(LogRecord record);
+  void append(const LogRecord& record) { append(LogRecord(record)); }
+  void append(LogRecord&& record);
   void append_all(const RecordList& records);
+  void append_all(RecordList&& records);
 
   // Removes all records (start of a new test run).
   void clear();
 
   size_t size() const;
+
+  // Zero-copy query: visits matching records in (timestamp, arrival order)
+  // without materializing a RecordList. Returns the number of records
+  // visited. This is the assertion checker's hot path; `query` below is a
+  // thin copying wrapper over it for external callers.
+  size_t for_each(const Query& q, const RecordVisitor& fn) const;
 
   // Returns matching records sorted by (timestamp, arrival order).
   RecordList query(const Query& q) const;
@@ -65,13 +79,19 @@ class LogStore {
   VoidResult load_json(const Json& j);
 
  private:
-  RecordList query_locked(const Query& q) const;
+  void index_tail_locked(size_t first);
+  const std::vector<size_t>& collect_locked(const Query& q) const;
+  size_t for_each_locked(const Query& q, const RecordVisitor& fn) const;
 
   mutable std::mutex mu_;
   RecordList records_;                                 // insertion order
-  // Secondary index: (src, dst) -> record positions. Keeps Fig. 7's
+  // Scratch buffer for candidate positions, reused across queries so the
+  // indexed fast path allocates nothing once warm. Guarded by mu_.
+  mutable std::vector<size_t> scratch_;
+  // Secondary index: (src, dst) -> record positions, keyed by interned
+  // symbols (id order, not lexicographic — lookups only). Keeps Fig. 7's
   // per-service assertion queries sublinear in total log volume.
-  std::map<std::pair<std::string, std::string>, std::vector<size_t>> by_edge_;
+  std::map<std::pair<Symbol, Symbol>, std::vector<size_t>> by_edge_;
   // Secondary index: request ID -> record positions. Answers exact-ID
   // lookups (request tracing) with a point query and literal-prefix
   // patterns ("test-*") with an ordered range scan — both without touching

@@ -1,24 +1,87 @@
 #include "sim/event_queue.h"
 
-#include <memory>
+#include <algorithm>
 #include <utility>
 
 namespace gremlin::sim {
 
+uint32_t EventQueue::acquire_node() {
+  if (free_head_ != kNil) {
+    const uint32_t idx = free_head_;
+    free_head_ = node(idx).next_free;
+    return idx;
+  }
+  // Pool exhausted: grow by one slab and thread the new nodes onto the free
+  // list (highest index first, so allocation order is ascending).
+  const uint32_t base = static_cast<uint32_t>(pool_capacity());
+  slabs_.push_back(std::make_unique<Node[]>(kSlabSize));
+  for (size_t i = kSlabSize; i-- > 1;) {
+    node(base + static_cast<uint32_t>(i)).next_free = free_head_;
+    free_head_ = base + static_cast<uint32_t>(i);
+  }
+  return base;
+}
+
+void EventQueue::release_node(uint32_t idx) {
+  Node& n = node(idx);
+  n.action = nullptr;  // drop captures eagerly (they may pin resources)
+  n.next_free = free_head_;
+  free_head_ = idx;
+}
+
+void EventQueue::sift_up(size_t pos) {
+  const Entry entry = heap_[pos];
+  while (pos > 0) {
+    const size_t parent = (pos - 1) >> 2;
+    if (!entry.before(heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    pos = parent;
+  }
+  heap_[pos] = entry;
+}
+
+void EventQueue::sift_down(size_t pos) {
+  const size_t n = heap_.size();
+  const Entry entry = heap_[pos];
+  for (;;) {
+    const size_t first_child = (pos << 2) + 1;
+    if (first_child >= n) break;
+    // Smallest of up to four children.
+    size_t best = first_child;
+    const size_t last_child = std::min(first_child + 4, n);
+    for (size_t c = first_child + 1; c < last_child; ++c) {
+      if (heap_[c].before(heap_[best])) best = c;
+    }
+    if (!heap_[best].before(entry)) break;
+    heap_[pos] = heap_[best];
+    pos = best;
+  }
+  heap_[pos] = entry;
+}
+
 void EventQueue::schedule_at(TimePoint at, Action action) {
-  heap_.push(Event{at, next_seq_++,
-                   std::make_shared<Action>(std::move(action))});
+  const uint32_t idx = acquire_node();
+  node(idx).action = std::move(action);
+  heap_.push_back(Entry{at, next_seq_++, idx});
+  sift_up(heap_.size() - 1);
 }
 
 TimePoint EventQueue::pop_and_run() {
-  Event ev = heap_.top();
-  heap_.pop();
-  (*ev.action)();
-  return ev.at;
+  const Entry top = heap_[0];
+  Action action = std::move(node(top.idx).action);
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  // Recycle before running: the action may schedule follow-up events, which
+  // then reuse this very slot instead of growing the pool.
+  release_node(top.idx);
+  action();
+  return top.at;
 }
 
 void EventQueue::clear() {
-  while (!heap_.empty()) heap_.pop();
+  for (const Entry& e : heap_) release_node(e.idx);
+  heap_.clear();
   next_seq_ = 0;
 }
 

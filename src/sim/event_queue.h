@@ -3,21 +3,33 @@
 // Events execute in (time, insertion-sequence) order, so two events scheduled
 // for the same virtual instant run in the order they were scheduled — this
 // tie-break keeps whole-application runs deterministic.
+//
+// Storage is a slab-allocated event pool plus a 4-ary min-heap. Heap entries
+// carry their (time, seq) sort key inline, so sift operations walk one
+// contiguous array instead of chasing a slab pointer per comparison; the pool
+// index only resolves to a node when an event is actually popped. Popped
+// events return to a free list, so steady-state scheduling performs zero heap
+// allocations: the pool grows to the peak number of in-flight events and is
+// recycled from then on. Actions are stored in an InlineFunction with a
+// simulator-sized inline buffer, so typical closures never touch the heap
+// either (std::function would allocate for any capture larger than two
+// pointers).
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "common/duration.h"
+#include "common/inline_function.h"
 
 namespace gremlin::sim {
 
 class EventQueue {
  public:
-  using Action = std::function<void()>;
+  // Sized for the request-path closures in sim/service.cc (self handle +
+  // generation + timestamps + a response); see tests/event_pool_test.cc.
+  using Action = InlineFunction<void(), 128>;
 
   void schedule_at(TimePoint at, Action action);
 
@@ -25,29 +37,57 @@ class EventQueue {
   size_t size() const { return heap_.size(); }
 
   // Time of the earliest pending event; undefined when empty.
-  TimePoint next_time() const { return heap_.top().at; }
+  TimePoint next_time() const { return heap_[0].at; }
 
-  // Removes and runs the earliest event; returns its timestamp.
+  // Removes and runs the earliest event; returns its timestamp. The event's
+  // pool slot is recycled before the action runs, so actions that schedule
+  // follow-up events reuse it immediately.
   TimePoint pop_and_run();
 
+  // Drops all pending events and resets the insertion sequence, so
+  // back-to-back runs on a reused queue produce identical event orderings.
+  // The pool itself is retained for reuse.
   void clear();
 
+  // --- pool introspection (tests / benchmarks) ---
+  size_t pool_capacity() const { return slabs_.size() * kSlabSize; }
+  size_t free_count() const { return pool_capacity() - heap_.size(); }
+
  private:
-  struct Event {
-    TimePoint at;
-    uint64_t seq;
-    // Shared ptr keeps Event copyable for priority_queue while avoiding
-    // copying potentially large closures on heap sift operations.
-    std::shared_ptr<Action> action;
+  static constexpr uint32_t kNil = 0xffffffffu;
+  static constexpr size_t kSlabBits = 8;
+  static constexpr size_t kSlabSize = size_t{1} << kSlabBits;  // nodes/slab
+
+  struct Node {
+    Action action;
+    uint32_t next_free = kNil;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
+
+  // One heap slot: sort key plus the pool index of the action.
+  struct Entry {
+    TimePoint at{};
+    uint64_t seq = 0;
+    uint32_t idx = 0;
+
+    bool before(const Entry& other) const {
+      if (at != other.at) return at < other.at;
+      return seq < other.seq;
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  Node& node(uint32_t idx) { return slabs_[idx >> kSlabBits][idx & (kSlabSize - 1)]; }
+  const Node& node(uint32_t idx) const {
+    return slabs_[idx >> kSlabBits][idx & (kSlabSize - 1)];
+  }
+
+  uint32_t acquire_node();
+  void release_node(uint32_t idx);
+  void sift_up(size_t pos);
+  void sift_down(size_t pos);
+
+  std::vector<std::unique_ptr<Node[]>> slabs_;  // stable slab-allocated pool
+  uint32_t free_head_ = kNil;                   // LIFO free list
+  std::vector<Entry> heap_;                     // 4-ary min-heap
   uint64_t next_seq_ = 0;
 };
 

@@ -12,12 +12,16 @@ void SimNetwork::set_edge_latency(const std::string& src,
 Duration SimNetwork::latency(const std::string& src, const std::string& dst,
                              Rng* rng) const {
   Duration base = default_latency_;
-  auto it = overrides_.find({src, dst});
-  if (it == overrides_.end()) {
-    // Response path of an overridden edge: look up the forward direction.
-    it = overrides_.find({dst, src});
+  // Fast path: no overrides means no pair<string,string> temporaries and no
+  // tree walks — this runs once per simulated message delivery.
+  if (!overrides_.empty()) {
+    auto it = overrides_.find({src, dst});
+    if (it == overrides_.end()) {
+      // Response path of an overridden edge: look up the forward direction.
+      it = overrides_.find({dst, src});
+    }
+    if (it != overrides_.end()) base = it->second;
   }
-  if (it != overrides_.end()) base = it->second;
   if (jitter_ > 0.0 && rng != nullptr) {
     const double scale = 1.0 + jitter_ * (2.0 * rng->next_double() - 1.0);
     base = Duration(static_cast<int64_t>(

@@ -12,7 +12,7 @@ PubSubBroker::PubSubBroker(Simulation* sim, Options options)
   cfg.processing_time = options_.processing_time;
   cfg.default_policy = options_.delivery_policy;
   cfg.handler = [this](std::shared_ptr<RequestContext> ctx) {
-    const std::string& uri = ctx->request().uri;
+    const std::string uri = ctx->request().uri.str();
     const std::string prefix = "/publish/";
     if (!starts_with(uri, prefix)) {
       ctx->respond(404, "unknown broker endpoint: " + uri);

@@ -33,7 +33,9 @@ class OutboundCall : public std::enable_shared_from_this<OutboundCall> {
         dependency_(std::move(dependency)),
         request_(std::move(request)),
         cb_(std::move(cb)),
-        policy_(caller->policy_for(dependency_)) {}
+        policy_(caller->policy_for(dependency_)),
+        src_sym_(caller->agent()->service_symbol()),
+        dst_sym_(caller->dep_symbol(dependency_)) {}
 
   void start() {
     if (policy_.has_bulkhead()) {
@@ -83,7 +85,7 @@ class OutboundCall : public std::enable_shared_from_this<OutboundCall> {
         // response (status 0) — which is how a timeout becomes visible to
         // the Assertion Checker from the network alone.
         self->log_response(SimResponse::timeout(), attempt_start,
-                           kDurationZero, FaultKind::kNone, "");
+                           kDurationZero, FaultKind::kNone, Symbol());
         self->on_attempt_result(gen, SimResponse::timeout());
       });
     }
@@ -91,31 +93,30 @@ class OutboundCall : public std::enable_shared_from_this<OutboundCall> {
   }
 
   void send_attempt(uint64_t gen, TimePoint attempt_start) {
-    SimRequest req = request_;  // Modify rules rewrite a per-attempt copy
     MessageView view;
     view.kind = MessageKind::kRequest;
     view.src = caller_name();
     view.dst = dependency_;
-    view.request_id = req.request_id;
-    view.method = req.method;
-    view.uri = req.uri;
-    view.body = req.body;
+    view.request_id = request_.request_id;
+    view.method = request_.method.view();
+    view.uri = request_.uri.view();
+    view.body = request_.body;
     FaultDecision decision = caller_->agent()->engine().evaluate(view);
 
     LogRecord rec;
     rec.timestamp = sim().now();
-    rec.request_id = req.request_id;
-    rec.src = caller_name();
-    rec.dst = dependency_;
+    rec.request_id = request_.request_id;
+    rec.src = src_sym_;
+    rec.dst = dst_sym_;
     rec.kind = MessageKind::kRequest;
-    rec.method = req.method;
-    rec.uri = req.uri;
+    rec.method = request_.method;
+    rec.uri = request_.uri;
     rec.fault = decision.action;
     rec.rule_id = decision.rule_id;
     if (decision.action == FaultKind::kDelay) {
       rec.injected_delay = decision.delay;
     }
-    caller_->agent()->log(rec);
+    caller_->agent()->log(std::move(rec));
 
     auto self = shared_from_this();
     switch (decision.action) {
@@ -133,28 +134,34 @@ class OutboundCall : public std::enable_shared_from_this<OutboundCall> {
       }
       case FaultKind::kDelay: {
         const Duration injected = decision.delay;
-        sim().schedule(decision.delay, [self, gen, attempt_start, req,
-                                        injected] {
-          self->forward(gen, attempt_start, req, injected);
+        sim().schedule(decision.delay, [self, gen, attempt_start, injected] {
+          self->forward(gen, attempt_start, nullptr, injected);
         });
         return;
       }
-      case FaultKind::kModify:
-        faults::RuleEngine::apply_modify(decision, &req.body);
-        forward(gen, attempt_start, req, kDurationZero);
+      case FaultKind::kModify: {
+        // Modify is the one fault that rewrites the message: only then does
+        // the attempt pay for a private copy of the request.
+        auto modified = std::make_shared<SimRequest>(request_);
+        faults::RuleEngine::apply_modify(decision, &modified->body);
+        forward(gen, attempt_start, std::move(modified), kDurationZero);
         return;
+      }
       case FaultKind::kNone:
-        forward(gen, attempt_start, req, kDurationZero);
+        // The untampered request is forwarded as-is; the closures below
+        // reference the immutable request_ through `self` instead of
+        // copying four strings per attempt.
+        forward(gen, attempt_start, nullptr, kDurationZero);
         return;
     }
   }
 
-  void forward(uint64_t gen, TimePoint attempt_start, SimRequest req,
-               Duration injected) {
+  void forward(uint64_t gen, TimePoint attempt_start,
+               std::shared_ptr<const SimRequest> modified, Duration injected) {
     auto self = shared_from_this();
     const Duration out_latency =
         sim().network().latency(caller_name(), dependency_, &sim().rng());
-    ServiceInstance* target = sim().pick_instance(dependency_);
+    ServiceInstance* target = caller_->pick_dep_instance(dependency_);
     if (target == nullptr) {
       // No such service: the connection cannot be established. The caller
       // observes a reset after the network round trip would have failed.
@@ -164,8 +171,9 @@ class OutboundCall : public std::enable_shared_from_this<OutboundCall> {
       });
       return;
     }
-    sim().schedule(out_latency, [self, gen, attempt_start, req, injected,
-                                 target] {
+    sim().schedule(out_latency, [self, gen, attempt_start, injected, target,
+                                 modified = std::move(modified)] {
+      const SimRequest& req = modified ? *modified : self->request_;
       target->handle_request(req, [self, gen, attempt_start, injected](
                                       const SimResponse& response) {
         const Duration back_latency = self->sim().network().latency(
@@ -207,7 +215,7 @@ class OutboundCall : public std::enable_shared_from_this<OutboundCall> {
       }
       case FaultKind::kDelay: {
         const Duration total_injected = injected + decision.delay;
-        const std::string rule_id = decision.rule_id;
+        const Symbol rule_id = decision.rule_id;
         sim().schedule(decision.delay, [self, gen, attempt_start, resp,
                                         total_injected, rule_id] {
           self->log_response(resp, attempt_start, total_injected,
@@ -227,7 +235,7 @@ class OutboundCall : public std::enable_shared_from_this<OutboundCall> {
         // Request-side injected delay still annotates the observation.
         const FaultKind fault = injected > kDurationZero ? FaultKind::kDelay
                                                          : FaultKind::kNone;
-        log_response(resp, attempt_start, injected, fault, "");
+        log_response(resp, attempt_start, injected, fault, Symbol());
         on_attempt_result(gen, resp);
         return;
       }
@@ -235,13 +243,12 @@ class OutboundCall : public std::enable_shared_from_this<OutboundCall> {
   }
 
   void log_response(const SimResponse& resp, TimePoint attempt_start,
-                    Duration injected, FaultKind fault,
-                    const std::string& rule_id) {
+                    Duration injected, FaultKind fault, Symbol rule_id) {
     LogRecord rec;
     rec.timestamp = sim().now();
     rec.request_id = request_.request_id;
-    rec.src = caller_name();
-    rec.dst = dependency_;
+    rec.src = src_sym_;
+    rec.dst = dst_sym_;
     rec.kind = MessageKind::kResponse;
     rec.uri = request_.uri;
     rec.status = resp.connection_reset ? 0 : resp.status;
@@ -249,7 +256,7 @@ class OutboundCall : public std::enable_shared_from_this<OutboundCall> {
     rec.fault = fault;
     rec.rule_id = rule_id;
     rec.injected_delay = injected;
-    caller_->agent()->log(rec);
+    caller_->agent()->log(std::move(rec));
   }
 
   void on_attempt_result(uint64_t gen, const SimResponse& resp) {
@@ -310,7 +317,13 @@ class OutboundCall : public std::enable_shared_from_this<OutboundCall> {
   const std::string dependency_;
   SimRequest request_;
   ResponseCallback cb_;
-  resilience::CallPolicy policy_;
+  // Reference into the service config (stable for the simulation's
+  // lifetime); copying would clone the fallback/breaker payloads per call.
+  const resilience::CallPolicy& policy_;
+  // Resolved from caches at construction; every log record then copies
+  // 4-byte handles (request_.method/.uri are already symbols).
+  const Symbol src_sym_;
+  const Symbol dst_sym_;
   uint64_t generation_ = 0;
   int completed_attempts_ = 0;
   bool holding_bulkhead_ = false;
@@ -502,6 +515,25 @@ void ServiceInstance::release_shared_slot() {
     // Run on a fresh event so the releasing call's stack unwinds first.
     sim_->schedule(kDurationZero, std::move(fn));
   }
+}
+
+ServiceInstance::DepInfo& ServiceInstance::dep_info(const std::string& dep) {
+  const auto it = deps_.find(dep);
+  if (it != deps_.end()) return it->second;
+  return deps_.emplace(dep, DepInfo{Symbol(dep), nullptr}).first->second;
+}
+
+Symbol ServiceInstance::dep_symbol(const std::string& dep) {
+  return dep_info(dep).symbol;
+}
+
+ServiceInstance* ServiceInstance::pick_dep_instance(const std::string& dep) {
+  DepInfo& info = dep_info(dep);
+  if (info.service == nullptr) {
+    info.service = sim_->find_service(dep);
+    if (info.service == nullptr) return nullptr;
+  }
+  return info.service->next_instance();
 }
 
 resilience::Bulkhead& ServiceInstance::bulkhead_for(const std::string& dep) {

@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "common/duration.h"
+#include "common/inline_function.h"
+#include "common/intern.h"
 #include "resilience/bulkhead.h"
 #include "resilience/circuit_breaker.h"
 #include "resilience/policy.h"
@@ -32,9 +34,20 @@ class SimService;
 class ServiceInstance;
 class RequestContext;
 
+// Pre-interned defaults so constructing a SimRequest never takes the symbol
+// table lock (requests are constructed once per simulated call).
+inline Symbol default_method() {
+  static const Symbol s("GET");
+  return s;
+}
+inline Symbol default_uri() {
+  static const Symbol s("/");
+  return s;
+}
+
 struct SimRequest {
-  std::string method = "GET";
-  std::string uri = "/";
+  Symbol method = default_method();
+  Symbol uri = default_uri();
   std::string request_id;
   std::string body;
 };
@@ -60,7 +73,10 @@ struct SimResponse {
   static SimResponse timeout() { return SimResponse{0, "", false, true}; }
 };
 
-using ResponseCallback = std::function<void(const SimResponse&)>;
+// Response callbacks ride the per-call hot path; the inline buffer is sized
+// for the retry/forwarding continuations in service.cc so steady-state calls
+// allocate nothing for them (std::function would malloc per callback).
+using ResponseCallback = InlineFunction<void(const SimResponse&), 64>;
 using Handler = std::function<void(std::shared_ptr<RequestContext>)>;
 
 struct ServiceConfig {
@@ -151,6 +167,17 @@ class ServiceInstance {
   resilience::CircuitBreaker& breaker_for(const std::string& dep);
   resilience::Bulkhead& bulkhead_for(const std::string& dep);
 
+  // Interned name of `dep`, cached per instance so each outbound call costs
+  // a local map find instead of a symbol-table lock (which parallel
+  // campaign workers would contend on).
+  Symbol dep_symbol(const std::string& dep);
+
+  // Round-robin target instance for `dep`, with the SimService pointer
+  // cached alongside the symbol. A missing service is re-resolved every
+  // attempt (it may be registered later), but the common path skips the
+  // simulation-wide service map.
+  ServiceInstance* pick_dep_instance(const std::string& dep);
+
   // Shared outbound pool (see ServiceConfig::shared_client_pool). `fn` runs
   // immediately when a slot is free, otherwise queues FIFO.
   void acquire_shared_slot(std::function<void()> fn);
@@ -178,6 +205,12 @@ class ServiceInstance {
   std::shared_ptr<SimAgent> agent_;
   std::map<std::string, std::unique_ptr<resilience::CircuitBreaker>> breakers_;
   std::map<std::string, std::unique_ptr<resilience::Bulkhead>> bulkheads_;
+  struct DepInfo {
+    Symbol symbol;
+    SimService* service = nullptr;  // resolved lazily; null until found
+  };
+  std::map<std::string, DepInfo, std::less<>> deps_;
+  DepInfo& dep_info(const std::string& dep);
   uint64_t requests_handled_ = 0;
   int shared_in_flight_ = 0;
   std::deque<std::function<void()>> shared_waiters_;
@@ -197,9 +230,17 @@ class SimService {
   size_t instance_count() const { return instances_.size(); }
   ServiceInstance& instance(size_t i) { return *instances_[i]; }
 
+  // Round-robin instance selection (the service-local counter replaces a
+  // per-call string-keyed map lookup); nullptr when there are no instances.
+  ServiceInstance* next_instance() {
+    if (instances_.empty()) return nullptr;
+    return instances_[rr_next_++ % instances_.size()].get();
+  }
+
  private:
   ServiceConfig config_;
   std::vector<std::unique_ptr<ServiceInstance>> instances_;
+  size_t rr_next_ = 0;
 };
 
 }  // namespace gremlin::sim

@@ -6,6 +6,8 @@ SimAgent::SimAgent(std::string service, std::string instance_id,
                    uint64_t seed)
     : service_(std::move(service)),
       instance_id_(std::move(instance_id)),
+      service_sym_(service_),
+      instance_sym_(instance_id_),
       engine_(seed, instance_id_) {}
 
 VoidResult SimAgent::install_rules(
@@ -36,9 +38,16 @@ VoidResult SimAgent::clear_records() {
   return VoidResult::success();
 }
 
+Result<logstore::RecordList> SimAgent::drain_records() {
+  std::lock_guard lock(mu_);
+  logstore::RecordList out;
+  out.swap(records_);
+  return out;
+}
+
 void SimAgent::log(logstore::LogRecord record) {
   std::lock_guard lock(mu_);
-  record.instance = instance_id_;
+  record.instance = instance_sym_;
   records_.push_back(std::move(record));
 }
 

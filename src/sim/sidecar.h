@@ -31,16 +31,23 @@ class SimAgent : public topology::AgentHandle {
   VoidResult remove_rules(const std::vector<std::string>& ids) override;
   Result<logstore::RecordList> fetch_records() override;
   VoidResult clear_records() override;
+  // Moves the buffer out instead of copying (collector hot path).
+  Result<logstore::RecordList> drain_records() override;
 
   // --- data plane (used by the request path) ---
   faults::RuleEngine& engine() { return engine_; }
   void log(logstore::LogRecord record);
   const std::string& service() const { return service_; }
+  // Interned names, resolved once at construction for the logging hot path.
+  Symbol service_symbol() const { return service_sym_; }
+  Symbol instance_symbol() const { return instance_sym_; }
   size_t buffered_records() const;
 
  private:
   const std::string service_;
   const std::string instance_id_;
+  const Symbol service_sym_;
+  const Symbol instance_sym_;
   faults::RuleEngine engine_;
   mutable std::mutex mu_;
   logstore::RecordList records_;

@@ -72,9 +72,8 @@ void Simulation::add_services_from_graph(
 
 ServiceInstance* Simulation::pick_instance(const std::string& service) {
   SimService* svc = find_service(service);
-  if (svc == nullptr || svc->instance_count() == 0) return nullptr;
-  const size_t idx = round_robin_[service]++ % svc->instance_count();
-  return &svc->instance(idx);
+  if (svc == nullptr) return nullptr;
+  return svc->next_instance();
 }
 
 void Simulation::inject(const std::string& client, const std::string& target,

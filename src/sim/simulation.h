@@ -89,7 +89,6 @@ class Simulation {
   logstore::LogStore log_store_;
   topology::Deployment deployment_;
   std::map<std::string, std::unique_ptr<SimService>> services_;
-  std::map<std::string, size_t> round_robin_;
   uint64_t events_processed_ = 0;
 };
 

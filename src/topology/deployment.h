@@ -38,6 +38,17 @@ class AgentHandle {
   // Drains the agent's observation log into the central store.
   virtual Result<logstore::RecordList> fetch_records() = 0;
   virtual VoidResult clear_records() = 0;
+
+  // Fetch + clear in one step. In-process agents override this to move the
+  // buffer out instead of copying it (the collector's hot path); the
+  // default is the two-call sequence for remote agents.
+  virtual Result<logstore::RecordList> drain_records() {
+    auto records = fetch_records();
+    if (!records.ok()) return records;
+    auto cleared = clear_records();
+    if (!cleared.ok()) return cleared.error();
+    return records;
+  }
 };
 
 class Deployment {

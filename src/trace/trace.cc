@@ -19,7 +19,7 @@ std::vector<Span> pair_spans(const logstore::RecordList& records) {
   // same edge before the first closes only if the first never closes —
   // with timeouts the late response still pairs with the oldest open one,
   // which matches the wire reality).
-  std::map<std::pair<std::string, std::string>, std::deque<size_t>> open;
+  std::map<std::pair<Symbol, Symbol>, std::deque<size_t>> open;
 
   for (const LogRecord& r : records) {
     if (r.kind == MessageKind::kRequest) {
@@ -93,8 +93,9 @@ void format_span(const FlowTrace& t, size_t index, int depth,
             span.rule_id + ")";
   }
   std::snprintf(line, sizeof(line), "%*s%s -> %s  [%.1fms +%.1fms] %s%s\n",
-                depth * 2, "", span.src.c_str(), span.dst.c_str(), rel_ms,
-                to_millis(span.duration()), status.c_str(), fault.c_str());
+                depth * 2, "", span.src.str().c_str(), span.dst.str().c_str(),
+                rel_ms, to_millis(span.duration()), status.c_str(),
+                fault.c_str());
   out->append(line);
   for (const size_t child : span.children) {
     format_span(t, child, depth + 1, origin, out);

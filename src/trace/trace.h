@@ -22,15 +22,15 @@ namespace gremlin::trace {
 // One observed call on an edge (a request record paired with the matching
 // response record, FIFO per edge — retries become separate spans).
 struct Span {
-  std::string src;
-  std::string dst;
+  Symbol src;
+  Symbol dst;
   TimePoint start{};                 // request observed at the caller agent
   std::optional<TimePoint> end;      // response observed (nullopt: none seen)
   int status = -1;                   // -1 when no response was observed
   logstore::FaultKind fault = logstore::FaultKind::kNone;
-  std::string rule_id;
+  Symbol rule_id;
   Duration injected_delay{};
-  std::string uri;
+  Symbol uri;
 
   std::optional<size_t> parent;      // index into FlowTrace::spans
   std::vector<size_t> children;

@@ -95,10 +95,10 @@ TEST(RequestRateTest, ComputesPerSecond) {
 }
 
 TEST(RequestRateTest, DegenerateCases) {
-  EXPECT_EQ(request_rate({}), 0.0);
-  EXPECT_EQ(request_rate({req(0, "t1")}), 0.0);
+  EXPECT_EQ(request_rate(RecordList{}), 0.0);
+  EXPECT_EQ(request_rate(RecordList{req(0, "t1")}), 0.0);
   // Two requests at the same instant: no measurable window.
-  EXPECT_EQ(request_rate({req(0, "t1"), req(0, "t2")}), 0.0);
+  EXPECT_EQ(request_rate(RecordList{req(0, "t1"), req(0, "t2")}), 0.0);
 }
 
 // --------------------------------------------------------- base assertions
@@ -131,8 +131,8 @@ TEST(CheckStatusTest, WithRuleFalseIgnoresSynthesized) {
 
 TEST(CombineTest, EmptyChainIsTrue) {
   Combine chain;
-  EXPECT_TRUE(chain.evaluate({}));
-  EXPECT_TRUE(chain.evaluate({req(0, "t1")}));
+  EXPECT_TRUE(chain.evaluate(RecordList{}));
+  EXPECT_TRUE(chain.evaluate(RecordList{req(0, "t1")}));
 }
 
 TEST(CombineTest, CheckStatusConsumesTriggerPrefix) {

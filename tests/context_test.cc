@@ -75,7 +75,7 @@ TEST(RequestContextTest, RunLoadCarriesMethodAndBody) {
   ServiceConfig svc;
   svc.name = "svc";
   svc.handler = [&](std::shared_ptr<RequestContext> ctx) {
-    methods.push_back(ctx->request().method);
+    methods.push_back(ctx->request().method.str());
     bodies.push_back(ctx->request().body);
     ctx->respond(201, "created");
   };

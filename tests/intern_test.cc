@@ -1,0 +1,126 @@
+// Tests for the name-interning layer (common/intern.h): symbol identity and
+// stability, the find-without-inserting path, and lock-free concurrent
+// reads while writers grow the table — the contract the parallel campaign
+// workers rely on.
+#include "common/intern.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace gremlin {
+namespace {
+
+TEST(SymbolTest, DefaultIsEmptyString) {
+  const Symbol s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.id(), 0u);
+  EXPECT_EQ(s.view(), "");
+  EXPECT_EQ(s, Symbol(""));
+}
+
+TEST(SymbolTest, InterningDeduplicates) {
+  const Symbol a("intern-dedup-service");
+  const Symbol b(std::string("intern-dedup-service"));
+  const Symbol c(std::string_view("intern-dedup-service"));
+  EXPECT_EQ(a.id(), b.id());
+  EXPECT_EQ(a.id(), c.id());
+  EXPECT_EQ(a, b);
+}
+
+TEST(SymbolTest, DistinctStringsGetDistinctIds) {
+  const Symbol a("intern-distinct-a");
+  const Symbol b("intern-distinct-b");
+  EXPECT_NE(a, b);
+  EXPECT_NE(a.id(), b.id());
+}
+
+TEST(SymbolTest, ViewIsStableAcrossTableGrowth) {
+  const Symbol s("intern-stability-probe");
+  const std::string_view before = s.view();
+  const char* data_before = before.data();
+  // Push the table through several chunk allocations; the previously
+  // returned view must keep pointing at the same bytes.
+  for (int i = 0; i < 3000; ++i) {
+    Symbol grow("intern-stability-filler-" + std::to_string(i));
+    ASSERT_FALSE(grow.empty());
+  }
+  EXPECT_EQ(s.view(), "intern-stability-probe");
+  EXPECT_EQ(s.view().data(), data_before);
+}
+
+TEST(SymbolTest, ComparesAgainstStringLikes) {
+  const Symbol s("intern-compare");
+  EXPECT_EQ(s, "intern-compare");
+  EXPECT_EQ("intern-compare", s);
+  EXPECT_EQ(s, std::string("intern-compare"));
+  EXPECT_NE(s, "intern-compare-not");
+  EXPECT_EQ("prefix-" + s, "prefix-intern-compare");
+}
+
+TEST(SymbolTableTest, FindDoesNotIntern) {
+  SymbolTable& table = SymbolTable::global();
+  const size_t size_before = table.size();
+  EXPECT_FALSE(table.find("intern-find-never-inserted").has_value());
+  EXPECT_EQ(table.size(), size_before);
+
+  const Symbol s("intern-find-inserted");
+  const auto found = table.find("intern-find-inserted");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, s);
+}
+
+TEST(SymbolTableTest, OutOfRangeIdResolvesToEmpty) {
+  EXPECT_EQ(SymbolTable::global().view(0xfffffff0u), "");
+}
+
+// Readers resolve symbols lock-free while writer threads grow the table;
+// under TSan (tools/check.sh) this is also a data-race check on the
+// acquire/release publication of new chunks.
+TEST(SymbolTableTest, ConcurrentInternAndRead) {
+  constexpr int kWriters = 4;
+  constexpr int kNamesPerWriter = 2000;
+  std::atomic<bool> stop{false};
+
+  const Symbol hot("intern-concurrent-hot");
+  std::thread reader([&stop, hot] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      EXPECT_EQ(hot.view(), "intern-concurrent-hot");
+    }
+  });
+
+  std::vector<std::thread> writers;
+  std::vector<std::vector<Symbol>> produced(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([w, &produced] {
+      for (int i = 0; i < kNamesPerWriter; ++i) {
+        // Half the names collide across writers, half are unique, so both
+        // the dedup path and the append path run concurrently.
+        const std::string name =
+            i % 2 == 0 ? "intern-concurrent-shared-" + std::to_string(i)
+                       : "intern-concurrent-w" + std::to_string(w) + "-" +
+                             std::to_string(i);
+        produced[w].push_back(Symbol(name));
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  // Same text -> same id, regardless of which writer got there first.
+  for (int i = 0; i < kNamesPerWriter; i += 2) {
+    const std::string name = "intern-concurrent-shared-" + std::to_string(i);
+    std::set<uint32_t> ids;
+    for (int w = 0; w < kWriters; ++w) ids.insert(produced[w][i].id());
+    EXPECT_EQ(ids.size(), 1u) << name;
+    EXPECT_EQ(produced[0][i], name);
+  }
+}
+
+}  // namespace
+}  // namespace gremlin

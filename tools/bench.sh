@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Benchmark gate: build the bench suite, run every bench_* binary with
+# --json, and assemble the rows into BENCH_hotpath.json at the repo root.
+#
+# The output also carries the recorded pre-overhaul baseline for the
+# headline metric (BM_RunOneExperiment experiments/second in
+# bench_campaign_parallel), so the 2x campaign-throughput claim of
+# docs/PERFORMANCE.md can be re-checked against any build:
+#
+#   ./tools/bench.sh                 # full suite (several minutes)
+#   GREMLIN_BENCH_QUICK=1 ./tools/bench.sh   # skip the slow BM_* sweeps
+#
+# GREMLIN_BUILD_DIR overrides the build tree (default: <repo>/build).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${GREMLIN_BUILD_DIR:-${ROOT}/build}"
+OUT="${ROOT}/BENCH_hotpath.json"
+
+# experiments/second measured on this container immediately before the
+# hot-path memory overhaul (interned names, pooled events, zero-copy
+# queries) landed; see docs/PERFORMANCE.md.
+BASELINE_EXPERIMENTS_PER_SEC=545.637
+
+BENCHES=(
+  bench_hotpath_alloc
+  bench_campaign_parallel
+  bench_fig5_delay_cdf
+  bench_fig6_circuit_breaker
+  bench_fig7_orchestration
+  bench_fig8_rule_matching
+  bench_table1_outages
+  bench_ablation_systematic_vs_random
+)
+
+cmake -B "${BUILD_DIR}" -S "${ROOT}" >/dev/null
+cmake --build "${BUILD_DIR}" -j "$(nproc)" --target "${BENCHES[@]}"
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "${TMP}"' EXIT
+
+for bench in "${BENCHES[@]}"; do
+  args=("--json" "${TMP}/${bench}.json")
+  if [[ "${GREMLIN_BENCH_QUICK:-0}" != 0 ]]; then
+    # Registered BM_* sweeps dominate the wall clock; keep only the
+    # headline throughput benchmark in quick mode.
+    case "${bench}" in
+      bench_campaign_parallel) args+=("--benchmark_filter=BM_RunOneExperiment") ;;
+      bench_fig8_rule_matching) args+=("--benchmark_filter=-.*") ;;
+    esac
+  fi
+  echo "=== ${bench}"
+  "${BUILD_DIR}/bench/${bench}" "${args[@]}"
+done
+
+python3 - "${OUT}" "${BASELINE_EXPERIMENTS_PER_SEC}" "${TMP}" <<'PY'
+import json, pathlib, sys
+
+out, baseline, tmp = sys.argv[1], float(sys.argv[2]), pathlib.Path(sys.argv[3])
+rows = []
+for path in sorted(tmp.glob("bench_*.json")):
+    rows.extend(json.loads(path.read_text()))
+
+post = next((r["value"] for r in rows
+             if r["name"] == "BM_RunOneExperiment"
+             and r["metric"] == "items_per_second"), None)
+doc = {
+    "suite": "gremlin hot-path benchmarks",
+    "headline": {
+        "metric": "experiments_per_second (BM_RunOneExperiment, "
+                  "bench_campaign_parallel)",
+        "baseline_pre_overhaul": baseline,
+        "current": post,
+        "speedup": round(post / baseline, 3) if post else None,
+    },
+    "rows": rows,
+}
+pathlib.Path(out).write_text(json.dumps(doc, indent=2) + "\n")
+print(f"wrote {out}: {len(rows)} rows; "
+      f"experiments/s {baseline} -> {post} "
+      f"({doc['headline']['speedup']}x)" if post else f"wrote {out}")
+PY

@@ -103,8 +103,8 @@ int cmd_run(const std::string& source, uint64_t seed, bool with_traces,
       const auto chain = t.failure_chain();
       if (!chain.empty()) {
         std::printf("  origin of failure: %s -> %s\n",
-                    t.spans[chain.back()].src.c_str(),
-                    t.spans[chain.back()].dst.c_str());
+                    t.spans[chain.back()].src.str().c_str(),
+                    t.spans[chain.back()].dst.str().c_str());
       }
       if (++shown >= 5) {
         std::printf("  (further failed flows elided)\n");
