@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_systematic_vs_random.dir/bench_ablation_systematic_vs_random.cc.o"
+  "CMakeFiles/bench_ablation_systematic_vs_random.dir/bench_ablation_systematic_vs_random.cc.o.d"
+  "bench_ablation_systematic_vs_random"
+  "bench_ablation_systematic_vs_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_systematic_vs_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

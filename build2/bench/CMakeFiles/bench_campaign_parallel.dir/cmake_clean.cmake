@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_campaign_parallel.dir/bench_campaign_parallel.cc.o"
+  "CMakeFiles/bench_campaign_parallel.dir/bench_campaign_parallel.cc.o.d"
+  "bench_campaign_parallel"
+  "bench_campaign_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_campaign_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

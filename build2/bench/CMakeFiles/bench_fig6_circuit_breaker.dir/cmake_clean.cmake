@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_circuit_breaker.dir/bench_fig6_circuit_breaker.cc.o"
+  "CMakeFiles/bench_fig6_circuit_breaker.dir/bench_fig6_circuit_breaker.cc.o.d"
+  "bench_fig6_circuit_breaker"
+  "bench_fig6_circuit_breaker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_circuit_breaker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

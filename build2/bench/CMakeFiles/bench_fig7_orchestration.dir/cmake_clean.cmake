@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_orchestration.dir/bench_fig7_orchestration.cc.o"
+  "CMakeFiles/bench_fig7_orchestration.dir/bench_fig7_orchestration.cc.o.d"
+  "bench_fig7_orchestration"
+  "bench_fig7_orchestration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_orchestration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

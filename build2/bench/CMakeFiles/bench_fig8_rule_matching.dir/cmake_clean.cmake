@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_rule_matching.dir/bench_fig8_rule_matching.cc.o"
+  "CMakeFiles/bench_fig8_rule_matching.dir/bench_fig8_rule_matching.cc.o.d"
+  "bench_fig8_rule_matching"
+  "bench_fig8_rule_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_rule_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hotpath_alloc.dir/bench_hotpath_alloc.cc.o"
+  "CMakeFiles/bench_hotpath_alloc.dir/bench_hotpath_alloc.cc.o.d"
+  "bench_hotpath_alloc"
+  "bench_hotpath_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hotpath_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

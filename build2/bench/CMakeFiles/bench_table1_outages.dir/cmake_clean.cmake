@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_outages.dir/bench_table1_outages.cc.o"
+  "CMakeFiles/bench_table1_outages.dir/bench_table1_outages.cc.o.d"
+  "bench_table1_outages"
+  "bench_table1_outages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_outages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chained_failures.dir/chained_failures.cc.o"
+  "CMakeFiles/chained_failures.dir/chained_failures.cc.o.d"
+  "chained_failures"
+  "chained_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chained_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

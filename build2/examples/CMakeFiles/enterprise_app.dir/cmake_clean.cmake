@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enterprise_app.dir/enterprise_app.cc.o"
+  "CMakeFiles/enterprise_app.dir/enterprise_app.cc.o.d"
+  "enterprise_app"
+  "enterprise_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enterprise_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/message_bus.dir/message_bus.cc.o"
+  "CMakeFiles/message_bus.dir/message_bus.cc.o.d"
+  "message_bus"
+  "message_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/message_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outage_recipes.dir/outage_recipes.cc.o"
+  "CMakeFiles/outage_recipes.dir/outage_recipes.cc.o.d"
+  "outage_recipes"
+  "outage_recipes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outage_recipes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

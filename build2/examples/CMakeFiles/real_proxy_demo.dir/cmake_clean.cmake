@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/real_proxy_demo.dir/real_proxy_demo.cc.o"
+  "CMakeFiles/real_proxy_demo.dir/real_proxy_demo.cc.o.d"
+  "real_proxy_demo"
+  "real_proxy_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/real_proxy_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

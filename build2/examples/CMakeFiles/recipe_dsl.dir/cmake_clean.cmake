@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recipe_dsl.dir/recipe_dsl.cc.o"
+  "CMakeFiles/recipe_dsl.dir/recipe_dsl.cc.o.d"
+  "recipe_dsl"
+  "recipe_dsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recipe_dsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sidecar_mesh.dir/sidecar_mesh.cc.o"
+  "CMakeFiles/sidecar_mesh.dir/sidecar_mesh.cc.o.d"
+  "sidecar_mesh"
+  "sidecar_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sidecar_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

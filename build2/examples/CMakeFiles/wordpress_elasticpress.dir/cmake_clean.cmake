@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wordpress_elasticpress.dir/wordpress_elasticpress.cc.o"
+  "CMakeFiles/wordpress_elasticpress.dir/wordpress_elasticpress.cc.o.d"
+  "wordpress_elasticpress"
+  "wordpress_elasticpress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wordpress_elasticpress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

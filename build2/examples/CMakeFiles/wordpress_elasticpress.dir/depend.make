@@ -1,0 +1,2 @@
+# Empty dependencies file for wordpress_elasticpress.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gremlin_apps.dir/apps/enterprise.cc.o"
+  "CMakeFiles/gremlin_apps.dir/apps/enterprise.cc.o.d"
+  "CMakeFiles/gremlin_apps.dir/apps/outages.cc.o"
+  "CMakeFiles/gremlin_apps.dir/apps/outages.cc.o.d"
+  "CMakeFiles/gremlin_apps.dir/apps/trees.cc.o"
+  "CMakeFiles/gremlin_apps.dir/apps/trees.cc.o.d"
+  "CMakeFiles/gremlin_apps.dir/apps/wordpress.cc.o"
+  "CMakeFiles/gremlin_apps.dir/apps/wordpress.cc.o.d"
+  "libgremlin_apps.a"
+  "libgremlin_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gremlin_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gremlin_baseline.dir/baseline/chaos.cc.o"
+  "CMakeFiles/gremlin_baseline.dir/baseline/chaos.cc.o.d"
+  "libgremlin_baseline.a"
+  "libgremlin_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gremlin_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gremlin_campaign.dir/campaign/app_spec.cc.o"
+  "CMakeFiles/gremlin_campaign.dir/campaign/app_spec.cc.o.d"
+  "CMakeFiles/gremlin_campaign.dir/campaign/experiment.cc.o"
+  "CMakeFiles/gremlin_campaign.dir/campaign/experiment.cc.o.d"
+  "CMakeFiles/gremlin_campaign.dir/campaign/runner.cc.o"
+  "CMakeFiles/gremlin_campaign.dir/campaign/runner.cc.o.d"
+  "libgremlin_campaign.a"
+  "libgremlin_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gremlin_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

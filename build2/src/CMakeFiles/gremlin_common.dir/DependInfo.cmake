@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/duration.cc" "src/CMakeFiles/gremlin_common.dir/common/duration.cc.o" "gcc" "src/CMakeFiles/gremlin_common.dir/common/duration.cc.o.d"
+  "/root/repo/src/common/glob.cc" "src/CMakeFiles/gremlin_common.dir/common/glob.cc.o" "gcc" "src/CMakeFiles/gremlin_common.dir/common/glob.cc.o.d"
+  "/root/repo/src/common/intern.cc" "src/CMakeFiles/gremlin_common.dir/common/intern.cc.o" "gcc" "src/CMakeFiles/gremlin_common.dir/common/intern.cc.o.d"
+  "/root/repo/src/common/json.cc" "src/CMakeFiles/gremlin_common.dir/common/json.cc.o" "gcc" "src/CMakeFiles/gremlin_common.dir/common/json.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/gremlin_common.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/gremlin_common.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/gremlin_common.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/gremlin_common.dir/common/strings.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

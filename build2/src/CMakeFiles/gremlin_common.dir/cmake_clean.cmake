@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gremlin_common.dir/common/duration.cc.o"
+  "CMakeFiles/gremlin_common.dir/common/duration.cc.o.d"
+  "CMakeFiles/gremlin_common.dir/common/glob.cc.o"
+  "CMakeFiles/gremlin_common.dir/common/glob.cc.o.d"
+  "CMakeFiles/gremlin_common.dir/common/intern.cc.o"
+  "CMakeFiles/gremlin_common.dir/common/intern.cc.o.d"
+  "CMakeFiles/gremlin_common.dir/common/json.cc.o"
+  "CMakeFiles/gremlin_common.dir/common/json.cc.o.d"
+  "CMakeFiles/gremlin_common.dir/common/rng.cc.o"
+  "CMakeFiles/gremlin_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/gremlin_common.dir/common/strings.cc.o"
+  "CMakeFiles/gremlin_common.dir/common/strings.cc.o.d"
+  "libgremlin_common.a"
+  "libgremlin_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gremlin_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/assertions.cc" "src/CMakeFiles/gremlin_control.dir/control/assertions.cc.o" "gcc" "src/CMakeFiles/gremlin_control.dir/control/assertions.cc.o.d"
+  "/root/repo/src/control/checker.cc" "src/CMakeFiles/gremlin_control.dir/control/checker.cc.o" "gcc" "src/CMakeFiles/gremlin_control.dir/control/checker.cc.o.d"
+  "/root/repo/src/control/collector.cc" "src/CMakeFiles/gremlin_control.dir/control/collector.cc.o" "gcc" "src/CMakeFiles/gremlin_control.dir/control/collector.cc.o.d"
+  "/root/repo/src/control/failures.cc" "src/CMakeFiles/gremlin_control.dir/control/failures.cc.o" "gcc" "src/CMakeFiles/gremlin_control.dir/control/failures.cc.o.d"
+  "/root/repo/src/control/orchestrator.cc" "src/CMakeFiles/gremlin_control.dir/control/orchestrator.cc.o" "gcc" "src/CMakeFiles/gremlin_control.dir/control/orchestrator.cc.o.d"
+  "/root/repo/src/control/recipe.cc" "src/CMakeFiles/gremlin_control.dir/control/recipe.cc.o" "gcc" "src/CMakeFiles/gremlin_control.dir/control/recipe.cc.o.d"
+  "/root/repo/src/control/translator.cc" "src/CMakeFiles/gremlin_control.dir/control/translator.cc.o" "gcc" "src/CMakeFiles/gremlin_control.dir/control/translator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/CMakeFiles/gremlin_faults.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/gremlin_logstore.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/gremlin_topology.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/gremlin_sim.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/gremlin_trace.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/gremlin_resilience.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/gremlin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

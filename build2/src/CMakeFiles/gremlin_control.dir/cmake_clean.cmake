@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gremlin_control.dir/control/assertions.cc.o"
+  "CMakeFiles/gremlin_control.dir/control/assertions.cc.o.d"
+  "CMakeFiles/gremlin_control.dir/control/checker.cc.o"
+  "CMakeFiles/gremlin_control.dir/control/checker.cc.o.d"
+  "CMakeFiles/gremlin_control.dir/control/collector.cc.o"
+  "CMakeFiles/gremlin_control.dir/control/collector.cc.o.d"
+  "CMakeFiles/gremlin_control.dir/control/failures.cc.o"
+  "CMakeFiles/gremlin_control.dir/control/failures.cc.o.d"
+  "CMakeFiles/gremlin_control.dir/control/orchestrator.cc.o"
+  "CMakeFiles/gremlin_control.dir/control/orchestrator.cc.o.d"
+  "CMakeFiles/gremlin_control.dir/control/recipe.cc.o"
+  "CMakeFiles/gremlin_control.dir/control/recipe.cc.o.d"
+  "CMakeFiles/gremlin_control.dir/control/translator.cc.o"
+  "CMakeFiles/gremlin_control.dir/control/translator.cc.o.d"
+  "libgremlin_control.a"
+  "libgremlin_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gremlin_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

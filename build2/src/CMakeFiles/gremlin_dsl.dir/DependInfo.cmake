@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsl/ast.cc" "src/CMakeFiles/gremlin_dsl.dir/dsl/ast.cc.o" "gcc" "src/CMakeFiles/gremlin_dsl.dir/dsl/ast.cc.o.d"
+  "/root/repo/src/dsl/interp.cc" "src/CMakeFiles/gremlin_dsl.dir/dsl/interp.cc.o" "gcc" "src/CMakeFiles/gremlin_dsl.dir/dsl/interp.cc.o.d"
+  "/root/repo/src/dsl/lexer.cc" "src/CMakeFiles/gremlin_dsl.dir/dsl/lexer.cc.o" "gcc" "src/CMakeFiles/gremlin_dsl.dir/dsl/lexer.cc.o.d"
+  "/root/repo/src/dsl/lowering.cc" "src/CMakeFiles/gremlin_dsl.dir/dsl/lowering.cc.o" "gcc" "src/CMakeFiles/gremlin_dsl.dir/dsl/lowering.cc.o.d"
+  "/root/repo/src/dsl/parser.cc" "src/CMakeFiles/gremlin_dsl.dir/dsl/parser.cc.o" "gcc" "src/CMakeFiles/gremlin_dsl.dir/dsl/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/CMakeFiles/gremlin_control.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/gremlin_campaign.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/gremlin_apps.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/gremlin_trace.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/gremlin_workload.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/gremlin_sim.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/gremlin_topology.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/gremlin_faults.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/gremlin_logstore.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/gremlin_resilience.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/gremlin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gremlin_dsl.dir/dsl/ast.cc.o"
+  "CMakeFiles/gremlin_dsl.dir/dsl/ast.cc.o.d"
+  "CMakeFiles/gremlin_dsl.dir/dsl/interp.cc.o"
+  "CMakeFiles/gremlin_dsl.dir/dsl/interp.cc.o.d"
+  "CMakeFiles/gremlin_dsl.dir/dsl/lexer.cc.o"
+  "CMakeFiles/gremlin_dsl.dir/dsl/lexer.cc.o.d"
+  "CMakeFiles/gremlin_dsl.dir/dsl/lowering.cc.o"
+  "CMakeFiles/gremlin_dsl.dir/dsl/lowering.cc.o.d"
+  "CMakeFiles/gremlin_dsl.dir/dsl/parser.cc.o"
+  "CMakeFiles/gremlin_dsl.dir/dsl/parser.cc.o.d"
+  "libgremlin_dsl.a"
+  "libgremlin_dsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gremlin_dsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

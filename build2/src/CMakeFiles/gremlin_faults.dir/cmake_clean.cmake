@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gremlin_faults.dir/faults/rule.cc.o"
+  "CMakeFiles/gremlin_faults.dir/faults/rule.cc.o.d"
+  "CMakeFiles/gremlin_faults.dir/faults/rule_engine.cc.o"
+  "CMakeFiles/gremlin_faults.dir/faults/rule_engine.cc.o.d"
+  "libgremlin_faults.a"
+  "libgremlin_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gremlin_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gremlin_httpmsg.dir/httpmsg/headers.cc.o"
+  "CMakeFiles/gremlin_httpmsg.dir/httpmsg/headers.cc.o.d"
+  "CMakeFiles/gremlin_httpmsg.dir/httpmsg/message.cc.o"
+  "CMakeFiles/gremlin_httpmsg.dir/httpmsg/message.cc.o.d"
+  "CMakeFiles/gremlin_httpmsg.dir/httpmsg/parser.cc.o"
+  "CMakeFiles/gremlin_httpmsg.dir/httpmsg/parser.cc.o.d"
+  "libgremlin_httpmsg.a"
+  "libgremlin_httpmsg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gremlin_httpmsg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

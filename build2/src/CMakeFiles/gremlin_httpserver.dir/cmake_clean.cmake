@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gremlin_httpserver.dir/httpserver/client.cc.o"
+  "CMakeFiles/gremlin_httpserver.dir/httpserver/client.cc.o.d"
+  "CMakeFiles/gremlin_httpserver.dir/httpserver/pool.cc.o"
+  "CMakeFiles/gremlin_httpserver.dir/httpserver/pool.cc.o.d"
+  "CMakeFiles/gremlin_httpserver.dir/httpserver/server.cc.o"
+  "CMakeFiles/gremlin_httpserver.dir/httpserver/server.cc.o.d"
+  "libgremlin_httpserver.a"
+  "libgremlin_httpserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gremlin_httpserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gremlin_logstore.dir/logstore/record.cc.o"
+  "CMakeFiles/gremlin_logstore.dir/logstore/record.cc.o.d"
+  "CMakeFiles/gremlin_logstore.dir/logstore/store.cc.o"
+  "CMakeFiles/gremlin_logstore.dir/logstore/store.cc.o.d"
+  "libgremlin_logstore.a"
+  "libgremlin_logstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gremlin_logstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

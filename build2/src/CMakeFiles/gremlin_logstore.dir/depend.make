@@ -1,0 +1,2 @@
+# Empty dependencies file for gremlin_logstore.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gremlin_net.dir/net/socket.cc.o"
+  "CMakeFiles/gremlin_net.dir/net/socket.cc.o.d"
+  "libgremlin_net.a"
+  "libgremlin_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gremlin_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gremlin_proxy.dir/proxy/agent.cc.o"
+  "CMakeFiles/gremlin_proxy.dir/proxy/agent.cc.o.d"
+  "CMakeFiles/gremlin_proxy.dir/proxy/control_api.cc.o"
+  "CMakeFiles/gremlin_proxy.dir/proxy/control_api.cc.o.d"
+  "libgremlin_proxy.a"
+  "libgremlin_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gremlin_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gremlin_registry.dir/registry/registry.cc.o"
+  "CMakeFiles/gremlin_registry.dir/registry/registry.cc.o.d"
+  "libgremlin_registry.a"
+  "libgremlin_registry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gremlin_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

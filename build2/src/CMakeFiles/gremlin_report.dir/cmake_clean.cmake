@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gremlin_report.dir/report/campaign_report.cc.o"
+  "CMakeFiles/gremlin_report.dir/report/campaign_report.cc.o.d"
+  "CMakeFiles/gremlin_report.dir/report/report.cc.o"
+  "CMakeFiles/gremlin_report.dir/report/report.cc.o.d"
+  "libgremlin_report.a"
+  "libgremlin_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gremlin_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

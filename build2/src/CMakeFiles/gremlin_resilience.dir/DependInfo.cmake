@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/resilience/bulkhead.cc" "src/CMakeFiles/gremlin_resilience.dir/resilience/bulkhead.cc.o" "gcc" "src/CMakeFiles/gremlin_resilience.dir/resilience/bulkhead.cc.o.d"
+  "/root/repo/src/resilience/circuit_breaker.cc" "src/CMakeFiles/gremlin_resilience.dir/resilience/circuit_breaker.cc.o" "gcc" "src/CMakeFiles/gremlin_resilience.dir/resilience/circuit_breaker.cc.o.d"
+  "/root/repo/src/resilience/policy.cc" "src/CMakeFiles/gremlin_resilience.dir/resilience/policy.cc.o" "gcc" "src/CMakeFiles/gremlin_resilience.dir/resilience/policy.cc.o.d"
+  "/root/repo/src/resilience/retry.cc" "src/CMakeFiles/gremlin_resilience.dir/resilience/retry.cc.o" "gcc" "src/CMakeFiles/gremlin_resilience.dir/resilience/retry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/CMakeFiles/gremlin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gremlin_resilience.dir/resilience/bulkhead.cc.o"
+  "CMakeFiles/gremlin_resilience.dir/resilience/bulkhead.cc.o.d"
+  "CMakeFiles/gremlin_resilience.dir/resilience/circuit_breaker.cc.o"
+  "CMakeFiles/gremlin_resilience.dir/resilience/circuit_breaker.cc.o.d"
+  "CMakeFiles/gremlin_resilience.dir/resilience/policy.cc.o"
+  "CMakeFiles/gremlin_resilience.dir/resilience/policy.cc.o.d"
+  "CMakeFiles/gremlin_resilience.dir/resilience/retry.cc.o"
+  "CMakeFiles/gremlin_resilience.dir/resilience/retry.cc.o.d"
+  "libgremlin_resilience.a"
+  "libgremlin_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gremlin_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

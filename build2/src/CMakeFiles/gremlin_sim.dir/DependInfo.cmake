@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/gremlin_sim.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/gremlin_sim.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/network.cc" "src/CMakeFiles/gremlin_sim.dir/sim/network.cc.o" "gcc" "src/CMakeFiles/gremlin_sim.dir/sim/network.cc.o.d"
+  "/root/repo/src/sim/pubsub.cc" "src/CMakeFiles/gremlin_sim.dir/sim/pubsub.cc.o" "gcc" "src/CMakeFiles/gremlin_sim.dir/sim/pubsub.cc.o.d"
+  "/root/repo/src/sim/service.cc" "src/CMakeFiles/gremlin_sim.dir/sim/service.cc.o" "gcc" "src/CMakeFiles/gremlin_sim.dir/sim/service.cc.o.d"
+  "/root/repo/src/sim/sidecar.cc" "src/CMakeFiles/gremlin_sim.dir/sim/sidecar.cc.o" "gcc" "src/CMakeFiles/gremlin_sim.dir/sim/sidecar.cc.o.d"
+  "/root/repo/src/sim/simulation.cc" "src/CMakeFiles/gremlin_sim.dir/sim/simulation.cc.o" "gcc" "src/CMakeFiles/gremlin_sim.dir/sim/simulation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/CMakeFiles/gremlin_common.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/gremlin_faults.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/gremlin_logstore.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/gremlin_resilience.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/gremlin_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

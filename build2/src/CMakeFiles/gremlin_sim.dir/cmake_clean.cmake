@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gremlin_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/gremlin_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/gremlin_sim.dir/sim/network.cc.o"
+  "CMakeFiles/gremlin_sim.dir/sim/network.cc.o.d"
+  "CMakeFiles/gremlin_sim.dir/sim/pubsub.cc.o"
+  "CMakeFiles/gremlin_sim.dir/sim/pubsub.cc.o.d"
+  "CMakeFiles/gremlin_sim.dir/sim/service.cc.o"
+  "CMakeFiles/gremlin_sim.dir/sim/service.cc.o.d"
+  "CMakeFiles/gremlin_sim.dir/sim/sidecar.cc.o"
+  "CMakeFiles/gremlin_sim.dir/sim/sidecar.cc.o.d"
+  "CMakeFiles/gremlin_sim.dir/sim/simulation.cc.o"
+  "CMakeFiles/gremlin_sim.dir/sim/simulation.cc.o.d"
+  "libgremlin_sim.a"
+  "libgremlin_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gremlin_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gremlin_topology.dir/topology/deployment.cc.o"
+  "CMakeFiles/gremlin_topology.dir/topology/deployment.cc.o.d"
+  "CMakeFiles/gremlin_topology.dir/topology/graph.cc.o"
+  "CMakeFiles/gremlin_topology.dir/topology/graph.cc.o.d"
+  "libgremlin_topology.a"
+  "libgremlin_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gremlin_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

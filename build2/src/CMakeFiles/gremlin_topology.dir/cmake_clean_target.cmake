@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgremlin_topology.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gremlin_trace.dir/trace/trace.cc.o"
+  "CMakeFiles/gremlin_trace.dir/trace/trace.cc.o.d"
+  "libgremlin_trace.a"
+  "libgremlin_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gremlin_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

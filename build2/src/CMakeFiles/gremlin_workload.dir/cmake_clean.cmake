@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gremlin_workload.dir/workload/generator.cc.o"
+  "CMakeFiles/gremlin_workload.dir/workload/generator.cc.o.d"
+  "CMakeFiles/gremlin_workload.dir/workload/stats.cc.o"
+  "CMakeFiles/gremlin_workload.dir/workload/stats.cc.o.d"
+  "libgremlin_workload.a"
+  "libgremlin_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gremlin_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

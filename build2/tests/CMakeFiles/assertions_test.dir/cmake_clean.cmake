@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assertions_test.dir/assertions_test.cc.o"
+  "CMakeFiles/assertions_test.dir/assertions_test.cc.o.d"
+  "assertions_test"
+  "assertions_test.pdb"
+  "assertions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assertions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_pool_test.dir/event_pool_test.cc.o"
+  "CMakeFiles/event_pool_test.dir/event_pool_test.cc.o.d"
+  "event_pool_test"
+  "event_pool_test.pdb"
+  "event_pool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/httpmsg_test.dir/httpmsg_test.cc.o"
+  "CMakeFiles/httpmsg_test.dir/httpmsg_test.cc.o.d"
+  "httpmsg_test"
+  "httpmsg_test.pdb"
+  "httpmsg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/httpmsg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

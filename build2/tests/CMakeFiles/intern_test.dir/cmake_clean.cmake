@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intern_test.dir/intern_test.cc.o"
+  "CMakeFiles/intern_test.dir/intern_test.cc.o.d"
+  "intern_test"
+  "intern_test.pdb"
+  "intern_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intern_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keepalive_test.dir/keepalive_test.cc.o"
+  "CMakeFiles/keepalive_test.dir/keepalive_test.cc.o.d"
+  "keepalive_test"
+  "keepalive_test.pdb"
+  "keepalive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keepalive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logstore_test.dir/logstore_test.cc.o"
+  "CMakeFiles/logstore_test.dir/logstore_test.cc.o.d"
+  "logstore_test"
+  "logstore_test.pdb"
+  "logstore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logstore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pool_test.cc" "tests/CMakeFiles/pool_test.dir/pool_test.cc.o" "gcc" "tests/CMakeFiles/pool_test.dir/pool_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/CMakeFiles/gremlin_dsl.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/gremlin_proxy.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/gremlin_registry.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/gremlin_httpserver.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/gremlin_httpmsg.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/gremlin_net.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/gremlin_report.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/gremlin_baseline.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/gremlin_campaign.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/gremlin_apps.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/gremlin_control.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/gremlin_trace.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/gremlin_workload.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/gremlin_sim.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/gremlin_resilience.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/gremlin_topology.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/gremlin_faults.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/gremlin_logstore.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/gremlin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

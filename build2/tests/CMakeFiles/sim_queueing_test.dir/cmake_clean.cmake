@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_queueing_test.dir/sim_queueing_test.cc.o"
+  "CMakeFiles/sim_queueing_test.dir/sim_queueing_test.cc.o.d"
+  "sim_queueing_test"
+  "sim_queueing_test.pdb"
+  "sim_queueing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_queueing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gremlin_agent_tool.dir/gremlin_agent.cc.o"
+  "CMakeFiles/gremlin_agent_tool.dir/gremlin_agent.cc.o.d"
+  "gremlin-agent"
+  "gremlin-agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gremlin_agent_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

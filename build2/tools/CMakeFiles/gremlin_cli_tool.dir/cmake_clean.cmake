@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gremlin_cli_tool.dir/gremlin_cli.cc.o"
+  "CMakeFiles/gremlin_cli_tool.dir/gremlin_cli.cc.o.d"
+  "gremlin"
+  "gremlin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gremlin_cli_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

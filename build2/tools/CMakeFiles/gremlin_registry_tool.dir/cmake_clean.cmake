@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gremlin_registry_tool.dir/gremlin_registry.cc.o"
+  "CMakeFiles/gremlin_registry_tool.dir/gremlin_registry.cc.o.d"
+  "gremlin-registry"
+  "gremlin-registry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gremlin_registry_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build2/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_check_recipe "/root/repo/build2/tools/gremlin" "check" "/root/repo/examples/recipes/database_outage.recipe")
+set_tests_properties(cli_check_recipe PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run_smoke "/root/repo/build2/tools/gremlin" "run" "/root/repo/tools/testdata/cli_smoke.recipe" "--trace")
+set_tests_properties(cli_run_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run_detects_missing_breaker "/root/repo/build2/tools/gremlin" "run" "/root/repo/examples/recipes/overload_then_crash.recipe")
+set_tests_properties(cli_run_detects_missing_breaker PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_bad_recipe "/root/repo/build2/tools/gremlin" "check" "/root/repo/tools/testdata/cli_smoke.recipe.nonexistent")
+set_tests_properties(cli_rejects_bad_recipe PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;24;add_test;/root/repo/tools/CMakeLists.txt;0;")
