@@ -1,0 +1,78 @@
+#include "apps/redundant.h"
+
+#include <memory>
+
+namespace gremlin::apps {
+
+using sim::RequestContext;
+using sim::ServiceConfig;
+using sim::SimResponse;
+
+topology::AppGraph build_redundant_app(sim::Simulation* sim,
+                                       const RedundantOptions& options) {
+  for (const char* replica : {"replica-a", "replica-b"}) {
+    ServiceConfig cfg;
+    cfg.name = replica;
+    cfg.processing_time = options.replica_processing;
+    sim->add_service(cfg);
+  }
+
+  // Feature-flagged audit trail: only /admin requests reach it, so a plain
+  // read workload leaves the whole subtree unobserved.
+  ServiceConfig archive;
+  archive.name = "archive";
+  archive.processing_time = options.replica_processing;
+  sim->add_service(archive);
+
+  ServiceConfig audit;
+  audit.name = "audit";
+  audit.processing_time = options.replica_processing;
+  audit.dependencies = {"archive"};
+  sim->add_service(audit);
+
+  ServiceConfig frontend;
+  frontend.name = "frontend";
+  frontend.processing_time = options.frontend_processing;
+  resilience::CallPolicy replica_policy;  // bounded wait, no fallback
+  replica_policy.timeout = options.replica_timeout;
+  frontend.policies["replica-a"] = replica_policy;
+  frontend.policies["replica-b"] = replica_policy;
+  frontend.handler = [](std::shared_ptr<RequestContext> ctx) {
+    if (ctx->request().uri.str() == "/admin") {
+      ctx->call("audit", [ctx](const SimResponse&) {
+        ctx->respond(200, "audited");  // audit is best-effort
+      });
+      return;
+    }
+    // Mirrored read: both replicas are queried on every request and either
+    // success satisfies the user. The seeded bug: no plan C when both fail.
+    struct Scatter {
+      int pending = 2;
+      bool succeeded = false;
+    };
+    auto state = std::make_shared<Scatter>();
+    auto on_reply = [ctx, state](const SimResponse& resp) {
+      if (!resp.failed()) state->succeeded = true;
+      if (--state->pending == 0) {
+        if (state->succeeded) {
+          ctx->respond(200, "replica-read");
+        } else {
+          ctx->respond(502, "all-replicas-failed");
+        }
+      }
+    };
+    ctx->call("replica-a", on_reply);
+    ctx->call("replica-b", on_reply);
+  };
+  sim->add_service(frontend);
+
+  topology::AppGraph graph;
+  graph.add_edge("user", "frontend");
+  graph.add_edge("frontend", "replica-a");
+  graph.add_edge("frontend", "replica-b");
+  graph.add_edge("frontend", "audit");
+  graph.add_edge("audit", "archive");
+  return graph;
+}
+
+}  // namespace gremlin::apps

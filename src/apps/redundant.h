@@ -1,0 +1,34 @@
+// Redundant-pair application: the fault-space search's seeded-bug testbed.
+//
+// `frontend` mirrors every read to two replicas and succeeds if *either*
+// replies — single-replica outages are fully absorbed, so every k=1
+// experiment passes. The seeded bug is the missing last line of defence:
+// when BOTH replicas fail the same request, frontend has no fallback and
+// returns 502 to the user. The minimal reproducer is therefore exactly a
+// 2-fault combination pairing one fault on each replica side, which is what
+// `gremlin search` must discover and shrink to (docs/SEARCH.md).
+//
+// The logical graph additionally declares a feature-flagged audit subtree
+// (frontend → audit → archive) that the handler only exercises for /admin
+// requests. A plain read workload never touches it, so the observed call
+// graph lets the dependency-aware pruner discard every combination that
+// faults the dead subtree — the app seeds both halves of the search story.
+#pragma once
+
+#include "sim/simulation.h"
+#include "topology/graph.h"
+
+namespace gremlin::apps {
+
+struct RedundantOptions {
+  Duration frontend_processing = msec(1);
+  Duration replica_processing = msec(2);
+  // Per-replica call timeout; injected delays beyond this fail the call.
+  Duration replica_timeout = msec(50);
+};
+
+// Builds the app; `frontend` is the entry point called by "user".
+topology::AppGraph build_redundant_app(sim::Simulation* sim,
+                                       const RedundantOptions& options = {});
+
+}  // namespace gremlin::apps

@@ -132,4 +132,26 @@ AppSpec AppSpec::wordpress(apps::WordPressOptions options) {
   return spec;
 }
 
+AppSpec AppSpec::redundant(apps::RedundantOptions options) {
+  AppSpec spec;
+  spec.name = "redundant";
+  spec.build = [options](sim::Simulation* sim) {
+    return apps::build_redundant_app(sim, options);
+  };
+  return spec;
+}
+
+Result<AppSpec> AppSpec::named(const std::string& name) {
+  if (name == "quickstart") return quickstart(3, msec(300));
+  if (name == "tree") return tree();
+  if (name == "buggy-tree") return buggy_tree();
+  if (name == "redundant") return redundant();
+  if (name == "enterprise") return enterprise();
+  if (name == "wordpress") return wordpress();
+  return Error::invalid_argument(
+      "unknown app '" + name +
+      "' (expected quickstart, tree, buggy-tree, redundant, enterprise, or "
+      "wordpress)");
+}
+
 }  // namespace gremlin::campaign

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "apps/enterprise.h"
+#include "apps/redundant.h"
 #include "apps/trees.h"
 #include "apps/wordpress.h"
 #include "sim/simulation.h"
@@ -71,6 +72,16 @@ struct AppSpec {
 
   // WordPress + ElasticPress + Elasticsearch + MySQL (Section 7.1).
   static AppSpec wordpress(apps::WordPressOptions options = {});
+
+  // The fault-space search testbed: mirrored replica reads that absorb any
+  // single fault but 502 when both replicas fail, plus a feature-flagged
+  // audit subtree the baseline workload never touches (docs/SEARCH.md).
+  static AppSpec redundant(apps::RedundantOptions options = {});
+
+  // Looks up a built-in spec by name ("quickstart", "tree", "buggy-tree",
+  // "redundant", "enterprise", "wordpress"), with default options — the
+  // `gremlin search --app <name>` registry. Fails on unknown names.
+  static Result<AppSpec> named(const std::string& name);
 };
 
 // Instantiates every `graph` service missing from `sim` as a clone of

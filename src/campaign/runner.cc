@@ -93,14 +93,21 @@ int CampaignRunner::resolved_threads() const {
 
 ExperimentResult CampaignRunner::run_one(const Experiment& experiment,
                                          bool keep_latencies) {
-  ExperimentResult result;
-  result.id = experiment.id;
-  result.seed = experiment.seed;
-
   // A fully private deployment: clock, RNG, log store, services, agents.
   sim::SimulationConfig cfg;
   cfg.seed = experiment.seed;
   sim::Simulation sim(cfg);
+  return run_in(experiment, &sim, keep_latencies);
+}
+
+ExperimentResult CampaignRunner::run_in(const Experiment& experiment,
+                                        sim::Simulation* sim_ptr,
+                                        bool keep_latencies) {
+  ExperimentResult result;
+  result.id = experiment.id;
+  result.seed = experiment.seed;
+
+  sim::Simulation& sim = *sim_ptr;
   topology::AppGraph graph = experiment.app.instantiate(&sim);
   control::TestSession session(&sim, graph);
 

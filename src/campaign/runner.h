@@ -85,6 +85,14 @@ class CampaignRunner {
   static ExperimentResult run_one(const Experiment& experiment,
                                   bool keep_latencies = true);
 
+  // As run_one, but on a caller-provided Simulation, which must be freshly
+  // constructed with the experiment's seed. Lets callers keep the deployment
+  // alive after the run — the fault-space search replays a baseline this way
+  // and then reads the observed call graph out of sim->log_store().
+  static ExperimentResult run_in(const Experiment& experiment,
+                                 sim::Simulation* sim,
+                                 bool keep_latencies = true);
+
   int resolved_threads() const;
 
  private:

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <map>
+#include <set>
 
 #include "trace/trace.h"
 
@@ -453,6 +454,19 @@ CheckResult AssertionChecker::failure_contained(
                   " flows failed at " + origin_service + "; " +
                   std::to_string(escaped) + " escaped to the user-facing edge";
   return result;
+}
+
+std::string failure_signature(const std::vector<CheckResult>& results) {
+  std::set<std::string> failed;
+  for (const auto& r : results) {
+    if (!r.passed) failed.insert(r.name);
+  }
+  std::string out;
+  for (const auto& name : failed) {
+    if (!out.empty()) out += " + ";
+    out += name;
+  }
+  return out;
 }
 
 }  // namespace gremlin::control

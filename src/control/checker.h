@@ -9,6 +9,7 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "control/assertions.h"
 #include "logstore/store.h"
@@ -23,6 +24,13 @@ struct CheckResult {
 
   explicit operator bool() const { return passed; }
 };
+
+// Stable identity of a verdict set's *failure mode*: the sorted, deduplicated
+// names of every failed check, joined with " + " (empty when everything
+// passed). Two runs with equal signatures violated the same assertions —
+// the equivalence the fault-space shrinker preserves while minimizing a
+// failing experiment, so it never "shrinks" one bug into a different one.
+std::string failure_signature(const std::vector<CheckResult>& results);
 
 class AssertionChecker {
  public:

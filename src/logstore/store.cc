@@ -225,6 +225,32 @@ RecordList LogStore::get_replies(const std::string& src,
   return query(q);
 }
 
+CallGraph LogStore::call_graph(const Query& q) const {
+  std::lock_guard lock(mu_);
+  const std::vector<size_t>& positions = collect_locked(q);
+
+  // Group edges by request ID (symbol pairs while grouping — cheap integer
+  // keys — stringified once per distinct edge at the end).
+  std::map<std::string, std::set<std::pair<Symbol, Symbol>>, std::less<>>
+      by_request;
+  for (const size_t pos : positions) {
+    const LogRecord& r = records_[pos];
+    by_request[r.request_id].insert({r.src, r.dst});
+  }
+
+  CallGraph out;
+  out.requests = by_request.size();
+  std::set<CallGraph::EdgeSet> distinct;
+  for (const auto& [id, edges] : by_request) {
+    CallGraph::EdgeSet path;
+    for (const auto& [src, dst] : edges) path.insert({src.str(), dst.str()});
+    out.edges.insert(path.begin(), path.end());
+    distinct.insert(std::move(path));
+  }
+  out.paths.assign(distinct.begin(), distinct.end());
+  return out;
+}
+
 RecordList LogStore::all() const {
   std::lock_guard lock(mu_);
   RecordList out = records_;

@@ -13,7 +13,9 @@
 #include <functional>
 #include <map>
 #include <mutex>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/glob.h"
@@ -39,6 +41,26 @@ struct Query {
 // Visitor for the zero-copy query path. Invoked under the store lock, in
 // (timestamp, arrival order); must not call back into the store.
 using RecordVisitor = InlineFunction<void(const LogRecord&), 64>;
+
+// The call graph a test run actually exercised, extracted from the agents'
+// observation logs. Edges are logical (src, dst) service names; `paths` is
+// the set of *distinct* per-request edge sets (two requests that traversed
+// the same edges collapse into one signature). This is the evidence the
+// fault-space pruner reasons over: a fault on an edge no request touched is
+// a no-op, and two faults whose edges share no request path cannot
+// interact (LDFI-style lineage pruning, docs/SEARCH.md).
+struct CallGraph {
+  using Edge = std::pair<std::string, std::string>;
+  using EdgeSet = std::set<Edge>;
+
+  EdgeSet edges;               // every observed (src, dst), lexicographic
+  std::vector<EdgeSet> paths;  // distinct per-request signatures, sorted
+  size_t requests = 0;         // distinct request IDs observed
+
+  bool observed(const std::string& src, const std::string& dst) const {
+    return edges.count({src, dst}) != 0;
+  }
+};
 
 class LogStore {
  public:
@@ -73,6 +95,11 @@ class LogStore {
 
   // Snapshot of everything, time-sorted.
   RecordList all() const;
+
+  // Extracts the observed call graph from the records matching `q` (default:
+  // every request record). Deterministic: output ordering is lexicographic
+  // on service names, never dependent on symbol-table interning order.
+  CallGraph call_graph(const Query& q = {}) const;
 
   // Serialize the full store (for the proxy's /records endpoint).
   Json to_json() const;

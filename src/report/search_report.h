@@ -1,0 +1,33 @@
+// SearchReport: the operator-facing output of `gremlin search`.
+//
+// A campaign report answers "which scenarios break the app"; a search
+// report answers the harder question "which *minimal combinations* break
+// it, and how much of the space did we really have to run". It renders the
+// search funnel (generated → pruned → run → failed), the baseline evidence
+// the pruner relied on, and each minimal reproducer with its replay seed.
+// Exportable as JSON (schema in docs/SEARCH.md) or Markdown.
+#pragma once
+
+#include <string>
+
+#include "common/json.h"
+#include "search/search.h"
+
+namespace gremlin::report {
+
+struct SearchReport {
+  std::string title;
+  search::SearchOutcome outcome;
+
+  // True when the search ran end to end and found no fault combination
+  // that violates the checks.
+  bool clean() const { return outcome.ok && outcome.findings.empty(); }
+
+  Json to_json() const;
+  std::string to_markdown() const;
+};
+
+SearchReport build_search_report(search::SearchOutcome outcome,
+                                 std::string title);
+
+}  // namespace gremlin::report

@@ -1,0 +1,218 @@
+#include "search/combinations.h"
+
+#include <algorithm>
+
+namespace gremlin::search {
+
+using control::FailureSpec;
+
+std::string describe(const FailureSpec& spec) {
+  switch (spec.kind) {
+    case FailureSpec::Kind::kAbort:
+      return "abort(" + spec.a + "->" + spec.b + ")";
+    case FailureSpec::Kind::kDelay:
+      return "delay(" + spec.a + "->" + spec.b + ")";
+    case FailureSpec::Kind::kModify:
+      return "modify(" + spec.a + "->" + spec.b + ")";
+    case FailureSpec::Kind::kDisconnect:
+      return "disconnect(" + spec.a + "->" + spec.b + ")";
+    case FailureSpec::Kind::kCrash:
+      return "crash(" + spec.b + ")";
+    case FailureSpec::Kind::kHang:
+      return "hang(" + spec.b + ")";
+    case FailureSpec::Kind::kOverload:
+      return "overload(" + spec.b + ")";
+    case FailureSpec::Kind::kFakeSuccess:
+      return "fake_success(" + spec.b + ")";
+    case FailureSpec::Kind::kPartition: {
+      std::string out = "partition({";
+      for (const auto& s : spec.group) {
+        if (out.back() != '{') out += ",";
+        out += s;
+      }
+      return out + "})";
+    }
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool is_edge_kind(FailureSpec::Kind kind) {
+  return kind == FailureSpec::Kind::kAbort ||
+         kind == FailureSpec::Kind::kDelay ||
+         kind == FailureSpec::Kind::kDisconnect ||
+         kind == FailureSpec::Kind::kModify;
+}
+
+FailureSpec point_spec(FailureSpec::Kind kind, const std::string& src,
+                       const std::string& dst,
+                       const GeneratorOptions& options) {
+  switch (kind) {
+    case FailureSpec::Kind::kAbort:
+      return FailureSpec::abort_edge(src, dst, options.abort_error);
+    case FailureSpec::Kind::kDelay:
+      return FailureSpec::delay_edge(src, dst, options.delay);
+    case FailureSpec::Kind::kDisconnect:
+      return FailureSpec::disconnect(src, dst, options.abort_error);
+    case FailureSpec::Kind::kCrash:
+      return FailureSpec::crash(dst);
+    case FailureSpec::Kind::kOverload:
+      return FailureSpec::overload(dst);
+    case FailureSpec::Kind::kHang:
+      return FailureSpec::hang(dst, options.hang);
+    default:
+      return FailureSpec::abort_edge(src, dst, options.abort_error);
+  }
+}
+
+}  // namespace
+
+std::vector<FaultPoint> enumerate_fault_points(
+    const topology::AppGraph& graph, const GeneratorOptions& options,
+    const std::set<std::string>& extra_excluded) {
+  std::set<std::string> excluded = options.exclude;
+  excluded.insert(extra_excluded.begin(), extra_excluded.end());
+
+  std::vector<FaultPoint> points;
+  for (const auto kind : options.kinds) {
+    if (is_edge_kind(kind)) {
+      for (const auto& edge : graph.edges()) {
+        // Only the callee side disqualifies an edge (the sweep-generator
+        // convention): the front door's outbound edges are fair game.
+        if (excluded.count(edge.dst) != 0) continue;
+        FaultPoint p;
+        p.spec = point_spec(kind, edge.src, edge.dst, options);
+        p.label = describe(p.spec);
+        p.trigger_edges = {edge};
+        points.push_back(std::move(p));
+      }
+    } else {
+      for (const auto& service : graph.services()) {
+        if (excluded.count(service) != 0) continue;
+        FaultPoint p;
+        p.spec = point_spec(kind, "", service, options);
+        p.label = describe(p.spec);
+        // A service fault manipulates every call *into* the service: the
+        // translator expands it across all dependent edges (Table 2).
+        for (const auto& dep : graph.dependents(service)) {
+          p.trigger_edges.push_back({dep, service});
+        }
+        points.push_back(std::move(p));
+      }
+    }
+  }
+  return points;
+}
+
+namespace {
+
+std::string combo_label(const std::vector<FaultPoint>& points,
+                        const std::vector<size_t>& indices) {
+  std::string out;
+  for (const size_t i : indices) {
+    if (!out.empty()) out += " + ";
+    out += points[i].label;
+  }
+  return out;
+}
+
+// Exhaustive k-subsets of [0, n) in lexicographic order.
+void emit_subsets(size_t n, size_t k, std::vector<size_t>* current,
+                  size_t first, std::vector<std::vector<size_t>>* out) {
+  if (current->size() == k) {
+    out->push_back(*current);
+    return;
+  }
+  for (size_t i = first; i + (k - current->size()) <= n; ++i) {
+    current->push_back(i);
+    emit_subsets(n, k, current, i + 1, out);
+    current->pop_back();
+  }
+}
+
+// Greedy pairwise-covering design: max_k-sized combinations such that every
+// pair of points co-occurs in at least one combination. Deterministic:
+// seeded with the smallest uncovered pair, grown by best-gain / lowest-index.
+std::vector<std::vector<size_t>> pairwise_cover(size_t n, size_t k) {
+  std::set<std::pair<size_t, size_t>> uncovered;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) uncovered.insert({i, j});
+  }
+  std::vector<std::vector<size_t>> out;
+  while (!uncovered.empty()) {
+    std::vector<size_t> combo = {uncovered.begin()->first,
+                                 uncovered.begin()->second};
+    while (combo.size() < k) {
+      size_t best = n;
+      size_t best_gain = 0;
+      for (size_t cand = 0; cand < n; ++cand) {
+        if (std::find(combo.begin(), combo.end(), cand) != combo.end()) {
+          continue;
+        }
+        size_t gain = 0;
+        for (const size_t member : combo) {
+          const auto pair = std::minmax(member, cand);
+          if (uncovered.count({pair.first, pair.second}) != 0) ++gain;
+        }
+        if (gain > best_gain) {
+          best_gain = gain;
+          best = cand;
+        }
+      }
+      if (best == n) break;  // no candidate adds coverage
+      combo.push_back(best);
+    }
+    std::sort(combo.begin(), combo.end());
+    for (size_t i = 0; i < combo.size(); ++i) {
+      for (size_t j = i + 1; j < combo.size(); ++j) {
+        uncovered.erase({combo[i], combo[j]});
+      }
+    }
+    out.push_back(std::move(combo));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Combination> generate_combinations(
+    const std::vector<FaultPoint>& points, const GeneratorOptions& options,
+    size_t* truncated) {
+  const size_t n = points.size();
+  const size_t max_k = static_cast<size_t>(
+      std::clamp(options.max_k, 1, 3));
+
+  std::vector<std::vector<size_t>> subsets;
+  for (size_t k = 1; k <= std::min(max_k, n); ++k) {
+    if (options.pairwise && k >= 2) {
+      // One covering stratum replaces every k >= 2 stratum.
+      for (auto& combo : pairwise_cover(n, std::min(max_k, n))) {
+        subsets.push_back(std::move(combo));
+      }
+      break;
+    }
+    std::vector<size_t> current;
+    emit_subsets(n, k, &current, 0, &subsets);
+  }
+
+  size_t dropped = 0;
+  if (options.max_combinations != 0 &&
+      subsets.size() > options.max_combinations) {
+    dropped = subsets.size() - options.max_combinations;
+    subsets.resize(options.max_combinations);
+  }
+  if (truncated != nullptr) *truncated = dropped;
+
+  std::vector<Combination> out;
+  out.reserve(subsets.size());
+  for (auto& indices : subsets) {
+    Combination c;
+    c.label = combo_label(points, indices);
+    c.points = std::move(indices);
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace gremlin::search

@@ -1,0 +1,89 @@
+// Combinatorial fault-space enumeration: the generator half of `gremlin
+// search`.
+//
+// A FaultPoint is one injectable failure (a FailureSpec) plus the graph
+// edges whose traffic it manipulates — the evidence the dependency-aware
+// pruner (search/pruner.h) matches against the observed call graph. The
+// generator enumerates every k-combination of fault points for k ≤ max_k
+// (hard-capped at 3: beyond triple faults the space explodes faster than
+// any pruner can pay back), optionally replacing the exhaustive k≥2 tail
+// with a greedy pairwise-covering design, and truncating to an explicit
+// budget. Combinations are emitted k-ascending, lexicographic within k, so
+// campaign results are reproducible run to run.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "control/failures.h"
+#include "topology/graph.h"
+
+namespace gremlin::search {
+
+// One injectable fault and the edges whose traffic it touches.
+struct FaultPoint {
+  control::FailureSpec spec;
+  std::string label;  // describe(spec): "abort(a->b)", "crash(svc)", ...
+  std::vector<topology::Edge> trigger_edges;
+};
+
+struct GeneratorOptions {
+  // Largest combination size; clamped to [1, 3].
+  int max_k = 2;
+
+  // Hard cap on emitted combinations (0 = unlimited). Generation order is
+  // k-ascending, so a tight budget keeps all singles and drops the deepest
+  // combinations first; the dropped count is reported, never silent.
+  size_t max_combinations = 5000;
+
+  // Replace the exhaustive k = max_k stratum with a greedy covering design:
+  // every *pair* of fault points still co-occurs in some combination, but
+  // each emitted combination packs max_k faults, cutting the combination
+  // count roughly by a factor of max_k-1. Only meaningful for max_k == 3
+  // (for max_k == 2 the covering design is the exhaustive pair set).
+  bool pairwise = false;
+
+  // Failure kinds enumerated per edge (abort/delay/disconnect/modify) or
+  // per service (crash/overload/hang).
+  std::vector<control::FailureSpec::Kind> kinds = {
+      control::FailureSpec::Kind::kAbort,
+      control::FailureSpec::Kind::kDelay,
+      control::FailureSpec::Kind::kOverload,
+      control::FailureSpec::Kind::kCrash,
+      control::FailureSpec::Kind::kDisconnect,
+  };
+
+  // Services never faulted; the search adds its client and load target.
+  std::set<std::string> exclude = {"user"};
+
+  // Fault parameters (mirrors campaign::SweepOptions).
+  int abort_error = 503;
+  Duration delay = msec(100);
+  Duration hang = hours(1);
+};
+
+// Canonical human-readable label for a failure spec, e.g. "abort(a->b)".
+std::string describe(const control::FailureSpec& spec);
+
+// Enumerates every fault point the graph admits under `options`, in
+// deterministic (kind, edge/service) order. `extra_excluded` extends
+// options.exclude (the search passes its client + load target).
+std::vector<FaultPoint> enumerate_fault_points(
+    const topology::AppGraph& graph, const GeneratorOptions& options,
+    const std::set<std::string>& extra_excluded = {});
+
+// A combination of fault points, by index into the fault-point list.
+struct Combination {
+  std::vector<size_t> points;  // strictly increasing indices
+  std::string label;           // point labels joined with " + "
+};
+
+// Enumerates combinations over `points` per `options`. When the budget
+// truncates the space, the number of dropped combinations is returned via
+// `truncated` (pass nullptr to ignore).
+std::vector<Combination> generate_combinations(
+    const std::vector<FaultPoint>& points, const GeneratorOptions& options,
+    size_t* truncated = nullptr);
+
+}  // namespace gremlin::search

@@ -1,0 +1,91 @@
+#include "search/pruner.h"
+
+namespace gremlin::search {
+
+Baseline run_baseline(const campaign::Experiment& experiment) {
+  campaign::Experiment clean = experiment;
+  clean.id = "baseline";
+  clean.failures.clear();
+  clean.custom = nullptr;
+
+  sim::SimulationConfig cfg;
+  cfg.seed = clean.seed;
+  sim::Simulation sim(cfg);
+  Baseline baseline;
+  baseline.result = campaign::CampaignRunner::run_in(clean, &sim,
+                                                     /*keep_latencies=*/false);
+  baseline.call_graph = sim.log_store().call_graph();
+  return baseline;
+}
+
+const char* to_string(PruneVerdict verdict) {
+  switch (verdict) {
+    case PruneVerdict::kKeep:
+      return "keep";
+    case PruneVerdict::kUnreachableFault:
+      return "unreachable-fault";
+    case PruneVerdict::kNoSharedPath:
+      return "no-shared-path";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool touches(const logstore::CallGraph::EdgeSet& path,
+             const std::vector<topology::Edge>& trigger_edges) {
+  for (const auto& edge : trigger_edges) {
+    if (path.count({edge.src, edge.dst}) != 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+PruneDecision decide(const std::vector<FaultPoint>& points,
+                     const Combination& combination,
+                     const logstore::CallGraph& observed) {
+  PruneDecision decision;
+  for (const size_t index : combination.points) {
+    const FaultPoint& point = points[index];
+    bool reachable = false;
+    for (const auto& edge : point.trigger_edges) {
+      if (observed.observed(edge.src, edge.dst)) {
+        reachable = true;
+        break;
+      }
+    }
+    if (!reachable) {
+      decision.verdict = PruneVerdict::kUnreachableFault;
+      decision.detail = point.label + " touches no observed edge";
+      return decision;
+    }
+  }
+
+  if (combination.points.size() > 1) {
+    // Faults interact only when one request can meet all of them: some
+    // observed path signature must intersect every point's trigger set.
+    bool shared = false;
+    for (const auto& path : observed.paths) {
+      bool all = true;
+      for (const size_t index : combination.points) {
+        if (!touches(path, points[index].trigger_edges)) {
+          all = false;
+          break;
+        }
+      }
+      if (all) {
+        shared = true;
+        break;
+      }
+    }
+    if (!shared) {
+      decision.verdict = PruneVerdict::kNoSharedPath;
+      decision.detail = "no observed request path meets every fault";
+      return decision;
+    }
+  }
+  return decision;
+}
+
+}  // namespace gremlin::search

@@ -1,0 +1,66 @@
+// Dependency-aware pruning: the LDFI-style half of `gremlin search`.
+//
+// Combinatorial enumeration is only tractable because most combinations
+// cannot matter. The pruner replays the fault-free baseline experiment
+// once, extracts the *observed* call graph from the LogStore
+// (logstore::CallGraph), and discards two classes of combinations before
+// any of them costs a simulation:
+//
+//   1. Unreachable fault — a fault point none of whose trigger edges was
+//      exercised by any baseline request. Injecting there is a no-op.
+//   2. No shared path — a multi-fault combination whose points are all
+//      individually reachable, but no single observed request path touches
+//      an edge of every point. Such faults cannot interact on any flow, so
+//      the combination's outcome is implied by its already-enumerated
+//      sub-combinations.
+//
+// The classic lineage-driven caveat applies and is deliberate: pruning is
+// relative to the *baseline* call graph, so code paths only reachable after
+// a fault (failover routes) are judged by whether the baseline exercised
+// them. Apps that want failover edges searched must exercise them in the
+// baseline workload (see docs/SEARCH.md).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "campaign/experiment.h"
+#include "campaign/runner.h"
+#include "logstore/store.h"
+#include "search/combinations.h"
+
+namespace gremlin::search {
+
+// The fault-free reference run: verdicts plus the observed call graph.
+struct Baseline {
+  campaign::ExperimentResult result;  // checks evaluated with no faults
+  logstore::CallGraph call_graph;
+};
+
+// Runs `experiment` with its failure list ignored, on a private Simulation,
+// and extracts the observed call graph from the collected logs. The
+// experiment's checks are evaluated as-is: a baseline that fails its own
+// assertions makes every search verdict meaningless, and the search aborts.
+Baseline run_baseline(const campaign::Experiment& experiment);
+
+enum class PruneVerdict {
+  kKeep,             // run it
+  kUnreachableFault,  // some point's trigger edges were never observed
+  kNoSharedPath,     // points cannot co-occur on any observed request path
+};
+
+const char* to_string(PruneVerdict verdict);
+
+struct PruneDecision {
+  PruneVerdict verdict = PruneVerdict::kKeep;
+  std::string detail;  // which point / why, for the report
+
+  bool keep() const { return verdict == PruneVerdict::kKeep; }
+};
+
+// Decides one combination against the observed call graph.
+PruneDecision decide(const std::vector<FaultPoint>& points,
+                     const Combination& combination,
+                     const logstore::CallGraph& observed);
+
+}  // namespace gremlin::search

@@ -1,0 +1,202 @@
+#include "search/search.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+
+namespace gremlin::search {
+
+namespace {
+
+// Mirrors the sweep generator's load-target resolution: the first entry
+// point that is neither excluded nor the client, falling back to the front
+// door the client calls.
+std::string resolve_target(const topology::AppGraph& graph,
+                           const SearchOptions& options) {
+  if (!options.target.empty()) return options.target;
+  for (const auto& entry : graph.entry_points()) {
+    if (options.generator.exclude.count(entry) == 0 &&
+        entry != options.client) {
+      return entry;
+    }
+  }
+  for (const auto& edge : graph.edges()) {
+    if (edge.src == options.client) return edge.dst;
+  }
+  return {};
+}
+
+campaign::Experiment make_experiment(const campaign::AppSpec& app,
+                                     const std::vector<FaultPoint>& points,
+                                     const Combination& combo,
+                                     const SearchOptions& options,
+                                     const std::string& target,
+                                     const std::vector<campaign::CheckSpec>&
+                                         checks) {
+  campaign::Experiment e;
+  e.id = combo.label;
+  e.app = app;
+  for (const size_t index : combo.points) {
+    e.failures.push_back(points[index].spec);
+  }
+  e.client = options.client;
+  e.target = target;
+  e.load = options.load;
+  e.checks = checks;
+  e.seed = options.seed;
+  return e;
+}
+
+}  // namespace
+
+SearchOutcome run_search(const campaign::AppSpec& app,
+                         const SearchOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  SearchOutcome outcome;
+  outcome.app = app.name;
+  outcome.seed = options.seed;
+
+  const topology::AppGraph graph = app.probe_graph();
+  const std::string target = resolve_target(graph, options);
+  if (target.empty()) {
+    outcome.error = "no load target: graph has no entry point";
+    return outcome;
+  }
+
+  std::vector<campaign::CheckSpec> checks = options.checks;
+  if (checks.empty()) {
+    checks.push_back(campaign::CheckSpec::max_user_failures(0));
+  }
+
+  // Fault space: the client and load target are excluded exactly as in the
+  // single-fault sweep (faulting the front door is trivially user-visible).
+  std::set<std::string> excluded = {options.client, target};
+  const std::vector<FaultPoint> points =
+      enumerate_fault_points(graph, options.generator, excluded);
+  outcome.fault_points = points.size();
+
+  size_t truncated = 0;
+  const std::vector<Combination> combos =
+      generate_combinations(points, options.generator, &truncated);
+  outcome.generated = combos.size();
+  outcome.truncated = truncated;
+
+  // Baseline replay: verdict reference plus the observed call graph.
+  Combination empty_combo;
+  const Baseline baseline = run_baseline(
+      make_experiment(app, points, empty_combo, options, target, checks));
+  outcome.baseline_passed = baseline.result.passed();
+  outcome.baseline_requests = baseline.result.requests;
+  outcome.observed_edges = baseline.call_graph.edges.size();
+  outcome.observed_paths = baseline.call_graph.paths.size();
+  if (!baseline.result.ok) {
+    outcome.error = "baseline run failed: " + baseline.result.error;
+    return outcome;
+  }
+  if (!outcome.baseline_passed) {
+    outcome.error =
+        "baseline violates its own checks (" +
+        control::failure_signature(baseline.result.checks) +
+        "); fix the app or the checks before searching for fault-induced "
+        "failures";
+    return outcome;
+  }
+
+  // Prune, then materialize the survivors.
+  outcome.combos.reserve(combos.size());
+  std::vector<campaign::Experiment> experiments;
+  std::vector<size_t> experiment_combo;  // experiment -> combo row index
+  for (const Combination& combo : combos) {
+    ComboOutcome row;
+    row.label = combo.label;
+    row.k = combo.points.size();
+    if (options.prune) {
+      const PruneDecision decision =
+          decide(points, combo, baseline.call_graph);
+      row.verdict = decision.verdict;
+      row.prune_detail = decision.detail;
+    }
+    if (row.verdict == PruneVerdict::kKeep) {
+      experiments.push_back(
+          make_experiment(app, points, combo, options, target, checks));
+      experiment_combo.push_back(outcome.combos.size());
+    } else {
+      ++outcome.pruned;
+      if (row.verdict == PruneVerdict::kUnreachableFault) {
+        ++outcome.pruned_unreachable;
+      } else {
+        ++outcome.pruned_no_shared_path;
+      }
+    }
+    outcome.combos.push_back(std::move(row));
+  }
+
+  campaign::RunnerOptions runner_options;
+  runner_options.threads = options.threads;
+  runner_options.keep_latencies = false;
+  const campaign::CampaignRunner runner(runner_options);
+  const campaign::CampaignResult campaign = runner.run(experiments);
+  outcome.threads = campaign.threads;
+  outcome.ran = campaign.experiments.size();
+
+  // Shrink failures to minimal reproducers, deduplicated by the minimal
+  // fault set (many combinations typically collapse onto one bug).
+  std::map<std::string, size_t> finding_index;
+  for (size_t i = 0; i < campaign.experiments.size(); ++i) {
+    const campaign::ExperimentResult& r = campaign.experiments[i];
+    ComboOutcome& row = outcome.combos[experiment_combo[i]];
+    row.ran = true;
+    if (!r.ok) {
+      row.error = true;
+      ++outcome.errors;
+      continue;
+    }
+    if (r.passed()) {
+      row.passed = true;
+      ++outcome.passed;
+      continue;
+    }
+    ++outcome.failed;
+
+    Finding finding;
+    finding.combination = r.id;
+    finding.seed = r.seed;
+    finding.faults_before = experiments[i].failures.size();
+    if (options.shrink) {
+      ShrinkResult shrunk =
+          shrink(experiments[i], {}, options.shrink_options);
+      outcome.shrink_runs += shrunk.runs;
+      finding.flaky = shrunk.flaky;
+      finding.signature = shrunk.signature;
+      finding.shrink_runs = shrunk.runs;
+      finding.load_count = shrunk.minimal.load.count;
+      finding.faults = shrunk.minimal.failures;
+    } else {
+      finding.signature = control::failure_signature(r.checks);
+      finding.load_count = experiments[i].load.count;
+      finding.faults = experiments[i].failures;
+    }
+    std::string minimal;
+    for (const auto& spec : finding.faults) {
+      if (!minimal.empty()) minimal += " + ";
+      minimal += describe(spec);
+    }
+    finding.minimal = finding.flaky ? "(flaky) " + finding.combination
+                                    : minimal;
+
+    const auto it = finding_index.find(finding.minimal);
+    if (it != finding_index.end()) {
+      ++outcome.findings[it->second].occurrences;
+    } else {
+      finding_index.emplace(finding.minimal, outcome.findings.size());
+      outcome.findings.push_back(std::move(finding));
+    }
+  }
+
+  outcome.ok = true;
+  outcome.wall_clock = std::chrono::duration_cast<Duration>(
+      std::chrono::steady_clock::now() - start);
+  return outcome;
+}
+
+}  // namespace gremlin::search

@@ -1,0 +1,105 @@
+// FaultSpaceSearch: the `gremlin search` pipeline.
+//
+//   enumerate fault points  →  generate k ≤ 3 combinations (budgeted,
+//   optionally pairwise-covering)  →  replay the fault-free baseline and
+//   prune combinations the observed call graph rules out  →  run the
+//   survivors in parallel on the campaign engine  →  shrink every failure
+//   to a locally-minimal reproducer with a replayable seed.
+//
+// The output is a SearchOutcome: the funnel counters (generated / pruned /
+// run / failed), per-combination verdicts, and deduplicated minimal
+// reproducers. report::build_search_report turns it into JSON/Markdown.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "campaign/app_spec.h"
+#include "campaign/experiment.h"
+#include "campaign/runner.h"
+#include "search/combinations.h"
+#include "search/pruner.h"
+#include "search/shrinker.h"
+
+namespace gremlin::search {
+
+struct SearchOptions {
+  GeneratorOptions generator;
+
+  control::LoadOptions load;   // load shape for baseline and experiments
+  std::string client = "user";
+  std::string target;          // empty → first non-excluded entry point
+
+  // Checks attached to every experiment (and the baseline). Empty → the
+  // canonical sweep verdict: no user-visible failures.
+  std::vector<campaign::CheckSpec> checks;
+
+  uint64_t seed = 42;
+  int threads = 0;        // campaign workers; 0 = hardware concurrency
+  bool prune = true;      // false: run every generated combination
+  bool shrink = true;     // false: report failures unshrunk
+  ShrinkOptions shrink_options;
+};
+
+// Per-combination verdict row (report fodder).
+struct ComboOutcome {
+  std::string label;
+  size_t k = 0;
+  PruneVerdict verdict = PruneVerdict::kKeep;
+  std::string prune_detail;  // set when pruned
+  bool ran = false;
+  bool passed = false;   // ran and every check passed
+  bool error = false;    // infrastructure error
+};
+
+// One distinct minimal reproducer.
+struct Finding {
+  std::string combination;   // first failing combination that produced it
+  std::string minimal;       // labels of the minimal fault set
+  std::vector<control::FailureSpec> faults;  // the minimal fault set itself
+  uint64_t seed = 0;         // replays deterministically with this seed
+  size_t load_count = 0;     // shrunk request count
+  std::string signature;     // failing checks (control::failure_signature)
+  bool flaky = false;        // failure did not reproduce on re-run
+  size_t shrink_runs = 0;
+  size_t faults_before = 0;
+  size_t occurrences = 1;    // failing combinations that shrank to this
+};
+
+struct SearchOutcome {
+  bool ok = false;       // search infrastructure worked end to end
+  std::string error;     // set when !ok (e.g. the baseline itself fails)
+  std::string app;
+  uint64_t seed = 0;
+  int threads = 1;
+
+  // Baseline replay.
+  bool baseline_passed = false;
+  size_t baseline_requests = 0;
+  size_t observed_edges = 0;
+  size_t observed_paths = 0;
+
+  // The funnel.
+  size_t fault_points = 0;
+  size_t generated = 0;   // combinations enumerated (after budget)
+  size_t truncated = 0;   // combinations dropped by the budget cap
+  size_t pruned = 0;
+  size_t pruned_unreachable = 0;
+  size_t pruned_no_shared_path = 0;
+  size_t ran = 0;
+  size_t passed = 0;
+  size_t failed = 0;
+  size_t errors = 0;
+  size_t shrink_runs = 0;  // extra experiment executions spent shrinking
+
+  std::vector<ComboOutcome> combos;   // generation order
+  std::vector<Finding> findings;      // distinct minimal reproducers
+  Duration wall_clock{};
+
+  bool found_failures() const { return !findings.empty(); }
+};
+
+SearchOutcome run_search(const campaign::AppSpec& app,
+                         const SearchOptions& options = {});
+
+}  // namespace gremlin::search

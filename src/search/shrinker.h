@@ -1,0 +1,65 @@
+// Failing-scenario shrinking: delta debugging over an experiment's fault
+// set and sweep parameters.
+//
+// A failing k-fault experiment is rarely a minimal explanation — often a
+// single member fault (or a smaller load) reproduces the same assertion
+// violations. The shrinker re-runs candidate reductions deterministically
+// (same app spec, same seed) and keeps a reduction only when it reproduces
+// the *same failure mode*: experiment still runs, still fails, and
+// control::failure_signature of its check verdicts is unchanged — so a bug
+// is never "shrunk" into a different bug. Reductions tried, in order:
+//
+//   1. Fault-set minimization to 1-minimality (ddmin-style: repeatedly drop
+//      one fault while the failure persists; at k ≤ 3 single drops reach
+//      1-minimality in O(k²) runs).
+//   2. Load shrinking: halve the request count while the failure persists.
+//
+// A failure that does not reproduce on the verification re-run is reported
+// as flaky (`flaky = true`) and returned unshrunk rather than looping.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "campaign/experiment.h"
+#include "campaign/runner.h"
+
+namespace gremlin::search {
+
+// How candidates are executed. Defaults to CampaignRunner::run_one; tests
+// script fake runners to exercise the algorithm without a simulator.
+using RunFn =
+    std::function<campaign::ExperimentResult(const campaign::Experiment&)>;
+
+struct ShrinkOptions {
+  // Total run budget, counting the verification re-run. The shrinker
+  // returns the best reduction found when the budget is exhausted.
+  size_t max_runs = 48;
+
+  bool shrink_load = true;
+  size_t min_load = 1;  // never shrink below this many requests
+};
+
+struct ShrinkResult {
+  campaign::Experiment minimal;  // locally-minimal reproducer (or the input)
+  bool reproduced = false;       // verification re-run failed as expected
+  bool flaky = false;            // it passed instead: not deterministic
+  std::string signature;         // preserved failure signature
+  size_t runs = 0;               // experiments executed while shrinking
+  size_t faults_before = 0;
+  size_t faults_after = 0;
+  size_t load_before = 0;
+  size_t load_after = 0;
+
+  // True when no reduction survived: the input was already 1-minimal.
+  bool already_minimal() const {
+    return reproduced && faults_after == faults_before &&
+           load_after == load_before;
+  }
+};
+
+// Shrinks `failing` (an experiment whose run failed at least one check).
+ShrinkResult shrink(const campaign::Experiment& failing, const RunFn& run = {},
+                    const ShrinkOptions& options = {});
+
+}  // namespace gremlin::search

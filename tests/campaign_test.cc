@@ -104,6 +104,28 @@ TEST(RunnerTest, ThreadCountNeverChangesResults) {
   EXPECT_EQ(parallel.threads, 8);
 }
 
+TEST(RunnerTest, ReportsAreByteIdenticalAcrossOneFourEightThreads) {
+  // Regression guard for the determinism contract at the report layer: the
+  // same campaign at 1, 4, and 8 workers must produce byte-identical result
+  // fingerprints AND byte-identical rendered experiment rows. Only fields
+  // that record the execution itself (thread count, wall clock) may differ.
+  const auto experiments = replicate_seeds(buggy_tree_sweep(), {3, 99});
+  std::vector<std::string> fingerprints;
+  std::vector<std::string> rendered_rows;
+  for (const int threads : {1, 4, 8}) {
+    const CampaignResult result =
+        CampaignRunner(RunnerOptions{.threads = threads}).run(experiments);
+    fingerprints.push_back(result.fingerprint());
+    const report::CampaignReport rep =
+        report::build_campaign_report(result, "determinism");
+    rendered_rows.push_back(rep.to_json()["experiments"].dump(2));
+  }
+  EXPECT_EQ(fingerprints[0], fingerprints[1]);
+  EXPECT_EQ(fingerprints[0], fingerprints[2]);
+  EXPECT_EQ(rendered_rows[0], rendered_rows[1]);
+  EXPECT_EQ(rendered_rows[0], rendered_rows[2]);
+}
+
 TEST(RunnerTest, ExperimentsAreIsolated) {
   // Same seed, different failure spec: each experiment gets its own private
   // simulation + RNG, so running an experiment inside a big shared campaign

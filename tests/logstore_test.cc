@@ -2,6 +2,7 @@
 // queries, glob filtering, time ordering, thread-safe appends.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <thread>
 
 #include "logstore/store.h"
@@ -249,6 +250,61 @@ TEST(GlobIndexHintTest, LiteralAndPrefixDetection) {
   EXPECT_FALSE(Glob("te*st-*").literal_prefix().has_value());
   EXPECT_FALSE(Glob("te?t-*").literal_prefix().has_value());
   EXPECT_FALSE(Glob("te\\st-*").literal_prefix().has_value());
+}
+
+TEST(CallGraphTest, ExtractsEdgesAndDistinctPaths) {
+  LogStore store;
+  // Request 1 fans out a -> {b, c}; request 2 only reaches b; request 3
+  // repeats request 1's shape exactly (must collapse into one signature).
+  store.append(make_record(1, "test-1", "user", "a", MessageKind::kRequest));
+  store.append(make_record(2, "test-1", "a", "b", MessageKind::kRequest));
+  store.append(make_record(3, "test-1", "a", "c", MessageKind::kRequest));
+  store.append(make_record(4, "test-2", "user", "a", MessageKind::kRequest));
+  store.append(make_record(5, "test-2", "a", "b", MessageKind::kRequest));
+  store.append(make_record(6, "test-3", "user", "a", MessageKind::kRequest));
+  store.append(make_record(7, "test-3", "a", "b", MessageKind::kRequest));
+  store.append(make_record(8, "test-3", "a", "c", MessageKind::kRequest));
+  // Responses must not create edges of their own.
+  store.append(
+      make_record(9, "test-1", "a", "b", MessageKind::kResponse, 503));
+
+  const CallGraph graph = store.call_graph();
+  EXPECT_EQ(graph.requests, 3u);
+  ASSERT_EQ(graph.edges.size(), 3u);
+  EXPECT_TRUE(graph.observed("user", "a"));
+  EXPECT_TRUE(graph.observed("a", "b"));
+  EXPECT_TRUE(graph.observed("a", "c"));
+  EXPECT_FALSE(graph.observed("b", "a"));
+
+  ASSERT_EQ(graph.paths.size(), 2u);  // fan-out shape + b-only shape
+  const CallGraph::EdgeSet fanout = {
+      {"user", "a"}, {"a", "b"}, {"a", "c"}};
+  const CallGraph::EdgeSet b_only = {{"user", "a"}, {"a", "b"}};
+  EXPECT_NE(std::find(graph.paths.begin(), graph.paths.end(), fanout),
+            graph.paths.end());
+  EXPECT_NE(std::find(graph.paths.begin(), graph.paths.end(), b_only),
+            graph.paths.end());
+}
+
+TEST(CallGraphTest, QueryFilterScopesTheGraph) {
+  LogStore store;
+  store.append(make_record(1, "test-1", "a", "b", MessageKind::kRequest));
+  store.append(make_record(2, "prod-1", "a", "c", MessageKind::kRequest));
+
+  Query q;
+  q.id_pattern = "test-*";
+  const CallGraph graph = store.call_graph(q);
+  EXPECT_EQ(graph.requests, 1u);
+  EXPECT_TRUE(graph.observed("a", "b"));
+  EXPECT_FALSE(graph.observed("a", "c"));
+}
+
+TEST(CallGraphTest, EmptyStoreYieldsEmptyGraph) {
+  LogStore store;
+  const CallGraph graph = store.call_graph();
+  EXPECT_EQ(graph.requests, 0u);
+  EXPECT_TRUE(graph.edges.empty());
+  EXPECT_TRUE(graph.paths.empty());
 }
 
 TEST(LogStoreTest, ConcurrentAppends) {

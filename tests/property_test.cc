@@ -61,6 +61,80 @@ TEST(GlobPropertyTest, StarPrefixAndSuffixInvariants) {
   }
 }
 
+TEST(GlobPropertyTest, LiteralFastPathMeansExactMatchOnly) {
+  // Indexed stores answer is_literal() patterns with a point lookup instead
+  // of a scan; that is only sound if such a pattern matches exactly itself.
+  Rng rng(1234);
+  const char alphabet[] = "ab-*?[\\";
+  for (int iter = 0; iter < 3000; ++iter) {
+    std::string pattern;
+    const int plen = static_cast<int>(rng.next_below(8));
+    for (int i = 0; i < plen; ++i) {
+      pattern.push_back(alphabet[rng.next_below(sizeof(alphabet) - 1)]);
+    }
+    const Glob glob(pattern);
+    if (!glob.is_literal()) continue;
+    EXPECT_TRUE(glob.matches(pattern)) << "'" << pattern << "'";
+    // Any other string must not match: perturb by extension, truncation,
+    // and one random flip.
+    EXPECT_FALSE(glob.matches(pattern + "x"));
+    if (!pattern.empty()) {
+      EXPECT_FALSE(glob.matches(pattern.substr(0, pattern.size() - 1)));
+      std::string flipped = pattern;
+      const size_t pos = rng.next_below(flipped.size());
+      flipped[pos] = flipped[pos] == 'z' ? 'y' : 'z';
+      EXPECT_FALSE(glob.matches(flipped)) << "'" << pattern << "'";
+    }
+  }
+}
+
+TEST(GlobPropertyTest, LiteralPrefixFastPathEqualsStartsWith) {
+  // "test-*"-style patterns take the prefix-range fast path; the reported
+  // prefix must make glob_match equivalent to starts_with on any text.
+  Rng rng(4321);
+  const char alphabet[] = "ab-*?[\\";
+  for (int iter = 0; iter < 3000; ++iter) {
+    std::string pattern;
+    const int plen = static_cast<int>(rng.next_below(8));
+    for (int i = 0; i < plen; ++i) {
+      pattern.push_back(alphabet[rng.next_below(sizeof(alphabet) - 1)]);
+    }
+    const Glob glob(pattern);
+    const auto prefix = glob.literal_prefix();
+    if (!prefix.has_value()) continue;
+    std::string text;
+    const int tlen = static_cast<int>(rng.next_below(10));
+    for (int i = 0; i < tlen; ++i) {
+      text.push_back(alphabet[rng.next_below(2)]);  // letters only
+    }
+    EXPECT_EQ(glob.matches(text),
+              std::string_view(text).substr(0, prefix->size()) == *prefix)
+        << "pattern='" << pattern << "' text='" << text << "'";
+    // The prefix itself and any extension of it always match.
+    EXPECT_TRUE(glob.matches(std::string(*prefix)));
+    EXPECT_TRUE(glob.matches(std::string(*prefix) + text));
+  }
+}
+
+TEST(GlobPropertyTest, FastPathShapesAreMutuallyConsistent) {
+  // A pattern is never both literal and prefix-shaped, and either fast path
+  // must agree with the general matcher on the pattern stripped of its '*'.
+  Rng rng(2025);
+  const char alphabet[] = "ab*?";
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string pattern;
+    const int plen = static_cast<int>(rng.next_below(8));
+    for (int i = 0; i < plen; ++i) {
+      pattern.push_back(alphabet[rng.next_below(4)]);
+    }
+    const Glob glob(pattern);
+    if (glob.is_literal()) EXPECT_FALSE(glob.literal_prefix().has_value());
+    if (const auto prefix = glob.literal_prefix()) {
+      EXPECT_EQ(pattern, std::string(*prefix) + "*");
+    }
+  }
+}
+
 // --------------------------------------------- rule engine vs reference
 
 TEST(RuleEnginePropertyTest, MatchesReferenceFirstMatchSemantics) {

@@ -1,0 +1,550 @@
+// Fault-space search tests: combination generation (k-ascending order,
+// budget truncation, pairwise covering), dependency-aware pruning against
+// hand-built call graphs, delta-debugging shrinking with scripted fake
+// runners, and the end-to-end acceptance run on the seeded-bug redundant
+// app: ≥50% of the k ≤ 2 space pruned, the injected failure found, and the
+// exact minimal 2-fault reproducer recovered with a replayable seed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "campaign/app_spec.h"
+#include "report/search_report.h"
+#include "search/combinations.h"
+#include "search/pruner.h"
+#include "search/search.h"
+#include "search/shrinker.h"
+
+namespace gremlin::search {
+namespace {
+
+// ------------------------------------------------------------- generator
+
+topology::AppGraph fan_graph() {
+  // user -> front -> {db, cache}
+  topology::AppGraph g;
+  g.add_edge("user", "front");
+  g.add_edge("front", "db");
+  g.add_edge("front", "cache");
+  return g;
+}
+
+TEST(GeneratorTest, EnumeratesFaultPointsDeterministically) {
+  GeneratorOptions options;
+  const auto points =
+      enumerate_fault_points(fan_graph(), options, {"user", "front"});
+  // Edge kinds (abort, delay, disconnect) on front->cache and front->db
+  // (edges into excluded services are skipped), service kinds (overload,
+  // crash) on cache and db.
+  ASSERT_EQ(points.size(), 3u * 2u + 2u * 2u);
+  for (const auto& p : points) {
+    EXPECT_FALSE(p.label.empty());
+    EXPECT_FALSE(p.trigger_edges.empty());
+    EXPECT_EQ(p.label, describe(p.spec));
+  }
+  // Deterministic: a second enumeration is identical.
+  const auto again =
+      enumerate_fault_points(fan_graph(), options, {"user", "front"});
+  ASSERT_EQ(again.size(), points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(again[i].label, points[i].label);
+  }
+}
+
+TEST(GeneratorTest, ServicePointsTriggerOnDependentEdges) {
+  GeneratorOptions options;
+  options.kinds = {control::FailureSpec::Kind::kCrash};
+  topology::AppGraph g;
+  g.add_edge("a", "shared");
+  g.add_edge("b", "shared");
+  const auto points = enumerate_fault_points(g, options, {});
+  ASSERT_EQ(points.size(), 3u);  // crash(a), crash(b), crash(shared)
+  const auto shared = std::find_if(
+      points.begin(), points.end(),
+      [](const FaultPoint& p) { return p.label == "crash(shared)"; });
+  ASSERT_NE(shared, points.end());
+  // Crash(shared) manipulates traffic on every dependent edge.
+  ASSERT_EQ(shared->trigger_edges.size(), 2u);
+  EXPECT_EQ(shared->trigger_edges[0].src, "a");
+  EXPECT_EQ(shared->trigger_edges[1].src, "b");
+}
+
+TEST(GeneratorTest, CombinationsAreKAscendingAndComplete) {
+  GeneratorOptions options;
+  const auto points =
+      enumerate_fault_points(fan_graph(), options, {"user", "front"});
+  ASSERT_EQ(points.size(), 10u);
+
+  size_t truncated = 123;
+  const auto combos = generate_combinations(points, options, &truncated);
+  EXPECT_EQ(truncated, 0u);
+  // C(10,1) + C(10,2).
+  ASSERT_EQ(combos.size(), 10u + 45u);
+
+  std::set<std::vector<size_t>> seen;
+  size_t last_k = 0;
+  for (const auto& c : combos) {
+    EXPECT_GE(c.points.size(), last_k) << "k must be non-decreasing";
+    last_k = c.points.size();
+    EXPECT_TRUE(std::is_sorted(c.points.begin(), c.points.end()));
+    EXPECT_TRUE(seen.insert(c.points).second) << c.label << " duplicated";
+    EXPECT_FALSE(c.label.empty());
+  }
+}
+
+TEST(GeneratorTest, BudgetKeepsSinglesDropsDeepest) {
+  GeneratorOptions options;
+  options.max_combinations = 20;
+  const auto points =
+      enumerate_fault_points(fan_graph(), options, {"user", "front"});
+  size_t truncated = 0;
+  const auto combos = generate_combinations(points, options, &truncated);
+  ASSERT_EQ(combos.size(), 20u);
+  EXPECT_EQ(truncated, 35u);  // 55 total - 20 kept
+  // Generation is k-ascending, so every single survives the cut.
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(combos[i].points.size(), 1u);
+}
+
+TEST(GeneratorTest, MaxKIsClamped) {
+  const auto points = enumerate_fault_points(fan_graph(), GeneratorOptions{},
+                                             {"user", "front"});
+  GeneratorOptions low;
+  low.max_k = 0;
+  EXPECT_EQ(generate_combinations(points, low).size(), points.size());
+
+  GeneratorOptions high;
+  high.max_k = 9;  // clamped to 3
+  high.max_combinations = 0;
+  const auto combos = generate_combinations(points, high);
+  // C(10,1) + C(10,2) + C(10,3).
+  EXPECT_EQ(combos.size(), 10u + 45u + 120u);
+}
+
+TEST(GeneratorTest, PairwiseCoversEveryPairWithFewerCombinations) {
+  const auto points = enumerate_fault_points(fan_graph(), GeneratorOptions{},
+                                             {"user", "front"});
+  GeneratorOptions options;
+  options.max_k = 3;
+  options.pairwise = true;
+  options.max_combinations = 0;
+  const auto combos = generate_combinations(points, options);
+
+  // Far below the exhaustive 175, but every pair still co-occurs somewhere.
+  EXPECT_LT(combos.size(), 175u / 2);
+  std::set<std::pair<size_t, size_t>> covered;
+  for (const auto& c : combos) {
+    for (size_t i = 0; i < c.points.size(); ++i) {
+      for (size_t j = i + 1; j < c.points.size(); ++j) {
+        covered.insert({c.points[i], c.points[j]});
+      }
+    }
+  }
+  for (size_t i = 0; i < points.size(); ++i) {
+    for (size_t j = i + 1; j < points.size(); ++j) {
+      EXPECT_TRUE(covered.count({i, j})) << i << "," << j << " uncovered";
+    }
+  }
+}
+
+// ---------------------------------------------------------------- pruner
+
+FaultPoint edge_point(const std::string& src, const std::string& dst) {
+  FaultPoint p;
+  p.spec = control::FailureSpec::abort_edge(src, dst);
+  p.label = describe(p.spec);
+  p.trigger_edges = {{src, dst}};
+  return p;
+}
+
+Combination combo_of(std::vector<size_t> indices,
+                     const std::vector<FaultPoint>& points) {
+  Combination c;
+  c.points = std::move(indices);
+  for (const size_t i : c.points) {
+    if (!c.label.empty()) c.label += " + ";
+    c.label += points[i].label;
+  }
+  return c;
+}
+
+TEST(PrunerTest, UnreachableFaultIsPruned) {
+  logstore::CallGraph observed;
+  observed.edges = {{"a", "b"}};
+  observed.paths = {{{"a", "b"}}};
+
+  const std::vector<FaultPoint> points = {edge_point("a", "b"),
+                                          edge_point("a", "ghost")};
+  EXPECT_TRUE(decide(points, combo_of({0}, points), observed).keep());
+
+  const PruneDecision pruned =
+      decide(points, combo_of({1}, points), observed);
+  EXPECT_EQ(pruned.verdict, PruneVerdict::kUnreachableFault);
+  EXPECT_NE(pruned.detail.find("abort(a->ghost)"), std::string::npos);
+
+  // One unreachable member poisons the whole combination.
+  EXPECT_EQ(decide(points, combo_of({0, 1}, points), observed).verdict,
+            PruneVerdict::kUnreachableFault);
+}
+
+TEST(PrunerTest, DisjointPathsCannotInteract) {
+  // Requests either took a->b or a->c, never both: a pair faulting both
+  // edges cannot compound on any flow.
+  logstore::CallGraph observed;
+  observed.edges = {{"a", "b"}, {"a", "c"}};
+  observed.paths = {{{"a", "b"}}, {{"a", "c"}}};
+
+  const std::vector<FaultPoint> points = {edge_point("a", "b"),
+                                          edge_point("a", "c")};
+  // Each single is individually reachable.
+  EXPECT_TRUE(decide(points, combo_of({0}, points), observed).keep());
+  EXPECT_TRUE(decide(points, combo_of({1}, points), observed).keep());
+
+  const PruneDecision pruned =
+      decide(points, combo_of({0, 1}, points), observed);
+  EXPECT_EQ(pruned.verdict, PruneVerdict::kNoSharedPath);
+}
+
+TEST(PrunerTest, SharedPathKeepsThePair) {
+  logstore::CallGraph observed;
+  observed.edges = {{"a", "b"}, {"a", "c"}};
+  observed.paths = {{{"a", "b"}, {"a", "c"}}};  // one flow touched both
+
+  const std::vector<FaultPoint> points = {edge_point("a", "b"),
+                                          edge_point("a", "c")};
+  EXPECT_TRUE(decide(points, combo_of({0, 1}, points), observed).keep());
+}
+
+TEST(PrunerTest, ServiceFaultReachableThroughAnyDependentEdge) {
+  logstore::CallGraph observed;
+  observed.edges = {{"a", "shared"}};
+  observed.paths = {{{"a", "shared"}}};
+
+  FaultPoint crash;
+  crash.spec = control::FailureSpec::crash("shared");
+  crash.label = describe(crash.spec);
+  crash.trigger_edges = {{"a", "shared"}, {"b", "shared"}};
+
+  const std::vector<FaultPoint> points = {crash};
+  // b->shared was never observed, but a->shared was: the crash is live.
+  EXPECT_TRUE(decide(points, combo_of({0}, points), observed).keep());
+}
+
+// -------------------------------------------------------------- shrinker
+
+campaign::ExperimentResult fake_result(
+    const std::vector<std::string>& failed_checks) {
+  campaign::ExperimentResult r;
+  r.ok = true;
+  control::CheckResult passing;
+  passing.name = "AlwaysFine";
+  passing.passed = true;
+  r.checks.push_back(passing);
+  ++r.checks_passed;
+  for (const auto& name : failed_checks) {
+    control::CheckResult failing;
+    failing.name = name;
+    failing.passed = false;
+    r.checks.push_back(failing);
+  }
+  return r;
+}
+
+campaign::Experiment faulty_experiment(std::vector<std::string> dsts,
+                                       size_t load_count = 1) {
+  campaign::Experiment e;
+  e.id = "scripted";
+  for (auto& dst : dsts) {
+    e.failures.push_back(control::FailureSpec::abort_edge("x", dst));
+  }
+  e.load.count = load_count;
+  return e;
+}
+
+TEST(ShrinkerTest, AlreadyMinimalReturnsUnchanged) {
+  size_t runs = 0;
+  const RunFn always_fails = [&](const campaign::Experiment&) {
+    ++runs;
+    return fake_result({"Broken"});
+  };
+  const ShrinkResult result =
+      shrink(faulty_experiment({"a"}, /*load_count=*/1), always_fails);
+  EXPECT_TRUE(result.reproduced);
+  EXPECT_FALSE(result.flaky);
+  EXPECT_TRUE(result.already_minimal());
+  EXPECT_EQ(result.faults_after, 1u);
+  EXPECT_EQ(result.load_after, 1u);
+  EXPECT_EQ(result.signature, "Broken");
+  EXPECT_EQ(runs, 1u);  // just the verification re-run
+}
+
+TEST(ShrinkerTest, TripleFaultShrinksToSingleCause) {
+  // Only the fault on edge x->b matters; a and c are innocent bystanders.
+  const RunFn culprit_is_b = [](const campaign::Experiment& e) {
+    for (const auto& f : e.failures) {
+      if (f.b == "b") return fake_result({"Broken"});
+    }
+    return fake_result({});
+  };
+  const ShrinkResult result =
+      shrink(faulty_experiment({"a", "b", "c"}), culprit_is_b);
+  EXPECT_TRUE(result.reproduced);
+  EXPECT_EQ(result.faults_before, 3u);
+  ASSERT_EQ(result.faults_after, 1u);
+  ASSERT_EQ(result.minimal.failures.size(), 1u);
+  EXPECT_EQ(result.minimal.failures[0].b, "b");
+  EXPECT_FALSE(result.already_minimal());
+}
+
+TEST(ShrinkerTest, NonReproducibleFailureIsFlakyNotALoop) {
+  size_t runs = 0;
+  const RunFn always_passes = [&](const campaign::Experiment&) {
+    ++runs;
+    return fake_result({});
+  };
+  const ShrinkResult result =
+      shrink(faulty_experiment({"a", "b", "c"}), always_passes);
+  EXPECT_TRUE(result.flaky);
+  EXPECT_FALSE(result.reproduced);
+  EXPECT_EQ(runs, 1u);  // reported immediately, no shrink attempts
+  EXPECT_EQ(result.minimal.failures.size(), 3u);  // input returned unshrunk
+}
+
+TEST(ShrinkerTest, ReductionMustPreserveTheFailureMode) {
+  // Together a and b violate two checks; either alone violates only one.
+  // Dropping a fault would "shrink" the bug into a different bug, so the
+  // pair must survive as-is.
+  const RunFn mode_shifts = [](const campaign::Experiment& e) {
+    if (e.failures.size() >= 2) return fake_result({"Slow", "Wrong"});
+    return fake_result({"Slow"});
+  };
+  ShrinkOptions options;
+  options.shrink_load = false;
+  const ShrinkResult result =
+      shrink(faulty_experiment({"a", "b"}), mode_shifts, options);
+  EXPECT_TRUE(result.reproduced);
+  EXPECT_EQ(result.signature, "Slow + Wrong");
+  EXPECT_EQ(result.faults_after, 2u);
+  EXPECT_TRUE(result.already_minimal());
+}
+
+TEST(ShrinkerTest, LoadHalvesToTheFloor) {
+  const RunFn always_fails = [](const campaign::Experiment&) {
+    return fake_result({"Broken"});
+  };
+  const ShrinkResult result =
+      shrink(faulty_experiment({"a"}, /*load_count=*/40), always_fails);
+  EXPECT_EQ(result.load_before, 40u);
+  EXPECT_EQ(result.load_after, 1u);
+  EXPECT_EQ(result.minimal.load.count, 1u);
+}
+
+TEST(ShrinkerTest, RunBudgetIsRespected) {
+  size_t runs = 0;
+  const RunFn always_fails = [&](const campaign::Experiment&) {
+    ++runs;
+    return fake_result({"Broken"});
+  };
+  ShrinkOptions options;
+  options.max_runs = 1;  // verification only
+  const ShrinkResult result =
+      shrink(faulty_experiment({"a", "b", "c"}, 40), always_fails, options);
+  EXPECT_TRUE(result.reproduced);
+  EXPECT_EQ(runs, 1u);
+  EXPECT_EQ(result.faults_after, 3u);
+  EXPECT_EQ(result.load_after, 40u);
+}
+
+// ---------------------------------------------------- end-to-end search
+
+control::LoadOptions small_load() {
+  control::LoadOptions load;
+  load.count = 40;
+  load.gap = msec(5);
+  return load;
+}
+
+TEST(SearchEndToEndTest, RedundantAppYieldsExactMinimalPair) {
+  // The acceptance run of ISSUE.md: the redundant app only fails when BOTH
+  // replicas are impaired, the audit subtree is never exercised by the
+  // baseline workload, and the search must (a) prune at least half the
+  // generated k ≤ 2 space from the observed call graph alone and (b) shrink
+  // every failure to an exact 2-fault reproducer.
+  SearchOptions options;
+  options.load = small_load();
+  options.seed = 7;
+  options.threads = 4;
+  const SearchOutcome outcome =
+      run_search(campaign::AppSpec::redundant(), options);
+
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_TRUE(outcome.baseline_passed);
+  // user->frontend, frontend->replica-a, frontend->replica-b; /admin (and
+  // with it audit->archive) is never requested.
+  EXPECT_EQ(outcome.observed_edges, 3u);
+
+  // 4 edges x 3 edge kinds + 4 services x 2 service kinds.
+  EXPECT_EQ(outcome.fault_points, 20u);
+  EXPECT_EQ(outcome.generated, 210u);  // C(20,1) + C(20,2)
+  EXPECT_EQ(outcome.truncated, 0u);
+  EXPECT_GE(outcome.pruned * 2, outcome.generated)
+      << "call-graph pruning must remove at least half the space";
+  EXPECT_EQ(outcome.pruned + outcome.ran, outcome.generated);
+  EXPECT_EQ(outcome.errors, 0u);
+
+  // Every failure is a genuine 2-fault interaction: the replicas mirror
+  // each other, so no single fault reaches the user.
+  ASSERT_TRUE(outcome.found_failures());
+  EXPECT_EQ(outcome.failed, outcome.findings.size());  // all 1-minimal pairs
+  for (const auto& f : outcome.findings) {
+    EXPECT_FALSE(f.flaky) << f.minimal;
+    ASSERT_EQ(f.faults.size(), 2u) << f.minimal;
+    EXPECT_EQ(f.signature, "MaxUserFailures(0)");
+    EXPECT_EQ(f.seed, 7u);
+    EXPECT_EQ(f.load_count, 1u) << "one request suffices once both "
+                                   "replicas are down";
+    for (const auto& spec : f.faults) {
+      EXPECT_TRUE(spec.b == "replica-a" || spec.b == "replica-b")
+          << f.minimal;
+    }
+  }
+
+  // The canonical injected bug is among them, verbatim.
+  const bool has_double_abort = std::any_of(
+      outcome.findings.begin(), outcome.findings.end(),
+      [](const Finding& f) {
+        return f.minimal ==
+               "abort(frontend->replica-a) + abort(frontend->replica-b)";
+      });
+  EXPECT_TRUE(has_double_abort);
+}
+
+TEST(SearchEndToEndTest, ReplayedFindingReproducesWithReportedSeed) {
+  SearchOptions options;
+  options.load = small_load();
+  options.seed = 11;
+  options.threads = 2;
+  const SearchOutcome outcome =
+      run_search(campaign::AppSpec::redundant(), options);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  ASSERT_TRUE(outcome.found_failures());
+
+  // Reconstruct the minimal experiment from the finding alone — exactly
+  // what an operator replaying a report would do.
+  const Finding& f = outcome.findings[0];
+  campaign::Experiment replay;
+  replay.id = "replay";
+  replay.app = campaign::AppSpec::redundant();
+  replay.failures = f.faults;
+  replay.target = "frontend";
+  replay.load = small_load();
+  replay.load.count = f.load_count;
+  replay.checks = {campaign::CheckSpec::max_user_failures(0)};
+  replay.seed = f.seed;
+  const campaign::ExperimentResult result =
+      campaign::CampaignRunner::run_one(replay);
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_FALSE(result.passed()) << "minimal reproducer must still fail";
+  EXPECT_EQ(control::failure_signature(result.checks), f.signature);
+}
+
+TEST(SearchEndToEndTest, PruningNeverChangesTheVerdictSet) {
+  // Pruned combinations are exactly the ones that cannot fail: running the
+  // full space without the pruner must surface the same minimal
+  // reproducers, just more slowly.
+  SearchOptions options;
+  options.load = small_load();
+  options.threads = 4;
+  options.shrink = false;  // compare raw failing combinations
+
+  SearchOptions unpruned = options;
+  unpruned.prune = false;
+
+  const SearchOutcome fast =
+      run_search(campaign::AppSpec::redundant(), options);
+  const SearchOutcome full =
+      run_search(campaign::AppSpec::redundant(), unpruned);
+  ASSERT_TRUE(fast.ok) << fast.error;
+  ASSERT_TRUE(full.ok) << full.error;
+  EXPECT_EQ(full.pruned, 0u);
+  EXPECT_EQ(full.ran, full.generated);
+
+  auto failing_labels = [](const SearchOutcome& o) {
+    std::set<std::string> labels;
+    for (const auto& c : o.combos) {
+      if (c.ran && !c.passed && !c.error) labels.insert(c.label);
+    }
+    return labels;
+  };
+  EXPECT_EQ(failing_labels(fast), failing_labels(full));
+  EXPECT_GT(fast.pruned, 0u);
+}
+
+TEST(SearchEndToEndTest, SearchIsDeterministicAcrossThreads) {
+  SearchOptions options;
+  options.load = small_load();
+  options.threads = 1;
+  SearchOptions parallel = options;
+  parallel.threads = 8;
+
+  const SearchOutcome a = run_search(campaign::AppSpec::redundant(), options);
+  const SearchOutcome b =
+      run_search(campaign::AppSpec::redundant(), parallel);
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  ASSERT_EQ(a.findings.size(), b.findings.size());
+  for (size_t i = 0; i < a.findings.size(); ++i) {
+    EXPECT_EQ(a.findings[i].minimal, b.findings[i].minimal);
+    EXPECT_EQ(a.findings[i].signature, b.findings[i].signature);
+    EXPECT_EQ(a.findings[i].load_count, b.findings[i].load_count);
+  }
+  EXPECT_EQ(a.pruned, b.pruned);
+  EXPECT_EQ(a.failed, b.failed);
+}
+
+TEST(SearchEndToEndTest, BaselineCheckViolationAbortsTheSearch) {
+  // A baseline that fails its own assertions makes every verdict
+  // meaningless; the search must refuse to continue rather than report
+  // phantom findings.
+  SearchOptions options;
+  options.load = small_load();
+  options.checks = {
+      campaign::CheckSpec::has_latency_slo("user", "frontend", 99, usec(1),
+                                           /*with_rule=*/false)};
+  const SearchOutcome outcome =
+      run_search(campaign::AppSpec::redundant(), options);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_NE(outcome.error.find("baseline"), std::string::npos);
+  EXPECT_TRUE(outcome.findings.empty());
+}
+
+// ---------------------------------------------------------------- report
+
+TEST(SearchReportTest, RendersFunnelAndReproducers) {
+  SearchOptions options;
+  options.load = small_load();
+  options.seed = 7;
+  options.threads = 2;
+  const SearchOutcome outcome =
+      run_search(campaign::AppSpec::redundant(), options);
+  ASSERT_TRUE(outcome.ok);
+
+  const report::SearchReport rep =
+      report::build_search_report(outcome, "redundant");
+  EXPECT_FALSE(rep.clean());
+
+  const Json j = rep.to_json();
+  ASSERT_TRUE(j.is_object());
+  EXPECT_EQ(j["app"].as_string(), "redundant");
+  EXPECT_EQ(j["space"]["generated"].as_int(), 210);
+  EXPECT_GT(j["findings"].size(), 0u);
+  EXPECT_EQ(j["combinations"].size(), 210u);
+
+  const std::string md = rep.to_markdown();
+  EXPECT_NE(md.find("Search funnel"), std::string::npos);
+  EXPECT_NE(md.find("Minimal reproducers"), std::string::npos);
+  EXPECT_NE(md.find("replay: seed 7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gremlin::search

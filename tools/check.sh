@@ -7,6 +7,7 @@
 #   ./tools/check.sh                          # thread sanitizer (default)
 #   GREMLIN_SANITIZE=address ./tools/check.sh
 #   GREMLIN_SANITIZE=undefined ./tools/check.sh
+#   GREMLIN_SANITIZE=address+undefined ./tools/check.sh   # the CI ASan+UBSan gate
 set -euo pipefail
 
 SANITIZER="${GREMLIN_SANITIZE:-thread}"

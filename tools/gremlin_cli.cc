@@ -5,6 +5,14 @@
 //   gremlin check <recipe-file>          # parse only, print structure
 //   gremlin campaign <recipe-file> [--seed N] [--seeds K] [--threads N]
 //                    [--sweep edge|service|both] [--report out.json]
+//   gremlin search (<recipe-file> | --app <name>) [--max-k K] [--budget N]
+//                  [--pairwise] [--no-prune] [--no-shrink] [...]
+//
+// `search` explores the combinatorial fault space (docs/SEARCH.md): it
+// enumerates k-fault combinations, prunes those the observed call graph
+// rules out, runs the survivors as a campaign, and shrinks every failure
+// to a minimal reproducer. Exit code 0 = clean, 1 = reproducers found,
+// 2 = usage or infrastructure error.
 //
 // `run` executes the recipe imperatively against one auto-built simulated
 // deployment (services declared in the recipe's graph get the default
@@ -23,12 +31,15 @@
 #include <sstream>
 #include <string>
 
+#include "campaign/app_spec.h"
 #include "campaign/runner.h"
 #include "dsl/interp.h"
 #include "dsl/lowering.h"
 #include "dsl/parser.h"
 #include "report/campaign_report.h"
 #include "report/report.h"
+#include "report/search_report.h"
+#include "search/search.h"
 #include "trace/trace.h"
 
 namespace {
@@ -44,6 +55,12 @@ int usage() {
                "  gremlin campaign <recipe-file> [--seed N] [--seeds K] "
                "[--threads N]\n"
                "                   [--sweep edge|service|both] "
+               "[--report out.json]\n"
+               "  gremlin search (<recipe-file> | --app <name>) [--seed N] "
+               "[--threads N]\n"
+               "                 [--max-k K] [--budget N] [--requests N] "
+               "[--pairwise]\n"
+               "                 [--no-prune] [--no-shrink] "
                "[--report out.json]\n");
   return 2;
 }
@@ -235,11 +252,124 @@ int cmd_campaign(const std::string& source, const CampaignFlags& flags) {
   return rep.all_passed() ? 0 : 1;
 }
 
+struct SearchFlags {
+  std::string app;         // built-in app name; empty → recipe file
+  std::string recipe_path;
+  uint64_t seed = 42;
+  int threads = 0;
+  size_t max_k = 2;
+  size_t budget = 5000;
+  size_t requests = 0;     // 0 = library default
+  bool pairwise = false;
+  bool prune = true;
+  bool shrink = true;
+  std::string report_path;
+};
+
+// Exit codes: 0 clean, 1 minimal reproducers found, 2 usage/infrastructure
+// error (including a baseline that violates its own checks).
+int cmd_search(const SearchFlags& flags) {
+  campaign::AppSpec app;
+  if (!flags.app.empty()) {
+    auto named = campaign::AppSpec::named(flags.app);
+    if (!named.ok()) {
+      std::fprintf(stderr, "unknown app '%s': %s\n", flags.app.c_str(),
+                   named.error().message.c_str());
+      return 2;
+    }
+    app = std::move(named.value());
+  } else {
+    bool ok = false;
+    const std::string source = read_file(flags.recipe_path.c_str(), &ok);
+    if (!ok) {
+      std::fprintf(stderr, "cannot open '%s'\n", flags.recipe_path.c_str());
+      return 2;
+    }
+    auto file = dsl::parse(source);
+    if (!file.ok()) {
+      std::fprintf(stderr, "parse error: %s\n",
+                   file.error().message.c_str());
+      return 2;
+    }
+    app = campaign::AppSpec::from_graph(file->graph);
+  }
+
+  search::SearchOptions options;
+  options.seed = flags.seed;
+  options.threads = flags.threads;
+  options.generator.max_k = flags.max_k;
+  options.generator.max_combinations = flags.budget;
+  options.generator.pairwise = flags.pairwise;
+  options.prune = flags.prune;
+  options.shrink = flags.shrink;
+  if (flags.requests > 0) options.load.count = flags.requests;
+
+  const search::SearchOutcome outcome = search::run_search(app, options);
+  const report::SearchReport rep =
+      report::build_search_report(outcome, app.name);
+  std::printf("%s", rep.to_markdown().c_str());
+
+  if (!flags.report_path.empty()) {
+    std::ofstream out(flags.report_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write report to '%s'\n",
+                   flags.report_path.c_str());
+      return 2;
+    }
+    out << rep.to_json().dump(2) << "\n";
+    std::printf("report written to %s\n", flags.report_path.c_str());
+  }
+  if (!outcome.ok) return 2;
+  return outcome.found_failures() ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 3) return usage();
   const std::string command = argv[1];
+
+  if (command == "search") {
+    SearchFlags flags;
+    int i = 2;
+    if (argv[2][0] != '-') {
+      flags.recipe_path = argv[2];
+      i = 3;
+    }
+    for (; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--app") == 0 && i + 1 < argc) {
+        flags.app = argv[++i];
+      } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+        flags.seed = std::strtoull(argv[++i], nullptr, 10);
+      } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+        flags.threads =
+            static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+      } else if (std::strcmp(argv[i], "--max-k") == 0 && i + 1 < argc) {
+        flags.max_k = std::strtoull(argv[++i], nullptr, 10);
+      } else if (std::strcmp(argv[i], "--budget") == 0 && i + 1 < argc) {
+        flags.budget = std::strtoull(argv[++i], nullptr, 10);
+      } else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+        flags.requests = std::strtoull(argv[++i], nullptr, 10);
+      } else if (std::strcmp(argv[i], "--pairwise") == 0) {
+        flags.pairwise = true;
+      } else if (std::strcmp(argv[i], "--no-prune") == 0) {
+        flags.prune = false;
+      } else if (std::strcmp(argv[i], "--no-shrink") == 0) {
+        flags.shrink = false;
+      } else if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
+        flags.report_path = argv[++i];
+      } else {
+        return usage();
+      }
+    }
+    if (flags.app.empty() == flags.recipe_path.empty()) {
+      std::fprintf(stderr,
+                   "search needs exactly one of <recipe-file> or --app\n");
+      return 2;
+    }
+    return cmd_search(flags);
+  }
+
   bool ok = false;
   const std::string source = read_file(argv[2], &ok);
   if (!ok) {
