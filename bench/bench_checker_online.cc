@@ -1,0 +1,272 @@
+// Online assertion checking: how much wall clock does early-verdict
+// termination buy on failure-heavy workloads?
+//
+// Setup: the buggy-tree app (a seeded bug makes many injected faults
+// user-visible) measured two ways. First a campaign sweep run with the
+// online checker deciding verdicts mid-flight (early-exit on) and again
+// with every simulation drained to quiescence (early-exit off). Then the
+// headline workload: a full k <= 2 fault-space search with shrinking —
+// ddmin replays failing configurations over and over, and every one of
+// those probes fails fast under online checking. In both comparisons the
+// verdicts must be identical: early exit may only skip simulation that can
+// no longer change the outcome.
+//
+// Micro-benchmarks isolate the per-record cost of the incremental check
+// panel against the post-hoc checker's full-log queries.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "campaign/app_spec.h"
+#include "campaign/experiment.h"
+#include "campaign/runner.h"
+#include "control/checker.h"
+#include "control/online.h"
+#include "logstore/store.h"
+#include "search/search.h"
+#include "topology/graph.h"
+
+namespace {
+
+using namespace gremlin;  // NOLINT
+
+constexpr int kLoadCount = 250;
+
+std::vector<campaign::Experiment> sweep_experiments() {
+  const campaign::AppSpec app = campaign::AppSpec::buggy_tree();
+  campaign::SweepOptions options;
+  options.load.count = kLoadCount;
+  options.load.gap = msec(5);
+  return campaign::generate_sweep(app, app.probe_graph(), options);
+}
+
+// The canonical failing reproducer replayed across seeds: every run fails
+// on an early request, so early exit skips almost the whole load.
+std::vector<campaign::Experiment> failing_batch() {
+  const campaign::AppSpec app = campaign::AppSpec::buggy_tree();
+  std::vector<campaign::Experiment> out;
+  for (uint64_t seed = 1; seed <= 24; ++seed) {
+    campaign::Experiment e;
+    e.id = "abort(svc0->svc2)/seed=" + std::to_string(seed);
+    e.app = app;
+    e.failures.push_back(control::FailureSpec::abort_edge("svc0", "svc2"));
+    e.load.count = kLoadCount;
+    e.load.gap = msec(5);
+    e.seed = seed;
+    e.checks.push_back(campaign::CheckSpec::max_user_failures(0));
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+// Runs the batch with early exit on and off, enforces identical verdict
+// fingerprints, and returns the on-vs-off speedup.
+double campaign_differential(const std::string& label,
+                             const std::vector<campaign::Experiment>& batch) {
+  auto& rows = benchjson::Rows::instance();
+  std::string fingerprints[2];
+  double wall[2] = {0, 0};
+  for (const bool early : {true, false}) {
+    campaign::RunnerOptions options;
+    options.threads = 4;
+    options.early_exit = early;
+    const campaign::CampaignRunner runner(options);
+    const campaign::CampaignResult result = runner.run(batch);
+    size_t terminated = 0;
+    for (const auto& e : result.experiments) {
+      if (e.early_terminated) ++terminated;
+    }
+    wall[early] = to_seconds(result.wall_clock);
+    fingerprints[early] = result.verdict_fingerprint();
+    std::printf(
+        "early_exit=%-3s  experiments=%zu  early_terminated=%zu  "
+        "wall=%.3fs\n",
+        early ? "yes" : "no", result.experiments.size(), terminated,
+        wall[early]);
+    rows.add("checker_online/" + label + "/early_exit=" +
+                 (early ? "on" : "off"),
+             "wall", wall[early], "s");
+  }
+  const bool same = fingerprints[0] == fingerprints[1];
+  const double speedup = wall[1] > 0 ? wall[0] / wall[1] : 0.0;
+  std::printf("verdicts-identical=%s  speedup=%.2fx\n\n",
+              same ? "yes" : "NO (ONLINE CHECKER BUG)", speedup);
+  if (!same) std::exit(1);
+  rows.add("checker_online/" + label, "speedup", speedup, "x");
+  return speedup;
+}
+
+void campaign_section() {
+  // The mixed sweep is mostly passing runs, where early exit only trims the
+  // post-load quiescence tail — expect roughly break-even. The failing
+  // batch is where the win lives: each run stops at its first user-visible
+  // failure instead of draining the remaining load.
+  std::printf("## Campaign sweep, online vs post-hoc (app=buggy_tree)\n");
+  campaign_differential("campaign_sweep", sweep_experiments());
+  std::printf(
+      "## Failing-reproducer batch, online vs post-hoc (app=buggy_tree)\n");
+  campaign_differential("campaign_failing", failing_batch());
+}
+
+search::SearchOptions search_options(bool early) {
+  search::SearchOptions options;
+  options.load.count = kLoadCount;
+  options.load.gap = msec(5);
+  options.threads = 4;
+  options.early_exit = early;
+  return options;
+}
+
+std::set<std::string> failing_labels(const search::SearchOutcome& outcome) {
+  std::set<std::string> labels;
+  for (const auto& c : outcome.combos) {
+    if (c.ran && !c.passed && !c.error) labels.insert(c.label);
+  }
+  return labels;
+}
+
+std::set<std::string> finding_signatures(
+    const search::SearchOutcome& outcome) {
+  std::set<std::string> signatures;
+  for (const auto& f : outcome.findings) {
+    signatures.insert(f.minimal + " => " + f.signature);
+  }
+  return signatures;
+}
+
+void search_section() {
+  const campaign::AppSpec app = campaign::AppSpec::buggy_tree();
+  std::printf(
+      "## Search + shrink, online vs post-hoc (app=buggy_tree, k<=2)\n");
+
+  auto& rows = benchjson::Rows::instance();
+  search::SearchOutcome outcomes[2];
+  for (const bool early : {true, false}) {
+    const search::SearchOutcome outcome =
+        search::run_search(app, search_options(early));
+    if (!outcome.ok) {
+      std::printf("search error: %s\n", outcome.error.c_str());
+      std::exit(1);
+    }
+    std::printf(
+        "early_exit=%-3s  ran=%zu  failed=%zu  shrink_runs=%zu  "
+        "findings=%zu  wall=%.3fs\n",
+        early ? "yes" : "no", outcome.ran, outcome.failed,
+        outcome.shrink_runs, outcome.findings.size(),
+        to_seconds(outcome.wall_clock));
+    const std::string name =
+        std::string("checker_online/search_shrink/early_exit=") +
+        (early ? "on" : "off");
+    rows.add(name, "wall", to_seconds(outcome.wall_clock), "s");
+    rows.add(name, "shrink_runs", static_cast<double>(outcome.shrink_runs),
+             "1");
+    outcomes[early] = outcome;
+  }
+
+  const bool same_verdicts =
+      failing_labels(outcomes[1]) == failing_labels(outcomes[0]) &&
+      finding_signatures(outcomes[1]) == finding_signatures(outcomes[0]);
+  const double on_s = to_seconds(outcomes[1].wall_clock);
+  const double off_s = to_seconds(outcomes[0].wall_clock);
+  const double speedup = on_s > 0 ? off_s / on_s : 0.0;
+  std::printf("verdicts-identical=%s  speedup=%.2fx\n\n",
+              same_verdicts ? "yes" : "NO (ONLINE CHECKER BUG)", speedup);
+  if (!same_verdicts) std::exit(1);
+  // The headline row: tools/bench.sh lifts this into BENCH_checker.json.
+  rows.add("checker_online/search_shrink", "speedup", speedup, "x");
+}
+
+// --- micro: per-record cost of the incremental panel -------------------------
+
+logstore::RecordList synthetic_records(size_t n) {
+  logstore::RecordList records;
+  records.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    logstore::LogRecord r;
+    r.timestamp = TimePoint{usec(static_cast<int64_t>(i) * 100)};
+    r.request_id = "req-" + std::to_string(i / 4);
+    r.src = (i % 4 < 2) ? "a" : "b";
+    r.dst = (i % 4 < 2) ? "b" : "c";
+    r.instance = "x-0";
+    r.method = "GET";
+    r.uri = "/";
+    if (i % 2 == 1) {
+      r.kind = logstore::MessageKind::kResponse;
+      r.status = (i % 16 == 1) ? 503 : 200;
+      r.latency = usec(static_cast<int64_t>(i % 50) * 1000);
+    }
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+control::OnlineChecker make_panel(const topology::AppGraph* graph) {
+  control::OnlineChecker panel;
+  panel.add(control::make_incremental_timeouts("b", msec(40), "*"));
+  panel.add(control::make_incremental_bounded_retries("a", "b", 3, "*"));
+  panel.add(
+      control::make_incremental_circuit_breaker("a", "b", 5, msec(50), 1, "*"));
+  panel.add(control::make_incremental_bulkhead(graph, "a", "b", 0.0, "*"));
+  panel.add(
+      control::make_incremental_latency_slo("a", "b", 99.0, sec(1), true, "*"));
+  panel.add(control::make_incremental_error_rate("a", "b", 0.9, "*"));
+  return panel;
+}
+
+void BM_IncrementalPanelOffer(benchmark::State& state) {
+  // Streaming cost: one offer() across a six-check panel per record.
+  topology::AppGraph graph;
+  graph.add_edge("a", "b");
+  graph.add_edge("b", "c");
+  const logstore::RecordList records =
+      synthetic_records(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    control::OnlineChecker panel = make_panel(&graph);
+    for (const auto& r : records) panel.offer(r);
+    benchmark::DoNotOptimize(panel.all_decided());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(records.size()));
+}
+BENCHMARK(BM_IncrementalPanelOffer)->Arg(1000)->Arg(10000);
+
+void BM_PostHocPanelEvaluate(benchmark::State& state) {
+  // The oracle's cost over the same stream: six full-log queries after the
+  // fact (excludes the memory of retaining every record).
+  topology::AppGraph graph;
+  graph.add_edge("a", "b");
+  graph.add_edge("b", "c");
+  logstore::LogStore store;
+  store.append_all(synthetic_records(static_cast<size_t>(state.range(0))));
+  for (auto _ : state) {
+    const control::AssertionChecker checker(&store, &graph);
+    bool all = true;
+    all &= checker.has_timeouts("b", msec(40), "*").passed;
+    all &= checker.has_bounded_retries("a", "b", 3, "*").passed;
+    all &= checker.has_circuit_breaker("a", "b", 5, msec(50), 1, "*").passed;
+    all &= checker.has_bulkhead("a", "b", 0.0, "*").passed;
+    all &= checker.has_latency_slo("a", "b", 99.0, sec(1), true, "*").passed;
+    all &= checker.error_rate_below("a", "b", 0.9, "*").passed;
+    benchmark::DoNotOptimize(all);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(state.range(0)));
+}
+BENCHMARK(BM_PostHocPanelEvaluate)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  auto& rows = benchjson::Rows::instance();
+  rows.parse_args(&argc, argv);
+  std::printf("# Online assertion checking — early-verdict termination\n\n");
+  campaign_section();
+  search_section();
+  benchjson::run_registered_benchmarks(&argc, argv);
+  return rows.write() ? 0 : 1;
+}

@@ -119,6 +119,34 @@ CheckResult CheckSpec::evaluate(const control::AssertionChecker& checker,
   return r;
 }
 
+std::unique_ptr<control::IncrementalCheck> CheckSpec::incremental(
+    const topology::AppGraph* graph, size_t expected_total) const {
+  switch (kind) {
+    case Kind::kHasTimeouts:
+      return control::make_incremental_timeouts(a, bound, id_pattern);
+    case Kind::kHasBoundedRetries:
+      return control::make_incremental_bounded_retries(a, b, threshold,
+                                                       id_pattern);
+    case Kind::kHasCircuitBreaker:
+      return control::make_incremental_circuit_breaker(
+          a, b, threshold, bound, success_threshold, id_pattern);
+    case Kind::kHasBulkhead:
+      return control::make_incremental_bulkhead(graph, a, b, value,
+                                                id_pattern);
+    case Kind::kHasLatencySlo:
+      return control::make_incremental_latency_slo(a, b, percentile, bound,
+                                                   with_rule, id_pattern);
+    case Kind::kErrorRateBelow:
+      return control::make_incremental_error_rate(a, b, value, id_pattern);
+    case Kind::kFailureContained:
+      return nullptr;  // no incremental form: opaque, blocks early exit
+    case Kind::kMaxUserFailures:
+      return control::make_incremental_max_user_failures(
+          static_cast<size_t>(value), expected_total);
+  }
+  return nullptr;
+}
+
 namespace {
 
 // Builds the failure spec for one sweep point; returns a human-readable

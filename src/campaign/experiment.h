@@ -13,6 +13,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -20,6 +21,7 @@
 #include "campaign/app_spec.h"
 #include "control/checker.h"
 #include "control/failures.h"
+#include "control/online.h"
 #include "control/recipe.h"
 
 namespace gremlin::campaign {
@@ -72,6 +74,17 @@ struct CheckSpec {
   // kMaxUserFailures).
   control::CheckResult evaluate(const control::AssertionChecker& checker,
                                 const control::LoadResult& load) const;
+
+  // Incremental (online) equivalent: a state machine fed one record at a
+  // time while the experiment runs, enabling early termination the moment
+  // every attached check has a final verdict. Returns nullptr for kinds
+  // with no incremental form (kFailureContained) — an opaque check that
+  // blocks early exit; the runner falls back to evaluate() for it.
+  // `expected_total` is the configured load count (kMaxUserFailures can
+  // early-PASS once all responses arrived within budget); `graph` is
+  // needed by kHasBulkhead's dependency enumeration.
+  std::unique_ptr<control::IncrementalCheck> incremental(
+      const topology::AppGraph* graph, size_t expected_total) const;
 };
 
 // One isolated experiment. Executed by CampaignRunner::run_one on a fresh

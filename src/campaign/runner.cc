@@ -4,7 +4,11 @@
 #include <chrono>
 #include <deque>
 #include <mutex>
+#include <optional>
 #include <thread>
+
+#include "control/collector.h"
+#include "control/online.h"
 
 namespace gremlin::campaign {
 
@@ -52,6 +56,24 @@ std::string ExperimentResult::fingerprint() const {
   return out;
 }
 
+std::string ExperimentResult::verdict_fingerprint() const {
+  std::string out;
+  out += id;
+  out += '|';
+  out += std::to_string(seed);
+  out += '|';
+  out += ok ? '1' : '0';
+  out += error;
+  out += '|';
+  for (const auto& check : checks) {
+    out += check.passed ? "P:" : "F:";
+    out += check.name;
+    out += ';';
+  }
+  out += '\n';
+  return out;
+}
+
 size_t CampaignResult::passed() const {
   size_t n = 0;
   for (const auto& e : experiments) {
@@ -82,6 +104,12 @@ std::string CampaignResult::fingerprint() const {
   return out;
 }
 
+std::string CampaignResult::verdict_fingerprint() const {
+  std::string out;
+  for (const auto& e : experiments) out += e.verdict_fingerprint();
+  return out;
+}
+
 CampaignRunner::CampaignRunner(RunnerOptions options)
     : options_(std::move(options)) {}
 
@@ -93,16 +121,36 @@ int CampaignRunner::resolved_threads() const {
 
 ExperimentResult CampaignRunner::run_one(const Experiment& experiment,
                                          bool keep_latencies) {
+  ExecOptions exec;
+  exec.keep_latencies = keep_latencies;
+  return run_one(experiment, exec);
+}
+
+ExperimentResult CampaignRunner::run_in(const Experiment& experiment,
+                                        sim::Simulation* sim,
+                                        bool keep_latencies) {
+  // Kept-alive callers predate online checking and read sim->log_store()
+  // after the run (call-graph extraction, the pruner baseline): run to
+  // quiescence with the full log retained.
+  ExecOptions exec;
+  exec.keep_latencies = keep_latencies;
+  exec.early_exit = false;
+  exec.preserve_log = true;
+  return run_in(experiment, sim, exec);
+}
+
+ExperimentResult CampaignRunner::run_one(const Experiment& experiment,
+                                         const ExecOptions& exec) {
   // A fully private deployment: clock, RNG, log store, services, agents.
   sim::SimulationConfig cfg;
   cfg.seed = experiment.seed;
   sim::Simulation sim(cfg);
-  return run_in(experiment, &sim, keep_latencies);
+  return run_in(experiment, &sim, exec);
 }
 
 ExperimentResult CampaignRunner::run_in(const Experiment& experiment,
                                         sim::Simulation* sim_ptr,
-                                        bool keep_latencies) {
+                                        const ExecOptions& exec) {
   ExperimentResult result;
   result.id = experiment.id;
   result.seed = experiment.seed;
@@ -154,26 +202,99 @@ ExperimentResult CampaignRunner::run_in(const Experiment& experiment,
     return result;
   }
 
+  // --- online checker pipeline ---------------------------------------
+  // One incremental state machine per declarative check, fed every log
+  // record the moment it is appended (plus every user-visible response).
+  // Verdicts are sticky; once all of them are final the remaining
+  // simulation cannot change the outcome, so the run stops early. A check
+  // with no incremental form (FailureContained) disables the whole online
+  // path for this experiment: the run falls back to the untouched post-hoc
+  // flow, byte-identical to early_exit=false.
+  control::OnlineChecker online;
+  bool use_online = exec.early_exit && !experiment.checks.empty();
+  if (use_online) {
+    for (const auto& spec : experiment.checks) {
+      online.add(spec.incremental(&graph, experiment.load.count));
+    }
+    if (!online.all_incremental()) use_online = false;
+  }
+  const bool wants_records = use_online && online.wants_records();
+  const bool bounded =
+      use_online && !exec.preserve_log && exec.retention_limit > 0;
+  const bool stream = wants_records || bounded;
+
+  std::optional<control::SimStreamCollector> collector;
+  if (stream) {
+    // Record-consuming checks need the stream shipped into the store (the
+    // append observer feeds them); load-only check sets drain agents just
+    // to bound their buffers and drop the records on the floor.
+    collector.emplace(&sim,
+                      wants_records
+                          ? control::SimStreamCollector::Mode::kAppendToStore
+                          : control::SimStreamCollector::Mode::kDiscard,
+                      exec.stream_interval);
+  }
+  if (wants_records) {
+    sim.log_store().set_observer([&online, &sim](
+                                     const logstore::LogRecord& record) {
+      online.offer(record);
+      if (online.all_decided()) sim.request_stop();
+    });
+    if (bounded) sim.log_store().set_retention_limit(exec.retention_limit);
+  }
+  if (use_online) {
+    session.set_response_observer([&online, &sim](bool failed) {
+      online.on_user_response(failed);
+      if (online.all_decided()) sim.request_stop();
+    });
+    if (stream) collector->start();
+  }
+
   const control::LoadResult load =
       session.run_load(experiment.client, target, experiment.load);
   result.requests = load.total();
   result.failures = load.failures;
-  if (keep_latencies) {
+  result.early_terminated = load.stopped_early;
+  if (exec.keep_latencies) {
     result.latencies = load.latencies;
     result.statuses = load.statuses;
   }
 
-  auto collected = session.collect();
-  if (!collected.ok()) {
-    result.error = "collect: " + collected.error().message;
-    return result;
+  if (stream) collector->drain_now();  // final flush feeds the checks' tail
+  if (wants_records) {
+    sim.log_store().set_observer(nullptr);
+    sim.log_store().set_retention_limit(0);
+  }
+  session.set_response_observer(nullptr);
+  // Drop whatever an early stop left on the timeline (and the collector's
+  // pending drain), so a kept-alive sim is clean for its next run.
+  sim.cancel_pending();
+
+  // When every check already consumed the stream online and nobody needs
+  // the log afterwards, the post-hoc collect is pure overhead — skip it.
+  const bool skip_collect = use_online && !exec.preserve_log;
+  if (!skip_collect) {
+    auto collected = session.collect();
+    if (!collected.ok()) {
+      result.error = "collect: " + collected.error().message;
+      return result;
+    }
   }
 
-  const control::AssertionChecker checker = session.checker();
-  for (const auto& check : experiment.checks) {
-    control::CheckResult outcome = check.evaluate(checker, load);
-    if (outcome.passed) ++result.checks_passed;
-    result.checks.push_back(std::move(outcome));
+  if (use_online) {
+    const control::LoadSummary summary{load.total(), load.failures};
+    for (size_t i = 0; i < online.size(); ++i) {
+      control::CheckResult outcome = online.check(i)->finalize(summary);
+      if (outcome.passed) ++result.checks_passed;
+      result.checks.push_back(std::move(outcome));
+    }
+  } else {
+    const control::AssertionChecker checker = session.checker();
+    for (const auto& check : experiment.checks) {
+      control::CheckResult outcome = check.evaluate(checker, load);
+      if (outcome.passed) ++result.checks_passed;
+      result.checks.push_back(std::move(outcome));
+    }
   }
   result.ok = true;
   return result;
@@ -190,6 +311,10 @@ CampaignResult CampaignRunner::run(
   const int threads =
       static_cast<int>(std::min<size_t>(campaign.threads, n == 0 ? 1 : n));
 
+  ExecOptions exec;
+  exec.keep_latencies = options_.keep_latencies;
+  exec.early_exit = options_.early_exit;
+
   std::mutex result_mu;  // guards options_.on_result only
   auto finish = [&](ExperimentResult&& r, size_t index) {
     campaign.experiments[index] = std::move(r);
@@ -201,7 +326,7 @@ CampaignResult CampaignRunner::run(
 
   if (threads <= 1) {
     for (size_t i = 0; i < n; ++i) {
-      finish(run_one(experiments[i], options_.keep_latencies), i);
+      finish(run_one(experiments[i], exec), i);
     }
   } else {
     // Work-stealing pool: per-worker deques seeded with a strided share of
@@ -246,7 +371,7 @@ CampaignResult CampaignRunner::run(
           index = queues[victim].tasks.back();
           queues[victim].tasks.pop_back();
         }
-        finish(run_one(experiments[index], options_.keep_latencies), index);
+        finish(run_one(experiments[index], exec), index);
       }
     };
 

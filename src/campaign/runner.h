@@ -30,9 +30,41 @@ struct RunnerOptions {
   // very large sweeps; fingerprints then cover verdicts + counters only).
   bool keep_latencies = true;
 
+  // Online assertion checking with early termination: attach incremental
+  // check state machines to the run and stop the simulation the moment
+  // every check has a final (sticky) verdict. Verdicts are unchanged; raw
+  // counters/latencies of a stopped run cover only the completed prefix,
+  // so disable this (--no-early-exit) when fingerprints must be
+  // byte-identical to a full run.
+  bool early_exit = true;
+
   // Optional progress hook, invoked after each experiment completes.
   // Called from worker threads under an internal mutex — keep it cheap.
   std::function<void(const struct ExperimentResult&)> on_result;
+};
+
+// Per-run execution knobs for run_one/run_in (RunnerOptions is the
+// campaign-level surface; this is the single-experiment one).
+struct ExecOptions {
+  bool keep_latencies = true;
+
+  // Stop the simulation once every attached check reached a final verdict.
+  bool early_exit = true;
+
+  // Keep the full log in sim->log_store() after the run (disables bounded
+  // retention and the collect-skip shortcut). Required by callers that
+  // read the log afterwards, e.g. call-graph extraction.
+  bool preserve_log = false;
+
+  // Bounded-memory retention: once the store exceeds this many records,
+  // the oldest half is evicted. Online checks have already consumed every
+  // record when it is appended, so no live check can still reference a
+  // dropped one. 0 disables retention. Ignored when preserve_log is set
+  // or any attached check has no incremental form.
+  size_t retention_limit = 16384;
+
+  // Virtual-time drain cadence of the streaming collector.
+  Duration stream_interval = msec(5);
 };
 
 // Outcome of one experiment.
@@ -52,11 +84,22 @@ struct ExperimentResult {
   std::vector<Duration> latencies;
   std::vector<int> statuses;
 
+  // True when online checking stopped the simulation before quiescence.
+  // Deliberately NOT part of fingerprint(): it describes how the result
+  // was obtained, not what the experiment observed.
+  bool early_terminated = false;
+
   bool passed() const { return ok && checks_passed == checks.size(); }
 
   // Byte-exact digest of everything above; equal fingerprints mean equal
   // results. Used by the determinism tests and the parallel bench.
   std::string fingerprint() const;
+
+  // Verdict-only digest: id, seed, ok/error, and each check's pass/fail by
+  // name — no details, counters, or latencies. Early termination preserves
+  // verdicts but not raw counters, so this is the digest that must match
+  // between early-exit and full runs (the CI differential job diffs it).
+  std::string verdict_fingerprint() const;
 };
 
 struct CampaignResult {
@@ -72,6 +115,10 @@ struct CampaignResult {
 
   // Concatenated per-experiment fingerprints.
   std::string fingerprint() const;
+
+  // Concatenated per-experiment verdict fingerprints (see
+  // ExperimentResult::verdict_fingerprint).
+  std::string verdict_fingerprint() const;
 };
 
 class CampaignRunner {
@@ -83,12 +130,23 @@ class CampaignRunner {
   // Executes one experiment on a fresh private Simulation. Pure apart from
   // the simulation it builds and discards; safe to call concurrently.
   static ExperimentResult run_one(const Experiment& experiment,
-                                  bool keep_latencies = true);
+                                  const ExecOptions& exec);
 
   // As run_one, but on a caller-provided Simulation, which must be freshly
   // constructed with the experiment's seed. Lets callers keep the deployment
   // alive after the run — the fault-space search replays a baseline this way
-  // and then reads the observed call graph out of sim->log_store().
+  // and then reads the observed call graph out of sim->log_store(). Any
+  // events an early exit left pending are cancelled before returning, so a
+  // kept-alive sim is reusable.
+  static ExperimentResult run_in(const Experiment& experiment,
+                                 sim::Simulation* sim,
+                                 const ExecOptions& exec);
+
+  // Legacy single-flag forms. run_one keeps the online defaults; run_in
+  // runs to quiescence and preserves the log, because its callers read
+  // sim->log_store() after the run.
+  static ExperimentResult run_one(const Experiment& experiment,
+                                  bool keep_latencies = true);
   static ExperimentResult run_in(const Experiment& experiment,
                                  sim::Simulation* sim,
                                  bool keep_latencies = true);

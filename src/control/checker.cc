@@ -457,6 +457,13 @@ CheckResult AssertionChecker::failure_contained(
 }
 
 std::string failure_signature(const std::vector<CheckResult>& results) {
+  // The signature must identify a failure *mode*, not one particular run of
+  // it: shrinking compares signatures across runs, and online checking can
+  // terminate a run (truncating its log) the moment every verdict is final.
+  // Sorting the deduplicated failed-check names makes the signature
+  // independent of check order, duplicate checks, and — because verdicts
+  // are sticky and truncation-stable — of how much of the log a run kept
+  // (tests/online_checker_test.cc pins the exact bytes).
   std::set<std::string> failed;
   for (const auto& r : results) {
     if (!r.passed) failed.insert(r.name);

@@ -1,5 +1,8 @@
 #include "control/collector.h"
 
+#include <algorithm>
+#include <iterator>
+
 namespace gremlin::control {
 
 void LogCollector::start() {
@@ -46,5 +49,54 @@ void LogCollector::run() {
     cv_.wait_for(lock, interval_, [this] { return stopping_; });
   }
 }
+
+void SimStreamCollector::start() { arm(); }
+
+void SimStreamCollector::drain() {
+  batch_.clear();
+  // Per-agent buffers are individually time-ordered (sidecars stamp
+  // sim().now(), which is monotone). Concatenate in the deployment's
+  // deterministic agent order, then stable-sort by timestamp: ties keep
+  // agent order, so the merged stream is a deterministic total order.
+  size_t sorted_prefix = 0;
+  for (const auto& agent : sim_->deployment().all_agents()) {
+    auto records = agent->drain_records();
+    if (!records.ok() || records->empty()) continue;
+    batch_.insert(batch_.end(),
+                  std::make_move_iterator(records->begin()),
+                  std::make_move_iterator(records->end()));
+    if (sorted_prefix == 0) sorted_prefix = batch_.size();
+  }
+  if (batch_.size() > sorted_prefix) {
+    std::stable_sort(batch_.begin(), batch_.end(),
+                     [](const logstore::LogRecord& a,
+                        const logstore::LogRecord& b) {
+                       return a.timestamp < b.timestamp;
+                     });
+  }
+  ++drains_;
+  if (batch_.empty()) return;
+  records_streamed_ += batch_.size();
+  if (mode_ == Mode::kAppendToStore) {
+    sim_->log_store().append_all(std::move(batch_));
+    batch_ = logstore::RecordList{};
+  }
+}
+
+void SimStreamCollector::arm() {
+  // Stop rescheduling when the run is over (stop requested) or the timeline
+  // has nothing left — a recurring event would otherwise keep run() alive
+  // forever. The tail of the stream is flushed by drain_now().
+  if (sim_->stop_requested() || !sim_->has_pending_events()) return;
+  TimePoint at = sim_->now() + interval_;
+  const TimePoint next_event = sim_->next_event_time();
+  if (next_event > at) at = next_event;  // skip idle gaps in sparse timelines
+  sim_->schedule_at(at, [this] {
+    drain();
+    arm();
+  });
+}
+
+void SimStreamCollector::drain_now() { drain(); }
 
 }  // namespace gremlin::control

@@ -13,6 +13,7 @@
 #include <thread>
 
 #include "logstore/store.h"
+#include "sim/simulation.h"
 #include "topology/deployment.h"
 
 namespace gremlin::control {
@@ -53,6 +54,57 @@ class LogCollector {
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> collections_{0};
   std::atomic<uint64_t> records_shipped_{0};
+};
+
+// SimStreamCollector: the simulated counterpart of LogCollector, feeding the
+// online checker pipeline. Instead of a background thread, it schedules a
+// recurring *virtual-time* drain event on the simulation: each drain moves
+// every agent's buffered observations out, merges them into one
+// chronologically-sorted batch (stable on ties, so agent order breaks them
+// deterministically), and ships the batch to the sim's LogStore — whose
+// append observer feeds the incremental checks.
+//
+// The drain cadence adapts to the timeline: the next drain is scheduled at
+// max(now + interval, next pending event), so sparse timelines (an hour-long
+// Hang horizon with nothing in between) cost one drain per event burst
+// instead of hundreds of thousands of empty wakeups. Drains touch no RNG and
+// no application state, so a streamed run stays deterministic. The collector
+// stops rescheduling once the sim has a stop request or no pending events;
+// call drain_now() after the run for the final flush.
+class SimStreamCollector {
+ public:
+  enum class Mode {
+    kAppendToStore,  // ship to the LogStore (record-consuming checks)
+    kDiscard,        // drop after draining (bounds agent-buffer memory when
+                     // only load-based checks are attached)
+  };
+
+  SimStreamCollector(sim::Simulation* sim, Mode mode,
+                     Duration interval = msec(5))
+      : sim_(sim), mode_(mode), interval_(interval) {}
+
+  SimStreamCollector(const SimStreamCollector&) = delete;
+  SimStreamCollector& operator=(const SimStreamCollector&) = delete;
+
+  // Schedules the first drain. The collector must outlive the run.
+  void start();
+
+  // Synchronous final drain (after run_load returns or stops early).
+  void drain_now();
+
+  size_t drains() const { return drains_; }
+  size_t records_streamed() const { return records_streamed_; }
+
+ private:
+  void drain();
+  void arm();
+
+  sim::Simulation* sim_;
+  Mode mode_;
+  Duration interval_;
+  logstore::RecordList batch_;  // reused across drains
+  size_t drains_ = 0;
+  size_t records_streamed_ = 0;
 };
 
 }  // namespace gremlin::control

@@ -1,0 +1,210 @@
+// Online assertion checking: incremental state machines that evaluate the
+// Table 3 checks *while the experiment runs*, one LogRecord at a time.
+//
+// The post-hoc AssertionChecker (control/checker.h) evaluates each check by
+// querying the finished LogStore. The classes here are parallel incremental
+// implementations: each check is a small state machine fed the same
+// time-sorted record stream the post-hoc query would visit, and reports a
+// sticky three-valued verdict:
+//
+//   kUndecided — more records could still change the outcome
+//   kPass      — the check provably passes no matter what follows
+//   kFail      — the check provably fails no matter what follows
+//
+// Sticky means a verdict, once reached, is final: every early kFail/kPass
+// equals the verdict the post-hoc checker would compute over the *complete*
+// run. That equivalence is what lets the campaign runner terminate a
+// simulation the moment every attached check is decided (and what the
+// differential fuzz in tests/online_checker_test.cc pins, with the post-hoc
+// checker as the oracle — the two implementations deliberately share no
+// evaluation code).
+//
+// finalize() produces a CheckResult whose name and detail are byte-identical
+// to the post-hoc checker's over the same record stream, so report
+// fingerprints agree between online and post-hoc evaluation of full runs.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/glob.h"
+#include "control/checker.h"
+#include "logstore/record.h"
+#include "topology/graph.h"
+
+namespace gremlin::control {
+
+enum class Verdict { kUndecided, kPass, kFail };
+
+const char* to_string(Verdict v);
+
+// Load-level outcome summary, passed to finalize() so checks that report
+// user-visible failure counts render the same detail strings as their
+// post-hoc equivalents.
+struct LoadSummary {
+  size_t total = 0;
+  size_t failures = 0;
+};
+
+class IncrementalCheck {
+ public:
+  virtual ~IncrementalCheck() = default;
+
+  // Feed one observation. Records must arrive in the (timestamp, arrival)
+  // order LogStore queries visit them in; each check applies its own filter
+  // and ignores unrelated records. Feeding continues after a verdict is
+  // reached so finalize() details stay exact on full streams.
+  virtual void offer(const logstore::LogRecord& r) = 0;
+
+  // Load-level signal: one user-visible response completed. Only consumed
+  // by checks with wants_records() == false.
+  virtual void on_user_response(bool /*failed*/) {}
+
+  // False for checks decided purely by load outcomes (no log records).
+  virtual bool wants_records() const { return true; }
+
+  Verdict verdict() const { return verdict_; }
+  bool decided() const { return verdict_ != Verdict::kUndecided; }
+
+  // End-of-stream result; byte-identical to the post-hoc checker over the
+  // same record stream.
+  virtual CheckResult finalize(const LoadSummary& load) const = 0;
+
+ protected:
+  // Sticky: the first non-undecided verdict wins.
+  void decide(Verdict v) {
+    if (verdict_ == Verdict::kUndecided) verdict_ = v;
+  }
+
+ private:
+  Verdict verdict_ = Verdict::kUndecided;
+};
+
+// --- incremental Combine (Section 4.2) --------------------------------------
+//
+// Streaming equivalent of control::Combine::evaluate: the same step
+// vocabulary, fed one record at a time. A step that fails sinks the whole
+// chain (sticky kFail); once the last step is satisfied the chain is
+// sticky kPass regardless of what follows — exactly the post-hoc semantics,
+// where evaluate() returns as soon as a step fails and ignores records after
+// the last consumed prefix.
+class IncrementalCombine {
+ public:
+  IncrementalCombine& check_status(int status, size_t num_match,
+                                   bool with_rule = true);
+  IncrementalCombine& at_most_requests(Duration tdelta, bool with_rule,
+                                       size_t max);
+  IncrementalCombine& no_requests_for(Duration tdelta);
+  IncrementalCombine& at_least_requests(Duration tdelta, bool with_rule,
+                                        size_t min);
+
+  void feed(const logstore::LogRecord& r);
+  Verdict verdict() const { return verdict_; }
+
+  // End-of-stream: closes the remaining steps over the empty remainder and
+  // returns the chain result (== Combine::evaluate over the full stream).
+  bool finish();
+
+ private:
+  struct Step {
+    enum class Kind {
+      kCheckStatus,
+      kAtMostRequests,
+      kNoRequestsFor,
+      kAtLeastRequests,
+    };
+    Kind kind = Kind::kCheckStatus;
+    int status = 0;
+    size_t num = 0;  // num_match / max / min
+    Duration tdelta{};
+    bool with_rule = true;
+  };
+
+  void close_step(bool satisfied);
+
+  std::vector<Step> steps_;
+  size_t current_ = 0;
+  TimePoint anchor_{};
+  bool have_anchor_ = false;
+  size_t count_ = 0;             // per-step counter, reset on step close
+  TimePoint window_last_{};      // last record consumed by the open window
+  bool window_consumed_ = false;
+  Verdict verdict_ = Verdict::kUndecided;
+};
+
+// --- factories for the pattern checks ---------------------------------------
+//
+// Parameters mirror the AssertionChecker methods of the same name.
+
+std::unique_ptr<IncrementalCheck> make_incremental_timeouts(
+    std::string service, Duration max_latency, std::string id_pattern = "*");
+
+std::unique_ptr<IncrementalCheck> make_incremental_bounded_retries(
+    std::string src, std::string dst, int max_tries,
+    std::string id_pattern = "*");
+
+std::unique_ptr<IncrementalCheck> make_incremental_bounded_retries_windowed(
+    std::string src, std::string dst, int status, size_t threshold_failures,
+    Duration window, size_t max_more, std::string id_pattern = "*");
+
+std::unique_ptr<IncrementalCheck> make_incremental_circuit_breaker(
+    std::string src, std::string dst, int threshold, Duration tdelta,
+    int success_threshold, std::string id_pattern = "*");
+
+// `graph` may be null (the check then fails with the post-hoc "no
+// application graph" detail). Dependency order is captured at construction.
+std::unique_ptr<IncrementalCheck> make_incremental_bulkhead(
+    const topology::AppGraph* graph, std::string src, std::string slow_dst,
+    double min_rate, std::string id_pattern = "*");
+
+std::unique_ptr<IncrementalCheck> make_incremental_latency_slo(
+    std::string src, std::string dst, double percentile, Duration bound,
+    bool with_rule = true, std::string id_pattern = "*");
+
+std::unique_ptr<IncrementalCheck> make_incremental_error_rate(
+    std::string src, std::string dst, double max_fraction,
+    std::string id_pattern = "*");
+
+// Load-based: fails the moment more than `max_failures` user-visible
+// failures occurred; passes the moment all `expected_total` responses
+// arrived with the budget intact. wants_records() == false.
+std::unique_ptr<IncrementalCheck> make_incremental_max_user_failures(
+    size_t max_failures, size_t expected_total);
+
+// --- collection -------------------------------------------------------------
+
+// The set of incremental checks attached to one experiment. A nullptr slot
+// marks a check with no incremental implementation (e.g. FailureContained's
+// whole-trace reconstruction); it is evaluated post-hoc and permanently
+// blocks early exit and log retention.
+class OnlineChecker {
+ public:
+  void add(std::unique_ptr<IncrementalCheck> check);
+
+  size_t size() const { return checks_.size(); }
+  IncrementalCheck* check(size_t i) { return checks_[i].get(); }
+
+  // True when every added check has an incremental implementation.
+  bool all_incremental() const { return !has_opaque_; }
+
+  // True when any incremental check consumes log records (false for purely
+  // load-based check sets, which skip log streaming entirely).
+  bool wants_records() const;
+
+  void offer(const logstore::LogRecord& r);
+  void on_user_response(bool failed);
+
+  // True when every check holds a final verdict — the early-exit condition.
+  // Always false while an opaque (post-hoc only) check is attached.
+  bool all_decided() const;
+
+ private:
+  std::vector<std::unique_ptr<IncrementalCheck>> checks_;
+  bool has_opaque_ = false;
+};
+
+}  // namespace gremlin::control

@@ -75,7 +75,9 @@ LoadResult TestSession::run_load(const std::string& client,
                      result->statuses[i] =
                          resp.connection_reset || resp.timed_out ? 0
                                                                  : resp.status;
+                     ++result->completed;
                      if (resp.failed()) ++result->failures;
+                     if (response_observer_) response_observer_(resp.failed());
                      sim_->schedule(options.gap,
                                     [send, i] { (*send)(i + 1); });
                    });
@@ -98,7 +100,10 @@ LoadResult TestSession::run_load(const std::string& client,
                                                      resp.timed_out
                                                  ? 0
                                                  : resp.status;
+                       ++result->completed;
                        if (resp.failed()) ++result->failures;
+                       if (response_observer_)
+                         response_observer_(resp.failed());
                      });
       });
     }
@@ -108,6 +113,7 @@ LoadResult TestSession::run_load(const std::string& client,
   } else {
     sim_->run();
   }
+  result->stopped_early = sim_->stop_requested();
   return *result;
 }
 

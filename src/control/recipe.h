@@ -32,7 +32,12 @@ struct LoadResult {
   std::vector<Duration> latencies;  // end-to-end, per request, arrival order
   std::vector<int> statuses;        // final status per request (0 = reset)
   size_t failures = 0;              // responses with failed() == true
+  size_t completed = 0;             // responses that actually arrived
+  bool stopped_early = false;       // run ended on a sim stop request
 
+  // Injected request count. Vectors are pre-sized, so this stays the
+  // configured count even when an early-terminated run left some slots
+  // zero-filled (completed < total()).
   size_t total() const { return latencies.size(); }
 };
 
@@ -83,6 +88,14 @@ class TestSession {
   // assertions).
   VoidResult collect();
 
+  // Online-checking hook: invoked once per user-visible response during
+  // run_load with the response's failed() flag, before the LoadResult
+  // counters update is visible to the caller. The observer may call
+  // sim().request_stop() to terminate the run early.
+  void set_response_observer(std::function<void(bool failed)> observer) {
+    response_observer_ = std::move(observer);
+  }
+
   // Assertion checker over the collected logs.
   AssertionChecker checker() const {
     return AssertionChecker(&sim_->log_store(), &graph_);
@@ -103,6 +116,7 @@ class TestSession {
   RecipeTranslator translator_;
   FailureOrchestrator orchestrator_;
   std::vector<CheckResult> results_;
+  std::function<void(bool failed)> response_observer_;
 };
 
 }  // namespace gremlin::control

@@ -55,6 +55,7 @@ void LogStore::append(LogRecord&& record) {
   std::lock_guard lock(mu_);
   records_.push_back(std::move(record));
   index_tail_locked(records_.size() - 1);
+  notify_and_retain_locked(records_.size() - 1);
 }
 
 void LogStore::append_all(const RecordList& records) {
@@ -63,6 +64,7 @@ void LogStore::append_all(const RecordList& records) {
   records_.reserve(first + records.size());
   records_.insert(records_.end(), records.begin(), records.end());
   index_tail_locked(first);
+  notify_and_retain_locked(first);
 }
 
 void LogStore::append_all(RecordList&& records) {
@@ -75,6 +77,7 @@ void LogStore::append_all(RecordList&& records) {
     std::move(records.begin(), records.end(), std::back_inserter(records_));
   }
   index_tail_locked(first);
+  notify_and_retain_locked(first);
 }
 
 void LogStore::clear() {
@@ -82,6 +85,43 @@ void LogStore::clear() {
   records_.clear();
   by_edge_.clear();
   by_id_.clear();
+  dropped_ = 0;
+}
+
+void LogStore::set_observer(AppendObserver observer) {
+  std::lock_guard lock(mu_);
+  observer_ = std::move(observer);
+}
+
+void LogStore::set_retention_limit(size_t max_records) {
+  std::lock_guard lock(mu_);
+  retention_limit_ = max_records;
+}
+
+size_t LogStore::dropped() const {
+  std::lock_guard lock(mu_);
+  return dropped_;
+}
+
+void LogStore::notify_and_retain_locked(size_t first) {
+  // Every record is observed exactly once, before it can be evicted: the
+  // online checks consume observations at append time and never re-read
+  // history, which is what makes eviction safe at all.
+  if (observer_) {
+    for (size_t i = first; i < records_.size(); ++i) observer_(records_[i]);
+  }
+  if (retention_limit_ == 0 || records_.size() <= retention_limit_) return;
+  // Evict down to half the limit (not just below it), so eviction cost is
+  // amortized O(1) per appended record instead of O(limit) per append once
+  // the store is full. Positions shift, so both indexes rebuild.
+  const size_t keep = retention_limit_ / 2;
+  const size_t drop = records_.size() - keep;
+  records_.erase(records_.begin(),
+                 records_.begin() + static_cast<ptrdiff_t>(drop));
+  dropped_ += drop;
+  by_edge_.clear();
+  by_id_.clear();
+  index_tail_locked(0);
 }
 
 size_t LogStore::size() const {

@@ -78,6 +78,26 @@ class LogStore {
 
   size_t size() const;
 
+  // --- online checking hooks ---
+
+  // Append observer, invoked once per appended record (before any retention
+  // eviction), under the store lock and in append order. The online checker
+  // pipeline hangs off this hook. The observer must not call back into the
+  // store. Pass nullptr to remove.
+  using AppendObserver = std::function<void(const LogRecord&)>;
+  void set_observer(AppendObserver observer);
+
+  // Bounded retention: when the store exceeds `max_records`, the oldest
+  // records are evicted down to max_records/2 and the indexes rebuilt
+  // (amortized O(1) per append). 0 disables eviction (the default). Only
+  // safe when nothing re-reads evicted history — i.e. every attached check
+  // is incremental and no caller keeps the log for reports or call-graph
+  // extraction.
+  void set_retention_limit(size_t max_records);
+
+  // Records evicted by the retention policy since construction/clear().
+  size_t dropped() const;
+
   // Zero-copy query: visits matching records in (timestamp, arrival order)
   // without materializing a RecordList. Returns the number of records
   // visited. This is the assertion checker's hot path; `query` below is a
@@ -107,11 +127,15 @@ class LogStore {
 
  private:
   void index_tail_locked(size_t first);
+  void notify_and_retain_locked(size_t first);
   const std::vector<size_t>& collect_locked(const Query& q) const;
   size_t for_each_locked(const Query& q, const RecordVisitor& fn) const;
 
   mutable std::mutex mu_;
   RecordList records_;                                 // insertion order
+  AppendObserver observer_;        // per-record append hook (may be empty)
+  size_t retention_limit_ = 0;     // 0 = unbounded
+  size_t dropped_ = 0;             // evicted by retention
   // Scratch buffer for candidate positions, reused across queries so the
   // indexed fast path allocates nothing once warm. Guarded by mu_.
   mutable std::vector<size_t> scratch_;

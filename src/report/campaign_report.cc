@@ -23,6 +23,8 @@ Json CampaignReport::to_json() const {
   j["errors"] = static_cast<int64_t>(errors);
   j["threads"] = static_cast<int64_t>(threads);
   j["wall_clock_us"] = wall_clock.count();
+  j["early_terminated"] = static_cast<int64_t>(early_terminated);
+  j["verdict_fingerprint"] = verdict_fingerprint;
   Json rows_json = Json::array();
   for (const auto& row : rows) {
     Json rj = Json::object();
@@ -113,8 +115,10 @@ CampaignReport build_campaign_report(const campaign::CampaignResult& result,
   report.errors = result.errors();
   report.threads = result.threads;
   report.wall_clock = result.wall_clock;
+  report.verdict_fingerprint = result.verdict_fingerprint();
   report.rows.reserve(report.total);
   for (const auto& e : result.experiments) {
+    if (e.early_terminated) ++report.early_terminated;
     ExperimentRow row;
     row.id = e.id;
     row.seed = e.seed;

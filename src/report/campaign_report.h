@@ -36,8 +36,14 @@ struct CampaignReport {
   size_t passed = 0;
   size_t failed = 0;  // ran, but at least one check failed
   size_t errors = 0;  // infrastructure error (translate/install/collect)
+  size_t early_terminated = 0;  // stopped early by online checking
   int threads = 1;
   Duration wall_clock{};
+
+  // Verdict-only digest of the whole campaign (see
+  // campaign::ExperimentResult::verdict_fingerprint): identical between
+  // early-exit and full runs, so CI can diff the two modes.
+  std::string verdict_fingerprint;
 
   std::vector<ExperimentRow> rows;  // campaign order
 

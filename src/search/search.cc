@@ -134,6 +134,7 @@ SearchOutcome run_search(const campaign::AppSpec& app,
   campaign::RunnerOptions runner_options;
   runner_options.threads = options.threads;
   runner_options.keep_latencies = false;
+  runner_options.early_exit = options.early_exit;
   const campaign::CampaignRunner runner(runner_options);
   const campaign::CampaignResult campaign = runner.run(experiments);
   outcome.threads = campaign.threads;
@@ -163,8 +164,15 @@ SearchOutcome run_search(const campaign::AppSpec& app,
     finding.seed = r.seed;
     finding.faults_before = experiments[i].failures.size();
     if (options.shrink) {
-      ShrinkResult shrunk =
-          shrink(experiments[i], {}, options.shrink_options);
+      campaign::ExecOptions shrink_exec;
+      shrink_exec.keep_latencies = false;
+      shrink_exec.early_exit = options.early_exit;
+      ShrinkResult shrunk = shrink(
+          experiments[i],
+          [&shrink_exec](const campaign::Experiment& e) {
+            return campaign::CampaignRunner::run_one(e, shrink_exec);
+          },
+          options.shrink_options);
       outcome.shrink_runs += shrunk.runs;
       finding.flaky = shrunk.flaky;
       finding.signature = shrunk.signature;

@@ -38,6 +38,12 @@ struct SearchOptions {
   int threads = 0;        // campaign workers; 0 = hardware concurrency
   bool prune = true;      // false: run every generated combination
   bool shrink = true;     // false: report failures unshrunk
+
+  // Online checking with early-verdict termination for every combination
+  // run and every shrink probe (verdict-preserving; see RunnerOptions).
+  // The baseline replay always runs to quiescence — pruning needs the
+  // complete observed call graph.
+  bool early_exit = true;
   ShrinkOptions shrink_options;
 };
 

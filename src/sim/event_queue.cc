@@ -85,4 +85,12 @@ void EventQueue::clear() {
   next_seq_ = 0;
 }
 
+size_t EventQueue::free_list_length() const {
+  size_t n = 0;
+  for (uint32_t idx = free_head_; idx != kNil; idx = node(idx).next_free) {
+    ++n;
+  }
+  return n;
+}
+
 }  // namespace gremlin::sim

@@ -53,6 +53,12 @@ class EventQueue {
   size_t pool_capacity() const { return slabs_.size() * kSlabSize; }
   size_t free_count() const { return pool_capacity() - heap_.size(); }
 
+  // Actual free-list walk (O(free nodes)), as opposed to the arithmetic
+  // free_count(). After clear() — including an early-terminated run's
+  // cancel_pending() — every pool node must be on the free list; a shorter
+  // walk means leaked slab nodes (tests/event_pool_test.cc).
+  size_t free_list_length() const;
+
  private:
   static constexpr uint32_t kNil = 0xffffffffu;
   static constexpr size_t kSlabBits = 8;

@@ -20,7 +20,7 @@ void Simulation::schedule_at(TimePoint at, EventQueue::Action action) {
 
 size_t Simulation::run() {
   size_t processed = 0;
-  while (!queue_.empty()) {
+  while (!stop_requested_ && !queue_.empty()) {
     now_ = queue_.next_time();
     queue_.pop_and_run();
     ++processed;
@@ -31,14 +31,24 @@ size_t Simulation::run() {
 
 size_t Simulation::run_until(TimePoint deadline) {
   size_t processed = 0;
-  while (!queue_.empty() && queue_.next_time() <= deadline) {
+  while (!stop_requested_ && !queue_.empty() &&
+         queue_.next_time() <= deadline) {
     now_ = queue_.next_time();
     queue_.pop_and_run();
     ++processed;
     ++events_processed_;
   }
-  if (now_ < deadline) now_ = deadline;
+  // A stop request abandons the run mid-flight; only a run that exhausted
+  // its window advances the clock to the deadline.
+  if (!stop_requested_ && now_ < deadline) now_ = deadline;
   return processed;
+}
+
+size_t Simulation::cancel_pending() {
+  const size_t cancelled = queue_.size();
+  queue_.clear();
+  stop_requested_ = false;
+  return cancelled;
 }
 
 SimService* Simulation::add_service(ServiceConfig config) {

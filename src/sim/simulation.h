@@ -46,6 +46,27 @@ class Simulation {
   // `deadline` even if the queue drains earlier.
   size_t run_until(TimePoint deadline);
 
+  // --- early termination (online assertion checking) ---
+  // Asks the run loop to stop before the next event. Callable from inside
+  // an event action (the online checker requests a stop the moment every
+  // attached check holds a final verdict). Sticky until clear_stop() or
+  // cancel_pending().
+  void request_stop() { stop_requested_ = true; }
+  bool stop_requested() const { return stop_requested_; }
+  void clear_stop() { stop_requested_ = false; }
+
+  // Drops every pending event and clears the stop flag, returning the
+  // number cancelled. Restores the sim to a quiescent, reusable state after
+  // an early-terminated run; the event pool's free list reabsorbs every
+  // cancelled slot (tests/event_pool_test.cc).
+  size_t cancel_pending();
+
+  bool has_pending_events() const { return !queue_.empty(); }
+  // Timestamp of the earliest pending event; undefined when none pending.
+  TimePoint next_event_time() const { return queue_.next_time(); }
+  // Pool introspection for tests (leak checks after early termination).
+  const EventQueue& event_queue() const { return queue_; }
+
   Rng& rng() { return rng_; }
   SimNetwork& network() { return network_; }
   logstore::LogStore& log_store() { return log_store_; }
@@ -90,6 +111,7 @@ class Simulation {
   topology::Deployment deployment_;
   std::map<std::string, std::unique_ptr<SimService>> services_;
   uint64_t events_processed_ = 0;
+  bool stop_requested_ = false;
 };
 
 }  // namespace gremlin::sim

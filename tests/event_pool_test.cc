@@ -141,5 +141,28 @@ TEST(EventQueueTest, ClearDropsPendingAndReplaysIdentically) {
   EXPECT_EQ(reused, expected);
 }
 
+TEST(EventQueueTest, ClearReturnsEveryNodeToTheFreeList) {
+  EventQueue queue;
+  // Grow the pool across several slabs, drain part of the heap, then clear
+  // mid-flight. free_count() is arithmetic (capacity - heap size); walking
+  // the actual free list proves no node was leaked off both structures.
+  for (int i = 0; i < 900; ++i) {
+    queue.schedule_at(TimePoint{msec(i)}, [] {});
+  }
+  for (int i = 0; i < 450; ++i) queue.pop_and_run();
+  queue.clear();
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.free_list_length(), queue.pool_capacity());
+}
+
+TEST(EventQueueTest, FreeListLengthMatchesFreeCountMidFlight) {
+  EventQueue queue;
+  for (int i = 0; i < 300; ++i) {
+    queue.schedule_at(TimePoint{msec(i)}, [] {});
+  }
+  for (int i = 0; i < 100; ++i) queue.pop_and_run();
+  EXPECT_EQ(queue.free_list_length(), queue.free_count());
+}
+
 }  // namespace
 }  // namespace gremlin::sim

@@ -1,0 +1,513 @@
+// Online assertion checking tests (control/online.h).
+//
+// The centerpiece is a differential fuzz: the incremental (streaming) checks
+// must produce verdicts — and, on full streams, byte-identical names and
+// details — matching the post-hoc AssertionChecker, which stays the oracle.
+// The two implementations deliberately share no evaluation code, so
+// agreement over randomized record streams is real evidence.
+//
+// Also covered: IncrementalCombine vs Combine::evaluate, sticky early
+// verdicts (an early decision always equals the full-stream verdict),
+// bounded log retention, early-exit vs full-run experiment equivalence
+// (verdict fingerprints and failure signatures), and event-pool reclamation
+// after an early-terminated run.
+#include "control/online.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "campaign/app_spec.h"
+#include "campaign/experiment.h"
+#include "campaign/runner.h"
+#include "control/assertions.h"
+#include "control/checker.h"
+#include "logstore/store.h"
+#include "sim/simulation.h"
+#include "topology/graph.h"
+
+namespace gremlin {
+namespace {
+
+using campaign::AppSpec;
+using campaign::CampaignRunner;
+using campaign::CheckSpec;
+using campaign::ExecOptions;
+using campaign::Experiment;
+using campaign::ExperimentResult;
+using control::CheckResult;
+using control::IncrementalCheck;
+using control::LoadSummary;
+using control::Verdict;
+using logstore::FaultKind;
+using logstore::LogRecord;
+using logstore::MessageKind;
+using logstore::RecordList;
+
+// --- random record streams ---------------------------------------------------
+
+// A plausible-but-adversarial observation stream: mixed edges, requests and
+// replies (including orphans), failure statuses, connection resets,
+// Gremlin-synthesized aborts, injected delays, timestamp ties, and two
+// request-ID families so "test-*" globs filter a real subset.
+RecordList random_stream(std::mt19937_64& rng) {
+  const char* services[] = {"a", "b", "c", "d"};
+  std::uniform_int_distribution<int> count_dist(5, 60);
+  std::uniform_int_distribution<int64_t> gap_dist(0, 30000);  // us; ties ok
+  std::uniform_int_distribution<int> pct(0, 99);
+  std::uniform_int_distribution<int> dst_dist(1, 3);
+  std::uniform_int_distribution<int> any_dist(0, 3);
+  std::uniform_int_distribution<int> id_dist(0, 7);
+  std::uniform_int_distribution<int64_t> lat_dist(0, 200000);
+  std::uniform_int_distribution<int64_t> delay_dist(0, 50000);
+
+  const int n = count_dist(rng);
+  RecordList out;
+  out.reserve(static_cast<size_t>(n));
+  int64_t ts = 0;
+  for (int i = 0; i < n; ++i) {
+    ts += gap_dist(rng);
+    LogRecord r;
+    r.timestamp = TimePoint{usec(ts)};
+    if (pct(rng) < 75) {
+      r.src = "a";
+      r.dst = services[dst_dist(rng)];
+    } else {
+      r.src = services[any_dist(rng)];
+      do {
+        r.dst = services[any_dist(rng)];
+      } while (r.dst == r.src);
+    }
+    r.instance = std::string(r.src.view()) + "-0";
+    r.request_id = (pct(rng) < 70 ? "test-" : "other-") +
+                   std::to_string(id_dist(rng));
+    r.kind = pct(rng) < 55 ? MessageKind::kRequest : MessageKind::kResponse;
+    r.method = "GET";
+    r.uri = "/";
+    if (r.kind == MessageKind::kResponse) {
+      const int roll = pct(rng);
+      r.status = roll < 55 ? 200 : (roll < 70 ? 500 : (roll < 90 ? 503 : 0));
+      r.latency = usec(lat_dist(rng));
+    }
+    const int fault_roll = pct(rng);
+    if (fault_roll < 12) {
+      r.fault = FaultKind::kAbort;
+      r.rule_id = "rule-abort";
+    } else if (fault_roll < 24) {
+      r.fault = FaultKind::kDelay;
+      r.rule_id = "rule-delay";
+      r.injected_delay = usec(delay_dist(rng));
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+topology::AppGraph fuzz_graph() {
+  topology::AppGraph graph;
+  graph.add_edge("a", "b");
+  graph.add_edge("a", "c");
+  graph.add_edge("a", "d");
+  return graph;
+}
+
+// --- the differential fuzz ---------------------------------------------------
+
+TEST(OnlineDifferentialFuzz, MatchesPostHocCheckerOn1000RandomStreams) {
+  const topology::AppGraph graph = fuzz_graph();
+  std::mt19937_64 rng(0x6e71a2d5u);  // seeded: failures replay exactly
+
+  for (int iter = 0; iter < 1000; ++iter) {
+    const RecordList records = random_stream(rng);
+    logstore::LogStore store;
+    for (const auto& r : records) store.append(r);
+    const control::AssertionChecker checker(&store, &graph);
+
+    // Randomized parameters, used identically by oracle and subject.
+    std::uniform_int_distribution<int> pct(0, 99);
+    const std::string idp = pct(rng) < 50 ? "*" : "test-*";
+    const char* to_services[] = {"b", "c", "d"};
+    const std::string svc =
+        to_services[std::uniform_int_distribution<int>(0, 2)(rng)];
+    const Duration bound = usec(
+        std::uniform_int_distribution<int64_t>(1000, 150000)(rng));
+    const int max_tries = std::uniform_int_distribution<int>(0, 3)(rng);
+    const int cb_threshold = std::uniform_int_distribution<int>(1, 3)(rng);
+    const Duration tdelta = usec(
+        std::uniform_int_distribution<int64_t>(1000, 120000)(rng));
+    const int success_threshold =
+        std::uniform_int_distribution<int>(1, 2)(rng);
+    const size_t win_threshold =
+        static_cast<size_t>(std::uniform_int_distribution<int>(1, 3)(rng));
+    const size_t win_max =
+        static_cast<size_t>(std::uniform_int_distribution<int>(0, 4)(rng));
+    const double min_rate =
+        std::uniform_real_distribution<double>(0.0, 50.0)(rng);
+    const double percentile = std::uniform_int_distribution<int>(0, 1)(rng)
+                                  ? 99.0
+                                  : 50.0;
+    const bool with_rule = pct(rng) < 50;
+    const double max_fraction =
+        std::uniform_real_distribution<double>(0.0, 0.6)(rng);
+
+    std::vector<std::pair<CheckResult, std::unique_ptr<IncrementalCheck>>>
+        panel;
+    panel.emplace_back(
+        checker.has_timeouts(svc, bound, idp),
+        control::make_incremental_timeouts(svc, bound, idp));
+    panel.emplace_back(
+        checker.has_bounded_retries("a", "b", max_tries, idp),
+        control::make_incremental_bounded_retries("a", "b", max_tries, idp));
+    panel.emplace_back(
+        checker.has_bounded_retries_windowed("a", "b", 503, win_threshold,
+                                             tdelta, win_max, idp),
+        control::make_incremental_bounded_retries_windowed(
+            "a", "b", 503, win_threshold, tdelta, win_max, idp));
+    panel.emplace_back(
+        checker.has_circuit_breaker("a", "b", cb_threshold, tdelta,
+                                    success_threshold, idp),
+        control::make_incremental_circuit_breaker(
+            "a", "b", cb_threshold, tdelta, success_threshold, idp));
+    panel.emplace_back(
+        checker.has_bulkhead("a", "b", min_rate, idp),
+        control::make_incremental_bulkhead(&graph, "a", "b", min_rate, idp));
+    panel.emplace_back(
+        checker.has_latency_slo("a", "b", percentile, bound, with_rule, idp),
+        control::make_incremental_latency_slo("a", "b", percentile, bound,
+                                              with_rule, idp));
+    panel.emplace_back(
+        checker.error_rate_below("a", "b", max_fraction, idp),
+        control::make_incremental_error_rate("a", "b", max_fraction, idp));
+
+    // Feed the exact stream the post-hoc queries visit (the store sorts by
+    // (timestamp, arrival); the generator appends in that order already),
+    // recording the first verdict each check commits to.
+    std::vector<Verdict> early(panel.size(), Verdict::kUndecided);
+    for (const auto& r : records) {
+      for (size_t i = 0; i < panel.size(); ++i) {
+        panel[i].second->offer(r);
+        if (early[i] == Verdict::kUndecided) {
+          early[i] = panel[i].second->verdict();
+        }
+      }
+    }
+
+    for (size_t i = 0; i < panel.size(); ++i) {
+      const CheckResult& oracle = panel[i].first;
+      const CheckResult got = panel[i].second->finalize(LoadSummary{});
+      ASSERT_EQ(got.passed, oracle.passed)
+          << "iter " << iter << " check " << oracle.name
+          << "\n  oracle: " << oracle.detail << "\n  online: " << got.detail;
+      ASSERT_EQ(got.name, oracle.name) << "iter " << iter;
+      ASSERT_EQ(got.detail, oracle.detail)
+          << "iter " << iter << " check " << oracle.name;
+      // Stickiness: a verdict committed mid-stream must equal the verdict
+      // over the complete stream — the early-exit soundness condition.
+      if (early[i] != Verdict::kUndecided) {
+        ASSERT_EQ(early[i] == Verdict::kPass, oracle.passed)
+            << "iter " << iter << " check " << oracle.name
+            << " decided early then flipped";
+      }
+    }
+  }
+}
+
+TEST(IncrementalCombineFuzz, MatchesCombineEvaluateOn1000RandomChains) {
+  std::mt19937_64 rng(0x51c0ffeeu);
+  for (int iter = 0; iter < 1000; ++iter) {
+    const RecordList records = random_stream(rng);
+
+    const int steps = std::uniform_int_distribution<int>(1, 4)(rng);
+    control::Combine oracle;
+    control::IncrementalCombine subject;
+    for (int s = 0; s < steps; ++s) {
+      const int kind = std::uniform_int_distribution<int>(0, 3)(rng);
+      const int status =
+          (std::uniform_int_distribution<int>(0, 2)(rng) == 0) ? 0 : 503;
+      const size_t num =
+          static_cast<size_t>(std::uniform_int_distribution<int>(0, 4)(rng));
+      const Duration tdelta = usec(
+          std::uniform_int_distribution<int64_t>(1000, 120000)(rng));
+      const bool with_rule = std::uniform_int_distribution<int>(0, 1)(rng);
+      switch (kind) {
+        case 0:
+          oracle.then(control::Combine::check_status(status, num, with_rule));
+          subject.check_status(status, num, with_rule);
+          break;
+        case 1:
+          oracle.then(
+              control::Combine::at_most_requests(tdelta, with_rule, num));
+          subject.at_most_requests(tdelta, with_rule, num);
+          break;
+        case 2:
+          oracle.then(control::Combine::no_requests_for(tdelta));
+          subject.no_requests_for(tdelta);
+          break;
+        default:
+          oracle.then(
+              control::Combine::at_least_requests(tdelta, with_rule, num));
+          subject.at_least_requests(tdelta, with_rule, num);
+          break;
+      }
+    }
+
+    Verdict early = Verdict::kUndecided;
+    for (const auto& r : records) {
+      subject.feed(r);
+      if (early == Verdict::kUndecided) early = subject.verdict();
+    }
+    const bool expected = oracle.evaluate(records);
+    const bool got = subject.finish();
+    ASSERT_EQ(got, expected) << "iter " << iter << " (" << records.size()
+                             << " records, " << steps << " steps)";
+    if (early != Verdict::kUndecided) {
+      ASSERT_EQ(early == Verdict::kPass, expected)
+          << "iter " << iter << " decided early then flipped";
+    }
+  }
+}
+
+// --- failure signatures (shrinker / reproducer identity) ---------------------
+
+TEST(FailureSignatureTest, SortsAndDedupsFailedCheckNames) {
+  std::vector<CheckResult> results;
+  CheckResult r;
+  r.name = "HasTimeouts(b)";
+  r.passed = false;
+  results.push_back(r);
+  r.name = "MaxUserFailures(0)";
+  results.push_back(r);
+  r.name = "HasTimeouts(b)";  // duplicate, dedups
+  results.push_back(r);
+  r.name = "ZPassed";
+  r.passed = true;  // passed checks never contribute
+  results.push_back(r);
+  // Pinned bytes: sorted, deduplicated, " + "-joined — independent of check
+  // order and of how much of a truncated run's log survived.
+  EXPECT_EQ(control::failure_signature(results),
+            "HasTimeouts(b) + MaxUserFailures(0)");
+  std::reverse(results.begin(), results.end());
+  EXPECT_EQ(control::failure_signature(results),
+            "HasTimeouts(b) + MaxUserFailures(0)");
+}
+
+// --- bounded retention -------------------------------------------------------
+
+TEST(RetentionTest, ObserverSeesEveryRecordAndRetentionBoundsTheStore) {
+  logstore::LogStore store;
+  size_t observed = 0;
+  store.set_observer([&observed](const LogRecord&) { ++observed; });
+  store.set_retention_limit(100);
+  for (int i = 0; i < 1000; ++i) {
+    LogRecord r;
+    r.timestamp = TimePoint{usec(i * 10)};
+    r.request_id = "test-" + std::to_string(i);
+    r.src = (i % 2 == 0) ? "a" : "b";
+    r.dst = "c";
+    r.kind = MessageKind::kRequest;
+    store.append(std::move(r));
+  }
+  // The observer fires for every append, before eviction — no record is
+  // dropped unseen.
+  EXPECT_EQ(observed, 1000u);
+  EXPECT_LE(store.size(), 100u);
+  EXPECT_EQ(store.dropped() + store.size(), 1000u);
+}
+
+TEST(RetentionTest, EvictionKeepsIndexedQueriesConsistent) {
+  logstore::LogStore store;
+  store.set_retention_limit(64);
+  for (int i = 0; i < 500; ++i) {
+    LogRecord r;
+    r.timestamp = TimePoint{usec(i * 10)};
+    r.request_id = "test-" + std::to_string(i);
+    r.src = "a";
+    r.dst = (i % 2 == 0) ? "b" : "c";
+    r.kind = MessageKind::kRequest;
+    store.append(std::move(r));
+  }
+  // Edge-indexed queries agree with a brute-force scan of what survived.
+  const RecordList survivors = store.all();
+  size_t to_b = 0;
+  for (const auto& r : survivors) {
+    if (r.dst == "b") ++to_b;
+  }
+  EXPECT_EQ(store.get_requests("a", "b").size(), to_b);
+  // Evicted flows answer empty instead of stale positions.
+  logstore::Query q;
+  q.id_pattern = "test-0";
+  EXPECT_TRUE(store.query(q).empty());
+  // Retained flows are still found by exact ID.
+  logstore::Query tail;
+  tail.id_pattern = survivors.back().request_id;
+  EXPECT_EQ(store.query(tail).size(), 1u);
+}
+
+// --- experiment-level early exit ---------------------------------------------
+
+control::LoadOptions small_load() {
+  control::LoadOptions load;
+  load.count = 30;
+  load.gap = msec(5);
+  return load;
+}
+
+std::vector<Experiment> buggy_tree_sweep() {
+  const AppSpec app = AppSpec::buggy_tree();
+  campaign::SweepOptions options;
+  options.load = small_load();
+  return campaign::generate_sweep(app, app.probe_graph(), options);
+}
+
+TEST(EarlyExitTest, VerdictsAndSignaturesMatchFullRunsAcrossTheSweep) {
+  // The headline equivalence: early-exit ON and OFF agree on every verdict
+  // (and therefore every failure signature) for every experiment of the
+  // buggy-tree sweep — ON is just faster.
+  for (const Experiment& e : buggy_tree_sweep()) {
+    ExecOptions on;   // defaults: early_exit = true
+    ExecOptions off;
+    off.early_exit = false;
+    const ExperimentResult fast = CampaignRunner::run_one(e, on);
+    const ExperimentResult full = CampaignRunner::run_one(e, off);
+    ASSERT_TRUE(fast.ok) << e.id;
+    ASSERT_TRUE(full.ok) << e.id;
+    EXPECT_FALSE(full.early_terminated);
+    EXPECT_EQ(fast.verdict_fingerprint(), full.verdict_fingerprint()) << e.id;
+    EXPECT_EQ(control::failure_signature(fast.checks),
+              control::failure_signature(full.checks))
+        << e.id;
+  }
+}
+
+TEST(EarlyExitTest, PinsTheTruncationIndependentSignature) {
+  // Regression pin for control::failure_signature over early-terminated
+  // runs: the canonical buggy-tree reproducer yields these exact bytes in
+  // both modes, so a truncated log can never rename a failure mode.
+  Experiment e;
+  e.id = "abort(svc0->svc2)";
+  e.app = AppSpec::buggy_tree();
+  e.failures.push_back(control::FailureSpec::abort_edge("svc0", "svc2"));
+  e.load = small_load();
+  e.checks.push_back(CheckSpec::max_user_failures(0));
+
+  ExecOptions off;
+  off.early_exit = false;
+  const ExperimentResult fast = CampaignRunner::run_one(e, ExecOptions{});
+  const ExperimentResult full = CampaignRunner::run_one(e, off);
+  ASSERT_FALSE(fast.passed());
+  ASSERT_FALSE(full.passed());
+  EXPECT_TRUE(fast.early_terminated);
+  EXPECT_EQ(control::failure_signature(fast.checks), "MaxUserFailures(0)");
+  EXPECT_EQ(control::failure_signature(full.checks), "MaxUserFailures(0)");
+}
+
+TEST(EarlyExitTest, FailingRunsProcessFewerEvents) {
+  Experiment e;
+  e.id = "crash(svc2)";
+  e.app = AppSpec::buggy_tree();
+  e.failures.push_back(control::FailureSpec::crash("svc2"));
+  e.load = small_load();
+  e.checks.push_back(CheckSpec::max_user_failures(0));
+
+  sim::SimulationConfig cfg;
+  cfg.seed = e.seed;
+  sim::Simulation fast_sim(cfg);
+  const ExperimentResult fast =
+      CampaignRunner::run_in(e, &fast_sim, ExecOptions{});
+
+  sim::Simulation full_sim(cfg);
+  ExecOptions off;
+  off.early_exit = false;
+  const ExperimentResult full = CampaignRunner::run_in(e, &full_sim, off);
+
+  ASSERT_FALSE(full.passed());
+  EXPECT_TRUE(fast.early_terminated);
+  EXPECT_FALSE(full.early_terminated);
+  EXPECT_EQ(fast.verdict_fingerprint(), full.verdict_fingerprint());
+  // The whole point: the failing run stops at the first user-visible
+  // failure instead of draining the timeline.
+  EXPECT_LT(fast_sim.events_processed(), full_sim.events_processed());
+}
+
+TEST(EarlyExitTest, RecordCheckPanelAgreesBetweenModes) {
+  // A mixed panel forces the streaming path (SimStreamCollector + store
+  // observer + retention): verdicts must still agree with the untouched
+  // post-hoc flow.
+  for (const char* fault : {"svc2", "svc5"}) {
+    Experiment e;
+    e.id = std::string("crash(") + fault + ")";
+    e.app = AppSpec::buggy_tree();
+    e.failures.push_back(control::FailureSpec::crash(fault));
+    e.load = small_load();
+    e.checks.push_back(CheckSpec::has_timeouts("svc0", msec(500)));
+    e.checks.push_back(CheckSpec::error_rate_below("user", "svc0", 0.5));
+    e.checks.push_back(CheckSpec::max_user_failures(5));
+
+    ExecOptions off;
+    off.early_exit = false;
+    const ExperimentResult fast = CampaignRunner::run_one(e, ExecOptions{});
+    const ExperimentResult full = CampaignRunner::run_one(e, off);
+    ASSERT_TRUE(fast.ok) << e.id;
+    EXPECT_EQ(fast.verdict_fingerprint(), full.verdict_fingerprint()) << e.id;
+  }
+}
+
+TEST(EarlyExitTest, OpaqueCheckDisablesEarlyExitButKeepsVerdicts) {
+  // FailureContained has no incremental form; attaching it must force the
+  // post-hoc path (identical to early_exit=false), never a wrong verdict.
+  Experiment e;
+  e.id = "crash(svc2) contained";
+  e.app = AppSpec::buggy_tree();
+  e.failures.push_back(control::FailureSpec::crash("svc2"));
+  e.load = small_load();
+  e.checks.push_back(CheckSpec::failure_contained("svc2"));
+  e.checks.push_back(CheckSpec::max_user_failures(0));
+
+  const ExperimentResult fast = CampaignRunner::run_one(e, ExecOptions{});
+  ExecOptions off;
+  off.early_exit = false;
+  const ExperimentResult full = CampaignRunner::run_one(e, off);
+  EXPECT_FALSE(fast.early_terminated);
+  EXPECT_EQ(fast.fingerprint(), full.fingerprint());
+}
+
+TEST(EarlyExitTest, PoolIsFullyReclaimedAfterEarlyTermination) {
+  // Satellite of the kept-alive-sim contract: an early-terminated run
+  // cancels its pending events, and every cancelled slot must be back on
+  // the event pool's free list (leaked slab nodes would accumulate across
+  // reuses).
+  Experiment e;
+  e.id = "crash(svc2)";
+  e.app = AppSpec::buggy_tree();
+  e.failures.push_back(control::FailureSpec::crash("svc2"));
+  e.load = small_load();
+  e.checks.push_back(CheckSpec::max_user_failures(0));
+
+  sim::SimulationConfig cfg;
+  cfg.seed = e.seed;
+  sim::Simulation sim(cfg);
+  const ExperimentResult result =
+      CampaignRunner::run_in(e, &sim, ExecOptions{});
+  EXPECT_TRUE(result.early_terminated);
+  EXPECT_FALSE(sim.has_pending_events());
+  EXPECT_FALSE(sim.stop_requested());
+  EXPECT_EQ(sim.event_queue().free_list_length(),
+            sim.event_queue().pool_capacity());
+}
+
+TEST(OnlineCheckerTest, OpaqueSlotBlocksAllDecided) {
+  control::OnlineChecker checker;
+  checker.add(control::make_incremental_max_user_failures(0, 1));
+  EXPECT_TRUE(checker.all_incremental());
+  checker.add(nullptr);  // FailureContained-style opaque check
+  EXPECT_FALSE(checker.all_incremental());
+  checker.on_user_response(false);  // decides the incremental slot (pass)
+  EXPECT_FALSE(checker.all_decided());
+}
+
+}  // namespace
+}  // namespace gremlin

@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Benchmark gate: build the bench suite, run every bench_* binary with
 # --json, and assemble the rows into BENCH_hotpath.json at the repo root.
+# bench_checker_online additionally feeds BENCH_checker.json (online
+# assertion checking with early-verdict termination; headline is the
+# search+shrink speedup with verdict-identical results).
 #
 # The output also carries the recorded pre-overhaul baseline for the
 # headline metric (BM_RunOneExperiment experiments/second in
@@ -16,6 +19,7 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${GREMLIN_BUILD_DIR:-${ROOT}/build}"
 OUT="${ROOT}/BENCH_hotpath.json"
+CHECKER_OUT="${ROOT}/BENCH_checker.json"
 
 # experiments/second measured on this container immediately before the
 # hot-path memory overhaul (interned names, pooled events, zero-copy
@@ -34,7 +38,8 @@ BENCHES=(
 )
 
 cmake -B "${BUILD_DIR}" -S "${ROOT}" >/dev/null
-cmake --build "${BUILD_DIR}" -j "$(nproc)" --target "${BENCHES[@]}"
+cmake --build "${BUILD_DIR}" -j "$(nproc)" --target "${BENCHES[@]}" \
+  bench_checker_online
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "${TMP}"' EXIT
@@ -52,6 +57,17 @@ for bench in "${BENCHES[@]}"; do
   echo "=== ${bench}"
   "${BUILD_DIR}/bench/${bench}" "${args[@]}"
 done
+
+# The online-checker differential bench feeds its own gate file; its json
+# deliberately avoids the bench_*.json glob so BENCH_hotpath.json keeps its
+# historical row set. Quick mode skips only the BM_* micro-sweeps — the
+# on/off differential sections (which enforce verdict identity) always run.
+checker_args=("--json" "${TMP}/checker_online.json")
+if [[ "${GREMLIN_BENCH_QUICK:-0}" != 0 ]]; then
+  checker_args+=("--benchmark_filter=-.*")
+fi
+echo "=== bench_checker_online"
+"${BUILD_DIR}/bench/bench_checker_online" "${checker_args[@]}"
 
 python3 - "${OUT}" "${BASELINE_EXPERIMENTS_PER_SEC}" "${TMP}" <<'PY'
 import json, pathlib, sys
@@ -79,4 +95,37 @@ pathlib.Path(out).write_text(json.dumps(doc, indent=2) + "\n")
 print(f"wrote {out}: {len(rows)} rows; "
       f"experiments/s {baseline} -> {post} "
       f"({doc['headline']['speedup']}x)" if post else f"wrote {out}")
+PY
+
+python3 - "${CHECKER_OUT}" "${TMP}/checker_online.json" <<'PY'
+import json, pathlib, sys
+
+out, src = sys.argv[1], pathlib.Path(sys.argv[2])
+rows = json.loads(src.read_text())
+
+def value(name, metric):
+    return next((r["value"] for r in rows
+                 if r["name"] == name and r["metric"] == metric), None)
+
+speedup = value("checker_online/search_shrink", "speedup")
+doc = {
+    "suite": "gremlin online assertion checking",
+    "headline": {
+        "metric": "search+shrink wall-clock speedup, early-exit on vs off "
+                  "(verdict-identical; bench_checker_online)",
+        "wall_early_exit_on_s":
+            value("checker_online/search_shrink/early_exit=on", "wall"),
+        "wall_early_exit_off_s":
+            value("checker_online/search_shrink/early_exit=off", "wall"),
+        "speedup": speedup,
+        "campaign_sweep_speedup":
+            value("checker_online/campaign_sweep", "speedup"),
+        "campaign_failing_batch_speedup":
+            value("checker_online/campaign_failing", "speedup"),
+    },
+    "rows": rows,
+}
+pathlib.Path(out).write_text(json.dumps(doc, indent=2) + "\n")
+print(f"wrote {out}: search+shrink speedup "
+      f"{speedup if speedup is not None else 'MISSING'}x")
 PY

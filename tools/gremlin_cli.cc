@@ -55,13 +55,15 @@ int usage() {
                "  gremlin campaign <recipe-file> [--seed N] [--seeds K] "
                "[--threads N]\n"
                "                   [--sweep edge|service|both] "
-               "[--report out.json]\n"
+               "[--no-early-exit]\n"
+               "                   [--report out.json]\n"
                "  gremlin search (<recipe-file> | --app <name>) [--seed N] "
                "[--threads N]\n"
                "                 [--max-k K] [--budget N] [--requests N] "
                "[--pairwise]\n"
                "                 [--no-prune] [--no-shrink] "
-               "[--report out.json]\n");
+               "[--no-early-exit]\n"
+               "                 [--report out.json]\n");
   return 2;
 }
 
@@ -174,6 +176,7 @@ struct CampaignFlags {
   int seeds = 1;          // multi-seed replication factor
   int threads = 0;        // 0 = hardware concurrency
   std::string sweep;      // "", "edge", "service", or "both"
+  bool early_exit = true;  // --no-early-exit: run every sim to quiescence
   std::string report_path;
 };
 
@@ -232,6 +235,7 @@ int cmd_campaign(const std::string& source, const CampaignFlags& flags) {
 
   campaign::RunnerOptions options;
   options.threads = flags.threads;
+  options.early_exit = flags.early_exit;
   const campaign::CampaignResult result =
       campaign::CampaignRunner(options).run(experiments);
 
@@ -263,6 +267,7 @@ struct SearchFlags {
   bool pairwise = false;
   bool prune = true;
   bool shrink = true;
+  bool early_exit = true;  // --no-early-exit: run every sim to quiescence
   std::string report_path;
 };
 
@@ -302,6 +307,7 @@ int cmd_search(const SearchFlags& flags) {
   options.generator.pairwise = flags.pairwise;
   options.prune = flags.prune;
   options.shrink = flags.shrink;
+  options.early_exit = flags.early_exit;
   if (flags.requests > 0) options.load.count = flags.requests;
 
   const search::SearchOutcome outcome = search::run_search(app, options);
@@ -356,6 +362,8 @@ int main(int argc, char** argv) {
         flags.prune = false;
       } else if (std::strcmp(argv[i], "--no-shrink") == 0) {
         flags.shrink = false;
+      } else if (std::strcmp(argv[i], "--no-early-exit") == 0) {
+        flags.early_exit = false;
       } else if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
         flags.report_path = argv[++i];
       } else {
@@ -390,6 +398,8 @@ int main(int argc, char** argv) {
       flags.sweep = argv[++i];
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       with_traces = true;
+    } else if (std::strcmp(argv[i], "--no-early-exit") == 0) {
+      flags.early_exit = false;
     } else if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
       flags.report_path = argv[++i];
     } else {
