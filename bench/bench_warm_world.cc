@@ -1,0 +1,161 @@
+// Warm-world execution: cold (fresh Simulation per experiment) vs warm
+// (one long-lived Simulation per AppSpec, deep-reset between experiments,
+// fault translation memoized by control::RuleCache).
+//
+// The binary overrides global operator new to count heap allocations and
+// measures two sections:
+//   1. Throughput — the same experiment stream executed cold and warm;
+//      reports experiments/second for both and the warm/cold speedup. Every
+//      warm result is fingerprint-compared to its cold twin: a mismatch is
+//      a determinism bug and the bench exits non-zero (this is the perf
+//      gate AND a differential check).
+//   2. Allocations — steady-state allocations per experiment, cold vs
+//      warm. Cold pays the full deployment build (services, instances,
+//      agents, dep caches); warm reuses all of it, so its count collapses
+//      to the per-run residue (log records, result vectors) and must stay
+//      well below cold.
+//
+// Shape expectations: warm >= 1.5x cold on the depth-4 tree (the ISSUE 5
+// acceptance), warm allocations a small fraction of cold.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+static std::atomic<size_t> g_allocs{0};
+
+void* operator new(size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+
+#include "bench_json.h"
+#include "campaign/runner.h"
+#include "campaign/warm_world.h"
+
+namespace {
+
+using namespace gremlin;  // NOLINT
+
+size_t allocs_now() { return g_allocs.load(std::memory_order_relaxed); }
+
+std::vector<campaign::Experiment> depth4_sweep() {
+  const campaign::AppSpec app = campaign::AppSpec::buggy_tree(4);
+  campaign::SweepOptions options;
+  options.load.count = 40;
+  options.load.gap = msec(5);
+  return campaign::generate_sweep(app, app.probe_graph(), options);
+}
+
+void throughput_section(benchjson::Rows& rows) {
+  std::printf("## Cold vs warm throughput (depth-4 buggy tree)\n");
+  const auto experiments = depth4_sweep();
+  const campaign::ExecOptions exec;
+  constexpr int kRuns = 150;
+
+  // Warm interning and both code paths before timing.
+  campaign::WarmWorld world(experiments[0].app);
+  (void)campaign::CampaignRunner::run_one(experiments[0], exec);
+  (void)world.run(experiments[0], exec);
+
+  std::vector<std::string> cold_fingerprints;
+  cold_fingerprints.reserve(kRuns);
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kRuns; ++i) {
+    const auto result = campaign::CampaignRunner::run_one(
+        experiments[static_cast<size_t>(i) % experiments.size()], exec);
+    cold_fingerprints.push_back(result.fingerprint());
+  }
+  const std::chrono::duration<double> cold_elapsed =
+      std::chrono::steady_clock::now() - start;
+
+  start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kRuns; ++i) {
+    const auto result =
+        world.run(experiments[static_cast<size_t>(i) % experiments.size()],
+                  exec);
+    if (result.fingerprint() != cold_fingerprints[static_cast<size_t>(i)]) {
+      std::fprintf(stderr,
+                   "DETERMINISM BUG: warm run of %s differs from cold\n",
+                   result.id.c_str());
+      std::exit(1);
+    }
+  }
+  const std::chrono::duration<double> warm_elapsed =
+      std::chrono::steady_clock::now() - start;
+
+  const double cold_per_s = kRuns / cold_elapsed.count();
+  const double warm_per_s = kRuns / warm_elapsed.count();
+  const double speedup = warm_per_s / cold_per_s;
+  std::printf(
+      "%d experiments: cold %.1f/s, warm %.1f/s (%.2fx), all %d warm "
+      "results byte-identical to cold\n\n",
+      kRuns, cold_per_s, warm_per_s, speedup, kRuns);
+  rows.add("warmworld/throughput/cold", "experiments_per_second", cold_per_s,
+           "1/s");
+  rows.add("warmworld/throughput/warm", "experiments_per_second", warm_per_s,
+           "1/s");
+  rows.add("warmworld/throughput", "speedup", speedup, "x");
+}
+
+void allocation_section(benchjson::Rows& rows) {
+  std::printf("## Allocations per experiment, cold vs warm\n");
+  const auto experiments = depth4_sweep();
+  campaign::ExecOptions exec;
+  exec.keep_latencies = false;
+  constexpr int kRuns = 50;
+
+  campaign::WarmWorld world(experiments[0].app);
+  (void)campaign::CampaignRunner::run_one(experiments[0], exec);
+  (void)world.run(experiments[0], exec);
+
+  size_t before = allocs_now();
+  for (int i = 0; i < kRuns; ++i) {
+    auto result = campaign::CampaignRunner::run_one(
+        experiments[static_cast<size_t>(i) % experiments.size()], exec);
+    benchmark::DoNotOptimize(result);
+  }
+  const double cold_allocs =
+      static_cast<double>(allocs_now() - before) / kRuns;
+
+  before = allocs_now();
+  for (int i = 0; i < kRuns; ++i) {
+    auto result = world.run(
+        experiments[static_cast<size_t>(i) % experiments.size()], exec);
+    benchmark::DoNotOptimize(result);
+  }
+  const double warm_allocs =
+      static_cast<double>(allocs_now() - before) / kRuns;
+
+  std::printf(
+      "cold %.0f allocations/experiment, warm %.0f (%.1f%% of cold)\n\n",
+      cold_allocs, warm_allocs,
+      cold_allocs > 0 ? 100.0 * warm_allocs / cold_allocs : 0.0);
+  if (warm_allocs >= cold_allocs) {
+    std::fprintf(stderr,
+                 "warm path allocates as much as cold (%.0f vs %.0f); the "
+                 "deployment is not being reused\n",
+                 warm_allocs, cold_allocs);
+    std::exit(1);
+  }
+  rows.add("warmworld/allocs/cold", "allocs_per_experiment", cold_allocs,
+           "count");
+  rows.add("warmworld/allocs/warm", "allocs_per_experiment", warm_allocs,
+           "count");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto& rows = benchjson::Rows::instance();
+  rows.parse_args(&argc, argv);
+  std::printf("# Warm-world execution — cold vs warm differential\n\n");
+  throughput_section(rows);
+  allocation_section(rows);
+  return rows.write() ? 0 : 1;
+}

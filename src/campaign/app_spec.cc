@@ -1,6 +1,13 @@
 #include "campaign/app_spec.h"
 
+#include <atomic>
+
 namespace gremlin::campaign {
+
+AppSpec::AppSpec() : uid_([] {
+        static std::atomic<uint64_t> next{1};
+        return next.fetch_add(1, std::memory_order_relaxed);
+      }()) {}
 
 topology::AppGraph AppSpec::probe_graph() const {
   sim::Simulation scratch;

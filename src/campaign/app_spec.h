@@ -27,8 +27,21 @@
 namespace gremlin::campaign {
 
 struct AppSpec {
+  AppSpec();
+
   std::string name;
   std::function<topology::AppGraph(sim::Simulation*)> build;
+
+  // Warm-world eligibility. build() functions whose captured state mutates
+  // across runs (so Simulation::reset cannot restore run-zero behaviour)
+  // must clear this; the campaign runner then constructs cold per
+  // experiment. Every factory below is stateless and stays reusable.
+  bool reusable = true;
+
+  // Process-unique identity stamped at construction and shared by copies —
+  // the warm-world cache key. Names are not usable for this: every
+  // from_graph spec is called "graph".
+  uint64_t identity() const { return uid_; }
 
   // Builds the application into `sim` and returns the logical graph.
   topology::AppGraph instantiate(sim::Simulation* sim) const {
@@ -82,6 +95,9 @@ struct AppSpec {
   // "redundant", "enterprise", "wordpress"), with default options — the
   // `gremlin search --app <name>` registry. Fails on unknown names.
   static Result<AppSpec> named(const std::string& name);
+
+ private:
+  uint64_t uid_;
 };
 
 // Instantiates every `graph` service missing from `sim` as a clone of

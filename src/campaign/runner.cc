@@ -3,16 +3,50 @@
 #include <algorithm>
 #include <chrono>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <vector>
 
+#include "campaign/warm_world.h"
 #include "control/collector.h"
 #include "control/online.h"
 
 namespace gremlin::campaign {
 
 namespace {
+
+// Bound on live deployments per worker: campaigns normally sweep one app,
+// so one world per worker is the steady state; a small pool tolerates
+// mixed-app batches without unbounded memory.
+constexpr size_t kMaxWarmWorldsPerWorker = 4;
+
+// A worker's private pool of warm worlds, keyed by AppSpec identity.
+class WorldPool {
+ public:
+  explicit WorldPool(bool enabled) : enabled_(enabled) {}
+
+  ExperimentResult execute(const Experiment& e, const ExecOptions& exec) {
+    if (!enabled_ || e.custom || !e.app.reusable) {
+      return CampaignRunner::run_one(e, exec);
+    }
+    for (auto& world : worlds_) {
+      if (world->app().identity() == e.app.identity()) {
+        return world->run(e, exec);
+      }
+    }
+    if (worlds_.size() >= kMaxWarmWorldsPerWorker) {
+      worlds_.erase(worlds_.begin());
+    }
+    worlds_.push_back(std::make_unique<WarmWorld>(e.app));
+    return worlds_.back()->run(e, exec);
+  }
+
+ private:
+  bool enabled_;
+  std::vector<std::unique_ptr<WarmWorld>> worlds_;
+};
 
 // Serializes a Duration exactly (tick count), so fingerprints are
 // byte-identical iff the underlying values are.
@@ -149,14 +183,26 @@ ExperimentResult CampaignRunner::run_one(const Experiment& experiment,
 }
 
 ExperimentResult CampaignRunner::run_in(const Experiment& experiment,
-                                        sim::Simulation* sim_ptr,
+                                        sim::Simulation* sim,
                                         const ExecOptions& exec) {
+  return run_prepared(experiment, sim, nullptr, nullptr, exec);
+}
+
+ExperimentResult CampaignRunner::run_prepared(const Experiment& experiment,
+                                              sim::Simulation* sim_ptr,
+                                              const topology::AppGraph* graph,
+                                              control::RuleCache* rule_cache,
+                                              const ExecOptions& exec) {
   ExperimentResult result;
   result.id = experiment.id;
   result.seed = experiment.seed;
 
   sim::Simulation& sim = *sim_ptr;
-  topology::AppGraph graph = experiment.app.instantiate(&sim);
+  topology::AppGraph local_graph;
+  if (graph == nullptr) {
+    local_graph = experiment.app.instantiate(&sim);
+    graph = &local_graph;
+  }
   control::TestSession session(&sim, graph);
 
   if (experiment.custom) {
@@ -169,7 +215,7 @@ ExperimentResult CampaignRunner::run_in(const Experiment& experiment,
   }
 
   for (const auto& spec : experiment.failures) {
-    auto installed = session.apply(spec);
+    auto installed = session.apply(spec, rule_cache);
     if (!installed.ok()) {
       result.error = "apply " + std::string(spec.kind_name()) + ": " +
                      installed.error().message;
@@ -180,7 +226,7 @@ ExperimentResult CampaignRunner::run_in(const Experiment& experiment,
 
   std::string target = experiment.target;
   if (target.empty()) {
-    for (const auto& entry : graph.entry_points()) {
+    for (const auto& entry : graph->entry_points()) {
       if (entry != experiment.client) {
         target = entry;
         break;
@@ -190,7 +236,7 @@ ExperimentResult CampaignRunner::run_in(const Experiment& experiment,
   if (target.empty()) {
     // The client is usually the graph's only root ("user" -> svc0): load
     // the front door it calls.
-    for (const auto& edge : graph.edges()) {
+    for (const auto& edge : graph->edges()) {
       if (edge.src == experiment.client) {
         target = edge.dst;
         break;
@@ -214,26 +260,32 @@ ExperimentResult CampaignRunner::run_in(const Experiment& experiment,
   bool use_online = exec.early_exit && !experiment.checks.empty();
   if (use_online) {
     for (const auto& spec : experiment.checks) {
-      online.add(spec.incremental(&graph, experiment.load.count));
+      online.add(spec.incremental(graph, experiment.load.count));
     }
     if (!online.all_incremental()) use_online = false;
   }
   const bool wants_records = use_online && online.wants_records();
+  // Load-only check sets that also skip the post-hoc collect never read a
+  // single record. Rather than buffering ~1k records per run in the
+  // sidecars and draining them onto the floor, switch observation capture
+  // off for the whole run: the data plane skips LogRecord construction
+  // entirely. Fault injection and the event timeline are untouched, so
+  // results stay byte-identical (the records never reached a fingerprint
+  // in this mode anyway).
+  const bool suppress_records =
+      use_online && !exec.preserve_log && !wants_records;
   const bool bounded =
-      use_online && !exec.preserve_log && exec.retention_limit > 0;
-  const bool stream = wants_records || bounded;
+      wants_records && !exec.preserve_log && exec.retention_limit > 0;
+  const bool stream = wants_records;
 
   std::optional<control::SimStreamCollector> collector;
   if (stream) {
     // Record-consuming checks need the stream shipped into the store (the
-    // append observer feeds them); load-only check sets drain agents just
-    // to bound their buffers and drop the records on the floor.
-    collector.emplace(&sim,
-                      wants_records
-                          ? control::SimStreamCollector::Mode::kAppendToStore
-                          : control::SimStreamCollector::Mode::kDiscard,
+    // append observer feeds them).
+    collector.emplace(&sim, control::SimStreamCollector::Mode::kAppendToStore,
                       exec.stream_interval);
   }
+  if (suppress_records) sim.set_recording(false);
   if (wants_records) {
     sim.log_store().set_observer([&online, &sim](
                                      const logstore::LogRecord& record) {
@@ -266,6 +318,7 @@ ExperimentResult CampaignRunner::run_in(const Experiment& experiment,
     sim.log_store().set_retention_limit(0);
   }
   session.set_response_observer(nullptr);
+  if (suppress_records) sim.set_recording(true);
   // Drop whatever an early stop left on the timeline (and the collector's
   // pending drain), so a kept-alive sim is clean for its next run.
   sim.cancel_pending();
@@ -325,8 +378,9 @@ CampaignResult CampaignRunner::run(
   };
 
   if (threads <= 1) {
+    WorldPool pool(options_.warm_worlds);
     for (size_t i = 0; i < n; ++i) {
-      finish(run_one(experiments[i], exec), i);
+      finish(pool.execute(experiments[i], exec), i);
     }
   } else {
     // Work-stealing pool: per-worker deques seeded with a strided share of
@@ -344,6 +398,9 @@ CampaignResult CampaignRunner::run(
     }
 
     auto worker = [&](size_t self) {
+      // Worker-private warm worlds: no locks, no sharing; determinism is
+      // unaffected because a reset world is byte-equivalent to a fresh one.
+      WorldPool pool(options_.warm_worlds);
       for (;;) {
         size_t index = n;  // sentinel: nothing claimed
         {
@@ -371,7 +428,7 @@ CampaignResult CampaignRunner::run(
           index = queues[victim].tasks.back();
           queues[victim].tasks.pop_back();
         }
-        finish(run_one(experiments[index], exec), index);
+        finish(pool.execute(experiments[index], exec), index);
       }
     };
 

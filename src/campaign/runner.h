@@ -20,6 +20,10 @@
 
 #include "campaign/experiment.h"
 
+namespace gremlin::control {
+class RuleCache;
+}
+
 namespace gremlin::campaign {
 
 struct RunnerOptions {
@@ -37,6 +41,16 @@ struct RunnerOptions {
   // so disable this (--no-early-exit) when fingerprints must be
   // byte-identical to a full run.
   bool early_exit = true;
+
+  // Warm-world execution: each worker keeps long-lived Simulations (one per
+  // distinct AppSpec identity, small bounded pool) and deep-resets them
+  // between experiments instead of destructing/reconstructing, with fault
+  // translations memoized per world (control::RuleCache). Results are
+  // byte-identical to cold construction — fingerprint() and
+  // verdict_fingerprint() both — enforced by differential tests and the CI
+  // warm-cold job. Custom experiments and non-reusable specs fall back to
+  // cold construction automatically; --cold disables reuse entirely.
+  bool warm_worlds = true;
 
   // Optional progress hook, invoked after each experiment completes.
   // Called from worker threads under an internal mutex — keep it cheap.
@@ -141,6 +155,17 @@ class CampaignRunner {
   static ExperimentResult run_in(const Experiment& experiment,
                                  sim::Simulation* sim,
                                  const ExecOptions& exec);
+
+  // The warm-path core run_one/run_in delegate to. `graph` non-null skips
+  // AppSpec::instantiate (the sim already hosts the deployment — freshly
+  // reset); `rule_cache` non-null memoizes fault translation. Both null
+  // reproduces run_in exactly. Used by WarmWorld; most callers want run_one
+  // or WarmWorld::run instead.
+  static ExperimentResult run_prepared(const Experiment& experiment,
+                                       sim::Simulation* sim,
+                                       const topology::AppGraph* graph,
+                                       control::RuleCache* rule_cache,
+                                       const ExecOptions& exec);
 
   // Legacy single-flag forms. run_one keeps the online defaults; run_in
   // runs to quiescence and preserves the log, because its callers read

@@ -1,0 +1,26 @@
+#include "campaign/warm_world.h"
+
+namespace gremlin::campaign {
+
+ExperimentResult WarmWorld::run(const Experiment& experiment,
+                                const ExecOptions& exec) {
+  if (experiment.custom || !app_.reusable) {
+    // Cold fallback: the custom hook owns the session and may mutate the
+    // deployment in ways reset() cannot undo.
+    return CampaignRunner::run_one(experiment, exec);
+  }
+  if (sim_ == nullptr) {
+    sim::SimulationConfig cfg;
+    cfg.seed = experiment.seed;
+    sim_ = std::make_unique<sim::Simulation>(cfg);
+    graph_ = app_.instantiate(sim_.get());
+    sim_->mark_baseline();
+  } else {
+    sim_->reset(experiment.seed);
+  }
+  ++runs_;
+  return CampaignRunner::run_prepared(experiment, sim_.get(), &graph_,
+                                      &rule_cache_, exec);
+}
+
+}  // namespace gremlin::campaign

@@ -1,0 +1,60 @@
+// WarmWorld: a long-lived deployment reused across experiments.
+//
+// Campaigns and fault-space searches run thousands of experiments that
+// differ only in fault set and seed; rebuilding the Simulation per
+// experiment (services, instances, agents, dep caches) dominates small-app
+// experiment cost. A WarmWorld builds the AppSpec's deployment once, marks
+// it as the baseline, and between experiments calls Simulation::reset(seed)
+// — a deep reset restoring the exact state a cold build with that seed
+// would start from — plus memoizes fault-rule translation per deployment
+// graph (control::RuleCache).
+//
+// Contract: WarmWorld::run is byte-identical (fingerprint() AND
+// verdict_fingerprint()) to CampaignRunner::run_one for every experiment.
+// tests/warm_world_test.cc enforces this differentially; the CI
+// warm-cold-differential job re-checks it end to end.
+//
+// Cold fallback: custom experiments (their hook drives the session
+// imperatively and may mutate the deployment arbitrarily) and specs marked
+// !reusable run on a fresh throwaway Simulation and leave the world
+// untouched.
+//
+// Not thread-safe; each campaign worker owns its pool of worlds.
+#pragma once
+
+#include <memory>
+
+#include "campaign/runner.h"
+#include "control/rule_cache.h"
+#include "sim/simulation.h"
+#include "topology/graph.h"
+
+namespace gremlin::campaign {
+
+class WarmWorld {
+ public:
+  explicit WarmWorld(AppSpec app) : app_(std::move(app)) {}
+
+  // Runs one experiment on the warm deployment. `experiment.app` must be a
+  // copy of the spec this world was built from (same identity()); sweep
+  // generators and seed replication guarantee that.
+  ExperimentResult run(const Experiment& experiment, const ExecOptions& exec);
+
+  const AppSpec& app() const { return app_; }
+  // Null until the first (non-fallback) run builds the deployment. After a
+  // preserve_log run, the log is readable here (pruner baseline).
+  sim::Simulation* simulation() { return sim_.get(); }
+  const topology::AppGraph& graph() const { return graph_; }
+  const control::RuleCache& rule_cache() const { return rule_cache_; }
+  // Experiments executed warm (excludes cold fallbacks).
+  size_t runs() const { return runs_; }
+
+ private:
+  AppSpec app_;
+  std::unique_ptr<sim::Simulation> sim_;
+  topology::AppGraph graph_;
+  control::RuleCache rule_cache_;
+  size_t runs_ = 0;
+};
+
+}  // namespace gremlin::campaign

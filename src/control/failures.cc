@@ -1,5 +1,7 @@
 #include "control/failures.h"
 
+#include <cstring>
+
 namespace gremlin::control {
 namespace {
 
@@ -113,6 +115,47 @@ FailureSpec FailureSpec::partition(std::set<std::string> group) {
   s.kind = Kind::kPartition;
   s.group = std::move(group);
   return s;
+}
+
+std::string FailureSpec::fingerprint() const {
+  const auto bits = [](double v) {
+    uint64_t u = 0;
+    static_assert(sizeof(u) == sizeof(v));
+    std::memcpy(&u, &v, sizeof(u));
+    return std::to_string(u);
+  };
+  std::string out;
+  out += std::to_string(static_cast<int>(kind));
+  out += '|';
+  out += a;
+  out += '|';
+  out += b;
+  out += '|';
+  for (const auto& member : group) {
+    out += member;
+    out += ',';
+  }
+  out += '|';
+  out += pattern;
+  out += '|';
+  out += bits(probability);
+  out += '|';
+  out += std::to_string(error);
+  out += '|';
+  out += std::to_string(delay.count());
+  out += '|';
+  out += bits(overload_abort_fraction);
+  out += '|';
+  out += std::to_string(overload_delay.count());
+  out += '|';
+  out += body_pattern;
+  out += '|';
+  out += replace_bytes;
+  out += '|';
+  out += std::to_string(static_cast<int>(on));
+  out += '|';
+  out += std::to_string(max_matches);
+  return out;
 }
 
 const char* FailureSpec::kind_name() const {

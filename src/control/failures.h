@@ -78,6 +78,13 @@ struct FailureSpec {
   static FailureSpec partition(std::set<std::string> group);
 
   const char* kind_name() const;
+
+  // Byte-exact digest of every field: equal fingerprints mean translation
+  // produces identical rules against a given graph and sequence position.
+  // The fault-rule compilation cache keys on this (sweeps repeat the same
+  // spec across seed replications). Doubles are serialized by bit pattern,
+  // not decimal formatting, so near-equal values never collide.
+  std::string fingerprint() const;
 };
 
 // Expands a spec into fault rules using the application graph. Fails when

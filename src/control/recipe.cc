@@ -6,12 +6,22 @@ namespace gremlin::control {
 
 TestSession::TestSession(sim::Simulation* sim, topology::AppGraph graph)
     : sim_(sim),
-      graph_(std::move(graph)),
+      owned_graph_(
+          std::make_unique<topology::AppGraph>(std::move(graph))),
+      graph_(owned_graph_.get()),
       translator_(graph_),
       orchestrator_(&sim->deployment()) {}
 
-Result<size_t> TestSession::apply(const FailureSpec& spec) {
-  auto rules = translator_.translate(spec);
+TestSession::TestSession(sim::Simulation* sim,
+                         const topology::AppGraph* graph)
+    : sim_(sim),
+      graph_(graph),
+      translator_(graph_),
+      orchestrator_(&sim->deployment()) {}
+
+Result<size_t> TestSession::apply(const FailureSpec& spec, RuleCache* cache) {
+  auto rules = cache != nullptr ? cache->translate(translator_, spec)
+                                : translator_.translate(spec);
   if (!rules.ok()) return rules.error();
   auto installed = orchestrator_.install(rules.value());
   if (!installed.ok()) return installed.error();
@@ -57,10 +67,15 @@ LoadResult TestSession::run_load(const std::string& client,
   result->latencies.resize(options.count);
   result->statuses.resize(options.count);
 
+  // Intern the edge once; every request then routes through the flat
+  // service table instead of a per-request string lookup.
+  const Symbol client_sym(client);
+  const Symbol target_sym(target);
+
   if (options.closed_loop) {
     // Issue request i+1 only once request i completed.
     auto send = std::make_shared<std::function<void(size_t)>>();
-    *send = [this, result, options, client, target, send](size_t i) {
+    *send = [this, result, options, client_sym, target_sym, send](size_t i) {
       if (i >= options.count) return;
       sim::SimRequest req;
       req.request_id = options.id_prefix + std::to_string(i);
@@ -68,7 +83,7 @@ LoadResult TestSession::run_load(const std::string& client,
       req.method = options.method;
       req.body = options.body;
       const TimePoint sent = sim_->now();
-      sim_->inject(client, target, std::move(req),
+      sim_->inject(client_sym, target_sym, std::move(req),
                    [this, result, options, i, sent, send](
                        const sim::SimResponse& resp) {
                      result->latencies[i] = sim_->now() - sent;
@@ -78,22 +93,23 @@ LoadResult TestSession::run_load(const std::string& client,
                      ++result->completed;
                      if (resp.failed()) ++result->failures;
                      if (response_observer_) response_observer_(resp.failed());
-                     sim_->schedule(options.gap,
-                                    [send, i] { (*send)(i + 1); });
+                     sim_->schedule_timer(options.gap,
+                                          [send, i] { (*send)(i + 1); });
                    });
     };
     (*send)(0);
   } else {
     for (size_t i = 0; i < options.count; ++i) {
       const TimePoint at = sim_->now() + options.gap * static_cast<int64_t>(i);
-      sim_->schedule_at(at, [this, result, options, i, client, target] {
+      sim_->schedule_at(at, [this, result, options, i, client_sym,
+                             target_sym] {
         sim::SimRequest req;
         req.request_id = options.id_prefix + std::to_string(i);
         req.uri = options.uri;
         req.method = options.method;
         req.body = options.body;
         const TimePoint sent = sim_->now();
-        sim_->inject(client, target, std::move(req),
+        sim_->inject(client_sym, target_sym, std::move(req),
                      [this, result, i, sent](const sim::SimResponse& resp) {
                        result->latencies[i] = sim_->now() - sent;
                        result->statuses[i] = resp.connection_reset ||

@@ -17,11 +17,13 @@
 //   ...
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "control/checker.h"
 #include "control/orchestrator.h"
+#include "control/rule_cache.h"
 #include "control/translator.h"
 #include "sim/simulation.h"
 
@@ -61,13 +63,20 @@ class TestSession {
  public:
   TestSession(sim::Simulation* sim, topology::AppGraph graph);
 
+  // Borrowing form: `graph` must outlive the session. The warm-world runner
+  // caches one graph per deployment, so per-experiment sessions skip two
+  // AppGraph copies (session + translator).
+  TestSession(sim::Simulation* sim, const topology::AppGraph* graph);
+
   RecipeTranslator& translator() { return translator_; }
   FailureOrchestrator& orchestrator() { return orchestrator_; }
   sim::Simulation& sim() { return *sim_; }
 
   // Translates a failure scenario and installs the rules on all affected
-  // agents; returns the number of rules installed.
-  Result<size_t> apply(const FailureSpec& spec);
+  // agents; returns the number of rules installed. With a `cache`, the
+  // translation is memoized (see RuleCache) — rule IDs are byte-identical
+  // either way.
+  Result<size_t> apply(const FailureSpec& spec, RuleCache* cache = nullptr);
   Result<size_t> apply_all(const std::vector<FailureSpec>& specs);
   VoidResult clear_faults();
 
@@ -98,7 +107,7 @@ class TestSession {
 
   // Assertion checker over the collected logs.
   AssertionChecker checker() const {
-    return AssertionChecker(&sim_->log_store(), &graph_);
+    return AssertionChecker(&sim_->log_store(), graph_);
   }
 
   // Records an assertion outcome in the session report; returns passed.
@@ -108,11 +117,12 @@ class TestSession {
   bool all_passed() const;
   std::string report() const;
 
-  const topology::AppGraph& graph() const { return graph_; }
+  const topology::AppGraph& graph() const { return *graph_; }
 
  private:
   sim::Simulation* sim_;
-  topology::AppGraph graph_;
+  std::unique_ptr<const topology::AppGraph> owned_graph_;  // null: borrowed
+  const topology::AppGraph* graph_;
   RecipeTranslator translator_;
   FailureOrchestrator orchestrator_;
   std::vector<CheckResult> results_;

@@ -1,0 +1,25 @@
+#include "control/rule_cache.h"
+
+namespace gremlin::control {
+
+Result<std::vector<faults::FaultRule>> RuleCache::translate(
+    const RecipeTranslator& translator, const FailureSpec& spec) {
+  std::string key = spec.fingerprint();
+  key += '@';
+  key += std::to_string(translator.sequence());
+
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++hits_;
+    translator.advance_sequence(it->second.size());
+    return it->second;
+  }
+
+  auto rules = translator.translate(spec);
+  if (!rules.ok()) return rules;
+  ++misses_;
+  cache_.emplace(std::move(key), rules.value());
+  return rules;
+}
+
+}  // namespace gremlin::control

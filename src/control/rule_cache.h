@@ -1,0 +1,44 @@
+// RuleCache: fault-rule compilation cache for warm-world execution.
+//
+// Sweep generators repeat the same FailureSpec across many seed
+// replications; translating it against the same graph from the same rule-ID
+// sequence position produces the same rules every time. The cache keys on
+// (FailureSpec::fingerprint, translator sequence position) and replays the
+// memoized expansion on a hit, advancing the translator's sequence by the
+// cached rule count so rule IDs stay byte-identical to an uncached history.
+//
+// Graph identity is the cache's scope: one RuleCache serves exactly one
+// deployment graph (a campaign::WarmWorld owns one per AppSpec), so the
+// graph never appears in the key.
+//
+// Not thread-safe; each campaign worker owns its worlds and their caches.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "control/translator.h"
+
+namespace gremlin::control {
+
+class RuleCache {
+ public:
+  // Expands `spec` through `translator`, consulting the cache. Hit or miss,
+  // the translator's sequence advances exactly as a direct translate()
+  // would. Translation errors are returned uncached (and cost nothing to
+  // re-derive).
+  Result<std::vector<faults::FaultRule>> translate(
+      const RecipeTranslator& translator, const FailureSpec& spec);
+
+  size_t hits() const { return hits_; }
+  size_t misses() const { return misses_; }
+  size_t size() const { return cache_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::vector<faults::FaultRule>> cache_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+};
+
+}  // namespace gremlin::control

@@ -3,6 +3,7 @@
 // logical application graph (Section 4.2).
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "control/failures.h"
@@ -13,9 +14,15 @@ namespace gremlin::control {
 class RecipeTranslator {
  public:
   explicit RecipeTranslator(topology::AppGraph graph)
-      : graph_(std::move(graph)) {}
+      : owned_(std::make_unique<topology::AppGraph>(std::move(graph))),
+        graph_(owned_.get()) {}
 
-  const topology::AppGraph& graph() const { return graph_; }
+  // Borrowing form: `graph` must outlive the translator. Warm-world callers
+  // cache one graph per deployment and skip the per-session copy.
+  explicit RecipeTranslator(const topology::AppGraph* graph)
+      : graph_(graph) {}
+
+  const topology::AppGraph& graph() const { return *graph_; }
 
   // Expands one failure scenario. Rule IDs are numbered from a translator-
   // local sequence: deterministic for a given call history, unique across
@@ -23,7 +30,7 @@ class RecipeTranslator {
   // and still remove the two rule sets independently).
   Result<std::vector<faults::FaultRule>> translate(
       const FailureSpec& spec) const {
-    return translate_failure(graph_, spec, &seq_);
+    return translate_failure(*graph_, spec, &seq_);
   }
 
   // Expands a whole scenario list, concatenating the rules in order (rule
@@ -31,8 +38,15 @@ class RecipeTranslator {
   Result<std::vector<faults::FaultRule>> translate_all(
       const std::vector<FailureSpec>& specs) const;
 
+  // Rule-ID sequence introspection for the fault-rule compilation cache: a
+  // cache hit must advance the sequence by exactly the cached rule count so
+  // rule IDs stay byte-identical to an uncached translation history.
+  uint64_t sequence() const { return seq_; }
+  void advance_sequence(uint64_t n) const { seq_ += n; }
+
  private:
-  topology::AppGraph graph_;
+  std::unique_ptr<const topology::AppGraph> owned_;  // null when borrowing
+  const topology::AppGraph* graph_;
   mutable uint64_t seq_ = 0;
 };
 

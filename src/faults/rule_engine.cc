@@ -52,6 +52,13 @@ void RuleEngine::clear() {
   total_matches_ = 0;
 }
 
+void RuleEngine::reset(uint64_t seed, std::string_view seed_label) {
+  std::lock_guard lock(mu_);
+  rules_.clear();
+  total_matches_ = 0;
+  rng_ = Rng(seed).fork(seed_label);
+}
+
 size_t RuleEngine::rule_count() const {
   std::lock_guard lock(mu_);
   return rules_.size();

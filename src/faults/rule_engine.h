@@ -66,6 +66,12 @@ class RuleEngine {
   bool remove_rule(const std::string& id);
   void clear();
 
+  // clear() plus a reseed of the private random stream, as if the engine
+  // had been constructed with (seed, seed_label). Warm-world reuse: lets a
+  // long-lived agent start each experiment from the exact RNG state a
+  // freshly built agent would have.
+  void reset(uint64_t seed, std::string_view seed_label);
+
   size_t rule_count() const;
   std::vector<FaultRule> rules() const;
 

@@ -83,8 +83,13 @@ void LogStore::append_all(RecordList&& records) {
 void LogStore::clear() {
   std::lock_guard lock(mu_);
   records_.clear();
-  by_edge_.clear();
-  by_id_.clear();
+  // Keep the index *nodes* and the position vectors' capacity: warm-world
+  // runs replay the same bounded vocabulary of edges and request IDs
+  // ("test-N"), so the next experiment re-fills these buckets without
+  // re-allocating map nodes. An empty bucket yields zero candidates, which
+  // is indistinguishable from an absent key for every query path.
+  for (auto& [edge, positions] : by_edge_) positions.clear();
+  for (auto& [id, positions] : by_id_) positions.clear();
   dropped_ = 0;
 }
 

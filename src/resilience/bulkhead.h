@@ -27,6 +27,14 @@ class Bulkhead {
   int in_flight() const;
   uint64_t rejected() const;
 
+  // Restores the pristine post-construction state (the capacity is
+  // configuration and survives; warm-world reuse).
+  void reset() {
+    std::lock_guard lock(mu_);
+    in_flight_ = 0;
+    rejected_ = 0;
+  }
+
  private:
   const int max_concurrent_;
   mutable std::mutex mu_;

@@ -38,6 +38,16 @@ class CircuitBreaker {
   State state() const { return state_; }
   const CircuitBreakerConfig& config() const { return config_; }
 
+  // Restores the pristine post-construction state (warm-world reuse: a
+  // reset deployment must behave byte-identically to a fresh one).
+  void reset() {
+    state_ = State::kClosed;
+    opened_at_ = TimePoint{};
+    consecutive_failures_ = 0;
+    half_open_successes_ = 0;
+    times_opened_ = 0;
+  }
+
   // Counters exposed for observability / tests.
   int consecutive_failures() const { return consecutive_failures_; }
   int half_open_successes() const { return half_open_successes_; }

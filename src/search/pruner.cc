@@ -18,6 +18,28 @@ Baseline run_baseline(const campaign::Experiment& experiment) {
   return baseline;
 }
 
+Baseline run_baseline(const campaign::Experiment& experiment,
+                      campaign::WarmWorld* world) {
+  if (world == nullptr || !world->app().reusable) {
+    return run_baseline(experiment);
+  }
+  campaign::Experiment clean = experiment;
+  clean.id = "baseline";
+  clean.failures.clear();
+  clean.custom = nullptr;
+
+  // Mirror run_in's legacy exec shape: full run, log preserved — pruning
+  // needs the complete observed call graph.
+  campaign::ExecOptions exec;
+  exec.keep_latencies = false;
+  exec.early_exit = false;
+  exec.preserve_log = true;
+  Baseline baseline;
+  baseline.result = world->run(clean, exec);
+  baseline.call_graph = world->simulation()->log_store().call_graph();
+  return baseline;
+}
+
 const char* to_string(PruneVerdict verdict) {
   switch (verdict) {
     case PruneVerdict::kKeep:

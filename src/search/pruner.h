@@ -26,6 +26,7 @@
 
 #include "campaign/experiment.h"
 #include "campaign/runner.h"
+#include "campaign/warm_world.h"
 #include "logstore/store.h"
 #include "search/combinations.h"
 
@@ -42,6 +43,13 @@ struct Baseline {
 // experiment's checks are evaluated as-is: a baseline that fails its own
 // assertions makes every search verdict meaningless, and the search aborts.
 Baseline run_baseline(const campaign::Experiment& experiment);
+
+// As above, but replayed on a caller-provided warm world that stays alive
+// for the rest of the search (shrink probes reuse it). Byte-identical to
+// the cold form by the warm-world contract; falls back to it when the
+// world's spec is not reusable.
+Baseline run_baseline(const campaign::Experiment& experiment,
+                      campaign::WarmWorld* world);
 
 enum class PruneVerdict {
   kKeep,             // run it

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <map>
+#include <optional>
+
+#include "campaign/warm_world.h"
 
 namespace gremlin::search {
 
@@ -81,10 +84,16 @@ SearchOutcome run_search(const campaign::AppSpec& app,
   outcome.generated = combos.size();
   outcome.truncated = truncated;
 
-  // Baseline replay: verdict reference plus the observed call graph.
+  // Baseline replay: verdict reference plus the observed call graph. In
+  // warm mode the baseline's deployment stays alive — the shrink probes
+  // below reset and reuse it instead of rebuilding per probe.
+  std::optional<campaign::WarmWorld> world;
+  if (options.warm) world.emplace(app);
   Combination empty_combo;
-  const Baseline baseline = run_baseline(
-      make_experiment(app, points, empty_combo, options, target, checks));
+  const campaign::Experiment baseline_experiment =
+      make_experiment(app, points, empty_combo, options, target, checks);
+  const Baseline baseline = world ? run_baseline(baseline_experiment, &*world)
+                                  : run_baseline(baseline_experiment);
   outcome.baseline_passed = baseline.result.passed();
   outcome.baseline_requests = baseline.result.requests;
   outcome.observed_edges = baseline.call_graph.edges.size();
@@ -135,6 +144,7 @@ SearchOutcome run_search(const campaign::AppSpec& app,
   runner_options.threads = options.threads;
   runner_options.keep_latencies = false;
   runner_options.early_exit = options.early_exit;
+  runner_options.warm_worlds = options.warm;
   const campaign::CampaignRunner runner(runner_options);
   const campaign::CampaignResult campaign = runner.run(experiments);
   outcome.threads = campaign.threads;
@@ -169,8 +179,12 @@ SearchOutcome run_search(const campaign::AppSpec& app,
       shrink_exec.early_exit = options.early_exit;
       ShrinkResult shrunk = shrink(
           experiments[i],
-          [&shrink_exec](const campaign::Experiment& e) {
-            return campaign::CampaignRunner::run_one(e, shrink_exec);
+          [&shrink_exec, &world](const campaign::Experiment& e) {
+            // Probes run sequentially after the campaign batch; reusing the
+            // baseline's warm world here amortizes construction across the
+            // whole shrink budget.
+            return world ? world->run(e, shrink_exec)
+                         : campaign::CampaignRunner::run_one(e, shrink_exec);
           },
           options.shrink_options);
       outcome.shrink_runs += shrunk.runs;

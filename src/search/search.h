@@ -44,6 +44,11 @@ struct SearchOptions {
   // The baseline replay always runs to quiescence — pruning needs the
   // complete observed call graph.
   bool early_exit = true;
+
+  // Warm-world execution for the baseline replay, the campaign batch, and
+  // every shrink probe (byte-identical results; see RunnerOptions). The
+  // baseline's world is kept alive and reused by the shrink probes.
+  bool warm = true;
   ShrinkOptions shrink_options;
 };
 

@@ -66,12 +66,60 @@ void EventQueue::schedule_at(TimePoint at, Action action) {
   sift_up(heap_.size() - 1);
 }
 
+void EventQueue::schedule_timer(TimePoint at, Duration delay, Action action) {
+  Lane* lane = nullptr;
+  for (Lane& l : lanes_) {
+    if (l.delay == delay) {
+      lane = &l;
+      break;
+    }
+  }
+  if (lane == nullptr) {
+    if (lanes_.size() >= kMaxLanes) {
+      schedule_at(at, std::move(action));
+      return;
+    }
+    lanes_.push_back(Lane{delay, {}});
+    lane = &lanes_.back();
+  }
+  if (!lane->fifo.empty() && at < lane->fifo.back().at) {
+    // Out-of-order birth (caller's clock was not monotone): the lane
+    // invariant would break, so this timer takes the ordinary heap path.
+    schedule_at(at, std::move(action));
+    return;
+  }
+  const uint32_t idx = acquire_node();
+  node(idx).action = std::move(action);
+  lane->fifo.push_back(Entry{at, next_seq_++, idx});
+  ++lanes_pending_;
+}
+
+const EventQueue::Entry* EventQueue::best_entry(int* lane) const {
+  if (lane != nullptr) *lane = -1;
+  const Entry* best = heap_.empty() ? nullptr : &heap_[0];
+  for (size_t i = 0; i < lanes_.size(); ++i) {
+    if (lanes_[i].fifo.empty()) continue;
+    const Entry& front = lanes_[i].fifo.front();
+    if (best == nullptr || front.before(*best)) {
+      best = &front;
+      if (lane != nullptr) *lane = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
 TimePoint EventQueue::pop_and_run() {
-  const Entry top = heap_[0];
+  int lane = -1;
+  const Entry top = *best_entry(&lane);
   Action action = std::move(node(top.idx).action);
-  heap_[0] = heap_.back();
-  heap_.pop_back();
-  if (!heap_.empty()) sift_down(0);
+  if (lane < 0) {
+    heap_[0] = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+  } else {
+    lanes_[static_cast<size_t>(lane)].fifo.pop_front();
+    --lanes_pending_;
+  }
   // Recycle before running: the action may schedule follow-up events, which
   // then reuse this very slot instead of growing the pool.
   release_node(top.idx);
@@ -82,6 +130,14 @@ TimePoint EventQueue::pop_and_run() {
 void EventQueue::clear() {
   for (const Entry& e : heap_) release_node(e.idx);
   heap_.clear();
+  for (Lane& lane : lanes_) {
+    for (const Entry& e : lane.fifo) release_node(e.idx);
+  }
+  // Drop the lane table itself: a reused queue must rebuild lanes in the
+  // same order a fresh queue would, so warm runs take byte-identical
+  // scheduling paths (including the lane-table-full heap fallback).
+  lanes_.clear();
+  lanes_pending_ = 0;
   next_seq_ = 0;
 }
 

@@ -14,9 +14,20 @@
 // simulator-sized inline buffer, so typical closures never touch the heap
 // either (std::function would allocate for any capture larger than two
 // pointers).
+//
+// Timer events (fixed relative delay from a monotone "now", e.g. the
+// per-attempt call timeouts) bypass the heap: for a given delay they are
+// scheduled in fire-time order, so each distinct delay gets an O(1) FIFO
+// lane. This matters beyond the O(log n) saved on the timers themselves:
+// call timeouts outlive their (fast) calls by design, so in the heap they
+// accumulate for the whole run and deepen every sift for the transient
+// events doing the real work. pop order stays the exact global (time, seq)
+// order — the pop compares the heap top against each lane front — so runs
+// are byte-identical to an all-heap schedule.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <vector>
 
@@ -33,11 +44,18 @@ class EventQueue {
 
   void schedule_at(TimePoint at, Action action);
 
-  bool empty() const { return heap_.empty(); }
-  size_t size() const { return heap_.size(); }
+  // Schedules a timer event: `at` must be `delay` after the caller's
+  // monotone clock, so same-delay timers are born in fire-time order and
+  // append to an O(1) FIFO lane instead of the heap. A non-monotone insert
+  // or an exotic delay (lane table full) falls back to schedule_at — the
+  // lane is an optimization, never a semantic.
+  void schedule_timer(TimePoint at, Duration delay, Action action);
+
+  bool empty() const { return heap_.empty() && lanes_pending_ == 0; }
+  size_t size() const { return heap_.size() + lanes_pending_; }
 
   // Time of the earliest pending event; undefined when empty.
-  TimePoint next_time() const { return heap_[0].at; }
+  TimePoint next_time() const { return best_entry()->at; }
 
   // Removes and runs the earliest event; returns its timestamp. The event's
   // pool slot is recycled before the action runs, so actions that schedule
@@ -51,7 +69,7 @@ class EventQueue {
 
   // --- pool introspection (tests / benchmarks) ---
   size_t pool_capacity() const { return slabs_.size() * kSlabSize; }
-  size_t free_count() const { return pool_capacity() - heap_.size(); }
+  size_t free_count() const { return pool_capacity() - size(); }
 
   // Actual free-list walk (O(free nodes)), as opposed to the arithmetic
   // free_count(). After clear() — including an early-terminated run's
@@ -86,14 +104,27 @@ class EventQueue {
     return slabs_[idx >> kSlabBits][idx & (kSlabSize - 1)];
   }
 
+  // One FIFO of same-delay timers, sorted by (at, seq) by construction.
+  struct Lane {
+    Duration delay{};
+    std::deque<Entry> fifo;
+  };
+  static constexpr size_t kMaxLanes = 8;
+
   uint32_t acquire_node();
   void release_node(uint32_t idx);
   void sift_up(size_t pos);
   void sift_down(size_t pos);
+  // Global (time, seq) minimum across the heap top and the lane fronts;
+  // null when the queue is empty. `lane` (when non-null) receives the index
+  // of the winning lane, or -1 for the heap.
+  const Entry* best_entry(int* lane = nullptr) const;
 
   std::vector<std::unique_ptr<Node[]>> slabs_;  // stable slab-allocated pool
   uint32_t free_head_ = kNil;                   // LIFO free list
   std::vector<Entry> heap_;                     // 4-ary min-heap
+  std::vector<Lane> lanes_;                     // timer FIFOs, one per delay
+  size_t lanes_pending_ = 0;                    // events across all lanes
   uint64_t next_seq_ = 0;
 };
 

@@ -33,14 +33,15 @@ class OutboundCall : public std::enable_shared_from_this<OutboundCall> {
         dependency_(std::move(dependency)),
         request_(std::move(request)),
         cb_(std::move(cb)),
-        policy_(caller->policy_for(dependency_)),
+        info_(caller->dep_info(dependency_)),
+        policy_(*info_.policy),
         src_sym_(caller->agent()->service_symbol()),
-        dst_sym_(caller->dep_symbol(dependency_)) {}
+        dst_sym_(info_.symbol) {}
 
   void start() {
     if (policy_.has_bulkhead()) {
       // Isolated per-dependency pool: admission is immediate or rejected.
-      auto& bulkhead = caller_->bulkhead_for(dependency_);
+      auto& bulkhead = caller_->bulkhead_for(info_);
       if (!bulkhead.try_acquire()) {
         policy_failure(SimResponse::error(503, "bulkhead-saturated"));
         return;
@@ -68,7 +69,7 @@ class OutboundCall : public std::enable_shared_from_this<OutboundCall> {
 
   void start_attempt() {
     if (policy_.has_circuit_breaker()) {
-      auto& breaker = caller_->breaker_for(dependency_);
+      auto& breaker = caller_->breaker_for(info_);
       if (!breaker.allow_request(sim().now())) {
         policy_failure(SimResponse::error(503, "circuit-open"));
         return;
@@ -78,7 +79,7 @@ class OutboundCall : public std::enable_shared_from_this<OutboundCall> {
     const TimePoint attempt_start = sim().now();
     if (policy_.has_timeout()) {
       auto self = shared_from_this();
-      sim().schedule(policy_.timeout, [self, gen, attempt_start] {
+      sim().schedule_timer(policy_.timeout, [self, gen, attempt_start] {
         if (gen != self->generation_) return;  // a response won the race
         // The caller gave up: its sidecar observes the client closing the
         // connection and records the exchange as concluded with no
@@ -103,20 +104,22 @@ class OutboundCall : public std::enable_shared_from_this<OutboundCall> {
     view.body = request_.body;
     FaultDecision decision = caller_->agent()->engine().evaluate(view);
 
-    LogRecord rec;
-    rec.timestamp = sim().now();
-    rec.request_id = request_.request_id;
-    rec.src = src_sym_;
-    rec.dst = dst_sym_;
-    rec.kind = MessageKind::kRequest;
-    rec.method = request_.method;
-    rec.uri = request_.uri;
-    rec.fault = decision.action;
-    rec.rule_id = decision.rule_id;
-    if (decision.action == FaultKind::kDelay) {
-      rec.injected_delay = decision.delay;
+    if (caller_->agent()->recording()) {
+      LogRecord rec;
+      rec.timestamp = sim().now();
+      rec.request_id = request_.request_id;
+      rec.src = src_sym_;
+      rec.dst = dst_sym_;
+      rec.kind = MessageKind::kRequest;
+      rec.method = request_.method;
+      rec.uri = request_.uri;
+      rec.fault = decision.action;
+      rec.rule_id = decision.rule_id;
+      if (decision.action == FaultKind::kDelay) {
+        rec.injected_delay = decision.delay;
+      }
+      caller_->agent()->log(std::move(rec));
     }
-    caller_->agent()->log(std::move(rec));
 
     auto self = shared_from_this();
     switch (decision.action) {
@@ -127,16 +130,19 @@ class OutboundCall : public std::enable_shared_from_this<OutboundCall> {
                 : SimResponse::error(decision.abort_code, "gremlin-abort");
         log_response(resp, attempt_start, kDurationZero, FaultKind::kAbort,
                      decision.rule_id);
-        sim().schedule(kDurationZero, [self, gen, resp] {
+        sim().schedule_timer(kDurationZero, [self, gen, resp] {
           self->on_attempt_result(gen, resp);
         });
         return;
       }
       case FaultKind::kDelay: {
         const Duration injected = decision.delay;
-        sim().schedule(decision.delay, [self, gen, attempt_start, injected] {
-          self->forward(gen, attempt_start, nullptr, injected);
-        });
+        // Rule-injected delays are constant per rule, so they lane well.
+        sim().schedule_timer(decision.delay,
+                             [self, gen, attempt_start, injected] {
+                               self->forward(gen, attempt_start, nullptr,
+                                             injected);
+                             });
         return;
       }
       case FaultKind::kModify: {
@@ -161,7 +167,7 @@ class OutboundCall : public std::enable_shared_from_this<OutboundCall> {
     auto self = shared_from_this();
     const Duration out_latency =
         sim().network().latency(caller_name(), dependency_, &sim().rng());
-    ServiceInstance* target = caller_->pick_dep_instance(dependency_);
+    ServiceInstance* target = caller_->pick_dep_instance(info_);
     if (target == nullptr) {
       // No such service: the connection cannot be established. The caller
       // observes a reset after the network round trip would have failed.
@@ -216,8 +222,8 @@ class OutboundCall : public std::enable_shared_from_this<OutboundCall> {
       case FaultKind::kDelay: {
         const Duration total_injected = injected + decision.delay;
         const Symbol rule_id = decision.rule_id;
-        sim().schedule(decision.delay, [self, gen, attempt_start, resp,
-                                        total_injected, rule_id] {
+        sim().schedule_timer(decision.delay, [self, gen, attempt_start, resp,
+                                              total_injected, rule_id] {
           self->log_response(resp, attempt_start, total_injected,
                              FaultKind::kDelay, rule_id);
           self->on_attempt_result(gen, resp);
@@ -244,6 +250,7 @@ class OutboundCall : public std::enable_shared_from_this<OutboundCall> {
 
   void log_response(const SimResponse& resp, TimePoint attempt_start,
                     Duration injected, FaultKind fault, Symbol rule_id) {
+    if (!caller_->agent()->recording()) return;
     LogRecord rec;
     rec.timestamp = sim().now();
     rec.request_id = request_.request_id;
@@ -266,7 +273,7 @@ class OutboundCall : public std::enable_shared_from_this<OutboundCall> {
 
     const bool failed = resp.failed();
     if (policy_.has_circuit_breaker()) {
-      auto& breaker = caller_->breaker_for(dependency_);
+      auto& breaker = caller_->breaker_for(info_);
       if (failed) {
         breaker.record_failure(sim().now());
       } else {
@@ -282,7 +289,7 @@ class OutboundCall : public std::enable_shared_from_this<OutboundCall> {
       const Duration backoff =
           policy_.retry.backoff_before(completed_attempts_);
       auto self = shared_from_this();
-      sim().schedule(backoff, [self] { self->start_attempt(); });
+      sim().schedule_timer(backoff, [self] { self->start_attempt(); });
       return;
     }
     policy_failure(resp);
@@ -303,7 +310,7 @@ class OutboundCall : public std::enable_shared_from_this<OutboundCall> {
     if (finished_) return;
     finished_ = true;
     if (holding_bulkhead_) {
-      caller_->bulkhead_for(dependency_).release();
+      caller_->bulkhead_for(info_).release();
       holding_bulkhead_ = false;
     }
     if (holding_shared_) {
@@ -317,6 +324,11 @@ class OutboundCall : public std::enable_shared_from_this<OutboundCall> {
   const std::string dependency_;
   SimRequest request_;
   ResponseCallback cb_;
+  // Per-dependency cache entry, resolved once here; every subsequent
+  // policy decision (breaker admission/reporting, bulkhead, instance pick)
+  // reuses it instead of re-finding the dependency by name. The entry
+  // outlives the call: deps_ is node-based and never erased.
+  ServiceInstance::DepInfo& info_;
   // Reference into the service config (stable for the simulation's
   // lifetime); copying would clone the fallback/breaker payloads per call.
   const resilience::CallPolicy& policy_;
@@ -423,7 +435,9 @@ void ServiceInstance::begin_processing(const SimRequest& request,
   };
   auto ctx =
       std::make_shared<RequestContext>(this, request, std::move(wrapped));
-  sim_->schedule(processing, [this, ctx] {
+  // Constant per service config (or per slowdown rule when scaled), so the
+  // queue lanes it instead of paying heap sifts per request.
+  sim_->schedule_timer(processing, [this, ctx] {
     if (service_->config().handler) {
       service_->config().handler(ctx);
     } else {
@@ -438,7 +452,7 @@ void ServiceInstance::finish_processing() {
     auto next = std::move(server_queue_.front());
     server_queue_.pop_front();
     // Fresh event so the completing request's stack unwinds first.
-    sim_->schedule(kDurationZero, std::move(next));
+    sim_->schedule_timer(kDurationZero, std::move(next));
   }
 }
 
@@ -477,19 +491,17 @@ const resilience::CallPolicy& ServiceInstance::policy_for(
   return it != cfg.policies.end() ? it->second : cfg.default_policy;
 }
 
-resilience::CircuitBreaker& ServiceInstance::breaker_for(
-    const std::string& dep) {
-  auto it = breakers_.find(dep);
-  if (it == breakers_.end()) {
-    const auto& policy = policy_for(dep);
-    const auto config = policy.circuit_breaker.value_or(
+resilience::CircuitBreaker& ServiceInstance::breaker_for(DepInfo& info) {
+  if (info.breaker == nullptr) {
+    const auto config = info.policy->circuit_breaker.value_or(
         resilience::CircuitBreakerConfig{});
-    it = breakers_
-             .emplace(dep,
-                      std::make_unique<resilience::CircuitBreaker>(config))
-             .first;
+    info.breaker =
+        breakers_
+            .emplace(info.symbol.str(),
+                     std::make_unique<resilience::CircuitBreaker>(config))
+            .first->second.get();
   }
-  return *it->second;
+  return *info.breaker;
 }
 
 bool ServiceInstance::shared_pool_enabled() const {
@@ -513,45 +525,78 @@ void ServiceInstance::release_shared_slot() {
     shared_waiters_.pop_front();
     ++shared_in_flight_;
     // Run on a fresh event so the releasing call's stack unwinds first.
-    sim_->schedule(kDurationZero, std::move(fn));
+    sim_->schedule_timer(kDurationZero, std::move(fn));
   }
 }
 
 ServiceInstance::DepInfo& ServiceInstance::dep_info(const std::string& dep) {
   const auto it = deps_.find(dep);
   if (it != deps_.end()) return it->second;
-  return deps_.emplace(dep, DepInfo{Symbol(dep), nullptr}).first->second;
+  DepInfo info;
+  info.symbol = Symbol(dep);
+  info.policy = &policy_for(dep);
+  return deps_.emplace(dep, info).first->second;
 }
 
-Symbol ServiceInstance::dep_symbol(const std::string& dep) {
-  return dep_info(dep).symbol;
-}
-
-ServiceInstance* ServiceInstance::pick_dep_instance(const std::string& dep) {
-  DepInfo& info = dep_info(dep);
+ServiceInstance* ServiceInstance::pick_dep_instance(DepInfo& info) {
   if (info.service == nullptr) {
-    info.service = sim_->find_service(dep);
+    // Resolve through the cached symbol — a flat-table index, not a string
+    // lookup (and no symbol-table traffic: the symbol was interned when the
+    // dep cache entry was built).
+    info.service = sim_->find_service(info.symbol);
     if (info.service == nullptr) return nullptr;
   }
   return info.service->next_instance();
 }
 
-resilience::Bulkhead& ServiceInstance::bulkhead_for(const std::string& dep) {
-  auto it = bulkheads_.find(dep);
-  if (it == bulkheads_.end()) {
-    const auto& policy = policy_for(dep);
-    it = bulkheads_
-             .emplace(dep, std::make_unique<resilience::Bulkhead>(
-                               policy.bulkhead_max_concurrent))
-             .first;
+bool ServiceInstance::pristine() const {
+  for (const auto& [dep, breaker] : breakers_) {
+    if (breaker->state() != resilience::CircuitBreaker::State::kClosed ||
+        breaker->consecutive_failures() != 0 ||
+        breaker->half_open_successes() != 0 || breaker->times_opened() != 0) {
+      return false;
+    }
   }
-  return *it->second;
+  for (const auto& [dep, bulkhead] : bulkheads_) {
+    if (bulkhead->in_flight() != 0 || bulkhead->rejected() != 0) return false;
+  }
+  return requests_handled_ == 0 && shared_in_flight_ == 0 &&
+         shared_waiters_.empty() && server_in_flight_ == 0 &&
+         server_queue_.empty() && server_queue_peak_ == 0;
+}
+
+void ServiceInstance::reset(uint64_t seed) {
+  agent_->reset(seed);
+  // Breakers/bulkheads stay allocated (their config is derived from the
+  // immutable policy) and return to the closed/idle state a cold build's
+  // lazily created ones would start in.
+  for (auto& [dep, breaker] : breakers_) breaker->reset();
+  for (auto& [dep, bulkhead] : bulkheads_) bulkhead->reset();
+  for (auto& [dep, info] : deps_) info.service = nullptr;
+  requests_handled_ = 0;
+  shared_in_flight_ = 0;
+  shared_waiters_.clear();
+  server_in_flight_ = 0;
+  server_queue_.clear();
+  server_queue_peak_ = 0;
+}
+
+resilience::Bulkhead& ServiceInstance::bulkhead_for(DepInfo& info) {
+  if (info.bulkhead == nullptr) {
+    info.bulkhead =
+        bulkheads_
+            .emplace(info.symbol.str(),
+                     std::make_unique<resilience::Bulkhead>(
+                         info.policy->bulkhead_max_concurrent))
+            .first->second.get();
+  }
+  return *info.bulkhead;
 }
 
 // ---------------------------------------------------------------- Service
 
 SimService::SimService(Simulation* sim, ServiceConfig config)
-    : config_(std::move(config)) {
+    : config_(std::move(config)), symbol_(config_.name) {
   const int count = config_.instances < 1 ? 1 : config_.instances;
   instances_.reserve(static_cast<size_t>(count));
   for (int i = 0; i < count; ++i) {

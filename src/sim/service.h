@@ -164,19 +164,30 @@ class ServiceInstance {
   const std::shared_ptr<SimAgent>& agent() { return agent_; }
 
   const resilience::CallPolicy& policy_for(const std::string& dep) const;
-  resilience::CircuitBreaker& breaker_for(const std::string& dep);
-  resilience::Bulkhead& bulkhead_for(const std::string& dep);
 
-  // Interned name of `dep`, cached per instance so each outbound call costs
-  // a local map find instead of a symbol-table lock (which parallel
-  // campaign workers would contend on).
-  Symbol dep_symbol(const std::string& dep);
+  // Per-dependency call-path cache, resolved once per (instance, dep) name
+  // and handed to every outbound call: interned name, call policy, and the
+  // lazily created breaker/bulkhead — so the per-call hot path costs one
+  // map find total instead of one per policy decision (symbol, policy,
+  // breaker admission, breaker reporting, bulkhead, instance pick).
+  struct DepInfo {
+    Symbol symbol;
+    SimService* service = nullptr;  // resolved lazily; null until found
+    const resilience::CallPolicy* policy = nullptr;
+    resilience::CircuitBreaker* breaker = nullptr;  // created on first use
+    resilience::Bulkhead* bulkhead = nullptr;       // created on first use
+  };
+  // Stable reference: deps_ is node-based and entries are never erased
+  // (reset() only clears the re-resolvable service pointer).
+  DepInfo& dep_info(const std::string& dep);
 
-  // Round-robin target instance for `dep`, with the SimService pointer
-  // cached alongside the symbol. A missing service is re-resolved every
-  // attempt (it may be registered later), but the common path skips the
-  // simulation-wide service map.
-  ServiceInstance* pick_dep_instance(const std::string& dep);
+  resilience::CircuitBreaker& breaker_for(DepInfo& info);
+  resilience::Bulkhead& bulkhead_for(DepInfo& info);
+
+  // Round-robin target instance for the dependency. A missing service is
+  // re-resolved every attempt (it may be registered later), but the common
+  // path skips the simulation-wide service map.
+  ServiceInstance* pick_dep_instance(DepInfo& info);
 
   // Shared outbound pool (see ServiceConfig::shared_client_pool). `fn` runs
   // immediately when a slot is free, otherwise queues FIFO.
@@ -192,6 +203,18 @@ class ServiceInstance {
   size_t server_queue_depth() const { return server_queue_.size(); }
   size_t server_queue_peak() const { return server_queue_peak_; }
 
+  // Resilience-state introspection for reset-hygiene tests: true when every
+  // breaker is closed with zero counters and every bulkhead/pool/queue is
+  // idle — the state a freshly built instance starts in.
+  bool pristine() const;
+
+  // Warm-world reuse: restores the pristine post-construction state for
+  // `seed`. Breakers/bulkheads are reset in place (their configuration is
+  // immutable), queues and counters cleared, the sidecar agent's rules and
+  // RNG stream re-derived from `seed`, and cached dependency pointers
+  // dropped (the target service may have been removed).
+  void reset(uint64_t seed);
+
  private:
   friend class RequestContext;
 
@@ -205,12 +228,7 @@ class ServiceInstance {
   std::shared_ptr<SimAgent> agent_;
   std::map<std::string, std::unique_ptr<resilience::CircuitBreaker>> breakers_;
   std::map<std::string, std::unique_ptr<resilience::Bulkhead>> bulkheads_;
-  struct DepInfo {
-    Symbol symbol;
-    SimService* service = nullptr;  // resolved lazily; null until found
-  };
   std::map<std::string, DepInfo, std::less<>> deps_;
-  DepInfo& dep_info(const std::string& dep);
   uint64_t requests_handled_ = 0;
   int shared_in_flight_ = 0;
   std::deque<std::function<void()>> shared_waiters_;
@@ -224,6 +242,8 @@ class SimService {
   SimService(Simulation* sim, ServiceConfig config);
 
   const std::string& name() const { return config_.name; }
+  // Interned name, resolved once at construction (flat-table routing key).
+  Symbol symbol() const { return symbol_; }
   const ServiceConfig& config() const { return config_; }
   ServiceConfig& mutable_config() { return config_; }
 
@@ -237,8 +257,15 @@ class SimService {
     return instances_[rr_next_++ % instances_.size()].get();
   }
 
+  // Warm-world reuse: round-robin cursor back to zero, every instance reset.
+  void reset(uint64_t seed) {
+    rr_next_ = 0;
+    for (auto& instance : instances_) instance->reset(seed);
+  }
+
  private:
   ServiceConfig config_;
+  Symbol symbol_;
   std::vector<std::unique_ptr<ServiceInstance>> instances_;
   size_t rr_next_ = 0;
 };

@@ -46,6 +46,7 @@ Result<logstore::RecordList> SimAgent::drain_records() {
 }
 
 void SimAgent::log(logstore::LogRecord record) {
+  if (!recording_) return;
   std::lock_guard lock(mu_);
   record.instance = instance_sym_;
   records_.push_back(std::move(record));
@@ -54,6 +55,13 @@ void SimAgent::log(logstore::LogRecord record) {
 size_t SimAgent::buffered_records() const {
   std::lock_guard lock(mu_);
   return records_.size();
+}
+
+void SimAgent::reset(uint64_t seed) {
+  engine_.reset(seed, instance_id_);
+  recording_ = true;
+  std::lock_guard lock(mu_);
+  records_.clear();
 }
 
 }  // namespace gremlin::sim

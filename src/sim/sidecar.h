@@ -43,12 +43,27 @@ class SimAgent : public topology::AgentHandle {
   Symbol instance_symbol() const { return instance_sym_; }
   size_t buffered_records() const;
 
+  // Observation capture switch. When no consumer will ever read the records
+  // of a run (load-only assertions with the log store bypassed), the runner
+  // turns capture off so the data plane skips building and buffering
+  // LogRecords entirely. Fault injection is unaffected — rules still
+  // evaluate; only the observation side is suppressed. Restored to on by
+  // reset() so a warm world always starts a run in the cold-start state.
+  void set_recording(bool on) { recording_ = on; }
+  bool recording() const { return recording_; }
+
+  // Restores the pristine post-construction state for `seed`: rules gone,
+  // observation buffer empty, rule-engine RNG reseeded exactly as a fresh
+  // agent's would be (warm-world reuse).
+  void reset(uint64_t seed);
+
  private:
   const std::string service_;
   const std::string instance_id_;
   const Symbol service_sym_;
   const Symbol instance_sym_;
   faults::RuleEngine engine_;
+  bool recording_ = true;
   mutable std::mutex mu_;
   logstore::RecordList records_;
 };

@@ -18,6 +18,13 @@ void Simulation::schedule_at(TimePoint at, EventQueue::Action action) {
   queue_.schedule_at(at < now_ ? now_ : at, std::move(action));
 }
 
+void Simulation::schedule_timer(Duration delay, EventQueue::Action action) {
+  if (delay < kDurationZero) delay = kDurationZero;
+  // now_ is monotone, so same-delay timers are born in fire-time order —
+  // exactly the lane invariant schedule_timer needs.
+  queue_.schedule_timer(now_ + delay, delay, std::move(action));
+}
+
 size_t Simulation::run() {
   size_t processed = 0;
   while (!stop_requested_ && !queue_.empty()) {
@@ -55,18 +62,66 @@ SimService* Simulation::add_service(ServiceConfig config) {
   assert(!config.name.empty() && "service requires a name");
   auto service = std::make_unique<SimService>(this, std::move(config));
   SimService* raw = service.get();
-  const std::string name = raw->name();
-  assert(services_.count(name) == 0 && "duplicate service name");
+  const std::string& name = raw->name();
+  const uint32_t id = raw->symbol().id();
+  if (by_symbol_.size() <= id) by_symbol_.resize(id + 1, nullptr);
+  assert(by_symbol_[id] == nullptr && "duplicate service name");
   for (size_t i = 0; i < raw->instance_count(); ++i) {
+    raw->instance(i).agent()->set_recording(recording_);
     deployment_.add_instance(name, raw->instance(i).agent());
   }
-  services_[name] = std::move(service);
+  by_symbol_[id] = raw;
+  services_.push_back(std::move(service));
   return raw;
 }
 
 SimService* Simulation::find_service(const std::string& name) {
-  const auto it = services_.find(name);
-  return it == services_.end() ? nullptr : it->second.get();
+  return find_service(std::string_view(name));
+}
+
+SimService* Simulation::find_service(std::string_view name) {
+  // find() (not Symbol construction): lookups of unknown names must not
+  // grow the global symbol table.
+  const auto sym = SymbolTable::global().find(name);
+  return sym ? find_service(*sym) : nullptr;
+}
+
+SimService* Simulation::find_service(Symbol name) {
+  const uint32_t id = name.id();
+  return id < by_symbol_.size() ? by_symbol_[id] : nullptr;
+}
+
+void Simulation::reset(uint64_t seed) {
+  queue_.clear();
+  stop_requested_ = false;
+  now_ = TimePoint{};
+  events_processed_ = 0;
+  config_.seed = seed;
+  rng_ = Rng(seed);
+  log_store_.set_observer(nullptr);
+  log_store_.set_retention_limit(0);
+  log_store_.clear();
+  // Drop services added after the baseline (inject()'s lazily created edge
+  // clients): a cold build would not have them yet.
+  if (baseline_marked_) {
+    while (services_.size() > baseline_service_count_) {
+      SimService* extra = services_.back().get();
+      by_symbol_[extra->symbol().id()] = nullptr;
+      deployment_.remove_service(extra->name());
+      services_.pop_back();
+    }
+  }
+  for (auto& service : services_) service->reset(seed);
+  recording_ = true;  // SimAgent::reset already restored the agents
+}
+
+void Simulation::set_recording(bool on) {
+  recording_ = on;
+  for (auto& service : services_) {
+    for (size_t i = 0; i < service->instance_count(); ++i) {
+      service->instance(i).agent()->set_recording(on);
+    }
+  }
 }
 
 void Simulation::add_services_from_graph(
@@ -81,6 +136,16 @@ void Simulation::add_services_from_graph(
 }
 
 ServiceInstance* Simulation::pick_instance(const std::string& service) {
+  return pick_instance_view(service);
+}
+
+ServiceInstance* Simulation::pick_instance_view(std::string_view service) {
+  SimService* svc = find_service(service);
+  if (svc == nullptr) return nullptr;
+  return svc->next_instance();
+}
+
+ServiceInstance* Simulation::pick_instance(Symbol service) {
   SimService* svc = find_service(service);
   if (svc == nullptr) return nullptr;
   return svc->next_instance();
@@ -88,15 +153,23 @@ ServiceInstance* Simulation::pick_instance(const std::string& service) {
 
 void Simulation::inject(const std::string& client, const std::string& target,
                         SimRequest request, ResponseCallback cb) {
+  // Edge clients and load targets are service names — a bounded vocabulary,
+  // safe to intern.
+  inject(Symbol(client), Symbol(target), std::move(request), std::move(cb));
+}
+
+void Simulation::inject(Symbol client, Symbol target, SimRequest request,
+                        ResponseCallback cb) {
   SimService* svc = find_service(client);
   if (svc == nullptr) {
     ServiceConfig cfg;
-    cfg.name = client;
+    cfg.name = client.str();
     cfg.instances = 1;
     cfg.processing_time = kDurationZero;
     svc = add_service(std::move(cfg));
   }
-  svc->instance(0).call_dependency(target, std::move(request), std::move(cb));
+  svc->instance(0).call_dependency(target.str(), std::move(request),
+                                   std::move(cb));
 }
 
 }  // namespace gremlin::sim

@@ -9,10 +9,12 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <vector>
 
+#include "common/intern.h"
 #include "common/rng.h"
 #include "logstore/store.h"
 #include "sim/event_queue.h"
@@ -39,6 +41,10 @@ class Simulation {
   TimePoint now() const { return now_; }
   void schedule(Duration delay, EventQueue::Action action);
   void schedule_at(TimePoint at, EventQueue::Action action);
+  // Like schedule(), but marks the event as a fixed-delay timer so the
+  // queue can keep it on an O(1) FIFO lane (see EventQueue). Identical
+  // firing order, cheaper for long-lived timers like call timeouts.
+  void schedule_timer(Duration delay, EventQueue::Action action);
 
   // Runs events until the queue drains; returns the number processed.
   size_t run();
@@ -73,11 +79,45 @@ class Simulation {
   topology::Deployment& deployment() { return deployment_; }
   const SimulationConfig& config() const { return config_; }
 
+  // --- warm-world reuse ---
+  // Marks the current set of services as the pristine deployment. reset()
+  // drops any service added after this point (e.g. the edge client inject()
+  // creates lazily), so a reused simulation starts every experiment from
+  // the exact topology a fresh build would produce.
+  void mark_baseline() {
+    baseline_service_count_ = services_.size();
+    baseline_marked_ = true;
+  }
+
+  // Deep reset to the state of a freshly constructed Simulation with
+  // `seed`, without destroying the deployment: virtual clock to zero, event
+  // queue cleared (pool retained), RNG reseeded, LogStore cleared (interned
+  // symbols and index capacity retained), every service's mutable state
+  // reset (round-robin cursors, breaker/bulkhead/queue state, agent rule
+  // engines + RNG streams), and post-baseline services removed. The warm-
+  // world contract: a run after reset(seed) is byte-identical to the same
+  // run on a cold Simulation built with `seed`.
+  void reset(uint64_t seed);
+
+  // Flips observation capture on every sidecar agent (current and lazily
+  // added later). Off means the data plane never builds or buffers
+  // LogRecords; fault injection is untouched. The runner uses this when no
+  // assertion of the run reads records. reset() restores capture to on.
+  void set_recording(bool on);
+
   // --- topology ---
   // Creates a service (and its instances + sidecar agents); the service is
   // registered in the Deployment so the orchestrator can program it.
   SimService* add_service(ServiceConfig config);
   SimService* find_service(const std::string& name);
+  // Symbol-keyed lookup: a flat-table index, no string hashing. The string
+  // overloads resolve through the symbol table without interning unknown
+  // names; the const char* form disambiguates string literals (which
+  // convert equally well to std::string and Symbol).
+  SimService* find_service(Symbol name);
+  SimService* find_service(const char* name) {
+    return find_service(std::string_view(name));
+  }
 
   // Instantiates one single-instance service per graph node. `make` may
   // customize the config; its `name` field is overwritten with the node
@@ -89,6 +129,10 @@ class Simulation {
   // Round-robin instance selection for calls targeting `service`;
   // nullptr when the service does not exist (caller observes a reset).
   ServiceInstance* pick_instance(const std::string& service);
+  ServiceInstance* pick_instance(Symbol service);
+  ServiceInstance* pick_instance(const char* service) {
+    return pick_instance_view(std::string_view(service));
+  }
 
   // --- workload entry ---
   // Sends a request from edge client `client` (a registered service; created
@@ -97,11 +141,23 @@ class Simulation {
   // rules apply to it (Section 6, test input generation).
   void inject(const std::string& client, const std::string& target,
               SimRequest request, ResponseCallback cb);
+  // Pre-interned form for load generators that inject many requests along
+  // the same edge (skips the per-request symbol-table lookup).
+  void inject(Symbol client, Symbol target, SimRequest request,
+              ResponseCallback cb);
+  void inject(const char* client, const char* target, SimRequest request,
+              ResponseCallback cb) {
+    inject(Symbol(client), Symbol(target), std::move(request),
+           std::move(cb));
+  }
 
   // Number of simulation events processed so far.
   uint64_t events_processed() const { return events_processed_; }
 
  private:
+  SimService* find_service(std::string_view name);
+  ServiceInstance* pick_instance_view(std::string_view service);
+
   SimulationConfig config_;
   TimePoint now_{};
   EventQueue queue_;
@@ -109,7 +165,16 @@ class Simulation {
   SimNetwork network_;
   logstore::LogStore log_store_;
   topology::Deployment deployment_;
-  std::map<std::string, std::unique_ptr<SimService>> services_;
+  // Services in insertion order (owning), plus a Symbol-id-indexed flat
+  // table for the per-message routing path. The table is sized to the
+  // largest service-name symbol id this simulation hosts; symbol ids are
+  // process-global but the vocabulary is bounded (service names), so the
+  // table stays small.
+  std::vector<std::unique_ptr<SimService>> services_;
+  std::vector<SimService*> by_symbol_;
+  size_t baseline_service_count_ = 0;
+  bool baseline_marked_ = false;
+  bool recording_ = true;
   uint64_t events_processed_ = 0;
   bool stop_requested_ = false;
 };

@@ -7,6 +7,10 @@ void Deployment::add_instance(const std::string& service,
   agents_[service].push_back(std::move(agent));
 }
 
+void Deployment::remove_service(const std::string& service) {
+  agents_.erase(service);
+}
+
 const std::vector<std::shared_ptr<AgentHandle>>& Deployment::instances(
     const std::string& service) const {
   static const std::vector<std::shared_ptr<AgentHandle>> kEmpty;

@@ -59,6 +59,10 @@ class Deployment {
   void add_instance(const std::string& service,
                     std::shared_ptr<AgentHandle> agent);
 
+  // Unregisters every agent backing `service` (no-op if unknown). Used by
+  // Simulation::reset to drop services created lazily during a run.
+  void remove_service(const std::string& service);
+
   // All agent instances backing `service` (empty if unknown).
   const std::vector<std::shared_ptr<AgentHandle>>& instances(
       const std::string& service) const;

@@ -3,7 +3,10 @@
 # --json, and assemble the rows into BENCH_hotpath.json at the repo root.
 # bench_checker_online additionally feeds BENCH_checker.json (online
 # assertion checking with early-verdict termination; headline is the
-# search+shrink speedup with verdict-identical results).
+# search+shrink speedup with verdict-identical results), and
+# bench_warm_world feeds BENCH_warmworld.json (warm-world experiment
+# execution; headline is the warm/cold throughput speedup with
+# byte-identical results).
 #
 # The output also carries the recorded pre-overhaul baseline for the
 # headline metric (BM_RunOneExperiment experiments/second in
@@ -20,6 +23,7 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${GREMLIN_BUILD_DIR:-${ROOT}/build}"
 OUT="${ROOT}/BENCH_hotpath.json"
 CHECKER_OUT="${ROOT}/BENCH_checker.json"
+WARMWORLD_OUT="${ROOT}/BENCH_warmworld.json"
 
 # experiments/second measured on this container immediately before the
 # hot-path memory overhaul (interned names, pooled events, zero-copy
@@ -39,7 +43,7 @@ BENCHES=(
 
 cmake -B "${BUILD_DIR}" -S "${ROOT}" >/dev/null
 cmake --build "${BUILD_DIR}" -j "$(nproc)" --target "${BENCHES[@]}" \
-  bench_checker_online
+  bench_checker_online bench_warm_world
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "${TMP}"' EXIT
@@ -68,6 +72,13 @@ if [[ "${GREMLIN_BENCH_QUICK:-0}" != 0 ]]; then
 fi
 echo "=== bench_checker_online"
 "${BUILD_DIR}/bench/bench_checker_online" "${checker_args[@]}"
+
+# Warm-world differential bench: like checker_online, its json stays out of
+# the bench_*.json glob. Both sections (throughput + allocations) double as
+# correctness gates — warm results are fingerprint-compared to cold — so
+# they always run, quick mode included.
+echo "=== bench_warm_world"
+"${BUILD_DIR}/bench/bench_warm_world" --json "${TMP}/warm_world.json"
 
 python3 - "${OUT}" "${BASELINE_EXPERIMENTS_PER_SEC}" "${TMP}" <<'PY'
 import json, pathlib, sys
@@ -127,5 +138,39 @@ doc = {
 }
 pathlib.Path(out).write_text(json.dumps(doc, indent=2) + "\n")
 print(f"wrote {out}: search+shrink speedup "
+      f"{speedup if speedup is not None else 'MISSING'}x")
+PY
+
+python3 - "${WARMWORLD_OUT}" "${TMP}/warm_world.json" <<'PY'
+import json, pathlib, sys
+
+out, src = sys.argv[1], pathlib.Path(sys.argv[2])
+rows = json.loads(src.read_text())
+
+def value(name, metric):
+    return next((r["value"] for r in rows
+                 if r["name"] == name and r["metric"] == metric), None)
+
+speedup = value("warmworld/throughput", "speedup")
+doc = {
+    "suite": "gremlin warm-world execution",
+    "headline": {
+        "metric": "single-thread experiments/second, warm (reused, "
+                  "deep-reset simulations) vs cold (fresh simulation per "
+                  "experiment; byte-identical results; bench_warm_world)",
+        "cold_experiments_per_second":
+            value("warmworld/throughput/cold", "experiments_per_second"),
+        "warm_experiments_per_second":
+            value("warmworld/throughput/warm", "experiments_per_second"),
+        "speedup": speedup,
+        "cold_allocs_per_experiment":
+            value("warmworld/allocs/cold", "allocs_per_experiment"),
+        "warm_allocs_per_experiment":
+            value("warmworld/allocs/warm", "allocs_per_experiment"),
+    },
+    "rows": rows,
+}
+pathlib.Path(out).write_text(json.dumps(doc, indent=2) + "\n")
+print(f"wrote {out}: warm/cold speedup "
       f"{speedup if speedup is not None else 'MISSING'}x")
 PY

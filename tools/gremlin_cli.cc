@@ -55,14 +55,14 @@ int usage() {
                "  gremlin campaign <recipe-file> [--seed N] [--seeds K] "
                "[--threads N]\n"
                "                   [--sweep edge|service|both] "
-               "[--no-early-exit]\n"
+               "[--no-early-exit] [--cold]\n"
                "                   [--report out.json]\n"
                "  gremlin search (<recipe-file> | --app <name>) [--seed N] "
                "[--threads N]\n"
                "                 [--max-k K] [--budget N] [--requests N] "
                "[--pairwise]\n"
                "                 [--no-prune] [--no-shrink] "
-               "[--no-early-exit]\n"
+               "[--no-early-exit] [--cold]\n"
                "                 [--report out.json]\n");
   return 2;
 }
@@ -177,6 +177,7 @@ struct CampaignFlags {
   int threads = 0;        // 0 = hardware concurrency
   std::string sweep;      // "", "edge", "service", or "both"
   bool early_exit = true;  // --no-early-exit: run every sim to quiescence
+  bool warm = true;        // --cold: fresh Simulation per experiment
   std::string report_path;
 };
 
@@ -236,6 +237,7 @@ int cmd_campaign(const std::string& source, const CampaignFlags& flags) {
   campaign::RunnerOptions options;
   options.threads = flags.threads;
   options.early_exit = flags.early_exit;
+  options.warm_worlds = flags.warm;
   const campaign::CampaignResult result =
       campaign::CampaignRunner(options).run(experiments);
 
@@ -268,6 +270,7 @@ struct SearchFlags {
   bool prune = true;
   bool shrink = true;
   bool early_exit = true;  // --no-early-exit: run every sim to quiescence
+  bool warm = true;        // --cold: fresh Simulation per experiment
   std::string report_path;
 };
 
@@ -308,6 +311,7 @@ int cmd_search(const SearchFlags& flags) {
   options.prune = flags.prune;
   options.shrink = flags.shrink;
   options.early_exit = flags.early_exit;
+  options.warm = flags.warm;
   if (flags.requests > 0) options.load.count = flags.requests;
 
   const search::SearchOutcome outcome = search::run_search(app, options);
@@ -364,6 +368,8 @@ int main(int argc, char** argv) {
         flags.shrink = false;
       } else if (std::strcmp(argv[i], "--no-early-exit") == 0) {
         flags.early_exit = false;
+      } else if (std::strcmp(argv[i], "--cold") == 0) {
+        flags.warm = false;
       } else if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
         flags.report_path = argv[++i];
       } else {
@@ -400,6 +406,8 @@ int main(int argc, char** argv) {
       with_traces = true;
     } else if (std::strcmp(argv[i], "--no-early-exit") == 0) {
       flags.early_exit = false;
+    } else if (std::strcmp(argv[i], "--cold") == 0) {
+      flags.warm = false;
     } else if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
       flags.report_path = argv[++i];
     } else {
