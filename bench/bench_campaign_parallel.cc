@@ -51,28 +51,47 @@ void scaling_section() {
   rows.add("campaign_scaling/threads=1", "wall", base_s, "s");
   rows.add("campaign_scaling/threads=1", "experiments_per_second",
            base_s > 0 ? experiments.size() / base_s : 0.0, "1/s");
+  rows.add("campaign_scaling/threads=1", "speedup", 1.0, "x");
 
   const unsigned hw = std::thread::hardware_concurrency();
+  double speedup4 = 1.0;
   for (const int threads : {2, 4, 8}) {
     const campaign::CampaignResult parallel =
         campaign::CampaignRunner(campaign::RunnerOptions{.threads = threads})
             .run(experiments);
     const double wall_s = to_seconds(parallel.wall_clock);
+    const double speedup = wall_s > 0 ? base_s / wall_s : 0.0;
     const bool identical = parallel.fingerprint() == reference;
     std::printf("threads=%2d  wall=%.3fs  speedup=%.2fx  byte-identical=%s\n",
-                threads, wall_s, wall_s > 0 ? base_s / wall_s : 0.0,
+                threads, wall_s, speedup,
                 identical ? "yes" : "NO (DETERMINISM BUG)");
     if (!identical) std::exit(1);
+    if (threads == 4) speedup4 = speedup;
     const std::string name =
         "campaign_scaling/threads=" + std::to_string(threads);
     rows.add(name, "wall", wall_s, "s");
     rows.add(name, "experiments_per_second",
              wall_s > 0 ? experiments.size() / wall_s : 0.0, "1/s");
-    rows.add(name, "speedup", wall_s > 0 ? base_s / wall_s : 0.0, "x");
+    rows.add(name, "speedup", speedup, "x");
   }
   std::printf("(hardware_concurrency=%u; speedup saturates at the physical "
               "core count)\n\n",
               hw);
+
+  // Scaling gate. Workers share nothing but the experiment queue (each one
+  // owns its symbols, pools, and warm worlds), so on a host with >= 4
+  // hardware threads a threads=4 campaign that fails to beat sequential is
+  // a contention regression — fail the bench. Hosts with fewer hardware
+  // threads cannot speed up by oversubscribing; there the gate only bounds
+  // the scheduling overhead of running 4 workers on too few cores.
+  const double floor = hw >= 4 ? 1.0 : 0.70;
+  if (speedup4 < floor) {
+    std::fprintf(stderr,
+                 "FAIL: threads=4 speedup %.2fx below %.2fx floor "
+                 "(hardware_concurrency=%u)\n",
+                 speedup4, floor, hw);
+    std::exit(1);
+  }
 }
 
 void BM_RunOneExperiment(benchmark::State& state) {

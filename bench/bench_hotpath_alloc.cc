@@ -26,8 +26,31 @@
 
 static std::atomic<size_t> g_allocs{0};
 
+#ifdef GREMLIN_ALLOC_TRACE
+#include <execinfo.h>
+static bool g_trace = false;
+struct TraceEntry {
+  void* frames[12];
+  int depth;
+  size_t bytes;
+};
+static TraceEntry g_traces[20000];
+static std::atomic<size_t> g_trace_count{0};
+#endif
+
 void* operator new(size_t n) {
   g_allocs.fetch_add(1, std::memory_order_relaxed);
+#ifdef GREMLIN_ALLOC_TRACE
+  if (g_trace) {
+    g_trace = false;  // backtrace() may allocate; no recursion
+    const size_t i = g_trace_count.fetch_add(1, std::memory_order_relaxed);
+    if (i < 20000) {
+      g_traces[i].depth = backtrace(g_traces[i].frames, 12);
+      g_traces[i].bytes = n;
+    }
+    g_trace = true;
+  }
+#endif
   void* p = std::malloc(n);
   if (p == nullptr) throw std::bad_alloc();
   return p;
@@ -37,6 +60,7 @@ void operator delete(void* p, size_t) noexcept { std::free(p); }
 
 #include "bench_json.h"
 #include "campaign/runner.h"
+#include "campaign/warm_world.h"
 #include "logstore/store.h"
 #include "sim/event_queue.h"
 
@@ -164,6 +188,78 @@ void experiment_section(benchjson::Rows& rows) {
            "count");
 }
 
+// Warm-world steady state: the number the per-worker ExecutionContext
+// design is judged on. One long-lived world, deep-reset between
+// experiments; every data-plane object (contexts, outbound calls, event
+// nodes, log slots) comes from pools the world retains, so an experiment's
+// marginal heap traffic is just its result materialization.
+//
+// The gate is a hard CI check: a regression that reintroduces per-request
+// allocations shows up as hundreds per experiment, orders of magnitude over
+// the limit.
+constexpr double kWarmAllocLimit = 10.0;
+
+void warm_world_section(benchjson::Rows& rows) {
+  std::printf("## Warm-world steady state (depth-4 buggy tree)\n");
+  const campaign::AppSpec app = campaign::AppSpec::buggy_tree(4);
+  campaign::SweepOptions options;
+  options.load.count = 40;
+  options.load.gap = msec(5);
+  const auto experiments =
+      campaign::generate_sweep(app, app.probe_graph(), options);
+
+  campaign::WarmWorld world(app);
+  campaign::ExecOptions exec;
+  exec.keep_latencies = false;  // the large-sweep configuration
+  // Warm-up: visit every experiment once so pools, rule cache, interning,
+  // and index buckets reach their peak footprint.
+  for (const auto& e : experiments) {
+    auto result = world.run(e, exec);
+    benchmark::DoNotOptimize(result);
+  }
+
+  constexpr int kRuns = 100;
+  const size_t before = allocs_now();
+#ifdef GREMLIN_ALLOC_TRACE
+  g_trace = true;
+#endif
+  for (int i = 0; i < kRuns; ++i) {
+    auto result = world.run(experiments[static_cast<size_t>(i) %
+                                        experiments.size()],
+                            exec);
+    benchmark::DoNotOptimize(result);
+  }
+#ifdef GREMLIN_ALLOC_TRACE
+  g_trace = false;
+  {
+    const size_t n = std::min<size_t>(g_trace_count.load(), 20000);
+    std::printf("=== %zu traced allocations ===\n", n);
+    for (size_t i = 0; i < n; ++i) {
+      char** syms = backtrace_symbols(g_traces[i].frames, g_traces[i].depth);
+      std::printf("--- alloc %zu (%zu bytes)\n", i, g_traces[i].bytes);
+      for (int f = 1; f < g_traces[i].depth && f < 8; ++f) {
+        std::printf("  %s\n", syms[f]);
+      }
+      std::free(syms);
+    }
+  }
+#endif
+  const double allocs_per_exp =
+      static_cast<double>(allocs_now() - before) / kRuns;
+
+  std::printf("%d warm experiments: %.2f allocations each (limit %.0f)\n\n",
+              kRuns, allocs_per_exp, kWarmAllocLimit);
+  rows.add("hotpath/warm_world", "allocs_per_experiment", allocs_per_exp,
+           "count");
+  if (allocs_per_exp > kWarmAllocLimit) {
+    std::fprintf(stderr,
+                 "FAIL: warm-world steady state allocates %.2f per "
+                 "experiment (limit %.0f)\n",
+                 allocs_per_exp, kWarmAllocLimit);
+    std::exit(1);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -173,5 +269,6 @@ int main(int argc, char** argv) {
   event_queue_section(rows);
   query_section(rows);
   experiment_section(rows);
+  warm_world_section(rows);
   return rows.write() ? 0 : 1;
 }

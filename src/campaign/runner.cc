@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "campaign/execution_context.h"
 #include "campaign/warm_world.h"
 #include "control/collector.h"
 #include "control/online.h"
@@ -16,37 +17,6 @@
 namespace gremlin::campaign {
 
 namespace {
-
-// Bound on live deployments per worker: campaigns normally sweep one app,
-// so one world per worker is the steady state; a small pool tolerates
-// mixed-app batches without unbounded memory.
-constexpr size_t kMaxWarmWorldsPerWorker = 4;
-
-// A worker's private pool of warm worlds, keyed by AppSpec identity.
-class WorldPool {
- public:
-  explicit WorldPool(bool enabled) : enabled_(enabled) {}
-
-  ExperimentResult execute(const Experiment& e, const ExecOptions& exec) {
-    if (!enabled_ || e.custom || !e.app.reusable) {
-      return CampaignRunner::run_one(e, exec);
-    }
-    for (auto& world : worlds_) {
-      if (world->app().identity() == e.app.identity()) {
-        return world->run(e, exec);
-      }
-    }
-    if (worlds_.size() >= kMaxWarmWorldsPerWorker) {
-      worlds_.erase(worlds_.begin());
-    }
-    worlds_.push_back(std::make_unique<WarmWorld>(e.app));
-    return worlds_.back()->run(e, exec);
-  }
-
- private:
-  bool enabled_;
-  std::vector<std::unique_ptr<WarmWorld>> worlds_;
-};
 
 // Serializes a Duration exactly (tick count), so fingerprints are
 // byte-identical iff the underlying values are.
@@ -378,9 +348,14 @@ CampaignResult CampaignRunner::run(
   };
 
   if (threads <= 1) {
-    WorldPool pool(options_.warm_worlds);
+    // The inline worker gets the same per-worker context the parallel path
+    // uses (shard interning, pooled allocation, shared event pool), so the
+    // two paths execute byte-identically by construction.
+    ExecutionContext ctx(options_.warm_worlds);
+    ScopedShardSymbols bind_symbols(&ctx.symbols());
     for (size_t i = 0; i < n; ++i) {
-      finish(pool.execute(experiments[i], exec), i);
+      finish(ctx.execute(experiments[i], exec), i);
+      ctx.merge();  // result boundary: publish new names, usually empty
     }
   } else {
     // Work-stealing pool: per-worker deques seeded with a strided share of
@@ -398,9 +373,12 @@ CampaignResult CampaignRunner::run(
     }
 
     auto worker = [&](size_t self) {
-      // Worker-private warm worlds: no locks, no sharing; determinism is
-      // unaffected because a reset world is byte-equivalent to a fresh one.
-      WorldPool pool(options_.warm_worlds);
+      // Worker-private execution context: warm worlds, symbol shard, and
+      // allocation pools, none of it shared. Determinism is unaffected
+      // because a reset world is byte-equivalent to a fresh one and
+      // fingerprints carry no Symbol ids.
+      ExecutionContext ctx(options_.warm_worlds);
+      ScopedShardSymbols bind_symbols(&ctx.symbols());
       for (;;) {
         size_t index = n;  // sentinel: nothing claimed
         {
@@ -428,7 +406,8 @@ CampaignResult CampaignRunner::run(
           index = queues[victim].tasks.back();
           queues[victim].tasks.pop_back();
         }
-        finish(pool.execute(experiments[index], exec), index);
+        finish(ctx.execute(experiments[index], exec), index);
+        ctx.merge();  // result boundary: publish new names, usually empty
       }
     };
 

@@ -12,9 +12,10 @@ ExperimentResult WarmWorld::run(const Experiment& experiment,
   if (sim_ == nullptr) {
     sim::SimulationConfig cfg;
     cfg.seed = experiment.seed;
+    cfg.event_pool = event_pool_;
+    cfg.memory = memory_;
     sim_ = std::make_unique<sim::Simulation>(cfg);
     graph_ = app_.instantiate(sim_.get());
-    sim_->mark_baseline();
   } else {
     sim_->reset(experiment.seed);
   }

@@ -33,7 +33,12 @@ namespace gremlin::campaign {
 
 class WarmWorld {
  public:
-  explicit WarmWorld(AppSpec app) : app_(std::move(app)) {}
+  // Optional worker-context resources (see campaign::ExecutionContext):
+  // an event pool and memory pool shared by every world the owning worker
+  // drives. Null means the world's Simulation owns private ones.
+  explicit WarmWorld(AppSpec app, sim::EventPool* event_pool = nullptr,
+                     MemoryPool* memory = nullptr)
+      : app_(std::move(app)), event_pool_(event_pool), memory_(memory) {}
 
   // Runs one experiment on the warm deployment. `experiment.app` must be a
   // copy of the spec this world was built from (same identity()); sweep
@@ -51,6 +56,8 @@ class WarmWorld {
 
  private:
   AppSpec app_;
+  sim::EventPool* event_pool_;
+  MemoryPool* memory_;
   std::unique_ptr<sim::Simulation> sim_;
   topology::AppGraph graph_;
   control::RuleCache rule_cache_;

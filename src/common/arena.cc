@@ -1,0 +1,40 @@
+#include "common/arena.h"
+
+#include <algorithm>
+
+namespace gremlin {
+
+void* Arena::allocate_slow(size_t bytes, size_t align) {
+  // Advance through retained blocks first; only hit the heap when every
+  // retained block is exhausted (warm worlds stop getting here after the
+  // first experiment sizes the arena).
+  while (cur_block_ + 1 < blocks_.size()) {
+    ++cur_block_;
+    cur_ = blocks_[cur_block_].data.get();
+    end_ = cur_ + blocks_[cur_block_].size;
+    char* aligned = align_up(cur_, align);
+    if (aligned <= end_ && static_cast<size_t>(end_ - aligned) >= bytes) {
+      cur_ = aligned + bytes;
+      allocated_ += bytes;
+      return aligned;
+    }
+  }
+
+  // Oversized requests get their own block; alignment slack covers the case
+  // where the block start is not already sufficiently aligned.
+  const size_t want = std::max(block_bytes_, bytes + align);
+  Block block;
+  block.data = std::make_unique<char[]>(want);
+  block.size = want;
+  blocks_.push_back(std::move(block));
+  cur_block_ = blocks_.size() - 1;
+  cur_ = blocks_[cur_block_].data.get();
+  end_ = cur_ + blocks_[cur_block_].size;
+
+  char* aligned = align_up(cur_, align);
+  cur_ = aligned + bytes;
+  allocated_ += bytes;
+  return aligned;
+}
+
+}  // namespace gremlin

@@ -1,0 +1,241 @@
+// Arena / MemoryPool: per-worker allocation backing for the experiment hot
+// path.
+//
+// A campaign worker runs thousands of short experiments, each of which
+// builds and tears down the same transient object population (outbound
+// calls, request contexts, log records, index nodes, queue buffers). Paying
+// malloc/free — and the allocator's cross-thread synchronization — for each
+// of those is what keeps warm-world experiments at thousands of allocations
+// apiece and makes parallel campaigns contend on the global heap.
+//
+// Two layers:
+//   - Arena: block-chained bump-pointer allocator. allocate() is a pointer
+//     bump; reset() rewinds to the first block but RETAINS every block, so
+//     a warm world's steady state touches the real heap zero times.
+//   - MemoryPool: size-class free lists on top of an Arena, giving malloc/
+//     free-shaped reuse (deallocate returns a chunk to its class list; the
+//     next same-class allocate pops it). This is what std-container nodes
+//     and allocate_shared control blocks need: their lifetimes interleave,
+//     so pure bump allocation would bleed memory within one experiment.
+//
+// Neither layer is thread-safe: a pool belongs to exactly one worker (or is
+// guarded by its owner's lock, as LogStore does). That is the point — the
+// parallel campaign shares no allocator state across workers.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace gremlin {
+
+class Arena {
+ public:
+  static constexpr size_t kDefaultBlockBytes = 64 * 1024;
+
+  explicit Arena(size_t block_bytes = kDefaultBlockBytes)
+      : block_bytes_(block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Bump-allocates `bytes` aligned to `align` (power of two, <= 16 on the
+  // fast path; larger alignments are honoured but may waste padding).
+  void* allocate(size_t bytes, size_t align = alignof(std::max_align_t)) {
+    if (cur_ != nullptr) {
+      char* aligned = align_up(cur_, align);
+      if (aligned <= end_ && static_cast<size_t>(end_ - aligned) >= bytes) {
+        cur_ = aligned + bytes;
+        allocated_ += bytes;
+        return aligned;
+      }
+    }
+    return allocate_slow(bytes, align);
+  }
+
+  // Rewinds to the start but keeps every block for reuse. All memory handed
+  // out since the last reset is invalidated.
+  void reset() {
+    cur_block_ = 0;
+    allocated_ = 0;
+    if (blocks_.empty()) {
+      cur_ = end_ = nullptr;
+    } else {
+      cur_ = blocks_[0].data.get();
+      end_ = cur_ + blocks_[0].size;
+    }
+  }
+
+  // Bytes handed out since construction/reset (excludes alignment padding).
+  size_t bytes_allocated() const { return allocated_; }
+  // Total capacity across retained blocks.
+  size_t bytes_reserved() const {
+    size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+  size_t block_count() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+  };
+
+  static char* align_up(char* p, size_t align) {
+    const uintptr_t v = reinterpret_cast<uintptr_t>(p);
+    return reinterpret_cast<char*>((v + align - 1) & ~(uintptr_t{align} - 1));
+  }
+
+  void* allocate_slow(size_t bytes, size_t align);
+
+  std::vector<Block> blocks_;
+  size_t cur_block_ = 0;  // block currently being bumped (when non-empty)
+  char* cur_ = nullptr;
+  char* end_ = nullptr;
+  size_t block_bytes_;
+  size_t allocated_ = 0;
+};
+
+// Size-class free lists over an Arena. Small sizes (<= 1 KiB) round to
+// 16-byte granules; mid sizes round to powers of two up to 1 MiB; anything
+// larger falls through to operator new (off the hot path by construction).
+class MemoryPool {
+ public:
+  explicit MemoryPool(size_t block_bytes = Arena::kDefaultBlockBytes)
+      : arena_(block_bytes) {}
+
+  MemoryPool(const MemoryPool&) = delete;
+  MemoryPool& operator=(const MemoryPool&) = delete;
+
+  void* allocate(size_t bytes) {
+    const size_t cls = class_index(bytes);
+    if (cls >= kNumClasses) return ::operator new(bytes);
+    if (FreeNode* node = free_[cls]) {
+      free_[cls] = node->next;
+      ++recycled_;
+      return node;
+    }
+    ++fresh_;
+    return arena_.allocate(class_size(cls), kGranule);
+  }
+
+  void deallocate(void* p, size_t bytes) {
+    const size_t cls = class_index(bytes);
+    if (cls >= kNumClasses) {
+      ::operator delete(p);
+      return;
+    }
+    FreeNode* node = static_cast<FreeNode*>(p);
+    node->next = free_[cls];
+    free_[cls] = node;
+  }
+
+  // Invalidates everything ever allocated (callers must have dropped all
+  // objects) and retains the arena blocks for reuse.
+  void reset() {
+    free_.fill(nullptr);
+    arena_.reset();
+  }
+
+  const Arena& arena() const { return arena_; }
+  // Chunks served from a free list vs. bump-allocated — the warm-world
+  // steady state should be all recycled / no fresh.
+  uint64_t recycled() const { return recycled_; }
+  uint64_t fresh() const { return fresh_; }
+
+ private:
+  static constexpr size_t kGranule = 16;
+  static constexpr size_t kSmallLimit = 1024;          // 64 granule classes
+  static constexpr size_t kSmallClasses = kSmallLimit / kGranule;
+  static constexpr size_t kLargeShiftBase = 11;        // first pow2 class: 2 KiB
+  static constexpr size_t kLargeShiftMax = 20;         // last pow2 class: 1 MiB
+  static constexpr size_t kNumClasses =
+      kSmallClasses + (kLargeShiftMax - kLargeShiftBase + 1);
+
+  struct FreeNode {
+    FreeNode* next;
+  };
+
+  static size_t class_index(size_t bytes) {
+    if (bytes <= kSmallLimit) {
+      return bytes == 0 ? 0 : (bytes + kGranule - 1) / kGranule - 1;
+    }
+    size_t shift = kLargeShiftBase;
+    while (shift <= kLargeShiftMax && (size_t{1} << shift) < bytes) ++shift;
+    if (shift > kLargeShiftMax) return kNumClasses;
+    return kSmallClasses + (shift - kLargeShiftBase);
+  }
+
+  static size_t class_size(size_t cls) {
+    if (cls < kSmallClasses) return (cls + 1) * kGranule;
+    return size_t{1} << (kLargeShiftBase + (cls - kSmallClasses));
+  }
+
+  Arena arena_;
+  std::array<FreeNode*, kNumClasses> free_{};
+  uint64_t recycled_ = 0;
+  uint64_t fresh_ = 0;
+};
+
+// std-compatible allocator over a MemoryPool. A null pool degrades to the
+// global heap, so default-constructed containers keep working. Propagates on
+// move/swap so pool-backed containers can be moved without mixing pools.
+template <typename T>
+class PoolAllocator {
+ public:
+  using value_type = T;
+  using propagate_on_container_move_assignment = std::true_type;
+  using propagate_on_container_swap = std::true_type;
+  using is_always_equal = std::false_type;
+
+  PoolAllocator() noexcept = default;
+  explicit PoolAllocator(MemoryPool* pool) noexcept : pool_(pool) {}
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>& other) noexcept
+      : pool_(other.pool()) {}
+
+  T* allocate(size_t n) {
+    const size_t bytes = n * sizeof(T);
+    if (pool_ != nullptr && alignof(T) <= kGranuleAlign) {
+      return static_cast<T*>(pool_->allocate(bytes));
+    }
+    return static_cast<T*>(::operator new(bytes));
+  }
+  void deallocate(T* p, size_t n) noexcept {
+    const size_t bytes = n * sizeof(T);
+    if (pool_ != nullptr && alignof(T) <= kGranuleAlign) {
+      pool_->deallocate(p, bytes);
+    } else {
+      ::operator delete(p);
+    }
+  }
+
+  MemoryPool* pool() const noexcept { return pool_; }
+
+  friend bool operator==(const PoolAllocator& a, const PoolAllocator& b) {
+    return a.pool_ == b.pool_;
+  }
+  friend bool operator!=(const PoolAllocator& a, const PoolAllocator& b) {
+    return a.pool_ != b.pool_;
+  }
+
+ private:
+  static constexpr size_t kGranuleAlign = 16;
+
+  MemoryPool* pool_ = nullptr;
+};
+
+// allocate_shared through the pool: object + control block in one pooled
+// chunk, recycled across experiments. Null pool falls back to make_shared.
+template <typename T, typename... Args>
+std::shared_ptr<T> make_pooled(MemoryPool* pool, Args&&... args) {
+  return std::allocate_shared<T>(PoolAllocator<T>(pool),
+                                 std::forward<Args>(args)...);
+}
+
+}  // namespace gremlin

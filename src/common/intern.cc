@@ -1,15 +1,39 @@
 #include "common/intern.h"
 
+// LeakSanitizer annotation for the intentionally-leaked global table (and,
+// transitively, everything it owns: chunks, slot strings, retired index
+// snapshots). Clang exposes __has_feature; GCC defines __SANITIZE_ADDRESS__.
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define GREMLIN_HAS_LSAN 1
+#endif
+#elif defined(__SANITIZE_ADDRESS__)
+#define GREMLIN_HAS_LSAN 1
+#endif
+#if defined(GREMLIN_HAS_LSAN)
+#include <sanitizer/lsan_interface.h>
+#endif
+
 namespace gremlin {
 
 SymbolTable& SymbolTable::global() {
   static SymbolTable* table = new SymbolTable();  // never destroyed: views
-  return *table;                                  // must outlive all users
+#if defined(GREMLIN_HAS_LSAN)                     // must outlive all users
+  static const bool lsan_ignored = [] {
+    __lsan_ignore_object(table);
+    return true;
+  }();
+  (void)lsan_ignored;
+#endif
+  return *table;
 }
 
 SymbolTable::SymbolTable() {
+  // id 0 == the empty string.
+  next_id_.store(1, std::memory_order_relaxed);
+  const std::string* s = publish(0, "");
   std::lock_guard lock(mu_);
-  (void)intern_locked("");  // id 0 == the empty string
+  index_.emplace(std::string_view(*s), 0);
 }
 
 Symbol SymbolTable::intern(std::string_view text) {
@@ -22,21 +46,63 @@ Symbol SymbolTable::intern_locked(std::string_view text) {
   const auto it = index_.find(text);
   if (it != index_.end()) return Symbol(it->second, 0);
 
-  const uint32_t id = count_.load(std::memory_order_relaxed);
-  const size_t chunk_idx = id >> kChunkBits;
-  if (chunk_idx >= kMaxChunks) return Symbol();  // table full: degrade to ""
-  Chunk* chunk = chunks_[chunk_idx].load(std::memory_order_relaxed);
-  if (chunk == nullptr) {
-    chunk = new Chunk();
-    // Release so that readers who obtain `id` via the count_ acquire below
-    // also see the chunk pointer and its entry fully constructed.
-    chunks_[chunk_idx].store(chunk, std::memory_order_release);
-  }
-  std::string& slot = chunk->entries[id & (kChunkSize - 1)];
-  slot.assign(text);
-  index_.emplace(std::string_view(slot), id);
-  count_.store(id + 1, std::memory_order_release);
+  const uint32_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  if (id >= kCapacity) return Symbol();  // table full: degrade to ""
+  const std::string* s = publish(id, text);
+  index_.emplace(std::string_view(*s), id);
   return Symbol(id, 0);
+}
+
+std::optional<uint32_t> SymbolTable::reserve_block(uint32_t count) {
+  const uint32_t start = next_id_.fetch_add(count, std::memory_order_relaxed);
+  if (start >= kCapacity || kCapacity - start < count) return std::nullopt;
+  return start;
+}
+
+const std::string* SymbolTable::publish(uint32_t id, std::string_view text) {
+  const size_t chunk_idx = id >> kChunkBits;
+  if (chunk_idx >= kMaxChunks) return nullptr;
+  Chunk* chunk = chunks_[chunk_idx].load(std::memory_order_acquire);
+  if (chunk == nullptr) {
+    Chunk* fresh = new Chunk();
+    if (chunks_[chunk_idx].compare_exchange_strong(chunk, fresh,
+                                                   std::memory_order_release,
+                                                   std::memory_order_acquire)) {
+      chunk = fresh;
+    } else {
+      delete fresh;  // another thread won the race; `chunk` holds theirs
+    }
+  }
+  // The slot belongs exclusively to this id's owner (mutex path or the
+  // shard that reserved the block), so a plain release store publishes the
+  // fully constructed string to lock-free readers.
+  const std::string* s = new std::string(text);
+  chunk->entries[id & (kChunkSize - 1)].store(s, std::memory_order_release);
+  published_.fetch_add(1, std::memory_order_release);
+  return s;
+}
+
+void SymbolTable::merge(
+    std::vector<std::pair<const std::string*, uint32_t>>& pending) {
+  std::lock_guard lock(mu_);
+  for (const auto& [text, id] : pending) {
+    // First writer wins; a losing id remains a valid alias (its slot is
+    // already published, so it stringifies identically forever).
+    index_.try_emplace(std::string_view(*text), id);
+  }
+  pending.clear();
+  refresh_snapshot_locked();
+}
+
+void SymbolTable::refresh_snapshot_locked() {
+  const Index* current = snapshot_.load(std::memory_order_relaxed);
+  if (current != nullptr && current->size() == index_.size()) return;
+  auto snap = std::make_unique<const Index>(index_);
+  snapshot_.store(snap.get(), std::memory_order_release);
+  // Old snapshots are retired, not freed: lock-free readers may still hold
+  // them. Retirement count is bounded by vocabulary growth events, not by
+  // merges — a warmed-up campaign stops rebuilding entirely.
+  retired_.push_back(std::move(snap));
 }
 
 std::optional<Symbol> SymbolTable::find(std::string_view text) const {
@@ -48,10 +114,75 @@ std::optional<Symbol> SymbolTable::find(std::string_view text) const {
 }
 
 std::string_view SymbolTable::view(uint32_t id) const {
-  if (id >= count_.load(std::memory_order_acquire)) return {};
-  const Chunk* chunk = chunks_[id >> kChunkBits].load(std::memory_order_acquire);
+  const size_t chunk_idx = id >> kChunkBits;
+  if (chunk_idx >= kMaxChunks) return {};
+  const Chunk* chunk = chunks_[chunk_idx].load(std::memory_order_acquire);
   if (chunk == nullptr) return {};
-  return chunk->entries[id & (kChunkSize - 1)];
+  const std::string* s =
+      chunk->entries[id & (kChunkSize - 1)].load(std::memory_order_acquire);
+  return s == nullptr ? std::string_view{} : std::string_view(*s);
+}
+
+ShardSymbolTable::ShardSymbolTable(SymbolTable* global) : global_(global) {
+  // One cold lock at worker start so the first experiments see every name
+  // interned during process setup without minting aliases for them.
+  std::lock_guard lock(global_->mu_);
+  global_->refresh_snapshot_locked();
+}
+
+ShardSymbolTable::~ShardSymbolTable() { merge(); }
+
+Symbol ShardSymbolTable::intern(std::string_view text) {
+  if (text.empty()) return Symbol();
+  const auto it = cache_.find(text);
+  if (it != cache_.end()) return Symbol(it->second, 0);
+
+  if (const SymbolTable::Index* snap = global_->snapshot()) {
+    const auto hit = snap->find(text);
+    if (hit != snap->end()) {
+      // Snapshot keys view into never-freed slot strings; safe to keep.
+      cache_.emplace(hit->first, hit->second);
+      return Symbol(hit->second, 0);
+    }
+  }
+
+  if (block_cur_ == block_end_) {
+    const auto start = global_->reserve_block(kBlockSize);
+    if (!start.has_value()) return global_->intern(text);  // table ~full
+    block_cur_ = *start;
+    block_end_ = *start + kBlockSize;
+  }
+  const uint32_t id = block_cur_++;
+  const std::string* s = global_->publish(id, text);
+  if (s == nullptr) return global_->intern(text);  // degrade like full table
+  cache_.emplace(std::string_view(*s), id);
+  pending_.emplace_back(s, id);
+  return Symbol(id, 0);
+}
+
+std::optional<Symbol> ShardSymbolTable::find(std::string_view text) const {
+  if (text.empty()) return Symbol();
+  const auto it = cache_.find(text);
+  if (it != cache_.end()) return Symbol(it->second, 0);
+  if (const SymbolTable::Index* snap = global_->snapshot()) {
+    const auto hit = snap->find(text);
+    if (hit != snap->end()) return Symbol(hit->second, 0);
+  }
+  // Not seen by this shard: no record written here carries it, so the
+  // canonical (or absent) global answer is consistent for queries.
+  return global_->find(text);
+}
+
+void ShardSymbolTable::merge() {
+  if (pending_.empty()) return;
+  global_->merge(pending_);
+}
+
+std::optional<Symbol> find_symbol(std::string_view text) {
+  if (ShardSymbolTable* shard = intern_detail::tls_shard) {
+    return shard->find(text);
+  }
+  return SymbolTable::global().find(text);
 }
 
 }  // namespace gremlin

@@ -9,11 +9,24 @@
 // interned: they are high-cardinality (one per flow) and would grow the
 // table without bound.
 //
-// Concurrency: symbol -> string lookups are lock-free (append-only chunked
-// storage published through an acquire/release counter), so parallel
-// campaign workers resolve names without contention. Interning new names
-// takes a mutex, but callers cache Symbols for the run's duration, so the
-// writer path is cold.
+// Concurrency: symbol -> string lookups are lock-free everywhere (each slot
+// is an atomic pointer to a never-freed string, published with release
+// semantics). Interning has two tiers:
+//
+//   - Unbound threads intern through the global mutex, exactly as before:
+//     the same text yields the same id process-wide.
+//   - Campaign workers bind a ShardSymbolTable (ScopedShardSymbols). The
+//     shard interns from a private cache plus a lock-free snapshot of the
+//     global index, assigning fresh ids from a block reserved with one
+//     fetch_add — no lock, no cross-worker contention. New (text, id) pairs
+//     are merged into the global index only at result boundaries.
+//
+// A shard may assign a *different* id to a text another thread also
+// interned (an alias). That is safe by construction: ids never leave the
+// worker that minted them — results carry strings, and every alias
+// stringifies identically because its slot is published at intern time.
+// Within one worker the shard cache maps each text to exactly one id, so
+// Symbol equality stays sound where it is actually evaluated.
 #pragma once
 
 #include <array>
@@ -26,14 +39,23 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace gremlin {
 
 class SymbolTable;
+class ShardSymbolTable;
+
+namespace intern_detail {
+// The shard bound to this thread, if any (see ScopedShardSymbols).
+inline thread_local ShardSymbolTable* tls_shard = nullptr;
+}  // namespace intern_detail
 
 // A handle to an interned string. Default-constructed == the empty string.
 // Comparisons against string-likes compare the interned text; comparisons
-// between Symbols compare ids (valid because interning deduplicates).
+// between Symbols compare ids (valid because interning deduplicates within
+// the thread's interning domain — see file comment on shard aliases).
 class Symbol {
  public:
   constexpr Symbol() = default;
@@ -61,6 +83,7 @@ class Symbol {
 
  private:
   friend class SymbolTable;
+  friend class ShardSymbolTable;
   constexpr explicit Symbol(uint32_t id, int) : id_(id) {}
 
   uint32_t id_ = 0;
@@ -123,40 +146,142 @@ class SymbolTable {
   static SymbolTable& global();
 
   // Returns the existing symbol for `text`, or assigns the next id.
+  // Mutex-guarded; shard-bound threads go through ShardSymbolTable instead.
   Symbol intern(std::string_view text);
 
   // Lookup without inserting (queries probe for names that may never have
   // been logged; they must not pollute the table).
   std::optional<Symbol> find(std::string_view text) const;
 
-  // Lock-free symbol -> text. Out-of-range ids resolve to "".
+  // Lock-free symbol -> text. Out-of-range and unpublished ids resolve to "".
   std::string_view view(uint32_t id) const;
 
-  // Number of distinct symbols (including the implicit empty string).
-  size_t size() const { return count_.load(std::memory_order_acquire); }
+  // Number of published symbols (including the implicit empty string and
+  // any shard aliases). Stable across find().
+  size_t size() const { return published_.load(std::memory_order_acquire); }
 
  private:
+  friend class ShardSymbolTable;
+
   // 1024 entries per chunk; 4096 chunk slots -> up to 4M distinct names.
   static constexpr size_t kChunkBits = 10;
   static constexpr size_t kChunkSize = size_t{1} << kChunkBits;
   static constexpr size_t kMaxChunks = 4096;
+  static constexpr uint32_t kCapacity =
+      static_cast<uint32_t>(kChunkSize * kMaxChunks);
 
   struct Chunk {
-    std::array<std::string, kChunkSize> entries;
+    std::array<std::atomic<const std::string*>, kChunkSize> entries{};
   };
+
+  // Lock-free snapshot of the text -> id index, rebuilt only when the index
+  // has grown since the last snapshot (the vocabulary is bounded, so
+  // rebuilds stop once a campaign warms up). Shards probe it without the
+  // mutex; a stale snapshot merely costs an alias, never a wrong answer.
+  using Index = std::unordered_map<std::string_view, uint32_t>;
 
   SymbolTable();
 
   Symbol intern_locked(std::string_view text);
 
-  mutable std::mutex mu_;  // guards index_ and chunk creation
-  std::unordered_map<std::string_view, uint32_t> index_;
+  // Reserves a contiguous id block for a shard; returns the first id, or
+  // nullopt when the table is full (shards then fall back to the mutex).
+  std::optional<uint32_t> reserve_block(uint32_t count);
+
+  // Publishes `text` into slot `id` (creating the chunk if needed) and
+  // returns the never-freed backing string. Safe to call concurrently for
+  // distinct ids; each id is published exactly once by its owner.
+  const std::string* publish(uint32_t id, std::string_view text);
+
+  // Inserts shard-minted (text, id) pairs into the index (first writer
+  // wins; losers stay as aliases) and refreshes the snapshot if needed.
+  void merge(std::vector<std::pair<const std::string*, uint32_t>>& pending);
+
+  const Index* snapshot() const {
+    return snapshot_.load(std::memory_order_acquire);
+  }
+  void refresh_snapshot_locked();
+
+  mutable std::mutex mu_;  // guards index_ and snapshot refresh
+  Index index_;
+  std::atomic<const Index*> snapshot_{nullptr};
+  std::vector<std::unique_ptr<const Index>> retired_;  // kept for readers
   std::array<std::atomic<Chunk*>, kMaxChunks> chunks_{};
-  std::atomic<uint32_t> count_{0};
+  std::atomic<uint32_t> next_id_{0};     // high-water of reserved ids
+  std::atomic<uint32_t> published_{0};   // slots actually published
 };
 
+// A worker-private interning front end. intern() touches no lock on every
+// path: private cache hit, lock-free global-snapshot hit, or a fresh id
+// from a block reserved with a single fetch_add. merge() (called at result
+// boundaries) makes the worker's new names visible to global find().
+//
+// Not thread-safe; bind to exactly one thread via ScopedShardSymbols.
+class ShardSymbolTable {
+ public:
+  explicit ShardSymbolTable(SymbolTable* global = &SymbolTable::global());
+  ~ShardSymbolTable();
+
+  ShardSymbolTable(const ShardSymbolTable&) = delete;
+  ShardSymbolTable& operator=(const ShardSymbolTable&) = delete;
+
+  Symbol intern(std::string_view text);
+
+  // Lookup without inserting, resolving to the id *this shard's* records
+  // carry (shard cache first, then the global snapshot/index).
+  std::optional<Symbol> find(std::string_view text) const;
+
+  // Publishes pending (text, id) pairs into the global index. Call at
+  // result boundaries (end of an experiment batch); cheap when empty.
+  void merge();
+
+  size_t pending_count() const { return pending_.size(); }
+  size_t cache_size() const { return cache_.size(); }
+
+ private:
+  static constexpr uint32_t kBlockSize = 256;
+
+  SymbolTable* global_;
+  // Keys view into never-freed slot strings, so the cache owns nothing.
+  std::unordered_map<std::string_view, uint32_t> cache_;
+  std::vector<std::pair<const std::string*, uint32_t>> pending_;
+  uint32_t block_cur_ = 0;
+  uint32_t block_end_ = 0;
+};
+
+// Binds a shard to the current thread for its scope: Symbol construction
+// and find_symbol() route through it instead of the global mutex.
+class ScopedShardSymbols {
+ public:
+  explicit ScopedShardSymbols(ShardSymbolTable* shard)
+      : prev_(intern_detail::tls_shard) {
+    intern_detail::tls_shard = shard;
+  }
+  ~ScopedShardSymbols() { intern_detail::tls_shard = prev_; }
+
+  ScopedShardSymbols(const ScopedShardSymbols&) = delete;
+  ScopedShardSymbols& operator=(const ScopedShardSymbols&) = delete;
+
+ private:
+  ShardSymbolTable* prev_;
+};
+
+inline ShardSymbolTable* current_shard_symbols() {
+  return intern_detail::tls_shard;
+}
+
+// Shard-aware find: resolves `text` to the Symbol this thread's records
+// were written with. Query planners must use this instead of
+// SymbolTable::global().find() so lookups on a worker thread see the
+// worker's own (possibly aliased) ids.
+std::optional<Symbol> find_symbol(std::string_view text);
+
 inline Symbol::Symbol(std::string_view text) {
-  id_ = SymbolTable::global().intern(text).id_;
+  if (ShardSymbolTable* shard = intern_detail::tls_shard) {
+    id_ = shard->intern(text).id_;
+  } else {
+    id_ = SymbolTable::global().intern(text).id_;
+  }
 }
 
 inline std::string_view Symbol::view() const {

@@ -1,5 +1,6 @@
 #include "control/failures.h"
 
+#include <charconv>
 #include <cstring>
 
 namespace gremlin::control {
@@ -118,44 +119,55 @@ FailureSpec FailureSpec::partition(std::set<std::string> group) {
 }
 
 std::string FailureSpec::fingerprint() const {
-  const auto bits = [](double v) {
+  std::string out;
+  fingerprint_into(&out);
+  return out;
+}
+
+void FailureSpec::fingerprint_into(std::string* out) const {
+  // to_chars into a stack buffer: std::to_string of a 64-bit value exceeds
+  // the small-string capacity and would heap-allocate a temporary per field.
+  const auto append_num = [out](auto v) {
+    char buf[24];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    out->append(buf, res.ptr);
+  };
+  const auto append_bits = [&append_num](double v) {
     uint64_t u = 0;
     static_assert(sizeof(u) == sizeof(v));
     std::memcpy(&u, &v, sizeof(u));
-    return std::to_string(u);
+    append_num(u);
   };
-  std::string out;
-  out += std::to_string(static_cast<int>(kind));
-  out += '|';
-  out += a;
-  out += '|';
-  out += b;
-  out += '|';
+  append_num(static_cast<int>(kind));
+  *out += '|';
+  *out += a;
+  *out += '|';
+  *out += b;
+  *out += '|';
   for (const auto& member : group) {
-    out += member;
-    out += ',';
+    *out += member;
+    *out += ',';
   }
-  out += '|';
-  out += pattern;
-  out += '|';
-  out += bits(probability);
-  out += '|';
-  out += std::to_string(error);
-  out += '|';
-  out += std::to_string(delay.count());
-  out += '|';
-  out += bits(overload_abort_fraction);
-  out += '|';
-  out += std::to_string(overload_delay.count());
-  out += '|';
-  out += body_pattern;
-  out += '|';
-  out += replace_bytes;
-  out += '|';
-  out += std::to_string(static_cast<int>(on));
-  out += '|';
-  out += std::to_string(max_matches);
-  return out;
+  *out += '|';
+  *out += pattern;
+  *out += '|';
+  append_bits(probability);
+  *out += '|';
+  append_num(error);
+  *out += '|';
+  append_num(delay.count());
+  *out += '|';
+  append_bits(overload_abort_fraction);
+  *out += '|';
+  append_num(overload_delay.count());
+  *out += '|';
+  *out += body_pattern;
+  *out += '|';
+  *out += replace_bytes;
+  *out += '|';
+  append_num(static_cast<int>(on));
+  *out += '|';
+  append_num(max_matches);
 }
 
 const char* FailureSpec::kind_name() const {

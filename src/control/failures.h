@@ -85,6 +85,11 @@ struct FailureSpec {
   // spec across seed replications). Doubles are serialized by bit pattern,
   // not decimal formatting, so near-equal values never collide.
   std::string fingerprint() const;
+
+  // Appends the digest to `out`. The rule cache keys every per-experiment
+  // lookup through a reused scratch string, so the append form keeps the
+  // warm path free of string allocations.
+  void fingerprint_into(std::string* out) const;
 };
 
 // Expands a spec into fault rules using the application graph. Fails when

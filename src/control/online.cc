@@ -29,16 +29,17 @@ std::string fmt_edge(const std::string& src, const std::string& dst) {
   return src + " -> " + dst;
 }
 
-// A service name resolved lazily against the global symbol table. Checks
-// can be constructed before every service they reference has logged (and
-// thus interned) its name; resolution retries until the name exists.
+// A service name resolved lazily against the symbol table (shard-aware:
+// on a campaign worker the record symbols come from the worker's shard).
+// Checks can be constructed before every service they reference has logged
+// (and thus interned) its name; resolution retries until the name exists.
 struct LazySymbol {
   std::string name;  // empty = wildcard
   mutable std::optional<Symbol> sym;
 
   bool matches(Symbol s) const {
     if (name.empty()) return true;
-    if (!sym) sym = SymbolTable::global().find(name);
+    if (!sym) sym = find_symbol(name);
     return sym.has_value() && *sym == s;
   }
 };

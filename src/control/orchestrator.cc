@@ -4,19 +4,24 @@ namespace gremlin::control {
 
 VoidResult FailureOrchestrator::install(
     const std::vector<faults::FaultRule>& rules) {
+  // Borrow the deployment's instance list instead of copying it, and hand
+  // agents one rule at a time: install runs once per experiment, and the
+  // vector copies here used to dominate its steady-state allocations.
+  std::vector<std::shared_ptr<topology::AgentHandle>> wildcard;
   for (const auto& rule : rules) {
-    std::vector<std::shared_ptr<topology::AgentHandle>> targets;
+    const std::vector<std::shared_ptr<topology::AgentHandle>>* targets;
     if (rule.source == "*") {
-      targets = deployment_->all_agents();
+      wildcard = deployment_->all_agents();
+      targets = &wildcard;
     } else {
-      targets = deployment_->instances(rule.source);
+      targets = &deployment_->instances(rule.source);
     }
-    if (targets.empty()) {
+    if (targets->empty()) {
       return Error::not_found("no agent instances for source service '" +
                               rule.source + "'");
     }
-    for (const auto& agent : targets) {
-      auto res = agent->install_rules({rule});
+    for (const auto& agent : *targets) {
+      auto res = agent->install_rule(rule);
       if (!res.ok()) return res;
     }
     ++rules_installed_;

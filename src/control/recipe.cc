@@ -20,8 +20,16 @@ TestSession::TestSession(sim::Simulation* sim,
       orchestrator_(&sim->deployment()) {}
 
 Result<size_t> TestSession::apply(const FailureSpec& spec, RuleCache* cache) {
-  auto rules = cache != nullptr ? cache->translate(translator_, spec)
-                                : translator_.translate(spec);
+  if (cache != nullptr) {
+    // Borrow the cached expansion: installing reads the rules and copies
+    // them into the agents, so no owned vector is needed here.
+    auto rules = cache->lookup(translator_, spec);
+    if (!rules.ok()) return rules.error();
+    auto installed = orchestrator_.install(*rules.value());
+    if (!installed.ok()) return installed.error();
+    return rules.value()->size();
+  }
+  auto rules = translator_.translate(spec);
   if (!rules.ok()) return rules.error();
   auto installed = orchestrator_.install(rules.value());
   if (!installed.ok()) return installed.error();
@@ -63,7 +71,9 @@ LoadResult TestSession::run_load(const std::string& client,
 LoadResult TestSession::run_load(const std::string& client,
                                  const std::string& target,
                                  const LoadOptions& options) {
-  auto result = std::make_shared<LoadResult>();
+  // Pool-allocated: the shared handle is recycled by the simulation's pool
+  // across warm runs instead of costing a control block per experiment.
+  auto result = make_pooled<LoadResult>(&sim_->memory());
   result->latencies.resize(options.count);
   result->statuses.resize(options.count);
 
@@ -99,15 +109,20 @@ LoadResult TestSession::run_load(const std::string& client,
     };
     (*send)(0);
   } else {
+    // Capture the options by pointer: every scheduled event runs (or is
+    // cancelled) inside sim_->run() below, while `options` is still alive.
+    // Capturing by value would copy four strings per request and spill the
+    // event action's inline buffer — a heap allocation per injected request.
+    const LoadOptions* opts = &options;
     for (size_t i = 0; i < options.count; ++i) {
       const TimePoint at = sim_->now() + options.gap * static_cast<int64_t>(i);
-      sim_->schedule_at(at, [this, result, options, i, client_sym,
+      sim_->schedule_at(at, [this, result, opts, i, client_sym,
                              target_sym] {
         sim::SimRequest req;
-        req.request_id = options.id_prefix + std::to_string(i);
-        req.uri = options.uri;
-        req.method = options.method;
-        req.body = options.body;
+        req.request_id = opts->id_prefix + std::to_string(i);
+        req.uri = opts->uri;
+        req.method = opts->method;
+        req.body = opts->body;
         const TimePoint sent = sim_->now();
         sim_->inject(client_sym, target_sym, std::move(req),
                      [this, result, i, sent](const sim::SimResponse& resp) {
@@ -130,7 +145,9 @@ LoadResult TestSession::run_load(const std::string& client,
     sim_->run();
   }
   result->stopped_early = sim_->stop_requested();
-  return *result;
+  // Move the vectors out instead of copying them; any cancelled events that
+  // still hold the shared handle only ever destroy it.
+  return std::move(*result);
 }
 
 VoidResult TestSession::collect() {

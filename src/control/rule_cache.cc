@@ -1,25 +1,39 @@
 #include "control/rule_cache.h"
 
+#include <charconv>
+
 namespace gremlin::control {
 
-Result<std::vector<faults::FaultRule>> RuleCache::translate(
+Result<const std::vector<faults::FaultRule>*> RuleCache::lookup(
     const RecipeTranslator& translator, const FailureSpec& spec) {
-  std::string key = spec.fingerprint();
+  std::string& key = key_scratch_;
+  key.clear();
+  spec.fingerprint_into(&key);
   key += '@';
-  key += std::to_string(translator.sequence());
+  char buf[24];
+  const auto res =
+      std::to_chars(buf, buf + sizeof(buf), translator.sequence());
+  key.append(buf, res.ptr);
 
   const auto it = cache_.find(key);
   if (it != cache_.end()) {
     ++hits_;
     translator.advance_sequence(it->second.size());
-    return it->second;
+    return &it->second;
   }
 
   auto rules = translator.translate(spec);
-  if (!rules.ok()) return rules;
+  if (!rules.ok()) return rules.error();
   ++misses_;
-  cache_.emplace(std::move(key), rules.value());
-  return rules;
+  const auto inserted = cache_.emplace(key, std::move(rules.value()));
+  return &inserted.first->second;
+}
+
+Result<std::vector<faults::FaultRule>> RuleCache::translate(
+    const RecipeTranslator& translator, const FailureSpec& spec) {
+  auto borrowed = lookup(translator, spec);
+  if (!borrowed.ok()) return borrowed.error();
+  return *borrowed.value();
 }
 
 }  // namespace gremlin::control

@@ -31,12 +31,22 @@ class RuleCache {
   Result<std::vector<faults::FaultRule>> translate(
       const RecipeTranslator& translator, const FailureSpec& spec);
 
+  // Like translate(), but borrows the cached expansion instead of copying
+  // it. The returned pointer stays valid until the cache is destroyed
+  // (entries are never evicted). This is the per-experiment hot path: key
+  // building reuses a scratch string and a hit performs no allocation.
+  Result<const std::vector<faults::FaultRule>*> lookup(
+      const RecipeTranslator& translator, const FailureSpec& spec);
+
   size_t hits() const { return hits_; }
   size_t misses() const { return misses_; }
   size_t size() const { return cache_.size(); }
 
  private:
   std::unordered_map<std::string, std::vector<faults::FaultRule>> cache_;
+  // Reused key buffer for lookup(); capacity settles after the first few
+  // experiments, making steady-state key construction allocation-free.
+  std::string key_scratch_;
   size_t hits_ = 0;
   size_t misses_ = 0;
 };

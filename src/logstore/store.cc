@@ -30,30 +30,41 @@ void LogStore::index_tail_locked(size_t first) {
   // Agent buffers arrive grouped: runs of records share an edge and flows
   // interleave over a handful of active IDs, so remembering the last bucket
   // hit turns most index updates into a pointer append instead of a tree
-  // walk with string/pair comparisons.
+  // walk with string/pair comparisons. Span iteration keeps the walk inside
+  // one slab at a time (no per-record slab resolution).
   std::pair<Symbol, Symbol> last_edge{Symbol(), Symbol()};
   std::vector<size_t>* edge_bucket = nullptr;
   const std::string* last_id = nullptr;
   std::vector<size_t>* id_bucket = nullptr;
-  for (size_t i = first; i < records_.size(); ++i) {
-    const LogRecord& r = records_[i];
-    const std::pair<Symbol, Symbol> edge{r.src, r.dst};
-    if (edge_bucket == nullptr || edge != last_edge) {
-      edge_bucket = &by_edge_[edge];
-      last_edge = edge;
+  records_.spans(first, [&](const LogRecord* span, size_t count,
+                            size_t first_pos) {
+    for (size_t i = 0; i < count; ++i) {
+      const LogRecord& r = span[i];
+      const std::pair<Symbol, Symbol> edge{r.src, r.dst};
+      if (edge_bucket == nullptr || edge != last_edge) {
+        edge_bucket = &by_edge_[edge];
+        last_edge = edge;
+      }
+      edge_bucket->push_back(first_pos + i);
+      if (id_bucket == nullptr || r.request_id != *last_id) {
+        id_bucket = &by_id_[r.request_id];
+        last_id = &r.request_id;
+      }
+      id_bucket->push_back(first_pos + i);
     }
-    edge_bucket->push_back(i);
-    if (id_bucket == nullptr || r.request_id != *last_id) {
-      id_bucket = &by_id_[r.request_id];
-      last_id = &r.request_id;
-    }
-    id_bucket->push_back(i);
-  }
+  });
+}
+
+void LogStore::append(const LogRecord& record) {
+  std::lock_guard lock(mu_);
+  records_.append_slot() = record;  // copy-assign: slot capacity reused
+  index_tail_locked(records_.size() - 1);
+  notify_and_retain_locked(records_.size() - 1);
 }
 
 void LogStore::append(LogRecord&& record) {
   std::lock_guard lock(mu_);
-  records_.push_back(std::move(record));
+  records_.append_slot() = std::move(record);
   index_tail_locked(records_.size() - 1);
   notify_and_retain_locked(records_.size() - 1);
 }
@@ -61,8 +72,7 @@ void LogStore::append(LogRecord&& record) {
 void LogStore::append_all(const RecordList& records) {
   std::lock_guard lock(mu_);
   const size_t first = records_.size();
-  records_.reserve(first + records.size());
-  records_.insert(records_.end(), records.begin(), records.end());
+  for (const LogRecord& r : records) records_.append_slot() = r;
   index_tail_locked(first);
   notify_and_retain_locked(first);
 }
@@ -70,19 +80,14 @@ void LogStore::append_all(const RecordList& records) {
 void LogStore::append_all(RecordList&& records) {
   std::lock_guard lock(mu_);
   const size_t first = records_.size();
-  if (first == 0 && records_.capacity() < records.size()) {
-    records_ = std::move(records);
-  } else {
-    records_.reserve(first + records.size());
-    std::move(records.begin(), records.end(), std::back_inserter(records_));
-  }
+  for (LogRecord& r : records) records_.append_slot() = std::move(r);
   index_tail_locked(first);
   notify_and_retain_locked(first);
 }
 
 void LogStore::clear() {
   std::lock_guard lock(mu_);
-  records_.clear();
+  records_.clear();  // size rewind; slabs and slot strings retained
   // Keep the index *nodes* and the position vectors' capacity: warm-world
   // runs replay the same bounded vocabulary of edges and request IDs
   // ("test-N"), so the next experiment re-fills these buckets without
@@ -121,8 +126,7 @@ void LogStore::notify_and_retain_locked(size_t first) {
   // the store is full. Positions shift, so both indexes rebuild.
   const size_t keep = retention_limit_ / 2;
   const size_t drop = records_.size() - keep;
-  records_.erase(records_.begin(),
-                 records_.begin() + static_cast<ptrdiff_t>(drop));
+  records_.evict_front(drop);
   dropped_ += drop;
   by_edge_.clear();
   by_id_.clear();
@@ -141,15 +145,16 @@ const std::vector<size_t>& LogStore::collect_locked(const Query& q) const {
   const Glob glob(q.id_pattern.empty() ? "*" : q.id_pattern);
 
   // Resolve query names to symbols without interning; a name that was never
-  // logged matches nothing.
+  // logged matches nothing. Shard-aware so a campaign worker's queries see
+  // the ids its own records were written with.
   Symbol src, dst;
   if (!q.src.empty()) {
-    const auto s = SymbolTable::global().find(q.src);
+    const auto s = find_symbol(q.src);
     if (!s) return scratch_;
     src = *s;
   }
   if (!q.dst.empty()) {
-    const auto s = SymbolTable::global().find(q.dst);
+    const auto s = find_symbol(q.dst);
     if (!s) return scratch_;
     dst = *s;
   }
@@ -298,7 +303,11 @@ CallGraph LogStore::call_graph(const Query& q) const {
 
 RecordList LogStore::all() const {
   std::lock_guard lock(mu_);
-  RecordList out = records_;
+  RecordList out;
+  out.reserve(records_.size());
+  records_.spans(0, [&out](const LogRecord* span, size_t count, size_t) {
+    out.insert(out.end(), span, span + count);
+  });
   sort_by_time(&out);
   return out;
 }
@@ -306,7 +315,9 @@ RecordList LogStore::all() const {
 Json LogStore::to_json() const {
   std::lock_guard lock(mu_);
   Json arr = Json::array();
-  for (const auto& r : records_) arr.push_back(r.to_json());
+  records_.spans(0, [&arr](const LogRecord* span, size_t count, size_t) {
+    for (size_t i = 0; i < count; ++i) arr.push_back(span[i].to_json());
+  });
   return arr;
 }
 

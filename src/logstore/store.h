@@ -7,11 +7,21 @@
 //
 // Thread-safe: the real proxy appends from connection threads while the
 // control plane queries concurrently.
+//
+// Storage is slab-backed: records live in store-owned fixed-size slabs that
+// are retained across clear(), so a warm world's per-experiment reset is a
+// size rewind (pointer bump) and steady-state appends reuse fully
+// constructed LogRecord slots — including their request-ID string capacity
+// — instead of reallocating a vector and its strings. Positions index into
+// the slabs; bulk walks (indexing, observer notification, full scans,
+// serialization) iterate contiguous spans, one slab at a time.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <string>
@@ -68,7 +78,9 @@ class LogStore {
   LogStore(const LogStore&) = delete;
   LogStore& operator=(const LogStore&) = delete;
 
-  void append(const LogRecord& record) { append(LogRecord(record)); }
+  // The const& overload copy-assigns into a recycled slab slot, reusing the
+  // slot's request-ID capacity (no string allocation once warm).
+  void append(const LogRecord& record);
   void append(LogRecord&& record);
   void append_all(const RecordList& records);
   void append_all(RecordList&& records);
@@ -126,13 +138,72 @@ class LogStore {
   VoidResult load_json(const Json& j);
 
  private:
+  // Slab-backed record storage. Slots are default-constructed once per slab
+  // and then recycled by assignment: clear() rewinds the size but keeps
+  // every slab and every slot's string capacity alive, so the next run's
+  // appends are assignment-only. Records never move on growth (positions
+  // and spans stay stable), unlike a reallocating vector.
+  class RecordSlabs {
+   public:
+    size_t size() const { return size_; }
+    LogRecord& operator[](size_t pos) {
+      return slabs_[pos >> kSlabBits][pos & (kSlabSize - 1)];
+    }
+    const LogRecord& operator[](size_t pos) const {
+      return slabs_[pos >> kSlabBits][pos & (kSlabSize - 1)];
+    }
+
+    // The next slot, ready to be assigned into (grows by one slab when
+    // every retained slot is in use).
+    LogRecord& append_slot() {
+      if (size_ == slabs_.size() * kSlabSize) {
+        slabs_.push_back(std::make_unique<LogRecord[]>(kSlabSize));
+      }
+      LogRecord& slot = (*this)[size_];
+      ++size_;
+      return slot;
+    }
+
+    // Reset = pointer bump: slabs and slot contents are retained for reuse.
+    void clear() { size_ = 0; }
+
+    // Retention eviction: shifts the kept suffix to the front (positions
+    // change; callers rebuild the indexes).
+    void evict_front(size_t drop) {
+      for (size_t i = 0; i + drop < size_; ++i) {
+        (*this)[i] = std::move((*this)[i + drop]);
+      }
+      size_ -= drop;
+    }
+
+    // Visits records [first, size) as contiguous spans, one per slab:
+    // fn(const LogRecord* span, size_t count, size_t first_pos).
+    template <typename Fn>
+    void spans(size_t first, Fn&& fn) const {
+      size_t pos = first;
+      while (pos < size_) {
+        const size_t off = pos & (kSlabSize - 1);
+        const size_t count = std::min(kSlabSize - off, size_ - pos);
+        fn(&slabs_[pos >> kSlabBits][off], count, pos);
+        pos += count;
+      }
+    }
+
+   private:
+    static constexpr size_t kSlabBits = 9;
+    static constexpr size_t kSlabSize = size_t{1} << kSlabBits;
+
+    std::vector<std::unique_ptr<LogRecord[]>> slabs_;
+    size_t size_ = 0;
+  };
+
   void index_tail_locked(size_t first);
   void notify_and_retain_locked(size_t first);
   const std::vector<size_t>& collect_locked(const Query& q) const;
   size_t for_each_locked(const Query& q, const RecordVisitor& fn) const;
 
   mutable std::mutex mu_;
-  RecordList records_;                                 // insertion order
+  RecordSlabs records_;                                // insertion order
   AppendObserver observer_;        // per-record append hook (may be empty)
   size_t retention_limit_ = 0;     // 0 = unbounded
   size_t dropped_ = 0;             // evicted by retention

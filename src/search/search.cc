@@ -5,6 +5,7 @@
 #include <map>
 #include <optional>
 
+#include "campaign/execution_context.h"
 #include "campaign/warm_world.h"
 
 namespace gremlin::search {
@@ -86,14 +87,20 @@ SearchOutcome run_search(const campaign::AppSpec& app,
 
   // Baseline replay: verdict reference plus the observed call graph. In
   // warm mode the baseline's deployment stays alive — the shrink probes
-  // below reset and reuse it instead of rebuilding per probe.
-  std::optional<campaign::WarmWorld> world;
-  if (options.warm) world.emplace(app);
+  // below reset and reuse it instead of rebuilding per probe. The search
+  // thread runs them inside its own ExecutionContext (shard interning,
+  // pooled allocation), exactly like a campaign worker; the campaign batch
+  // in between binds fresh per-worker contexts of its own.
+  campaign::ExecutionContext search_ctx(options.warm);
+  ScopedShardSymbols bind_symbols(&search_ctx.symbols());
+  campaign::WarmWorld* world =
+      options.warm ? search_ctx.world_for(app) : nullptr;
   Combination empty_combo;
   const campaign::Experiment baseline_experiment =
       make_experiment(app, points, empty_combo, options, target, checks);
-  const Baseline baseline = world ? run_baseline(baseline_experiment, &*world)
+  const Baseline baseline = world ? run_baseline(baseline_experiment, world)
                                   : run_baseline(baseline_experiment);
+  search_ctx.merge();  // result boundary: baseline names are global now
   outcome.baseline_passed = baseline.result.passed();
   outcome.baseline_requests = baseline.result.requests;
   outcome.observed_edges = baseline.call_graph.edges.size();

@@ -5,15 +5,10 @@
 
 namespace gremlin::sim {
 
-uint32_t EventQueue::acquire_node() {
-  if (free_head_ != kNil) {
-    const uint32_t idx = free_head_;
-    free_head_ = node(idx).next_free;
-    return idx;
-  }
+uint32_t EventPool::grow() {
   // Pool exhausted: grow by one slab and thread the new nodes onto the free
   // list (highest index first, so allocation order is ascending).
-  const uint32_t base = static_cast<uint32_t>(pool_capacity());
+  const uint32_t base = static_cast<uint32_t>(capacity());
   slabs_.push_back(std::make_unique<Node[]>(kSlabSize));
   for (size_t i = kSlabSize; i-- > 1;) {
     node(base + static_cast<uint32_t>(i)).next_free = free_head_;
@@ -22,11 +17,12 @@ uint32_t EventQueue::acquire_node() {
   return base;
 }
 
-void EventQueue::release_node(uint32_t idx) {
-  Node& n = node(idx);
-  n.action = nullptr;  // drop captures eagerly (they may pin resources)
-  n.next_free = free_head_;
-  free_head_ = idx;
+void EventQueue::Ring::grow() {
+  const size_t new_size = std::max<size_t>(16, buf.size() * 2);
+  std::vector<Entry> fresh(new_size);
+  for (size_t i = 0; i < count; ++i) fresh[i] = at(i);
+  buf = std::move(fresh);
+  head = 0;
 }
 
 void EventQueue::sift_up(size_t pos) {
@@ -60,27 +56,35 @@ void EventQueue::sift_down(size_t pos) {
 }
 
 void EventQueue::schedule_at(TimePoint at, Action action) {
-  const uint32_t idx = acquire_node();
-  node(idx).action = std::move(action);
+  const uint32_t idx = pool_->acquire();
+  pool_->action(idx) = std::move(action);
   heap_.push_back(Entry{at, next_seq_++, idx});
   sift_up(heap_.size() - 1);
 }
 
 void EventQueue::schedule_timer(TimePoint at, Duration delay, Action action) {
   Lane* lane = nullptr;
-  for (Lane& l : lanes_) {
-    if (l.delay == delay) {
-      lane = &l;
+  for (size_t i = 0; i < lanes_used_; ++i) {
+    if (lanes_[i].delay == delay) {
+      lane = &lanes_[i];
       break;
     }
   }
   if (lane == nullptr) {
-    if (lanes_.size() >= kMaxLanes) {
+    if (lanes_used_ >= kMaxLanes) {
       schedule_at(at, std::move(action));
       return;
     }
-    lanes_.push_back(Lane{delay, {}});
-    lane = &lanes_.back();
+    // Re-activate a retained lane slot when one exists (its ring keeps the
+    // capacity from earlier runs); first-use order matches a fresh queue.
+    if (lanes_used_ < lanes_.size()) {
+      lane = &lanes_[lanes_used_];
+      lane->delay = delay;
+    } else {
+      lanes_.push_back(Lane{delay, {}});
+      lane = &lanes_.back();
+    }
+    ++lanes_used_;
   }
   if (!lane->fifo.empty() && at < lane->fifo.back().at) {
     // Out-of-order birth (caller's clock was not monotone): the lane
@@ -88,8 +92,8 @@ void EventQueue::schedule_timer(TimePoint at, Duration delay, Action action) {
     schedule_at(at, std::move(action));
     return;
   }
-  const uint32_t idx = acquire_node();
-  node(idx).action = std::move(action);
+  const uint32_t idx = pool_->acquire();
+  pool_->action(idx) = std::move(action);
   lane->fifo.push_back(Entry{at, next_seq_++, idx});
   ++lanes_pending_;
 }
@@ -97,7 +101,7 @@ void EventQueue::schedule_timer(TimePoint at, Duration delay, Action action) {
 const EventQueue::Entry* EventQueue::best_entry(int* lane) const {
   if (lane != nullptr) *lane = -1;
   const Entry* best = heap_.empty() ? nullptr : &heap_[0];
-  for (size_t i = 0; i < lanes_.size(); ++i) {
+  for (size_t i = 0; i < lanes_used_; ++i) {
     if (lanes_[i].fifo.empty()) continue;
     const Entry& front = lanes_[i].fifo.front();
     if (best == nullptr || front.before(*best)) {
@@ -111,7 +115,7 @@ const EventQueue::Entry* EventQueue::best_entry(int* lane) const {
 TimePoint EventQueue::pop_and_run() {
   int lane = -1;
   const Entry top = *best_entry(&lane);
-  Action action = std::move(node(top.idx).action);
+  Action action = std::move(pool_->action(top.idx));
   if (lane < 0) {
     heap_[0] = heap_.back();
     heap_.pop_back();
@@ -122,31 +126,26 @@ TimePoint EventQueue::pop_and_run() {
   }
   // Recycle before running: the action may schedule follow-up events, which
   // then reuse this very slot instead of growing the pool.
-  release_node(top.idx);
+  pool_->release(top.idx);
   action();
   return top.at;
 }
 
 void EventQueue::clear() {
-  for (const Entry& e : heap_) release_node(e.idx);
+  for (const Entry& e : heap_) pool_->release(e.idx);
   heap_.clear();
-  for (Lane& lane : lanes_) {
-    for (const Entry& e : lane.fifo) release_node(e.idx);
+  for (size_t i = 0; i < lanes_used_; ++i) {
+    Ring& fifo = lanes_[i].fifo;
+    for (size_t j = 0; j < fifo.size(); ++j) pool_->release(fifo.at(j).idx);
+    fifo.clear();
   }
-  // Drop the lane table itself: a reused queue must rebuild lanes in the
-  // same order a fresh queue would, so warm runs take byte-identical
-  // scheduling paths (including the lane-table-full heap fallback).
-  lanes_.clear();
+  // Deactivate (but retain) the lane table: a reused queue must rebuild
+  // lanes in the same order a fresh queue would, so warm runs take
+  // byte-identical scheduling paths (including the table-full fallback) —
+  // while every ring keeps its capacity.
+  lanes_used_ = 0;
   lanes_pending_ = 0;
   next_seq_ = 0;
-}
-
-size_t EventQueue::free_list_length() const {
-  size_t n = 0;
-  for (uint32_t idx = free_head_; idx != kNil; idx = node(idx).next_free) {
-    ++n;
-  }
-  return n;
 }
 
 }  // namespace gremlin::sim

@@ -15,6 +15,14 @@
 // either (std::function would allocate for any capture larger than two
 // pointers).
 //
+// The pool (EventPool) is a standalone object so a campaign worker's
+// ExecutionContext can own one and lend it to every warm world it drives:
+// the worlds run strictly one at a time on that worker, so they can share
+// slabs and the free list — one pool sized to the worker's peak instead of
+// one per world. A queue constructed without a pool owns a private one.
+// Node indices never influence event order (order is (time, seq) alone), so
+// sharing is invisible to the schedule.
+//
 // Timer events (fixed relative delay from a monotone "now", e.g. the
 // per-attempt call timeouts) bypass the heap: for a given delay they are
 // scheduled in fire-time order, so each distinct delay gets an O(1) FIFO
@@ -23,11 +31,13 @@
 // accumulate for the whole run and deepen every sift for the transient
 // events doing the real work. pop order stays the exact global (time, seq)
 // order — the pop compares the heap top against each lane front — so runs
-// are byte-identical to an all-heap schedule.
+// are byte-identical to an all-heap schedule. Lane FIFOs are ring buffers
+// (not deques) and clear() retains both their capacity and the lane table
+// storage, re-assigning lanes in first-use order, so warm-world resets take
+// byte-identical scheduling paths with zero allocation.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <vector>
 
@@ -36,11 +46,80 @@
 
 namespace gremlin::sim {
 
-class EventQueue {
+// Slab-allocated storage for scheduled actions, recycled through a LIFO
+// free list. Shareable between queues that run on one thread (see file
+// comment); not thread-safe.
+class EventPool {
  public:
   // Sized for the request-path closures in sim/service.cc (self handle +
   // generation + timestamps + a response); see tests/event_pool_test.cc.
   using Action = InlineFunction<void(), 128>;
+
+  static constexpr uint32_t kNil = 0xffffffffu;
+
+  uint32_t acquire() {
+    if (free_head_ != kNil) {
+      const uint32_t idx = free_head_;
+      free_head_ = node(idx).next_free;
+      return idx;
+    }
+    return grow();
+  }
+
+  void release(uint32_t idx) {
+    Node& n = node(idx);
+    n.action = nullptr;  // drop captures eagerly (they may pin resources)
+    n.next_free = free_head_;
+    free_head_ = idx;
+  }
+
+  Action& action(uint32_t idx) { return node(idx).action; }
+
+  size_t capacity() const { return slabs_.size() * kSlabSize; }
+
+  // Actual free-list walk (O(free nodes)); see EventQueue::free_list_length.
+  size_t free_list_length() const {
+    size_t n = 0;
+    for (uint32_t idx = free_head_; idx != kNil; idx = node(idx).next_free) {
+      ++n;
+    }
+    return n;
+  }
+
+ private:
+  static constexpr size_t kSlabBits = 8;
+  static constexpr size_t kSlabSize = size_t{1} << kSlabBits;  // nodes/slab
+
+  struct Node {
+    Action action;
+    uint32_t next_free = kNil;
+  };
+
+  Node& node(uint32_t idx) {
+    return slabs_[idx >> kSlabBits][idx & (kSlabSize - 1)];
+  }
+  const Node& node(uint32_t idx) const {
+    return slabs_[idx >> kSlabBits][idx & (kSlabSize - 1)];
+  }
+
+  uint32_t grow();
+
+  std::vector<std::unique_ptr<Node[]>> slabs_;  // stable slab-allocated pool
+  uint32_t free_head_ = kNil;                   // LIFO free list
+};
+
+class EventQueue {
+ public:
+  using Action = EventPool::Action;
+
+  // A null pool means the queue owns a private one; a non-null pool must
+  // outlive the queue and only be shared with queues on the same thread.
+  explicit EventQueue(EventPool* pool = nullptr)
+      : pool_(pool != nullptr ? pool : &own_pool_) {}
+
+  // pool_ may alias own_pool_, so the queue is pinned in place.
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
 
   void schedule_at(TimePoint at, Action action);
 
@@ -64,28 +143,21 @@ class EventQueue {
 
   // Drops all pending events and resets the insertion sequence, so
   // back-to-back runs on a reused queue produce identical event orderings.
-  // The pool itself is retained for reuse.
+  // The pool, the lane table, and every lane's ring capacity are retained.
   void clear();
 
   // --- pool introspection (tests / benchmarks) ---
-  size_t pool_capacity() const { return slabs_.size() * kSlabSize; }
+  size_t pool_capacity() const { return pool_->capacity(); }
   size_t free_count() const { return pool_capacity() - size(); }
 
   // Actual free-list walk (O(free nodes)), as opposed to the arithmetic
   // free_count(). After clear() — including an early-terminated run's
   // cancel_pending() — every pool node must be on the free list; a shorter
   // walk means leaked slab nodes (tests/event_pool_test.cc).
-  size_t free_list_length() const;
+  size_t free_list_length() const { return pool_->free_list_length(); }
 
  private:
-  static constexpr uint32_t kNil = 0xffffffffu;
-  static constexpr size_t kSlabBits = 8;
-  static constexpr size_t kSlabSize = size_t{1} << kSlabBits;  // nodes/slab
-
-  struct Node {
-    Action action;
-    uint32_t next_free = kNil;
-  };
+  static constexpr uint32_t kNil = EventPool::kNil;
 
   // One heap slot: sort key plus the pool index of the action.
   struct Entry {
@@ -99,20 +171,44 @@ class EventQueue {
     }
   };
 
-  Node& node(uint32_t idx) { return slabs_[idx >> kSlabBits][idx & (kSlabSize - 1)]; }
-  const Node& node(uint32_t idx) const {
-    return slabs_[idx >> kSlabBits][idx & (kSlabSize - 1)];
-  }
+  // Fixed-purpose FIFO ring: push_back/pop_front with retained power-of-two
+  // capacity, so a warm world's timer traffic stops allocating once the
+  // ring reaches the run's peak (a deque would churn block allocations).
+  struct Ring {
+    std::vector<Entry> buf;  // power-of-two size; empty until first push
+    size_t head = 0;
+    size_t count = 0;
+
+    bool empty() const { return count == 0; }
+    size_t size() const { return count; }
+    const Entry& front() const { return buf[head]; }
+    const Entry& back() const { return buf[(head + count - 1) & (buf.size() - 1)]; }
+    const Entry& at(size_t i) const {
+      return buf[(head + i) & (buf.size() - 1)];
+    }
+    void push_back(const Entry& e) {
+      if (count == buf.size()) grow();
+      buf[(head + count) & (buf.size() - 1)] = e;
+      ++count;
+    }
+    void pop_front() {
+      head = (head + 1) & (buf.size() - 1);
+      --count;
+    }
+    void clear() {
+      head = 0;
+      count = 0;
+    }
+    void grow();
+  };
 
   // One FIFO of same-delay timers, sorted by (at, seq) by construction.
   struct Lane {
     Duration delay{};
-    std::deque<Entry> fifo;
+    Ring fifo;
   };
   static constexpr size_t kMaxLanes = 8;
 
-  uint32_t acquire_node();
-  void release_node(uint32_t idx);
   void sift_up(size_t pos);
   void sift_down(size_t pos);
   // Global (time, seq) minimum across the heap top and the lane fronts;
@@ -120,11 +216,12 @@ class EventQueue {
   // of the winning lane, or -1 for the heap.
   const Entry* best_entry(int* lane = nullptr) const;
 
-  std::vector<std::unique_ptr<Node[]>> slabs_;  // stable slab-allocated pool
-  uint32_t free_head_ = kNil;                   // LIFO free list
-  std::vector<Entry> heap_;                     // 4-ary min-heap
-  std::vector<Lane> lanes_;                     // timer FIFOs, one per delay
-  size_t lanes_pending_ = 0;                    // events across all lanes
+  EventPool own_pool_;  // used only when no external pool was supplied
+  EventPool* pool_;
+  std::vector<Entry> heap_;  // 4-ary min-heap
+  std::vector<Lane> lanes_;  // timer FIFOs, one per delay; storage retained
+  size_t lanes_used_ = 0;    // lanes live this run (first-use order)
+  size_t lanes_pending_ = 0;  // events across all live lanes
   uint64_t next_seq_ = 0;
 };
 

@@ -124,15 +124,18 @@ class OutboundCall : public std::enable_shared_from_this<OutboundCall> {
     auto self = shared_from_this();
     switch (decision.action) {
       case FaultKind::kAbort: {
-        const SimResponse resp =
+        SimResponse resp =
             decision.is_tcp_reset()
                 ? SimResponse::reset()
                 : SimResponse::error(decision.abort_code, "gremlin-abort");
         log_response(resp, attempt_start, kDurationZero, FaultKind::kAbort,
                      decision.rule_id);
-        sim().schedule_timer(kDurationZero, [self, gen, resp] {
-          self->on_attempt_result(gen, resp);
-        });
+        // Moved into the capture (a const member would make the closure
+        // copy-only and spill it to the heap per aborted attempt).
+        sim().schedule_timer(kDurationZero,
+                             [self, gen, resp = std::move(resp)] {
+                               self->on_attempt_result(gen, resp);
+                             });
         return;
       }
       case FaultKind::kDelay: {
@@ -184,9 +187,13 @@ class OutboundCall : public std::enable_shared_from_this<OutboundCall> {
                                       const SimResponse& response) {
         const Duration back_latency = self->sim().network().latency(
             self->caller_name(), self->dependency_, &self->sim().rng());
-        const SimResponse resp = response;
+        // Init-capture keeps the closure member non-const: a `const
+        // SimResponse` member has no usable move constructor, which fails
+        // InlineFunction's nothrow-move test and heap-allocates the closure
+        // on every hop.
         self->sim().schedule(back_latency,
-                             [self, gen, attempt_start, resp, injected] {
+                             [self, gen, attempt_start, resp = response,
+                              injected] {
                                self->receive_wire_response(
                                    gen, attempt_start, resp, injected);
                              });
@@ -383,6 +390,7 @@ void RequestContext::defer(Duration delay, std::function<void()> fn) {
 void RequestContext::respond(SimResponse response) {
   if (responded_) return;
   responded_ = true;
+  instance_->finish_processing();
   if (reply_) reply_(response);
 }
 
@@ -427,14 +435,13 @@ void ServiceInstance::begin_processing(const SimRequest& request,
     processing = Duration(static_cast<int64_t>(
         std::max(0.0, static_cast<double>(processing.count()) * scale)));
   }
-  // Wrap the reply so the worker slot is released exactly when the
-  // response leaves the instance.
-  auto wrapped = [this, reply = std::move(reply)](const SimResponse& resp) {
-    finish_processing();
-    if (reply) reply(resp);
-  };
-  auto ctx =
-      std::make_shared<RequestContext>(this, request, std::move(wrapped));
+  // The context releases the worker slot in respond(); wrapping the reply
+  // here would spill the ResponseCallback inline buffer (the wrapper is
+  // larger than the callback it wraps) and heap-allocate per request.
+  // Contexts come from the simulation's pool: a warm world recycles them
+  // instead of paying a shared_ptr control block per request per hop.
+  auto ctx = make_pooled<RequestContext>(&sim_->memory(), this, request,
+                                         std::move(reply));
   // Constant per service config (or per slowdown rule when scaled), so the
   // queue lanes it instead of paying heap sifts per request.
   sim_->schedule_timer(processing, [this, ctx] {
@@ -463,12 +470,17 @@ void ServiceInstance::run_default_handler(std::shared_ptr<RequestContext> ctx,
     ctx->respond(200, "ok:" + service_->name());
     return;
   }
-  const std::string dep = deps[next_dep];
-  ctx->call(dep, [this, ctx, next_dep, dep](const SimResponse& resp) {
+  // Capture the dependency by index, not by string: the callback then fits
+  // the ResponseCallback inline buffer instead of spilling to the heap on
+  // every hop. The body strings are kept short enough for SSO — response
+  // bodies are copied at each level of the callback chain, so a heap-backed
+  // body would allocate several times per failed request.
+  ctx->call(deps[next_dep], [this, ctx, next_dep](const SimResponse& resp) {
     if (resp.failed()) {
       // Naive propagation: a failed dependency (that the CallPolicy did not
       // absorb) fails the whole request.
-      ctx->respond(500, "dependency-failed:" + dep);
+      ctx->respond(500,
+                   "dep-fail:" + service_->config().dependencies[next_dep]);
       return;
     }
     run_default_handler(ctx, next_dep + 1);
@@ -478,9 +490,10 @@ void ServiceInstance::run_default_handler(std::shared_ptr<RequestContext> ctx,
 void ServiceInstance::call_dependency(const std::string& dependency,
                                       SimRequest request,
                                       ResponseCallback cb) {
-  auto call = std::make_shared<OutboundCall>(this, dependency,
-                                             std::move(request),
-                                             std::move(cb));
+  // Pool-allocated: one recycled granule per call instead of a fresh
+  // control block + object on every dependency hop.
+  auto call = make_pooled<OutboundCall>(&sim_->memory(), this, dependency,
+                                        std::move(request), std::move(cb));
   call->start();
 }
 

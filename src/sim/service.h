@@ -134,7 +134,10 @@ class RequestContext : public std::enable_shared_from_this<RequestContext> {
   // Schedules follow-up work on the virtual clock (extra local processing).
   void defer(Duration delay, std::function<void()> fn);
 
-  // Completes the request. Only the first respond() takes effect.
+  // Completes the request. Only the first respond() takes effect. The
+  // instance's worker slot is released here — every context is born in
+  // begin_processing, so respond() is exactly where the response leaves
+  // the instance (no per-request wrapper callback needed).
   void respond(SimResponse response);
   void respond(int status, std::string body = "");
   bool responded() const { return responded_; }

@@ -15,6 +15,10 @@ VoidResult SimAgent::install_rules(
   return engine_.add_rules(rules);
 }
 
+VoidResult SimAgent::install_rule(const faults::FaultRule& rule) {
+  return engine_.add_rule(rule);
+}
+
 VoidResult SimAgent::clear_rules() {
   engine_.clear();
   return VoidResult::success();

@@ -27,6 +27,7 @@ class SimAgent : public topology::AgentHandle {
   std::string instance_id() const override { return instance_id_; }
   VoidResult install_rules(
       const std::vector<faults::FaultRule>& rules) override;
+  VoidResult install_rule(const faults::FaultRule& rule) override;
   VoidResult clear_rules() override;
   VoidResult remove_rules(const std::vector<std::string>& ids) override;
   Result<logstore::RecordList> fetch_records() override;

@@ -6,6 +6,10 @@ namespace gremlin::sim {
 
 Simulation::Simulation(SimulationConfig config)
     : config_(config),
+      own_memory_(config.memory == nullptr ? std::make_unique<MemoryPool>()
+                                           : nullptr),
+      memory_(config.memory != nullptr ? config.memory : own_memory_.get()),
+      queue_(config.event_pool),
       rng_(config.seed),
       network_(config.default_network_latency) {}
 
@@ -80,9 +84,10 @@ SimService* Simulation::find_service(const std::string& name) {
 }
 
 SimService* Simulation::find_service(std::string_view name) {
-  // find() (not Symbol construction): lookups of unknown names must not
-  // grow the global symbol table.
-  const auto sym = SymbolTable::global().find(name);
+  // find_symbol() (not Symbol construction): lookups of unknown names must
+  // not grow the symbol table, and a campaign worker must resolve through
+  // its own shard so ids match the ones its services registered with.
+  const auto sym = find_symbol(name);
   return sym ? find_service(*sym) : nullptr;
 }
 
@@ -101,16 +106,14 @@ void Simulation::reset(uint64_t seed) {
   log_store_.set_observer(nullptr);
   log_store_.set_retention_limit(0);
   log_store_.clear();
-  // Drop services added after the baseline (inject()'s lazily created edge
-  // clients): a cold build would not have them yet.
-  if (baseline_marked_) {
-    while (services_.size() > baseline_service_count_) {
-      SimService* extra = services_.back().get();
-      by_symbol_[extra->symbol().id()] = nullptr;
-      deployment_.remove_service(extra->name());
-      services_.pop_back();
-    }
-  }
+  // Services added after the baseline (inject()'s lazily created edge
+  // clients) are kept and reset in place rather than dropped. A retained
+  // idle client is invisible to results — it schedules no events, its agent
+  // records nothing after reset, and fingerprints carry no symbol ids — so
+  // warm runs stay byte-identical to cold ones (the warm-cold differential
+  // in CI gates this), while re-creating the client per experiment cost
+  // ~11 heap allocations: the SimService, its instance vector, the agent,
+  // and the deployment + dependency-cache map nodes.
   for (auto& service : services_) service->reset(seed);
   recording_ = true;  // SimAgent::reset already restored the agents
 }

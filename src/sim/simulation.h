@@ -14,6 +14,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/intern.h"
 #include "common/rng.h"
 #include "logstore/store.h"
@@ -28,6 +29,13 @@ namespace gremlin::sim {
 struct SimulationConfig {
   uint64_t seed = 42;
   Duration default_network_latency = usec(500);
+
+  // Worker-context resources (campaign::ExecutionContext): when non-null
+  // they must outlive the Simulation and may only be shared among
+  // simulations driven by the same thread (a worker's warm worlds run one
+  // at a time). Null means the simulation owns private ones.
+  EventPool* event_pool = nullptr;
+  MemoryPool* memory = nullptr;
 };
 
 class Simulation {
@@ -74,29 +82,24 @@ class Simulation {
   const EventQueue& event_queue() const { return queue_; }
 
   Rng& rng() { return rng_; }
+  // The pool backing the data plane's transient objects (outbound calls,
+  // request contexts, queue buffers). Worker-shared when the config
+  // supplied one, private otherwise; only touched from the driving thread.
+  MemoryPool& memory() { return *memory_; }
   SimNetwork& network() { return network_; }
   logstore::LogStore& log_store() { return log_store_; }
   topology::Deployment& deployment() { return deployment_; }
   const SimulationConfig& config() const { return config_; }
-
-  // --- warm-world reuse ---
-  // Marks the current set of services as the pristine deployment. reset()
-  // drops any service added after this point (e.g. the edge client inject()
-  // creates lazily), so a reused simulation starts every experiment from
-  // the exact topology a fresh build would produce.
-  void mark_baseline() {
-    baseline_service_count_ = services_.size();
-    baseline_marked_ = true;
-  }
 
   // Deep reset to the state of a freshly constructed Simulation with
   // `seed`, without destroying the deployment: virtual clock to zero, event
   // queue cleared (pool retained), RNG reseeded, LogStore cleared (interned
   // symbols and index capacity retained), every service's mutable state
   // reset (round-robin cursors, breaker/bulkhead/queue state, agent rule
-  // engines + RNG streams), and post-baseline services removed. The warm-
-  // world contract: a run after reset(seed) is byte-identical to the same
-  // run on a cold Simulation built with `seed`.
+  // engines + RNG streams). Services inject() created lazily (edge clients)
+  // are reset in place and reused by the next experiment. The warm-world
+  // contract: a run after reset(seed) is byte-identical to the same run on
+  // a cold Simulation built with `seed`.
   void reset(uint64_t seed);
 
   // Flips observation capture on every sidecar agent (current and lazily
@@ -160,6 +163,8 @@ class Simulation {
 
   SimulationConfig config_;
   TimePoint now_{};
+  std::unique_ptr<MemoryPool> own_memory_;  // when no context pool supplied
+  MemoryPool* memory_;
   EventQueue queue_;
   Rng rng_;
   SimNetwork network_;
@@ -172,8 +177,6 @@ class Simulation {
   // table stays small.
   std::vector<std::unique_ptr<SimService>> services_;
   std::vector<SimService*> by_symbol_;
-  size_t baseline_service_count_ = 0;
-  bool baseline_marked_ = false;
   bool recording_ = true;
   uint64_t events_processed_ = 0;
   bool stop_requested_ = false;

@@ -28,6 +28,14 @@ class AgentHandle {
 
   virtual VoidResult install_rules(
       const std::vector<faults::FaultRule>& rules) = 0;
+
+  // Installs a single rule. The orchestrator's per-experiment hot path: the
+  // default wraps the rule in a one-element vector, in-process agents
+  // override it to skip that temporary.
+  virtual VoidResult install_rule(const faults::FaultRule& rule) {
+    return install_rules({rule});
+  }
+
   virtual VoidResult clear_rules() = 0;
 
   // Removes specific rules by ID (unknown IDs are ignored). Enables timed
