@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "campaign/execution_context.h"
+#include "campaign/process_pool.h"
 #include "campaign/warm_world.h"
 #include "control/collector.h"
 #include "control/online.h"
@@ -325,6 +326,14 @@ ExperimentResult CampaignRunner::run_prepared(const Experiment& experiment,
 
 CampaignResult CampaignRunner::run(
     const std::vector<Experiment>& experiments) const {
+  // Multi-process sharding: fork worker processes and merge their streamed
+  // results in experiment order (campaign/process_pool). Byte-identical to
+  // the in-process paths below; a batch of one experiment gains nothing
+  // from a fork, so it stays in-process.
+  if (options_.procs > 1 && experiments.size() > 1 && multiproc_available()) {
+    return run_multiproc(experiments, options_);
+  }
+
   CampaignResult campaign;
   campaign.experiments.resize(experiments.size());
   campaign.threads = resolved_threads();

@@ -28,7 +28,21 @@ namespace gremlin::campaign {
 
 struct RunnerOptions {
   // Worker threads; 0 → std::thread::hardware_concurrency (min 1).
+  // With procs > 1 this is the thread count *per worker process* and 0
+  // resolves to hardware_concurrency / procs instead, so sharding splits
+  // the machine rather than oversubscribing it.
   int threads = 0;
+
+  // Worker processes (multi-process campaign sharding, see
+  // campaign/process_pool.h): > 1 forks that many shard processes, each
+  // hosting `threads` execution threads with their own warm-world pools,
+  // leases experiment ranges through a shared-memory cursor, and merges
+  // the streamed results in experiment order. Byte-identical — both
+  // fingerprint() and verdict_fingerprint() — to procs=1 at any
+  // procs × threads combination; a crashed worker's unfinished lease is
+  // re-queued onto survivors (wall-clock cost, never correctness).
+  // <= 1, or platforms without fork, run in-process.
+  int procs = 1;
 
   // Drop per-request latency/status vectors from results (saves memory on
   // very large sweeps; fingerprints then cover verdicts + counters only).
@@ -121,7 +135,8 @@ struct CampaignResult {
   // ran what.
   std::vector<ExperimentResult> experiments;
   Duration wall_clock{};  // real elapsed time for the whole batch
-  int threads = 1;
+  int threads = 1;        // execution threads (per process when procs > 1)
+  int procs = 1;          // worker processes that ran the batch
 
   size_t passed() const;
   size_t failed() const;
@@ -177,6 +192,8 @@ class CampaignRunner {
                                  bool keep_latencies = true);
 
   int resolved_threads() const;
+
+  const RunnerOptions& options() const { return options_; }
 
  private:
   RunnerOptions options_;

@@ -1,0 +1,63 @@
+#include "common/wire.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+namespace gremlin::wire {
+
+bool write_all(int fd, const void* data, size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t written = ::write(fd, p, n);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += written;
+    n -= static_cast<size_t>(written);
+  }
+  return true;
+}
+
+bool write_frame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFramePayload) return false;
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  std::string frame;
+  frame.reserve(4 + payload.size());
+  frame.push_back(static_cast<char>(len & 0xff));
+  frame.push_back(static_cast<char>((len >> 8) & 0xff));
+  frame.push_back(static_cast<char>((len >> 16) & 0xff));
+  frame.push_back(static_cast<char>((len >> 24) & 0xff));
+  frame.append(payload.data(), payload.size());
+  return write_all(fd, frame.data(), frame.size());
+}
+
+bool FrameBuffer::next(std::string* payload) {
+  if (corrupt_) return false;
+  const size_t avail = buf_.size() - consumed_;
+  if (avail < 4) return false;
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(buf_.data()) + consumed_;
+  const uint32_t len = static_cast<uint32_t>(p[0]) |
+                       (static_cast<uint32_t>(p[1]) << 8) |
+                       (static_cast<uint32_t>(p[2]) << 16) |
+                       (static_cast<uint32_t>(p[3]) << 24);
+  if (len > kMaxFramePayload) {
+    corrupt_ = true;
+    return false;
+  }
+  if (avail < 4 + static_cast<size_t>(len)) return false;
+  payload->assign(buf_, consumed_ + 4, len);
+  consumed_ += 4 + static_cast<size_t>(len);
+  // Reclaim consumed prefix once it dominates the buffer, so long streams
+  // don't grow without bound.
+  if (consumed_ > 4096 && consumed_ * 2 > buf_.size()) {
+    buf_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  return true;
+}
+
+}  // namespace gremlin::wire

@@ -1,0 +1,170 @@
+// Wire: the compact binary serialization used at process boundaries.
+//
+// Multi-process campaign sharding (src/campaign/process_pool) streams
+// ExperimentResults from forked workers back to the parent over pipes.
+// The format is byte-exact by construction — unsigned integers are LEB128
+// varints, signed integers are zigzag varints, strings are length-prefixed
+// raw bytes — so a decode(encode(x)) round trip reproduces every field
+// bit-for-bit and fingerprints computed on either side of the boundary are
+// identical (tests/wire_test.cc fuzzes this).
+//
+// Framing: a stream is a sequence of frames, each a little-endian u32
+// payload length followed by the payload bytes. Frames are written with
+// one write_all call so readers never see an interleaved frame from a
+// well-behaved writer; FrameBuffer reassembles frames from arbitrarily
+// chunked reads (pipes deliver whatever they feel like).
+//
+// Symbols never cross this boundary: everything is stringified before
+// encoding (ExperimentResult carries plain strings produced by the stable
+// stringification of the shard interner), so shard-local Symbol ids cannot
+// leak between processes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace gremlin::wire {
+
+// Append-only encoder over an owned byte buffer.
+class Writer {
+ public:
+  void u8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+
+  // LEB128 varint: 7 bits per byte, high bit = continuation.
+  void u64(uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<char>((v & 0x7f) | 0x80));
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<char>(v));
+  }
+  void u32(uint32_t v) { u64(v); }
+
+  // Zigzag-mapped varint: small magnitudes of either sign stay short.
+  void i64(int64_t v) {
+    u64((static_cast<uint64_t>(v) << 1) ^
+        static_cast<uint64_t>(v >> 63));
+  }
+  void i32(int32_t v) { i64(v); }
+
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  // Length-prefixed raw bytes (no terminator, arbitrary content).
+  void str(std::string_view s) {
+    u64(s.size());
+    buf_.append(s.data(), s.size());
+  }
+
+  const std::string& buffer() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+// Decoder over a borrowed byte span. Every accessor returns a value and
+// never throws; after any malformed read ok() turns false and all further
+// reads return zero values. Callers check ok() once at the end.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  uint8_t u8() {
+    if (pos_ >= data_.size()) return fail8();
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+
+  uint64_t u64() {
+    uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+      if (pos_ >= data_.size() || shift > 63) return fail64();
+      const uint8_t byte = static_cast<uint8_t>(data_[pos_++]);
+      v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) return v;
+      shift += 7;
+    }
+  }
+  uint32_t u32() {
+    const uint64_t v = u64();
+    if (v > UINT32_MAX) return static_cast<uint32_t>(fail64());
+    return static_cast<uint32_t>(v);
+  }
+
+  int64_t i64() {
+    const uint64_t z = u64();
+    return static_cast<int64_t>((z >> 1) ^ (~(z & 1) + 1));
+  }
+  int32_t i32() {
+    const int64_t v = i64();
+    if (v < INT32_MIN || v > INT32_MAX) return static_cast<int32_t>(fail64());
+    return static_cast<int32_t>(v);
+  }
+
+  bool boolean() { return u8() != 0; }
+
+  std::string str() {
+    const uint64_t len = u64();
+    if (!ok_ || len > data_.size() - pos_) {
+      ok_ = false;
+      return {};
+    }
+    std::string out(data_.substr(pos_, len));
+    pos_ += len;
+    return out;
+  }
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return ok_ ? data_.size() - pos_ : 0; }
+
+ private:
+  uint8_t fail8() {
+    ok_ = false;
+    return 0;
+  }
+  uint64_t fail64() {
+    ok_ = false;
+    return 0;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// Writes all n bytes to fd, retrying on EINTR / short writes. False on any
+// other error (e.g. EPIPE after the reader died).
+bool write_all(int fd, const void* data, size_t n);
+
+// One frame: little-endian u32 payload length, then the payload, shipped
+// as a single write_all so concurrent writers holding a mutex per frame
+// never interleave bytes.
+bool write_frame(int fd, std::string_view payload);
+
+// Frames larger than this are treated as stream corruption.
+constexpr uint32_t kMaxFramePayload = 64u << 20;  // 64 MiB
+
+// Reassembles frames from a chunked byte stream (append whatever read(2)
+// returned; next() pops complete frames in order).
+class FrameBuffer {
+ public:
+  void append(const char* data, size_t n) { buf_.append(data, n); }
+
+  // Pops the next complete frame payload into *payload. Returns false when
+  // no complete frame is buffered. Sets corrupt() on an oversized length
+  // prefix, after which no further frames are produced.
+  bool next(std::string* payload);
+
+  bool corrupt() const { return corrupt_; }
+  // Bytes buffered but not yet consumed (a partially received frame).
+  size_t pending() const { return buf_.size() - consumed_; }
+
+ private:
+  std::string buf_;
+  size_t consumed_ = 0;
+  bool corrupt_ = false;
+};
+
+}  // namespace gremlin::wire

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "common/rng.h"
+
 namespace gremlin::report {
 
 namespace {
@@ -22,9 +24,11 @@ Json CampaignReport::to_json() const {
   j["failed"] = static_cast<int64_t>(failed);
   j["errors"] = static_cast<int64_t>(errors);
   j["threads"] = static_cast<int64_t>(threads);
+  j["procs"] = static_cast<int64_t>(procs);
   j["wall_clock_us"] = wall_clock.count();
   j["early_terminated"] = static_cast<int64_t>(early_terminated);
   j["verdict_fingerprint"] = verdict_fingerprint;
+  j["result_fingerprint"] = result_fingerprint;
   Json rows_json = Json::array();
   for (const auto& row : rows) {
     Json rj = Json::object();
@@ -64,7 +68,9 @@ std::string CampaignReport::to_markdown() const {
   out += " (" + std::to_string(passed) + "/" + std::to_string(total) +
          " experiments passed";
   if (errors > 0) out += ", " + std::to_string(errors) + " errored";
-  out += "; " + std::to_string(threads) + " threads, " + fmt_ms(wall_clock) +
+  out += "; ";
+  if (procs > 1) out += std::to_string(procs) + " procs × ";
+  out += std::to_string(threads) + " threads, " + fmt_ms(wall_clock) +
          " wall clock)\n\n";
 
   // Failures first — the reason the campaign ran.
@@ -114,8 +120,16 @@ CampaignReport build_campaign_report(const campaign::CampaignResult& result,
   report.failed = result.failed();
   report.errors = result.errors();
   report.threads = result.threads;
+  report.procs = result.procs;
   report.wall_clock = result.wall_clock;
   report.verdict_fingerprint = result.verdict_fingerprint();
+  {
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(
+                      hash64(result.fingerprint())));
+    report.result_fingerprint = buf;
+  }
   report.rows.reserve(report.total);
   for (const auto& e : result.experiments) {
     if (e.early_terminated) ++report.early_terminated;

@@ -38,12 +38,19 @@ struct CampaignReport {
   size_t errors = 0;  // infrastructure error (translate/install/collect)
   size_t early_terminated = 0;  // stopped early by online checking
   int threads = 1;
+  int procs = 1;  // worker processes (multi-process sharding)
   Duration wall_clock{};
 
   // Verdict-only digest of the whole campaign (see
   // campaign::ExperimentResult::verdict_fingerprint): identical between
   // early-exit and full runs, so CI can diff the two modes.
   std::string verdict_fingerprint;
+
+  // FNV-1a hex digest of CampaignResult::fingerprint() — the byte-exact
+  // everything-digest (counters, latencies, statuses included). Stable
+  // across threads × procs combinations; the CI multiproc-differential job
+  // diffs it between --procs 1 and --procs 2.
+  std::string result_fingerprint;
 
   std::vector<ExperimentRow> rows;  // campaign order
 

@@ -33,6 +33,7 @@ Json SearchReport::to_json() const {
   j["ok"] = o.ok;
   if (!o.error.empty()) j["error"] = o.error;
   j["threads"] = static_cast<int64_t>(o.threads);
+  j["procs"] = static_cast<int64_t>(o.procs);
   j["wall_clock_us"] = o.wall_clock.count();
 
   Json baseline = Json::object();

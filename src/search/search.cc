@@ -149,12 +149,14 @@ SearchOutcome run_search(const campaign::AppSpec& app,
 
   campaign::RunnerOptions runner_options;
   runner_options.threads = options.threads;
+  runner_options.procs = options.procs;
   runner_options.keep_latencies = false;
   runner_options.early_exit = options.early_exit;
   runner_options.warm_worlds = options.warm;
   const campaign::CampaignRunner runner(runner_options);
   const campaign::CampaignResult campaign = runner.run(experiments);
   outcome.threads = campaign.threads;
+  outcome.procs = campaign.procs;
   outcome.ran = campaign.experiments.size();
 
   // Shrink failures to minimal reproducers, deduplicated by the minimal

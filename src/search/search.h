@@ -36,6 +36,11 @@ struct SearchOptions {
 
   uint64_t seed = 42;
   int threads = 0;        // campaign workers; 0 = hardware concurrency
+  // Worker processes for the combination campaign (multi-process sharding,
+  // campaign/process_pool.h). Baseline replay and shrink probes stay
+  // in-process — they are sequential and reuse one kept-alive world.
+  // Findings are identical at any procs count.
+  int procs = 1;
   bool prune = true;      // false: run every generated combination
   bool shrink = true;     // false: report failures unshrunk
 
@@ -83,6 +88,7 @@ struct SearchOutcome {
   std::string app;
   uint64_t seed = 0;
   int threads = 1;
+  int procs = 1;  // worker processes used by the combination campaign
 
   // Baseline replay.
   bool baseline_passed = false;

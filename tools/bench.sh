@@ -6,7 +6,9 @@
 # search+shrink speedup with verdict-identical results), and
 # bench_warm_world feeds BENCH_warmworld.json (warm-world experiment
 # execution; headline is the warm/cold throughput speedup with
-# byte-identical results).
+# byte-identical results), and bench_campaign_multiproc feeds
+# BENCH_multiproc.json (multi-process campaign sharding; headline is the
+# best procs × threads speedup with byte-identical merged results).
 #
 # The output also carries the recorded pre-overhaul baseline for the
 # headline metric (BM_RunOneExperiment experiments/second in
@@ -24,6 +26,7 @@ BUILD_DIR="${GREMLIN_BUILD_DIR:-${ROOT}/build}"
 OUT="${ROOT}/BENCH_hotpath.json"
 CHECKER_OUT="${ROOT}/BENCH_checker.json"
 WARMWORLD_OUT="${ROOT}/BENCH_warmworld.json"
+MULTIPROC_OUT="${ROOT}/BENCH_multiproc.json"
 
 # experiments/second measured on this container immediately before the
 # hot-path memory overhaul (interned names, pooled events, zero-copy
@@ -43,7 +46,7 @@ BENCHES=(
 
 cmake -B "${BUILD_DIR}" -S "${ROOT}" >/dev/null
 cmake --build "${BUILD_DIR}" -j "$(nproc)" --target "${BENCHES[@]}" \
-  bench_checker_online bench_warm_world
+  bench_checker_online bench_warm_world bench_campaign_multiproc
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "${TMP}"' EXIT
@@ -79,6 +82,13 @@ echo "=== bench_checker_online"
 # they always run, quick mode included.
 echo "=== bench_warm_world"
 "${BUILD_DIR}/bench/bench_warm_world" --json "${TMP}/warm_world.json"
+
+# Multi-process sharding bench: its json also stays out of the glob. Every
+# row doubles as a correctness gate (sharded fingerprints are compared to
+# the single-process reference, including a SIGKILL crash-recovery run),
+# so it always runs, quick mode included.
+echo "=== bench_campaign_multiproc"
+"${BUILD_DIR}/bench/bench_campaign_multiproc" --json "${TMP}/multiproc.json"
 
 python3 - "${OUT}" "${BASELINE_EXPERIMENTS_PER_SEC}" "${TMP}" <<'PY'
 import json, pathlib, sys
@@ -173,4 +183,39 @@ doc = {
 pathlib.Path(out).write_text(json.dumps(doc, indent=2) + "\n")
 print(f"wrote {out}: warm/cold speedup "
       f"{speedup if speedup is not None else 'MISSING'}x")
+PY
+
+python3 - "${MULTIPROC_OUT}" "${TMP}/multiproc.json" <<'PY'
+import json, pathlib, sys
+
+out, src = sys.argv[1], pathlib.Path(sys.argv[2])
+rows = json.loads(src.read_text())
+
+def value(name, metric):
+    return next((r["value"] for r in rows
+                 if r["name"] == name and r["metric"] == metric), None)
+
+best = value("campaign_multiproc/best", "speedup")
+identical = all(r["value"] == 1.0 for r in rows
+                if r["metric"] == "byte_identical") or None
+doc = {
+    "suite": "gremlin multi-process campaign sharding",
+    "headline": {
+        "metric": "best procs x threads wall-clock speedup vs the "
+                  "single-process runner (byte-identical merged results; "
+                  "bench_campaign_multiproc)",
+        "wall_single_process_s":
+            value("campaign_multiproc/procs=1,threads=1", "wall"),
+        "best_speedup": best,
+        "byte_identical": identical,
+        "crash_recovery_byte_identical":
+            value("campaign_multiproc/crash_recovery", "byte_identical")
+            == 1.0,
+    },
+    "rows": rows,
+}
+pathlib.Path(out).write_text(json.dumps(doc, indent=2) + "\n")
+print(f"wrote {out}: best sharded speedup "
+      f"{best if best is not None else 'MISSING'}x, "
+      f"byte_identical={identical}")
 PY

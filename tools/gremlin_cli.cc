@@ -4,7 +4,8 @@
 //   gremlin run <recipe-file> [--seed N] [--trace] [--report out.json]
 //   gremlin check <recipe-file>          # parse only, print structure
 //   gremlin campaign <recipe-file> [--seed N] [--seeds K] [--threads N]
-//                    [--sweep edge|service|both] [--report out.json]
+//                    [--procs N] [--sweep edge|service|both]
+//                    [--report out.json]
 //   gremlin search (<recipe-file> | --app <name>) [--max-k K] [--budget N]
 //                  [--pairwise] [--no-prune] [--no-shrink] [...]
 //
@@ -24,7 +25,9 @@
 // them in parallel on private simulations (docs/CAMPAIGNS.md). --seeds K
 // replicates every experiment across K seeds; --sweep additionally
 // generates per-edge/per-service failure experiments from the recipe's
-// graph. Results are deterministic regardless of --threads.
+// graph. --procs N forks N shard processes, each running --threads
+// execution threads (docs/PERFORMANCE.md). Results are deterministic
+// regardless of --threads and --procs.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -53,12 +56,12 @@ int usage() {
                "[--report out.json]\n"
                "  gremlin check <recipe-file>\n"
                "  gremlin campaign <recipe-file> [--seed N] [--seeds K] "
-               "[--threads N]\n"
+               "[--threads N] [--procs N]\n"
                "                   [--sweep edge|service|both] "
                "[--no-early-exit] [--cold]\n"
                "                   [--report out.json]\n"
                "  gremlin search (<recipe-file> | --app <name>) [--seed N] "
-               "[--threads N]\n"
+               "[--threads N] [--procs N]\n"
                "                 [--max-k K] [--budget N] [--requests N] "
                "[--pairwise]\n"
                "                 [--no-prune] [--no-shrink] "
@@ -175,6 +178,7 @@ struct CampaignFlags {
   uint64_t seed = 42;
   int seeds = 1;          // multi-seed replication factor
   int threads = 0;        // 0 = hardware concurrency
+  int procs = 1;          // worker processes (multi-process sharding)
   std::string sweep;      // "", "edge", "service", or "both"
   bool early_exit = true;  // --no-early-exit: run every sim to quiescence
   bool warm = true;        // --cold: fresh Simulation per experiment
@@ -236,6 +240,7 @@ int cmd_campaign(const std::string& source, const CampaignFlags& flags) {
 
   campaign::RunnerOptions options;
   options.threads = flags.threads;
+  options.procs = flags.procs;
   options.early_exit = flags.early_exit;
   options.warm_worlds = flags.warm;
   const campaign::CampaignResult result =
@@ -263,6 +268,7 @@ struct SearchFlags {
   std::string recipe_path;
   uint64_t seed = 42;
   int threads = 0;
+  int procs = 1;
   size_t max_k = 2;
   size_t budget = 5000;
   size_t requests = 0;     // 0 = library default
@@ -305,6 +311,7 @@ int cmd_search(const SearchFlags& flags) {
   search::SearchOptions options;
   options.seed = flags.seed;
   options.threads = flags.threads;
+  options.procs = flags.procs;
   options.generator.max_k = flags.max_k;
   options.generator.max_combinations = flags.budget;
   options.generator.pairwise = flags.pairwise;
@@ -354,6 +361,9 @@ int main(int argc, char** argv) {
       } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
         flags.threads =
             static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+      } else if (std::strcmp(argv[i], "--procs") == 0 && i + 1 < argc) {
+        flags.procs =
+            static_cast<int>(std::strtol(argv[++i], nullptr, 10));
       } else if (std::strcmp(argv[i], "--max-k") == 0 && i + 1 < argc) {
         flags.max_k = std::strtoull(argv[++i], nullptr, 10);
       } else if (std::strcmp(argv[i], "--budget") == 0 && i + 1 < argc) {
@@ -400,6 +410,8 @@ int main(int argc, char** argv) {
       flags.seeds = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       flags.threads = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--procs") == 0 && i + 1 < argc) {
+      flags.procs = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--sweep") == 0 && i + 1 < argc) {
       flags.sweep = argv[++i];
     } else if (std::strcmp(argv[i], "--trace") == 0) {
