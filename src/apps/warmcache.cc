@@ -1,0 +1,52 @@
+#include "apps/warmcache.h"
+
+#include <memory>
+
+namespace gremlin::apps {
+
+using sim::RequestContext;
+using sim::ServiceConfig;
+using sim::SimResponse;
+
+topology::AppGraph build_warmcache_app(sim::Simulation* sim,
+                                       const WarmCacheOptions& options) {
+  ServiceConfig backend;
+  backend.name = "backend";
+  backend.processing_time = options.backend_processing;
+  sim->add_service(backend);
+
+  ServiceConfig portal;
+  portal.name = "portal";
+  portal.processing_time = options.portal_processing;
+  resilience::CallPolicy backend_policy;  // bounded wait, no fallback
+  backend_policy.timeout = options.backend_timeout;
+  portal.policies["backend"] = backend_policy;
+  // One bit of cross-request state: has the backend ever answered? Shared
+  // by every request the handler serves within one deployment.
+  auto warm = std::make_shared<bool>(false);
+  portal.handler = [warm](std::shared_ptr<RequestContext> ctx) {
+    ctx->call("backend", [ctx, warm](const SimResponse& resp) {
+      if (!resp.failed()) {
+        *warm = true;
+        ctx->respond(200, "cache-fill");
+        return;
+      }
+      if (!*warm) {
+        // Cold start: the static fallback page absorbs the failure.
+        ctx->respond(200, "cold-fallback");
+        return;
+      }
+      // The seeded bug: the warm path assumes the cache protocol never
+      // loses the backend mid-session and has no plan B.
+      ctx->respond(500, "cache-corrupt");
+    });
+  };
+  sim->add_service(portal);
+
+  topology::AppGraph graph;
+  graph.add_edge("user", "portal");
+  graph.add_edge("portal", "backend");
+  return graph;
+}
+
+}  // namespace gremlin::apps

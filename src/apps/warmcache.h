@@ -1,0 +1,46 @@
+// Warm-cache application: the probabilistic/windowed fault vocabulary's
+// seeded-bug testbed.
+//
+// `portal` calls `backend` on every request and keeps one bit of state:
+// whether the backend has EVER succeeded since boot. Backend failures are
+// absorbed two different ways —
+//
+//   backend fails, never succeeded  → 200 "cold-fallback" (the cold-start
+//                                     path serves a static page; absorbed)
+//   backend fails, succeeded before → 500 "cache-corrupt" (the warm path
+//                                     trusts its cache-invalidation
+//                                     protocol and has no fallback)
+//
+// so the bug is a *state transition*: a request must succeed and a later
+// one fail. Deterministic always-on faults can't get there — abort, crash,
+// disconnect, and over-timeout delay make every call fail (cold path,
+// absorbed), and no fault makes every call succeed. Only the richer
+// vocabulary reaches the bug: a probabilistic abort (p strictly between 0
+// and 1), a windowed fault with after > 0 (successes before the window
+// opens, failures inside), or an instance crash/rolling partition with a
+// delayed onset. tests/search_test and the search CLI use this app to prove
+// `gremlin search` finds bugs only the new fault classes can reach.
+//
+// The portal's state lives in the handler closure and mutates across
+// requests, so the AppSpec must set reusable = false (a warm-world reset
+// cannot restore run-zero behaviour).
+#pragma once
+
+#include "sim/simulation.h"
+#include "topology/graph.h"
+
+namespace gremlin::apps {
+
+struct WarmCacheOptions {
+  Duration portal_processing = msec(1);
+  Duration backend_processing = msec(2);
+  // Per-call timeout on portal → backend; injected delays beyond this fail
+  // the call (and, once warm, trip the bug).
+  Duration backend_timeout = msec(50);
+};
+
+// Builds the app; `portal` is the entry point called by "user".
+topology::AppGraph build_warmcache_app(sim::Simulation* sim,
+                                       const WarmCacheOptions& options = {});
+
+}  // namespace gremlin::apps

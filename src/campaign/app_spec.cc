@@ -148,17 +148,31 @@ AppSpec AppSpec::redundant(apps::RedundantOptions options) {
   return spec;
 }
 
+AppSpec AppSpec::warmcache(apps::WarmCacheOptions options) {
+  AppSpec spec;
+  spec.name = "warmcache";
+  spec.build = [options](sim::Simulation* sim) {
+    return apps::build_warmcache_app(sim, options);
+  };
+  // The portal's ever-succeeded bit lives in the handler closure and
+  // mutates across requests: a warm-world reset cannot restore run-zero
+  // behaviour, so every experiment must build cold.
+  spec.reusable = false;
+  return spec;
+}
+
 Result<AppSpec> AppSpec::named(const std::string& name) {
   if (name == "quickstart") return quickstart(3, msec(300));
   if (name == "tree") return tree();
   if (name == "buggy-tree") return buggy_tree();
   if (name == "redundant") return redundant();
+  if (name == "warmcache") return warmcache();
   if (name == "enterprise") return enterprise();
   if (name == "wordpress") return wordpress();
   return Error::invalid_argument(
       "unknown app '" + name +
-      "' (expected quickstart, tree, buggy-tree, redundant, enterprise, or "
-      "wordpress)");
+      "' (expected quickstart, tree, buggy-tree, redundant, warmcache, "
+      "enterprise, or wordpress)");
 }
 
 }  // namespace gremlin::campaign

@@ -20,6 +20,7 @@
 #include "apps/enterprise.h"
 #include "apps/redundant.h"
 #include "apps/trees.h"
+#include "apps/warmcache.h"
 #include "apps/wordpress.h"
 #include "sim/simulation.h"
 #include "topology/graph.h"
@@ -91,9 +92,17 @@ struct AppSpec {
   // audit subtree the baseline workload never touches (docs/SEARCH.md).
   static AppSpec redundant(apps::RedundantOptions options = {});
 
+  // The probabilistic/windowed testbed: a cold-start fallback absorbs every
+  // always-on fault, but a success-then-failure transition returns 500 —
+  // only probabilistic or time-bounded faults reach the bug. Not reusable:
+  // the portal's ever-succeeded bit lives in the handler closure
+  // (docs/FAULTS.md).
+  static AppSpec warmcache(apps::WarmCacheOptions options = {});
+
   // Looks up a built-in spec by name ("quickstart", "tree", "buggy-tree",
-  // "redundant", "enterprise", "wordpress"), with default options — the
-  // `gremlin search --app <name>` registry. Fails on unknown names.
+  // "redundant", "warmcache", "enterprise", "wordpress"), with default
+  // options — the `gremlin search --app <name>` registry. Fails on unknown
+  // names.
   static Result<AppSpec> named(const std::string& name);
 
  private:

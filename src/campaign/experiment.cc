@@ -1,5 +1,7 @@
 #include "campaign/experiment.h"
 
+#include <cstdio>
+
 namespace gremlin::campaign {
 
 using control::CheckResult;
@@ -173,6 +175,20 @@ FailureSpec sweep_spec(FailureSpec::Kind kind, const std::string& src,
     case FailureSpec::Kind::kHang:
       *label = "hang(" + dst + ")";
       return FailureSpec::hang(dst, options.hang);
+    case FailureSpec::Kind::kInstanceCrash:
+      *label = "instance_crash(" + dst + ")";
+      return FailureSpec::instance_crash(dst, options.crash_after,
+                                         options.crash_downtime);
+    case FailureSpec::Kind::kRollingPartition:
+      // A sweep isolates one service at a time; multi-member rolling
+      // partitions come from recipes or hand-built experiment lists.
+      *label = "rolling_partition(" + dst + ")";
+      return FailureSpec::rolling_partition({dst}, options.crash_after,
+                                            options.crash_downtime,
+                                            options.crash_downtime);
+    case FailureSpec::Kind::kSlowNode:
+      *label = "slow_node(" + dst + ")";
+      return FailureSpec::slow_node(dst, options.slow_mean);
     default:
       *label = "abort(" + src + "->" + dst + ")";
       return FailureSpec::abort_edge(src, dst, options.abort_error);
@@ -184,6 +200,49 @@ bool is_edge_kind(FailureSpec::Kind kind) {
          kind == FailureSpec::Kind::kDelay ||
          kind == FailureSpec::Kind::kDisconnect ||
          kind == FailureSpec::Kind::kModify;
+}
+
+std::string probability_label(double p) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", p);
+  return buf;
+}
+
+// Cross-multiplies the probability and window axes onto a base sweep.
+std::vector<Experiment> expand_axes(std::vector<Experiment> base,
+                                    const SweepOptions& options) {
+  if (options.probabilities.empty() && options.windows.empty()) return base;
+  // A single-element sentinel keeps the cross product uniform; the flags
+  // record whether the axis actually applies its value.
+  const bool use_p = !options.probabilities.empty();
+  const bool use_w = !options.windows.empty();
+  const std::vector<double> probs =
+      use_p ? options.probabilities : std::vector<double>{1.0};
+  const std::vector<SweepOptions::Window> windows =
+      use_w ? options.windows : std::vector<SweepOptions::Window>{{}};
+  std::vector<Experiment> out;
+  out.reserve(base.size() * probs.size() * windows.size());
+  for (const auto& e : base) {
+    for (const double p : probs) {
+      for (const auto& w : windows) {
+        Experiment clone = e;
+        for (auto& spec : clone.failures) {
+          if (use_p) spec.probability = p;
+          if (use_w) {
+            spec.after = w.after;
+            spec.window = w.duration;
+          }
+        }
+        if (use_p) clone.id += " p=" + probability_label(p);
+        if (use_w) {
+          clone.id += " w=" + format_duration(w.after) + "+" +
+                      format_duration(w.duration);
+        }
+        out.push_back(std::move(clone));
+      }
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -257,7 +316,7 @@ std::vector<Experiment> generate_sweep(const AppSpec& app,
       }
     }
   }
-  return experiments;
+  return expand_axes(std::move(experiments), options);
 }
 
 std::vector<Experiment> replicate_seeds(const std::vector<Experiment>& base,

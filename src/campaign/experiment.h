@@ -137,6 +137,23 @@ struct SweepOptions {
   int abort_error = 503;
   Duration delay = msec(100);
   Duration hang = hours(1);
+
+  // Parameters for the infra-level service kinds (kInstanceCrash,
+  // kRollingPartition, kSlowNode).
+  Duration crash_after{};             // outage start on the virtual clock
+  Duration crash_downtime = msec(200);
+  Duration slow_mean = msec(50);      // kSlowNode exponential delay mean
+
+  // Parameter axes. When non-empty, every generated experiment is
+  // replicated once per probability (id suffixed " p=<v>") and once per
+  // activation window (" w=<after>+<duration>"), with the value applied to
+  // each of the clone's failure specs. Both axes cross-multiply.
+  std::vector<double> probabilities;
+  struct Window {
+    Duration after{};
+    Duration duration{};  // zero = open-ended
+  };
+  std::vector<Window> windows;
 };
 
 // Enumerates one experiment per (edge|service) × kind over `graph`

@@ -13,6 +13,20 @@ uint64_t hash64(std::string_view s) {
   return h;
 }
 
+uint64_t counter_u64(uint64_t key, uint64_t counter) {
+  // SplitMix64 output function applied at position `counter` of the stream
+  // whose initial state is `key` — identical to Rng(key) after `counter`
+  // prior draws, but computed without consuming shared state.
+  uint64_t z = key + (counter + 1) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double counter_double(uint64_t key, uint64_t counter) {
+  return static_cast<double>(counter_u64(key, counter) >> 11) * 0x1.0p-53;
+}
+
 Rng Rng::fork(std::string_view label) const {
   Rng copy = *this;
   const uint64_t base = copy.next_u64();

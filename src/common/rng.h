@@ -44,4 +44,16 @@ class Rng {
 // log-store sharding.
 uint64_t hash64(std::string_view s);
 
+// Counter-based (stateless) draws. Unlike an Rng stream, where the value of
+// draw N depends on how many draws preceded it, counter_u64(key, n) depends
+// only on (key, n): every consumer that derives the same key reads the same
+// sequence regardless of interleaving with other streams. Probabilistic fault
+// rules key their draws on (experiment seed, agent, rule id) with a per-rule
+// attempt counter, which is what keeps outcomes byte-identical across thread
+// counts, process shards, and warm/cold worlds.
+uint64_t counter_u64(uint64_t key, uint64_t counter);
+
+// Uniform double in [0, 1) from the same keyed stream.
+double counter_double(uint64_t key, uint64_t counter);
+
 }  // namespace gremlin

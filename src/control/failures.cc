@@ -118,6 +118,40 @@ FailureSpec FailureSpec::partition(std::set<std::string> group) {
   return s;
 }
 
+FailureSpec FailureSpec::instance_crash(std::string service, Duration after,
+                                        Duration downtime) {
+  FailureSpec s;
+  s.kind = Kind::kInstanceCrash;
+  s.b = std::move(service);
+  s.after = after;
+  s.window = downtime;
+  return s;
+}
+
+FailureSpec FailureSpec::rolling_partition(std::set<std::string> group,
+                                           Duration after, Duration window,
+                                           Duration stagger) {
+  FailureSpec s;
+  s.kind = Kind::kRollingPartition;
+  s.group = std::move(group);
+  s.after = after;
+  s.window = window;
+  s.stagger = stagger;
+  return s;
+}
+
+FailureSpec FailureSpec::slow_node(std::string service, Duration mean,
+                                   Duration after, Duration window) {
+  FailureSpec s;
+  s.kind = Kind::kSlowNode;
+  s.b = std::move(service);
+  s.delay_distribution = faults::DelayDistribution::kExponential;
+  s.delay_mean = mean;
+  s.after = after;
+  s.window = window;
+  return s;
+}
+
 std::string FailureSpec::fingerprint() const {
   std::string out;
   fingerprint_into(&out);
@@ -168,6 +202,25 @@ void FailureSpec::fingerprint_into(std::string* out) const {
   append_num(static_cast<int>(on));
   *out += '|';
   append_num(max_matches);
+  *out += '|';
+  append_num(after.count());
+  *out += '|';
+  append_num(window.count());
+  *out += '|';
+  append_num(stagger.count());
+  *out += '|';
+  append_num(static_cast<int>(delay_distribution));
+  *out += '|';
+  append_num(delay_min.count());
+  *out += '|';
+  append_num(delay_max.count());
+  *out += '|';
+  append_num(delay_mean.count());
+  *out += '|';
+  for (const Duration d : delay_values) {
+    append_num(d.count());
+    *out += ',';
+  }
 }
 
 const char* FailureSpec::kind_name() const {
@@ -181,6 +234,9 @@ const char* FailureSpec::kind_name() const {
     case Kind::kOverload: return "overload";
     case Kind::kFakeSuccess: return "fake_success";
     case Kind::kPartition: return "partition";
+    case Kind::kInstanceCrash: return "instance_crash";
+    case Kind::kRollingPartition: return "rolling_partition";
+    case Kind::kSlowNode: return "slow_node";
   }
   return "unknown";
 }
@@ -205,6 +261,8 @@ Result<std::vector<FaultRule>> translate_failure(
     r.probability = probability;
     r.on = logstore::MessageKind::kRequest;
     r.max_matches = spec.max_matches;
+    r.after = spec.after;
+    r.window_duration = spec.window;
     return r;
   };
   auto make_delay = [&spec, seq](const std::string& src,
@@ -216,10 +274,17 @@ Result<std::vector<FaultRule>> translate_failure(
     r.destination = dst;
     r.type = faults::FaultKind::kDelay;
     r.delay_interval = interval;
+    r.delay_distribution = spec.delay_distribution;
+    r.delay_min = spec.delay_min;
+    r.delay_max = spec.delay_max;
+    r.delay_mean = spec.delay_mean;
+    r.delay_values = spec.delay_values;
     r.pattern = spec.pattern;
     r.probability = probability;
     r.on = logstore::MessageKind::kRequest;
     r.max_matches = spec.max_matches;
+    r.after = spec.after;
+    r.window_duration = spec.window;
     return r;
   };
 
@@ -262,6 +327,8 @@ Result<std::vector<FaultRule>> translate_failure(
       r.probability = spec.probability;
       r.on = spec.on;
       r.max_matches = spec.max_matches;
+      r.after = spec.after;
+      r.window_duration = spec.window;
       rules.push_back(std::move(r));
       break;
     }
@@ -331,6 +398,51 @@ Result<std::vector<FaultRule>> translate_failure(
       for (const auto& edge : graph.cut(spec.group)) {
         rules.push_back(make_abort(edge.src, edge.dst, faults::kTcpReset,
                                    1.0, "partition"));
+      }
+      break;
+    }
+    case FailureSpec::Kind::kInstanceCrash: {
+      // Network view of an instance outage: every dependent sees resets
+      // while the service is down. The simulator-level down/up hook (the
+      // service refusing work it already accepted) is scheduled by
+      // TestSession::apply, which owns the Simulation; the rules here make
+      // the scenario meaningful on the proxy data plane too.
+      auto ok = require_service(graph, spec.b);
+      if (!ok.ok()) return ok.error();
+      for (const auto& dep : graph.dependents(spec.b)) {
+        rules.push_back(make_abort(dep, spec.b, faults::kTcpReset,
+                                   spec.probability, "instance-crash"));
+      }
+      break;
+    }
+    case FailureSpec::Kind::kRollingPartition: {
+      for (const auto& svc : spec.group) {
+        auto ok = require_service(graph, svc);
+        if (!ok.ok()) return ok.error();
+      }
+      // Members are isolated one after another in their (sorted) set order:
+      // member i's cut edges reset during [after + i*stagger, +window].
+      uint64_t index = 0;
+      for (const auto& svc : spec.group) {
+        const Duration member_after = spec.after + spec.stagger * index;
+        std::set<std::string> lone{svc};
+        for (const auto& edge : graph.cut(lone)) {
+          FaultRule r = make_abort(edge.src, edge.dst, faults::kTcpReset,
+                                   1.0, "rolling-partition");
+          r.after = member_after;
+          r.window_duration = spec.window;
+          rules.push_back(std::move(r));
+        }
+        ++index;
+      }
+      break;
+    }
+    case FailureSpec::Kind::kSlowNode: {
+      auto ok = require_service(graph, spec.b);
+      if (!ok.ok()) return ok.error();
+      for (const auto& dep : graph.dependents(spec.b)) {
+        rules.push_back(make_delay(dep, spec.b, spec.delay, spec.probability,
+                                   "slow-node"));
       }
       break;
     }

@@ -13,6 +13,20 @@
 //                      paper's 25/75 split exactly)
 //   FakeSuccess(S)   → Modify(d→S, key→badkey) on responses per dependent
 //   Partition(G)     → Abort(TCP reset) on every edge crossing the cut(G)
+//
+// Infra-level scenario faults lower onto the same primitives plus activation
+// windows on the virtual clock (and, for InstanceCrash, a simulator hook
+// that marks the service's instances down for the outage — see
+// control/recipe):
+//
+//   InstanceCrash(S, after, down) → Crash rules windowed [after, after+down];
+//                                   the service auto-restarts when the
+//                                   window closes
+//   RollingPartition(G, stagger)  → each member of G isolated in turn:
+//                                   reset rules on cut({member}) windowed
+//                                   [after + i*stagger, +window]
+//   SlowNode(S)                   → distribution-valued Delay(d→S) per
+//                                   dependent (default exponential)
 #pragma once
 
 #include <set>
@@ -36,6 +50,9 @@ struct FailureSpec {
     kOverload,     // service b overloaded: mix of errors and delays
     kFakeSuccess,  // service b returns tampered payloads with status 200
     kPartition,    // network partition along cut(group)
+    kInstanceCrash,     // service b down for [after, after+window], restarts
+    kRollingPartition,  // group members isolated one after another
+    kSlowNode,          // service b degraded: distribution-valued delays
   };
 
   Kind kind = Kind::kAbort;
@@ -53,6 +70,23 @@ struct FailureSpec {
   std::string replace_bytes;        // modify / fake-success
   logstore::MessageKind on = logstore::MessageKind::kRequest;
   uint64_t max_matches = faults::kUnlimitedMatches;
+
+  // Activation window (virtual-clock offsets from experiment start),
+  // applied to every lowered rule. window == 0 means unbounded; for
+  // kInstanceCrash a zero window means the instance never restarts.
+  Duration after{};
+  Duration window{};
+  // kRollingPartition: offset between consecutive members' windows.
+  Duration stagger{};
+
+  // Delay distribution for kDelay / kSlowNode lowered delay rules.
+  // kFixed draws nothing and uses `delay`.
+  faults::DelayDistribution delay_distribution =
+      faults::DelayDistribution::kFixed;
+  Duration delay_min{};
+  Duration delay_max{};
+  Duration delay_mean{};
+  std::vector<Duration> delay_values;
 
   // Convenience factories.
   static FailureSpec abort_edge(std::string src, std::string dst,
@@ -76,6 +110,14 @@ struct FailureSpec {
                                   std::string body_pattern,
                                   std::string replace_bytes);
   static FailureSpec partition(std::set<std::string> group);
+  static FailureSpec instance_crash(std::string service, Duration after,
+                                    Duration downtime);
+  static FailureSpec rolling_partition(std::set<std::string> group,
+                                       Duration after, Duration window,
+                                       Duration stagger);
+  static FailureSpec slow_node(std::string service, Duration mean,
+                               Duration after = kDurationZero,
+                               Duration window = kDurationZero);
 
   const char* kind_name() const;
 

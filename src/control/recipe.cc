@@ -20,6 +20,15 @@ TestSession::TestSession(sim::Simulation* sim,
       orchestrator_(&sim->deployment()) {}
 
 Result<size_t> TestSession::apply(const FailureSpec& spec, RuleCache* cache) {
+  if (spec.kind == FailureSpec::Kind::kInstanceCrash) {
+    // The network-level rules below make dependents see resets; this hook
+    // makes the service itself refuse work it would otherwise accept during
+    // the outage (requests already past the dependents' sidecars). Scheduled
+    // per-apply, never cached: the rule cache only memoizes translation.
+    auto outage =
+        sim_->schedule_service_outage(spec.b, spec.after, spec.window);
+    if (!outage.ok()) return outage.error();
+  }
   if (cache != nullptr) {
     // Borrow the cached expansion: installing reads the rules and copies
     // them into the agents, so no owned vector is needed here.

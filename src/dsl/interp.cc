@@ -86,7 +86,8 @@ Result<bool> Interpreter::execute(TestSession* session, const Command& cmd,
     if (!svc.ok()) return svc.error();
     const Duration downtime = duration_arg_or(cmd, 1, "downtime", sec(5));
     FailureSpec spec = FailureSpec::crash(svc.value());
-    apply_common_fault_options(cmd, &spec);
+    auto options = apply_common_fault_options(cmd, &spec);
+    if (!options.ok()) return options.error();
     auto applied = session->apply_for(spec, downtime);
     if (!applied.ok()) return cmd_error(cmd, applied.error().message);
     outcome->rules_installed += applied.value();

@@ -8,7 +8,7 @@ using campaign::CheckSpec;
 using campaign::Experiment;
 using control::FailureSpec;
 
-void apply_common_fault_options(const Command& cmd, FailureSpec* spec) {
+VoidResult apply_common_fault_options(const Command& cmd, FailureSpec* spec) {
   spec->pattern = text_arg_or(cmd, 99, "pattern", spec->pattern);
   spec->probability =
       number_arg_or(cmd, 99, "probability", spec->probability);
@@ -19,6 +19,41 @@ void apply_common_fault_options(const Command& cmd, FailureSpec* spec) {
   const std::string on = text_arg_or(cmd, 99, "on", "");
   if (on == "response") spec->on = logstore::MessageKind::kResponse;
   if (on == "request") spec->on = logstore::MessageKind::kRequest;
+
+  // Activation window (virtual-clock offsets from experiment start).
+  spec->after = duration_arg_or(cmd, 99, "after", spec->after);
+  spec->window = duration_arg_or(cmd, 99, "window", spec->window);
+
+  // Delay distribution options (delay-producing commands only; harmless
+  // elsewhere since only delay rules read them).
+  const std::string dist = text_arg_or(cmd, 99, "distribution", "");
+  if (!dist.empty()) {
+    auto parsed = faults::delay_distribution_from_string(dist);
+    if (!parsed.ok()) return command_error(cmd, parsed.error().message);
+    spec->delay_distribution = *parsed;
+  }
+  spec->delay_min = duration_arg_or(cmd, 99, "min", spec->delay_min);
+  spec->delay_max = duration_arg_or(cmd, 99, "max", spec->delay_max);
+  spec->delay_mean = duration_arg_or(cmd, 99, "mean", spec->delay_mean);
+  if (const Arg* values = cmd.named("values")) {
+    if (values->kind != Arg::Kind::kList) {
+      return command_error(cmd, "values= must be a [list] of durations");
+    }
+    spec->delay_values.clear();
+    for (const std::string& v : values->list) {
+      auto d = parse_duration(v);
+      if (!d.ok()) {
+        return command_error(cmd, "bad duration '" + v + "' in values=");
+      }
+      spec->delay_values.push_back(*d);
+    }
+    // values=[...] implies the empirical sampler unless the recipe named a
+    // different distribution explicitly.
+    if (dist.empty()) {
+      spec->delay_distribution = faults::DelayDistribution::kEmpirical;
+    }
+  }
+  return VoidResult::success();
 }
 
 Result<std::optional<FailureSpec>> failure_spec_from_command(
@@ -26,7 +61,8 @@ Result<std::optional<FailureSpec>> failure_spec_from_command(
   const std::string& name = cmd.name;
 
   auto finish = [&cmd](FailureSpec spec) -> Result<std::optional<FailureSpec>> {
-    apply_common_fault_options(cmd, &spec);
+    auto applied = apply_common_fault_options(cmd, &spec);
+    if (!applied.ok()) return applied.error();
     return std::optional<FailureSpec>(std::move(spec));
   };
 
@@ -106,6 +142,34 @@ Result<std::optional<FailureSpec>> failure_spec_from_command(
     }
     return finish(FailureSpec::partition(
         std::set<std::string>(group->list.begin(), group->list.end())));
+  }
+  if (name == "instance_crash") {
+    auto svc = text_arg(cmd, 0, "service");
+    if (!svc.ok()) return svc.error();
+    const Duration after = duration_arg_or(cmd, 1, "after", kDurationZero);
+    const Duration downtime =
+        duration_arg_or(cmd, 2, "downtime", msec(200));
+    return finish(FailureSpec::instance_crash(svc.value(), after, downtime));
+  }
+  if (name == "rolling_partition") {
+    const Arg* group = cmd.named("group");
+    if (group == nullptr) group = cmd.positional(0);
+    if (group == nullptr || group->kind != Arg::Kind::kList) {
+      return command_error(cmd,
+                           "rolling_partition requires a [list] of services");
+    }
+    const Duration after = duration_arg_or(cmd, 99, "after", kDurationZero);
+    const Duration window = duration_arg_or(cmd, 99, "window", msec(200));
+    const Duration stagger = duration_arg_or(cmd, 99, "stagger", msec(200));
+    return finish(FailureSpec::rolling_partition(
+        std::set<std::string>(group->list.begin(), group->list.end()), after,
+        window, stagger));
+  }
+  if (name == "slow_node") {
+    auto svc = text_arg(cmd, 0, "service");
+    if (!svc.ok()) return svc.error();
+    const Duration mean = duration_arg_or(cmd, 1, "mean", msec(50));
+    return finish(FailureSpec::slow_node(svc.value(), mean));
   }
   return std::optional<FailureSpec>();
 }

@@ -27,13 +27,17 @@
 namespace gremlin::dsl {
 
 // Applies the fault options every failure command accepts
-// (pattern / probability / max_matches / on) from `cmd` onto `spec`.
-void apply_common_fault_options(const Command& cmd,
-                                control::FailureSpec* spec);
+// (pattern / probability / max_matches / on, the activation window
+// after / window, and the delay distribution options distribution / min /
+// max / mean / values) from `cmd` onto `spec`. Fails on malformed option
+// values (unknown distribution, bad duration in values=[...]).
+VoidResult apply_common_fault_options(const Command& cmd,
+                                      control::FailureSpec* spec);
 
 // Parses a failure command (abort, delay, modify, disconnect, crash, hang,
-// overload, fake_success, partition) into a FailureSpec with common options
-// applied. Returns nullopt when `cmd` is not a failure command.
+// overload, fake_success, partition, instance_crash, rolling_partition,
+// slow_node) into a FailureSpec with common options applied. Returns
+// nullopt when `cmd` is not a failure command.
 Result<std::optional<control::FailureSpec>> failure_spec_from_command(
     const Command& cmd);
 

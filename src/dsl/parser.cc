@@ -152,11 +152,17 @@ class Parser {
         advance();
         arg.kind = Arg::Kind::kList;
         while (!at(TokenKind::kRBracket)) {
-          if (cur().kind != TokenKind::kIdent &&
-              cur().kind != TokenKind::kString) {
-            return fail("list elements must be identifiers or strings");
+          if (cur().kind == TokenKind::kDuration) {
+            // Durations are re-rendered canonically; consumers re-parse the
+            // element (e.g. values=[10ms, 20ms] on delay faults).
+            arg.list.push_back(format_duration(advance().duration));
+          } else if (cur().kind == TokenKind::kIdent ||
+                     cur().kind == TokenKind::kString) {
+            arg.list.push_back(advance().text);
+          } else {
+            return fail(
+                "list elements must be identifiers, strings, or durations");
           }
-          arg.list.push_back(advance().text);
           if (at(TokenKind::kComma)) advance();
         }
         advance();  // ']'

@@ -1,6 +1,9 @@
 #include "faults/rule.h"
 
 #include <atomic>
+#include <cmath>
+
+#include "common/rng.h"
 
 namespace gremlin::faults {
 namespace {
@@ -14,6 +17,61 @@ uint64_t next_anonymous_id() {
 std::string fault_kind_name(FaultKind k) { return logstore::to_string(k); }
 
 }  // namespace
+
+std::string to_string(DelayDistribution d) {
+  switch (d) {
+    case DelayDistribution::kFixed: return "fixed";
+    case DelayDistribution::kUniform: return "uniform";
+    case DelayDistribution::kExponential: return "exponential";
+    case DelayDistribution::kEmpirical: return "empirical";
+  }
+  return "fixed";
+}
+
+Result<DelayDistribution> delay_distribution_from_string(std::string_view s) {
+  if (s.empty() || s == std::string_view("fixed")) {
+    return DelayDistribution::kFixed;
+  }
+  if (s == std::string_view("uniform")) return DelayDistribution::kUniform;
+  if (s == std::string_view("exponential")) {
+    return DelayDistribution::kExponential;
+  }
+  if (s == std::string_view("empirical")) return DelayDistribution::kEmpirical;
+  return Error::parse("unknown delay distribution '" + std::string(s) + "'");
+}
+
+Duration sample_delay(const FaultRule& rule, uint64_t key, uint64_t counter) {
+  switch (rule.delay_distribution) {
+    case DelayDistribution::kFixed:
+      return rule.delay_interval;
+    case DelayDistribution::kUniform: {
+      const uint64_t lo = static_cast<uint64_t>(rule.delay_min.count());
+      const uint64_t hi = static_cast<uint64_t>(rule.delay_max.count());
+      if (hi <= lo) return rule.delay_min;
+      const uint64_t span = hi - lo + 1;
+      // Fixed-point scaling keeps the draw in-bounds without the data
+      // dependence of rejection sampling (each counter must map to exactly
+      // one value).
+      const uint64_t off = static_cast<uint64_t>(
+          counter_double(key, counter) * static_cast<double>(span));
+      return Duration(static_cast<int64_t>(lo + (off < span ? off : span - 1)));
+    }
+    case DelayDistribution::kExponential: {
+      double u = counter_double(key, counter);
+      if (u <= 0.0) u = 0x1.0p-53;
+      const double us =
+          -static_cast<double>(rule.delay_mean.count()) * std::log(u);
+      return Duration(static_cast<int64_t>(us) + 1);  // never zero
+    }
+    case DelayDistribution::kEmpirical: {
+      if (rule.delay_values.empty()) return rule.delay_interval;
+      const uint64_t idx =
+          counter_u64(key, counter) % rule.delay_values.size();
+      return rule.delay_values[idx];
+    }
+  }
+  return rule.delay_interval;
+}
 
 VoidResult FaultRule::validate() const {
   if (source.empty() || destination.empty()) {
@@ -32,9 +90,39 @@ VoidResult FaultRule::validate() const {
       }
       break;
     case FaultKind::kDelay:
-      if (delay_interval <= kDurationZero) {
-        return Error::invalid_argument("rule " + id +
-                                       ": delay interval must be positive");
+      switch (delay_distribution) {
+        case DelayDistribution::kFixed:
+          if (delay_interval <= kDurationZero) {
+            return Error::invalid_argument(
+                "rule " + id + ": delay interval must be positive");
+          }
+          break;
+        case DelayDistribution::kUniform:
+          if (delay_min < kDurationZero || delay_max < delay_min ||
+              delay_max <= kDurationZero) {
+            return Error::invalid_argument(
+                "rule " + id +
+                ": uniform delay requires 0 <= min <= max, max > 0");
+          }
+          break;
+        case DelayDistribution::kExponential:
+          if (delay_mean <= kDurationZero) {
+            return Error::invalid_argument(
+                "rule " + id + ": exponential delay mean must be positive");
+          }
+          break;
+        case DelayDistribution::kEmpirical:
+          if (delay_values.empty()) {
+            return Error::invalid_argument(
+                "rule " + id + ": empirical delay needs at least one value");
+          }
+          for (const Duration d : delay_values) {
+            if (d <= kDurationZero) {
+              return Error::invalid_argument(
+                  "rule " + id + ": empirical delay values must be positive");
+            }
+          }
+          break;
       }
       break;
     case FaultKind::kModify:
@@ -45,6 +133,10 @@ VoidResult FaultRule::validate() const {
       break;
     case FaultKind::kNone:
       return Error::invalid_argument("rule " + id + ": type must be set");
+  }
+  if (after < kDurationZero || window_duration < kDurationZero) {
+    return Error::invalid_argument(
+        "rule " + id + ": activation window must be non-negative");
   }
   return VoidResult::success();
 }
@@ -60,6 +152,21 @@ Json FaultRule::to_json() const {
   j["probability"] = probability;
   j["abort_code"] = abort_code;
   j["delay_us"] = delay_interval.count();
+  if (delay_distribution != DelayDistribution::kFixed) {
+    j["delay_distribution"] = to_string(delay_distribution);
+    j["delay_min_us"] = delay_min.count();
+    j["delay_max_us"] = delay_max.count();
+    j["delay_mean_us"] = delay_mean.count();
+    if (!delay_values.empty()) {
+      Json values = Json::array();
+      for (const Duration d : delay_values) values.push_back(d.count());
+      j["delay_values_us"] = std::move(values);
+    }
+  }
+  if (after > kDurationZero || window_duration > kDurationZero) {
+    j["after_us"] = after.count();
+    j["window_us"] = window_duration.count();
+  }
   j["body_pattern"] = body_pattern;
   j["replace_bytes"] = replace_bytes;
   if (max_matches != kUnlimitedMatches) {
@@ -96,6 +203,24 @@ Result<FaultRule> FaultRule::from_json(const Json& j) {
   if (j.contains("probability")) r.probability = j["probability"].as_double(1.0);
   if (j.contains("abort_code")) r.abort_code = static_cast<int>(j["abort_code"].as_int(503));
   if (j.contains("delay_us")) r.delay_interval = Duration(j["delay_us"].as_int());
+  if (j.contains("delay_distribution")) {
+    auto dist = delay_distribution_from_string(
+        j["delay_distribution"].as_string());
+    if (!dist.ok()) return dist.error();
+    r.delay_distribution = *dist;
+    r.delay_min = Duration(j["delay_min_us"].as_int());
+    r.delay_max = Duration(j["delay_max_us"].as_int());
+    r.delay_mean = Duration(j["delay_mean_us"].as_int());
+    if (j.contains("delay_values_us")) {
+      for (const Json& v : j["delay_values_us"].as_array()) {
+        r.delay_values.push_back(Duration(v.as_int()));
+      }
+    }
+  }
+  if (j.contains("after_us")) r.after = Duration(j["after_us"].as_int());
+  if (j.contains("window_us")) {
+    r.window_duration = Duration(j["window_us"].as_int());
+  }
   r.body_pattern = j["body_pattern"].as_string();
   r.replace_bytes = j["replace_bytes"].as_string();
   if (j.contains("max_matches")) {

@@ -18,6 +18,8 @@
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/duration.h"
 #include "common/glob.h"
@@ -36,6 +38,19 @@ inline constexpr int kTcpReset = -1;
 inline constexpr uint64_t kUnlimitedMatches =
     std::numeric_limits<uint64_t>::max();
 
+// How a delay rule draws its interval. Every sampler reads the rule's
+// counter-based stream (see common/rng.h), so the sequence of sampled
+// intervals is a pure function of (experiment seed, agent, rule id).
+enum class DelayDistribution : uint8_t {
+  kFixed = 0,        // always delay_interval
+  kUniform = 1,      // uniform in [delay_min, delay_max]
+  kExponential = 2,  // exponential with mean delay_mean
+  kEmpirical = 3,    // uniform pick from delay_values
+};
+
+std::string to_string(DelayDistribution d);
+Result<DelayDistribution> delay_distribution_from_string(std::string_view s);
+
 struct FaultRule {
   std::string id;             // unique within a test run
   std::string source;         // logical service name; "*" = any
@@ -48,8 +63,22 @@ struct FaultRule {
   // Abort parameters.
   int abort_code = 503;       // HTTP status to synthesize, or kTcpReset
 
-  // Delay parameters.
+  // Delay parameters. kFixed uses delay_interval; the other distributions
+  // use their dedicated parameters and ignore delay_interval.
   Duration delay_interval{};
+  DelayDistribution delay_distribution = DelayDistribution::kFixed;
+  Duration delay_min{};               // kUniform lower bound
+  Duration delay_max{};               // kUniform upper bound (inclusive)
+  Duration delay_mean{};              // kExponential mean
+  std::vector<Duration> delay_values; // kEmpirical sample set
+
+  // Activation window on the virtual clock (time since simulation start).
+  // The rule matches only messages with after <= now, and — when
+  // window_duration is non-zero — now < after + window_duration. A rule
+  // whose window has passed auto-clears: it stops matching without being
+  // uninstalled.
+  Duration after{};
+  Duration window_duration{};
 
   // Modify parameters: replace occurrences of body_pattern with
   // replace_bytes in the message body.
@@ -77,5 +106,10 @@ struct FaultRule {
                                std::string replace_bytes,
                                std::string pattern = "*");
 };
+
+// Samples the delay interval for attempt `counter` of a rule whose
+// counter-based stream key is `key`. Deterministic: the same (rule, key,
+// counter) triple always yields the same interval.
+Duration sample_delay(const FaultRule& rule, uint64_t key, uint64_t counter);
 
 }  // namespace gremlin::faults

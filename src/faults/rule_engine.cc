@@ -6,8 +6,16 @@
 
 namespace gremlin::faults {
 
+namespace {
+
+uint64_t derive_stream_base(uint64_t seed, std::string_view seed_label) {
+  return Rng(seed).fork(seed_label).next_u64();
+}
+
+}  // namespace
+
 RuleEngine::RuleEngine(uint64_t seed, std::string_view seed_label)
-    : rng_(Rng(seed).fork(seed_label)) {}
+    : stream_base_(derive_stream_base(seed, seed_label)) {}
 
 VoidResult RuleEngine::add_rule(FaultRule rule) {
   auto valid = rule.validate();
@@ -24,6 +32,7 @@ VoidResult RuleEngine::add_rule(FaultRule rule) {
   in.dst_glob = Glob(rule.destination);
   in.id_glob = Glob(rule.pattern.empty() ? "*" : rule.pattern);
   in.rule = std::move(rule);
+  derive_keys_locked(&in);
   rules_.push_back(std::move(in));
   return VoidResult::success();
 }
@@ -50,13 +59,26 @@ void RuleEngine::clear() {
   std::lock_guard lock(mu_);
   rules_.clear();
   total_matches_ = 0;
+  install_seq_ = 0;
 }
 
 void RuleEngine::reset(uint64_t seed, std::string_view seed_label) {
   std::lock_guard lock(mu_);
   rules_.clear();
   total_matches_ = 0;
-  rng_ = Rng(seed).fork(seed_label);
+  install_seq_ = 0;
+  stream_base_ = derive_stream_base(seed, seed_label);
+}
+
+void RuleEngine::derive_keys_locked(Installed* in) {
+  // Key the rule's stream on its installation position, not its id:
+  // anonymous factory ids come from a process-global counter, so they vary
+  // run to run, while installation order is part of the experiment itself —
+  // the same recipe installs the same rules in the same order no matter
+  // which worker, process, or warm world replays it.
+  const uint64_t rule_key = counter_u64(stream_base_, install_seq_++);
+  in->prob_key = counter_u64(rule_key, 0);
+  in->delay_key = counter_u64(rule_key, 1);
 }
 
 size_t RuleEngine::rule_count() const {
@@ -77,6 +99,13 @@ bool RuleEngine::matches_locked(const Installed& in,
   const FaultRule& r = in.rule;
   if (in.matches >= r.max_matches) return false;
   if (r.on != msg.kind) return false;
+  // Activation window: a rule outside its window is invisible (later rules
+  // still get a chance), and auto-clears once the window has passed.
+  if (msg.now < r.after) return false;
+  if (r.window_duration > kDurationZero &&
+      msg.now >= r.after + r.window_duration) {
+    return false;
+  }
   if (!in.src_glob.match_all() && !in.src_glob.matches(msg.src)) return false;
   if (!in.dst_glob.match_all() && !in.dst_glob.matches(msg.dst)) return false;
   if (!in.id_glob.match_all() && !in.id_glob.matches(msg.request_id)) {
@@ -89,12 +118,20 @@ FaultDecision RuleEngine::evaluate(const MessageView& msg) {
   std::lock_guard lock(mu_);
   for (auto& in : rules_) {
     if (!matches_locked(in, msg)) continue;
-    if (in.rule.probability < 1.0 && !rng_.bernoulli(in.rule.probability)) {
+    // Counter position for this attempt. Advances even on probabilistic
+    // declines, so the draw for attempt N is a pure function of
+    // (seed, agent, rule id, N) — independent of sibling rules, evaluation
+    // interleaving, thread count, and process sharding.
+    const uint64_t attempt = in.attempts++;
+    if (in.rule.probability < 1.0) {
       // A probabilistic decline falls through to the next rule. Recipes that
       // need an exact traffic split across several rules on the same edge
       // (e.g. Overload's 25% abort / 75% delay) install conditional
       // probabilities: Abort(p=.25) followed by Delay(p=1).
-      continue;
+      if (in.rule.probability <= 0.0 ||
+          counter_double(in.prob_key, attempt) >= in.rule.probability) {
+        continue;
+      }
     }
     in.matches += 1;
     total_matches_ += 1;
@@ -102,7 +139,9 @@ FaultDecision RuleEngine::evaluate(const MessageView& msg) {
     d.action = in.rule.type;
     d.rule_id = in.id_sym;
     d.abort_code = in.rule.abort_code;
-    d.delay = in.rule.delay_interval;
+    d.delay = in.rule.type == FaultKind::kDelay
+                  ? sample_delay(in.rule, in.delay_key, attempt)
+                  : in.rule.delay_interval;
     d.body_pattern = in.rule.body_pattern;
     d.replace_bytes = in.rule.replace_bytes;
     return d;

@@ -31,6 +31,10 @@ struct MessageView {
   std::string_view uri;
   int status = 0;            // responses only
   std::string_view body;
+  // Time since the experiment started (virtual clock in the simulator,
+  // wall clock offset in the proxy). Rules with activation windows compare
+  // against this; always-on rules ignore it.
+  Duration now{};
 };
 
 // What the agent should do with the message. `rule_id` is an interned
@@ -95,13 +99,30 @@ class RuleEngine {
     Glob dst_glob;
     Glob id_glob;
     uint64_t matches = 0;
+    // Counter-based stream keys, derived at install time from
+    // (seed, seed_label, installation position). Probability and delay
+    // sampling draw from separate keys at the same attempt index so a delay
+    // sample never perturbs a probability outcome.
+    uint64_t prob_key = 0;
+    uint64_t delay_key = 0;
+    // Number of statically-matching messages seen (the counter the keyed
+    // draws are indexed by). Unlike `matches`, this also advances on
+    // probabilistic declines.
+    uint64_t attempts = 0;
   };
 
   bool matches_locked(const Installed& in, const MessageView& msg) const;
+  void derive_keys_locked(Installed* in);
 
   mutable std::mutex mu_;
   std::vector<Installed> rules_;
-  Rng rng_;
+  // Base of the per-rule counter streams: a pure function of
+  // (seed, seed_label), so any engine reset to the same pair reproduces
+  // every rule's draw sequence exactly.
+  uint64_t stream_base_ = 0;
+  // Rules installed since construction / clear() / reset(): the per-rule
+  // stream index (see derive_keys_locked).
+  uint64_t install_seq_ = 0;
   uint64_t total_matches_ = 0;
 };
 

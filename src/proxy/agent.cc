@@ -35,6 +35,7 @@ VoidResult GremlinAgentProxy::start() {
     active->listener =
         std::make_unique<net::TcpListener>(std::move(listener.value()));
   }
+  started_at_ = wall_clock_now();
   running_ = true;
   for (auto& active : routes_) {
     ActiveRoute* raw = active.get();
@@ -150,6 +151,7 @@ void GremlinAgentProxy::serve_connection(ActiveRoute* route,
   view.method = request.method;
   view.uri = request.target;
   view.body = request.body;
+  view.now = wall_clock_now() - started_at_;
   FaultDecision decision = engine_.evaluate(view);
 
   const TimePoint sent_at = wall_clock_now();
@@ -248,6 +250,7 @@ void GremlinAgentProxy::serve_connection(ActiveRoute* route,
                          ? 0
                          : response.status;
   resp_view.body = response.body;
+  resp_view.now = wall_clock_now() - started_at_;
   FaultDecision resp_decision = engine_.evaluate(resp_view);
 
   bool reset_client = fetched.connection_failed;

@@ -120,6 +120,9 @@ class GremlinAgentProxy : public topology::AgentHandle {
       pools_;
 
   std::vector<std::unique_ptr<ActiveRoute>> routes_;
+  // Epoch for rule activation windows: rules measure `after` from proxy
+  // start, mirroring the simulator's virtual-clock origin.
+  TimePoint started_at_{};
   std::atomic<bool> running_{false};
   std::mutex workers_mu_;
   std::vector<std::thread> workers_;

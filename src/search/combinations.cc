@@ -1,12 +1,24 @@
 #include "search/combinations.h"
 
 #include <algorithm>
+#include <cstdio>
 
 namespace gremlin::search {
 
 using control::FailureSpec;
 
-std::string describe(const FailureSpec& spec) {
+namespace {
+
+std::string group_label(const char* name, const std::set<std::string>& group) {
+  std::string out = std::string(name) + "({";
+  for (const auto& s : group) {
+    if (out.back() != '{') out += ",";
+    out += s;
+  }
+  return out + "})";
+}
+
+std::string base_describe(const FailureSpec& spec) {
   switch (spec.kind) {
     case FailureSpec::Kind::kAbort:
       return "abort(" + spec.a + "->" + spec.b + ")";
@@ -24,16 +36,39 @@ std::string describe(const FailureSpec& spec) {
       return "overload(" + spec.b + ")";
     case FailureSpec::Kind::kFakeSuccess:
       return "fake_success(" + spec.b + ")";
-    case FailureSpec::Kind::kPartition: {
-      std::string out = "partition({";
-      for (const auto& s : spec.group) {
-        if (out.back() != '{') out += ",";
-        out += s;
-      }
-      return out + "})";
-    }
+    case FailureSpec::Kind::kPartition:
+      return group_label("partition", spec.group);
+    case FailureSpec::Kind::kInstanceCrash:
+      return "instance_crash(" + spec.b + ")";
+    case FailureSpec::Kind::kRollingPartition:
+      return group_label("rolling_partition", spec.group);
+    case FailureSpec::Kind::kSlowNode:
+      return "slow_node(" + spec.b + ")";
   }
   return "unknown";
+}
+
+}  // namespace
+
+std::string describe(const FailureSpec& spec) {
+  std::string out = base_describe(spec);
+  // Annotate the probabilistic / windowed axes so a finding's minimal label
+  // distinguishes "abort(a->b)" from its p=0.5 or delayed-onset variant.
+  // kOverload owns its probability internally (the 25/75 split), and the
+  // infra kinds' windows are intrinsic to the scenario, not an axis.
+  if (spec.probability < 1.0 && spec.kind != FailureSpec::Kind::kOverload) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " p=%g", spec.probability);
+    out += buf;
+  }
+  const bool windowed_kind = spec.kind == FailureSpec::Kind::kInstanceCrash ||
+                             spec.kind == FailureSpec::Kind::kRollingPartition;
+  if (!windowed_kind &&
+      (spec.after > kDurationZero || spec.window > kDurationZero)) {
+    out += " w=" + format_duration(spec.after) + "+" +
+           format_duration(spec.window);
+  }
+  return out;
 }
 
 namespace {
@@ -61,8 +96,36 @@ FailureSpec point_spec(FailureSpec::Kind kind, const std::string& src,
       return FailureSpec::overload(dst);
     case FailureSpec::Kind::kHang:
       return FailureSpec::hang(dst, options.hang);
+    case FailureSpec::Kind::kInstanceCrash:
+      return FailureSpec::instance_crash(dst, options.crash_after,
+                                         options.crash_downtime);
+    case FailureSpec::Kind::kRollingPartition:
+      // A point isolates one service; multi-member rolling partitions come
+      // from recipes or hand-built combination lists.
+      return FailureSpec::rolling_partition({dst}, options.crash_after,
+                                            options.crash_downtime,
+                                            options.crash_downtime);
+    case FailureSpec::Kind::kSlowNode:
+      return FailureSpec::slow_node(dst, options.slow_mean);
     default:
       return FailureSpec::abort_edge(src, dst, options.abort_error);
+  }
+}
+
+// Applies the search-wide probability / activation-window axes to one
+// enumerated point. The infra kinds keep their intrinsic windows.
+void apply_axes(const GeneratorOptions& options, FailureSpec* spec) {
+  if (options.probability < 1.0 &&
+      spec->kind != FailureSpec::Kind::kOverload) {
+    spec->probability = options.probability;
+  }
+  const bool windowed_kind =
+      spec->kind == FailureSpec::Kind::kInstanceCrash ||
+      spec->kind == FailureSpec::Kind::kRollingPartition;
+  if (!windowed_kind &&
+      (options.after > kDurationZero || options.window > kDurationZero)) {
+    spec->after = options.after;
+    spec->window = options.window;
   }
 }
 
@@ -83,6 +146,7 @@ std::vector<FaultPoint> enumerate_fault_points(
         if (excluded.count(edge.dst) != 0) continue;
         FaultPoint p;
         p.spec = point_spec(kind, edge.src, edge.dst, options);
+        apply_axes(options, &p.spec);
         p.label = describe(p.spec);
         p.trigger_edges = {edge};
         points.push_back(std::move(p));
@@ -92,6 +156,7 @@ std::vector<FaultPoint> enumerate_fault_points(
         if (excluded.count(service) != 0) continue;
         FaultPoint p;
         p.spec = point_spec(kind, "", service, options);
+        apply_axes(options, &p.spec);
         p.label = describe(p.spec);
         // A service fault manipulates every call *into* the service: the
         // translator expands it across all dependent edges (Table 2).

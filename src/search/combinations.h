@@ -45,7 +45,8 @@ struct GeneratorOptions {
   bool pairwise = false;
 
   // Failure kinds enumerated per edge (abort/delay/disconnect/modify) or
-  // per service (crash/overload/hang).
+  // per service (crash/overload/hang/instance_crash/rolling_partition/
+  // slow_node).
   std::vector<control::FailureSpec::Kind> kinds = {
       control::FailureSpec::Kind::kAbort,
       control::FailureSpec::Kind::kDelay,
@@ -61,6 +62,19 @@ struct GeneratorOptions {
   int abort_error = 503;
   Duration delay = msec(100);
   Duration hang = hours(1);
+
+  // Infra-level service kinds.
+  Duration crash_after{};              // outage start on the virtual clock
+  Duration crash_downtime = msec(200);
+  Duration slow_mean = msec(50);       // kSlowNode exponential delay mean
+
+  // Applied to every enumerated point: fire probability (< 1.0 makes the
+  // whole search probabilistic but still seed-deterministic — the engine's
+  // counter-based streams key on the rule, not evaluation order) and an
+  // activation window on the virtual clock (zero-duration = open-ended).
+  double probability = 1.0;
+  Duration after{};
+  Duration window{};
 };
 
 // Canonical human-readable label for a failure spec, e.g. "abort(a->b)".

@@ -102,6 +102,7 @@ class OutboundCall : public std::enable_shared_from_this<OutboundCall> {
     view.method = request_.method.view();
     view.uri = request_.uri.view();
     view.body = request_.body;
+    view.now = sim().now();
     FaultDecision decision = caller_->agent()->engine().evaluate(view);
 
     if (caller_->agent()->recording()) {
@@ -212,6 +213,7 @@ class OutboundCall : public std::enable_shared_from_this<OutboundCall> {
     view.request_id = request_.request_id;
     view.status = resp.status;
     view.body = resp.body;
+    view.now = sim().now();
     FaultDecision decision = caller_->agent()->engine().evaluate(view);
 
     auto self = shared_from_this();
@@ -410,6 +412,15 @@ ServiceInstance::ServiceInstance(Simulation* sim, SimService* service,
 
 void ServiceInstance::handle_request(const SimRequest& request,
                                      ResponseCallback reply) {
+  if (down_) {
+    // Crashed process: the connection is refused. A fresh event so the
+    // caller's stack unwinds before it sees the reset, matching every other
+    // response path.
+    sim_->schedule_timer(kDurationZero, [reply = std::move(reply)]() mutable {
+      reply(SimResponse::reset());
+    });
+    return;
+  }
   ++requests_handled_;
   const int cap = service_->config().max_concurrent_requests;
   if (cap > 0 && server_in_flight_ >= cap) {
@@ -573,7 +584,7 @@ bool ServiceInstance::pristine() const {
   for (const auto& [dep, bulkhead] : bulkheads_) {
     if (bulkhead->in_flight() != 0 || bulkhead->rejected() != 0) return false;
   }
-  return requests_handled_ == 0 && shared_in_flight_ == 0 &&
+  return requests_handled_ == 0 && !down_ && shared_in_flight_ == 0 &&
          shared_waiters_.empty() && server_in_flight_ == 0 &&
          server_queue_.empty() && server_queue_peak_ == 0;
 }
@@ -587,6 +598,7 @@ void ServiceInstance::reset(uint64_t seed) {
   for (auto& [dep, bulkhead] : bulkheads_) bulkhead->reset();
   for (auto& [dep, info] : deps_) info.service = nullptr;
   requests_handled_ = 0;
+  down_ = false;
   shared_in_flight_ = 0;
   shared_waiters_.clear();
   server_in_flight_ = 0;

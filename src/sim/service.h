@@ -200,6 +200,13 @@ class ServiceInstance {
   int shared_pool_in_flight() const { return shared_in_flight_; }
   size_t shared_pool_queued() const { return shared_waiters_.size(); }
 
+  // Infra-fault hook: a down instance refuses new work with a connection
+  // reset (the network-level view of a crashed process). In-flight work
+  // completes; Simulation::schedule_service_outage flips this on the
+  // virtual clock and reset() restores the instance to up.
+  void set_down(bool down) { down_ = down; }
+  bool down() const { return down_; }
+
   // Stats for tests.
   uint64_t requests_handled() const { return requests_handled_; }
   int server_in_flight() const { return server_in_flight_; }
@@ -233,6 +240,7 @@ class ServiceInstance {
   std::map<std::string, std::unique_ptr<resilience::Bulkhead>> bulkheads_;
   std::map<std::string, DepInfo, std::less<>> deps_;
   uint64_t requests_handled_ = 0;
+  bool down_ = false;
   int shared_in_flight_ = 0;
   std::deque<std::function<void()>> shared_waiters_;
   int server_in_flight_ = 0;

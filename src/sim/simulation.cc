@@ -127,6 +127,26 @@ void Simulation::set_recording(bool on) {
   }
 }
 
+VoidResult Simulation::schedule_service_outage(const std::string& service,
+                                               Duration after,
+                                               Duration downtime) {
+  SimService* svc = find_service(service);
+  if (svc == nullptr) {
+    return Error::not_found("service '" + service +
+                            "' is not in the simulation");
+  }
+  const auto set_all = [svc](bool down) {
+    for (size_t i = 0; i < svc->instance_count(); ++i) {
+      svc->instance(i).set_down(down);
+    }
+  };
+  schedule(after, [set_all] { set_all(true); });
+  if (downtime > kDurationZero) {
+    schedule(after + downtime, [set_all] { set_all(false); });
+  }
+  return VoidResult::success();
+}
+
 void Simulation::add_services_from_graph(
     const topology::AppGraph& graph,
     const std::function<ServiceConfig(const std::string&)>& make) {

@@ -154,6 +154,16 @@ class Simulation {
            std::move(cb));
   }
 
+  // --- infra faults ---
+  // Schedules an instance outage: every instance of `service` goes down
+  // (refusing new work with connection resets) at virtual time `after` and
+  // comes back up at `after + downtime`. Zero downtime means the service
+  // stays down for the rest of the run. The outage is ordinary scheduled
+  // events, so it participates in determinism, early termination, and
+  // warm-world reset like any other simulated behaviour.
+  VoidResult schedule_service_outage(const std::string& service,
+                                     Duration after, Duration downtime);
+
   // Number of simulation events processed so far.
   uint64_t events_processed() const { return events_processed_; }
 

@@ -383,6 +383,76 @@ TEST(EarlyExitTest, VerdictsAndSignaturesMatchFullRunsAcrossTheSweep) {
   }
 }
 
+std::vector<Experiment> vocabulary_sweep() {
+  // One experiment per new fault class: probabilistic, distribution-valued,
+  // windowed, and the three infra-level scenarios, all on the same tree so
+  // the differential exercises each lowering path.
+  const AppSpec app = AppSpec::tree();
+  std::vector<Experiment> sweep;
+  auto add = [&](std::string id, control::FailureSpec spec) {
+    Experiment e;
+    e.id = std::move(id);
+    e.app = app;
+    e.failures.push_back(std::move(spec));
+    e.load = small_load();
+    e.checks.push_back(CheckSpec::max_user_failures(0));
+    sweep.push_back(std::move(e));
+  };
+
+  control::FailureSpec prob =
+      control::FailureSpec::abort_edge("svc0", "svc1");
+  prob.probability = 0.5;
+  add("p=0.5 abort(svc0->svc1)", prob);
+
+  control::FailureSpec uniform =
+      control::FailureSpec::delay_edge("svc0", "svc2", msec(30));
+  uniform.delay_distribution = faults::DelayDistribution::kUniform;
+  uniform.delay_min = msec(10);
+  uniform.delay_max = msec(60);
+  add("uniform-delay(svc0->svc2)", uniform);
+
+  control::FailureSpec empirical =
+      control::FailureSpec::delay_edge("svc1", "svc3", msec(30));
+  empirical.delay_distribution = faults::DelayDistribution::kEmpirical;
+  empirical.delay_values = {msec(5), msec(20), msec(80)};
+  add("empirical-delay(svc1->svc3)", empirical);
+
+  control::FailureSpec windowed =
+      control::FailureSpec::abort_edge("svc0", "svc1");
+  windowed.after = msec(40);
+  windowed.window = msec(60);
+  add("windowed-abort(svc0->svc1)", windowed);
+
+  add("instance-crash(svc2)",
+      control::FailureSpec::instance_crash("svc2", msec(30), msec(50)));
+  add("rolling-partition(svc1,svc2)",
+      control::FailureSpec::rolling_partition({"svc1", "svc2"}, msec(10),
+                                              msec(30), msec(40)));
+  add("slow-node(svc1)",
+      control::FailureSpec::slow_node("svc1", msec(20)));
+  return sweep;
+}
+
+TEST(EarlyExitTest, VocabularyFaultsAgreeWithFullRunsToo) {
+  // Same equivalence as above, but over the extended fault vocabulary:
+  // probabilistic declines, sampled delays, activation windows, and the
+  // infra scenarios must not open a gap between early-exit and full runs.
+  for (const Experiment& e : vocabulary_sweep()) {
+    ExecOptions on;  // defaults: early_exit = true
+    ExecOptions off;
+    off.early_exit = false;
+    const ExperimentResult fast = CampaignRunner::run_one(e, on);
+    const ExperimentResult full = CampaignRunner::run_one(e, off);
+    ASSERT_TRUE(fast.ok) << e.id;
+    ASSERT_TRUE(full.ok) << e.id;
+    EXPECT_FALSE(full.early_terminated);
+    EXPECT_EQ(fast.verdict_fingerprint(), full.verdict_fingerprint()) << e.id;
+    EXPECT_EQ(control::failure_signature(fast.checks),
+              control::failure_signature(full.checks))
+        << e.id;
+  }
+}
+
 TEST(EarlyExitTest, PinsTheTruncationIndependentSignature) {
   // Regression pin for control::failure_signature over early-terminated
   // runs: the canonical buggy-tree reproducer yields these exact bytes in

@@ -29,6 +29,7 @@
 // execution threads (docs/PERFORMANCE.md). Results are deterministic
 // regardless of --threads and --procs.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -57,13 +58,17 @@ int usage() {
                "  gremlin check <recipe-file>\n"
                "  gremlin campaign <recipe-file> [--seed N] [--seeds K] "
                "[--threads N] [--procs N]\n"
-               "                   [--sweep edge|service|both] "
+               "                   [--sweep edge|service|infra|both|all] "
                "[--no-early-exit] [--cold]\n"
+               "                   [--probabilities 0.1,0.5] "
+               "[--windows 10ms+50ms,...]\n"
                "                   [--report out.json]\n"
                "  gremlin search (<recipe-file> | --app <name>) [--seed N] "
                "[--threads N] [--procs N]\n"
                "                 [--max-k K] [--budget N] [--requests N] "
                "[--pairwise]\n"
+               "                 [--kinds abort,slow_node,...] "
+               "[--probability P] [--after D] [--window D]\n"
                "                 [--no-prune] [--no-shrink] "
                "[--no-early-exit] [--cold]\n"
                "                 [--report out.json]\n");
@@ -179,11 +184,52 @@ struct CampaignFlags {
   int seeds = 1;          // multi-seed replication factor
   int threads = 0;        // 0 = hardware concurrency
   int procs = 1;          // worker processes (multi-process sharding)
-  std::string sweep;      // "", "edge", "service", or "both"
+  std::string sweep;      // "", "edge", "service", "infra", "both", "all"
   bool early_exit = true;  // --no-early-exit: run every sim to quiescence
   bool warm = true;        // --cold: fresh Simulation per experiment
+  std::string probabilities;  // --probabilities 0.1,0.5: sweep axis
+  std::string windows;        // --windows 10ms+50ms,20ms+0s: sweep axis
   std::string report_path;
 };
+
+// Parses a comma-separated probability list ("0.1,0.5,1"); false on junk.
+bool parse_probability_axis(const std::string& csv,
+                            std::vector<double>* out) {
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    char* end = nullptr;
+    const double p = std::strtod(item.c_str(), &end);
+    if (end == item.c_str() || *end != '\0' || p < 0.0 || p > 1.0) {
+      return false;
+    }
+    out->push_back(p);
+  }
+  return !out->empty();
+}
+
+// Parses a comma-separated window list; each entry is "<after>+<duration>"
+// or a bare "<after>" (open-ended window).
+bool parse_window_axis(const std::string& csv,
+                       std::vector<campaign::SweepOptions::Window>* out) {
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    campaign::SweepOptions::Window w;
+    const size_t plus = item.find('+');
+    const std::string after_text = item.substr(0, plus);
+    auto after = parse_duration(after_text);
+    if (!after.ok()) return false;
+    w.after = after.value();
+    if (plus != std::string::npos) {
+      auto duration = parse_duration(item.substr(plus + 1));
+      if (!duration.ok()) return false;
+      w.duration = duration.value();
+    }
+    out->push_back(w);
+  }
+  return !out->empty();
+}
 
 int cmd_campaign(const std::string& source, const CampaignFlags& flags) {
   auto file = dsl::parse(source);
@@ -214,14 +260,47 @@ int cmd_campaign(const std::string& source, const CampaignFlags& flags) {
     } else if (flags.sweep == "service") {
       sweep.kinds = {control::FailureSpec::Kind::kCrash,
                      control::FailureSpec::Kind::kOverload};
+    } else if (flags.sweep == "infra") {
+      sweep.kinds = {control::FailureSpec::Kind::kInstanceCrash,
+                     control::FailureSpec::Kind::kRollingPartition,
+                     control::FailureSpec::Kind::kSlowNode};
+    } else if (flags.sweep == "all") {
+      sweep.kinds = {control::FailureSpec::Kind::kAbort,
+                     control::FailureSpec::Kind::kDelay,
+                     control::FailureSpec::Kind::kOverload,
+                     control::FailureSpec::Kind::kCrash,
+                     control::FailureSpec::Kind::kDisconnect,
+                     control::FailureSpec::Kind::kInstanceCrash,
+                     control::FailureSpec::Kind::kRollingPartition,
+                     control::FailureSpec::Kind::kSlowNode};
     } else if (flags.sweep != "both") {
-      std::fprintf(stderr, "--sweep must be edge, service, or both\n");
+      std::fprintf(stderr,
+                   "--sweep must be edge, service, infra, both, or all\n");
+      return 2;
+    }
+    if (!flags.probabilities.empty() &&
+        !parse_probability_axis(flags.probabilities,
+                                &sweep.probabilities)) {
+      std::fprintf(stderr,
+                   "--probabilities must be a comma-separated list of "
+                   "values in [0, 1]\n");
+      return 2;
+    }
+    if (!flags.windows.empty() &&
+        !parse_window_axis(flags.windows, &sweep.windows)) {
+      std::fprintf(stderr,
+                   "--windows must be a comma-separated list of "
+                   "<after>+<duration> (e.g. 10ms+50ms)\n");
       return 2;
     }
     auto generated = campaign::generate_sweep(app, file->graph, sweep);
     experiments.insert(experiments.end(),
                        std::make_move_iterator(generated.begin()),
                        std::make_move_iterator(generated.end()));
+  } else if (!flags.probabilities.empty() || !flags.windows.empty()) {
+    std::fprintf(stderr,
+                 "--probabilities/--windows are sweep axes; pass --sweep\n");
+    return 2;
   }
 
   if (flags.seeds > 1) {
@@ -277,8 +356,34 @@ struct SearchFlags {
   bool shrink = true;
   bool early_exit = true;  // --no-early-exit: run every sim to quiescence
   bool warm = true;        // --cold: fresh Simulation per experiment
+  std::string kinds;       // --kinds abort,slow_node,...: fault-kind set
+  double probability = 1.0;  // --probability: applied to every fault point
+  std::string after;         // --after 10ms: activation-window start
+  std::string window;        // --window 50ms: activation-window duration
   std::string report_path;
 };
+
+// Parses a comma-separated fault-kind list for --kinds.
+bool parse_kind_set(const std::string& csv,
+                    std::vector<control::FailureSpec::Kind>* out) {
+  using Kind = control::FailureSpec::Kind;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item == "abort") out->push_back(Kind::kAbort);
+    else if (item == "delay") out->push_back(Kind::kDelay);
+    else if (item == "disconnect") out->push_back(Kind::kDisconnect);
+    else if (item == "crash") out->push_back(Kind::kCrash);
+    else if (item == "hang") out->push_back(Kind::kHang);
+    else if (item == "overload") out->push_back(Kind::kOverload);
+    else if (item == "instance_crash") out->push_back(Kind::kInstanceCrash);
+    else if (item == "rolling_partition") {
+      out->push_back(Kind::kRollingPartition);
+    } else if (item == "slow_node") out->push_back(Kind::kSlowNode);
+    else return false;
+  }
+  return !out->empty();
+}
 
 // Exit codes: 0 clean, 1 minimal reproducers found, 2 usage/infrastructure
 // error (including a baseline that violates its own checks).
@@ -315,6 +420,37 @@ int cmd_search(const SearchFlags& flags) {
   options.generator.max_k = flags.max_k;
   options.generator.max_combinations = flags.budget;
   options.generator.pairwise = flags.pairwise;
+  if (!flags.kinds.empty()) {
+    options.generator.kinds.clear();
+    if (!parse_kind_set(flags.kinds, &options.generator.kinds)) {
+      std::fprintf(stderr,
+                   "--kinds must be a comma-separated list of abort, delay, "
+                   "disconnect, crash, hang, overload, instance_crash, "
+                   "rolling_partition, slow_node\n");
+      return 2;
+    }
+  }
+  if (flags.probability < 0.0 || flags.probability > 1.0) {
+    std::fprintf(stderr, "--probability must be in [0, 1]\n");
+    return 2;
+  }
+  options.generator.probability = flags.probability;
+  if (!flags.after.empty()) {
+    auto after = parse_duration(flags.after);
+    if (!after.ok()) {
+      std::fprintf(stderr, "--after: %s\n", after.error().message.c_str());
+      return 2;
+    }
+    options.generator.after = after.value();
+  }
+  if (!flags.window.empty()) {
+    auto window = parse_duration(flags.window);
+    if (!window.ok()) {
+      std::fprintf(stderr, "--window: %s\n", window.error().message.c_str());
+      return 2;
+    }
+    options.generator.window = window.value();
+  }
   options.prune = flags.prune;
   options.shrink = flags.shrink;
   options.early_exit = flags.early_exit;
@@ -372,6 +508,14 @@ int main(int argc, char** argv) {
         flags.requests = std::strtoull(argv[++i], nullptr, 10);
       } else if (std::strcmp(argv[i], "--pairwise") == 0) {
         flags.pairwise = true;
+      } else if (std::strcmp(argv[i], "--kinds") == 0 && i + 1 < argc) {
+        flags.kinds = argv[++i];
+      } else if (std::strcmp(argv[i], "--probability") == 0 && i + 1 < argc) {
+        flags.probability = std::strtod(argv[++i], nullptr);
+      } else if (std::strcmp(argv[i], "--after") == 0 && i + 1 < argc) {
+        flags.after = argv[++i];
+      } else if (std::strcmp(argv[i], "--window") == 0 && i + 1 < argc) {
+        flags.window = argv[++i];
       } else if (std::strcmp(argv[i], "--no-prune") == 0) {
         flags.prune = false;
       } else if (std::strcmp(argv[i], "--no-shrink") == 0) {
@@ -414,6 +558,10 @@ int main(int argc, char** argv) {
       flags.procs = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--sweep") == 0 && i + 1 < argc) {
       flags.sweep = argv[++i];
+    } else if (std::strcmp(argv[i], "--probabilities") == 0 && i + 1 < argc) {
+      flags.probabilities = argv[++i];
+    } else if (std::strcmp(argv[i], "--windows") == 0 && i + 1 < argc) {
+      flags.windows = argv[++i];
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       with_traces = true;
     } else if (std::strcmp(argv[i], "--no-early-exit") == 0) {
