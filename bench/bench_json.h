@@ -24,6 +24,7 @@
 #include <cstdio>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -35,6 +36,18 @@ struct Row {
   double value = 0;
   std::string unit;    // "s", "ms", "us", "1/s", "count", ...
 };
+
+// Compiler identification string baked in at build time, so a BENCH_*.json
+// artifact records which toolchain produced the numbers.
+inline const char* compiler_id() {
+#if defined(__clang__)
+  return "clang " __clang_version__;
+#elif defined(__GNUC__)
+  return "gcc " __VERSION__;
+#else
+  return "unknown";
+#endif
+}
 
 // Process-wide row sink: sections deep inside a bench add() rows next to
 // their printf without threading a writer through every helper.
@@ -82,6 +95,18 @@ class Rows {
       return false;
     }
     std::fputs("[\n", f);
+    // Host metadata rows lead the array so every BENCH_*.json records the
+    // machine and toolchain behind its numbers (the `text` field carries
+    // non-numeric values; assemblers that only read `value` skip it).
+    std::fprintf(f,
+                 "  {\"name\": \"host\", \"metric\": \"hardware_threads\", "
+                 "\"value\": %u, \"unit\": \"count\"},\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(f,
+                 "  {\"name\": \"host\", \"metric\": \"compiler\", "
+                 "\"value\": 0, \"unit\": \"\", \"text\": \"%s\"}%s\n",
+                 escaped(compiler_id()).c_str(),
+                 rows_.empty() ? "" : ",");
     for (size_t i = 0; i < rows_.size(); ++i) {
       const Row& r = rows_[i];
       std::fprintf(f,

@@ -1,0 +1,298 @@
+// Mega-topology scale-out: timer-wheel scheduling + open-loop heavy
+// traffic against a 500-service deployment (docs/PERFORMANCE.md).
+//
+// Three sections:
+//
+// 1. Open-loop throughput gate. A 501-service tiered deployment takes a
+//    dense open-loop arrival stream. Baseline = the pre-wheel scheduler
+//    (use_timer_wheel=false) with all arrivals prescheduled upfront, so
+//    every event operation pays O(log n) against the pending arrival mass
+//    sitting in the binary heap. New = timer wheel + chained arrivals
+//    (O(1) pending, O(1) slot ops). Gate: >= 3x events/second over the
+//    pre-PR engine — the live in-binary differential scaled by the
+//    recorded heap-vs-pre-PR factor (see kPrePrEventsPerSec below).
+//
+// 2. Full mega traversal. The same deployment driven through its gateway,
+//    so every request fans across all ten tiers. Reported for shape; the
+//    wheel must at least not regress (>= 0.9x floor).
+//
+// 3. Byte-identity matrix. A generated sweep campaign over a mega app runs
+//    at {1,4,8} threads x {1,2} procs x warm/cold, plus a heap-only
+//    (wheel-off) run. Every fingerprint() and verdict_fingerprint() must
+//    equal the single-threaded reference — the wheel reorders nothing.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "campaign/process_pool.h"
+#include "campaign/runner.h"
+#include "topology/graph.h"
+#include "workload/generator.h"
+#include "workload/stats.h"
+
+namespace {
+
+using namespace gremlin;  // NOLINT
+
+// Recorded reference pair for the ">= 3x over the pre-PR engine" gate,
+// both measured on the same machine and day with the section-1 workload
+// (501 services, 20M requests, gap 1us into t9_w0, best-of-two):
+//
+//   - kPrePrEventsPerSec: the parent revision's engine (binary heap only,
+//     prescheduled arrivals, map-based AoS dispatch, no Symbol inject
+//     path), driven by an equivalent hand-built example at that revision.
+//   - kRecordedHeapEventsPerSec: THIS revision's wheel-off prescheduled
+//     side from the same bench section.
+//
+// Only their ratio enters the gate: it converts the live in-binary
+// wheel-vs-heap differential into a speedup over the true pre-PR engine —
+// the in-binary heap baseline is itself faster than pre-PR (armed-probe
+// fault bypass, single-scan run loop, SoA dispatch), so gating on the live
+// differential alone would under-credit the wheel, while gating on an
+// absolute events/s would break on different hardware. (Same recording
+// convention as BASELINE_EXPERIMENTS_PER_SEC in tools/bench.sh.)
+constexpr double kPrePrEventsPerSec = 1932241.0;
+constexpr double kRecordedHeapEventsPerSec = 2025368.0;
+constexpr double kHeapVsPrePr = kRecordedHeapEventsPerSec / kPrePrEventsPerSec;
+
+// 10 tiers x 50 wide + gateway = 501 services; fan_out=1 keeps one
+// request's traversal linear in the tier count instead of exponential.
+campaign::AppSpec mega_app_501() {
+  sim::ServiceConfig prototype;
+  prototype.processing_time = msec(1);
+  // Jittered processing defeats the same-delay timer lanes (capped at 8),
+  // so per-hop delays route through the scheduler under test — the wheel
+  // when enabled, the binary heap otherwise — as varied-deadline events.
+  prototype.processing_jitter = 0.5;
+  resilience::CallPolicy policy;
+  policy.timeout = msec(500);
+  prototype.default_policy = policy;
+  return campaign::AppSpec::from_graph(
+      topology::AppGraph::tiered(10, 50, /*seed=*/42, /*fan_out=*/1),
+      prototype);
+}
+
+struct RunStats {
+  double wall_s = 0;
+  double events = 0;
+  double events_per_s = 0;
+  size_t failures = 0;
+};
+
+RunStats drive_once(const campaign::AppSpec& app, const std::string& target,
+                    size_t requests, Duration gap, bool wheel, bool chained) {
+  sim::SimulationConfig cfg;
+  cfg.seed = 42;
+  cfg.use_timer_wheel = wheel;
+  sim::Simulation sim(cfg);
+  app.instantiate(&sim);
+  // Log records are not under test here; recording off keeps the event
+  // loop (scheduling + hops) as the measured quantity.
+  sim.set_recording(false);
+
+  workload::TrafficSpec spec;
+  spec.count = requests;
+  spec.gap = gap;
+  spec.chained = chained;
+
+  // Timing includes scheduling the traffic: prescheduling N arrivals is
+  // real work the pre-wheel engine pays (N heap pushes + N pool nodes
+  // resident for the whole run), and chained injection's O(1) pending set
+  // is precisely the claim under test.
+  const auto start = std::chrono::steady_clock::now();
+  auto result = workload::schedule_traffic(&sim, target, spec);
+  sim.run();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  RunStats stats;
+  stats.wall_s = wall_s;
+  stats.events = static_cast<double>(sim.events_processed());
+  stats.events_per_s = wall_s > 0 ? stats.events / wall_s : 0;
+  stats.failures = result->failures;
+  return stats;
+}
+
+// Best-of-two (shortest wall clock): a hypervisor steal burst hitting one
+// side of a pair skews the ratio by tens of percent; noise only ever slows
+// a run down, so the faster repetition is the truer measurement.
+RunStats drive(const campaign::AppSpec& app, const std::string& target,
+               size_t requests, Duration gap, bool wheel, bool chained) {
+  RunStats best = drive_once(app, target, requests, gap, wheel, chained);
+  const RunStats second =
+      drive_once(app, target, requests, gap, wheel, chained);
+  if (second.events_per_s > best.events_per_s) best = second;
+  return best;
+}
+
+void report_pair(const char* section, const RunStats& base,
+                 const RunStats& wheel) {
+  auto& rows = benchjson::Rows::instance();
+  const double speedup =
+      base.events_per_s > 0 ? wheel.events_per_s / base.events_per_s : 0;
+  std::printf("  heap+prescheduled: %.0f events in %.3fs (%.2fM events/s)\n",
+              base.events, base.wall_s, base.events_per_s / 1e6);
+  std::printf("  wheel+chained:     %.0f events in %.3fs (%.2fM events/s)\n",
+              wheel.events, wheel.wall_s, wheel.events_per_s / 1e6);
+  std::printf("  speedup: %.2fx\n\n", speedup);
+  rows.add(std::string(section) + "/heap_prescheduled", "events_per_second",
+           base.events_per_s, "1/s");
+  rows.add(std::string(section) + "/heap_prescheduled", "wall", base.wall_s,
+           "s");
+  rows.add(std::string(section) + "/wheel_chained", "events_per_second",
+           wheel.events_per_s, "1/s");
+  rows.add(std::string(section) + "/wheel_chained", "wall", wheel.wall_s,
+           "s");
+  rows.add(section, "speedup", speedup, "x");
+}
+
+int run_throughput_sections() {
+  const campaign::AppSpec app = mega_app_501();
+  auto& rows = benchjson::Rows::instance();
+
+  // Section 1: dense arrivals into a terminal-tier service — the
+  // million-user fan-in shape. Prescheduling parks 20M arrival events in
+  // the baseline's binary heap (320MB of entries + ~2.8GB of resident pool
+  // nodes, far past L3), so every event push/pop sifts through a
+  // cache-hostile array; wheel + chained arrivals keep pending state O(1)
+  // and every slot op O(1).
+  std::printf("## Open-loop dense arrivals (501-service deployment, "
+              "20000000 requests into t9_w0)\n");
+  const RunStats base1 =
+      drive(app, "t9_w0", 20000000, usec(1), /*wheel=*/false,
+            /*chained=*/false);
+  const RunStats wheel1 =
+      drive(app, "t9_w0", 20000000, usec(1), /*wheel=*/true,
+            /*chained=*/true);
+  report_pair("megatopo/dense_arrivals", base1, wheel1);
+
+  // Section 2: gateway traversal — every request touches all 501 services.
+  std::printf("## Gateway traversal (every request crosses all ten "
+              "tiers, 1000 requests into gw)\n");
+  const RunStats base2 =
+      drive(app, "gw", 1000, usec(200), /*wheel=*/false, /*chained=*/false);
+  const RunStats wheel2 =
+      drive(app, "gw", 1000, usec(200), /*wheel=*/true, /*chained=*/true);
+  report_pair("megatopo/gateway_traversal", base2, wheel2);
+
+  const double dense_speedup =
+      base1.events_per_s > 0 ? wheel1.events_per_s / base1.events_per_s : 0;
+  const double traversal_speedup =
+      base2.events_per_s > 0 ? wheel2.events_per_s / base2.events_per_s : 0;
+  // Live in-binary differential x recorded heap-vs-pre-PR factor = speedup
+  // over the true pre-PR engine (see the constants at the top of the file).
+  const double vs_prepr = dense_speedup * kHeapVsPrePr;
+  std::printf("  dense arrivals vs the recorded pre-PR engine: %.2fx "
+              "(in-binary %.2fx x recorded heap factor %.2fx)\n\n",
+              vs_prepr, dense_speedup, kHeapVsPrePr);
+  rows.add("megatopo/gate", "dense_speedup", dense_speedup, "x");
+  rows.add("megatopo/gate", "speedup_vs_prepr", vs_prepr, "x");
+
+  if (vs_prepr < 3.0) {
+    std::fprintf(stderr,
+                 "FAIL: dense-arrival speedup %.2fx over the pre-PR engine "
+                 "(in-binary %.2fx x %.2fx) below the 3.0x gate\n",
+                 vs_prepr, dense_speedup, kHeapVsPrePr);
+    return 1;
+  }
+  if (traversal_speedup < 0.9) {
+    std::fprintf(stderr,
+                 "FAIL: gateway-traversal speedup %.2fx below the 0.9x "
+                 "no-regression floor\n",
+                 traversal_speedup);
+    return 1;
+  }
+  return 0;
+}
+
+int run_identity_matrix() {
+  // Small mega app (3 tiers x 6 wide, default fan-out 3) so the full sweep
+  // stays fast; the matrix is about schedules, not scale.
+  const campaign::AppSpec app = campaign::AppSpec::mega(3, 6, 42);
+  campaign::SweepOptions sweep;
+  sweep.load.count = 40;
+  sweep.load.gap = msec(5);
+  const auto experiments =
+      campaign::generate_sweep(app, app.probe_graph(), sweep);
+
+  std::printf("## Byte-identity matrix (%zu sweep experiments over %s)\n",
+              experiments.size(), app.name.c_str());
+  auto& rows = benchjson::Rows::instance();
+
+  auto opts = [](int threads, int procs, bool warm, bool wheel) {
+    campaign::RunnerOptions o;
+    o.threads = threads;
+    o.procs = procs;
+    o.warm_worlds = warm;
+    o.use_timer_wheel = wheel;
+    o.keep_latencies = false;
+    return o;
+  };
+
+  const campaign::CampaignResult reference =
+      campaign::CampaignRunner(opts(1, 1, true, true)).run(experiments);
+  const std::string ref_fp = reference.fingerprint();
+  const std::string ref_vfp = reference.verdict_fingerprint();
+
+  bool all_identical = true;
+  auto check = [&](const std::string& label,
+                   const campaign::CampaignResult& result) {
+    const bool identical = result.fingerprint() == ref_fp &&
+                           result.verdict_fingerprint() == ref_vfp;
+    all_identical = all_identical && identical;
+    std::printf("  %-34s byte-identical=%s\n", label.c_str(),
+                identical ? "yes" : "NO (DETERMINISM BUG)");
+    rows.add("megatopo/identity/" + label, "byte_identical",
+             identical ? 1.0 : 0.0, "bool");
+  };
+
+  // Heap-only differential: the wheel must reproduce the pure-heap
+  // schedule exactly.
+  check("wheel=off",
+        campaign::CampaignRunner(opts(1, 1, true, false)).run(experiments));
+
+  const bool multiproc = campaign::multiproc_available();
+  for (const int procs : {1, 2}) {
+    if (procs > 1 && !multiproc) {
+      std::printf("  (fork unavailable; skipping procs=2 rows)\n");
+      break;
+    }
+    for (const int threads : {1, 4, 8}) {
+      for (const bool warm : {true, false}) {
+        if (procs == 1 && threads == 1 && warm) continue;  // the reference
+        const std::string label = "threads=" + std::to_string(threads) +
+                                  ",procs=" + std::to_string(procs) +
+                                  (warm ? ",warm" : ",cold");
+        check(label, campaign::CampaignRunner(opts(threads, procs, warm,
+                                                   true))
+                         .run(experiments));
+      }
+    }
+  }
+  std::printf("\n");
+
+  if (!all_identical) {
+    std::fprintf(stderr, "FAIL: mega campaign results not byte-identical "
+                         "across the scheduler/threads/procs matrix\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  auto& rows = benchjson::Rows::instance();
+  rows.parse_args(&argc, argv);
+  std::printf("# Mega-topology scale-out — timer wheel + open-loop "
+              "arrivals\n\n");
+  int rc = run_throughput_sections();
+  const int matrix_rc = run_identity_matrix();
+  rc = rc != 0 ? rc : matrix_rc;
+  if (!rows.write()) return 1;
+  return rc;
+}

@@ -161,6 +161,52 @@ AppSpec AppSpec::warmcache(apps::WarmCacheOptions options) {
   return spec;
 }
 
+namespace {
+
+// Single-instance default-handler prototype shared by the mega factories:
+// a small fixed processing time and a generous per-call timeout keep the
+// request volume (not per-service config) as the scaling variable.
+sim::ServiceConfig mega_prototype() {
+  sim::ServiceConfig cfg;
+  cfg.processing_time = msec(1);
+  resilience::CallPolicy policy;
+  policy.timeout = msec(500);
+  cfg.default_policy = policy;
+  return cfg;
+}
+
+// Parses a non-negative decimal integer spanning [pos, end) of `s`;
+// returns -1 on empty or non-digit input.
+int parse_int(const std::string& s, size_t pos, size_t end) {
+  if (pos >= end || end > s.size()) return -1;
+  long value = 0;
+  for (size_t i = pos; i < end; ++i) {
+    const char c = s[i];
+    if (c < '0' || c > '9') return -1;
+    value = value * 10 + (c - '0');
+    if (value > 1'000'000) return -1;  // reject absurd sizes early
+  }
+  return static_cast<int>(value);
+}
+
+}  // namespace
+
+AppSpec AppSpec::mega(int tiers, int width, uint64_t seed, int fan_out) {
+  AppSpec spec = from_graph(topology::AppGraph::tiered(tiers, width, seed,
+                                                       fan_out),
+                            mega_prototype());
+  spec.name = "mega:" + std::to_string(tiers) + "x" + std::to_string(width);
+  return spec;
+}
+
+AppSpec AppSpec::mega_dag(int services, int avg_degree, uint64_t seed) {
+  AppSpec spec = from_graph(
+      topology::AppGraph::random_dag(services, avg_degree, seed),
+      mega_prototype());
+  spec.name = "megadag:" + std::to_string(services);
+  return spec;
+}
+
 Result<AppSpec> AppSpec::named(const std::string& name) {
   if (name == "quickstart") return quickstart(3, msec(300));
   if (name == "tree") return tree();
@@ -169,10 +215,32 @@ Result<AppSpec> AppSpec::named(const std::string& name) {
   if (name == "warmcache") return warmcache();
   if (name == "enterprise") return enterprise();
   if (name == "wordpress") return wordpress();
+  if (name.rfind("mega:", 0) == 0) {
+    const size_t x = name.find('x', 5);
+    const int tiers = x == std::string::npos ? -1 : parse_int(name, 5, x);
+    const int width =
+        x == std::string::npos ? -1 : parse_int(name, x + 1, name.size());
+    if (tiers <= 0 || width <= 0) {
+      return Error::invalid_argument(
+          "malformed mega app '" + name + "' (expected mega:<tiers>x<width>, "
+          "e.g. mega:10x50)");
+    }
+    return mega(tiers, width);
+  }
+  if (name.rfind("megadag:", 0) == 0) {
+    const int services = parse_int(name, 8, name.size());
+    if (services <= 0) {
+      return Error::invalid_argument(
+          "malformed megadag app '" + name +
+          "' (expected megadag:<services>, e.g. megadag:500)");
+    }
+    return mega_dag(services);
+  }
   return Error::invalid_argument(
       "unknown app '" + name +
       "' (expected quickstart, tree, buggy-tree, redundant, warmcache, "
-      "enterprise, or wordpress)");
+      "enterprise, wordpress, mega:<tiers>x<width>, or "
+      "megadag:<services>)");
 }
 
 }  // namespace gremlin::campaign

@@ -99,10 +99,24 @@ struct AppSpec {
   // (docs/FAULTS.md).
   static AppSpec warmcache(apps::WarmCacheOptions options = {});
 
+  // Seeded mega-topology: `tiers` x `width` services behind a "gw" gateway
+  // (AppGraph::tiered), every node a single-instance default-handler
+  // service. Deterministic in (tiers, width, seed, fan_out); sized for the
+  // 100–1000 service scale-out benchmarks (docs/PERFORMANCE.md).
+  static AppSpec mega(int tiers, int width, uint64_t seed = 42,
+                      int fan_out = 3);
+
+  // Seeded random-DAG mega-topology over `services` nodes
+  // (AppGraph::random_dag); "n0" is the entry point.
+  static AppSpec mega_dag(int services, int avg_degree = 3,
+                          uint64_t seed = 42);
+
   // Looks up a built-in spec by name ("quickstart", "tree", "buggy-tree",
   // "redundant", "warmcache", "enterprise", "wordpress"), with default
-  // options — the `gremlin search --app <name>` registry. Fails on unknown
-  // names.
+  // options — the `gremlin search --app <name>` registry. Also accepts the
+  // parameterized mega-topology forms "mega:<tiers>x<width>" (e.g.
+  // "mega:10x50" → 501 services) and "megadag:<services>". Fails on
+  // unknown names.
   static Result<AppSpec> named(const std::string& name);
 
  private:

@@ -264,6 +264,7 @@ CampaignResult run_multiproc(const std::vector<Experiment>& experiments,
   ExecOptions exec;
   exec.keep_latencies = options.keep_latencies;
   exec.early_exit = options.early_exit;
+  exec.use_timer_wheel = options.use_timer_wheel;
 
   // Everything below degrades to "parent runs it inline" — fork failure,
   // ring overflow, total worker die-off all land in these helpers.

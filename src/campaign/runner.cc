@@ -149,6 +149,7 @@ ExperimentResult CampaignRunner::run_one(const Experiment& experiment,
   // A fully private deployment: clock, RNG, log store, services, agents.
   sim::SimulationConfig cfg;
   cfg.seed = experiment.seed;
+  cfg.use_timer_wheel = exec.use_timer_wheel;
   sim::Simulation sim(cfg);
   return run_in(experiment, &sim, exec);
 }
@@ -346,6 +347,7 @@ CampaignResult CampaignRunner::run(
   ExecOptions exec;
   exec.keep_latencies = options_.keep_latencies;
   exec.early_exit = options_.early_exit;
+  exec.use_timer_wheel = options_.use_timer_wheel;
 
   std::mutex result_mu;  // guards options_.on_result only
   auto finish = [&](ExperimentResult&& r, size_t index) {

@@ -66,6 +66,13 @@ struct RunnerOptions {
   // cold construction automatically; --cold disables reuse entirely.
   bool warm_worlds = true;
 
+  // Timer-wheel event scheduling in every worker Simulation (see
+  // sim/event_queue.h). Off forces the pure binary-heap scheduler — the
+  // pre-wheel behaviour, kept as a runtime toggle so differential tests and
+  // bench_megatopo can verify wheel-on results are byte-identical to the
+  // heap-only schedule.
+  bool use_timer_wheel = true;
+
   // Optional progress hook, invoked after each experiment completes.
   // Called from worker threads under an internal mutex — keep it cheap.
   std::function<void(const struct ExperimentResult&)> on_result;
@@ -93,6 +100,10 @@ struct ExecOptions {
 
   // Virtual-time drain cadence of the streaming collector.
   Duration stream_interval = msec(5);
+
+  // Scheduler selection for the private Simulation (RunnerOptions
+  // docs; results are byte-identical either way).
+  bool use_timer_wheel = true;
 };
 
 // Outcome of one experiment.

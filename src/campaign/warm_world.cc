@@ -14,6 +14,7 @@ ExperimentResult WarmWorld::run(const Experiment& experiment,
     cfg.seed = experiment.seed;
     cfg.event_pool = event_pool_;
     cfg.memory = memory_;
+    cfg.use_timer_wheel = exec.use_timer_wheel;
     sim_ = std::make_unique<sim::Simulation>(cfg);
     graph_ = app_.instantiate(sim_.get());
   } else {

@@ -34,6 +34,7 @@ VoidResult RuleEngine::add_rule(FaultRule rule) {
   in.rule = std::move(rule);
   derive_keys_locked(&in);
   rules_.push_back(std::move(in));
+  armed_count_.store(rules_.size(), std::memory_order_release);
   return VoidResult::success();
 }
 
@@ -52,12 +53,14 @@ bool RuleEngine::remove_rule(const std::string& id) {
       [&id](const Installed& in) { return in.rule.id == id; });
   if (it == rules_.end()) return false;
   rules_.erase(it);
+  armed_count_.store(rules_.size(), std::memory_order_release);
   return true;
 }
 
 void RuleEngine::clear() {
   std::lock_guard lock(mu_);
   rules_.clear();
+  armed_count_.store(0, std::memory_order_release);
   total_matches_ = 0;
   install_seq_ = 0;
 }
@@ -65,6 +68,7 @@ void RuleEngine::clear() {
 void RuleEngine::reset(uint64_t seed, std::string_view seed_label) {
   std::lock_guard lock(mu_);
   rules_.clear();
+  armed_count_.store(0, std::memory_order_release);
   total_matches_ = 0;
   install_seq_ = 0;
   stream_base_ = derive_stream_base(seed, seed_label);
@@ -115,6 +119,7 @@ bool RuleEngine::matches_locked(const Installed& in,
 }
 
 FaultDecision RuleEngine::evaluate(const MessageView& msg) {
+  if (!armed()) return {};  // fault-free fast path: no lock, no scan
   std::lock_guard lock(mu_);
   for (auto& in : rules_) {
     if (!matches_locked(in, msg)) continue;

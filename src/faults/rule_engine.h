@@ -8,6 +8,7 @@
 // nothing and compares the request ID against each rule's glob.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -79,6 +80,16 @@ class RuleEngine {
   size_t rule_count() const;
   std::vector<FaultRule> rules() const;
 
+  // Lock-free emptiness probe for the per-message hot path: a fault-free
+  // run (the overwhelmingly common case across a campaign's baseline and
+  // most sidecars of a faulted experiment) skips the MessageView build and
+  // the evaluate() mutex entirely. A concurrent install racing a probe is
+  // benign: it is indistinguishable from the message having been delivered
+  // just before the install.
+  bool armed() const {
+    return armed_count_.load(std::memory_order_acquire) != 0;
+  }
+
   // Decides the fault action for a message. Thread-safe. Increments the
   // winning rule's match counter (bounded rules stop matching when
   // exhausted).
@@ -124,6 +135,9 @@ class RuleEngine {
   // stream index (see derive_keys_locked).
   uint64_t install_seq_ = 0;
   uint64_t total_matches_ = 0;
+  // Mirrors rules_.size(); maintained by the mutators so armed() needs no
+  // lock.
+  std::atomic<size_t> armed_count_{0};
 };
 
 }  // namespace gremlin::faults

@@ -35,8 +35,32 @@
 // (not deques) and clear() retains both their capacity and the lane table
 // storage, re-assigning lanes in first-use order, so warm-world resets take
 // byte-identical scheduling paths with zero allocation.
+//
+// Near-future one-shot events (the dense mass an open-loop arrival process
+// plus its per-hop network/processing events produce at mega-topology
+// scale) take a hierarchical timer wheel instead of the heap. Level 0 is a
+// ring of 4096 one-tick slots covering the current 4096-tick window; since
+// a slot spans exactly one tick, every entry in it shares a timestamp and
+// FIFO order within the slot IS (time, seq) order. Level 1 is a ring of 64
+// slots, each covering one future 4096-tick window (~260ms of horizon at
+// the microsecond tick); when the wheel advances into a window, that
+// window's level-1 slot cascades down into level-0 slots. Cascade happens
+// strictly before any event of the window can pop and before any new event
+// can be scheduled into the window (scheduling into a window requires it to
+// be current), so within every level-0 slot cascaded entries (older seqs)
+// precede direct ones (newer seqs) and FIFO order is exact. Everything
+// beyond the wheel horizon — or behind the cursor — overflows into the
+// heap, which pop compares against the wheel and the lanes, so the global
+// pop order is byte-identical to an all-heap schedule (the differential
+// fuzz in tests/event_wheel_test.cc pins this over mixed wheel/overflow
+// deadlines). Slot vectors and occupancy bitmaps are retained by clear(),
+// so warm-world resets schedule through the wheel with zero allocations
+// once rings reach the run's peak. set_wheel_enabled(false) routes every
+// one-shot to the heap — the baseline the mega-topology bench compares
+// against.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -130,21 +154,38 @@ class EventQueue {
   // lane is an optimization, never a semantic.
   void schedule_timer(TimePoint at, Duration delay, Action action);
 
-  bool empty() const { return heap_.empty() && lanes_pending_ == 0; }
-  size_t size() const { return heap_.size() + lanes_pending_; }
+  bool empty() const {
+    return heap_.empty() && lanes_pending_ == 0 && wheel_pending_ == 0;
+  }
+  size_t size() const { return heap_.size() + lanes_pending_ + wheel_pending_; }
 
   // Time of the earliest pending event; undefined when empty.
   TimePoint next_time() const { return best_entry()->at; }
 
   // Removes and runs the earliest event; returns its timestamp. The event's
   // pool slot is recycled before the action runs, so actions that schedule
-  // follow-up events reuse it immediately.
-  TimePoint pop_and_run();
+  // follow-up events reuse it immediately. When `clock` is non-null it
+  // receives the event's timestamp *before* the action runs — the
+  // simulator's clock update — so the run loop pays one best-entry scan per
+  // event instead of a separate next_time() peek plus the pop's own scan.
+  TimePoint pop_and_run(TimePoint* clock = nullptr);
 
   // Drops all pending events and resets the insertion sequence, so
   // back-to-back runs on a reused queue produce identical event orderings.
-  // The pool, the lane table, and every lane's ring capacity are retained.
+  // The pool, the lane table, every lane's ring capacity, and the wheel's
+  // node arena / slot rings are retained.
   void clear();
+
+  // Routes one-shot events through the hierarchical timer wheel (default)
+  // or forces them all onto the heap. Pop order is byte-identical either
+  // way; the heap-only mode exists as the baseline for benchmarks and the
+  // differential fuzz test. Takes effect for subsequent scheduling; events
+  // already in the wheel still drain through it.
+  void set_wheel_enabled(bool on) { wheel_enabled_ = on; }
+  bool wheel_enabled() const { return wheel_enabled_; }
+
+  // Events currently resident in the wheel (tests / benchmarks).
+  size_t wheel_size() const { return wheel_pending_; }
 
   // --- pool introspection (tests / benchmarks) ---
   size_t pool_capacity() const { return pool_->capacity(); }
@@ -209,12 +250,63 @@ class EventQueue {
   };
   static constexpr size_t kMaxLanes = 8;
 
+  // --- hierarchical timer wheel (see file comment) ---
+  //
+  // Level 0: 4096 one-tick slots covering the current window
+  // [cur_window_ << 12, (cur_window_ + 1) << 12). Level 1: 64 slots, one
+  // per future window; live L1 windows are restricted to a delta of
+  // [1, kL1Span] windows ahead, so window residues mod 64 are unique and
+  // slots need no window tag. Entries live in a free-listed node arena
+  // (wnodes_); slots are intrusive FIFO lists, so cascading a window from
+  // L1 to L0 relinks nodes without copying or allocating.
+  static constexpr size_t kL0Bits = 12;
+  static constexpr size_t kL0Slots = size_t{1} << kL0Bits;  // 4096 ticks
+  static constexpr uint64_t kL0Mask = kL0Slots - 1;
+  static constexpr size_t kL1Slots = 64;
+  static constexpr uint64_t kL1Mask = kL1Slots - 1;
+  static constexpr uint64_t kL1Span = kL1Slots - 2;  // max live window delta
+
+  struct WheelNode {
+    Entry entry;
+    uint32_t next = kNil;
+  };
+  struct L0Slot {
+    uint32_t head = kNil;
+    uint32_t tail = kNil;
+  };
+  struct L1Slot {
+    uint32_t head = kNil;
+    uint32_t tail = kNil;
+    Entry min{};  // cached (at, seq) minimum of the slot's list
+  };
+
+  // Sources best_entry() can report: lanes are >= 0.
+  static constexpr int kSrcHeap = -1;
+  static constexpr int kSrcWheel = -2;
+
   void sift_up(size_t pos);
   void sift_down(size_t pos);
-  // Global (time, seq) minimum across the heap top and the lane fronts;
-  // null when the queue is empty. `lane` (when non-null) receives the index
-  // of the winning lane, or -1 for the heap.
-  const Entry* best_entry(int* lane = nullptr) const;
+  // Global (time, seq) minimum across the heap top, the lane fronts, and
+  // the wheel; null when the queue is empty. `src` (when non-null)
+  // receives the winning lane index, kSrcHeap, or kSrcWheel.
+  const Entry* best_entry(int* src = nullptr) const;
+
+  // Wheel internals (event_queue.cc). try_wheel places an entry if its
+  // time lands in the wheel's span; advance_to moves the cursor to the
+  // global-min time about to pop (every slot it skips is provably empty);
+  // cascade redistributes one L1 window into L0 slots.
+  bool try_wheel(const Entry& e);
+  const Entry* l0_first() const;
+  const Entry* wheel_best() const;
+  void advance_to(TimePoint t);
+  void cascade(size_t l1);
+  void pop_wheel(const Entry& e);
+  uint32_t wacquire(const Entry& e);
+  void wrelease(uint32_t idx) {
+    wnodes_[idx].next = wfree_;
+    wfree_ = idx;
+  }
+  void release_wheel_entries();
 
   EventPool own_pool_;  // used only when no external pool was supplied
   EventPool* pool_;
@@ -222,6 +314,19 @@ class EventQueue {
   std::vector<Lane> lanes_;  // timer FIFOs, one per delay; storage retained
   size_t lanes_used_ = 0;    // lanes live this run (first-use order)
   size_t lanes_pending_ = 0;  // events across all live lanes
+
+  bool wheel_enabled_ = true;
+  std::vector<WheelNode> wnodes_;  // wheel node arena; grows to peak, kept
+  uint32_t wfree_ = kNil;          // LIFO free list through wnodes_
+  std::vector<L0Slot> l0_;         // kL0Slots entries, allocated on first use
+  std::array<L1Slot, kL1Slots> l1_{};
+  std::array<uint64_t, kL0Slots / 64> l0_bits_{};  // L0 occupancy
+  uint64_t l0_summary_ = 0;  // bit w set iff l0_bits_[w] != 0
+  uint64_t l1_bits_ = 0;     // L1 occupancy
+  uint64_t cur_window_ = 0;  // window the L0 ring currently covers
+  size_t l0_cursor_ = 0;     // first possibly-occupied L0 slot
+  size_t wheel_pending_ = 0;  // events across L0 + L1
+
   uint64_t next_seq_ = 0;
 };
 

@@ -1,0 +1,86 @@
+// InstanceTable: structure-of-arrays storage for the per-instance hot
+// scalars of every ServiceInstance in a Simulation.
+//
+// At mega-topology scale (hundreds of services, each with instances), the
+// per-hop data path touches a handful of tiny counters on whichever
+// instance a message lands on: is it down, how many requests are in
+// flight, how deep is the queue. Keeping those inside each heap-allocated
+// ServiceInstance spreads them across the heap one cache line per
+// instance; flattening them into index-addressed parallel arrays — one
+// dense slot per instance, assigned at deployment — packs the whole
+// deployment's hot state into a few contiguous vectors, so request
+// routing, outage flips, pristine checks, and warm-world resets walk
+// arrays instead of chasing pointers.
+//
+// Slots are assigned once per deployed instance and never reused; the
+// vectors only grow (topology is append-only within a Simulation). Cold
+// state — queues of pending closures, the sidecar agent, dependency
+// caches — stays on the ServiceInstance.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gremlin::sim {
+
+class InstanceTable {
+ public:
+  // Registers one instance; returns its dense slot id.
+  uint32_t add_instance() {
+    down_.push_back(0);
+    server_in_flight_.push_back(0);
+    shared_in_flight_.push_back(0);
+    requests_handled_.push_back(0);
+    server_queue_peak_.push_back(0);
+    return static_cast<uint32_t>(down_.size() - 1);
+  }
+
+  size_t size() const { return down_.size(); }
+
+  // Hot per-instance scalars, index-addressed by slot.
+  bool down(uint32_t slot) const { return down_[slot] != 0; }
+  void set_down(uint32_t slot, bool v) { down_[slot] = v ? 1 : 0; }
+
+  int32_t& server_in_flight(uint32_t slot) { return server_in_flight_[slot]; }
+  int32_t server_in_flight(uint32_t slot) const {
+    return server_in_flight_[slot];
+  }
+
+  int32_t& shared_in_flight(uint32_t slot) { return shared_in_flight_[slot]; }
+  int32_t shared_in_flight(uint32_t slot) const {
+    return shared_in_flight_[slot];
+  }
+
+  uint64_t& requests_handled(uint32_t slot) {
+    return requests_handled_[slot];
+  }
+  uint64_t requests_handled(uint32_t slot) const {
+    return requests_handled_[slot];
+  }
+
+  uint32_t& server_queue_peak(uint32_t slot) {
+    return server_queue_peak_[slot];
+  }
+  uint32_t server_queue_peak(uint32_t slot) const {
+    return server_queue_peak_[slot];
+  }
+
+  // Warm-world reuse: zeroes one instance's scalars (the table keeps its
+  // capacity; slot assignments are stable across resets).
+  void reset_slot(uint32_t slot) {
+    down_[slot] = 0;
+    server_in_flight_[slot] = 0;
+    shared_in_flight_[slot] = 0;
+    requests_handled_[slot] = 0;
+    server_queue_peak_[slot] = 0;
+  }
+
+ private:
+  std::vector<uint8_t> down_;
+  std::vector<int32_t> server_in_flight_;
+  std::vector<int32_t> shared_in_flight_;
+  std::vector<uint64_t> requests_handled_;
+  std::vector<uint32_t> server_queue_peak_;
+};
+
+}  // namespace gremlin::sim

@@ -9,16 +9,16 @@ void SimNetwork::set_edge_latency(const std::string& src,
   overrides_[{src, dst}] = latency;
 }
 
-Duration SimNetwork::latency(const std::string& src, const std::string& dst,
+Duration SimNetwork::latency(std::string_view src, std::string_view dst,
                              Rng* rng) const {
   Duration base = default_latency_;
   // Fast path: no overrides means no pair<string,string> temporaries and no
   // tree walks — this runs once per simulated message delivery.
   if (!overrides_.empty()) {
-    auto it = overrides_.find({src, dst});
+    auto it = overrides_.find({std::string(src), std::string(dst)});
     if (it == overrides_.end()) {
       // Response path of an overridden edge: look up the forward direction.
-      it = overrides_.find({dst, src});
+      it = overrides_.find({std::string(dst), std::string(src)});
     }
     if (it != overrides_.end()) base = it->second;
   }

@@ -8,6 +8,7 @@
 
 #include <map>
 #include <string>
+#include <string_view>
 
 #include "common/duration.h"
 #include "common/rng.h"
@@ -29,7 +30,10 @@ class SimNetwork {
   // Uniform jitter fraction in [0, 1): actual = base * (1 ± jitter).
   void set_jitter(double fraction) { jitter_ = fraction; }
 
-  Duration latency(const std::string& src, const std::string& dst,
+  // Views so the per-hop path (which holds interned names) never
+  // materializes std::string temporaries; the override lookup — the only
+  // place needing owning keys — builds them on its rare slow path.
+  Duration latency(std::string_view src, std::string_view dst,
                    Rng* rng) const;
 
  private:

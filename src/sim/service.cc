@@ -27,16 +27,16 @@ using logstore::MessageKind;
 // Assertion Checker can evaluate latencies with or without interference.
 class OutboundCall : public std::enable_shared_from_this<OutboundCall> {
  public:
-  OutboundCall(ServiceInstance* caller, std::string dependency,
+  OutboundCall(ServiceInstance* caller, ServiceInstance::DepInfo& info,
                SimRequest request, ResponseCallback cb)
       : caller_(caller),
-        dependency_(std::move(dependency)),
+        info_(info),
+        dependency_(info.symbol.view()),
         request_(std::move(request)),
         cb_(std::move(cb)),
-        info_(caller->dep_info(dependency_)),
-        policy_(*info_.policy),
+        policy_(*info.policy),
         src_sym_(caller->agent()->service_symbol()),
-        dst_sym_(info_.symbol) {}
+        dst_sym_(info.symbol) {}
 
   void start() {
     if (policy_.has_bulkhead()) {
@@ -94,16 +94,23 @@ class OutboundCall : public std::enable_shared_from_this<OutboundCall> {
   }
 
   void send_attempt(uint64_t gen, TimePoint attempt_start) {
-    MessageView view;
-    view.kind = MessageKind::kRequest;
-    view.src = caller_name();
-    view.dst = dependency_;
-    view.request_id = request_.request_id;
-    view.method = request_.method.view();
-    view.uri = request_.uri.view();
-    view.body = request_.body;
-    view.now = sim().now();
-    FaultDecision decision = caller_->agent()->engine().evaluate(view);
+    // armed() gates the MessageView build and the engine mutex off the
+    // fault-free hot path (the common case for baseline runs and for every
+    // sidecar a faulted experiment doesn't target).
+    FaultDecision decision;
+    if (faults::RuleEngine& engine = caller_->agent()->engine();
+        engine.armed()) {
+      MessageView view;
+      view.kind = MessageKind::kRequest;
+      view.src = caller_name();
+      view.dst = dependency_;
+      view.request_id = request_.request_id;
+      view.method = request_.method.view();
+      view.uri = request_.uri.view();
+      view.body = request_.body;
+      view.now = sim().now();
+      decision = engine.evaluate(view);
+    }
 
     if (caller_->agent()->recording()) {
       LogRecord rec;
@@ -122,7 +129,6 @@ class OutboundCall : public std::enable_shared_from_this<OutboundCall> {
       caller_->agent()->log(std::move(rec));
     }
 
-    auto self = shared_from_this();
     switch (decision.action) {
       case FaultKind::kAbort: {
         SimResponse resp =
@@ -134,7 +140,8 @@ class OutboundCall : public std::enable_shared_from_this<OutboundCall> {
         // Moved into the capture (a const member would make the closure
         // copy-only and spill it to the heap per aborted attempt).
         sim().schedule_timer(kDurationZero,
-                             [self, gen, resp = std::move(resp)] {
+                             [self = shared_from_this(), gen,
+                              resp = std::move(resp)] {
                                self->on_attempt_result(gen, resp);
                              });
         return;
@@ -143,7 +150,8 @@ class OutboundCall : public std::enable_shared_from_this<OutboundCall> {
         const Duration injected = decision.delay;
         // Rule-injected delays are constant per rule, so they lane well.
         sim().schedule_timer(decision.delay,
-                             [self, gen, attempt_start, injected] {
+                             [self = shared_from_this(), gen, attempt_start,
+                              injected] {
                                self->forward(gen, attempt_start, nullptr,
                                              injected);
                              });
@@ -168,20 +176,21 @@ class OutboundCall : public std::enable_shared_from_this<OutboundCall> {
 
   void forward(uint64_t gen, TimePoint attempt_start,
                std::shared_ptr<const SimRequest> modified, Duration injected) {
-    auto self = shared_from_this();
     const Duration out_latency =
         sim().network().latency(caller_name(), dependency_, &sim().rng());
     ServiceInstance* target = caller_->pick_dep_instance(info_);
     if (target == nullptr) {
       // No such service: the connection cannot be established. The caller
       // observes a reset after the network round trip would have failed.
-      sim().schedule(out_latency, [self, gen, attempt_start, injected] {
+      sim().schedule(out_latency, [self = shared_from_this(), gen,
+                                   attempt_start, injected] {
         self->receive_wire_response(gen, attempt_start, SimResponse::reset(),
                                     injected);
       });
       return;
     }
-    sim().schedule(out_latency, [self, gen, attempt_start, injected, target,
+    sim().schedule(out_latency, [self = shared_from_this(), gen,
+                                 attempt_start, injected, target,
                                  modified = std::move(modified)] {
       const SimRequest& req = modified ? *modified : self->request_;
       target->handle_request(req, [self, gen, attempt_start, injected](
@@ -206,17 +215,20 @@ class OutboundCall : public std::enable_shared_from_this<OutboundCall> {
   // apply response-side rules, log the observation, race with the timeout.
   void receive_wire_response(uint64_t gen, TimePoint attempt_start,
                              SimResponse resp, Duration injected) {
-    MessageView view;
-    view.kind = MessageKind::kResponse;
-    view.src = caller_name();
-    view.dst = dependency_;
-    view.request_id = request_.request_id;
-    view.status = resp.status;
-    view.body = resp.body;
-    view.now = sim().now();
-    FaultDecision decision = caller_->agent()->engine().evaluate(view);
+    FaultDecision decision;
+    if (faults::RuleEngine& engine = caller_->agent()->engine();
+        engine.armed()) {
+      MessageView view;
+      view.kind = MessageKind::kResponse;
+      view.src = caller_name();
+      view.dst = dependency_;
+      view.request_id = request_.request_id;
+      view.status = resp.status;
+      view.body = resp.body;
+      view.now = sim().now();
+      decision = engine.evaluate(view);
+    }
 
-    auto self = shared_from_this();
     switch (decision.action) {
       case FaultKind::kAbort: {
         const SimResponse replaced =
@@ -231,6 +243,7 @@ class OutboundCall : public std::enable_shared_from_this<OutboundCall> {
       case FaultKind::kDelay: {
         const Duration total_injected = injected + decision.delay;
         const Symbol rule_id = decision.rule_id;
+        auto self = shared_from_this();
         sim().schedule_timer(decision.delay, [self, gen, attempt_start, resp,
                                               total_injected, rule_id] {
           self->log_response(resp, attempt_start, total_injected,
@@ -330,14 +343,16 @@ class OutboundCall : public std::enable_shared_from_this<OutboundCall> {
   }
 
   ServiceInstance* caller_;
-  const std::string dependency_;
+  // Per-dependency cache slot, resolved by the caller before construction;
+  // every policy decision (breaker admission/reporting, bulkhead, instance
+  // pick) indexes through it instead of re-finding the dependency by name.
+  // The slot outlives the call: dep_slots_ entries are never erased.
+  ServiceInstance::DepInfo& info_;
+  // View of the interned dependency name (stable for process lifetime) —
+  // no per-call string copy.
+  const std::string_view dependency_;
   SimRequest request_;
   ResponseCallback cb_;
-  // Per-dependency cache entry, resolved once here; every subsequent
-  // policy decision (breaker admission/reporting, bulkhead, instance pick)
-  // reuses it instead of re-finding the dependency by name. The entry
-  // outlives the call: deps_ is node-based and never erased.
-  ServiceInstance::DepInfo& info_;
   // Reference into the service config (stable for the simulation's
   // lifetime); copying would clone the fallback/breaker payloads per call.
   const resilience::CallPolicy& policy_;
@@ -407,12 +422,25 @@ ServiceInstance::ServiceInstance(Simulation* sim, SimService* service,
     : sim_(sim),
       service_(service),
       instance_id_(service->name() + "/" + std::to_string(index)),
+      slot_(sim->instances().add_instance()),
       agent_(std::make_shared<SimAgent>(service->name(), instance_id_,
-                                        sim->config().seed)) {}
+                                        sim->config().seed)) {
+  // Resolve every declared dependency (and every policy-only entry) to a
+  // dep slot once, at deployment: the default handler then calls by index
+  // and the hop path never walks the name map.
+  const ServiceConfig& cfg = service->config();
+  declared_.reserve(cfg.dependencies.size());
+  for (const auto& dep : cfg.dependencies) {
+    dep_info(dep);
+    declared_.push_back(dep_index_.find(dep)->second);
+  }
+  for (const auto& [dep, policy] : cfg.policies) dep_info(dep);
+}
 
 void ServiceInstance::handle_request(const SimRequest& request,
                                      ResponseCallback reply) {
-  if (down_) {
+  InstanceTable& table = sim_->instances();
+  if (table.down(slot_)) {
     // Crashed process: the connection is refused. A fresh event so the
     // caller's stack unwinds before it sees the reset, matching every other
     // response path.
@@ -421,15 +449,17 @@ void ServiceInstance::handle_request(const SimRequest& request,
     });
     return;
   }
-  ++requests_handled_;
+  ++table.requests_handled(slot_);
   const int cap = service_->config().max_concurrent_requests;
-  if (cap > 0 && server_in_flight_ >= cap) {
+  if (cap > 0 && table.server_in_flight(slot_) >= cap) {
     // Server saturated: queue FIFO until a worker frees up.
     server_queue_.push_back(
         [this, request, reply = std::move(reply)]() mutable {
           begin_processing(request, std::move(reply));
         });
-    server_queue_peak_ = std::max(server_queue_peak_, server_queue_.size());
+    table.server_queue_peak(slot_) =
+        std::max(table.server_queue_peak(slot_),
+                 static_cast<uint32_t>(server_queue_.size()));
     return;
   }
   begin_processing(request, std::move(reply));
@@ -437,7 +467,7 @@ void ServiceInstance::handle_request(const SimRequest& request,
 
 void ServiceInstance::begin_processing(const SimRequest& request,
                                        ResponseCallback reply) {
-  ++server_in_flight_;
+  ++sim_->instances().server_in_flight(slot_);
   const ServiceConfig& cfg = service_->config();
   Duration processing = cfg.processing_time;
   if (cfg.processing_jitter > 0.0) {
@@ -455,7 +485,7 @@ void ServiceInstance::begin_processing(const SimRequest& request,
                                          std::move(reply));
   // Constant per service config (or per slowdown rule when scaled), so the
   // queue lanes it instead of paying heap sifts per request.
-  sim_->schedule_timer(processing, [this, ctx] {
+  sim_->schedule_timer(processing, [this, ctx = std::move(ctx)] {
     if (service_->config().handler) {
       service_->config().handler(ctx);
     } else {
@@ -465,7 +495,8 @@ void ServiceInstance::begin_processing(const SimRequest& request,
 }
 
 void ServiceInstance::finish_processing() {
-  if (server_in_flight_ > 0) --server_in_flight_;
+  int32_t& in_flight = sim_->instances().server_in_flight(slot_);
+  if (in_flight > 0) --in_flight;
   if (!server_queue_.empty()) {
     auto next = std::move(server_queue_.front());
     server_queue_.pop_front();
@@ -478,15 +509,21 @@ void ServiceInstance::run_default_handler(std::shared_ptr<RequestContext> ctx,
                                           size_t next_dep) {
   const auto& deps = service_->config().dependencies;
   if (next_dep >= deps.size()) {
-    ctx->respond(200, "ok:" + service_->name());
+    ctx->respond(200, service_->ok_body());
     return;
   }
-  // Capture the dependency by index, not by string: the callback then fits
-  // the ResponseCallback inline buffer instead of spilling to the heap on
-  // every hop. The body strings are kept short enough for SSO — response
-  // bodies are copied at each level of the callback chain, so a heap-backed
-  // body would allocate several times per failed request.
-  ctx->call(deps[next_dep], [this, ctx, next_dep](const SimResponse& resp) {
+  // The dep slot was resolved at deployment, so the hop path indexes
+  // straight into it — no name lookup. Capture the dependency by index,
+  // not by string: the callback then fits the ResponseCallback inline
+  // buffer instead of spilling to the heap on every hop. The body strings
+  // are kept short enough for SSO — response bodies are copied at each
+  // level of the callback chain, so a heap-backed body would allocate
+  // several times per failed request.
+  SimRequest req;
+  req.request_id = ctx->request().request_id;
+  req.uri = ctx->request().uri;
+  call_dependency(declared_dep(next_dep), std::move(req),
+                  [this, ctx, next_dep](const SimResponse& resp) {
     if (resp.failed()) {
       // Naive propagation: a failed dependency (that the CallPolicy did not
       // absorb) fails the whole request.
@@ -498,12 +535,16 @@ void ServiceInstance::run_default_handler(std::shared_ptr<RequestContext> ctx,
   });
 }
 
-void ServiceInstance::call_dependency(const std::string& dependency,
-                                      SimRequest request,
+void ServiceInstance::call_dependency(Symbol dependency, SimRequest request,
+                                      ResponseCallback cb) {
+  call_dependency(dep_info(dependency), std::move(request), std::move(cb));
+}
+
+void ServiceInstance::call_dependency(DepInfo& info, SimRequest request,
                                       ResponseCallback cb) {
   // Pool-allocated: one recycled granule per call instead of a fresh
   // control block + object on every dependency hop.
-  auto call = make_pooled<OutboundCall>(&sim_->memory(), this, dependency,
+  auto call = make_pooled<OutboundCall>(&sim_->memory(), this, info,
                                         std::move(request), std::move(cb));
   call->start();
 }
@@ -516,26 +557,46 @@ const resilience::CallPolicy& ServiceInstance::policy_for(
 }
 
 resilience::CircuitBreaker& ServiceInstance::breaker_for(DepInfo& info) {
-  if (info.breaker == nullptr) {
+  if (info.breaker_index < 0) {
     const auto config = info.policy->circuit_breaker.value_or(
         resilience::CircuitBreakerConfig{});
-    info.breaker =
-        breakers_
-            .emplace(info.symbol.str(),
-                     std::make_unique<resilience::CircuitBreaker>(config))
-            .first->second.get();
+    info.breaker_index = static_cast<int32_t>(breakers_.size());
+    breakers_.emplace_back(config);
   }
-  return *info.breaker;
+  return breakers_[static_cast<size_t>(info.breaker_index)];
 }
 
 bool ServiceInstance::shared_pool_enabled() const {
   return service_->config().shared_client_pool > 0;
 }
 
+int ServiceInstance::shared_pool_in_flight() const {
+  return sim_->instances().shared_in_flight(slot_);
+}
+
+void ServiceInstance::set_down(bool down) {
+  sim_->instances().set_down(slot_, down);
+}
+
+bool ServiceInstance::down() const { return sim_->instances().down(slot_); }
+
+uint64_t ServiceInstance::requests_handled() const {
+  return sim_->instances().requests_handled(slot_);
+}
+
+int ServiceInstance::server_in_flight() const {
+  return sim_->instances().server_in_flight(slot_);
+}
+
+size_t ServiceInstance::server_queue_peak() const {
+  return sim_->instances().server_queue_peak(slot_);
+}
+
 void ServiceInstance::acquire_shared_slot(std::function<void()> fn) {
   const int cap = service_->config().shared_client_pool;
-  if (cap <= 0 || shared_in_flight_ < cap) {
-    ++shared_in_flight_;
+  int32_t& in_flight = sim_->instances().shared_in_flight(slot_);
+  if (cap <= 0 || in_flight < cap) {
+    ++in_flight;
     fn();
     return;
   }
@@ -543,50 +604,65 @@ void ServiceInstance::acquire_shared_slot(std::function<void()> fn) {
 }
 
 void ServiceInstance::release_shared_slot() {
-  if (shared_in_flight_ > 0) --shared_in_flight_;
+  int32_t& in_flight = sim_->instances().shared_in_flight(slot_);
+  if (in_flight > 0) --in_flight;
   if (!shared_waiters_.empty()) {
     auto fn = std::move(shared_waiters_.front());
     shared_waiters_.pop_front();
-    ++shared_in_flight_;
+    ++in_flight;
     // Run on a fresh event so the releasing call's stack unwinds first.
     sim_->schedule_timer(kDurationZero, std::move(fn));
   }
 }
 
 ServiceInstance::DepInfo& ServiceInstance::dep_info(const std::string& dep) {
-  const auto it = deps_.find(dep);
-  if (it != deps_.end()) return it->second;
+  const auto it = dep_index_.find(dep);
+  if (it != dep_index_.end()) return dep_slots_[static_cast<size_t>(it->second)];
   DepInfo info;
   info.symbol = Symbol(dep);
   info.policy = &policy_for(dep);
-  return deps_.emplace(dep, info).first->second;
+  const int32_t index = static_cast<int32_t>(dep_slots_.size());
+  dep_slots_.push_back(info);
+  dep_index_.emplace(dep, index);
+  return dep_slots_[static_cast<size_t>(index)];
+}
+
+ServiceInstance::DepInfo& ServiceInstance::dep_info(Symbol dep) {
+  // Heterogeneous find on the interned text: no std::string materialised on
+  // the per-inject path. Slot creation (the cold miss) reuses the string
+  // form.
+  const auto it = dep_index_.find(dep.view());
+  if (it != dep_index_.end()) return dep_slots_[static_cast<size_t>(it->second)];
+  return dep_info(dep.str());
 }
 
 ServiceInstance* ServiceInstance::pick_dep_instance(DepInfo& info) {
-  if (info.service == nullptr) {
+  if (info.service_index < 0) {
     // Resolve through the cached symbol — a flat-table index, not a string
     // lookup (and no symbol-table traffic: the symbol was interned when the
-    // dep cache entry was built).
-    info.service = sim_->find_service(info.symbol);
-    if (info.service == nullptr) return nullptr;
+    // dep slot was built).
+    info.service_index = sim_->service_index(info.symbol);
+    if (info.service_index < 0) return nullptr;
   }
-  return info.service->next_instance();
+  return sim_->service_by_index(info.service_index)->next_instance();
 }
 
 bool ServiceInstance::pristine() const {
-  for (const auto& [dep, breaker] : breakers_) {
-    if (breaker->state() != resilience::CircuitBreaker::State::kClosed ||
-        breaker->consecutive_failures() != 0 ||
-        breaker->half_open_successes() != 0 || breaker->times_opened() != 0) {
+  for (const auto& breaker : breakers_) {
+    if (breaker.state() != resilience::CircuitBreaker::State::kClosed ||
+        breaker.consecutive_failures() != 0 ||
+        breaker.half_open_successes() != 0 || breaker.times_opened() != 0) {
       return false;
     }
   }
-  for (const auto& [dep, bulkhead] : bulkheads_) {
+  for (const auto& bulkhead : bulkheads_) {
     if (bulkhead->in_flight() != 0 || bulkhead->rejected() != 0) return false;
   }
-  return requests_handled_ == 0 && !down_ && shared_in_flight_ == 0 &&
-         shared_waiters_.empty() && server_in_flight_ == 0 &&
-         server_queue_.empty() && server_queue_peak_ == 0;
+  const InstanceTable& table = sim_->instances();
+  return table.requests_handled(slot_) == 0 && !table.down(slot_) &&
+         table.shared_in_flight(slot_) == 0 && shared_waiters_.empty() &&
+         table.server_in_flight(slot_) == 0 && server_queue_.empty() &&
+         table.server_queue_peak(slot_) == 0;
 }
 
 void ServiceInstance::reset(uint64_t seed) {
@@ -594,34 +670,29 @@ void ServiceInstance::reset(uint64_t seed) {
   // Breakers/bulkheads stay allocated (their config is derived from the
   // immutable policy) and return to the closed/idle state a cold build's
   // lazily created ones would start in.
-  for (auto& [dep, breaker] : breakers_) breaker->reset();
-  for (auto& [dep, bulkhead] : bulkheads_) bulkhead->reset();
-  for (auto& [dep, info] : deps_) info.service = nullptr;
-  requests_handled_ = 0;
-  down_ = false;
-  shared_in_flight_ = 0;
+  for (auto& breaker : breakers_) breaker.reset();
+  for (auto& bulkhead : bulkheads_) bulkhead->reset();
+  for (auto& info : dep_slots_) info.service_index = -1;
+  sim_->instances().reset_slot(slot_);
   shared_waiters_.clear();
-  server_in_flight_ = 0;
   server_queue_.clear();
-  server_queue_peak_ = 0;
 }
 
 resilience::Bulkhead& ServiceInstance::bulkhead_for(DepInfo& info) {
-  if (info.bulkhead == nullptr) {
-    info.bulkhead =
-        bulkheads_
-            .emplace(info.symbol.str(),
-                     std::make_unique<resilience::Bulkhead>(
-                         info.policy->bulkhead_max_concurrent))
-            .first->second.get();
+  if (info.bulkhead_index < 0) {
+    info.bulkhead_index = static_cast<int32_t>(bulkheads_.size());
+    bulkheads_.push_back(std::make_unique<resilience::Bulkhead>(
+        info.policy->bulkhead_max_concurrent));
   }
-  return *info.bulkhead;
+  return *bulkheads_[static_cast<size_t>(info.bulkhead_index)];
 }
 
 // ---------------------------------------------------------------- Service
 
 SimService::SimService(Simulation* sim, ServiceConfig config)
-    : config_(std::move(config)), symbol_(config_.name) {
+    : config_(std::move(config)),
+      symbol_(config_.name),
+      ok_body_("ok:" + config_.name) {
   const int count = config_.instances < 1 ? 1 : config_.instances;
   instances_.reserve(static_cast<size_t>(count));
   for (int i = 0; i < count; ++i) {

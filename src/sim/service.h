@@ -156,33 +156,50 @@ class ServiceInstance {
   // Entry point for requests arriving over the simulated network.
   void handle_request(const SimRequest& request, ResponseCallback reply);
 
-  // Issues an outbound call from this instance (used by RequestContext and
-  // by Simulation::inject for edge clients).
-  void call_dependency(const std::string& dependency, SimRequest request,
-                       ResponseCallback cb);
-
   const std::string& instance_id() const { return instance_id_; }
   Simulation& sim() { return *sim_; }
   SimService& service() { return *service_; }
   const std::shared_ptr<SimAgent>& agent() { return agent_; }
+  // Dense slot in the simulation's InstanceTable (SoA hot scalars).
+  uint32_t slot() const { return slot_; }
 
   const resilience::CallPolicy& policy_for(const std::string& dep) const;
 
-  // Per-dependency call-path cache, resolved once per (instance, dep) name
-  // and handed to every outbound call: interned name, call policy, and the
-  // lazily created breaker/bulkhead — so the per-call hot path costs one
-  // map find total instead of one per policy decision (symbol, policy,
-  // breaker admission, breaker reporting, bulkhead, instance pick).
+  // Per-dependency call-path cache, one slot per (instance, dep) name,
+  // handed to every outbound call: interned name, call policy, and
+  // index-addressed breaker/bulkhead/target-service resolution — so the
+  // per-call hot path costs one array index total instead of a map find
+  // per policy decision (symbol, policy, breaker admission, breaker
+  // reporting, bulkhead, instance pick). Indices, not pointers: the
+  // backing vectors may reallocate as lazily-discovered dependencies are
+  // added, and the target service table belongs to the Simulation.
   struct DepInfo {
     Symbol symbol;
-    SimService* service = nullptr;  // resolved lazily; null until found
-    const resilience::CallPolicy* policy = nullptr;
-    resilience::CircuitBreaker* breaker = nullptr;  // created on first use
-    resilience::Bulkhead* bulkhead = nullptr;       // created on first use
+    const resilience::CallPolicy* policy = nullptr;  // immutable config
+    int32_t service_index = -1;   // Simulation service table; -1 unresolved
+    int32_t breaker_index = -1;   // breakers_; -1 until first use
+    int32_t bulkhead_index = -1;  // bulkheads_; -1 until first use
   };
-  // Stable reference: deps_ is node-based and entries are never erased
-  // (reset() only clears the re-resolvable service pointer).
+  // Stable reference: dependencies declared in the config get slots at
+  // construction; names discovered at runtime (custom handlers) append to
+  // a deque, and slots are never erased (reset() only clears the
+  // re-resolvable service index).
   DepInfo& dep_info(const std::string& dep);
+  // Pre-interned form: resolves the slot through the symbol's text without
+  // materialising a std::string (load generators inject through this).
+  DepInfo& dep_info(Symbol dep);
+  // O(1) slot for the i-th declared dependency (the default handler's
+  // call order) — no name lookup on the hop path.
+  DepInfo& declared_dep(size_t i) { return dep_slots_[declared_[i]]; }
+
+  // Issues an outbound call from this instance (used by RequestContext and
+  // by Simulation::inject for edge clients). The Symbol form resolves the
+  // dependency slot first (strings and literals convert implicitly —
+  // dependency names are a bounded vocabulary, safe to intern); the
+  // DepInfo form is the hot path.
+  void call_dependency(Symbol dependency, SimRequest request,
+                       ResponseCallback cb);
+  void call_dependency(DepInfo& info, SimRequest request, ResponseCallback cb);
 
   resilience::CircuitBreaker& breaker_for(DepInfo& info);
   resilience::Bulkhead& bulkhead_for(DepInfo& info);
@@ -197,21 +214,21 @@ class ServiceInstance {
   void acquire_shared_slot(std::function<void()> fn);
   void release_shared_slot();
   bool shared_pool_enabled() const;
-  int shared_pool_in_flight() const { return shared_in_flight_; }
+  int shared_pool_in_flight() const;
   size_t shared_pool_queued() const { return shared_waiters_.size(); }
 
   // Infra-fault hook: a down instance refuses new work with a connection
   // reset (the network-level view of a crashed process). In-flight work
   // completes; Simulation::schedule_service_outage flips this on the
   // virtual clock and reset() restores the instance to up.
-  void set_down(bool down) { down_ = down; }
-  bool down() const { return down_; }
+  void set_down(bool down);
+  bool down() const;
 
   // Stats for tests.
-  uint64_t requests_handled() const { return requests_handled_; }
-  int server_in_flight() const { return server_in_flight_; }
+  uint64_t requests_handled() const;
+  int server_in_flight() const;
   size_t server_queue_depth() const { return server_queue_.size(); }
-  size_t server_queue_peak() const { return server_queue_peak_; }
+  size_t server_queue_peak() const;
 
   // Resilience-state introspection for reset-hygiene tests: true when every
   // breaker is closed with zero counters and every bulkhead/pool/queue is
@@ -235,17 +252,22 @@ class ServiceInstance {
   Simulation* sim_;
   SimService* service_;
   std::string instance_id_;
+  uint32_t slot_;  // dense index into the simulation's InstanceTable
   std::shared_ptr<SimAgent> agent_;
-  std::map<std::string, std::unique_ptr<resilience::CircuitBreaker>> breakers_;
-  std::map<std::string, std::unique_ptr<resilience::Bulkhead>> bulkheads_;
-  std::map<std::string, DepInfo, std::less<>> deps_;
-  uint64_t requests_handled_ = 0;
-  bool down_ = false;
-  int shared_in_flight_ = 0;
+  // Dependency call-path slots: declared dependencies (config order, then
+  // policy-only entries) are resolved once at construction; runtime
+  // discoveries append. A deque so DepInfo references held by in-flight
+  // calls survive growth.
+  std::deque<DepInfo> dep_slots_;
+  std::vector<int32_t> declared_;  // dep_slots_ index per declared dep
+  std::map<std::string, int32_t, std::less<>> dep_index_;  // name → slot
+  // Resilience state, index-addressed from DepInfo. Breakers are plain
+  // movable values; bulkheads hold a mutex (shared with the live proxy
+  // path), so they get stable unique_ptr storage.
+  std::vector<resilience::CircuitBreaker> breakers_;
+  std::vector<std::unique_ptr<resilience::Bulkhead>> bulkheads_;
   std::deque<std::function<void()>> shared_waiters_;
-  int server_in_flight_ = 0;
   std::deque<std::function<void()>> server_queue_;
-  size_t server_queue_peak_ = 0;
 };
 
 class SimService {
@@ -255,6 +277,9 @@ class SimService {
   const std::string& name() const { return config_.name; }
   // Interned name, resolved once at construction (flat-table routing key).
   Symbol symbol() const { return symbol_; }
+  // "ok:<name>", cached so the default handler's terminal response copies
+  // an SSO string instead of concatenating one per request.
+  const std::string& ok_body() const { return ok_body_; }
   const ServiceConfig& config() const { return config_; }
   ServiceConfig& mutable_config() { return config_; }
 
@@ -277,6 +302,7 @@ class SimService {
  private:
   ServiceConfig config_;
   Symbol symbol_;
+  std::string ok_body_;
   std::vector<std::unique_ptr<ServiceInstance>> instances_;
   size_t rr_next_ = 0;
 };

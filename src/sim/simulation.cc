@@ -11,7 +11,9 @@ Simulation::Simulation(SimulationConfig config)
       memory_(config.memory != nullptr ? config.memory : own_memory_.get()),
       queue_(config.event_pool),
       rng_(config.seed),
-      network_(config.default_network_latency) {}
+      network_(config.default_network_latency) {
+  queue_.set_wheel_enabled(config.use_timer_wheel);
+}
 
 void Simulation::schedule(Duration delay, EventQueue::Action action) {
   schedule_at(now_ + (delay < kDurationZero ? kDurationZero : delay),
@@ -32,8 +34,9 @@ void Simulation::schedule_timer(Duration delay, EventQueue::Action action) {
 size_t Simulation::run() {
   size_t processed = 0;
   while (!stop_requested_ && !queue_.empty()) {
-    now_ = queue_.next_time();
-    queue_.pop_and_run();
+    // The queue writes now_ from the popped entry before running its
+    // action: one best-entry scan per event, not a peek plus a pop.
+    queue_.pop_and_run(&now_);
     ++processed;
     ++events_processed_;
   }
@@ -44,8 +47,7 @@ size_t Simulation::run_until(TimePoint deadline) {
   size_t processed = 0;
   while (!stop_requested_ && !queue_.empty() &&
          queue_.next_time() <= deadline) {
-    now_ = queue_.next_time();
-    queue_.pop_and_run();
+    queue_.pop_and_run(&now_);
     ++processed;
     ++events_processed_;
   }
@@ -68,13 +70,13 @@ SimService* Simulation::add_service(ServiceConfig config) {
   SimService* raw = service.get();
   const std::string& name = raw->name();
   const uint32_t id = raw->symbol().id();
-  if (by_symbol_.size() <= id) by_symbol_.resize(id + 1, nullptr);
-  assert(by_symbol_[id] == nullptr && "duplicate service name");
+  if (by_symbol_.size() <= id) by_symbol_.resize(id + 1, -1);
+  assert(by_symbol_[id] < 0 && "duplicate service name");
   for (size_t i = 0; i < raw->instance_count(); ++i) {
     raw->instance(i).agent()->set_recording(recording_);
     deployment_.add_instance(name, raw->instance(i).agent());
   }
-  by_symbol_[id] = raw;
+  by_symbol_[id] = static_cast<int32_t>(services_.size());
   services_.push_back(std::move(service));
   return raw;
 }
@@ -92,8 +94,8 @@ SimService* Simulation::find_service(std::string_view name) {
 }
 
 SimService* Simulation::find_service(Symbol name) {
-  const uint32_t id = name.id();
-  return id < by_symbol_.size() ? by_symbol_[id] : nullptr;
+  const int32_t index = service_index(name);
+  return index < 0 ? nullptr : services_[static_cast<size_t>(index)].get();
 }
 
 void Simulation::reset(uint64_t seed) {
@@ -191,7 +193,7 @@ void Simulation::inject(Symbol client, Symbol target, SimRequest request,
     cfg.processing_time = kDurationZero;
     svc = add_service(std::move(cfg));
   }
-  svc->instance(0).call_dependency(target.str(), std::move(request),
+  svc->instance(0).call_dependency(target, std::move(request),
                                    std::move(cb));
 }
 

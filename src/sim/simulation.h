@@ -19,6 +19,7 @@
 #include "common/rng.h"
 #include "logstore/store.h"
 #include "sim/event_queue.h"
+#include "sim/instance_table.h"
 #include "sim/network.h"
 #include "sim/service.h"
 #include "topology/deployment.h"
@@ -29,6 +30,12 @@ namespace gremlin::sim {
 struct SimulationConfig {
   uint64_t seed = 42;
   Duration default_network_latency = usec(500);
+
+  // Routes one-shot events through the queue's hierarchical timer wheel.
+  // Pop order (and therefore every fingerprint) is byte-identical either
+  // way; disabling exists for heap-only baseline benchmarks and the
+  // wheel/heap differential tests.
+  bool use_timer_wheel = true;
 
   // Worker-context resources (campaign::ExecutionContext): when non-null
   // they must outlive the Simulation and may only be shared among
@@ -122,6 +129,23 @@ class Simulation {
     return find_service(std::string_view(name));
   }
 
+  // Index-addressed service resolution for the per-hop path: dep caches
+  // store the dense service index (resolved once via service_index) and
+  // every later hop costs two array loads, no map or symbol-table traffic.
+  // Indices are stable — services are never removed from a Simulation.
+  int32_t service_index(Symbol name) const {
+    const uint32_t id = name.id();
+    return id < by_symbol_.size() ? by_symbol_[id] : -1;
+  }
+  SimService* service_by_index(int32_t index) {
+    return services_[static_cast<size_t>(index)].get();
+  }
+  size_t service_count() const { return services_.size(); }
+
+  // SoA hot scalars for every deployed instance (see sim/instance_table.h);
+  // instances address their row by the dense slot assigned at deployment.
+  InstanceTable& instances() { return instance_table_; }
+
   // Instantiates one single-instance service per graph node. `make` may
   // customize the config; its `name` field is overwritten with the node
   // name and `dependencies` with the node's callees.
@@ -181,12 +205,13 @@ class Simulation {
   logstore::LogStore log_store_;
   topology::Deployment deployment_;
   // Services in insertion order (owning), plus a Symbol-id-indexed flat
-  // table for the per-message routing path. The table is sized to the
-  // largest service-name symbol id this simulation hosts; symbol ids are
-  // process-global but the vocabulary is bounded (service names), so the
-  // table stays small.
+  // table resolving to the dense service index for the per-message routing
+  // path. The table is sized to the largest service-name symbol id this
+  // simulation hosts; symbol ids are process-global but the vocabulary is
+  // bounded (service names), so the table stays small.
   std::vector<std::unique_ptr<SimService>> services_;
-  std::vector<SimService*> by_symbol_;
+  std::vector<int32_t> by_symbol_;  // symbol id → services_ index, -1 absent
+  InstanceTable instance_table_;
   bool recording_ = true;
   uint64_t events_processed_ = 0;
   bool stop_requested_ = false;

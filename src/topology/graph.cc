@@ -1,6 +1,9 @@
 #include "topology/graph.h"
 
+#include <algorithm>
 #include <functional>
+
+#include "common/rng.h"
 
 namespace gremlin::topology {
 
@@ -134,6 +137,82 @@ AppGraph AppGraph::chain(int length) {
   g.add_service("s0");
   for (int i = 0; i + 1 < length; ++i) {
     g.add_edge("s" + std::to_string(i), "s" + std::to_string(i + 1));
+  }
+  return g;
+}
+
+uint64_t AppGraph::fingerprint() const {
+  // adjacency_ is an ordered map with ordered callee sets, so iteration is
+  // canonical regardless of insertion order; FNV-1a over a structured
+  // rendering of (service, callees...) keeps the digest order-independent.
+  uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](std::string_view s) {
+    for (const char c : s) {
+      h ^= static_cast<uint8_t>(c);
+      h *= 0x100000001b3ull;
+    }
+    h ^= 0xff;  // separator so ("ab","c") != ("a","bc")
+    h *= 0x100000001b3ull;
+  };
+  for (const auto& [src, callees] : adjacency_) {
+    mix(src);
+    for (const auto& dst : callees) mix(dst);
+    h ^= 0xfe;  // end-of-adjacency-row marker
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+AppGraph AppGraph::tiered(int tiers, int width, uint64_t seed, int fan_out) {
+  AppGraph g;
+  if (tiers <= 0 || width <= 0) return g;
+  const auto name = [](int tier, int w) {
+    return "t" + std::to_string(tier) + "_w" + std::to_string(w);
+  };
+  Rng rng(seed);
+  for (int w = 0; w < width; ++w) g.add_edge("gw", name(0, w));
+  const int out = std::clamp(fan_out, 1, width);
+  for (int tier = 0; tier + 1 < tiers; ++tier) {
+    // `out` distinct callees in the next tier per caller. The anchor walks
+    // the tier with the caller index (plus a seeded per-tier rotation so
+    // the wiring varies with the seed), which guarantees every next-tier
+    // service has at least one caller — no spurious entry points, no
+    // orphaned terminal services.
+    const int offset = static_cast<int>(
+        rng.next_below(static_cast<uint64_t>(width)));
+    for (int w = 0; w < width; ++w) {
+      const int base = (w + offset) % width;
+      for (int k = 0; k < out; ++k) {
+        g.add_edge(name(tier, w), name(tier + 1, (base + k) % width));
+      }
+    }
+  }
+  return g;
+}
+
+AppGraph AppGraph::random_dag(int services, int avg_degree, uint64_t seed) {
+  AppGraph g;
+  if (services <= 0) return g;
+  const auto name = [](int i) { return "n" + std::to_string(i); };
+  g.add_service(name(0));
+  Rng rng(seed);
+  const int degree = std::max(1, avg_degree);
+  for (int i = 1; i < services; ++i) {
+    // Connectivity: every node has at least one caller among its
+    // predecessors (edges always point from lower to higher index, so the
+    // graph is acyclic by construction).
+    const int caller = static_cast<int>(
+        rng.next_below(static_cast<uint64_t>(i)));
+    g.add_edge(name(caller), name(i));
+    // Extra seeded edges for density: expected (degree - 1) additional
+    // callers per node, drawn uniformly from the predecessors.
+    const int extra = static_cast<int>(
+        rng.next_below(static_cast<uint64_t>(2 * degree - 1)));
+    for (int k = 0; k < extra && k < i; ++k) {
+      const int src = static_cast<int>(
+          rng.next_below(static_cast<uint64_t>(i)));
+      g.add_edge(name(src), name(i));  // idempotent on duplicates
+    }
   }
   return g;
 }

@@ -67,12 +67,36 @@ class AppGraph {
   // be acyclic; a cycle usually indicates a miswritten graph).
   VoidResult validate_acyclic() const;
 
+  // Order-independent structural fingerprint over the sorted service and
+  // edge sets: two graphs fingerprint equal iff they have the same services
+  // and edges. Used by the seeded generators' determinism tests and by
+  // AppSpec identity at mega scale.
+  uint64_t fingerprint() const;
+
   // Builders for common shapes used by the evaluation.
   // Complete binary tree with `depth` levels (depth=1 → 1 service,
   // 5 → 31 services), names "svc0".."svcN", svc0 is the root/entry.
   static AppGraph binary_tree(int depth);
   // Linear chain: s0 → s1 → ... → s(n-1).
   static AppGraph chain(int length);
+
+  // --- seeded mega-topology generators (100–1000 services) ---
+  // All three are deterministic in their arguments: the same (shape, seed)
+  // always yields the same graph (pinned by fingerprint() in tests), and
+  // every graph is acyclic by construction (edges only point to later
+  // tiers / higher indices).
+
+  // `tiers` layers of `width` services ("t<i>_w<j>") behind a single
+  // gateway "gw" that calls every tier-0 service; each service calls
+  // `fan_out` seeded-random services in the next tier (clamped to width).
+  // Total services: tiers * width + 1; entry point: "gw".
+  static AppGraph tiered(int tiers, int width, uint64_t seed,
+                         int fan_out = 3);
+
+  // Random DAG over `services` nodes ("n0".."nN-1"): every node except n0
+  // calls-from at least one earlier node, with ~`avg_degree` outgoing edges
+  // per node on average. Entry point: "n0".
+  static AppGraph random_dag(int services, int avg_degree, uint64_t seed);
 
  private:
   // service -> callees; value set may be empty (leaf service).

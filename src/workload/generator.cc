@@ -1,6 +1,109 @@
 #include "workload/generator.h"
 
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+
 namespace gremlin::workload {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+// Nominal (pre-poisson) inter-arrival gap after arrival `i`, from the
+// spec's rate curve. Pure in (spec, i) so chained and prescheduled
+// injection agree on the deterministic shapes.
+Duration shaped_gap(const TrafficSpec& spec, size_t i) {
+  double g = static_cast<double>(spec.gap.count());
+  switch (spec.shape) {
+    case TrafficSpec::Shape::kConstant:
+      break;
+    case TrafficSpec::Shape::kRamp: {
+      const Duration to =
+          spec.ramp_to == kDurationZero ? spec.gap : spec.ramp_to;
+      const double t = spec.count <= 1
+                           ? 1.0
+                           : static_cast<double>(i) /
+                                 static_cast<double>(spec.count - 1);
+      g += (static_cast<double>(to.count()) - g) * t;
+      break;
+    }
+    case TrafficSpec::Shape::kDiurnal: {
+      // Phase from the nominal schedule position (i * gap), not the actual
+      // clock, so the curve stays a pure function of the arrival index.
+      const double period = std::max(
+          1.0, static_cast<double>(spec.diurnal_period.count()));
+      const double phase =
+          std::fmod(static_cast<double>(i) *
+                        static_cast<double>(spec.gap.count()),
+                    period) /
+          period;
+      const double amp = std::clamp(spec.diurnal_amplitude, 0.0, 0.95);
+      g /= 1.0 + amp * std::sin(kTwoPi * phase);
+      break;
+    }
+  }
+  return Duration(static_cast<int64_t>(g));
+}
+
+// Actual step after arrival `i`: the shaped gap, exponentially drawn around
+// it when poisson. Draws from the simulation RNG, so call order matters —
+// prescheduling draws all steps upfront, chaining draws them at fire time.
+Duration arrival_step(sim::Simulation* sim, const TrafficSpec& spec,
+                      size_t i) {
+  const Duration g = shaped_gap(spec, i);
+  if (!spec.poisson) return g;
+  return Duration(static_cast<int64_t>(
+      sim->rng().exponential(static_cast<double>(g.count()))));
+}
+
+// Shared state of a chained (self-rescheduling) injection: the scheduled
+// events capture this by shared_ptr, never themselves, so the last arrival
+// releases everything.
+struct ChainState {
+  TrafficSpec spec;
+  // Client/target/uri interned once at schedule time: the per-arrival
+  // inject goes through the pre-interned overload and assigns pre-interned
+  // symbols, skipping three symbol-table lookups per request.
+  Symbol client;
+  Symbol target;
+  Symbol uri;
+  std::shared_ptr<TrafficResult> result;
+};
+
+void inject_arrival(sim::Simulation* sim,
+                    const std::shared_ptr<ChainState>& state, size_t i) {
+  sim::SimRequest req;
+  // to_chars + append instead of `prefix + to_string(i)`: no temporary
+  // string per request on the million-arrival path.
+  char digits[20];
+  const auto conv = std::to_chars(digits, digits + sizeof(digits), i);
+  req.request_id = state->spec.id_prefix;
+  req.request_id.append(digits, static_cast<size_t>(conv.ptr - digits));
+  req.uri = state->uri;
+  const TimePoint sent = sim->now();
+  sim->inject(state->client, state->target, std::move(req),
+              [sim, result = state->result, i,
+               sent](const sim::SimResponse& resp) {
+                result->latencies[i] = sim->now() - sent;
+                result->statuses[i] = resp.connection_reset || resp.timed_out
+                                          ? 0
+                                          : resp.status;
+                if (resp.failed()) ++result->failures;
+              });
+}
+
+void chain_arrival(sim::Simulation* sim, std::shared_ptr<ChainState> state,
+                   size_t i) {
+  inject_arrival(sim, state, i);
+  if (i + 1 >= state->spec.count) return;
+  const Duration step = arrival_step(sim, state->spec, i);
+  sim->schedule(step, [sim, state = std::move(state), i]() mutable {
+    chain_arrival(sim, std::move(state), i + 1);
+  });
+}
+
+}  // namespace
 
 std::vector<Duration> TrafficResult::successful_latencies() const {
   std::vector<Duration> out;
@@ -16,6 +119,20 @@ std::shared_ptr<TrafficResult> schedule_traffic(sim::Simulation* sim,
   auto result = std::make_shared<TrafficResult>();
   result->latencies.resize(spec.count);
   result->statuses.resize(spec.count);
+  if (spec.count == 0) return result;
+
+  if (spec.chained) {
+    auto state = std::make_shared<ChainState>();
+    state->spec = spec;
+    state->client = Symbol(spec.client);
+    state->target = Symbol(target);
+    state->uri = Symbol(spec.uri);
+    state->result = result;
+    sim->schedule_at(sim->now(), [sim, state]() mutable {
+      chain_arrival(sim, std::move(state), 0);
+    });
+    return result;
+  }
 
   TimePoint at = sim->now();
   for (size_t i = 0; i < spec.count; ++i) {
@@ -33,12 +150,7 @@ std::shared_ptr<TrafficResult> schedule_traffic(sim::Simulation* sim,
                     if (resp.failed()) ++result->failures;
                   });
     });
-    const Duration step =
-        spec.poisson
-            ? Duration(static_cast<int64_t>(sim->rng().exponential(
-                  static_cast<double>(spec.gap.count()))))
-            : spec.gap;
-    at += step;
+    at += arrival_step(sim, spec, i);
   }
   return result;
 }

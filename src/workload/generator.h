@@ -22,6 +22,27 @@ struct TrafficSpec {
   std::string id_prefix = "test-";
   std::string uri = "/";
   std::string client = "user";
+
+  // --- open-loop arrival shaping (heavy-traffic workload models) ---
+  // The rate curve modulates the nominal gap per arrival index; all three
+  // shapes are deterministic in the spec, so prescheduled and chained
+  // injection produce the same arrival times (modulo poisson draws).
+  enum class Shape {
+    kConstant,  // every gap equals `gap` (the historical behaviour)
+    kRamp,      // gap interpolates linearly from `gap` to `ramp_to`
+    kDiurnal,   // rate swings sinusoidally around 1/gap
+  };
+  Shape shape = Shape::kConstant;
+  Duration ramp_to{};             // kRamp final gap; zero → stays at `gap`
+  double diurnal_amplitude = 0.5;  // kDiurnal rate swing, clamped to [0,.95]
+  Duration diurnal_period = sec(1);  // kDiurnal period on the virtual clock
+
+  // Chained self-rescheduling: each arrival schedules only the next one, so
+  // the queue holds O(1) pending arrivals instead of `count` — the shape the
+  // timer wheel absorbs at mega scale (docs/PERFORMANCE.md). Off by
+  // default: prescheduling all arrivals upfront is the historical event
+  // order, and pinned campaign fingerprints depend on it.
+  bool chained = false;
 };
 
 struct TrafficResult {

@@ -32,6 +32,104 @@ Summary summarize(std::vector<Duration> latencies) {
   return s;
 }
 
+StreamingQuantile::StreamingQuantile(double pct) : p_(pct / 100.0) {
+  if (p_ < 0.0) p_ = 0.0;
+  if (p_ > 1.0) p_ = 1.0;
+  // Desired positions of the five markers after n observations are
+  // 1 + (n-1) * inc_[i]: min, p/2, p, (1+p)/2, max.
+  inc_ = {0.0, p_ / 2.0, p_, (1.0 + p_) / 2.0, 1.0};
+  want_ = {1.0, 1.0 + 2.0 * p_, 1.0 + 4.0 * p_, 3.0 + 2.0 * p_, 5.0};
+}
+
+void StreamingQuantile::add(double x) {
+  if (n_ < 5) {
+    q_[n_++] = x;
+    if (n_ == 5) {
+      std::sort(q_.begin(), q_.end());
+      pos_ = {1, 2, 3, 4, 5};
+    }
+    return;
+  }
+
+  // Locate the cell containing x, stretching the extreme markers.
+  size_t k;
+  if (x < q_[0]) {
+    q_[0] = x;
+    k = 0;
+  } else if (x >= q_[4]) {
+    q_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= q_[k + 1]) ++k;
+  }
+
+  ++n_;
+  for (size_t i = k + 1; i < 5; ++i) pos_[i] += 1.0;
+  for (size_t i = 0; i < 5; ++i) want_[i] += inc_[i];
+
+  // Nudge the three interior markers toward their desired positions with
+  // piecewise-parabolic (P²) interpolation, falling back to linear when the
+  // parabola would break marker monotonicity.
+  for (size_t i = 1; i <= 3; ++i) {
+    const double d = want_[i] - pos_[i];
+    const double right = pos_[i + 1] - pos_[i];
+    const double left = pos_[i - 1] - pos_[i];
+    if ((d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0)) {
+      const double s = d >= 1.0 ? 1.0 : -1.0;
+      const double parabolic =
+          q_[i] + s / (pos_[i + 1] - pos_[i - 1]) *
+                      ((pos_[i] - pos_[i - 1] + s) * (q_[i + 1] - q_[i]) /
+                           right +
+                       (pos_[i + 1] - pos_[i] - s) * (q_[i] - q_[i - 1]) /
+                           -left);
+      if (q_[i - 1] < parabolic && parabolic < q_[i + 1]) {
+        q_[i] = parabolic;
+      } else {
+        const size_t j = s > 0 ? i + 1 : i - 1;
+        q_[i] += s * (q_[j] - q_[i]) / (pos_[j] - pos_[i]);
+      }
+      pos_[i] += s;
+    }
+  }
+}
+
+double StreamingQuantile::estimate() const {
+  if (n_ == 0) return 0.0;
+  if (n_ >= 5) return q_[2];
+  // Small stream: exact nearest-rank on the buffered prefix.
+  std::array<double, 5> sorted = q_;
+  std::sort(sorted.begin(), sorted.begin() + n_);
+  size_t rank = static_cast<size_t>(
+      std::ceil(p_ * static_cast<double>(n_)));
+  if (rank == 0) rank = 1;
+  if (rank > n_) rank = n_;
+  return sorted[rank - 1];
+}
+
+void StreamingSummary::add(Duration d) {
+  if (count_ == 0 || d < min_) min_ = d;
+  if (count_ == 0 || d > max_) max_ = d;
+  ++count_;
+  total_ += d.count();
+  p50_.add(d);
+  p90_.add(d);
+  p99_.add(d);
+}
+
+Summary StreamingSummary::summary() const {
+  Summary s;
+  if (count_ == 0) return s;
+  s.count = count_;
+  s.min = min_;
+  s.max = max_;
+  s.mean = Duration(total_ / static_cast<int64_t>(count_));
+  s.p50 = p50_.estimate_duration();
+  s.p90 = p90_.estimate_duration();
+  s.p99 = p99_.estimate_duration();
+  return s;
+}
+
 Duration percentile(std::vector<Duration> latencies, double pct) {
   if (latencies.empty()) return kDurationZero;
   std::sort(latencies.begin(), latencies.end());

@@ -1,0 +1,142 @@
+// Tests for the seeded mega-topology generators (AppGraph::tiered,
+// AppGraph::random_dag) and their AppSpec registry forms: seed determinism
+// pinned via fingerprint(), structural invariants (tier/degree bounds,
+// gateway wiring), and acyclicity by construction.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "campaign/app_spec.h"
+#include "topology/graph.h"
+
+namespace gremlin::topology {
+namespace {
+
+TEST(MegaTopologyTest, TieredShapeAndCounts) {
+  const AppGraph g = AppGraph::tiered(4, 10, /*seed=*/7);
+  // 4 tiers x 10 wide + the gateway.
+  EXPECT_EQ(g.service_count(), 41u);
+  EXPECT_EQ(g.entry_points(), std::vector<std::string>{"gw"});
+  // The gateway fans out to the full first tier.
+  for (int w = 0; w < 10; ++w) {
+    EXPECT_TRUE(g.has_edge("gw", "t0_w" + std::to_string(w)));
+  }
+  // Every non-terminal service calls exactly fan_out distinct services in
+  // the next tier (default fan_out = 3, width 10 > fan_out).
+  for (int tier = 0; tier + 1 < 4; ++tier) {
+    for (int w = 0; w < 10; ++w) {
+      const auto deps = g.dependencies("t" + std::to_string(tier) + "_w" +
+                                       std::to_string(w));
+      EXPECT_EQ(deps.size(), 3u);
+      for (const auto& dep : deps) {
+        EXPECT_EQ(dep.rfind("t" + std::to_string(tier + 1) + "_", 0), 0u)
+            << dep << " is not in tier " << tier + 1;
+      }
+    }
+  }
+  // Terminal tier services are leaves.
+  for (int w = 0; w < 10; ++w) {
+    EXPECT_TRUE(g.dependencies("t3_w" + std::to_string(w)).empty());
+  }
+}
+
+TEST(MegaTopologyTest, TieredFanOutClampsToWidth) {
+  const AppGraph g = AppGraph::tiered(2, 2, /*seed=*/1, /*fan_out=*/5);
+  EXPECT_EQ(g.dependencies("t0_w0").size(), 2u);
+  EXPECT_EQ(g.dependencies("t0_w1").size(), 2u);
+}
+
+TEST(MegaTopologyTest, TieredSeedDeterminism) {
+  const uint64_t fp = AppGraph::tiered(6, 20, 42).fingerprint();
+  EXPECT_EQ(fp, AppGraph::tiered(6, 20, 42).fingerprint());
+  EXPECT_NE(fp, AppGraph::tiered(6, 20, 43).fingerprint());
+  EXPECT_NE(fp, AppGraph::tiered(6, 21, 42).fingerprint());
+  EXPECT_NE(fp, AppGraph::tiered(7, 20, 42).fingerprint());
+}
+
+TEST(MegaTopologyTest, TieredIsAcyclicAt500Services) {
+  const AppGraph g = AppGraph::tiered(10, 50, /*seed=*/3);
+  EXPECT_EQ(g.service_count(), 501u);
+  EXPECT_TRUE(g.validate_acyclic().ok());
+}
+
+TEST(MegaTopologyTest, RandomDagConnectivityAndEntry) {
+  const AppGraph g = AppGraph::random_dag(200, /*avg_degree=*/3,
+                                          /*seed=*/11);
+  EXPECT_EQ(g.service_count(), 200u);
+  EXPECT_TRUE(g.validate_acyclic().ok());
+  // Every node but n0 has at least one caller, so n0 is the only entry.
+  EXPECT_EQ(g.entry_points(), std::vector<std::string>{"n0"});
+  for (int i = 1; i < 200; ++i) {
+    EXPECT_FALSE(g.dependents("n" + std::to_string(i)).empty());
+  }
+}
+
+TEST(MegaTopologyTest, RandomDagEdgesPointForward) {
+  const AppGraph g = AppGraph::random_dag(100, 4, /*seed=*/5);
+  for (const auto& edge : g.edges()) {
+    const int src = std::stoi(edge.src.substr(1));
+    const int dst = std::stoi(edge.dst.substr(1));
+    EXPECT_LT(src, dst) << edge.src << " -> " << edge.dst;
+  }
+}
+
+TEST(MegaTopologyTest, RandomDagSeedDeterminism) {
+  const uint64_t fp = AppGraph::random_dag(300, 3, 9).fingerprint();
+  EXPECT_EQ(fp, AppGraph::random_dag(300, 3, 9).fingerprint());
+  EXPECT_NE(fp, AppGraph::random_dag(300, 3, 10).fingerprint());
+}
+
+TEST(MegaTopologyTest, FingerprintReflectsStructureNotInsertionOrder) {
+  AppGraph a;
+  a.add_edge("x", "y");
+  a.add_edge("x", "z");
+  AppGraph b;
+  b.add_edge("x", "z");
+  b.add_edge("x", "y");
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  b.add_edge("y", "z");
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(MegaAppSpecTest, MegaSpecBuildsEveryService) {
+  const campaign::AppSpec spec = campaign::AppSpec::mega(3, 5, 42);
+  EXPECT_EQ(spec.name, "mega:3x5");
+  sim::Simulation sim;
+  const AppGraph graph = spec.instantiate(&sim);
+  EXPECT_EQ(graph.service_count(), 16u);
+  for (const auto& name : graph.services()) {
+    EXPECT_NE(sim.find_service(name), nullptr) << name;
+  }
+}
+
+TEST(MegaAppSpecTest, NamedParsesMegaForms) {
+  auto mega = campaign::AppSpec::named("mega:4x8");
+  ASSERT_TRUE(mega.ok());
+  EXPECT_EQ(mega->probe_graph().service_count(), 33u);
+
+  auto dag = campaign::AppSpec::named("megadag:120");
+  ASSERT_TRUE(dag.ok());
+  EXPECT_EQ(dag->probe_graph().service_count(), 120u);
+
+  // Same registry string twice → identical topology (the campaign
+  // determinism contract extends to the parameterized forms).
+  auto again = campaign::AppSpec::named("mega:4x8");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(mega->probe_graph().fingerprint(),
+            again->probe_graph().fingerprint());
+}
+
+TEST(MegaAppSpecTest, NamedRejectsMalformedMegaForms) {
+  EXPECT_FALSE(campaign::AppSpec::named("mega:").ok());
+  EXPECT_FALSE(campaign::AppSpec::named("mega:10").ok());
+  EXPECT_FALSE(campaign::AppSpec::named("mega:x5").ok());
+  EXPECT_FALSE(campaign::AppSpec::named("mega:10x").ok());
+  EXPECT_FALSE(campaign::AppSpec::named("mega:0x5").ok());
+  EXPECT_FALSE(campaign::AppSpec::named("mega:3x-2").ok());
+  EXPECT_FALSE(campaign::AppSpec::named("megadag:").ok());
+  EXPECT_FALSE(campaign::AppSpec::named("megadag:abc").ok());
+}
+
+}  // namespace
+}  // namespace gremlin::topology

@@ -1,0 +1,114 @@
+// Regression tests for the P² streaming quantile estimator: exactness on
+// tiny streams, pinned error bounds against the exact sorted percentile on
+// large seeded samples, and StreamingSummary parity with summarize().
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "workload/stats.h"
+
+namespace gremlin::workload {
+namespace {
+
+double relative_error(double estimate, double exact) {
+  return std::abs(estimate - exact) / std::abs(exact);
+}
+
+double exact_pct(const std::vector<Duration>& samples, double pct) {
+  return static_cast<double>(percentile(samples, pct).count());
+}
+
+std::vector<Duration> uniform_samples(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Duration> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(Duration(static_cast<int64_t>(rng.next_below(1000000))));
+  }
+  return out;
+}
+
+std::vector<Duration> exponential_samples(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Duration> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(Duration(static_cast<int64_t>(rng.exponential(50000.0))));
+  }
+  return out;
+}
+
+TEST(StreamingQuantileTest, TinyStreamsAreExact) {
+  StreamingQuantile p50(50);
+  EXPECT_EQ(p50.estimate(), 0.0);
+  p50.add(30.0);
+  EXPECT_EQ(p50.estimate(), 30.0);
+  p50.add(10.0);
+  p50.add(20.0);
+  // Nearest-rank median of {10, 20, 30}.
+  EXPECT_EQ(p50.estimate(), 20.0);
+
+  StreamingQuantile p99(99);
+  for (const double v : {5.0, 1.0, 4.0, 2.0}) p99.add(v);
+  EXPECT_EQ(p99.estimate(), 5.0);
+}
+
+TEST(StreamingQuantileTest, UniformErrorBounds) {
+  const auto samples = uniform_samples(100000, 1234);
+  StreamingQuantile p50(50), p90(90), p99(99);
+  for (const Duration d : samples) {
+    p50.add(d);
+    p90.add(d);
+    p99.add(d);
+  }
+  EXPECT_LT(relative_error(p50.estimate(), exact_pct(samples, 50)), 0.02);
+  EXPECT_LT(relative_error(p90.estimate(), exact_pct(samples, 90)), 0.02);
+  EXPECT_LT(relative_error(p99.estimate(), exact_pct(samples, 99)), 0.02);
+}
+
+TEST(StreamingQuantileTest, ExponentialTailErrorBounds) {
+  // Heavy-tailed input is the hard case for five markers: pin looser but
+  // still useful bounds on the tail estimates.
+  const auto samples = exponential_samples(100000, 99);
+  StreamingQuantile p50(50), p90(90), p99(99);
+  for (const Duration d : samples) {
+    p50.add(d);
+    p90.add(d);
+    p99.add(d);
+  }
+  EXPECT_LT(relative_error(p50.estimate(), exact_pct(samples, 50)), 0.05);
+  EXPECT_LT(relative_error(p90.estimate(), exact_pct(samples, 90)), 0.05);
+  EXPECT_LT(relative_error(p99.estimate(), exact_pct(samples, 99)), 0.10);
+}
+
+TEST(StreamingSummaryTest, MatchesBatchSummarizeOnExactFields) {
+  const auto samples = uniform_samples(50000, 7);
+  StreamingSummary streaming;
+  for (const Duration d : samples) streaming.add(d);
+  const Summary exact = summarize(samples);
+  const Summary approx = streaming.summary();
+  EXPECT_EQ(approx.count, exact.count);
+  EXPECT_EQ(approx.min, exact.min);
+  EXPECT_EQ(approx.max, exact.max);
+  EXPECT_EQ(approx.mean, exact.mean);
+  EXPECT_LT(relative_error(static_cast<double>(approx.p50.count()),
+                           static_cast<double>(exact.p50.count())),
+            0.02);
+  EXPECT_LT(relative_error(static_cast<double>(approx.p90.count()),
+                           static_cast<double>(exact.p90.count())),
+            0.02);
+  EXPECT_LT(relative_error(static_cast<double>(approx.p99.count()),
+                           static_cast<double>(exact.p99.count())),
+            0.02);
+}
+
+TEST(StreamingSummaryTest, EmptyStreamYieldsZeroSummary) {
+  const Summary s = StreamingSummary().summary();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, kDurationZero);
+}
+
+}  // namespace
+}  // namespace gremlin::workload

@@ -2,6 +2,8 @@
 // request-ID stamping, and result bookkeeping.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "control/recipe.h"
 #include "faults/rule.h"
 #include "workload/generator.h"
@@ -86,6 +88,100 @@ TEST(TrafficTest, PoissonArrivalsVaryButAreDeterministic) {
   std::set<int64_t> gaps;
   for (size_t i = 1; i < a.size(); ++i) gaps.insert(a[i] - a[i - 1]);
   EXPECT_GT(gaps.size(), 5u);
+}
+
+std::vector<int64_t> arrival_timestamps(sim::Simulation* sim) {
+  control::FailureOrchestrator orch(&sim->deployment());
+  (void)orch.collect_logs(&sim->log_store());
+  std::vector<int64_t> times;
+  for (const auto& r : sim->log_store().get_requests("user", "svc")) {
+    times.push_back(r.timestamp.count());
+  }
+  return times;
+}
+
+TEST(TrafficTest, ChainedArrivalsMatchPrescheduledSchedule) {
+  // Deterministic shapes make chained (self-rescheduling) injection land on
+  // the same virtual-clock instants as upfront scheduling.
+  auto run_mode = [](bool chained) {
+    sim::Simulation sim;
+    add_leaf(&sim, "svc", kDurationZero);
+    TrafficSpec spec;
+    spec.count = 30;
+    spec.gap = msec(7);
+    spec.chained = chained;
+    run_traffic(&sim, "svc", spec);
+    return arrival_timestamps(&sim);
+  };
+  const auto prescheduled = run_mode(false);
+  const auto chained = run_mode(true);
+  ASSERT_EQ(prescheduled.size(), 30u);
+  EXPECT_EQ(prescheduled, chained);
+}
+
+TEST(TrafficTest, ChainedInjectionKeepsPendingArrivalsConstant) {
+  sim::Simulation prescheduled_sim;
+  add_leaf(&prescheduled_sim, "svc");
+  sim::Simulation chained_sim;
+  add_leaf(&chained_sim, "svc");
+  TrafficSpec spec;
+  spec.count = 1000;
+  spec.chained = false;
+  schedule_traffic(&prescheduled_sim, "svc", spec);
+  spec.chained = true;
+  schedule_traffic(&chained_sim, "svc", spec);
+  // Upfront scheduling parks all 1000 arrivals in the queue; the chain
+  // parks exactly one and re-arms itself as the simulation runs.
+  EXPECT_EQ(prescheduled_sim.event_queue().size(), 1000u);
+  EXPECT_EQ(chained_sim.event_queue().size(), 1u);
+  chained_sim.run();
+  EXPECT_FALSE(chained_sim.has_pending_events());
+}
+
+TEST(TrafficTest, RampShapeAcceleratesArrivals) {
+  sim::Simulation sim;
+  add_leaf(&sim, "svc", kDurationZero);
+  TrafficSpec spec;
+  spec.count = 11;
+  spec.gap = msec(100);
+  spec.shape = TrafficSpec::Shape::kRamp;
+  spec.ramp_to = msec(10);
+  run_traffic(&sim, "svc", spec);
+  const auto times = arrival_timestamps(&sim);
+  ASSERT_EQ(times.size(), 11u);
+  // Gaps interpolate linearly from 100ms toward 10ms: strictly decreasing.
+  for (size_t i = 2; i < times.size(); ++i) {
+    EXPECT_LT(times[i] - times[i - 1], times[i - 1] - times[i - 2]);
+  }
+  EXPECT_EQ(times[1] - times[0], msec(100).count());
+}
+
+TEST(TrafficTest, DiurnalShapeOscillatesDeterministically) {
+  auto run_once = [] {
+    sim::Simulation sim;
+    add_leaf(&sim, "svc", kDurationZero);
+    TrafficSpec spec;
+    spec.count = 40;
+    spec.gap = msec(10);
+    spec.shape = TrafficSpec::Shape::kDiurnal;
+    spec.diurnal_period = msec(200);
+    spec.diurnal_amplitude = 0.5;
+    run_traffic(&sim, "svc", spec);
+    return arrival_timestamps(&sim);
+  };
+  const auto a = run_once();
+  ASSERT_EQ(a.size(), 40u);
+  EXPECT_EQ(a, run_once());
+  // The sinusoidal rate curve produces both faster- and slower-than-nominal
+  // gaps around the 10ms baseline.
+  int64_t shortest = a[1] - a[0];
+  int64_t longest = shortest;
+  for (size_t i = 1; i < a.size(); ++i) {
+    shortest = std::min(shortest, a[i] - a[i - 1]);
+    longest = std::max(longest, a[i] - a[i - 1]);
+  }
+  EXPECT_LT(shortest, msec(10).count());
+  EXPECT_GT(longest, msec(10).count());
 }
 
 TEST(TrafficTest, FailuresCounted) {

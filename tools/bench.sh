@@ -6,9 +6,14 @@
 # search+shrink speedup with verdict-identical results), and
 # bench_warm_world feeds BENCH_warmworld.json (warm-world experiment
 # execution; headline is the warm/cold throughput speedup with
-# byte-identical results), and bench_campaign_multiproc feeds
+# byte-identical results), bench_campaign_multiproc feeds
 # BENCH_multiproc.json (multi-process campaign sharding; headline is the
-# best procs × threads speedup with byte-identical merged results).
+# best procs × threads speedup with byte-identical merged results), and
+# bench_megatopo feeds BENCH_megatopo.json (timer-wheel scheduling +
+# open-loop arrivals against a 501-service deployment; headline is the
+# events/s speedup over the heap-only prescheduled baseline, gated >= 3x,
+# with fingerprints byte-identical across the scheduler/threads/procs
+# matrix).
 #
 # The output also carries the recorded pre-overhaul baseline for the
 # headline metric (BM_RunOneExperiment experiments/second in
@@ -27,6 +32,7 @@ OUT="${ROOT}/BENCH_hotpath.json"
 CHECKER_OUT="${ROOT}/BENCH_checker.json"
 WARMWORLD_OUT="${ROOT}/BENCH_warmworld.json"
 MULTIPROC_OUT="${ROOT}/BENCH_multiproc.json"
+MEGATOPO_OUT="${ROOT}/BENCH_megatopo.json"
 
 # experiments/second measured on this container immediately before the
 # hot-path memory overhaul (interned names, pooled events, zero-copy
@@ -46,7 +52,8 @@ BENCHES=(
 
 cmake -B "${BUILD_DIR}" -S "${ROOT}" >/dev/null
 cmake --build "${BUILD_DIR}" -j "$(nproc)" --target "${BENCHES[@]}" \
-  bench_checker_online bench_warm_world bench_campaign_multiproc
+  bench_checker_online bench_warm_world bench_campaign_multiproc \
+  bench_megatopo
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "${TMP}"' EXIT
@@ -89,6 +96,12 @@ echo "=== bench_warm_world"
 # so it always runs, quick mode included.
 echo "=== bench_campaign_multiproc"
 "${BUILD_DIR}/bench/bench_campaign_multiproc" --json "${TMP}/multiproc.json"
+
+# Mega-topology scale-out bench: json out of the glob. The binary gates
+# itself — >= 3x events/s for wheel+chained over heap+prescheduled, plus
+# the byte-identity matrix — so it always runs, quick mode included.
+echo "=== bench_megatopo"
+"${BUILD_DIR}/bench/bench_megatopo" --json "${TMP}/megatopo.json"
 
 python3 - "${OUT}" "${BASELINE_EXPERIMENTS_PER_SEC}" "${TMP}" <<'PY'
 import json, pathlib, sys
@@ -217,5 +230,47 @@ doc = {
 pathlib.Path(out).write_text(json.dumps(doc, indent=2) + "\n")
 print(f"wrote {out}: best sharded speedup "
       f"{best if best is not None else 'MISSING'}x, "
+      f"byte_identical={identical}")
+PY
+
+python3 - "${MEGATOPO_OUT}" "${TMP}/megatopo.json" <<'PY'
+import json, pathlib, sys
+
+out, src = sys.argv[1], pathlib.Path(sys.argv[2])
+rows = json.loads(src.read_text())
+
+def value(name, metric):
+    return next((r["value"] for r in rows
+                 if r["name"] == name and r["metric"] == metric), None)
+
+dense = value("megatopo/dense_arrivals", "speedup")
+vs_prepr = value("megatopo/gate", "speedup_vs_prepr")
+identical = all(r["value"] == 1.0 for r in rows
+                if r["metric"] == "byte_identical") or None
+doc = {
+    "suite": "gremlin mega-topology scale-out",
+    "headline": {
+        "metric": "events/second, timer wheel + chained open-loop arrivals "
+                  "vs heap-only prescheduled arrivals on a 501-service "
+                  "deployment (bench_megatopo; gated >= 3x vs the recorded "
+                  "pre-PR engine)",
+        "heap_prescheduled_events_per_second":
+            value("megatopo/dense_arrivals/heap_prescheduled",
+                  "events_per_second"),
+        "wheel_chained_events_per_second":
+            value("megatopo/dense_arrivals/wheel_chained",
+                  "events_per_second"),
+        "dense_speedup": dense,
+        "speedup_vs_prepr": vs_prepr,
+        "gateway_traversal_speedup":
+            value("megatopo/gateway_traversal", "speedup"),
+        "byte_identical_matrix": identical,
+        "hardware_threads": value("host", "hardware_threads"),
+    },
+    "rows": rows,
+}
+pathlib.Path(out).write_text(json.dumps(doc, indent=2) + "\n")
+print(f"wrote {out}: dense-arrival speedup "
+      f"{dense if dense is not None else 'MISSING'}x, "
       f"byte_identical={identical}")
 PY

@@ -3,8 +3,8 @@
 // Usage:
 //   gremlin run <recipe-file> [--seed N] [--trace] [--report out.json]
 //   gremlin check <recipe-file>          # parse only, print structure
-//   gremlin campaign <recipe-file> [--seed N] [--seeds K] [--threads N]
-//                    [--procs N] [--sweep edge|service|both]
+//   gremlin campaign (<recipe-file> | --app <name>) [--seed N] [--seeds K]
+//                    [--threads N] [--procs N] [--sweep edge|service|both]
 //                    [--report out.json]
 //   gremlin search (<recipe-file> | --app <name>) [--max-k K] [--budget N]
 //                  [--pairwise] [--no-prune] [--no-shrink] [...]
@@ -56,8 +56,8 @@ int usage() {
                "  gremlin run <recipe-file> [--seed N] [--trace] "
                "[--report out.json]\n"
                "  gremlin check <recipe-file>\n"
-               "  gremlin campaign <recipe-file> [--seed N] [--seeds K] "
-               "[--threads N] [--procs N]\n"
+               "  gremlin campaign (<recipe-file> | --app <name>) [--seed N] "
+               "[--seeds K] [--threads N] [--procs N]\n"
                "                   [--sweep edge|service|infra|both|all] "
                "[--no-early-exit] [--cold]\n"
                "                   [--probabilities 0.1,0.5] "
@@ -180,6 +180,7 @@ int cmd_run(const std::string& source, uint64_t seed, bool with_traces,
 }
 
 struct CampaignFlags {
+  std::string app;        // built-in app name (campaign); empty → recipe
   uint64_t seed = 42;
   int seeds = 1;          // multi-seed replication factor
   int threads = 0;        // 0 = hardware concurrency
@@ -232,39 +233,59 @@ bool parse_window_axis(const std::string& csv,
 }
 
 int cmd_campaign(const std::string& source, const CampaignFlags& flags) {
-  auto file = dsl::parse(source);
-  if (!file.ok()) {
-    std::fprintf(stderr, "parse error: %s\n", file.error().message.c_str());
-    return 1;
+  campaign::AppSpec app;
+  topology::AppGraph graph;
+  std::vector<campaign::Experiment> experiments;
+
+  if (!flags.app.empty()) {
+    // Registry app (e.g. --app mega:10x50): no recipe to lower, so the
+    // experiment list comes entirely from the sweep generator — default to
+    // the full edge+service sweep when --sweep is omitted.
+    auto named = campaign::AppSpec::named(flags.app);
+    if (!named.ok()) {
+      std::fprintf(stderr, "unknown app '%s': %s\n", flags.app.c_str(),
+                   named.error().message.c_str());
+      return 2;
+    }
+    app = std::move(named.value());
+    graph = app.probe_graph();
+  } else {
+    auto file = dsl::parse(source);
+    if (!file.ok()) {
+      std::fprintf(stderr, "parse error: %s\n",
+                   file.error().message.c_str());
+      return 1;
+    }
+    // Every scenario lowers onto the same app spec: the recipe's graph with
+    // autocreated default-handler services (the `gremlin run` semantics).
+    app = campaign::AppSpec::from_graph(file->graph);
+    graph = file->graph;
+    auto lowered = dsl::lower_recipe(file.value(), app, flags.seed);
+    if (!lowered.ok()) {
+      std::fprintf(stderr, "lowering error: %s\n",
+                   lowered.error().message.c_str());
+      return 1;
+    }
+    experiments = std::move(lowered.value());
   }
 
-  // Every scenario lowers onto the same app spec: the recipe's graph with
-  // autocreated default-handler services (the `gremlin run` semantics).
-  const campaign::AppSpec app = campaign::AppSpec::from_graph(file->graph);
-  auto lowered = dsl::lower_recipe(file.value(), app, flags.seed);
-  if (!lowered.ok()) {
-    std::fprintf(stderr, "lowering error: %s\n",
-                 lowered.error().message.c_str());
-    return 1;
-  }
-  std::vector<campaign::Experiment> experiments =
-      std::move(lowered.value());
-
-  if (!flags.sweep.empty()) {
+  const std::string sweep_mode =
+      flags.sweep.empty() && !flags.app.empty() ? "both" : flags.sweep;
+  if (!sweep_mode.empty()) {
     campaign::SweepOptions sweep;
     sweep.seed = flags.seed;
-    if (flags.sweep == "edge") {
+    if (sweep_mode == "edge") {
       sweep.kinds = {control::FailureSpec::Kind::kAbort,
                      control::FailureSpec::Kind::kDelay,
                      control::FailureSpec::Kind::kDisconnect};
-    } else if (flags.sweep == "service") {
+    } else if (sweep_mode == "service") {
       sweep.kinds = {control::FailureSpec::Kind::kCrash,
                      control::FailureSpec::Kind::kOverload};
-    } else if (flags.sweep == "infra") {
+    } else if (sweep_mode == "infra") {
       sweep.kinds = {control::FailureSpec::Kind::kInstanceCrash,
                      control::FailureSpec::Kind::kRollingPartition,
                      control::FailureSpec::Kind::kSlowNode};
-    } else if (flags.sweep == "all") {
+    } else if (sweep_mode == "all") {
       sweep.kinds = {control::FailureSpec::Kind::kAbort,
                      control::FailureSpec::Kind::kDelay,
                      control::FailureSpec::Kind::kOverload,
@@ -273,7 +294,7 @@ int cmd_campaign(const std::string& source, const CampaignFlags& flags) {
                      control::FailureSpec::Kind::kInstanceCrash,
                      control::FailureSpec::Kind::kRollingPartition,
                      control::FailureSpec::Kind::kSlowNode};
-    } else if (flags.sweep != "both") {
+    } else if (sweep_mode != "both") {
       std::fprintf(stderr,
                    "--sweep must be edge, service, infra, both, or all\n");
       return 2;
@@ -293,7 +314,7 @@ int cmd_campaign(const std::string& source, const CampaignFlags& flags) {
                    "<after>+<duration> (e.g. 10ms+50ms)\n");
       return 2;
     }
-    auto generated = campaign::generate_sweep(app, file->graph, sweep);
+    auto generated = campaign::generate_sweep(app, graph, sweep);
     experiments.insert(experiments.end(),
                        std::make_move_iterator(generated.begin()),
                        std::make_move_iterator(generated.end()));
@@ -325,8 +346,8 @@ int cmd_campaign(const std::string& source, const CampaignFlags& flags) {
   const campaign::CampaignResult result =
       campaign::CampaignRunner(options).run(experiments);
 
-  const report::CampaignReport rep =
-      report::build_campaign_report(result, "campaign");
+  const report::CampaignReport rep = report::build_campaign_report(
+      result, flags.app.empty() ? "campaign" : "campaign over " + flags.app);
   std::printf("%s", rep.to_markdown().c_str());
 
   if (!flags.report_path.empty()) {
@@ -538,17 +559,25 @@ int main(int argc, char** argv) {
     return cmd_search(flags);
   }
 
-  bool ok = false;
-  const std::string source = read_file(argv[2], &ok);
-  if (!ok) {
-    std::fprintf(stderr, "cannot open '%s'\n", argv[2]);
-    return 2;
+  // check/run always take a recipe file; campaign alternatively takes
+  // --app <name> (registry apps, including the parameterized mega forms).
+  const bool have_recipe = argv[2][0] != '-';
+  std::string source;
+  if (have_recipe) {
+    bool ok = false;
+    source = read_file(argv[2], &ok);
+    if (!ok) {
+      std::fprintf(stderr, "cannot open '%s'\n", argv[2]);
+      return 2;
+    }
   }
 
   CampaignFlags flags;
   bool with_traces = false;
-  for (int i = 3; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+  for (int i = have_recipe ? 3 : 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--app") == 0 && i + 1 < argc) {
+      flags.app = argv[++i];
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       flags.seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
       flags.seeds = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
@@ -575,10 +604,18 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (command == "check") return cmd_check(source);
-  if (command == "run") {
+  if (command == "check" || command == "run") {
+    if (!have_recipe || !flags.app.empty()) return usage();
+    if (command == "check") return cmd_check(source);
     return cmd_run(source, flags.seed, with_traces, flags.report_path);
   }
-  if (command == "campaign") return cmd_campaign(source, flags);
+  if (command == "campaign") {
+    if (have_recipe == !flags.app.empty()) {
+      std::fprintf(stderr,
+                   "campaign needs exactly one of <recipe-file> or --app\n");
+      return 2;
+    }
+    return cmd_campaign(source, flags);
+  }
   return usage();
 }
