@@ -1,0 +1,208 @@
+// Prefix-snapshot campaign execution: fork-and-restore on a windowed
+// mega-topology sweep (docs/PERFORMANCE.md).
+//
+// Two sections:
+//
+// 1. Windowed-sweep speedup gate. A generated sweep over a mega app where
+//    every fault activates at 80% of the load's natural length — the
+//    activation-window shape prefix snapshots exist for. Baseline = the
+//    warm-world path with snapshots disabled (--no-snapshot): every
+//    experiment re-simulates the identical fault-free prefix. New = the
+//    snapshot cache: the first experiment builds the prefix snapshot, every
+//    sibling restores it and simulates only the post-activation tail.
+//    Gate: >= 2x campaign wall clock, single-threaded so the ratio measures
+//    the execution path and not the scheduler.
+//
+// 2. Byte-identity matrix (gated unconditionally, even if section 1
+//    fails). Snapshots-on must equal snapshots-off, cold construction, and
+//    the heap-only scheduler — fingerprint() AND verdict_fingerprint() —
+//    with early exit on or off.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "campaign/experiment.h"
+#include "campaign/runner.h"
+#include "report/campaign_report.h"
+
+namespace {
+
+using namespace gremlin;  // NOLINT
+
+// 3 tiers x 6 wide mega app (19 services, default fan-out): big enough
+// that per-experiment cost is event processing, small enough that the
+// sweep's experiment count — not one experiment's length — dominates.
+campaign::AppSpec snapshot_app() { return campaign::AppSpec::mega(3, 6, 42); }
+
+// Windowed sweep: open-loop load of 300 requests at 1ms spacing runs
+// ~300ms of virtual time; every fault activates at 240ms (80%), so 80% of
+// each experiment is the shared fault-free prefix.
+std::vector<campaign::Experiment> windowed_sweep() {
+  const campaign::AppSpec app = snapshot_app();
+  campaign::SweepOptions sweep;
+  sweep.load.count = 300;
+  sweep.load.gap = msec(1);
+  sweep.windows.push_back({msec(240), Duration{}});
+  return campaign::generate_sweep(app, app.probe_graph(), sweep);
+}
+
+campaign::RunnerOptions options(bool snapshots, bool early_exit = false,
+                                bool warm = true, bool wheel = true) {
+  campaign::RunnerOptions o;
+  o.threads = 1;
+  o.early_exit = early_exit;
+  o.warm_worlds = warm;
+  o.use_snapshots = snapshots;
+  o.use_timer_wheel = wheel;
+  return o;
+}
+
+double wall_s(const campaign::CampaignResult& result) {
+  return to_millis(result.wall_clock) / 1e3;
+}
+
+// Best-of-two (shortest wall clock): noise only ever slows a run down, so
+// the faster repetition is the truer measurement.
+campaign::CampaignResult run_best(
+    const std::vector<campaign::Experiment>& experiments,
+    const campaign::RunnerOptions& opts) {
+  const campaign::CampaignRunner runner(opts);
+  campaign::CampaignResult best = runner.run(experiments);
+  campaign::CampaignResult second = runner.run(experiments);
+  if (second.wall_clock < best.wall_clock) best = std::move(second);
+  return best;
+}
+
+int run_speedup_gate(const std::vector<campaign::Experiment>& experiments,
+                     std::string* baseline_fp, std::string* baseline_vfp) {
+  auto& rows = benchjson::Rows::instance();
+  std::printf("## Windowed mega-topology sweep (%zu experiments, faults "
+              "activate at 80%% of the run)\n",
+              experiments.size());
+
+  const campaign::CampaignResult baseline =
+      run_best(experiments, options(/*snapshots=*/false));
+  const campaign::CampaignResult snap =
+      run_best(experiments, options(/*snapshots=*/true));
+  *baseline_fp = baseline.fingerprint();
+  *baseline_vfp = baseline.verdict_fingerprint();
+
+  const report::CampaignReport rep =
+      report::build_campaign_report(snap, "bench_snapshot");
+  const double base_s = wall_s(baseline);
+  const double snap_s = wall_s(snap);
+  const double speedup = snap_s > 0 ? base_s / snap_s : 0;
+  const double base_eps = base_s > 0 ? experiments.size() / base_s : 0;
+  const double snap_eps = snap_s > 0 ? experiments.size() / snap_s : 0;
+
+  std::printf("  no-snapshot (warm): %.3fs (%.1f experiments/s)\n", base_s,
+              base_eps);
+  std::printf("  prefix snapshots:   %.3fs (%.1f experiments/s), "
+              "%zu hits / %zu misses, %llu prefix events skipped\n",
+              snap_s, snap_eps, rep.snapshot_hits, rep.snapshot_misses,
+              static_cast<unsigned long long>(rep.prefix_events_skipped));
+  std::printf("  speedup: %.2fx\n\n", speedup);
+
+  rows.add("snapshot/windowed_sweep/no_snapshot", "wall", base_s, "s");
+  rows.add("snapshot/windowed_sweep/no_snapshot", "experiments_per_second",
+           base_eps, "1/s");
+  rows.add("snapshot/windowed_sweep/snapshots", "wall", snap_s, "s");
+  rows.add("snapshot/windowed_sweep/snapshots", "experiments_per_second",
+           snap_eps, "1/s");
+  rows.add("snapshot/windowed_sweep/snapshots", "snapshot_hits",
+           static_cast<double>(rep.snapshot_hits), "count");
+  rows.add("snapshot/windowed_sweep/snapshots", "prefix_events_skipped",
+           static_cast<double>(rep.prefix_events_skipped), "count");
+  rows.add("snapshot/gate", "speedup", speedup, "x");
+
+  // The snapshot run must actually have taken the snapshot path: a silent
+  // eligibility regression would "pass" the identity gate by running the
+  // baseline twice.
+  if (rep.snapshot_hits == 0) {
+    std::fprintf(stderr, "FAIL: snapshot run recorded no cache hits — the "
+                         "windowed sweep did not engage the snapshot path\n");
+    return 1;
+  }
+  if (snap.fingerprint() != *baseline_fp ||
+      snap.verdict_fingerprint() != *baseline_vfp) {
+    std::fprintf(stderr, "FAIL: snapshot campaign not byte-identical to the "
+                         "no-snapshot baseline\n");
+    return 1;
+  }
+  if (speedup < 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: windowed-sweep speedup %.2fx below the 2.0x gate\n",
+                 speedup);
+    return 1;
+  }
+  return 0;
+}
+
+int run_identity_matrix(const std::vector<campaign::Experiment>& experiments,
+                        const std::string& ref_fp,
+                        const std::string& ref_vfp) {
+  auto& rows = benchjson::Rows::instance();
+  std::printf("## Byte-identity matrix\n");
+
+  bool all_identical = true;
+  auto check = [&](const std::string& label,
+                   const campaign::CampaignResult& result) {
+    const bool identical = result.fingerprint() == ref_fp &&
+                           result.verdict_fingerprint() == ref_vfp;
+    all_identical = all_identical && identical;
+    std::printf("  %-32s byte-identical=%s\n", label.c_str(),
+                identical ? "yes" : "NO (DETERMINISM BUG)");
+    rows.add("snapshot/identity/" + label, "byte_identical",
+             identical ? 1.0 : 0.0, "bool");
+  };
+
+  check("snapshots,wheel=off",
+        campaign::CampaignRunner(options(true, false, true, false))
+            .run(experiments));
+  check("cold", campaign::CampaignRunner(options(false, false, false))
+                    .run(experiments));
+
+  // Early exit on: snapshots-on and snapshots-off must still agree with
+  // each other (early-terminated counters differ from the full run, so the
+  // reference here is the snapshots-off early-exit campaign).
+  const campaign::CampaignResult early_off =
+      campaign::CampaignRunner(options(false, true)).run(experiments);
+  const campaign::CampaignResult early_on =
+      campaign::CampaignRunner(options(true, true)).run(experiments);
+  const bool early_identical =
+      early_on.fingerprint() == early_off.fingerprint() &&
+      early_on.verdict_fingerprint() == early_off.verdict_fingerprint();
+  all_identical = all_identical && early_identical;
+  std::printf("  %-32s byte-identical=%s\n", "early_exit pair",
+              early_identical ? "yes" : "NO (DETERMINISM BUG)");
+  rows.add("snapshot/identity/early_exit_pair", "byte_identical",
+           early_identical ? 1.0 : 0.0, "bool");
+  std::printf("\n");
+
+  if (!all_identical) {
+    std::fprintf(stderr, "FAIL: snapshot campaign results not "
+                         "byte-identical across the matrix\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  auto& rows = benchjson::Rows::instance();
+  rows.parse_args(&argc, argv);
+  std::printf("# Prefix snapshots — fork-and-restore campaign execution\n\n");
+  const auto experiments = windowed_sweep();
+  std::string ref_fp;
+  std::string ref_vfp;
+  const int gate_rc = run_speedup_gate(experiments, &ref_fp, &ref_vfp);
+  // Identity is gated unconditionally — a fast-but-wrong path must fail
+  // loudly even when the speedup gate already failed.
+  const int matrix_rc = run_identity_matrix(experiments, ref_fp, ref_vfp);
+  const int rc = gate_rc != 0 ? gate_rc : matrix_rc;
+  if (!rows.write()) return 1;
+  return rc;
+}

@@ -93,7 +93,7 @@ size_t ring_push(SharedControl* ctl, const Range* ranges, size_t n) {
   return pushed;
 }
 
-std::vector<Range> ring_snapshot(SharedControl* ctl) {
+std::vector<Range> ring_ranges(SharedControl* ctl) {
   RingLock lock(ctl);
   return std::vector<Range>(ctl->ring, ctl->ring + ctl->ring_count);
 }
@@ -265,6 +265,7 @@ CampaignResult run_multiproc(const std::vector<Experiment>& experiments,
   exec.keep_latencies = options.keep_latencies;
   exec.early_exit = options.early_exit;
   exec.use_timer_wheel = options.use_timer_wheel;
+  exec.use_snapshots = options.use_snapshots;
 
   // Everything below degrades to "parent runs it inline" — fork failure,
   // ring overflow, total worker die-off all land in these helpers.
@@ -382,7 +383,7 @@ CampaignResult run_multiproc(const std::vector<Experiment>& experiments,
       if (!w.alive) continue;
       for (const Range& r : w.announced) mark_covered(&covered, r);
     }
-    for (const Range& r : ring_snapshot(ctl)) mark_covered(&covered, r);
+    for (const Range& r : ring_ranges(ctl)) mark_covered(&covered, r);
     std::vector<uint64_t> lost;
     for (uint64_t i = 0; i < cursor; ++i) {
       if (!delivered[i] && !covered[i]) lost.push_back(i);

@@ -37,6 +37,8 @@ void encode_result(const ExperimentResult& result, wire::Writer* w) {
   w->u64(result.requests);
   w->u64(result.failures);
   w->boolean(result.early_terminated);
+  w->u8(result.snapshot_path);
+  w->u64(result.prefix_events_skipped);
   w->u64(result.latencies.size());
   for (const Duration d : result.latencies) w->i64(d.count());
   w->u64(result.statuses.size());
@@ -65,6 +67,8 @@ bool decode_result(wire::Reader* r, ExperimentResult* result) {
   out.requests = r->u64();
   out.failures = r->u64();
   out.early_terminated = r->boolean();
+  out.snapshot_path = r->u8();
+  out.prefix_events_skipped = r->u64();
   const uint64_t latencies = r->u64();
   if (!r->ok() || latencies > r->remaining()) return false;
   out.latencies.reserve(latencies);

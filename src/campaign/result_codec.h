@@ -27,7 +27,7 @@ namespace gremlin::campaign {
 // infra-level scenarios) changed what campaigns produce; rejecting v1
 // frames keeps a skewed binary from silently merging results computed under
 // the old vocabulary.
-inline constexpr uint8_t kResultWireVersion = 2;
+inline constexpr uint8_t kResultWireVersion = 3;  // v3: snapshot stats
 
 // FaultRule codec version, bumped independently of the result layout.
 inline constexpr uint8_t kRuleWireVersion = 1;

@@ -348,6 +348,7 @@ CampaignResult CampaignRunner::run(
   exec.keep_latencies = options_.keep_latencies;
   exec.early_exit = options_.early_exit;
   exec.use_timer_wheel = options_.use_timer_wheel;
+  exec.use_snapshots = options_.use_snapshots;
 
   std::mutex result_mu;  // guards options_.on_result only
   auto finish = [&](ExperimentResult&& r, size_t index) {

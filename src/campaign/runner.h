@@ -73,6 +73,15 @@ struct RunnerOptions {
   // heap-only schedule.
   bool use_timer_wheel = true;
 
+  // Prefix-snapshot execution (campaign/snapshot_exec.h): experiments whose
+  // fault rules all activate at `after > 0` share the fault-free prefix —
+  // each warm world simulates it once, snapshots, and restores siblings
+  // from the snapshot instead of replaying from t=0. Byte-identical —
+  // fingerprint() and verdict_fingerprint() both — to the warm-world path;
+  // experiments with immediate faults (or custom bodies, or non-reusable
+  // specs) degrade to that path automatically. --no-snapshot disables.
+  bool use_snapshots = true;
+
   // Optional progress hook, invoked after each experiment completes.
   // Called from worker threads under an internal mutex — keep it cheap.
   std::function<void(const struct ExperimentResult&)> on_result;
@@ -104,6 +113,10 @@ struct ExecOptions {
   // Scheduler selection for the private Simulation (RunnerOptions
   // docs; results are byte-identical either way).
   bool use_timer_wheel = true;
+
+  // Prefix-snapshot execution in warm worlds (RunnerOptions docs;
+  // byte-identical either way).
+  bool use_snapshots = true;
 };
 
 // Outcome of one experiment.
@@ -127,6 +140,13 @@ struct ExperimentResult {
   // Deliberately NOT part of fingerprint(): it describes how the result
   // was obtained, not what the experiment observed.
   bool early_terminated = false;
+
+  // How the experiment executed (like early_terminated, NOT fingerprinted):
+  // 0 = normal path, 1 = built a prefix snapshot (cache miss), 2 = restored
+  // from one (cache hit). prefix_events_skipped counts the prefix events a
+  // hit did not re-simulate.
+  uint8_t snapshot_path = 0;
+  uint64_t prefix_events_skipped = 0;
 
   bool passed() const { return ok && checks_passed == checks.size(); }
 

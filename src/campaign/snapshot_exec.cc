@@ -1,0 +1,283 @@
+#include "campaign/snapshot_exec.h"
+
+#include <functional>
+#include <utility>
+
+#include "control/collector.h"
+#include "control/online.h"
+#include "control/recipe.h"
+
+namespace gremlin::campaign {
+
+namespace {
+
+// One tick of the virtual clock (TimePoint resolution): the snapshot sits
+// at the last instant provably untouched by any rule. Events AT the
+// activation time must already see the rules installed, so the prefix runs
+// `run_until(t_act - kTick)`.
+constexpr Duration kTick = Duration(1);
+
+void append_load_key(std::string* key, const control::LoadOptions& load) {
+  *key += std::to_string(load.count);
+  *key += '|';
+  *key += std::to_string(load.gap.count());
+  *key += '|';
+  *key += load.id_prefix;
+  *key += '|';
+  *key += load.uri;
+  *key += '|';
+  *key += load.method;
+  *key += '|';
+  *key += load.body;
+  *key += '|';
+  *key += load.closed_loop ? '1' : '0';
+  *key += '|';
+  *key += std::to_string(load.horizon.count());
+  *key += '|';
+}
+
+}  // namespace
+
+std::optional<ExperimentResult> SnapshotCache::run(
+    const Experiment& experiment, sim::Simulation* sim,
+    const topology::AppGraph* graph, control::RuleCache* rule_cache,
+    const ExecOptions& exec) {
+  // --- eligibility --------------------------------------------------------
+  if (experiment.custom || experiment.failures.empty()) return std::nullopt;
+  Duration min_after = experiment.failures.front().after;
+  for (const auto& spec : experiment.failures) {
+    // InstanceCrash schedules outage events at apply() time — they would
+    // belong inside the prefix, so the prefix is not fault-free for it.
+    if (spec.kind == control::FailureSpec::Kind::kInstanceCrash) {
+      return std::nullopt;
+    }
+    if (spec.after < min_after) min_after = spec.after;
+  }
+  if (min_after < kTick) return std::nullopt;  // immediate fault: no prefix
+  if (experiment.load.horizon > kDurationZero &&
+      min_after > experiment.load.horizon) {
+    // The snapshot instant would lie beyond the run horizon.
+    return std::nullopt;
+  }
+
+  // Resolve the load target exactly as run_prepared would; an unresolvable
+  // target degrades to the warm path, which surfaces the error identically.
+  std::string target = experiment.target;
+  if (target.empty()) {
+    for (const auto& entry : graph->entry_points()) {
+      if (entry != experiment.client) {
+        target = entry;
+        break;
+      }
+    }
+  }
+  if (target.empty()) {
+    for (const auto& edge : graph->edges()) {
+      if (edge.src == experiment.client) {
+        target = edge.dst;
+        break;
+      }
+    }
+  }
+  if (target.empty()) return std::nullopt;
+
+  const TimePoint t_act = TimePoint{} + min_after;
+  const TimePoint t_snap = t_act - kTick;
+
+  // --- cache lookup -------------------------------------------------------
+  std::string key = std::to_string(experiment.seed);
+  key += '|';
+  append_load_key(&key, experiment.load);
+  key += experiment.client;
+  key += '|';
+  key += target;
+
+  Entry* entry = nullptr;
+  for (auto& e : entries_) {
+    if (e->key == key) {
+      entry = e.get();
+      break;
+    }
+  }
+  // Reusable only when the cached snapshot predates this experiment's
+  // activation: running the restored world through an inert armed-rules
+  // segment up to t_act is byte-identical to snapshotting later. A
+  // snapshot AT or AFTER t_act overshoots — rebuild at the earlier instant
+  // (the entry converges to the sweep's minimum activation).
+  const bool rebuild = entry == nullptr || entry->t_snap >= t_act;
+
+  if (rebuild) {
+    if (entry == nullptr) {
+      if (entries_.size() >= kMaxEntries) entries_.erase(entries_.begin());
+      entries_.push_back(std::make_unique<Entry>());
+      entry = entries_.back().get();
+      entry->key = std::move(key);
+    }
+    ++misses_;
+    // Drop the old snapshot before the driver its saved actions reference.
+    entry->snap = sim::SimSnapshot{};
+    entry->response_tape.clear();
+    entry->prefix_result = control::LoadResult{};
+
+    // Fault-free prefix: a freshly reset world, NO rules installed, the
+    // load scheduled exactly as run_load schedules it, run to the last
+    // pre-activation instant.
+    sim->reset(experiment.seed);
+    sim->begin_snapshot_capture();
+    entry->driver = std::make_unique<control::LoadDriver>(
+        sim, experiment.client, target, experiment.load);
+    entry->prefix_result.latencies.resize(experiment.load.count);
+    entry->prefix_result.statuses.resize(experiment.load.count);
+    entry->driver->bind(&entry->prefix_result,
+                        [tape = &entry->response_tape](bool failed) {
+                          tape->push_back(failed);
+                        });
+    entry->driver->schedule_all();
+    sim->run_until(t_snap);  // no stop sources: never ends early
+    entry->events_at_snapshot = sim->events_processed();
+    entry->t_snap = t_snap;
+    entry->snap = sim->snapshot();
+    sim->end_snapshot_capture();
+    entry->driver->bind(nullptr, {});
+  }
+
+  // --- early-exit tape replay (before touching the sim) -------------------
+  control::OnlineChecker online;
+  bool use_online = exec.early_exit && !experiment.checks.empty();
+  if (use_online) {
+    for (const auto& spec : experiment.checks) {
+      online.add(spec.incremental(graph, experiment.load.count));
+    }
+    if (!online.all_incremental()) use_online = false;
+  }
+  if (use_online) {
+    // The prefix appends nothing to the store (the collector only drains
+    // at the end of a run), so mid-prefix stops can only come from user
+    // responses: the tape reconstructs them exactly.
+    for (const bool failed : entry->response_tape) {
+      online.on_user_response(failed);
+      if (online.all_decided()) {
+        // A cold run would have stopped inside the prefix; that partial
+        // run cannot be reproduced from the snapshot.
+        return std::nullopt;
+      }
+    }
+  }
+  if (!rebuild) {
+    ++hits_;
+    prefix_events_skipped_ += entry->events_at_snapshot;
+  }
+
+  // --- restore + run the experiment from the snapshot ---------------------
+  ExperimentResult result;
+  result.id = experiment.id;
+  result.seed = experiment.seed;
+  result.snapshot_path = rebuild ? 1 : 2;
+  if (!rebuild) result.prefix_events_skipped = entry->events_at_snapshot;
+
+  sim->restore(entry->snap);
+  control::TestSession session(sim, graph);
+
+  // Rules carry absolute activation offsets, and pre-window matching is
+  // side-effect-free — installing them at t_snap is equivalent to
+  // installing them at t=0.
+  for (const auto& spec : experiment.failures) {
+    auto installed = session.apply(spec, rule_cache);
+    if (!installed.ok()) {
+      result.error = "apply " + std::string(spec.kind_name()) + ": " +
+                     installed.error().message;
+      return result;
+    }
+    result.rules_installed += installed.value();
+  }
+
+  // Sibling result starts from the prefix's partial outcome.
+  control::LoadResult load = entry->prefix_result;
+
+  const bool wants_records = use_online && online.wants_records();
+  const bool suppress_records =
+      use_online && !exec.preserve_log && !wants_records;
+  const bool bounded =
+      wants_records && !exec.preserve_log && exec.retention_limit > 0;
+  const bool stream = wants_records;
+
+  std::optional<control::SimStreamCollector> collector;
+  if (stream) {
+    // Constructed but never start()ed: the queue is non-empty after a
+    // restore, so arming would schedule periodic drains a cold run (whose
+    // queue is empty at start()) never schedules. Only the final
+    // drain_now() below ships records — exactly the cold behaviour.
+    collector.emplace(sim, control::SimStreamCollector::Mode::kAppendToStore,
+                      exec.stream_interval);
+  }
+  if (suppress_records) sim->set_recording(false);
+  if (wants_records) {
+    sim->log_store().set_observer(
+        [&online, sim](const logstore::LogRecord& record) {
+          online.offer(record);
+          if (online.all_decided()) sim->request_stop();
+        });
+    if (bounded) sim->log_store().set_retention_limit(exec.retention_limit);
+  }
+  std::function<void(bool)> observer;
+  if (use_online) {
+    observer = [&online, sim](bool failed) {
+      online.on_user_response(failed);
+      if (online.all_decided()) sim->request_stop();
+    };
+  }
+  entry->driver->bind(&load, std::move(observer));
+
+  if (experiment.load.horizon > kDurationZero) {
+    // Absolute deadline: cold computes now() + horizon at now == 0.
+    sim->run_until(TimePoint{} + experiment.load.horizon);
+  } else {
+    sim->run();
+  }
+  load.stopped_early = sim->stop_requested();
+  result.requests = load.total();
+  result.failures = load.failures;
+  result.early_terminated = load.stopped_early;
+  if (exec.keep_latencies) {
+    result.latencies = load.latencies;
+    result.statuses = load.statuses;
+  }
+
+  if (stream) collector->drain_now();  // final flush feeds the checks' tail
+  if (wants_records) {
+    sim->log_store().set_observer(nullptr);
+    sim->log_store().set_retention_limit(0);
+  }
+  if (suppress_records) sim->set_recording(true);
+  sim->cancel_pending();
+  entry->driver->bind(nullptr, {});
+
+  const bool skip_collect = use_online && !exec.preserve_log;
+  if (!skip_collect) {
+    auto collected = session.collect();
+    if (!collected.ok()) {
+      result.error = "collect: " + collected.error().message;
+      return result;
+    }
+  }
+
+  if (use_online) {
+    const control::LoadSummary summary{load.total(), load.failures};
+    for (size_t i = 0; i < online.size(); ++i) {
+      control::CheckResult outcome = online.check(i)->finalize(summary);
+      if (outcome.passed) ++result.checks_passed;
+      result.checks.push_back(std::move(outcome));
+    }
+  } else {
+    const control::AssertionChecker checker = session.checker();
+    for (const auto& check : experiment.checks) {
+      control::CheckResult outcome = check.evaluate(checker, load);
+      if (outcome.passed) ++result.checks_passed;
+      result.checks.push_back(std::move(outcome));
+    }
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace gremlin::campaign

@@ -9,7 +9,8 @@ ExperimentResult WarmWorld::run(const Experiment& experiment,
     // deployment in ways reset() cannot undo.
     return CampaignRunner::run_one(experiment, exec);
   }
-  if (sim_ == nullptr) {
+  const bool fresh = sim_ == nullptr;
+  if (fresh) {
     sim::SimulationConfig cfg;
     cfg.seed = experiment.seed;
     cfg.event_pool = event_pool_;
@@ -17,7 +18,17 @@ ExperimentResult WarmWorld::run(const Experiment& experiment,
     cfg.use_timer_wheel = exec.use_timer_wheel;
     sim_ = std::make_unique<sim::Simulation>(cfg);
     graph_ = app_.instantiate(sim_.get());
-  } else {
+  }
+  if (exec.use_snapshots) {
+    if (auto result = snapshot_cache_.run(experiment, sim_.get(), &graph_,
+                                          &rule_cache_, exec)) {
+      ++runs_;
+      return std::move(*result);
+    }
+    // Ineligible (or not reproducible from a snapshot); the attempt may
+    // have dirtied the sim, so reset before the normal warm path.
+    sim_->reset(experiment.seed);
+  } else if (!fresh) {
     sim_->reset(experiment.seed);
   }
   ++runs_;

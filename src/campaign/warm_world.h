@@ -25,6 +25,7 @@
 #include <memory>
 
 #include "campaign/runner.h"
+#include "campaign/snapshot_exec.h"
 #include "control/rule_cache.h"
 #include "sim/simulation.h"
 #include "topology/graph.h"
@@ -53,6 +54,8 @@ class WarmWorld {
   const control::RuleCache& rule_cache() const { return rule_cache_; }
   // Experiments executed warm (excludes cold fallbacks).
   size_t runs() const { return runs_; }
+  // Prefix-snapshot cache stats (campaign reporting).
+  const SnapshotCache& snapshots() const { return snapshot_cache_; }
 
  private:
   AppSpec app_;
@@ -61,6 +64,9 @@ class WarmWorld {
   std::unique_ptr<sim::Simulation> sim_;
   topology::AppGraph graph_;
   control::RuleCache rule_cache_;
+  // Declared after sim_ so it is destroyed first: cache entries pin
+  // request-path objects whose destructors unlink from the simulation.
+  SnapshotCache snapshot_cache_;
   size_t runs_ = 0;
 };
 

@@ -1,0 +1,57 @@
+#include "control/load_driver.h"
+
+namespace gremlin::control {
+
+LoadDriver::LoadDriver(sim::Simulation* sim, const std::string& client,
+                       const std::string& target, LoadOptions options)
+    : sim_(sim),
+      client_(client),
+      target_(target),
+      options_(std::move(options)) {}
+
+void LoadDriver::bind(LoadResult* result,
+                      std::function<void(bool failed)> observer) {
+  result_ = result;
+  observer_ = std::move(observer);
+}
+
+void LoadDriver::schedule_all() {
+  if (options_.closed_loop) {
+    send(0);
+    return;
+  }
+  for (size_t i = 0; i < options_.count; ++i) {
+    const TimePoint at = sim_->now() + options_.gap * static_cast<int64_t>(i);
+    sim_->schedule_at(at, [this, i] { send(i); });
+  }
+}
+
+void LoadDriver::send(size_t i) {
+  if (i >= options_.count) return;
+  sim::SimRequest req;
+  req.request_id = options_.id_prefix + std::to_string(i);
+  req.uri = options_.uri;
+  req.method = options_.method;
+  req.body = options_.body;
+  const TimePoint sent = sim_->now();
+  sim_->inject(client_, target_, std::move(req),
+               [this, i, sent](const sim::SimResponse& resp) {
+                 on_response(i, sent, resp);
+               });
+}
+
+void LoadDriver::on_response(size_t i, TimePoint sent,
+                             const sim::SimResponse& resp) {
+  result_->latencies[i] = sim_->now() - sent;
+  result_->statuses[i] =
+      resp.connection_reset || resp.timed_out ? 0 : resp.status;
+  ++result_->completed;
+  if (resp.failed()) ++result_->failures;
+  if (observer_) observer_(resp.failed());
+  if (options_.closed_loop) {
+    // Issue request i+1 only once request i completed (run_load's shape).
+    sim_->schedule_timer(options_.gap, [this, i] { send(i + 1); });
+  }
+}
+
+}  // namespace gremlin::control

@@ -1,0 +1,57 @@
+// LoadDriver: a re-bindable test-load injector for prefix-snapshot runs.
+//
+// TestSession::run_load's closures capture their LoadResult handle directly,
+// which ties every scheduled event to one result object. A snapshotted
+// prefix needs the opposite: the injection closures live inside saved event
+// actions and are re-run by every sibling experiment restored from the
+// snapshot, each with its own LoadResult. The driver owns the injection
+// logic behind a stable `this` (the SnapshotCache keeps it at a fixed heap
+// address for the snapshot's lifetime) and exposes bind() to point the
+// in-flight closures at the current sibling's result sink and response
+// observer. Scheduling, request construction, and result accounting mirror
+// run_load exactly — same events, same times, same order — so a driver-fed
+// run is byte-identical to a run_load-fed one.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/intern.h"
+#include "control/recipe.h"
+#include "sim/simulation.h"
+
+namespace gremlin::control {
+
+class LoadDriver {
+ public:
+  LoadDriver(sim::Simulation* sim, const std::string& client,
+             const std::string& target, LoadOptions options);
+
+  LoadDriver(const LoadDriver&) = delete;
+  LoadDriver& operator=(const LoadDriver&) = delete;
+
+  // Points the in-flight closures at a new result sink (pre-sized to
+  // options().count) and response observer. Call before each run segment;
+  // bind(nullptr, {}) detaches after one.
+  void bind(LoadResult* result, std::function<void(bool failed)> observer);
+
+  // Schedules the configured requests exactly as run_load would: open loop
+  // schedules all arrivals up front, closed loop issues request 0
+  // synchronously and chains the rest off responses.
+  void schedule_all();
+
+  const LoadOptions& options() const { return options_; }
+
+ private:
+  void send(size_t i);
+  void on_response(size_t i, TimePoint sent, const sim::SimResponse& resp);
+
+  sim::Simulation* sim_;
+  Symbol client_;
+  Symbol target_;
+  LoadOptions options_;
+  LoadResult* result_ = nullptr;
+  std::function<void(bool failed)> observer_;
+};
+
+}  // namespace gremlin::control

@@ -27,6 +27,14 @@ Json CampaignReport::to_json() const {
   j["procs"] = static_cast<int64_t>(procs);
   j["wall_clock_us"] = wall_clock.count();
   j["early_terminated"] = static_cast<int64_t>(early_terminated);
+  j["snapshot_hits"] = static_cast<int64_t>(snapshot_hits);
+  j["snapshot_misses"] = static_cast<int64_t>(snapshot_misses);
+  j["prefix_events_skipped"] = static_cast<int64_t>(prefix_events_skipped);
+  if (latency.count > 0) {
+    j["latency_p50_us"] = latency.p50.count();
+    j["latency_p90_us"] = latency.p90.count();
+    j["latency_p99_us"] = latency.p99.count();
+  }
   j["verdict_fingerprint"] = verdict_fingerprint;
   j["result_fingerprint"] = result_fingerprint;
   Json rows_json = Json::array();
@@ -72,6 +80,12 @@ std::string CampaignReport::to_markdown() const {
   if (procs > 1) out += std::to_string(procs) + " procs × ";
   out += std::to_string(threads) + " threads, " + fmt_ms(wall_clock) +
          " wall clock)\n\n";
+  if (snapshot_hits + snapshot_misses > 0) {
+    out += "snapshots: " + std::to_string(snapshot_hits) + " hits / " +
+           std::to_string(snapshot_misses) + " misses, " +
+           std::to_string(prefix_events_skipped) +
+           " prefix events skipped\n\n";
+  }
 
   // Failures first — the reason the campaign ran.
   if (failed > 0 || errors > 0) {
@@ -131,8 +145,13 @@ CampaignReport build_campaign_report(const campaign::CampaignResult& result,
     report.result_fingerprint = buf;
   }
   report.rows.reserve(report.total);
+  workload::StreamingSummary campaign_latency;
   for (const auto& e : result.experiments) {
     if (e.early_terminated) ++report.early_terminated;
+    if (e.snapshot_path == 1) ++report.snapshot_misses;
+    if (e.snapshot_path == 2) ++report.snapshot_hits;
+    report.prefix_events_skipped += e.prefix_events_skipped;
+    for (const Duration d : e.latencies) campaign_latency.add(d);
     ExperimentRow row;
     row.id = e.id;
     row.seed = e.seed;
@@ -149,6 +168,7 @@ CampaignReport build_campaign_report(const campaign::CampaignResult& result,
     }
     report.rows.push_back(std::move(row));
   }
+  report.latency = campaign_latency.summary();
   return report;
 }
 

@@ -37,6 +37,19 @@ struct CampaignReport {
   size_t failed = 0;  // ran, but at least one check failed
   size_t errors = 0;  // infrastructure error (translate/install/collect)
   size_t early_terminated = 0;  // stopped early by online checking
+
+  // Prefix-snapshot cache effectiveness (campaign/snapshot_exec.h):
+  // experiments that restored a shared fault-free prefix (hits), built one
+  // (misses), and the total prefix events hits did not re-simulate.
+  size_t snapshot_hits = 0;
+  size_t snapshot_misses = 0;
+  uint64_t prefix_events_skipped = 0;
+
+  // Campaign-level per-request latency quantiles, streamed (P² estimators)
+  // over every request of every experiment that kept latencies; count == 0
+  // when latencies were dropped.
+  workload::Summary latency;
+
   int threads = 1;
   int procs = 1;  // worker processes (multi-process sharding)
   Duration wall_clock{};

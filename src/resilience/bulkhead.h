@@ -35,6 +35,22 @@ class Bulkhead {
     rejected_ = 0;
   }
 
+  // Snapshot support: the mutable fields, detached from the const capacity
+  // and the mutex (a Bulkhead itself is not copyable).
+  struct State {
+    int in_flight = 0;
+    uint64_t rejected = 0;
+  };
+  State capture() const {
+    std::lock_guard lock(mu_);
+    return State{in_flight_, rejected_};
+  }
+  void restore(const State& state) {
+    std::lock_guard lock(mu_);
+    in_flight_ = state.in_flight;
+    rejected_ = state.rejected;
+  }
+
  private:
   const int max_concurrent_;
   mutable std::mutex mu_;

@@ -344,6 +344,64 @@ void EventQueue::release_wheel_entries() {
   wheel_pending_ = 0;
 }
 
+void EventQueue::save_events(std::vector<SavedEvent>* out) const {
+  out->clear();
+  out->reserve(size());
+  for (const Entry& e : heap_) {
+    out->push_back(SavedEvent{e.at, e.seq, pool_->action(e.idx)});
+  }
+  for (size_t i = 0; i < lanes_used_; ++i) {
+    const Ring& fifo = lanes_[i].fifo;
+    for (size_t j = 0; j < fifo.size(); ++j) {
+      const Entry& e = fifo.at(j);
+      out->push_back(SavedEvent{e.at, e.seq, pool_->action(e.idx)});
+    }
+  }
+  // Wheel walk: occupied L0 slots via the summary bitmap, then live L1
+  // windows — the release_wheel_entries traversal, copying instead of
+  // releasing.
+  uint64_t summary = l0_summary_;
+  while (summary != 0) {
+    const size_t word = static_cast<size_t>(std::countr_zero(summary));
+    summary &= summary - 1;
+    uint64_t bits = l0_bits_[word];
+    while (bits != 0) {
+      const size_t slot =
+          (word << 6) | static_cast<size_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      for (uint32_t n = l0_[slot].head; n != kNil; n = wnodes_[n].next) {
+        const Entry& e = wnodes_[n].entry;
+        out->push_back(SavedEvent{e.at, e.seq, pool_->action(e.idx)});
+      }
+    }
+  }
+  uint64_t live = l1_bits_;
+  while (live != 0) {
+    const size_t l1 = static_cast<size_t>(std::countr_zero(live));
+    live &= live - 1;
+    for (uint32_t n = l1_[l1].head; n != kNil; n = wnodes_[n].next) {
+      const Entry& e = wnodes_[n].entry;
+      out->push_back(SavedEvent{e.at, e.seq, pool_->action(e.idx)});
+    }
+  }
+}
+
+void EventQueue::restore_events(const std::vector<SavedEvent>& events,
+                                uint64_t next_seq) {
+  clear();
+  heap_.reserve(events.size());
+  for (const SavedEvent& ev : events) {
+    const uint32_t idx = pool_->acquire();
+    pool_->action(idx) = ev.action;
+    heap_.push_back(Entry{ev.at, ev.seq, idx});
+    sift_up(heap_.size() - 1);
+  }
+  // The wheel cursor restarted at window 0 (clear); the first pop's
+  // advance_to jumps it to the popping time, and every event scheduled from
+  // then on routes exactly as a cold run would.
+  next_seq_ = next_seq;
+}
+
 void EventQueue::clear() {
   for (const Entry& e : heap_) pool_->release(e.idx);
   heap_.clear();

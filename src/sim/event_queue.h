@@ -98,6 +98,7 @@ class EventPool {
   }
 
   Action& action(uint32_t idx) { return node(idx).action; }
+  const Action& action(uint32_t idx) const { return node(idx).action; }
 
   size_t capacity() const { return slabs_.size() * kSlabSize; }
 
@@ -186,6 +187,30 @@ class EventQueue {
 
   // Events currently resident in the wheel (tests / benchmarks).
   size_t wheel_size() const { return wheel_pending_; }
+
+  // --- snapshot support (sim/snapshot.h) ---
+  // One pending event, flattened out of whichever structure held it. The
+  // action is a value copy: EventPool::Action is copyable, and the copy
+  // shares the shared_ptr-held request objects the original captured.
+  struct SavedEvent {
+    TimePoint at{};
+    uint64_t seq = 0;
+    Action action;
+  };
+
+  // Copies every pending event (heap + lanes + wheel) into `out`, leaving
+  // the queue untouched. Order within `out` is unspecified; the (at, seq)
+  // keys carry the schedule.
+  void save_events(std::vector<SavedEvent>* out) const;
+
+  // Replaces the queue's contents with `events` (all into the heap — the
+  // wheel cursor and lane table restart cold, and placement never affects
+  // the (at, seq) pop order) and sets the insertion sequence, so events
+  // scheduled after the restore get the same seqs a cold run would assign.
+  void restore_events(const std::vector<SavedEvent>& events,
+                      uint64_t next_seq);
+
+  uint64_t next_seq() const { return next_seq_; }
 
   // --- pool introspection (tests / benchmarks) ---
   size_t pool_capacity() const { return pool_->capacity(); }

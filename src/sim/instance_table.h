@@ -18,6 +18,7 @@
 // caches — stays on the ServiceInstance.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -63,6 +64,22 @@ class InstanceTable {
   }
   uint32_t server_queue_peak(uint32_t slot) const {
     return server_queue_peak_[slot];
+  }
+
+  // Snapshot support: copies the first snap.size() slots wholesale and
+  // zeroes any slots added after the snapshot was taken (topology is
+  // append-only, so slot assignments never shift).
+  void restore_from(const InstanceTable& snap) {
+    const size_t n = snap.size();
+    std::copy_n(snap.down_.begin(), n, down_.begin());
+    std::copy_n(snap.server_in_flight_.begin(), n, server_in_flight_.begin());
+    std::copy_n(snap.shared_in_flight_.begin(), n, shared_in_flight_.begin());
+    std::copy_n(snap.requests_handled_.begin(), n, requests_handled_.begin());
+    std::copy_n(snap.server_queue_peak_.begin(), n,
+                server_queue_peak_.begin());
+    for (size_t slot = n; slot < down_.size(); ++slot) {
+      reset_slot(static_cast<uint32_t>(slot));
+    }
   }
 
   // Warm-world reuse: zeroes one instance's scalars (the table keeps its

@@ -25,7 +25,8 @@ using logstore::MessageKind;
 // response record when a response (real or synthesized by an Abort) is
 // observed, with the Gremlin-injected delay accounted separately so the
 // Assertion Checker can evaluate latencies with or without interference.
-class OutboundCall : public std::enable_shared_from_this<OutboundCall> {
+class OutboundCall : public std::enable_shared_from_this<OutboundCall>,
+                     public SnapshotParticipant {
  public:
   OutboundCall(ServiceInstance* caller, ServiceInstance::DepInfo& info,
                SimRequest request, ResponseCallback cb)
@@ -36,7 +37,14 @@ class OutboundCall : public std::enable_shared_from_this<OutboundCall> {
         cb_(std::move(cb)),
         policy_(*info.policy),
         src_sym_(caller->agent()->service_symbol()),
-        dst_sym_(info.symbol) {}
+        dst_sym_(info.symbol) {
+    // Saved event actions copy the shared_ptrs capturing this call, so a
+    // restored sibling re-runs them against this same object: register so
+    // the snapshot reloads the mutable fields below for each sibling.
+    if (caller_->sim().snapshot_capture()) {
+      caller_->sim().attach_participant(this);
+    }
+  }
 
   void start() {
     if (policy_.has_bulkhead()) {
@@ -342,6 +350,26 @@ class OutboundCall : public std::enable_shared_from_this<OutboundCall> {
     if (cb_) cb_(resp);
   }
 
+  // SnapshotParticipant: generation_ in bits 0-31, completed_attempts_ in
+  // bits 32-47, the three flags in bits 48-50. cb_ is never nulled (finish
+  // invokes it in place), so a reloaded call can finish again.
+  std::shared_ptr<void> snapshot_pin() override { return shared_from_this(); }
+  uint64_t snapshot_state() const override {
+    uint64_t state = generation_ & 0xffffffffULL;
+    state |= (static_cast<uint64_t>(completed_attempts_) & 0xffffULL) << 32;
+    if (holding_bulkhead_) state |= 1ULL << 48;
+    if (holding_shared_) state |= 1ULL << 49;
+    if (finished_) state |= 1ULL << 50;
+    return state;
+  }
+  void snapshot_load(uint64_t state) override {
+    generation_ = state & 0xffffffffULL;
+    completed_attempts_ = static_cast<int>((state >> 32) & 0xffffULL);
+    holding_bulkhead_ = (state & (1ULL << 48)) != 0;
+    holding_shared_ = (state & (1ULL << 49)) != 0;
+    finished_ = (state & (1ULL << 50)) != 0;
+  }
+
   ServiceInstance* caller_;
   // Per-dependency cache slot, resolved by the caller before construction;
   // every policy decision (breaker admission/reporting, bulkhead, instance
@@ -375,7 +403,11 @@ RequestContext::RequestContext(ServiceInstance* instance, SimRequest request,
                                ResponseCallback reply)
     : instance_(instance),
       request_(std::move(request)),
-      reply_(std::move(reply)) {}
+      reply_(std::move(reply)) {
+  if (instance_->sim().snapshot_capture()) {
+    instance_->sim().attach_participant(this);
+  }
+}
 
 TimePoint RequestContext::now() const { return instance_->sim().now(); }
 
@@ -676,6 +708,50 @@ void ServiceInstance::reset(uint64_t seed) {
   sim_->instances().reset_slot(slot_);
   shared_waiters_.clear();
   server_queue_.clear();
+}
+
+InstanceSnapshot ServiceInstance::capture_snapshot() const {
+  InstanceSnapshot snap;
+  snap.breakers = breakers_;  // plain copyable values
+  snap.bulkheads.reserve(bulkheads_.size());
+  for (const auto& bulkhead : bulkheads_) {
+    snap.bulkheads.push_back(bulkhead->capture());
+  }
+  snap.shared_waiters = shared_waiters_;
+  snap.server_queue = server_queue_;
+  snap.agent_records = agent_->snapshot_records();
+  snap.agent_recording = agent_->recording();
+  return snap;
+}
+
+void ServiceInstance::restore_snapshot(const InstanceSnapshot& snap,
+                                       uint64_t seed) {
+  // reset() reproduces the pristine post-construction state (the prefix
+  // installed no rules, so the agent's rule engine is pristine both cold
+  // and restored); the snapshot then overlays what the prefix mutated.
+  agent_->reset(seed);
+  agent_->restore_records(snap.agent_records, snap.agent_recording);
+  // Breakers/bulkheads created after the snapshot (lazily, by a later
+  // sibling) reset to the pristine state a cold run's lazily created ones
+  // would start in; the first-N restore in place. Never shrink: DepInfo
+  // indices held by in-flight calls stay valid.
+  for (size_t i = 0; i < breakers_.size(); ++i) {
+    if (i < snap.breakers.size()) {
+      breakers_[i] = snap.breakers[i];
+    } else {
+      breakers_[i].reset();
+    }
+  }
+  for (size_t i = 0; i < bulkheads_.size(); ++i) {
+    if (i < snap.bulkheads.size()) {
+      bulkheads_[i]->restore(snap.bulkheads[i]);
+    } else {
+      bulkheads_[i]->reset();
+    }
+  }
+  for (auto& info : dep_slots_) info.service_index = -1;
+  shared_waiters_ = snap.shared_waiters;
+  server_queue_ = snap.server_queue;
 }
 
 resilience::Bulkhead& ServiceInstance::bulkhead_for(DepInfo& info) {

@@ -26,6 +26,7 @@
 #include "resilience/circuit_breaker.h"
 #include "resilience/policy.h"
 #include "sim/sidecar.h"
+#include "sim/snapshot.h"
 
 namespace gremlin::sim {
 
@@ -112,8 +113,12 @@ struct ServiceConfig {
 };
 
 // Context handed to service handlers; keeps the in-flight request alive
-// across asynchronous dependency calls.
-class RequestContext : public std::enable_shared_from_this<RequestContext> {
+// across asynchronous dependency calls. During a snapshot capture window
+// it registers as a SnapshotParticipant: event closures hold shared_ptrs
+// to the same context across restores, so the responded flag must be
+// reloaded per restore.
+class RequestContext : public std::enable_shared_from_this<RequestContext>,
+                       public SnapshotParticipant {
  public:
   RequestContext(ServiceInstance* instance, SimRequest request,
                  ResponseCallback reply);
@@ -143,6 +148,13 @@ class RequestContext : public std::enable_shared_from_this<RequestContext> {
   bool responded() const { return responded_; }
 
  private:
+  // SnapshotParticipant: bit 0 = responded_.
+  std::shared_ptr<void> snapshot_pin() override { return shared_from_this(); }
+  uint64_t snapshot_state() const override { return responded_ ? 1u : 0u; }
+  void snapshot_load(uint64_t state) override {
+    responded_ = (state & 1u) != 0;
+  }
+
   ServiceInstance* instance_;
   SimRequest request_;
   ResponseCallback reply_;
@@ -242,6 +254,11 @@ class ServiceInstance {
   // dropped (the target service may have been removed).
   void reset(uint64_t seed);
 
+  // Snapshot support (sim/snapshot.h): the cold per-instance state — the
+  // hot SoA scalars live in the simulation's InstanceTable snapshot.
+  InstanceSnapshot capture_snapshot() const;
+  void restore_snapshot(const InstanceSnapshot& snap, uint64_t seed);
+
  private:
   friend class RequestContext;
 
@@ -297,6 +314,27 @@ class SimService {
   void reset(uint64_t seed) {
     rr_next_ = 0;
     for (auto& instance : instances_) instance->reset(seed);
+  }
+
+  // Snapshot support (sim/snapshot.h).
+  ServiceSnapshot capture_snapshot() const {
+    ServiceSnapshot snap;
+    snap.rr_next = rr_next_;
+    snap.instances.reserve(instances_.size());
+    for (const auto& instance : instances_) {
+      snap.instances.push_back(instance->capture_snapshot());
+    }
+    return snap;
+  }
+  void restore_snapshot(const ServiceSnapshot& snap, uint64_t seed) {
+    rr_next_ = snap.rr_next;
+    for (size_t i = 0; i < instances_.size(); ++i) {
+      if (i < snap.instances.size()) {
+        instances_[i]->restore_snapshot(snap.instances[i], seed);
+      } else {
+        instances_[i]->reset(seed);
+      }
+    }
   }
 
  private:

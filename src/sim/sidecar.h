@@ -58,6 +58,20 @@ class SimAgent : public topology::AgentHandle {
   // agent's would be (warm-world reuse).
   void reset(uint64_t seed);
 
+  // Snapshot support (sim/snapshot.h). A prefix run installs no rules, so
+  // reset(seed) + restore_records() reproduces the agent exactly: the rule
+  // engine is pristine both cold and restored, and only the observation
+  // buffer and capture switch carry state.
+  logstore::RecordList snapshot_records() const {
+    std::lock_guard lock(mu_);
+    return records_;
+  }
+  void restore_records(logstore::RecordList records, bool recording) {
+    recording_ = recording;
+    std::lock_guard lock(mu_);
+    records_ = std::move(records);
+  }
+
  private:
   const std::string service_;
   const std::string instance_id_;

@@ -191,6 +191,22 @@ class Simulation {
   // Number of simulation events processed so far.
   uint64_t events_processed() const { return events_processed_; }
 
+  // --- snapshot / restore (sim/snapshot.h) ---
+  // Captures the complete mutable world state; restore(snap) rebuilds it so
+  // a restored run is byte-identical to a cold run reaching the same
+  // instant. Transient request-path objects (outbound calls, request
+  // contexts) constructed while snapshot_capture() is on register
+  // themselves as participants; begin_snapshot_capture() detaches leftovers
+  // from any earlier capture first.
+  void begin_snapshot_capture();
+  void end_snapshot_capture();
+  bool snapshot_capture() const { return snapshot_capture_; }
+  void attach_participant(SnapshotParticipant* p);
+  SimSnapshot snapshot();
+  void restore(const SimSnapshot& snap);
+
+  ~Simulation();
+
  private:
   SimService* find_service(std::string_view name);
   ServiceInstance* pick_instance_view(std::string_view service);
@@ -215,6 +231,10 @@ class Simulation {
   bool recording_ = true;
   uint64_t events_processed_ = 0;
   bool stop_requested_ = false;
+  // Intrusive list of live SnapshotParticipants (see sim/snapshot.h);
+  // populated only while snapshot_capture_ is on.
+  SnapshotParticipant* participants_ = nullptr;
+  bool snapshot_capture_ = false;
 };
 
 }  // namespace gremlin::sim

@@ -13,7 +13,10 @@
 # open-loop arrivals against a 501-service deployment; headline is the
 # events/s speedup over the heap-only prescheduled baseline, gated >= 3x,
 # with fingerprints byte-identical across the scheduler/threads/procs
-# matrix).
+# matrix), and bench_snapshot feeds BENCH_snapshot.json (prefix-snapshot
+# campaign execution on a windowed mega-topology sweep; headline is the
+# wall-clock speedup over the no-snapshot warm path, gated >= 2x, with
+# byte-identity gated unconditionally).
 #
 # The output also carries the recorded pre-overhaul baseline for the
 # headline metric (BM_RunOneExperiment experiments/second in
@@ -33,6 +36,7 @@ CHECKER_OUT="${ROOT}/BENCH_checker.json"
 WARMWORLD_OUT="${ROOT}/BENCH_warmworld.json"
 MULTIPROC_OUT="${ROOT}/BENCH_multiproc.json"
 MEGATOPO_OUT="${ROOT}/BENCH_megatopo.json"
+SNAPSHOT_OUT="${ROOT}/BENCH_snapshot.json"
 
 # experiments/second measured on this container immediately before the
 # hot-path memory overhaul (interned names, pooled events, zero-copy
@@ -53,7 +57,7 @@ BENCHES=(
 cmake -B "${BUILD_DIR}" -S "${ROOT}" >/dev/null
 cmake --build "${BUILD_DIR}" -j "$(nproc)" --target "${BENCHES[@]}" \
   bench_checker_online bench_warm_world bench_campaign_multiproc \
-  bench_megatopo
+  bench_megatopo bench_snapshot
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "${TMP}"' EXIT
@@ -102,6 +106,13 @@ echo "=== bench_campaign_multiproc"
 # the byte-identity matrix — so it always runs, quick mode included.
 echo "=== bench_megatopo"
 "${BUILD_DIR}/bench/bench_megatopo" --json "${TMP}/megatopo.json"
+
+# Prefix-snapshot bench: json out of the glob. The binary gates itself —
+# >= 2x campaign wall clock for snapshots over the no-snapshot warm path,
+# plus an unconditional byte-identity matrix — so it always runs, quick
+# mode included.
+echo "=== bench_snapshot"
+"${BUILD_DIR}/bench/bench_snapshot" --json "${TMP}/snapshot.json"
 
 python3 - "${OUT}" "${BASELINE_EXPERIMENTS_PER_SEC}" "${TMP}" <<'PY'
 import json, pathlib, sys
@@ -272,5 +283,44 @@ doc = {
 pathlib.Path(out).write_text(json.dumps(doc, indent=2) + "\n")
 print(f"wrote {out}: dense-arrival speedup "
       f"{dense if dense is not None else 'MISSING'}x, "
+      f"byte_identical={identical}")
+PY
+
+python3 - "${SNAPSHOT_OUT}" "${TMP}/snapshot.json" <<'PY'
+import json, pathlib, sys
+
+out, src = sys.argv[1], pathlib.Path(sys.argv[2])
+rows = json.loads(src.read_text())
+
+def value(name, metric):
+    return next((r["value"] for r in rows
+                 if r["name"] == name and r["metric"] == metric), None)
+
+speedup = value("snapshot/gate", "speedup")
+identical = all(r["value"] == 1.0 for r in rows
+                if r["metric"] == "byte_identical") or None
+doc = {
+    "suite": "gremlin prefix-snapshot campaign execution",
+    "headline": {
+        "metric": "campaign wall-clock speedup, prefix snapshots vs the "
+                  "no-snapshot warm path on a windowed mega-topology sweep "
+                  "(byte-identical results; bench_snapshot; gated >= 2x)",
+        "no_snapshot_wall_s":
+            value("snapshot/windowed_sweep/no_snapshot", "wall"),
+        "snapshots_wall_s":
+            value("snapshot/windowed_sweep/snapshots", "wall"),
+        "speedup": speedup,
+        "snapshot_hits":
+            value("snapshot/windowed_sweep/snapshots", "snapshot_hits"),
+        "prefix_events_skipped":
+            value("snapshot/windowed_sweep/snapshots",
+                  "prefix_events_skipped"),
+        "byte_identical_matrix": identical,
+    },
+    "rows": rows,
+}
+pathlib.Path(out).write_text(json.dumps(doc, indent=2) + "\n")
+print(f"wrote {out}: snapshot speedup "
+      f"{speedup if speedup is not None else 'MISSING'}x, "
       f"byte_identical={identical}")
 PY

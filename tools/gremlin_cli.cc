@@ -59,7 +59,7 @@ int usage() {
                "  gremlin campaign (<recipe-file> | --app <name>) [--seed N] "
                "[--seeds K] [--threads N] [--procs N]\n"
                "                   [--sweep edge|service|infra|both|all] "
-               "[--no-early-exit] [--cold]\n"
+               "[--no-early-exit] [--cold] [--no-snapshot]\n"
                "                   [--probabilities 0.1,0.5] "
                "[--windows 10ms+50ms,...]\n"
                "                   [--report out.json]\n"
@@ -188,6 +188,7 @@ struct CampaignFlags {
   std::string sweep;      // "", "edge", "service", "infra", "both", "all"
   bool early_exit = true;  // --no-early-exit: run every sim to quiescence
   bool warm = true;        // --cold: fresh Simulation per experiment
+  bool snapshots = true;   // --no-snapshot: disable prefix-snapshot reuse
   std::string probabilities;  // --probabilities 0.1,0.5: sweep axis
   std::string windows;        // --windows 10ms+50ms,20ms+0s: sweep axis
   std::string report_path;
@@ -343,6 +344,7 @@ int cmd_campaign(const std::string& source, const CampaignFlags& flags) {
   options.procs = flags.procs;
   options.early_exit = flags.early_exit;
   options.warm_worlds = flags.warm;
+  options.use_snapshots = flags.snapshots;
   const campaign::CampaignResult result =
       campaign::CampaignRunner(options).run(experiments);
 
@@ -597,6 +599,8 @@ int main(int argc, char** argv) {
       flags.early_exit = false;
     } else if (std::strcmp(argv[i], "--cold") == 0) {
       flags.warm = false;
+    } else if (std::strcmp(argv[i], "--no-snapshot") == 0) {
+      flags.snapshots = false;
     } else if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
       flags.report_path = argv[++i];
     } else {
